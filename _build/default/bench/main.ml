@@ -1,0 +1,382 @@
+(* Wall-clock micro-benchmarks, one cluster per experiment of
+   EXPERIMENTS.md. Absolute numbers depend on the host; the experiments
+   care about the *relative* shape (e.g. isolation costs a serialization
+   roundtrip per hop; checkpoint cost grows with state size; recovery cost
+   grows with transaction size). *)
+
+open Bechamel
+open Toolkit
+open Netsim
+module Event = Controller.Event
+module Command = Controller.Command
+module App_sig = Controller.App_sig
+module Monolithic = Controller.Monolithic
+module Runtime = Legosdn.Runtime
+module Policy = Legosdn.Policy
+module Crashpad = Legosdn.Crashpad
+
+let null_context : App_sig.context =
+  {
+    now = (fun () -> 0.);
+    switches = (fun () -> []);
+    switch_ports = (fun _ -> []);
+    links = (fun () -> []);
+    host_location = (fun _ -> None);
+  }
+
+let packet_in_event ?(sid = 1) ?(in_port = 100) src dst =
+  Event.Packet_in
+    ( sid,
+      {
+        Openflow.Message.pi_buffer_id = None;
+        pi_in_port = in_port;
+        pi_reason = Openflow.Message.No_match;
+        pi_packet = Openflow.Packet.tcp ~src_host:src ~dst_host:dst ();
+      } )
+
+let absolute_policy_config =
+  {
+    Runtime.default_config with
+    Runtime.crashpad =
+      {
+        Crashpad.default_config with
+        Crashpad.policy = Policy.uniform Policy.Absolute;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E4 — isolation latency: one event through the control loop,
+   monolithic direct call vs AppVisor RPC + checkpoint. *)
+
+let bench_isolation () =
+  let mono_net =
+    Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3)
+  in
+  let mono = Monolithic.create mono_net [ (module Apps.Hub) ] in
+  Monolithic.step mono;
+  let lego_net =
+    Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3)
+  in
+  let lego = Runtime.create lego_net [ (module Apps.Hub) ] in
+  Runtime.step lego;
+  let ev = packet_in_event 1 2 in
+  let cmds =
+    [
+      Command.install 1 Openflow.Ofp_match.any [ Openflow.Action.Output 1 ];
+      Command.packet_out 1
+        [ Openflow.Action.Output 2 ]
+        (Some (Openflow.Packet.tcp ~src_host:1 ~dst_host:2 ()));
+    ]
+  in
+  [
+    Test.make ~name:"monolithic-dispatch"
+      (Staged.stage (fun () ->
+           Monolithic.dispatch_event mono ev;
+           ignore (Net.poll mono_net)));
+    Test.make ~name:"legosdn-dispatch"
+      (Staged.stage (fun () ->
+           Runtime.dispatch_event lego ev;
+           ignore (Net.poll lego_net)));
+    Test.make ~name:"wire-event-roundtrip"
+      (Staged.stage (fun () -> ignore (Legosdn.Wire.roundtrip_event ev)));
+    Test.make ~name:"wire-commands-roundtrip"
+      (Staged.stage (fun () -> ignore (Legosdn.Wire.roundtrip_commands cmds)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E5 — checkpoint cost vs application state size. *)
+
+let learning_switch_with_macs n =
+  let inst = ref (App_sig.instantiate (module Apps.Learning_switch)) in
+  for i = 1 to n do
+    let ev =
+      packet_in_event ~sid:1 ~in_port:(1 + (i mod 40)) i ((i mod 97) + 1)
+    in
+    let inst', _ = App_sig.handle !inst null_context ev in
+    inst := inst'
+  done;
+  !inst
+
+let bench_checkpoint () =
+  List.map
+    (fun n ->
+      let inst = learning_switch_with_macs n in
+      Test.make
+        ~name:(Printf.sprintf "snapshot-%d-macs" n)
+        (Staged.stage (fun () -> ignore (App_sig.snapshot inst))))
+    [ 100; 1_000; 10_000 ]
+  @ [
+      (let inst = learning_switch_with_macs 1_000 in
+       let snap = App_sig.snapshot inst in
+       Test.make ~name:"restore-1000-macs"
+         (Staged.stage (fun () -> ignore (App_sig.restore inst snap))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6 — crash recovery cost vs transaction size: the app emits [n]
+   installs and dies mid-emission; Crash-Pad rolls all of them back,
+   restores the snapshot and applies the (Absolute) policy. *)
+
+let partial_crasher n : (module App_sig.APP) =
+  (module struct
+    type state = int
+
+    let name = Printf.sprintf "partial_crasher_%d" n
+    let subscriptions = [ Event.K_packet_in ]
+    let init () = 0
+
+    let handle _ st = function
+      | Event.Packet_in _ ->
+          let cmds =
+            List.init n (fun i ->
+                Command.install 1
+                  (Openflow.Ofp_match.make ~tp_src:(i + 1) ())
+                  [ Openflow.Action.Output 1 ])
+          in
+          raise (App_sig.Crash_with_partial cmds)
+      | _ -> (st, [])
+  end)
+
+let bench_recovery () =
+  List.map
+    (fun n ->
+      let net =
+        Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2)
+      in
+      let rt =
+        Runtime.create ~config:absolute_policy_config net [ partial_crasher n ]
+      in
+      Runtime.step rt;
+      let ev = packet_in_event 1 2 in
+      Test.make
+        ~name:(Printf.sprintf "recover-txn-%d-ops" n)
+        (Staged.stage (fun () -> Runtime.dispatch_event rt ev)))
+    [ 1; 16; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8/E9 — NetLog eager apply + rollback vs the delay-buffer ablation. *)
+
+let txn_commands n =
+  List.init n (fun i ->
+      Command.Flow
+        ( 1,
+          Openflow.Message.flow_add
+            (Openflow.Ofp_match.make ~tp_src:(i + 1) ())
+            [ Openflow.Action.Output 1 ] ))
+
+let engine_bench name engine n finish =
+  let cmds = txn_commands n in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let txn = engine.Legosdn.Txn_engine.begin_txn ~app:"bench" in
+         List.iter (fun c -> ignore (txn.Legosdn.Txn_engine.apply c)) cmds;
+         match finish with
+         | `Commit ->
+             txn.Legosdn.Txn_engine.commit ();
+             (* Leave the table as found so iterations stay uniform. *)
+             let cleanup = engine.Legosdn.Txn_engine.begin_txn ~app:"clean" in
+             ignore
+               (cleanup.Legosdn.Txn_engine.apply
+                  (Command.Flow
+                     (1, Openflow.Message.flow_delete Openflow.Ofp_match.any)));
+             cleanup.Legosdn.Txn_engine.commit ()
+         | `Abort -> txn.Legosdn.Txn_engine.abort ()))
+
+let bench_netlog () =
+  List.concat_map
+    (fun n ->
+      let net =
+        Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2)
+      in
+      ignore (Net.poll net);
+      let netlog = Legosdn.Netlog.engine (Legosdn.Netlog.create net) in
+      let buffer = Legosdn.Delay_buffer.engine (Legosdn.Delay_buffer.create net) in
+      [
+        engine_bench (Printf.sprintf "netlog-commit-%d" n) netlog n `Commit;
+        engine_bench (Printf.sprintf "netlog-abort-%d" n) netlog n `Abort;
+        engine_bench (Printf.sprintf "buffer-commit-%d" n) buffer n `Commit;
+        engine_bench (Printf.sprintf "buffer-abort-%d" n) buffer n `Abort;
+      ])
+    [ 1; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Substrate costs: codec, data plane, invariant checker. *)
+
+let bench_substrate () =
+  let fm =
+    Openflow.Message.message
+      (Openflow.Message.Flow_mod
+         (Openflow.Message.flow_add
+            (Openflow.Ofp_match.make ~tp_dst:80 ())
+            [ Openflow.Action.Output 2 ]))
+  in
+  let fm_bytes = Openflow.Codec.encode fm in
+  let net =
+    Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 8)
+  in
+  ignore (Net.poll net);
+  (* Program the chain for h1 -> h8. *)
+  let dst_mac = Openflow.Types.mac_of_host 8 in
+  for sid = 1 to 7 do
+    ignore
+      (Net.send net sid
+         (Openflow.Message.message
+            (Openflow.Message.Flow_mod
+               (Openflow.Message.flow_add
+                  (Openflow.Ofp_match.make ~dl_dst:dst_mac ())
+                  [ Openflow.Action.Output (if sid = 1 then 1 else 2) ]))))
+  done;
+  ignore
+    (Net.send net 8
+       (Openflow.Message.message
+          (Openflow.Message.Flow_mod
+             (Openflow.Message.flow_add
+                (Openflow.Ofp_match.make ~dl_dst:dst_mac ())
+                [ Openflow.Action.Output 100 ]))));
+  let pkt = Openflow.Packet.tcp ~src_host:1 ~dst_host:8 () in
+  [
+    Test.make ~name:"codec-encode-flow-mod"
+      (Staged.stage (fun () -> ignore (Openflow.Codec.encode fm)));
+    Test.make ~name:"codec-decode-flow-mod"
+      (Staged.stage (fun () -> ignore (Openflow.Codec.decode fm_bytes)));
+    Test.make ~name:"dataplane-8-hop-delivery"
+      (Staged.stage (fun () ->
+           Net.inject net 1 pkt;
+           ignore (Net.poll net)));
+    Test.make ~name:"invariant-check-linear-8"
+      (Staged.stage (fun () ->
+           ignore (Invariants.Checker.check (Invariants.Snapshot.of_net net))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Crash-Pad machinery: policy decisions, transformations, quarantine
+   lookups — all on every dispatch, so their unit cost matters. *)
+
+let bench_crashpad_machinery () =
+  let policy =
+    Legosdn.Policy.make ~default:Legosdn.Policy.Equivalence
+      [
+        { Legosdn.Policy.app = Some "firewall"; kind = None;
+          action = Legosdn.Policy.No_compromise };
+        { Legosdn.Policy.app = None; kind = Some Event.K_switch_down;
+          action = Legosdn.Policy.Equivalence };
+        { Legosdn.Policy.app = Some "lb"; kind = Some Event.K_packet_in;
+          action = Legosdn.Policy.Absolute };
+      ]
+  in
+  let links_of _ =
+    List.init 8 (fun i ->
+        { Event.src_switch = 1; src_port = i + 1; dst_switch = i + 2; dst_port = 1 })
+  in
+  let quarantine = Legosdn.Quarantine.create () in
+  let ev = packet_in_event 1 2 in
+  for i = 1 to 50 do
+    Legosdn.Quarantine.add quarantine ~app:"app" (packet_in_event i (i + 1))
+  done;
+  [
+    Test.make ~name:"policy-decide"
+      (Staged.stage (fun () ->
+           ignore (Legosdn.Policy.decide policy ~app:"router" Event.K_packet_in)));
+    Test.make ~name:"transform-switch-down"
+      (Staged.stage (fun () ->
+           ignore (Legosdn.Transform.equivalents ~links_of (Event.Switch_down 1))));
+    Test.make ~name:"quarantine-miss-lookup-50-entries"
+      (Staged.stage (fun () ->
+           ignore (Legosdn.Quarantine.blocked quarantine ~app:"app" ev)));
+  ]
+
+(* Topology-sized costs: STP recompute and invariant checks on a fat-tree. *)
+
+let bench_topology_scale () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.fat_tree 4) in
+  let rt = Runtime.create net [ (module Apps.Spanning_tree) ] in
+  Runtime.step rt;
+  let services_links =
+    Controller.Services.context
+      (Runtime.services rt)
+  in
+  let snap = Invariants.Snapshot.of_net net in
+  [
+    Test.make ~name:"stp-recompute-fat-tree-k4"
+      (Staged.stage (fun () ->
+           ignore
+             (Apps.Spanning_tree.handle services_links
+                (Apps.Spanning_tree.init ())
+                (Event.Link_up
+                   { Event.src_switch = 1; src_port = 1; dst_switch = 5; dst_port = 1 }))));
+    Test.make ~name:"invariant-check-fat-tree-k4"
+      (Staged.stage (fun () -> ignore (Invariants.Checker.check snap)));
+    Test.make ~name:"snapshot-of-fat-tree-k4"
+      (Staged.stage (fun () -> ignore (Invariants.Snapshot.of_net net)));
+  ]
+
+(* End-to-end scenario throughput: one full 10-virtual-second availability
+   run per iteration (the unit of work behind E7). *)
+
+let bench_scenario () =
+  let scenario =
+    Workload.Scenario.make
+      ~make_topology:(fun () -> Topo_gen.linear ~hosts_per_switch:1 3)
+      ~duration:10.
+      ~traffic:
+        (Workload.Traffic.schedule
+           (Workload.Traffic.uniform_pairs ~seed:3 ~hosts:[ 1; 2; 3 ] ~flows:30
+              ~duration:10. ()))
+      ~tick_interval:1. ()
+  in
+  [
+    Test.make ~name:"scenario-10s-legosdn"
+      (Staged.stage (fun () ->
+           ignore
+             (Workload.Scenario.run scenario ~make_driver:(fun net ->
+                  Workload.Scenario.legosdn_driver
+                    (Runtime.create net [ (module Apps.Learning_switch) ])))));
+    Test.make ~name:"scenario-10s-monolithic"
+      (Staged.stage (fun () ->
+           ignore
+             (Workload.Scenario.run scenario ~make_driver:(fun net ->
+                  Workload.Scenario.monolithic_driver
+                    (Monolithic.create net [ (module Apps.Learning_switch) ])))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let run_group (experiment, title, tests) =
+  Printf.printf "\n### %s — %s\n%!" experiment title;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:experiment tests)
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols_result) ->
+         let estimate =
+           match Analyze.OLS.estimates ols_result with
+           | Some [ e ] -> e
+           | _ -> nan
+         in
+         let r2 =
+           match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+         in
+         Printf.printf "  %-42s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2)
+
+let () =
+  Printf.printf "LegoSDN benchmark harness (see EXPERIMENTS.md for the index)\n";
+  List.iter run_group
+    [
+      ("E4", "isolation / control-loop latency", bench_isolation ());
+      ("E5", "checkpoint cost vs state size", bench_checkpoint ());
+      ("E6", "crash-recovery cost vs transaction size", bench_recovery ());
+      ("E8-E9", "NetLog vs delay-buffer transactions", bench_netlog ());
+      ("substrate", "codec / data plane / invariant checker", bench_substrate ());
+      ("crashpad", "policy / transform / quarantine unit costs",
+       bench_crashpad_machinery ());
+      ("topology-scale", "STP + invariants on a fat-tree", bench_topology_scale ());
+      ("scenario", "end-to-end 10-virtual-second scenario runs", bench_scenario ());
+    ]

@@ -1,0 +1,1 @@
+bin/experiments.ml: Apps Arg Clock Cmd Cmdliner Controller Flow_entry Flow_table Format Legosdn List Net Netsim Openflow Option Printf Random String Sw Term Topo_gen Workload

@@ -1,0 +1,1 @@
+bin/legosdn_cli.ml: Apps Arg Cmd Cmdliner Controller Format Legosdn List Netsim Printf Result String Term Topo_gen Topology Workload

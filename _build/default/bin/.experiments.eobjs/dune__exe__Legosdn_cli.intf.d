@@ -1,0 +1,1 @@
+bin/legosdn_cli.mli:

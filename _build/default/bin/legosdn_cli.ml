@@ -1,0 +1,390 @@
+(* legosdn_cli — run a LegoSDN (or monolithic baseline) scenario from the
+   command line.
+
+   Examples:
+     dune exec bin/legosdn_cli.exe -- run --topo ring:5 --apps learning_switch,firewall
+     dune exec bin/legosdn_cli.exe -- run --arch monolithic \
+        --bug crash:packet_in --duration 30
+     dune exec bin/legosdn_cli.exe -- run --policy-file my.policy --verbose
+     dune exec bin/legosdn_cli.exe -- check-policy my.policy *)
+
+open Netsim
+module Event = Controller.Event
+module App_sig = Controller.App_sig
+module Runtime = Legosdn.Runtime
+module Policy = Legosdn.Policy
+module Crashpad = Legosdn.Crashpad
+module Scenario = Workload.Scenario
+module Traffic = Workload.Traffic
+
+(* ---------------- parsers for the small CLI DSLs ---------------- *)
+
+let parse_topology s =
+  let fail () =
+    `Error
+      (false,
+       Printf.sprintf
+         "cannot parse topology %S (expected linear:N, ring:N, star:N, \
+          tree:D:F, mesh:N or random:SEED:N:EXTRA)"
+         s)
+  in
+  match String.split_on_char ':' s with
+  | [ "linear"; n ] -> `Ok (fun () -> Topo_gen.linear ~hosts_per_switch:1 (int_of_string n))
+  | [ "ring"; n ] -> `Ok (fun () -> Topo_gen.ring ~hosts_per_switch:1 (int_of_string n))
+  | [ "star"; n ] -> `Ok (fun () -> Topo_gen.star ~hosts_per_switch:1 (int_of_string n))
+  | [ "tree"; d; f ] ->
+      `Ok
+        (fun () ->
+          Topo_gen.tree ~hosts_per_leaf:1 ~depth:(int_of_string d)
+            ~fanout:(int_of_string f) ())
+  | [ "mesh"; n ] -> `Ok (fun () -> Topo_gen.mesh ~hosts_per_switch:1 (int_of_string n))
+  | [ "random"; seed; n; extra ] ->
+      `Ok
+        (fun () ->
+          Topo_gen.random ~hosts_per_switch:1 ~seed:(int_of_string seed)
+            ~switches:(int_of_string n) ~extra_links:(int_of_string extra) ())
+  | _ -> fail ()
+
+let app_of_name = Apps.Suite.find
+
+let kind_of_name name =
+  List.find_opt (fun k -> Event.kind_name k = name) Event.all_kinds
+
+let parse_bug s =
+  (* EFFECT:TRIGGER, e.g. crash:packet_in, hang:switch_down,
+     crash-nth:packet_in:5, byz-loop:packet_in, leak:packet_in:4096 *)
+  let trigger_of k =
+    match kind_of_name k with
+    | Some kind -> Ok (Apps.Bug_model.On_kind kind)
+    | None -> Error (Printf.sprintf "unknown event kind %S" k)
+  in
+  let open Apps.Bug_model in
+  let result =
+    match String.split_on_char ':' s with
+    | [ "crash"; k ] -> Result.map (fun t -> make t Crash) (trigger_of k)
+    | [ "hang"; k ] -> Result.map (fun t -> make t Hang) (trigger_of k)
+    | [ "crash-nth"; k; n ] -> (
+        match kind_of_name k with
+        | Some kind -> Ok (crash_on_nth kind (int_of_string n))
+        | None -> Error (Printf.sprintf "unknown event kind %S" k))
+    | [ "byz-loop"; k ] -> Result.map (fun t -> make t Byzantine_loop) (trigger_of k)
+    | [ "byz-blackhole"; k ] ->
+        Result.map (fun t -> make t Byzantine_blackhole) (trigger_of k)
+    | [ "leak"; k; bytes ] ->
+        Result.map (fun t -> make t (Leak (int_of_string bytes))) (trigger_of k)
+    | _ ->
+        Error
+          "expected EFFECT:EVENT_KIND (crash|hang|byz-loop|byz-blackhole), \
+           crash-nth:KIND:N or leak:KIND:BYTES"
+  in
+  match result with Ok bug -> `Ok bug | Error e -> `Error (false, e)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------------- the run command ---------------- *)
+
+let run_scenario make_topology arch app_names bug policy_file config_file duration
+    verbose =
+  let apps =
+    List.filter_map
+      (fun name ->
+        match app_of_name name with
+        | Some m -> Some (name, m)
+        | None ->
+            Printf.eprintf "warning: unknown app %S skipped\n" name;
+            None)
+      app_names
+  in
+  if apps = [] then begin
+    Printf.eprintf "error: no valid applications selected\n";
+    exit 2
+  end;
+  let apps =
+    match (bug, apps) with
+    | None, _ -> List.map snd apps
+    | Some bug, (first_name, first) :: rest ->
+        if verbose then
+          Printf.printf "injecting bug [%s] into %s\n"
+            (Apps.Bug_model.describe bug)
+            first_name;
+        Apps.Faulty.wrap ~bug first :: List.map snd rest
+    | Some _, [] -> []
+  in
+  let policy =
+    match policy_file with
+    | None -> Policy.uniform Policy.Equivalence
+    | Some path -> (
+        match Legosdn.Policy_lang.parse (read_file path) with
+        | Ok p -> p
+        | Error e ->
+            Printf.eprintf "error: %s: %s\n" path
+              (Format.asprintf "%a" Legosdn.Policy_lang.pp_error e);
+            exit 2)
+  in
+  let config =
+    match config_file with
+    | Some path -> (
+        match Legosdn.Config_lang.parse (read_file path) with
+        | Ok c -> c
+        | Error e ->
+            Printf.eprintf "error: %s: %s\n" path
+              (Format.asprintf "%a" Legosdn.Config_lang.pp_error e);
+            exit 2)
+    | None ->
+        {
+          Runtime.default_config with
+          Runtime.crashpad = { Crashpad.default_config with Crashpad.policy };
+        }
+  in
+  let probe_topo = make_topology () in
+  let hosts = Topology.hosts probe_topo in
+  let traffic =
+    Traffic.schedule
+      (Traffic.all_pairs_once ~hosts ~start:0.3 ~spacing:0.1
+      @ Traffic.uniform_pairs ~seed:7 ~hosts ~flows:(10 * List.length hosts)
+          ~duration ())
+  in
+  let scenario =
+    Scenario.make ~make_topology ~duration ~traffic ~tick_interval:1.
+      ~restart_delay:10. ()
+  in
+  let runtime_holder = ref None in
+  let report =
+    match arch with
+    | "monolithic" ->
+        Scenario.run scenario ~make_driver:(fun net ->
+            Scenario.monolithic_driver (Controller.Monolithic.create net apps))
+    | _ ->
+        Scenario.run scenario ~make_driver:(fun net ->
+            let rt = Runtime.create ~config net apps in
+            runtime_holder := Some rt;
+            Scenario.legosdn_driver rt)
+  in
+  Format.printf "%a@." Scenario.pp_report report;
+  (match !runtime_holder with
+  | Some rt when verbose ->
+      Format.printf "@.metrics: %a@." Legosdn.Metrics.pp (Runtime.metrics rt);
+      let tickets = Runtime.tickets rt in
+      Format.printf "tickets: %d@." (List.length tickets);
+      List.iter (fun t -> Format.printf "%a@." Legosdn.Ticket.pp t) tickets
+  | _ -> ());
+  `Ok ()
+
+(* ---------------- record / minimize: the trace workflow ---------------- *)
+
+(* An observer app that records every event it is shown; a CLI-side tool,
+   so a module-level recorder is fine. *)
+let cli_recorder = Workload.Trace_io.recorder ()
+
+module Recorder_app = struct
+  type state = int
+
+  let name = "trace_recorder"
+  let subscriptions = Event.all_kinds
+  let init () = 0
+
+  let handle _ st ev =
+    Workload.Trace_io.record cli_recorder ev;
+    (st + 1, [])
+end
+
+let record_trace make_topology app_names duration out_path =
+  let apps =
+    List.filter_map app_of_name app_names
+    @ [ (module Recorder_app : App_sig.APP) ]
+  in
+  let probe_topo = make_topology () in
+  let hosts = Topology.hosts probe_topo in
+  let traffic =
+    Traffic.schedule
+      (Traffic.all_pairs_once ~hosts ~start:0.3 ~spacing:0.1
+      @ Traffic.uniform_pairs ~seed:7 ~hosts ~flows:(10 * List.length hosts)
+          ~duration ())
+  in
+  let scenario =
+    Scenario.make ~make_topology ~duration ~traffic ~tick_interval:1. ()
+  in
+  let _ =
+    Scenario.run scenario ~make_driver:(fun net ->
+        Scenario.legosdn_driver (Runtime.create net apps))
+  in
+  let events = Workload.Trace_io.recorded cli_recorder in
+  Workload.Trace_io.save out_path events;
+  Printf.printf "recorded %d events to %s\n" (List.length events) out_path;
+  `Ok ()
+
+let minimize_trace trace_path app_name bug =
+  match app_of_name app_name with
+  | None ->
+      Printf.eprintf "error: unknown app %S\n" app_name;
+      exit 2
+  | Some base ->
+      let faulty = Apps.Faulty.wrap ~bug base in
+      let trace = Workload.Trace_io.load trace_path in
+      Printf.printf "loaded %d events from %s\n" (List.length trace) trace_path;
+      let ctx : App_sig.context =
+        {
+          now = (fun () -> 0.);
+          switches = (fun () -> []);
+          switch_ports = (fun _ -> []);
+          links = (fun () -> []);
+          host_location = (fun _ -> None);
+        }
+      in
+      if not (Legosdn.Sts.crashes_on faulty ctx trace) then begin
+        Printf.printf "the trace does not crash %s with bug [%s]\n" app_name
+          (Apps.Bug_model.describe bug);
+        `Ok ()
+      end
+      else begin
+        let minimal, calls = Legosdn.Sts.minimize faulty ctx trace in
+        Printf.printf
+          "minimal causal sequence: %d of %d events (%d oracle calls)\n"
+          (List.length minimal) (List.length trace) calls;
+        List.iter
+          (fun ev -> Format.printf "  %a@." Controller.Event.pp ev)
+          minimal;
+        `Ok ()
+      end
+
+(* ---------------- the check-policy command ---------------- *)
+
+let check_config path =
+  match Legosdn.Config_lang.parse (read_file path) with
+  | Ok c ->
+      Printf.printf "%s: OK\n%s" path (Legosdn.Config_lang.print c);
+      `Ok ()
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path
+        (Format.asprintf "%a" Legosdn.Config_lang.pp_error e);
+      exit 1
+
+let check_policy path =
+  match Legosdn.Policy_lang.parse (read_file path) with
+  | Ok p ->
+      Printf.printf "%s: OK (%d rules)\n%s" path
+        (List.length (Policy.rules p))
+        (Legosdn.Policy_lang.print p);
+      `Ok ()
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path
+        (Format.asprintf "%a" Legosdn.Policy_lang.pp_error e);
+      exit 1
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+open Cmdliner
+
+let topo_conv = Arg.conv ((fun s -> parse_topology s |> function
+  | `Ok v -> Ok v
+  | `Error (_, msg) -> Error (`Msg msg)),
+  fun fmt _ -> Format.pp_print_string fmt "<topology>")
+
+let bug_conv = Arg.conv ((fun s -> parse_bug s |> function
+  | `Ok v -> Ok v
+  | `Error (_, msg) -> Error (`Msg msg)),
+  fun fmt bug -> Format.pp_print_string fmt (Apps.Bug_model.describe bug))
+
+let topo_arg =
+  Arg.(value
+       & opt topo_conv (fun () -> Topo_gen.linear ~hosts_per_switch:1 3)
+       & info [ "topo" ] ~docv:"TOPO"
+           ~doc:"Topology: linear:N, ring:N, star:N, tree:D:F, mesh:N, random:SEED:N:EXTRA.")
+
+let arch_arg =
+  Arg.(value
+       & opt (enum [ ("legosdn", "legosdn"); ("monolithic", "monolithic") ]) "legosdn"
+       & info [ "arch" ] ~docv:"ARCH" ~doc:"Controller architecture.")
+
+let apps_arg =
+  Arg.(value
+       & opt (list string) [ "learning_switch" ]
+       & info [ "apps" ] ~docv:"APPS"
+           ~doc:(Printf.sprintf
+        "Comma-separated applications (%s). A bug, if any, is injected \
+         into the first one."
+        (String.concat ", " Apps.Suite.names)))
+
+let bug_arg =
+  Arg.(value
+       & opt (some bug_conv) None
+       & info [ "bug" ] ~docv:"BUG"
+           ~doc:"Inject a bug into the first app, e.g. crash:packet_in, crash-nth:packet_in:5, hang:switch_down, byz-loop:packet_in, leak:packet_in:4096.")
+
+let policy_arg =
+  Arg.(value
+       & opt (some file) None
+       & info [ "policy-file" ] ~docv:"FILE"
+           ~doc:"Compromise policy in the Crash-Pad policy language.")
+
+let config_arg =
+  Arg.(value
+       & opt (some file) None
+       & info [ "config-file" ] ~docv:"FILE"
+           ~doc:"Full runtime configuration in the operator config language \
+                 (supersedes $(b,--policy-file)).")
+
+let duration_arg =
+  Arg.(value & opt float 20. & info [ "duration" ] ~docv:"SECONDS"
+         ~doc:"Virtual scenario duration.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print metrics and tickets.")
+
+let run_cmd =
+  let doc = "Run a traffic scenario against a controller architecture" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret
+            (const run_scenario $ topo_arg $ arch_arg $ apps_arg $ bug_arg
+             $ policy_arg $ config_arg $ duration_arg $ verbose_arg))
+
+let check_policy_cmd =
+  let doc = "Parse and echo a Crash-Pad policy file" in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "check-policy" ~doc) Term.(ret (const check_policy $ path))
+
+let out_arg =
+  Arg.(value & opt string "events.trace"
+       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output file.")
+
+let check_config_cmd =
+  let doc = "Parse and echo an operator configuration file" in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "check-config" ~doc) Term.(ret (const check_config $ path))
+
+let record_cmd =
+  let doc = "Run a scenario and record the controller event stream to a file" in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(ret (const record_trace $ topo_arg $ apps_arg $ duration_arg $ out_arg))
+
+let trace_pos =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+
+let app_pos =
+  Arg.(value & opt string "learning_switch"
+       & info [ "app" ] ~docv:"APP" ~doc:"Application to analyse.")
+
+let bug_required =
+  Arg.(required & opt (some bug_conv) None
+       & info [ "bug" ] ~docv:"BUG" ~doc:"Bug to inject (e.g. crash:packet_in).")
+
+let minimize_cmd =
+  let doc =
+    "Delta-debug a recorded trace: find the minimal causal event sequence \
+     that crashes an app with the given bug (STS, paper §5)"
+  in
+  Cmd.v (Cmd.info "minimize" ~doc)
+    Term.(ret (const minimize_trace $ trace_pos $ app_pos $ bug_required))
+
+let () =
+  let doc = "LegoSDN command-line playground" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "legosdn_cli" ~doc)
+          [ run_cmd; check_policy_cmd; check_config_cmd; record_cmd; minimize_cmd ]))

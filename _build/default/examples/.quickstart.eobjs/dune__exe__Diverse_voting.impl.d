@@ -1,0 +1,1 @@
+examples/diverse_voting.ml: Apps Clock Controller Legosdn List Net Netsim Openflow Printf Topo_gen

@@ -1,0 +1,1 @@
+examples/diverse_voting.mli:

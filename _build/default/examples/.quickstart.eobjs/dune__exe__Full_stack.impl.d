@@ -1,0 +1,1 @@
+examples/full_stack.ml: Apps Clock Controller Legosdn List Net Netsim Openflow Printf Topo_gen Topology

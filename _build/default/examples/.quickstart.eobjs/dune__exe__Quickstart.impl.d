@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Controller Format Legosdn List Netsim Openflow Printf

@@ -1,0 +1,1 @@
+examples/resilient_routing.ml: Apps Clock Controller Format Legosdn List Net Netsim Openflow Printf Topo_gen Topology

@@ -1,0 +1,1 @@
+examples/upgrade_survival.ml: Apps Bytes Clock Controller Legosdn List Net Netsim Openflow Option Printf Topo_gen

@@ -1,0 +1,87 @@
+(* Controller upgrades without losing application state (§3.4).
+
+   The paper: "Upgrades to the controller codebase must be followed by a
+   controller reboot. Such events also cause the SDN-App to unnecessarily
+   reboot and lose state" — with recreation outages of up to 10 seconds.
+
+   Here a learning switch builds up its MAC table, the controller is
+   upgraded mid-run, and we measure how much re-flooding each architecture
+   needs afterwards: the monolithic restart wipes the app; the LegoSDN
+   upgrade only replaces the platform around the isolated app processes.
+
+   Run with: dune exec examples/upgrade_survival.exe *)
+
+open Netsim
+module Runtime = Legosdn.Runtime
+module Monolithic = Controller.Monolithic
+
+let drive net step pairs =
+  List.iter
+    (fun (src, dst) ->
+      Clock.advance_by (Net.clock net) 0.1;
+      Net.inject net src (Openflow.Packet.tcp ~src_host:src ~dst_host:dst ());
+      step ())
+    pairs
+
+let warmup = [ (1, 2); (2, 1); (1, 3); (3, 1); (2, 3); (3, 2) ]
+let after = [ (1, 2); (2, 1); (1, 3) ]
+
+(* Let the hardware rules idle out, so post-upgrade traffic genuinely
+   consults the application again. *)
+let expire_rules net =
+  Clock.advance_by (Net.clock net) 120.;
+  Net.tick net
+
+let packet_ins_during net f =
+  let before = (Net.stats net).Net.packet_ins in
+  f ();
+  (Net.stats net).Net.packet_ins - before
+
+let () =
+  Printf.printf "=== Surviving controller upgrades ===\n\n";
+
+  (* Monolithic: upgrade = restart = app state loss. *)
+  let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3) in
+  let mono = Monolithic.create net [ (module Apps.Learning_switch) ] in
+  Monolithic.step mono;
+  drive net (fun () -> Monolithic.step mono) warmup;
+  let state_bytes m =
+    Bytes.length (Controller.App_sig.snapshot (List.hd (Monolithic.apps m)))
+  in
+  let before_bytes = state_bytes mono in
+  Printf.printf "monolithic: learned topology, upgrading controller...\n";
+  Monolithic.restart mono;
+  expire_rules net;
+  Printf.printf "monolithic: app state %dB -> %dB across the upgrade\n"
+    before_bytes (state_bytes mono);
+  let mono_packet_ins =
+    packet_ins_during net (fun () ->
+        drive net (fun () -> Monolithic.step mono) after)
+  in
+  Printf.printf
+    "monolithic: %d packet-ins to re-serve 3 flows (MAC table was wiped)\n\n"
+    mono_packet_ins;
+
+  (* LegoSDN: platform replaced, sandboxes (and their state) survive. *)
+  let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3) in
+  let lego = Runtime.create net [ (module Apps.Learning_switch) ] in
+  Runtime.step lego;
+  drive net (fun () -> Runtime.step lego) warmup;
+  let box = Option.get (Runtime.sandbox lego "learning_switch") in
+  let before_bytes = Legosdn.Sandbox.state_size box in
+  Printf.printf "legosdn: learned topology, upgrading controller...\n";
+  Runtime.upgrade_controller lego;
+  expire_rules net;
+  Printf.printf "legosdn: app state %dB -> %dB across the upgrade\n"
+    before_bytes (Legosdn.Sandbox.state_size box);
+  let lego_packet_ins =
+    packet_ins_during net (fun () ->
+        drive net (fun () -> Runtime.step lego) after)
+  in
+  Printf.printf
+    "legosdn: %d packet-ins to re-serve the same 3 flows (state survived)\n"
+    lego_packet_ins;
+  Printf.printf
+    "\nFewer packet-ins after the upgrade = less re-flooding = shorter\n";
+  Printf.printf "disruption. The paper reports up to 10 s outages for the\n";
+  Printf.printf "monolithic state-recreation dance.\n"

@@ -1,0 +1,1 @@
+lib/apps/arp_responder.ml: Action Command Controller Event Int Map Message Openflow Packet Types

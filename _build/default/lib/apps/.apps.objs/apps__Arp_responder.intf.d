@@ -1,0 +1,1 @@
+lib/apps/arp_responder.mli: Controller

@@ -1,0 +1,1 @@
+lib/apps/bug_model.ml: Controller Openflow Printf Types

@@ -1,0 +1,1 @@
+lib/apps/bug_model.mli: Controller Openflow Types

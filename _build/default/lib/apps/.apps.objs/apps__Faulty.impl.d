@@ -1,0 +1,1 @@
+lib/apps/faulty.ml: Action Bug_model Controller List Message Ofp_match Openflow Option Packet String

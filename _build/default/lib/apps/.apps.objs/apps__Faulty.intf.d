@@ -1,0 +1,1 @@
+lib/apps/faulty.mli: Bug_model Controller

@@ -1,0 +1,1 @@
+lib/apps/firewall.ml: App_sig Command Controller Event List Message Ofp_match Openflow Packet

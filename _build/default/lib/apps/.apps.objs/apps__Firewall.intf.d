@@ -1,0 +1,1 @@
+lib/apps/firewall.mli: Controller

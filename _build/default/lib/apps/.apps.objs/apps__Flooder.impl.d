@@ -1,0 +1,1 @@
+lib/apps/flooder.ml: Action Command Controller Event Message Ofp_match Openflow Packet Types

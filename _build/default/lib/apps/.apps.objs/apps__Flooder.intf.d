@@ -1,0 +1,1 @@
+lib/apps/flooder.mli: Controller

@@ -1,0 +1,1 @@
+lib/apps/hub.ml: Action Command Controller Event Message Openflow Types

@@ -1,0 +1,1 @@
+lib/apps/hub.mli: Controller

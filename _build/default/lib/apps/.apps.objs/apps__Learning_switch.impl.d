@@ -1,0 +1,1 @@
+lib/apps/learning_switch.ml: Action App_sig Command Controller Event Map Message Ofp_match Openflow Packet Printf Types

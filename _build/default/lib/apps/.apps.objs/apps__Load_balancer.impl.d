@@ -1,0 +1,1 @@
+lib/apps/load_balancer.ml: Action App_sig Command Controller Event Int List Map Message Ofp_match Openflow Option Packet Types

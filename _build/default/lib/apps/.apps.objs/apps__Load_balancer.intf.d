@@ -1,0 +1,1 @@
+lib/apps/load_balancer.mli: Controller

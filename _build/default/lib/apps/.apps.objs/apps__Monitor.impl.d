@@ -1,0 +1,1 @@
+lib/apps/monitor.ml: App_sig Command Controller Event Int List Map Message Ofp_match Openflow Option

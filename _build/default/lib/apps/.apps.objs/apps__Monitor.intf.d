@@ -1,0 +1,1 @@
+lib/apps/monitor.mli: Controller Openflow

@@ -1,0 +1,1 @@
+lib/apps/router.ml: Action App_sig Command Controller Event Hashtbl List Message Ofp_match Openflow Option Packet Queue Types

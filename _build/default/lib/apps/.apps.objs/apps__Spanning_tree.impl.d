@@ -1,0 +1,1 @@
+lib/apps/spanning_tree.ml: App_sig Command Controller Event Hashtbl List Openflow Option Queue Set Types

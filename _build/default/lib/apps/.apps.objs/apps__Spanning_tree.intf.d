@@ -1,0 +1,1 @@
+lib/apps/spanning_tree.mli: Controller Openflow

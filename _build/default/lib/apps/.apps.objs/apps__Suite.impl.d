@@ -1,0 +1,1 @@
+lib/apps/suite.ml: Arp_responder Controller Firewall Flooder Hub Learning_switch List Load_balancer Monitor Router Spanning_tree

@@ -1,0 +1,15 @@
+(** Proxy-ARP responder: answers ARP requests from the controller.
+
+    Learns IP→MAC bindings from the source fields of every ARP packet it
+    sees; known targets are answered directly with a synthesized ARP reply
+    out of the ingress port (no flooding at all), unknown targets are
+    flooded to be resolved the hard way. Keeps broadcast ARP traffic off
+    the fabric — a classic controller-app companion to a learning switch. *)
+
+include Controller.App_sig.APP
+
+val bindings : state -> int
+(** IP→MAC bindings currently known. *)
+
+val replies_sent : state -> int
+val floods : state -> int

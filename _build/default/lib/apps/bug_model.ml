@@ -1,0 +1,45 @@
+open Openflow
+module Event = Controller.Event
+
+type trigger =
+  | Never
+  | On_kind of Event.kind
+  | On_nth_of_kind of Event.kind * int
+  | On_switch of Types.switch_id
+  | After_events of int
+  | On_tp_dst of int
+  | With_probability of float * int
+
+type effect_ =
+  | Crash
+  | Crash_partial of float
+  | Hang
+  | Byzantine_loop
+  | Byzantine_blackhole
+  | Leak of int
+
+type t = { trigger : trigger; effect_ : effect_ }
+
+let make trigger effect_ = { trigger; effect_ }
+let crash_on kind = make (On_kind kind) Crash
+let crash_on_nth kind n = make (On_nth_of_kind (kind, n)) Crash
+
+let describe_trigger = function
+  | Never -> "never"
+  | On_kind k -> Printf.sprintf "on %s" (Event.kind_name k)
+  | On_nth_of_kind (k, n) -> Printf.sprintf "on %s #%d" (Event.kind_name k) n
+  | On_switch sid -> Printf.sprintf "on events about s%d" sid
+  | After_events n -> Printf.sprintf "after %d events" n
+  | On_tp_dst p -> Printf.sprintf "on packets to port %d" p
+  | With_probability (p, seed) -> Printf.sprintf "p=%g (seed %d)" p seed
+
+let describe_effect = function
+  | Crash -> "crash"
+  | Crash_partial f -> Printf.sprintf "crash mid-emission (%.0f%%)" (f *. 100.)
+  | Hang -> "hang"
+  | Byzantine_loop -> "byzantine loop"
+  | Byzantine_blackhole -> "byzantine black hole"
+  | Leak n -> Printf.sprintf "leak %dB/event" n
+
+let describe t =
+  Printf.sprintf "%s %s" (describe_effect t.effect_) (describe_trigger t.trigger)

@@ -1,0 +1,49 @@
+(** Injectable application bugs.
+
+    The paper's argument rests on bugs being event-triggered and mostly
+    deterministic (§1, §3.3); the FlowScale bug tracker supplies the
+    empirical motivation. This model makes every trigger explicit and
+    seeded so experiments are reproducible: a bug is a trigger (when)
+    paired with an effect (what goes wrong). *)
+
+open Openflow
+
+type trigger =
+  | Never
+  | On_kind of Controller.Event.kind
+      (** Every event of the kind. *)
+  | On_nth_of_kind of Controller.Event.kind * int
+      (** Only the n-th occurrence (1-based) of the kind. *)
+  | On_switch of Types.switch_id
+      (** Any event concerning the switch. *)
+  | After_events of int
+      (** Once more than n events (of any kind) have been handled — the
+          cumulative-state bug class of §5. *)
+  | On_tp_dst of int
+      (** Packet-ins whose packet targets this transport port:
+          a data-dependent parser bug. *)
+  | With_probability of float * int
+      (** Seeded coin flip per delivered event: the non-deterministic bug
+          class of §5. *)
+
+type effect_ =
+  | Crash  (** Unhandled exception. *)
+  | Crash_partial of float
+      (** Crash after emitting this fraction of the handler's commands
+          (mid-policy failure: the NetLog scenario). *)
+  | Hang  (** The handler never returns. *)
+  | Byzantine_loop
+      (** Emit high-priority rules that forward traffic in a cycle over the
+          first live inter-switch link. *)
+  | Byzantine_blackhole
+      (** Emit a high-priority rule forwarding everything into an unwired
+          port. *)
+  | Leak of int  (** Grow application state by n bytes per event. *)
+
+type t = { trigger : trigger; effect_ : effect_ }
+
+val crash_on : Controller.Event.kind -> t
+val crash_on_nth : Controller.Event.kind -> int -> t
+val make : trigger -> effect_ -> t
+
+val describe : t -> string

@@ -1,0 +1,147 @@
+open Openflow
+module Event = Controller.Event
+module App_sig = Controller.App_sig
+module Command = Controller.Command
+
+exception Injected_crash of string
+
+(* A tiny self-contained LCG so that bug state marshals cleanly and two
+   instances of the same module can flip different coins. *)
+let lcg_next s = (s * 2862933555777941757) + 3037000493
+
+let lcg_float s =
+  let x = (s lsr 11) land 0xFFFFFFFF in
+  float_of_int x /. 4294967296.0
+
+(* Distinct instances of the same wrapped module (e.g. a primary and its
+   clone) draw different seeds, which is what makes probabilistic bugs
+   genuinely non-deterministic across replicas. *)
+let instance_counter = ref 0
+
+(* Non-determinism has to live OUTSIDE the application state: state is
+   checkpointed and rolled back, and a coin stored there would come up the
+   same way on every replay — turning the bug deterministic. This counter
+   plays the role of the environment (timing, scheduling) that makes real
+   non-deterministic bugs non-reproducible. *)
+let environment_clock = ref 0
+
+let wrap ~bug (module A : App_sig.APP) : (module App_sig.APP) =
+  (module struct
+    type state = {
+      inner : A.state;
+      total : int;
+      kind_counts : (Event.kind * int) list;
+      leaked : string list;
+      rng : int;
+    }
+
+    let name = A.name
+    let subscriptions = A.subscriptions
+
+    let init () =
+      incr instance_counter;
+      let seed_base =
+        match bug.Bug_model.trigger with
+        | Bug_model.With_probability (_, seed) -> seed
+        | _ -> 0
+      in
+      {
+        inner = A.init ();
+        total = 0;
+        kind_counts = [];
+        leaked = [];
+        rng = lcg_next ((seed_base * 1_000_003) + !instance_counter);
+      }
+
+    let bump_kind counts kind =
+      let n = Option.value (List.assoc_opt kind counts) ~default:0 in
+      (kind, n + 1) :: List.remove_assoc kind counts
+
+    let triggered st ev =
+      let kind = Event.kind_of ev in
+      let kind_count =
+        Option.value (List.assoc_opt kind st.kind_counts) ~default:0
+      in
+      match bug.Bug_model.trigger with
+      | Bug_model.Never -> false
+      | Bug_model.On_kind k -> k = kind
+      | Bug_model.On_nth_of_kind (k, n) -> k = kind && kind_count = n - 1
+      | Bug_model.On_switch sid -> Event.switch_of ev = Some sid
+      | Bug_model.After_events n -> st.total > n
+      | Bug_model.On_tp_dst p -> (
+          match ev with
+          | Event.Packet_in (_, pi) ->
+              pi.Message.pi_packet.Packet.tp_dst = p
+          | _ -> false)
+      | Bug_model.With_probability (p, _) ->
+          incr environment_clock;
+          lcg_float (lcg_next (st.rng + (!environment_clock * 0x9E3779B9))) < p
+
+    (* Rules a byzantine bug emits. *)
+    let byzantine_priority = 65000
+
+    let loop_commands (ctx : App_sig.context) =
+      match ctx.App_sig.links () with
+      | [] -> None
+      | (l : Event.link) :: _ ->
+          Some
+            [
+              Command.install ~priority:byzantine_priority l.src_switch
+                (Ofp_match.make ~dl_type:Packet.ethertype_ip ())
+                [ Action.Output l.src_port ];
+              Command.install ~priority:byzantine_priority l.dst_switch
+                (Ofp_match.make ~dl_type:Packet.ethertype_ip ())
+                [ Action.Output l.dst_port ];
+            ]
+
+    let blackhole_commands (ctx : App_sig.context) =
+      match ctx.App_sig.switches () with
+      | [] -> None
+      | sid :: _ ->
+          (* Port 9999 is never wired: traffic vanishes silently. *)
+          Some
+            [
+              Command.install ~priority:byzantine_priority sid
+                (Ofp_match.make ~dl_type:Packet.ethertype_ip ())
+                [ Action.Output 9999 ];
+            ]
+
+    let handle ctx st ev =
+      let fire = triggered st ev in
+      let st =
+        {
+          st with
+          total = st.total + 1;
+          kind_counts = bump_kind st.kind_counts (Event.kind_of ev);
+          rng = lcg_next st.rng;
+        }
+      in
+      if not fire then begin
+        let inner', commands = A.handle ctx st.inner ev in
+        ({ st with inner = inner' }, commands)
+      end
+      else
+        match bug.Bug_model.effect_ with
+        | Bug_model.Crash ->
+            raise (Injected_crash (Bug_model.describe bug))
+        | Bug_model.Hang -> raise App_sig.App_hang
+        | Bug_model.Crash_partial fraction ->
+            let _inner', commands = A.handle ctx st.inner ev in
+            let keep =
+              int_of_float (ceil (fraction *. float (List.length commands)))
+            in
+            let partial = List.filteri (fun i _ -> i < keep) commands in
+            raise (App_sig.Crash_with_partial partial)
+        | Bug_model.Byzantine_loop -> (
+            match loop_commands ctx with
+            | Some commands -> (st, commands)
+            | None -> raise (Injected_crash "byzantine loop (no links)"))
+        | Bug_model.Byzantine_blackhole -> (
+            match blackhole_commands ctx with
+            | Some commands -> (st, commands)
+            | None -> raise (Injected_crash "byzantine blackhole (no switches)"))
+        | Bug_model.Leak n ->
+            let inner', commands = A.handle ctx st.inner ev in
+            ( { st with inner = inner'; leaked = String.make n 'x' :: st.leaked },
+              commands )
+  end)

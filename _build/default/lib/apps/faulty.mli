@@ -1,0 +1,17 @@
+(** Fault injection: wrap any application with a {!Bug_model} bug.
+
+    The wrapper is transparent until the trigger fires; then it produces
+    the configured failure exactly as a buggy application would — raising
+    through the handler, raising with partially emitted commands, "hanging"
+    (raising {!Controller.App_sig.App_hang}, which runtimes interpret as
+    heart-beat loss), emitting byzantine rules, or leaking state. *)
+
+val wrap :
+  bug:Bug_model.t ->
+  (module Controller.App_sig.APP) ->
+  (module Controller.App_sig.APP)
+(** The wrapped application keeps the inner application's name and
+    subscriptions, so runtimes and policies are none the wiser. *)
+
+exception Injected_crash of string
+(** The exception thrown by [Crash]-effect bugs. *)

@@ -1,0 +1,14 @@
+(** A spanning-tree application: prunes flooding on redundant links.
+
+    Computes a BFS tree over the live inter-switch links (rooted at the
+    lowest switch id, the "root bridge") and sets OFPPC_NO_FLOOD on every
+    inter-switch port that is not on the tree. FLOOD outputs then reach
+    every host exactly once even on cyclic topologies — the broadcast
+    storms that flooding apps (hub, flooder, learning switch) otherwise
+    cause on rings become impossible. Recomputes on every topology change
+    and emits only the port-mod deltas. *)
+
+include Controller.App_sig.APP
+
+val blocked_ports : state -> (Openflow.Types.switch_id * Openflow.Types.port_no) list
+(** Ports currently pruned (no_flood set), sorted. *)

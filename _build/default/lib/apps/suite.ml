@@ -1,0 +1,29 @@
+let all : (string * (module Controller.App_sig.APP)) list =
+  [
+    ("learning_switch", (module Learning_switch));
+    ("hub", (module Hub));
+    ("flooder", (module Flooder));
+    ("router", (module Router));
+    ("load_balancer", (module Load_balancer));
+    ("firewall", (module Firewall));
+    ("monitor", (module Monitor));
+    ("spanning_tree", (module Spanning_tree));
+    ("arp_responder", (module Arp_responder));
+  ]
+
+let names = List.map fst all
+
+let find name = List.assoc_opt name all
+
+let table2 =
+  [
+    ("router", "third-party", "Routing (RouteFlow analogue)");
+    ("load_balancer", "third-party", "Traffic engineering (FlowScale)");
+    ("firewall", "vendor", "Security (BigTap analogue)");
+    ("monitor", "third-party", "Monitoring/provisioning (Stratos)");
+    ("learning_switch", "bundled", "L2 forwarding (FloodLight port)");
+    ("hub", "bundled", "Flood forwarding (FloodLight port)");
+    ("flooder", "bundled", "Flood + rule install (FloodLight port)");
+    ("spanning_tree", "bundled", "Flood pruning via OFPPC_NO_FLOOD");
+    ("arp_responder", "bundled", "Proxy ARP");
+  ]

@@ -1,0 +1,15 @@
+(** The application registry: every bundled application by name.
+
+    One place for tools (CLI, experiments, scenario builders) to resolve
+    application names, instead of each keeping its own list. *)
+
+val all : (string * (module Controller.App_sig.APP)) list
+(** (name, module) for every bundled application, in a stable order. *)
+
+val names : string list
+
+val find : string -> (module Controller.App_sig.APP) option
+(** Resolve by registered name. *)
+
+val table2 : (string * string * string) list
+(** The Table-2 survey rows: (name, developer, purpose). *)

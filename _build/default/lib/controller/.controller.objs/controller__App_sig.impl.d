@@ -1,0 +1,1 @@
+lib/controller/app_sig.ml: Bytes Command Event List Marshal Openflow Types

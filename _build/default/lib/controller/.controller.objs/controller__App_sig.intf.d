@@ -1,0 +1,1 @@
+lib/controller/app_sig.mli: Command Event Openflow Types

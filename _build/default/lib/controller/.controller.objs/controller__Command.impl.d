@@ -1,0 +1,1 @@
+lib/controller/command.ml: Format Message Openflow Types

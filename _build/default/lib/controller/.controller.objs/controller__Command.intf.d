@@ -1,0 +1,1 @@
+lib/controller/command.mli: Action Format Message Ofp_match Openflow Packet Types

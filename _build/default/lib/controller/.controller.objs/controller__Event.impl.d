@@ -1,0 +1,1 @@
+lib/controller/event.ml: Format List Message Ofp_match Openflow Packet Types

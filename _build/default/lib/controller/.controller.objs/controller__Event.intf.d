@@ -1,0 +1,1 @@
+lib/controller/event.mli: Format Message Openflow Types

@@ -1,0 +1,1 @@
+lib/controller/monolithic.ml: App_sig Command Event List Message Netsim Openflow Printexc Services

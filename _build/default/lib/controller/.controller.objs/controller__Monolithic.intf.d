@@ -1,0 +1,1 @@
+lib/controller/monolithic.mli: App_sig Event Netsim Services

@@ -1,0 +1,1 @@
+lib/controller/services.ml: App_sig Event Hashtbl List Message Netsim Openflow Packet Types

@@ -1,0 +1,1 @@
+lib/controller/services.mli: App_sig Event Netsim Openflow Types

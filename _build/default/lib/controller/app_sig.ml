@@ -1,0 +1,48 @@
+open Openflow
+
+type context = {
+  now : unit -> float;
+  switches : unit -> Types.switch_id list;
+  switch_ports : Types.switch_id -> Types.port_no list;
+  links : unit -> Event.link list;
+  host_location : Types.mac -> (Types.switch_id * Types.port_no) option;
+}
+
+module type APP = sig
+  type state
+
+  val name : string
+  val subscriptions : Event.kind list
+  val init : unit -> state
+  val handle : context -> state -> Event.t -> state * Command.t list
+end
+
+exception Crash_with_partial of Command.t list
+exception App_hang
+
+type instance =
+  | Instance : (module APP with type state = 's) * 's -> instance
+
+let instantiate (module A : APP) =
+  Instance ((module A : APP with type state = A.state), A.init ())
+
+let module_of (Instance ((module A), _)) = (module A : APP)
+
+let name (Instance ((module A), _)) = A.name
+let subscriptions (Instance ((module A), _)) = A.subscriptions
+let subscribes_to inst kind = List.mem kind (subscriptions inst)
+
+let handle (Instance ((module A), st)) ctx event =
+  let st', commands = A.handle ctx st event in
+  (Instance ((module A), st'), commands)
+
+let reboot (Instance ((module A), _)) = Instance ((module A), A.init ())
+
+let snapshot (Instance ((module A), st)) = Marshal.to_bytes st []
+
+let restore (Instance ((module A), _)) bytes =
+  (* The state type is fixed by the module; a snapshot taken from the same
+     module unmarshals to exactly that type. *)
+  Instance ((module A), (Marshal.from_bytes bytes 0 : A.state))
+
+let state_size inst = Bytes.length (snapshot inst)

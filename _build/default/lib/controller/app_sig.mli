@@ -1,0 +1,75 @@
+(** The SDN application interface and its runtime instances.
+
+    An application is a module with pure, explicit state: [handle] consumes
+    one event and returns the new state plus the commands to issue. Keeping
+    state explicit and closure-free is what makes the AppVisor checkpoints
+    ({!snapshot}/{!restore}) possible — it is the CRIU-checkpoint analogue
+    of this reproduction. *)
+
+open Openflow
+
+(** Read-only controller services available to an application while it
+    handles an event (the northbound API the AppVisor stub proxies). *)
+type context = {
+  now : unit -> float;
+  switches : unit -> Types.switch_id list;  (** Connected switches. *)
+  switch_ports : Types.switch_id -> Types.port_no list;
+  links : unit -> Event.link list;  (** Live inter-switch links, both directions. *)
+  host_location : Types.mac -> (Types.switch_id * Types.port_no) option;
+      (** Device-manager lookup: last learned attachment of a MAC. *)
+}
+
+module type APP = sig
+  type state
+
+  val name : string
+  val subscriptions : Event.kind list
+
+  val init : unit -> state
+
+  val handle : context -> state -> Event.t -> state * Command.t list
+  (** Process one event. May raise — that is a fail-stop application crash,
+      and containing it is the whole point of LegoSDN. *)
+end
+
+exception Crash_with_partial of Command.t list
+(** A fail-stop crash that happened after some commands were already issued
+    to the controller: the carried prefix reached the network before the
+    crash. This models FloodLight applications that call controller APIs
+    mid-handler, the case NetLog's transactions exist for. *)
+
+exception App_hang
+(** The handler would never return. Runtimes translate this into heart-beat
+    loss (AppVisor) or a wedged controller (monolithic). *)
+
+(** A running application: an APP module paired with its current state. *)
+type instance
+
+val instantiate : (module APP) -> instance
+
+val module_of : instance -> (module APP)
+(** The application module behind an instance (for re-instantiation —
+    e.g. replaying a trace against a fresh copy during STS analysis). *)
+
+val name : instance -> string
+val subscriptions : instance -> Event.kind list
+val subscribes_to : instance -> Event.kind -> bool
+
+val handle : instance -> context -> Event.t -> instance * Command.t list
+(** Functional step: the returned instance carries the new state; the input
+    instance is unchanged (so a runtime can keep the old one as a
+    snapshot). Exceptions from the app propagate. *)
+
+val reboot : instance -> instance
+(** A fresh instance of the same module with [init] state — what a
+    monolithic controller restart does to an app (all state lost). *)
+
+val snapshot : instance -> bytes
+(** Serialize the current state ([Marshal]; state must be closure-free). *)
+
+val restore : instance -> bytes -> instance
+(** The instance with state replaced by a previously taken snapshot. The
+    snapshot must come from the same application module. *)
+
+val state_size : instance -> int
+(** Byte size of a snapshot, the checkpoint-cost metric. *)

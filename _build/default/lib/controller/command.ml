@@ -1,0 +1,58 @@
+open Openflow
+
+type t =
+  | Flow of Types.switch_id * Message.flow_mod
+  | Packet of Types.switch_id * Message.packet_out
+  | Port of Types.switch_id * Message.port_mod
+  | Stats of Types.switch_id * Message.stats_request
+  | Log of string
+
+let to_message ~xid = function
+  | Flow (sid, fm) -> Some (sid, Message.message ~xid (Message.Flow_mod fm))
+  | Packet (sid, po) -> Some (sid, Message.message ~xid (Message.Packet_out po))
+  | Port (sid, pm) -> Some (sid, Message.message ~xid (Message.Port_mod pm))
+  | Stats (sid, sr) ->
+      Some (sid, Message.message ~xid (Message.Stats_request sr))
+  | Log _ -> None
+
+let install ?idle_timeout ?hard_timeout ?priority ?notify_when_removed sid
+    pattern actions =
+  Flow
+    ( sid,
+      Message.flow_add ?idle_timeout ?hard_timeout ?priority
+        ?notify_when_removed pattern actions )
+
+let uninstall ?strict ?priority sid pattern =
+  Flow (sid, Message.flow_delete ?strict ?priority pattern)
+
+let set_no_flood sid port_no no_flood =
+  Port (sid, { Message.pm_port_no = port_no; pm_no_flood = no_flood })
+
+let packet_out ?buffer_id ?in_port sid actions packet =
+  Packet
+    ( sid,
+      {
+        Message.po_buffer_id = buffer_id;
+        po_in_port = in_port;
+        po_actions = actions;
+        po_packet = packet;
+      } )
+
+let is_state_altering = function
+  | Flow _ | Packet _ | Port _ -> true
+  | Stats _ | Log _ -> false
+
+let equal a b = a = b
+
+let pp fmt = function
+  | Flow (sid, fm) ->
+      Format.fprintf fmt "flow(%a, %a)" Types.pp_switch sid Message.pp_payload
+        (Message.Flow_mod fm)
+  | Packet (sid, po) ->
+      Format.fprintf fmt "packet(%a, %a)" Types.pp_switch sid
+        Message.pp_payload (Message.Packet_out po)
+  | Port (sid, pm) ->
+      Format.fprintf fmt "port(%a, %a)" Types.pp_switch sid Message.pp_payload
+        (Message.Port_mod pm)
+  | Stats (sid, _) -> Format.fprintf fmt "stats(%a)" Types.pp_switch sid
+  | Log s -> Format.fprintf fmt "log(%s)" s

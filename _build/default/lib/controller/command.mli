@@ -1,0 +1,49 @@
+(** Commands an SDN application issues back to the controller.
+
+    Each command maps to one controller-to-switch OpenFlow message; this is
+    the unit NetLog logs, inverts and rolls back. *)
+
+open Openflow
+
+type t =
+  | Flow of Types.switch_id * Message.flow_mod
+  | Packet of Types.switch_id * Message.packet_out
+  | Port of Types.switch_id * Message.port_mod
+      (** Port configuration (OFPPC_NO_FLOOD) — how a spanning-tree app
+          prunes flooding. *)
+  | Stats of Types.switch_id * Message.stats_request
+  | Log of string  (** Free-form note; no network effect. *)
+
+val to_message : xid:Types.xid -> t -> (Types.switch_id * Message.t) option
+(** The wire message a command becomes; [None] for [Log]. *)
+
+val install :
+  ?idle_timeout:int ->
+  ?hard_timeout:int ->
+  ?priority:int ->
+  ?notify_when_removed:bool ->
+  Types.switch_id ->
+  Ofp_match.t ->
+  Action.t list ->
+  t
+(** Shorthand for a [Flow] add. *)
+
+val uninstall : ?strict:bool -> ?priority:int -> Types.switch_id
+  -> Ofp_match.t -> t
+
+val set_no_flood : Types.switch_id -> Types.port_no -> bool -> t
+(** Shorthand for a [Port] command setting OFPPC_NO_FLOOD. *)
+
+val packet_out :
+  ?buffer_id:int ->
+  ?in_port:Types.port_no ->
+  Types.switch_id ->
+  Action.t list ->
+  Packet.t option ->
+  t
+
+val is_state_altering : t -> bool
+(** Commands NetLog must be able to undo or compensate. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

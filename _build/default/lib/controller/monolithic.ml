@@ -1,0 +1,181 @@
+open Openflow
+module Net = Netsim.Net
+module Clock = Netsim.Clock
+
+type crash_info = {
+  culprit : string;
+  event : Event.t option;
+  detail : string;
+  at : float;
+}
+
+type status = Running | Crashed of crash_info
+
+type t = {
+  network : Net.t;
+  modules : (module App_sig.APP) list;
+  mutable services_state : Services.t;
+  mutable instances : App_sig.instance list;
+  mutable state : status;
+  mutable next_xid : int;
+  mutable backlog : Event.t list;  (* events produced mid-dispatch *)
+  mutable n_events : int;
+  mutable n_commands : int;
+  mutable n_shed : int;
+}
+
+let fresh_services network =
+  Services.create (Net.clock network) (Net.topology network)
+
+let create network modules =
+  {
+    network;
+    modules;
+    services_state = fresh_services network;
+    instances = List.map App_sig.instantiate modules;
+    state = Running;
+    next_xid = 1;
+    backlog = [];
+    n_events = 0;
+    n_commands = 0;
+    n_shed = 0;
+  }
+
+let status t = t.state
+let apps t = t.instances
+let services t = t.services_state
+let net t = t.network
+
+let events_processed t = t.n_events
+let commands_executed t = t.n_commands
+let events_shed t = t.n_shed
+
+let now t = Clock.now (Net.clock t.network)
+
+let crash t ~culprit ~event ~detail =
+  t.state <- Crashed { culprit; event = Some event; detail; at = now t }
+
+(* Execute one command against the network. Synchronous replies that carry
+   application-visible information (stats) are queued as future events. *)
+let execute_command t cmd =
+  t.n_commands <- t.n_commands + 1;
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  match Command.to_message ~xid cmd with
+  | None -> ()
+  | Some (sid, msg) ->
+      let replies = Net.send t.network sid msg in
+      List.iter
+        (fun (reply : Message.t) ->
+          match reply.payload with
+          | Message.Stats_reply sr ->
+              t.backlog <- t.backlog @ [ Event.Stats_reply (sid, reply.xid, sr) ]
+          | Message.Flow_removed fr ->
+              t.backlog <- t.backlog @ [ Event.Flow_removed (sid, fr) ]
+          | _ -> ())
+        replies
+
+let dispatch_to t inst event =
+  let ctx = Services.context t.services_state in
+  match App_sig.handle inst ctx event with
+  | updated, commands ->
+      List.iter (execute_command t) commands;
+      Some updated
+  | exception App_sig.Crash_with_partial partial ->
+      (* The partial prefix already reached the controller; in a monolithic
+         stack those rules hit the network before the crash takes
+         everything down. *)
+      List.iter (execute_command t) partial;
+      crash t ~culprit:(App_sig.name inst) ~event
+        ~detail:"crash after partial command emission";
+      None
+  | exception App_sig.App_hang ->
+      crash t ~culprit:(App_sig.name inst) ~event ~detail:"hang";
+      None
+  | exception exn ->
+      crash t ~culprit:(App_sig.name inst) ~event
+        ~detail:(Printexc.to_string exn);
+      None
+
+let dispatch_event t event =
+  if t.state = Running then begin
+    t.n_events <- t.n_events + 1;
+    let rec deliver = function
+      | [] -> []
+      | inst :: rest ->
+          if t.state <> Running then inst :: rest
+          else if App_sig.subscribes_to inst (Event.kind_of event) then
+            match dispatch_to t inst event with
+            | Some updated -> updated :: deliver rest
+            | None -> inst :: rest (* controller just died; freeze the rest *)
+          else inst :: deliver rest
+    in
+    t.instances <- deliver t.instances
+  end
+
+let rec drain_backlog t =
+  match t.backlog with
+  | [] -> ()
+  | event :: rest ->
+      t.backlog <- rest;
+      dispatch_event t event;
+      if t.state = Running then drain_backlog t
+
+(* Drain-until-quiet: dispatching events triggers commands whose data-plane
+   effects raise further notifications (a released packet missing at the
+   next switch); keep draining until the network goes quiet. The event
+   budget is a broadcast-storm guard: on a cyclic topology a flooding app
+   (or a crashing app whose un-rollbackable packet-outs keep escaping) can
+   multiply packet-ins exponentially; real switches shed packet-ins when
+   the controller falls behind, and so do we — the excess notifications
+   are dropped and counted. *)
+let storm_guard_events = 2048
+
+let step t =
+  let budget = ref storm_guard_events in
+  let rec go () =
+    if t.state = Running then
+      match Net.poll t.network with
+      | [] -> ()
+      | notifications ->
+          let events =
+            List.concat_map (Services.ingest t.services_state) notifications
+          in
+          List.iter
+            (fun ev ->
+              if t.state = Running then
+                if !budget > 0 then begin
+                  decr budget;
+                  dispatch_event t ev
+                end
+                else t.n_shed <- t.n_shed + 1)
+            events;
+          drain_backlog t;
+          if !budget > 0 then go ()
+          else
+            (* Shed whatever the last dispatches still generated. *)
+            t.n_shed <- t.n_shed + List.length (Net.poll t.network)
+  in
+  go ()
+
+let tick t = dispatch_event t (Event.Tick (now t))
+
+let restart t =
+  t.state <- Running;
+  t.backlog <- [];
+  t.instances <- List.map App_sig.instantiate t.modules;
+  t.services_state <- fresh_services t.network;
+  (* Re-handshake: alive switches present themselves again. *)
+  let topo = Net.topology t.network in
+  List.iter
+    (fun sid ->
+      let sw = Net.switch t.network sid in
+      if sw.Netsim.Sw.up then begin
+        let events =
+          Services.ingest t.services_state
+            (Net.Switch_connected (sid, Netsim.Sw.features sw))
+        in
+        List.iter (dispatch_event t) events
+      end)
+    (Netsim.Topology.switches topo);
+  drain_backlog t

@@ -1,0 +1,28 @@
+(** Controller services: switch registry, link discovery and device
+    manager — the shared platform state FloodLight keeps below the apps.
+
+    Link discovery consults the simulator topology as an oracle in place of
+    LLDP probing (see DESIGN.md substitutions); everything else is learned
+    from switch notifications, exactly as a real controller would. *)
+
+open Openflow
+
+type t
+
+val create : Netsim.Clock.t -> Netsim.Topology.t -> t
+
+val ingest : t -> Netsim.Net.notification -> Event.t list
+(** Update service state from one southbound notification and return the
+    controller events to dispatch to applications (including derived
+    link-up/link-down events). Notifications that do not concern
+    applications return []. *)
+
+val connected_switches : t -> Types.switch_id list
+val live_links : t -> Event.link list
+(** Both directions of every live inter-switch link. *)
+
+val host_location : t -> Types.mac
+  -> (Types.switch_id * Types.port_no) option
+
+val context : t -> App_sig.context
+(** The read-only view handed to applications. *)

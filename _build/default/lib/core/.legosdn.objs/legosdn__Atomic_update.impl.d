@@ -1,0 +1,1 @@
+lib/core/atomic_update.ml: Controller Format Invariants List Message Openflow Txn_engine Types

@@ -1,0 +1,1 @@
+lib/core/atomic_update.mli: Invariants Message Netsim Openflow Txn_engine Types

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Bytes Controller List

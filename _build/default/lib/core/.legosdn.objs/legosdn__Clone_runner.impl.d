@@ -1,0 +1,1 @@
+lib/core/clone_runner.ml: App_sig Command Controller

@@ -1,0 +1,1 @@
+lib/core/clone_runner.mli: App_sig Controller

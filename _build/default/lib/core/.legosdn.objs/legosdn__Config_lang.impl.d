@@ -1,0 +1,1 @@
+lib/core/config_lang.ml: Buffer Controller Crashpad Detector Format Invariants List Option Policy Printf Quarantine Resources Runtime String

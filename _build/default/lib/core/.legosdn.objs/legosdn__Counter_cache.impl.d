@@ -1,0 +1,1 @@
+lib/core/counter_cache.ml: Hashtbl List Message Ofp_match Openflow Option Types

@@ -1,0 +1,1 @@
+lib/core/counter_cache.mli: Message Ofp_match Openflow Types

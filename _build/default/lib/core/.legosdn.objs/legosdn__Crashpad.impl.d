@@ -1,0 +1,1 @@
+lib/core/crashpad.ml: App_sig Command Controller Detector Event Invariants List Message Metrics Netsim Openflow Policy Quarantine Resources Sandbox String Ticket Transform Txn_engine Types

@@ -1,0 +1,1 @@
+lib/core/crashpad.mli: App_sig Controller Detector Event Invariants Metrics Netsim Openflow Policy Quarantine Resources Sandbox Ticket Txn_engine Types

@@ -1,0 +1,1 @@
+lib/core/delay_buffer.ml: Controller List Message Netsim Openflow Txn_engine

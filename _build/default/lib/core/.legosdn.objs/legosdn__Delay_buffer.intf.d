@@ -1,0 +1,1 @@
+lib/core/delay_buffer.mli: Netsim Txn_engine

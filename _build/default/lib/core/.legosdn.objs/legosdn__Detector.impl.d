@@ -1,0 +1,1 @@
+lib/core/detector.ml: Command Controller Format Invariants List Printf Sandbox

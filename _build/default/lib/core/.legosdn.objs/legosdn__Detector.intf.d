@@ -1,0 +1,1 @@
+lib/core/detector.mli: Command Controller Invariants Netsim Sandbox

@@ -1,0 +1,1 @@
+lib/core/netlog.ml: Action Controller Counter_cache List Message Netsim Ofp_match Openflow Txn_engine Types

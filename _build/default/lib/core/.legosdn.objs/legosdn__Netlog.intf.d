@@ -1,0 +1,1 @@
+lib/core/netlog.mli: Controller Counter_cache Message Netsim Openflow Txn_engine

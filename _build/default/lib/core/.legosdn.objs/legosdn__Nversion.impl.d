@@ -1,0 +1,1 @@
+lib/core/nversion.ml: App_sig Command Controller Event Fun List Printf

@@ -1,0 +1,1 @@
+lib/core/nversion.mli: App_sig Controller

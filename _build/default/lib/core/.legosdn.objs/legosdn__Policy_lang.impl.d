@@ -1,0 +1,1 @@
+lib/core/policy_lang.ml: Buffer Controller Format Fun List Option Policy Printf String

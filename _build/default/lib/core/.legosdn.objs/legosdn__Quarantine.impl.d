@@ -1,0 +1,1 @@
+lib/core/quarantine.ml: Controller Event Hashtbl List Option Sts

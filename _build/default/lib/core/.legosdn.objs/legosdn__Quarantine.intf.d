@@ -1,0 +1,1 @@
+lib/core/quarantine.mli: App_sig Controller Event

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Controller Crashpad Delay_buffer Event List Metrics Netlog Netsim Sandbox Services Ticket Txn_engine

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: App_sig Controller Crashpad Event Metrics Netlog Netsim Sandbox Services Ticket

@@ -1,0 +1,1 @@
+lib/core/sandbox.ml: App_sig Bytes Checkpoint Command Controller List Printexc Wire

@@ -1,0 +1,1 @@
+lib/core/sandbox.mli: App_sig Checkpoint Command Controller Event

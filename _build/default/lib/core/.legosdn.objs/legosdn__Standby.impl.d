@@ -1,0 +1,1 @@
+lib/core/standby.ml: Controller List Netsim Runtime Sandbox

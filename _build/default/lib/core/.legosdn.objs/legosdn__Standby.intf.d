@@ -1,0 +1,1 @@
+lib/core/standby.mli: Controller Netsim Runtime

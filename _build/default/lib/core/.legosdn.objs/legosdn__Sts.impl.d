@@ -1,0 +1,1 @@
+lib/core/sts.ml: App_sig Controller Event List

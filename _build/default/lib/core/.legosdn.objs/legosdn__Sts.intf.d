@@ -1,0 +1,1 @@
+lib/core/sts.mli: App_sig Controller Event

@@ -1,0 +1,1 @@
+lib/core/ticket.ml: Controller Format List Option Printf

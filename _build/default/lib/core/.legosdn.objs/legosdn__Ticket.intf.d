@@ -1,0 +1,1 @@
+lib/core/ticket.mli: Controller Format

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Controller Event Format List Message Openflow Packet

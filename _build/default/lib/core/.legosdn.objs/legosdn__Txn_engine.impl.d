@@ -1,0 +1,1 @@
+lib/core/txn_engine.ml: Controller Message Openflow

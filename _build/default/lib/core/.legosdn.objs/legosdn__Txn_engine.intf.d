@@ -1,0 +1,1 @@
+lib/core/txn_engine.mli: Controller Message Openflow

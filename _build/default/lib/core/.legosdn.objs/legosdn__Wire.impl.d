@@ -1,0 +1,1 @@
+lib/core/wire.ml: Buf Bytes Codec Controller Format Int64 List Message Openflow String

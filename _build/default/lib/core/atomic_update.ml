@@ -1,0 +1,55 @@
+open Openflow
+module Checker = Invariants.Checker
+module Snapshot = Invariants.Snapshot
+
+type failure =
+  | Switch_rejected of Types.switch_id * string
+  | Invariant_broken of Checker.violation list
+
+type outcome = Committed | Rolled_back of failure
+
+let apply ?(invariants = Checker.default) ~net ~engine ~app updates =
+  (* Screen first, hypothetically, on a snapshot: newly-introduced
+     violations veto the whole batch before a single switch is touched
+     (pre-existing damage is not pinned on this update). This also works
+     with the delay-buffer engine, whose mid-transaction network state
+     would otherwise be unobservable. *)
+  let snap = Snapshot.of_net net in
+  match Checker.check_flow_mods ~invariants snap updates with
+  | _ :: _ as violations -> Rolled_back (Invariant_broken violations)
+  | [] -> (
+      let txn = engine.Txn_engine.begin_txn ~app in
+      let rejection = ref None in
+      List.iter
+        (fun (sid, fm) ->
+          if !rejection = None then
+            let replies =
+              txn.Txn_engine.apply (Controller.Command.Flow (sid, fm))
+            in
+            List.iter
+              (fun (reply : Message.t) ->
+                match reply.payload with
+                | Message.Error (_, text) when !rejection = None ->
+                    rejection := Some (Switch_rejected (sid, text))
+                | _ -> ())
+              replies)
+        updates;
+      match !rejection with
+      | Some failure ->
+          txn.Txn_engine.abort ();
+          Rolled_back failure
+      | None ->
+          txn.Txn_engine.commit ();
+          Committed)
+
+let describe = function
+  | Committed -> "committed"
+  | Rolled_back (Switch_rejected (sid, text)) ->
+      Format.asprintf "rolled back: %a rejected the update (%s)"
+        Types.pp_switch sid text
+  | Rolled_back (Invariant_broken violations) ->
+      Format.asprintf "rolled back: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+           Checker.pp_violation)
+        violations

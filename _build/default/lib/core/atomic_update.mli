@@ -1,0 +1,35 @@
+(** Atomic network updates (§3.4, after Katta et al. [19]).
+
+    A policy that spans multiple devices must be installed with
+    all-or-nothing semantics, without requiring support from the
+    application developer. This module wraps a batch of flow-mods in a
+    transaction, verifies the post-state against network invariants before
+    sealing it, and rolls everything back if any switch rejects an update
+    or an invariant breaks — resolving exactly the ambiguity the paper
+    describes ("when an application crashes after installing a few rules,
+    it is not clear whether the few rules issued were part of a larger
+    set"). *)
+
+open Openflow
+
+type failure =
+  | Switch_rejected of Types.switch_id * string
+      (** A switch answered one of the updates with an error. *)
+  | Invariant_broken of Invariants.Checker.violation list
+      (** The fully-applied update violates a network invariant. *)
+
+type outcome = Committed | Rolled_back of failure
+
+val apply :
+  ?invariants:Invariants.Checker.invariant list ->
+  net:Netsim.Net.t ->
+  engine:Txn_engine.t ->
+  app:string ->
+  (Types.switch_id * Message.flow_mod) list ->
+  outcome
+(** Apply the batch atomically: on [Committed] every flow-mod is live; on
+    [Rolled_back] none is (the network is byte-identical to before).
+    Invariants are checked on the applied state just before commit
+    (default: {!Invariants.Checker.default}). *)
+
+val describe : outcome -> string

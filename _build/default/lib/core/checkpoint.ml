@@ -1,0 +1,50 @@
+module App_sig = Controller.App_sig
+module Event = Controller.Event
+
+type t = {
+  k : int;
+  mutable latest : bytes option;
+  mutable journal : Event.t list;  (* newest first *)
+  mutable taken : int;
+  mutable total_bytes : int;
+  mutable last_bytes : int;
+}
+
+let create ~every =
+  if every < 1 then invalid_arg "Checkpoint.create: every must be >= 1";
+  {
+    k = every;
+    latest = None;
+    journal = [];
+    taken = 0;
+    total_bytes = 0;
+    last_bytes = 0;
+  }
+
+let every t = t.k
+
+let due t =
+  match t.latest with
+  | None -> true
+  | Some _ -> List.length t.journal >= t.k
+
+let take t inst =
+  let snap = App_sig.snapshot inst in
+  t.latest <- Some snap;
+  t.journal <- [];
+  t.taken <- t.taken + 1;
+  t.last_bytes <- Bytes.length snap;
+  t.total_bytes <- t.total_bytes + Bytes.length snap
+
+let record_applied t ev = t.journal <- ev :: t.journal
+
+let restore_point t =
+  match t.latest with
+  | None -> None
+  | Some snap -> Some (snap, List.rev t.journal)
+
+let journal_length t = List.length t.journal
+
+let snapshots_taken t = t.taken
+let bytes_written t = t.total_bytes
+let last_snapshot_bytes t = t.last_bytes

@@ -1,0 +1,38 @@
+(** Application checkpoint store: the CRIU analogue.
+
+    The proxy checkpoints an application before dispatching events to it.
+    Checkpointing every event is the paper's §4.1 baseline; §5 proposes
+    checkpointing every k events and replaying the journal on recovery —
+    both supported here via [every]. *)
+
+type t
+
+val create : every:int -> t
+(** [every] = k: a new snapshot is due once k events have been applied since
+    the last one (k = 1 reproduces checkpoint-before-every-event).
+    Raises [Invalid_argument] if [k < 1]. *)
+
+val every : t -> int
+
+val due : t -> bool
+(** Is a snapshot due before the next event? (Always true before the first
+    event.) *)
+
+val take : t -> Controller.App_sig.instance -> unit
+(** Snapshot the instance's state now and clear the replay journal. *)
+
+val record_applied : t -> Controller.Event.t -> unit
+(** Note that the application successfully processed this event after the
+    last snapshot; it becomes part of the replay journal. *)
+
+val restore_point : t -> (bytes * Controller.Event.t list) option
+(** The latest snapshot and the journal of events applied since (oldest
+    first); [None] before any snapshot was taken. *)
+
+val journal_length : t -> int
+
+val snapshots_taken : t -> int
+val bytes_written : t -> int
+(** Cumulative snapshot bytes — the checkpoint overhead metric. *)
+
+val last_snapshot_bytes : t -> int

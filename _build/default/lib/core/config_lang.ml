@@ -1,0 +1,272 @@
+module Event = Controller.Event
+module Checker = Invariants.Checker
+
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* "1:2,3:4" -> [(1,2); (3,4)] *)
+let parse_pairs s =
+  try
+    Ok
+      (String.split_on_char ',' s
+      |> List.map (fun pair ->
+             match String.split_on_char ':' pair with
+             | [ a; b ] -> (int_of_string a, int_of_string b)
+             | _ -> failwith "pair"))
+  with _ -> Error (Printf.sprintf "cannot parse host pairs %S" s)
+
+(* "1,2|3,4" -> ([1;2], [3;4]) *)
+let parse_groups s =
+  try
+    match String.split_on_char '|' s with
+    | [ a; b ] ->
+        let ints x =
+          String.split_on_char ',' x |> List.map int_of_string
+        in
+        Ok (ints a, ints b)
+    | _ -> failwith "groups"
+  with _ -> Error (Printf.sprintf "cannot parse host groups %S" s)
+
+let kind_of_name name =
+  List.find_opt (fun k -> Event.kind_name k = name) Event.all_kinds
+
+(* Mutable accumulation while scanning the file. *)
+type builder = {
+  mutable checkpoint_every : int;
+  mutable engine : Runtime.engine_kind;
+  mutable quarantine_threshold : int option;
+  mutable timing : Detector.timing;
+  mutable limits : Resources.limits;
+  mutable invariants : Checker.invariant list option;
+      (* None = never touched, keep defaults *)
+  mutable rules : Policy.rule list;  (* reverse order *)
+  mutable default : Policy.compromise option;
+}
+
+let fresh_builder () =
+  {
+    checkpoint_every = Runtime.default_config.Runtime.checkpoint_every;
+    engine = Runtime.default_config.Runtime.engine;
+    quarantine_threshold = None;
+    timing = Detector.default_timing;
+    limits = Resources.unlimited;
+    invariants = None;
+    rules = [];
+    default = None;
+  }
+
+let add_invariant b inv =
+  b.invariants <- Some (Option.value b.invariants ~default:[] @ [ inv ])
+
+let directive b lineno toks =
+  let err message = Error { line = lineno; message } in
+  let lift message = function Ok v -> Ok v | Error _ -> err message in
+  ignore lift;
+  match toks with
+  | [] -> Ok ()
+  | [ "checkpoint"; "every"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 ->
+          b.checkpoint_every <- k;
+          Ok ()
+      | _ -> err (Printf.sprintf "bad checkpoint cadence %S" k))
+  | [ "engine"; "netlog" ] ->
+      b.engine <- Runtime.Netlog_engine;
+      Ok ()
+  | [ "engine"; "delay-buffer" ] ->
+      b.engine <- Runtime.Delay_buffer_engine;
+      Ok ()
+  | [ "quarantine"; "threshold"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+          b.quarantine_threshold <- Some n;
+          Ok ()
+      | _ -> err (Printf.sprintf "bad quarantine threshold %S" n))
+  | [ "heartbeat"; "interval"; i; "misses"; m ] -> (
+      match (float_of_string_opt i, int_of_string_opt m) with
+      | Some interval, Some misses when interval > 0. && misses >= 1 ->
+          b.timing <-
+            {
+              b.timing with
+              Detector.heartbeat_interval = interval;
+              heartbeat_misses = misses;
+            };
+          Ok ()
+      | _ -> err "bad heartbeat directive")
+  | [ "rpc"; "timeout"; t ] -> (
+      match float_of_string_opt t with
+      | Some timeout when timeout > 0. ->
+          b.timing <- { b.timing with Detector.rpc_timeout = timeout };
+          Ok ()
+      | _ -> err (Printf.sprintf "bad rpc timeout %S" t))
+  | [ "limit"; "state-bytes"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+          b.limits <- { b.limits with Resources.max_state_bytes = Some n };
+          Ok ()
+      | _ -> err (Printf.sprintf "bad state-bytes limit %S" n))
+  | [ "limit"; "commands-per-event"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+          b.limits <-
+            { b.limits with Resources.max_commands_per_event = Some n };
+          Ok ()
+      | _ -> err (Printf.sprintf "bad commands-per-event limit %S" n))
+  | [ "invariant"; "loop-freedom" ] ->
+      add_invariant b Checker.Loop_freedom;
+      Ok ()
+  | [ "invariant"; "black-hole-freedom" ] ->
+      add_invariant b Checker.Black_hole_freedom;
+      Ok ()
+  | [ "invariant"; "no-drop-all" ] ->
+      add_invariant b Checker.No_drop_all;
+      Ok ()
+  | [ "invariant"; "reachability"; pairs ] -> (
+      match parse_pairs pairs with
+      | Ok pairs ->
+          add_invariant b (Checker.Pairwise_reachability pairs);
+          Ok ()
+      | Error m -> err m)
+  | [ "invariant"; "isolation"; groups ] -> (
+      match parse_groups groups with
+      | Ok (group_a, group_b) ->
+          add_invariant b (Checker.Isolation { group_a; group_b });
+          Ok ()
+      | Error m -> err m)
+  | [ "invariant"; "waypoint"; "via"; sid; "pairs"; pairs ] -> (
+      match (int_of_string_opt sid, parse_pairs pairs) with
+      | Some via, Ok pairs ->
+          add_invariant b (Checker.Waypoint { pairs; via });
+          Ok ()
+      | None, _ -> err (Printf.sprintf "bad waypoint switch %S" sid)
+      | _, Error m -> err m)
+  | [ "app"; a; "event"; k; "=>"; c ] -> (
+      match Policy.compromise_of_name c with
+      | None -> err (Printf.sprintf "unknown compromise %S" c)
+      | Some action -> (
+          let app = if a = "*" then None else Some a in
+          match
+            if k = "*" then Ok None
+            else
+              match kind_of_name k with
+              | Some kind -> Ok (Some kind)
+              | None -> Error (Printf.sprintf "unknown event kind %S" k)
+          with
+          | Error m -> err m
+          | Ok kind ->
+              b.rules <- { Policy.app; kind; action } :: b.rules;
+              Ok ()))
+  | [ "default"; "=>"; c ] -> (
+      match Policy.compromise_of_name c with
+      | None -> err (Printf.sprintf "unknown compromise %S" c)
+      | Some action ->
+          if b.default <> None then err "duplicate default directive"
+          else begin
+            b.default <- Some action;
+            Ok ()
+          end)
+  | _ ->
+      err
+        (Printf.sprintf "cannot parse directive %S"
+           (String.concat " " toks))
+
+let parse text =
+  let b = fresh_builder () in
+  let lines = String.split_on_char '\n' text in
+  let rec scan lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match directive b lineno (tokens line) with
+        | Ok () -> scan (lineno + 1) rest
+        | Error e -> Error e)
+  in
+  match scan 1 lines with
+  | Error e -> Error e
+  | Ok () ->
+      Ok
+        {
+          Runtime.checkpoint_every = b.checkpoint_every;
+          engine = b.engine;
+          crashpad =
+            {
+              Crashpad.policy =
+                Policy.make ?default:b.default (List.rev b.rules);
+              invariants =
+                Option.value b.invariants ~default:Checker.default;
+              timing = b.timing;
+              limits = b.limits;
+              quarantine =
+                Option.map
+                  (fun threshold -> Quarantine.create ~threshold ())
+                  b.quarantine_threshold;
+            };
+        }
+
+let parse_exn text =
+  match parse text with
+  | Ok c -> c
+  | Error e -> failwith (Format.asprintf "config: %a" pp_error e)
+
+let print (config : Runtime.config) =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "checkpoint every %d" config.Runtime.checkpoint_every;
+  line "engine %s"
+    (match config.Runtime.engine with
+    | Runtime.Netlog_engine -> "netlog"
+    | Runtime.Delay_buffer_engine -> "delay-buffer");
+  let cp = config.Runtime.crashpad in
+  (match cp.Crashpad.quarantine with
+  | Some q -> line "quarantine threshold %d" (Quarantine.threshold q)
+  | None -> ());
+  line "heartbeat interval %g misses %d"
+    cp.Crashpad.timing.Detector.heartbeat_interval
+    cp.Crashpad.timing.Detector.heartbeat_misses;
+  line "rpc timeout %g" cp.Crashpad.timing.Detector.rpc_timeout;
+  (match cp.Crashpad.limits.Resources.max_state_bytes with
+  | Some n -> line "limit state-bytes %d" n
+  | None -> ());
+  (match cp.Crashpad.limits.Resources.max_commands_per_event with
+  | Some n -> line "limit commands-per-event %d" n
+  | None -> ());
+  let pairs_str pairs =
+    String.concat ","
+      (List.map (fun (a, c) -> Printf.sprintf "%d:%d" a c) pairs)
+  in
+  List.iter
+    (function
+      | Checker.Loop_freedom -> line "invariant loop-freedom"
+      | Checker.Black_hole_freedom -> line "invariant black-hole-freedom"
+      | Checker.No_drop_all -> line "invariant no-drop-all"
+      | Checker.Pairwise_reachability pairs ->
+          line "invariant reachability %s" (pairs_str pairs)
+      | Checker.Isolation { group_a; group_b } ->
+          line "invariant isolation %s|%s"
+            (String.concat "," (List.map string_of_int group_a))
+            (String.concat "," (List.map string_of_int group_b))
+      | Checker.Waypoint { pairs; via } ->
+          line "invariant waypoint via %d pairs %s" via (pairs_str pairs))
+    cp.Crashpad.invariants;
+  List.iter
+    (fun (r : Policy.rule) ->
+      line "app %s event %s => %s"
+        (Option.value r.Policy.app ~default:"*")
+        (match r.Policy.kind with
+        | None -> "*"
+        | Some k -> Event.kind_name k)
+        (Policy.compromise_name r.Policy.action))
+    (Policy.rules cp.Crashpad.policy);
+  line "default => %s"
+    (Policy.compromise_name (Policy.default_action cp.Crashpad.policy));
+  Buffer.contents b

@@ -1,0 +1,52 @@
+open Openflow
+
+type key = Types.switch_id * Ofp_match.t * int
+
+type t = (key, int * int) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let credit t sid pattern ~priority ~packets ~bytes =
+  let key = (sid, pattern, priority) in
+  let p0, b0 = Option.value (Hashtbl.find_opt t key) ~default:(0, 0) in
+  Hashtbl.replace t key (p0 + packets, b0 + bytes)
+
+let base t sid pattern ~priority =
+  Option.value (Hashtbl.find_opt t (sid, pattern, priority)) ~default:(0, 0)
+
+let adjust_reply t sid ~request reply =
+  match reply with
+  | Message.Flow_stats_reply stats ->
+      Message.Flow_stats_reply
+        (List.map
+           (fun (fs : Message.flow_stat) ->
+             let p, b = base t sid fs.fs_pattern ~priority:fs.fs_priority in
+             {
+               fs with
+               fs_packet_count = fs.fs_packet_count + p;
+               fs_byte_count = fs.fs_byte_count + b;
+             })
+           stats)
+  | Message.Aggregate_stats_reply agg ->
+      let pattern =
+        match request with
+        | Message.Aggregate_stats_request m | Message.Flow_stats_request m -> m
+        | Message.Port_stats_request _ | Message.Description_request ->
+            Ofp_match.any
+      in
+      let extra_p, extra_b =
+        Hashtbl.fold
+          (fun (s, m, _prio) (p, b) (ap, ab) ->
+            if s = sid && Ofp_match.subsumes pattern m then (ap + p, ab + b)
+            else (ap, ab))
+          t (0, 0)
+      in
+      Message.Aggregate_stats_reply
+        {
+          packets = agg.packets + extra_p;
+          bytes = agg.bytes + extra_b;
+          flows = agg.flows;
+        }
+  | Message.Port_stats_reply _ | Message.Description_reply _ -> reply
+
+let entries t = Hashtbl.length t

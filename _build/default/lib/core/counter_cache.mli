@@ -1,0 +1,41 @@
+(** NetLog's counter-cache (§3.2).
+
+    OpenFlow cannot install a flow with non-zero counters, so when NetLog
+    restores a deleted flow it re-adds it with zeroed counters and banks the
+    old values here; statistics replies that pass through NetLog are then
+    corrected by adding the banked base back, so applications never observe
+    the counter reset. *)
+
+open Openflow
+
+type t
+
+val create : unit -> t
+
+val credit :
+  t ->
+  Types.switch_id ->
+  Ofp_match.t ->
+  priority:int ->
+  packets:int ->
+  bytes:int ->
+  unit
+(** Bank counters for a rule identity (accumulates across repeated
+    restores). *)
+
+val base : t -> Types.switch_id -> Ofp_match.t -> priority:int -> int * int
+(** Banked (packets, bytes) for the rule; (0, 0) if never credited. *)
+
+val adjust_reply :
+  t ->
+  Types.switch_id ->
+  request:Message.stats_request ->
+  Message.stats_reply ->
+  Message.stats_reply
+(** Correct a statistics reply from the given switch: per-flow stats get
+    their banked base added; aggregate stats get the sum of the bases of
+    rules subsumed by the request pattern. Port and description replies are
+    returned unchanged. *)
+
+val entries : t -> int
+(** Number of banked rule identities. *)

@@ -1,0 +1,204 @@
+open Openflow
+open Controller
+
+type config = {
+  policy : Policy.t;
+  invariants : Invariants.Checker.invariant list;
+  timing : Detector.timing;
+  limits : Resources.limits;
+  quarantine : Quarantine.t option;
+}
+
+let default_config =
+  {
+    policy = Policy.uniform Policy.Equivalence;
+    invariants = Invariants.Checker.default;
+    timing = Detector.default_timing;
+    limits = Resources.unlimited;
+    quarantine = None;
+  }
+
+type deps = {
+  engine : Txn_engine.t;
+  net : Netsim.Net.t;
+  context : unit -> App_sig.context;
+  links_of : Types.switch_id -> Event.link list;
+  metrics : Metrics.t;
+  tickets : Ticket.store;
+  now : unit -> float;
+  enqueue_reply : string -> Event.t -> unit;
+}
+
+let file_ticket deps sandbox ~event ~diagnosis ~resolution ~rolled_back =
+  ignore
+    (Ticket.file deps.tickets ~now:(deps.now ()) ~app:(Sandbox.name sandbox)
+       ~event ~diagnosis ~resolution ~rolled_back_ops:rolled_back ())
+
+let count_failure deps = function
+  | Detector.Fail_stop _ -> Metrics.incr_crash deps.metrics
+  | Detector.Hang -> Metrics.incr_hang deps.metrics
+  | Detector.Byzantine _ -> Metrics.incr_byzantine deps.metrics
+
+(* Reply events (statistics) produced while applying commands go back to the
+   issuing application as ordinary events. *)
+let route_replies deps sandbox sid replies =
+  List.iter
+    (fun (reply : Message.t) ->
+      match reply.payload with
+      | Message.Stats_reply sr ->
+          deps.enqueue_reply (Sandbox.name sandbox)
+            (Event.Stats_reply (sid, reply.xid, sr))
+      | Message.Flow_removed fr ->
+          deps.enqueue_reply (Sandbox.name sandbox) (Event.Flow_removed (sid, fr))
+      | _ -> ())
+    replies
+
+let switch_of_command = function
+  | Command.Flow (sid, _) | Command.Packet (sid, _) | Command.Port (sid, _)
+  | Command.Stats (sid, _) ->
+      Some sid
+  | Command.Log _ -> None
+
+(* Deliver one event inside a fresh transaction. Returns [Ok ()] on commit,
+   [Error (failure, rolled_back)] after an abort. The sandbox state has
+   already been repaired (restore + replay) when [Error] is returned. *)
+let attempt config deps sandbox event : (unit, Detector.failure * int) result =
+  Sandbox.prepare sandbox;
+  let txn = deps.engine.Txn_engine.begin_txn ~app:(Sandbox.name sandbox) in
+  let fail_and_recover failure ~partial =
+    (* Partial output escaped before the crash: it reached the network, so
+       it must be in the transaction to be rolled back with it. *)
+    List.iter (fun cmd -> ignore (txn.Txn_engine.apply cmd)) partial;
+    let rolled_back = List.length (txn.Txn_engine.issued ()) in
+    txn.Txn_engine.abort ();
+    count_failure deps failure;
+    Metrics.add_app_downtime deps.metrics ~app:(Sandbox.name sandbox)
+      (Detector.detection_delay config.timing failure);
+    let recovery = Sandbox.recover sandbox (deps.context ()) in
+    Metrics.incr_replayed deps.metrics recovery.Sandbox.replayed;
+    Metrics.incr_dropped_in_replay deps.metrics
+      recovery.Sandbox.dropped_in_replay;
+    Error (failure, rolled_back)
+  in
+  match Sandbox.deliver sandbox (deps.context ()) event with
+  | Sandbox.Done commands -> (
+      (* Screen before commit: resource limits, then byzantine output. *)
+      let breaches =
+        Resources.check config.limits
+          ~state_bytes:(Sandbox.state_size sandbox)
+          ~commands_emitted:(List.length commands)
+      in
+      if breaches <> [] then begin
+        txn.Txn_engine.abort ();
+        Sandbox.revert_last sandbox;
+        Metrics.incr_resource_breach deps.metrics;
+        file_ticket deps sandbox ~event
+          ~diagnosis:
+            (String.concat "; " (List.map Resources.describe breaches))
+          ~resolution:Ticket.Blocked ~rolled_back:0;
+        (* Contain the rogue app: restart it with fresh state. *)
+        Sandbox.reboot sandbox;
+        Sandbox.checkpoint_now sandbox;
+        Ok ()
+      end
+      else
+        match
+          Detector.check_byzantine ~invariants:config.invariants deps.net
+            commands
+        with
+        | Some failure ->
+            txn.Txn_engine.abort ();
+            Sandbox.revert_last sandbox;
+            count_failure deps failure;
+            Error (failure, 0)
+        | None ->
+            List.iter
+              (fun cmd ->
+                let replies = txn.Txn_engine.apply cmd in
+                match switch_of_command cmd with
+                | Some sid -> route_replies deps sandbox sid replies
+                | None -> ())
+              commands;
+            txn.Txn_engine.commit ();
+            Sandbox.confirm sandbox event;
+            Ok ())
+  | Sandbox.Crashed { partial; detail } ->
+      fail_and_recover (Detector.Fail_stop { detail; partial }) ~partial
+  | Sandbox.Hung -> fail_and_recover Detector.Hang ~partial:[]
+
+(* Try the equivalence alternatives in order; an alternative succeeds when
+   every event in its sequence commits. No second-level transformation: a
+   crash inside an alternative falls through to the next one. *)
+let rec try_alternatives config deps sandbox = function
+  | [] -> None
+  | alternative :: rest ->
+      let ok =
+        List.for_all
+          (fun ev ->
+            match attempt config deps sandbox ev with
+            | Ok () -> true
+            | Error _ -> false)
+          alternative
+      in
+      if ok then Some alternative
+      else try_alternatives config deps sandbox rest
+
+let apply_policy config deps sandbox event failure ~rolled_back =
+  let diagnosis = Detector.describe failure in
+  let compromise =
+    Policy.decide config.policy ~app:(Sandbox.name sandbox)
+      (Event.kind_of event)
+  in
+  match compromise with
+  | Policy.No_compromise ->
+      Sandbox.disable sandbox;
+      Metrics.incr_disabled deps.metrics;
+      Metrics.mark_app_down_from deps.metrics ~app:(Sandbox.name sandbox)
+        (deps.now ());
+      file_ticket deps sandbox ~event ~diagnosis ~resolution:Ticket.Disabled
+        ~rolled_back
+  | Policy.Absolute ->
+      Metrics.incr_ignored deps.metrics;
+      file_ticket deps sandbox ~event ~diagnosis ~resolution:Ticket.Ignored
+        ~rolled_back
+  | Policy.Equivalence -> (
+      let alternatives = Transform.equivalents ~links_of:deps.links_of event in
+      match try_alternatives config deps sandbox alternatives with
+      | Some alternative ->
+          Metrics.incr_transformed deps.metrics;
+          file_ticket deps sandbox ~event ~diagnosis
+            ~resolution:(Ticket.Transformed (Transform.describe alternative))
+            ~rolled_back
+      | None ->
+          (* No equivalent worked: fall back to ignoring the event. *)
+          Metrics.incr_ignored deps.metrics;
+          file_ticket deps sandbox ~event ~diagnosis ~resolution:Ticket.Ignored
+            ~rolled_back)
+
+let quarantine_blocked config deps sandbox event =
+  match config.quarantine with
+  | None -> false
+  | Some q ->
+      let hit = Quarantine.blocked q ~app:(Sandbox.name sandbox) event in
+      if hit then Metrics.incr_suppressed deps.metrics;
+      hit
+
+let note_quarantine config deps sandbox event =
+  match config.quarantine with
+  | None -> ()
+  | Some q -> (
+      match Quarantine.note_failure q ~app:(Sandbox.name sandbox) event with
+      | `Quarantined -> Metrics.incr_quarantined deps.metrics
+      | `Recorded -> ())
+
+let dispatch config deps sandbox event =
+  if
+    Sandbox.alive sandbox
+    && Sandbox.subscribes_to sandbox (Event.kind_of event)
+    && not (quarantine_blocked config deps sandbox event)
+  then
+    match attempt config deps sandbox event with
+    | Ok () -> ()
+    | Error (failure, rolled_back) ->
+        note_quarantine config deps sandbox event;
+        apply_policy config deps sandbox event failure ~rolled_back

@@ -1,0 +1,49 @@
+(** Crash-Pad: the fault-tolerance layer built on AppVisor and NetLog
+    (§3.3).
+
+    For every (application, event) delivery, Crash-Pad:
+    + checkpoints the application if one is due,
+    + opens a transaction,
+    + delivers the event through the sandbox,
+    + screens successful output for byzantine failures and resource
+      breaches before committing,
+    + and on any failure: aborts (rolling the network back), restores the
+      application from its checkpoint, replays the journal, applies the
+      operator's compromise policy to the offending event (ignore /
+      transform-and-replay / leave down), and files a problem ticket. *)
+
+open Openflow
+open Controller
+
+type config = {
+  policy : Policy.t;
+  invariants : Invariants.Checker.invariant list;
+      (** Checked on every transaction's proposed flow-mods. *)
+  timing : Detector.timing;
+  limits : Resources.limits;
+  quarantine : Quarantine.t option;
+      (** When set, repeatedly-failing event signatures are blacklisted and
+          filtered before delivery (§5 multi-transaction failures). *)
+}
+
+val default_config : config
+(** Equivalence-compromise policy, default invariants, default timing, no
+    resource limits, no quarantine. *)
+
+(** What Crash-Pad needs from its host runtime. *)
+type deps = {
+  engine : Txn_engine.t;
+  net : Netsim.Net.t;
+  context : unit -> App_sig.context;
+  links_of : Types.switch_id -> Event.link list;
+  metrics : Metrics.t;
+  tickets : Ticket.store;
+  now : unit -> float;
+  enqueue_reply : string -> Event.t -> unit;
+      (** Queue a synchronous-reply event (statistics) for later dispatch
+          to the named application. *)
+}
+
+val dispatch : config -> deps -> Sandbox.t -> Event.t -> unit
+(** Deliver one event to one sandboxed application with full protection.
+    Never raises on application failure — that is the contract. *)

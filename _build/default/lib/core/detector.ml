@@ -1,0 +1,55 @@
+open Controller
+module Checker = Invariants.Checker
+module Snapshot = Invariants.Snapshot
+
+type failure =
+  | Fail_stop of { detail : string; partial : Command.t list }
+  | Hang
+  | Byzantine of Checker.violation list
+
+type timing = {
+  rpc_timeout : float;
+  heartbeat_interval : float;
+  heartbeat_misses : int;
+}
+
+let default_timing =
+  { rpc_timeout = 0.05; heartbeat_interval = 0.1; heartbeat_misses = 3 }
+
+let detection_delay timing = function
+  | Fail_stop _ -> timing.rpc_timeout
+  | Hang -> timing.heartbeat_interval *. float timing.heartbeat_misses
+  | Byzantine _ -> 0.
+
+let of_verdict = function
+  | Sandbox.Done _ -> None
+  | Sandbox.Crashed { partial; detail } -> Some (Fail_stop { detail; partial })
+  | Sandbox.Hung -> Some Hang
+
+let flow_mods_of commands =
+  List.filter_map
+    (function Command.Flow (sid, fm) -> Some (sid, fm) | _ -> None)
+    commands
+
+let check_byzantine ~invariants net commands =
+  match flow_mods_of commands with
+  | [] -> None
+  | mods -> (
+      let snap = Snapshot.of_net net in
+      match Checker.check_flow_mods ~invariants snap mods with
+      | [] -> None
+      | violations -> Some (Byzantine violations))
+
+let describe = function
+  | Fail_stop { detail; partial } ->
+      if partial = [] then Printf.sprintf "fail-stop: %s" detail
+      else
+        Printf.sprintf "fail-stop: %s (%d commands already issued)" detail
+          (List.length partial)
+  | Hang -> "hang (heart-beat loss)"
+  | Byzantine violations ->
+      Format.asprintf "byzantine: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+           Checker.pp_violation)
+        violations

@@ -1,0 +1,103 @@
+type app_outage = {
+  mutable accumulated : float;
+  mutable down_since : float option;
+}
+
+type t = {
+  mutable n_events : int;
+  mutable n_crashes : int;
+  mutable n_hangs : int;
+  mutable n_byzantine : int;
+  mutable n_ignored : int;
+  mutable n_transformed : int;
+  mutable n_disabled : int;
+  mutable n_replayed : int;
+  mutable n_dropped_replay : int;
+  mutable n_resource : int;
+  mutable n_quarantined : int;
+  mutable n_suppressed : int;
+  outages : (string, app_outage) Hashtbl.t;
+}
+
+let create () =
+  {
+    n_events = 0;
+    n_crashes = 0;
+    n_hangs = 0;
+    n_byzantine = 0;
+    n_ignored = 0;
+    n_transformed = 0;
+    n_disabled = 0;
+    n_replayed = 0;
+    n_dropped_replay = 0;
+    n_resource = 0;
+    n_quarantined = 0;
+    n_suppressed = 0;
+    outages = Hashtbl.create 8;
+  }
+
+let incr_events t = t.n_events <- t.n_events + 1
+let incr_crash t = t.n_crashes <- t.n_crashes + 1
+let incr_hang t = t.n_hangs <- t.n_hangs + 1
+let incr_byzantine t = t.n_byzantine <- t.n_byzantine + 1
+let incr_ignored t = t.n_ignored <- t.n_ignored + 1
+let incr_transformed t = t.n_transformed <- t.n_transformed + 1
+let incr_disabled t = t.n_disabled <- t.n_disabled + 1
+let incr_replayed t n = t.n_replayed <- t.n_replayed + n
+let incr_dropped_in_replay t n = t.n_dropped_replay <- t.n_dropped_replay + n
+let incr_resource_breach t = t.n_resource <- t.n_resource + 1
+let incr_quarantined t = t.n_quarantined <- t.n_quarantined + 1
+let incr_suppressed t = t.n_suppressed <- t.n_suppressed + 1
+
+let events t = t.n_events
+let crashes t = t.n_crashes
+let hangs t = t.n_hangs
+let byzantine_blocked t = t.n_byzantine
+let ignored t = t.n_ignored
+let transformed t = t.n_transformed
+let disabled t = t.n_disabled
+let replayed t = t.n_replayed
+let dropped_in_replay t = t.n_dropped_replay
+let resource_breaches t = t.n_resource
+let quarantined t = t.n_quarantined
+let suppressed t = t.n_suppressed
+
+let outage t app =
+  match Hashtbl.find_opt t.outages app with
+  | Some o -> o
+  | None ->
+      let o = { accumulated = 0.; down_since = None } in
+      Hashtbl.replace t.outages app o;
+      o
+
+let add_app_downtime t ~app seconds =
+  let o = outage t app in
+  o.accumulated <- o.accumulated +. seconds
+
+let mark_app_down_from t ~app time =
+  let o = outage t app in
+  if o.down_since = None then o.down_since <- Some time
+
+let app_downtime t ~app ~until =
+  match Hashtbl.find_opt t.outages app with
+  | None -> 0.
+  | Some o ->
+      let open_ended =
+        match o.down_since with
+        | Some since when until > since -> until -. since
+        | Some _ | None -> 0.
+      in
+      o.accumulated +. open_ended
+
+let availability t ~app ~until =
+  if until <= 0. then 1.
+  else
+    let down = min (app_downtime t ~app ~until) until in
+    1. -. (down /. until)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@]"
+    t.n_events t.n_crashes t.n_hangs t.n_byzantine t.n_ignored t.n_transformed
+    t.n_disabled t.n_replayed t.n_dropped_replay t.n_resource t.n_quarantined
+    t.n_suppressed

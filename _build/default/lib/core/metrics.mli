@@ -1,0 +1,58 @@
+(** Availability and recovery accounting for the LegoSDN runtime.
+
+    Virtual-time bookkeeping: how long was the controller up, how long was
+    each application usable, how many failures were subverted and by which
+    compromise. The availability experiment (E7) reads these. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr_events : t -> unit
+val incr_crash : t -> unit
+val incr_hang : t -> unit
+val incr_byzantine : t -> unit
+val incr_ignored : t -> unit
+val incr_transformed : t -> unit
+val incr_disabled : t -> unit
+val incr_replayed : t -> int -> unit
+val incr_dropped_in_replay : t -> int -> unit
+val incr_resource_breach : t -> unit
+val incr_quarantined : t -> unit
+val incr_suppressed : t -> unit
+
+val events : t -> int
+val crashes : t -> int
+val hangs : t -> int
+val byzantine_blocked : t -> int
+val ignored : t -> int
+val transformed : t -> int
+val disabled : t -> int
+val replayed : t -> int
+val dropped_in_replay : t -> int
+val resource_breaches : t -> int
+
+val quarantined : t -> int
+(** Event signatures blacklisted after repeated failures (§5). *)
+
+val suppressed : t -> int
+(** Deliveries filtered out because their signature is quarantined. *)
+
+(** {1 Per-app downtime} *)
+
+val add_app_downtime : t -> app:string -> float -> unit
+(** Charge [seconds] of virtual unavailability to an application (detection
+    delay + recovery work). *)
+
+val mark_app_down_from : t -> app:string -> float -> unit
+(** The app went down for good at this time (No-Compromise outcome). *)
+
+val app_downtime : t -> app:string -> until:float -> float
+(** Total downtime up to [until], including an open-ended outage. *)
+
+val availability : t -> app:string -> until:float -> float
+(** [1 - downtime/until]; 1.0 for an app never charged. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** NetLog: network-wide transactions with inverse-based rollback (§3.2).
+
+    Every state-altering control message is invertible: NetLog captures the
+    pre-state a command is about to destroy (the rule an add replaces, the
+    rules a modify rewrites, the rules a delete removes — including their
+    timeouts and counters) and can therefore undo the whole transaction in
+    reverse order. Counter values that OpenFlow cannot re-install are banked
+    in a {!Counter_cache} and re-injected into statistics replies.
+
+    Commands are applied to the network eagerly, so the data plane sees
+    updates at full speed; an abort walks the undo log. *)
+
+open Openflow
+
+type t
+
+val create : Netsim.Net.t -> t
+
+val net : t -> Netsim.Net.t
+val cache : t -> Counter_cache.t
+
+(** Lifetime statistics. *)
+val committed : t -> int
+val aborted : t -> int
+val ops_applied : t -> int
+val ops_rolled_back : t -> int
+
+type txn
+
+val begin_txn : t -> app:string -> txn
+
+val apply : t -> txn -> Controller.Command.t -> Message.t list
+(** Execute one command inside the transaction, recording its inverse.
+    Statistics replies are counter-cache corrected. Raises
+    [Invalid_argument] on a closed transaction. *)
+
+val commit : t -> txn -> unit
+(** Seal the transaction; its effects stand. *)
+
+val abort : t -> txn -> unit
+(** Undo every applied command, newest first: rules the transaction added
+    are removed; rules it removed are restored with their remaining
+    timeouts, their counters banked in the cache; rewritten action lists
+    are rewritten back. *)
+
+val issued : txn -> Controller.Command.t list
+(** Commands applied so far, oldest first. *)
+
+val engine : t -> Txn_engine.t

@@ -1,0 +1,124 @@
+open Controller
+
+type 'a outcome =
+  | Voted of 'a * Command.t list
+  | Abstained of 'a  (* not subscribed to this event *)
+  | Dead of 'a  (* crashed on this event; state unchanged *)
+
+let run (type s) (module A : App_sig.APP with type state = s) ctx (st : s) ev =
+  if not (List.mem (Event.kind_of ev) A.subscriptions) then Abstained st
+  else
+    match A.handle ctx st ev with
+    | st', commands -> Voted (st', commands)
+    | exception _ -> Dead st
+
+let union_subscriptions lists =
+  List.sort_uniq compare (List.concat lists)
+
+(* Majority vote over the command lists of live voters. *)
+let elect votes =
+  let grouped =
+    List.fold_left
+      (fun acc cmds ->
+        match List.assoc_opt cmds acc with
+        | Some n -> (cmds, n + 1) :: List.remove_assoc cmds acc
+        | None -> (cmds, 1) :: acc)
+      [] votes
+  in
+  match List.sort (fun (_, a) (_, b) -> compare b a) grouped with
+  | (winner, n) :: _ when n >= 2 -> Some winner
+  | _ -> None
+
+module Make3 (A : App_sig.APP) (B : App_sig.APP) (C : App_sig.APP) :
+  App_sig.APP = struct
+  type state = { a : A.state; b : B.state; c : C.state }
+
+  let name = Printf.sprintf "nversion(%s|%s|%s)" A.name B.name C.name
+
+  let subscriptions =
+    union_subscriptions [ A.subscriptions; B.subscriptions; C.subscriptions ]
+
+  let init () = { a = A.init (); b = B.init (); c = C.init () }
+
+  let handle ctx st ev =
+    let ra = run (module A) ctx st.a ev in
+    let rb = run (module B) ctx st.b ev in
+    let rc = run (module C) ctx st.c ev in
+    let state' =
+      {
+        a = (match ra with Voted (s, _) | Abstained s | Dead s -> s);
+        b = (match rb with Voted (s, _) | Abstained s | Dead s -> s);
+        c = (match rc with Voted (s, _) | Abstained s | Dead s -> s);
+      }
+    in
+    let vote_of : type s. s outcome -> Command.t list option = function
+      | Voted (_, cmds) -> Some cmds
+      | Abstained _ | Dead _ -> None
+    in
+    let dead_of : type s. s outcome -> bool = function
+      | Dead _ -> true
+      | Voted _ | Abstained _ -> false
+    in
+    let abstained_of : type s. s outcome -> bool = function
+      | Abstained _ -> true
+      | Voted _ | Dead _ -> false
+    in
+    let votes =
+      List.filter_map Fun.id [ vote_of ra; vote_of rb; vote_of rc ]
+    in
+    let count flags = List.length (List.filter Fun.id flags) in
+    let dead = count [ dead_of ra; dead_of rb; dead_of rc ] in
+    let abstained =
+      count [ abstained_of ra; abstained_of rb; abstained_of rc ]
+    in
+    if votes = [] && abstained < 3 then
+      failwith (name ^ ": every version crashed on this event")
+    else
+      let commands =
+        match elect votes with
+        | Some winner ->
+            if List.exists (fun v -> not (v = winner)) votes then
+              winner @ [ Command.Log (name ^ ": outvoted a divergent version") ]
+            else winner
+        | None -> (
+            match votes with
+            | first :: _ ->
+                first @ [ Command.Log (name ^ ": no majority; using first live version") ]
+            | [] -> [])
+      in
+      let commands =
+        if dead > 0 then
+          commands @ [ Command.Log (Printf.sprintf "%s: %d version(s) crashed" name dead) ]
+        else commands
+      in
+      (state', commands)
+end
+
+module Make2 (A : App_sig.APP) (B : App_sig.APP) : App_sig.APP = struct
+  type state = { a : A.state; b : B.state }
+
+  let name = Printf.sprintf "nversion(%s|%s)" A.name B.name
+
+  let subscriptions = union_subscriptions [ A.subscriptions; B.subscriptions ]
+
+  let init () = { a = A.init (); b = B.init () }
+
+  let handle ctx st ev =
+    let ra = run (module A) ctx st.a ev in
+    let rb = run (module B) ctx st.b ev in
+    let state' =
+      {
+        a = (match ra with Voted (s, _) | Abstained s | Dead s -> s);
+        b = (match rb with Voted (s, _) | Abstained s | Dead s -> s);
+      }
+    in
+    match (ra, rb) with
+    | Voted (_, ca), Voted (_, cb) ->
+        if ca = cb then (state', ca)
+        else (state', ca @ [ Command.Log (name ^ ": versions diverged") ])
+    | Voted (_, ca), (Dead _ | Abstained _) -> (state', ca)
+    | (Dead _ | Abstained _), Voted (_, cb) -> (state', cb)
+    | Abstained _, Abstained _ -> (state', [])
+    | Dead _, (Dead _ | Abstained _) | Abstained _, Dead _ ->
+        failwith (name ^ ": every version crashed on this event")
+end

@@ -1,0 +1,22 @@
+(** Software and data diversity (§3.4): run independently developed
+    versions of the same application side by side and emit the
+    majority-vote output.
+
+    The combinators produce an ordinary {!Controller.App_sig.APP}, so a
+    diversity bundle drops into any runtime — monolithic or LegoSDN —
+    unchanged. A variant that crashes on an event simply loses its vote
+    (its state is untouched); a byzantine variant is out-voted. *)
+
+open Controller
+
+module Make2 (A : App_sig.APP) (B : App_sig.APP) : App_sig.APP
+(** Two-version comparison: outputs are used only when both versions agree;
+    disagreement emits version A's output plus a [Log] command flagging the
+    divergence (there is no majority with two voters). *)
+
+module Make3 (A : App_sig.APP) (B : App_sig.APP) (C : App_sig.APP) :
+  App_sig.APP
+(** Three-version majority voting: the command list emitted by at least two
+    live versions wins; with no majority, the first live version's output
+    is used and the divergence is logged. If every version crashes, the
+    bundle crashes (there is nothing left to vote). *)

@@ -1,0 +1,50 @@
+module Event = Controller.Event
+
+type compromise = No_compromise | Absolute | Equivalence
+
+type rule = {
+  app : string option;
+  kind : Event.kind option;
+  action : compromise;
+}
+
+type t = { rule_list : rule list; default : compromise }
+
+let make ?(default = Equivalence) rule_list = { rule_list; default }
+
+let rules t = t.rule_list
+let default_action t = t.default
+
+let rule_matches ~app ~kind rule =
+  (match rule.app with None -> true | Some a -> a = app)
+  && match rule.kind with None -> true | Some k -> k = kind
+
+let decide t ~app kind =
+  match List.find_opt (rule_matches ~app ~kind) t.rule_list with
+  | Some rule -> rule.action
+  | None -> t.default
+
+let uniform compromise = make ~default:compromise []
+
+let compromise_name = function
+  | No_compromise -> "no-compromise"
+  | Absolute -> "absolute"
+  | Equivalence -> "equivalence"
+
+let compromise_of_name = function
+  | "no-compromise" -> Some No_compromise
+  | "absolute" -> Some Absolute
+  | "equivalence" -> Some Equivalence
+  | _ -> None
+
+let equal a b = a = b
+
+let pp_rule fmt rule =
+  Format.fprintf fmt "app %s event %s => %s"
+    (Option.value rule.app ~default:"*")
+    (match rule.kind with None -> "*" | Some k -> Event.kind_name k)
+    (compromise_name rule.action)
+
+let pp fmt t =
+  List.iter (fun rule -> Format.fprintf fmt "%a@." pp_rule rule) t.rule_list;
+  Format.fprintf fmt "default => %s" (compromise_name t.default)

@@ -1,0 +1,40 @@
+(** Operator compromise policies (§3.3 "How much correctness to
+    compromise?").
+
+    A policy maps (application, event kind) to one of the paper's three
+    compromises. Rules are evaluated first-match-wins; a default applies
+    when nothing matches. *)
+
+type compromise =
+  | No_compromise
+      (** Let the application stay down: correctness over availability. *)
+  | Absolute
+      (** Ignore the offending event: the app becomes failure-oblivious. *)
+  | Equivalence
+      (** Replay a transformed, equivalent event (see {!Transform}). *)
+
+type rule = {
+  app : string option;  (** [None] matches any application. *)
+  kind : Controller.Event.kind option;  (** [None] matches any event. *)
+  action : compromise;
+}
+
+type t
+
+val make : ?default:compromise -> rule list -> t
+(** Default default is [Equivalence] — try hardest to keep both availability
+    and fidelity. *)
+
+val rules : t -> rule list
+val default_action : t -> compromise
+
+val decide : t -> app:string -> Controller.Event.kind -> compromise
+
+val uniform : compromise -> t
+(** The policy that always answers the same thing. *)
+
+val compromise_name : compromise -> string
+val compromise_of_name : string -> compromise option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+module Event = Controller.Event
+
+type error = { line : int; message : string }
+
+let kind_of_name name =
+  List.find_opt (fun k -> Event.kind_name k = name) Event.all_kinds
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_compromise lineno word =
+  match Policy.compromise_of_name word with
+  | Some c -> Ok c
+  | None ->
+      Error { line = lineno; message = Printf.sprintf "unknown compromise %S" word }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno rules default = function
+    | [] -> Ok (Policy.make ?default:(Option.map Fun.id default) (List.rev rules))
+    | line :: rest -> (
+        match tokens line with
+        | [] -> go (lineno + 1) rules default rest
+        | [ "default"; "=>"; c ] -> (
+            match parse_compromise lineno c with
+            | Error e -> Error e
+            | Ok c ->
+                if default <> None then
+                  Error { line = lineno; message = "duplicate default directive" }
+                else go (lineno + 1) rules (Some c) rest)
+        | [ "app"; a; "event"; k; "=>"; c ] -> (
+            match parse_compromise lineno c with
+            | Error e -> Error e
+            | Ok action -> (
+                let app = if a = "*" then None else Some a in
+                match if k = "*" then Ok None else
+                  (match kind_of_name k with
+                  | Some kind -> Ok (Some kind)
+                  | None ->
+                      Error
+                        { line = lineno; message = Printf.sprintf "unknown event kind %S" k })
+                with
+                | Error e -> Error e
+                | Ok kind ->
+                    go (lineno + 1)
+                      ({ Policy.app; kind; action } :: rules)
+                      default rest))
+        | _ ->
+            Error
+              {
+                line = lineno;
+                message =
+                  Printf.sprintf "cannot parse directive %S" (String.trim line);
+              })
+  in
+  go 1 [] None lines
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+let parse_exn text =
+  match parse text with
+  | Ok p -> p
+  | Error e -> failwith (Format.asprintf "policy: %a" pp_error e)
+
+let print policy =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun (r : Policy.rule) ->
+      Buffer.add_string b
+        (Printf.sprintf "app %s event %s => %s\n"
+           (Option.value r.app ~default:"*")
+           (match r.kind with None -> "*" | Some k -> Event.kind_name k)
+           (Policy.compromise_name r.action)))
+    (Policy.rules policy);
+  Buffer.add_string b
+    (Printf.sprintf "default => %s\n"
+       (Policy.compromise_name (Policy.default_action policy)));
+  Buffer.contents b

@@ -1,0 +1,25 @@
+(** The "simple policy language" the paper proposes for specifying the
+    availability-correctness trade-off per application and event.
+
+    Grammar (one directive per line; [#] starts a comment):
+
+    {v
+    app <name|*> event <kind|*> => <no-compromise|absolute|equivalence>
+    default => <no-compromise|absolute|equivalence>
+    v}
+
+    Rules apply first-match-wins in file order; at most one [default] line
+    is allowed, and it may appear anywhere. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Policy.t, error) result
+
+val parse_exn : string -> Policy.t
+(** Raises [Failure] with a located message. *)
+
+val print : Policy.t -> string
+(** Render a policy back to the language; [parse (print p)] yields a policy
+    equal to [p]. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,47 @@
+open Controller
+
+type t = {
+  threshold : int;
+  failures : (string * Event.t, int) Hashtbl.t;
+  blocked_events : (string, Event.t list) Hashtbl.t;
+}
+
+let create ?(threshold = 2) () =
+  if threshold < 1 then invalid_arg "Quarantine.create: threshold must be >= 1";
+  {
+    threshold;
+    failures = Hashtbl.create 32;
+    blocked_events = Hashtbl.create 8;
+  }
+
+let threshold t = t.threshold
+
+let quarantined t ~app =
+  Option.value (Hashtbl.find_opt t.blocked_events app) ~default:[]
+
+let blocked t ~app ev = List.exists (Event.equal ev) (quarantined t ~app)
+
+let add t ~app ev =
+  if not (blocked t ~app ev) then
+    Hashtbl.replace t.blocked_events app (ev :: quarantined t ~app)
+
+let note_failure t ~app ev =
+  let key = (app, ev) in
+  let n = 1 + Option.value (Hashtbl.find_opt t.failures key) ~default:0 in
+  Hashtbl.replace t.failures key n;
+  if n >= t.threshold && not (blocked t ~app ev) then begin
+    add t ~app ev;
+    `Quarantined
+  end
+  else `Recorded
+
+let total_quarantined t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.blocked_events 0
+
+let deep_analyze t ~app m ctx ~history =
+  if not (Sts.crashes_on m ctx history) then ([], 0)
+  else begin
+    let minimal, calls = Sts.minimize m ctx history in
+    List.iter (fun ev -> add t ~app ev) minimal;
+    (minimal, calls)
+  end

@@ -1,0 +1,54 @@
+(** Event quarantine: handling failures that span multiple transactions
+    (§5 "Handling failures that span multiple transactions").
+
+    Crash-Pad's per-event recovery assumes the most recent event is the
+    culprit. Two situations break that assumption: a deterministic bug that
+    keeps re-firing on structurally identical events (each recovery
+    succeeds, the next delivery crashes again), and cumulative bugs where
+    the crash is induced by a *set* of earlier events. The quarantine
+    store fixes both:
+
+    - every failure is recorded against the (application, event) pair; once
+      the same pair has failed [threshold] times, the event signature is
+      quarantined and future deliveries are filtered out before they reach
+      the application — no more crash/recover churn;
+    - for cumulative bugs, {!deep_analyze} replays the checkpoint journal
+      through STS delta-debugging to find the minimal causal set and
+      quarantines each of its members. *)
+
+open Controller
+
+type t
+
+val create : ?threshold:int -> unit -> t
+(** [threshold] failures of a structurally identical (app, event) pair
+    trigger quarantine (default 2). Raises [Invalid_argument] below 1. *)
+
+val threshold : t -> int
+
+val blocked : t -> app:string -> Event.t -> bool
+(** Should this delivery be suppressed? *)
+
+val note_failure : t -> app:string -> Event.t -> [ `Recorded | `Quarantined ]
+(** Record one failure; [`Quarantined] when this crossing of the threshold
+    just blacklisted the event. *)
+
+val add : t -> app:string -> Event.t -> unit
+(** Quarantine unconditionally (used by {!deep_analyze}). *)
+
+val quarantined : t -> app:string -> Event.t list
+val total_quarantined : t -> int
+
+val deep_analyze :
+  t ->
+  app:string ->
+  (module App_sig.APP) ->
+  App_sig.context ->
+  history:Event.t list ->
+  Event.t list * int
+(** Given the event history that provably crashes a fresh instance of the
+    application (checkpoint journal + offending event), run ddmin to find
+    the minimal causal sequence, quarantine every member, and return it
+    with the oracle-call count. Returns [([], 0)] when the history does not
+    actually crash a fresh instance (a genuinely non-deterministic or
+    state-dependent failure STS cannot localize). *)

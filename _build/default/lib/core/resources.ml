@@ -1,0 +1,31 @@
+type limits = {
+  max_state_bytes : int option;
+  max_commands_per_event : int option;
+}
+
+type breach =
+  | State_too_large of { used : int; limit : int }
+  | Too_many_commands of { emitted : int; limit : int }
+
+let unlimited = { max_state_bytes = None; max_commands_per_event = None }
+
+let check limits ~state_bytes ~commands_emitted =
+  let state =
+    match limits.max_state_bytes with
+    | Some limit when state_bytes > limit ->
+        [ State_too_large { used = state_bytes; limit } ]
+    | Some _ | None -> []
+  in
+  let commands =
+    match limits.max_commands_per_event with
+    | Some limit when commands_emitted > limit ->
+        [ Too_many_commands { emitted = commands_emitted; limit } ]
+    | Some _ | None -> []
+  in
+  state @ commands
+
+let describe = function
+  | State_too_large { used; limit } ->
+      Printf.sprintf "state %d bytes exceeds limit %d" used limit
+  | Too_many_commands { emitted; limit } ->
+      Printf.sprintf "%d commands in one event exceeds limit %d" emitted limit

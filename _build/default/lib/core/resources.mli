@@ -1,0 +1,26 @@
+(** Per-application resource limits (§3.4).
+
+    Monolithic controllers cannot stop a rogue application from consuming
+    the whole server; with AppVisor isolation, limits become enforceable.
+    The enforceable dimensions in this reproduction are the two that exist
+    in the simulation: application state size (memory) and command volume
+    per event (control-channel bandwidth). *)
+
+type limits = {
+  max_state_bytes : int option;
+      (** Cap on the serialized application state. *)
+  max_commands_per_event : int option;
+      (** Cap on commands emitted while handling one event. *)
+}
+
+type breach =
+  | State_too_large of { used : int; limit : int }
+  | Too_many_commands of { emitted : int; limit : int }
+
+val unlimited : limits
+
+val check :
+  limits -> state_bytes:int -> commands_emitted:int -> breach list
+(** Every limit the measurements exceed. *)
+
+val describe : breach -> string

@@ -1,0 +1,154 @@
+open Controller
+module Net = Netsim.Net
+module Clock = Netsim.Clock
+
+type engine_kind = Netlog_engine | Delay_buffer_engine
+
+type config = {
+  checkpoint_every : int;
+  crashpad : Crashpad.config;
+  engine : engine_kind;
+}
+
+let default_config =
+  {
+    checkpoint_every = 1;
+    crashpad = Crashpad.default_config;
+    engine = Netlog_engine;
+  }
+
+type t = {
+  network : Net.t;
+  mutable services_state : Services.t;
+  boxes : Sandbox.t list;
+  netlog_instance : Netlog.t option;
+  engine : Txn_engine.t;
+  metrics_store : Metrics.t;
+  ticket_store : Ticket.store;
+  cfg : config;
+  mutable reply_backlog : (string * Event.t) list;
+  mutable n_events : int;
+  mutable n_shed : int;
+}
+
+let create ?(config = default_config) network modules =
+  let netlog_instance, engine =
+    match config.engine with
+    | Netlog_engine ->
+        let nl = Netlog.create network in
+        (Some nl, Netlog.engine nl)
+    | Delay_buffer_engine -> (None, Delay_buffer.engine (Delay_buffer.create network))
+  in
+  {
+    network;
+    services_state = Services.create (Net.clock network) (Net.topology network);
+    boxes =
+      List.map
+        (fun m -> Sandbox.create ~checkpoint_every:config.checkpoint_every m)
+        modules;
+    netlog_instance;
+    engine;
+    metrics_store = Metrics.create ();
+    ticket_store = Ticket.store ();
+    cfg = config;
+    reply_backlog = [];
+    n_events = 0;
+    n_shed = 0;
+  }
+
+let net t = t.network
+let services t = t.services_state
+let sandboxes t = t.boxes
+let sandbox t name = List.find_opt (fun b -> Sandbox.name b = name) t.boxes
+let metrics t = t.metrics_store
+let tickets t = Ticket.all t.ticket_store
+let ticket_store t = t.ticket_store
+let netlog t = t.netlog_instance
+let events_processed t = t.n_events
+let events_shed t = t.n_shed
+let config t = t.cfg
+
+let now t = Clock.now (Net.clock t.network)
+
+let links_of t sid =
+  Services.live_links t.services_state
+  |> List.filter (fun (l : Event.link) -> l.src_switch = sid)
+
+let deps t : Crashpad.deps =
+  {
+    engine = t.engine;
+    net = t.network;
+    context = (fun () -> Services.context t.services_state);
+    links_of = (fun sid -> links_of t sid);
+    metrics = t.metrics_store;
+    tickets = t.ticket_store;
+    now = (fun () -> now t);
+    enqueue_reply =
+      (fun app ev -> t.reply_backlog <- t.reply_backlog @ [ (app, ev) ]);
+  }
+
+let rec drain_replies t =
+  match t.reply_backlog with
+  | [] -> ()
+  | (app, ev) :: rest ->
+      t.reply_backlog <- rest;
+      (match sandbox t app with
+      | Some box -> Crashpad.dispatch t.cfg.crashpad (deps t) box ev
+      | None -> ());
+      drain_replies t
+
+let dispatch_event t event =
+  t.n_events <- t.n_events + 1;
+  Metrics.incr_events t.metrics_store;
+  List.iter
+    (fun box -> Crashpad.dispatch t.cfg.crashpad (deps t) box event)
+    t.boxes;
+  drain_replies t
+
+(* Drain-until-quiet with a broadcast-storm guard, mirroring
+   Monolithic.step so the two architectures process identical event
+   streams: when a step's event budget runs out (an app flooding a cyclic
+   topology can multiply packet-ins exponentially), the excess is shed the
+   way an overloaded controller connection would shed it. *)
+let storm_guard_events = 2048
+
+let step t =
+  let budget = ref storm_guard_events in
+  let rec go () =
+    match Net.poll t.network with
+    | [] -> ()
+    | notifications ->
+        let events =
+          List.concat_map (Services.ingest t.services_state) notifications
+        in
+        List.iter
+          (fun ev ->
+            if !budget > 0 then begin
+              decr budget;
+              dispatch_event t ev
+            end
+            else t.n_shed <- t.n_shed + 1)
+          events;
+        if !budget > 0 then go ()
+        else t.n_shed <- t.n_shed + List.length (Net.poll t.network)
+  in
+  go ()
+
+let tick t = dispatch_event t (Event.Tick (now t))
+
+let upgrade_controller t =
+  (* Platform restart: controller-side state is rebuilt from the network;
+     sandboxed applications are untouched and keep their state. *)
+  t.services_state <- Services.create (Net.clock t.network) (Net.topology t.network);
+  t.reply_backlog <- [];
+  let topo = Net.topology t.network in
+  List.iter
+    (fun sid ->
+      let sw = Net.switch t.network sid in
+      if sw.Netsim.Sw.up then
+        let events =
+          Services.ingest t.services_state
+            (Net.Switch_connected (sid, Netsim.Sw.features sw))
+        in
+        List.iter (dispatch_event t) events)
+    (Netsim.Topology.switches topo)

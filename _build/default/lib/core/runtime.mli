@@ -1,0 +1,55 @@
+(** The LegoSDN runtime: the re-designed controller (paper Figure 1, right
+    side).
+
+    Same northbound/southbound behaviour as {!Controller.Monolithic} — same
+    services, same dispatch order — but every application runs in an
+    AppVisor {!Sandbox}, every (application, event) delivery runs inside a
+    transaction, and Crash-Pad screens and recovers failures. The
+    controller itself never goes down because of an application: there is
+    no [Crashed] state here, by construction. *)
+
+open Controller
+
+type engine_kind = Netlog_engine | Delay_buffer_engine
+
+type config = {
+  checkpoint_every : int;  (** k: checkpoint every k events (§5). *)
+  crashpad : Crashpad.config;
+  engine : engine_kind;
+}
+
+val default_config : config
+(** k = 1, Crash-Pad defaults, NetLog engine. *)
+
+type t
+
+val create : ?config:config -> Netsim.Net.t -> (module App_sig.APP) list -> t
+
+val step : t -> unit
+(** Drain southbound notifications and dispatch the resulting events. *)
+
+val dispatch_event : t -> Event.t -> unit
+val tick : t -> unit
+
+val upgrade_controller : t -> unit
+(** Simulate a controller upgrade (§3.4): platform state (services) is torn
+    down and rebuilt, switches re-handshake — but the isolated applications
+    keep their processes and state, unlike a monolithic restart. *)
+
+val net : t -> Netsim.Net.t
+val services : t -> Services.t
+val sandboxes : t -> Sandbox.t list
+val sandbox : t -> string -> Sandbox.t option
+val metrics : t -> Metrics.t
+val tickets : t -> Ticket.t list
+val ticket_store : t -> Ticket.store
+val netlog : t -> Netlog.t option
+(** The NetLog instance, when the NetLog engine is in use. *)
+
+val events_processed : t -> int
+
+val events_shed : t -> int
+(** Notifications dropped by the broadcast-storm guard (see
+    {!Controller.Monolithic.events_shed}). *)
+
+val config : t -> config

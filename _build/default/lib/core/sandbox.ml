@@ -1,0 +1,122 @@
+open Controller
+
+type verdict =
+  | Done of Command.t list
+  | Crashed of { partial : Command.t list; detail : string }
+  | Hung
+
+type t = {
+  mutable inst : App_sig.instance;
+  mutable prev_inst : App_sig.instance option;  (* state before last deliver *)
+  ckpt : Checkpoint.t;
+  mutable is_alive : bool;
+  mutable n_events : int;
+  mutable n_crashes : int;
+  mutable n_rpc_bytes : int;
+}
+
+let create ~checkpoint_every m =
+  {
+    inst = App_sig.instantiate m;
+    prev_inst = None;
+    ckpt = Checkpoint.create ~every:checkpoint_every;
+    is_alive = true;
+    n_events = 0;
+    n_crashes = 0;
+    n_rpc_bytes = 0;
+  }
+
+let name t = App_sig.name t.inst
+let subscribes_to t kind = App_sig.subscribes_to t.inst kind
+
+let alive t = t.is_alive
+let disable t = t.is_alive <- false
+let enable t = t.is_alive <- true
+
+let events_handled t = t.n_events
+let crash_count t = t.n_crashes
+let rpc_bytes t = t.n_rpc_bytes
+let state_size t = App_sig.state_size t.inst
+let checkpoint_store t = t.ckpt
+
+let prepare t = if Checkpoint.due t.ckpt then Checkpoint.take t.ckpt t.inst
+
+(* One hop of the proxy->stub RPC: bytes out, bytes back in. *)
+let ship_event t ev =
+  let b = Wire.encode_event ev in
+  t.n_rpc_bytes <- t.n_rpc_bytes + Bytes.length b;
+  Wire.decode_event b
+
+let ship_commands t cmds =
+  let b = Wire.encode_commands cmds in
+  t.n_rpc_bytes <- t.n_rpc_bytes + Bytes.length b;
+  Wire.decode_commands b
+
+let deliver t ctx ev =
+  let ev = ship_event t ev in
+  match App_sig.handle t.inst ctx ev with
+  | updated, commands ->
+      t.prev_inst <- Some t.inst;
+      t.inst <- updated;
+      t.n_events <- t.n_events + 1;
+      Done (ship_commands t commands)
+  | exception App_sig.Crash_with_partial partial ->
+      t.n_crashes <- t.n_crashes + 1;
+      Crashed
+        {
+          partial = ship_commands t partial;
+          detail = "crash after partial command emission";
+        }
+  | exception App_sig.App_hang ->
+      t.n_crashes <- t.n_crashes + 1;
+      Hung
+  | exception exn ->
+      t.n_crashes <- t.n_crashes + 1;
+      Crashed { partial = []; detail = Printexc.to_string exn }
+
+let confirm t ev = Checkpoint.record_applied t.ckpt ev
+
+let revert_last t =
+  match t.prev_inst with
+  | Some prev ->
+      t.inst <- prev;
+      t.prev_inst <- None
+  | None -> ()
+
+let checkpoint_now t = Checkpoint.take t.ckpt t.inst
+
+type recovery = { replayed : int; dropped_in_replay : int }
+
+let recover t ctx =
+  match Checkpoint.restore_point t.ckpt with
+  | None ->
+      t.inst <- App_sig.reboot t.inst;
+      { replayed = 0; dropped_in_replay = 0 }
+  | Some (snapshot, journal) ->
+      t.inst <- App_sig.restore t.inst snapshot;
+      let replayed = ref 0 and dropped = ref 0 in
+      List.iter
+        (fun ev ->
+          (* Replay rebuilds state only; commands were already committed the
+             first time around, so they are discarded here. A replay crash
+             means the journal event is skipped (state diverges slightly,
+             availability is preserved). *)
+          match App_sig.handle t.inst ctx ev with
+          | updated, _commands ->
+              t.inst <- updated;
+              incr replayed
+          | exception _ -> incr dropped)
+        journal;
+      (* The restored state becomes the new baseline. *)
+      Checkpoint.take t.ckpt t.inst;
+      { replayed = !replayed; dropped_in_replay = !dropped }
+
+let reboot t = t.inst <- App_sig.reboot t.inst
+
+let app_module t = App_sig.module_of t.inst
+
+let snapshot_bytes t = App_sig.snapshot t.inst
+
+let restore_bytes t snapshot =
+  t.inst <- App_sig.restore t.inst snapshot;
+  Checkpoint.take t.ckpt t.inst

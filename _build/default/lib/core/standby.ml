@@ -1,0 +1,69 @@
+module Net = Netsim.Net
+module Clock = Netsim.Clock
+
+type t = {
+  network : Net.t;
+  modules : (module Controller.App_sig.APP) list;
+  config : Runtime.config;
+  sync_interval : float;
+  mutable active : Runtime.t;
+  mutable shipped : (string * bytes) list;  (* app -> latest snapshot *)
+  mutable synced_at : float option;
+  mutable n_failovers : int;
+}
+
+let create ?(config = Runtime.default_config) ?(sync_interval = 1.) network
+    modules =
+  {
+    network;
+    modules;
+    config;
+    sync_interval;
+    active = Runtime.create ~config network modules;
+    shipped = [];
+    synced_at = None;
+    n_failovers = 0;
+  }
+
+let runtime t = t.active
+
+let now t = Clock.now (Net.clock t.network)
+
+let sync t =
+  t.shipped <-
+    List.map
+      (fun box -> (Sandbox.name box, Sandbox.snapshot_bytes box))
+      (Runtime.sandboxes t.active);
+  t.synced_at <- Some (now t)
+
+let maybe_sync t =
+  let due =
+    match t.synced_at with
+    | None -> true
+    | Some at -> now t -. at >= t.sync_interval
+  in
+  if due then sync t
+
+let step t =
+  Runtime.step t.active;
+  maybe_sync t
+
+let last_sync_at t = t.synced_at
+
+let fail_primary t =
+  t.n_failovers <- t.n_failovers + 1;
+  (* The dead controller's pending switch messages died with it. *)
+  ignore (Net.poll t.network);
+  let fresh = Runtime.create ~config:t.config t.network t.modules in
+  List.iter
+    (fun box ->
+      match List.assoc_opt (Sandbox.name box) t.shipped with
+      | Some snapshot -> Sandbox.restore_bytes box snapshot
+      | None -> ())
+    (Runtime.sandboxes fresh);
+  t.active <- fresh;
+  (* Take over: re-handshake with every live switch. *)
+  Runtime.upgrade_controller fresh;
+  t
+
+let failovers t = t.n_failovers

@@ -1,0 +1,46 @@
+(** Hardening the controller itself (§5 "Surviving deterministic controller
+    failures" — the paper's future-work direction).
+
+    Because AppVisor already separates application state from the platform,
+    the platform becomes disposable: a standby can take over after a
+    controller-process crash by re-handshaking with the switches and
+    re-seeding each sandbox from the latest shipped snapshot. Applications
+    lose at most the events since the last {!sync} — they do not lose their
+    accumulated state, unlike a monolithic cold restart.
+
+    The controller-process crash itself is injected with {!fail_primary}
+    (our runtime cannot crash from application failures — by design). *)
+
+type t
+
+val create :
+  ?config:Runtime.config ->
+  ?sync_interval:float ->
+  Netsim.Net.t ->
+  (module Controller.App_sig.APP) list ->
+  t
+(** A primary runtime plus standby bookkeeping. [sync_interval] (default
+    1 s of virtual time) controls how often {!maybe_sync} actually ships
+    snapshots. *)
+
+val runtime : t -> Runtime.t
+(** The currently active runtime. *)
+
+val step : t -> unit
+(** Step the active runtime, then {!maybe_sync}. *)
+
+val sync : t -> unit
+(** Ship every application's current snapshot to the standby now. *)
+
+val maybe_sync : t -> unit
+(** {!sync} if at least [sync_interval] has elapsed since the last one. *)
+
+val last_sync_at : t -> float option
+
+val fail_primary : t -> t
+(** The controller process dies. A fresh runtime takes over: switches
+    re-handshake, sandboxes are re-created and restored from the last
+    shipped snapshots (apps that were never synced start from [init]).
+    Returns the same [t] with the new active runtime installed. *)
+
+val failovers : t -> int

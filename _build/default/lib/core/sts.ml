@@ -1,0 +1,90 @@
+open Controller
+
+let crashes_on (module A : App_sig.APP) ctx trace =
+  let rec go st = function
+    | [] -> false
+    | ev :: rest -> (
+        if not (List.mem (Event.kind_of ev) A.subscriptions) then go st rest
+        else
+          match A.handle ctx st ev with
+          | st', _commands -> go st' rest
+          | exception _ -> true)
+  in
+  go (A.init ()) trace
+
+(* Split a list into [n] contiguous chunks of near-equal size. *)
+let split_chunks lst n =
+  let len = List.length lst in
+  let base = len / n and extra = len mod n in
+  let rec go i remaining =
+    if i >= n || remaining = [] then []
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let rec take k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: xs -> take (k - 1) (x :: acc) xs
+      in
+      let chunk, rest = take size [] remaining in
+      chunk :: go (i + 1) rest
+    end
+  in
+  go 0 lst
+
+let minimize_with_oracle failing trace =
+  let calls = ref 0 in
+  let test l =
+    incr calls;
+    failing l
+  in
+  let rec ddmin trace n =
+    let len = List.length trace in
+    if len <= 1 then trace
+    else begin
+      let chunks = split_chunks trace n in
+      (* Reduce to a failing chunk, if any. *)
+      match List.find_opt (fun c -> c <> [] && test c) chunks with
+      | Some chunk -> ddmin chunk 2
+      | None -> (
+          (* Reduce to a failing complement, if any. *)
+          let complements =
+            List.mapi
+              (fun i _ ->
+                List.concat
+                  (List.filteri (fun j _ -> j <> i) chunks))
+              chunks
+          in
+          match
+            List.find_opt (fun c -> List.length c < len && test c) complements
+          with
+          | Some complement -> ddmin complement (max (n - 1) 2)
+          | None ->
+              (* Refine granularity. *)
+              if n < len then ddmin trace (min len (2 * n))
+              else trace)
+    end
+  in
+  let minimal = ddmin trace 2 in
+  (minimal, !calls)
+
+let minimize (module A : App_sig.APP) ctx trace =
+  let oracle sub = crashes_on (module A) ctx sub in
+  if not (oracle trace) then
+    invalid_arg "Sts.minimize: the full trace does not crash the application";
+  minimize_with_oracle oracle trace
+
+let checkpoint_to_roll_back_to ~trace ~minimal ~checkpoint_every =
+  if checkpoint_every < 1 then
+    invalid_arg "Sts.checkpoint_to_roll_back_to: checkpoint_every must be >= 1";
+  match minimal with
+  | [] -> 0
+  | first :: _ -> (
+      let rec index i = function
+        | [] -> None
+        | ev :: rest -> if ev = first then Some i else index (i + 1) rest
+      in
+      match index 0 trace with
+      | None -> 0
+      | Some idx -> idx / checkpoint_every * checkpoint_every)

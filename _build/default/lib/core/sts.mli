@@ -1,0 +1,35 @@
+(** STS-style minimal causal sequences (§5, citing Scott et al. [28]).
+
+    When a failure is induced by an accumulation of events rather than the
+    last one alone, LegoSDN needs to know which events to hold responsible
+    (and which checkpoint to roll back to). This module implements
+    delta-debugging (ddmin) over an event trace: given a trace that makes
+    an application crash, it finds a locally-minimal subsequence that still
+    triggers the crash. *)
+
+open Controller
+
+val crashes_on : (module App_sig.APP) -> App_sig.context -> Event.t list -> bool
+(** Run a fresh instance over the trace (commands discarded); true if any
+    handler raises. *)
+
+val minimize_with_oracle :
+  ('a list -> bool) -> 'a list -> 'a list * int
+(** [minimize_with_oracle failing trace] returns a 1-minimal failing
+    subsequence and the number of oracle invocations spent, assuming
+    [failing trace = true]. Classic ddmin: split into chunks, try chunks
+    and complements, refine granularity. *)
+
+val minimize :
+  (module App_sig.APP) ->
+  App_sig.context ->
+  Event.t list ->
+  Event.t list * int
+(** {!minimize_with_oracle} with {!crashes_on} as the oracle. Raises
+    [Invalid_argument] if the full trace does not crash the app. *)
+
+val checkpoint_to_roll_back_to :
+  trace:Event.t list -> minimal:Event.t list -> checkpoint_every:int -> int
+(** Given the minimal causal sequence, the index (0-based, in events) of the
+    latest k-aligned checkpoint taken before the first culpable event — the
+    snapshot LegoSDN should restore. *)

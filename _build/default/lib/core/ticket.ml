@@ -1,0 +1,59 @@
+module Event = Controller.Event
+
+type resolution =
+  | Ignored
+  | Transformed of string
+  | Disabled
+  | Blocked
+
+type t = {
+  id : int;
+  opened_at : float;
+  app : string;
+  event : string;
+  event_kind : Event.kind option;
+  diagnosis : string;
+  resolution : resolution;
+  rolled_back_ops : int;
+}
+
+type store = { mutable tickets : t list; mutable next_id : int }
+
+let store () = { tickets = []; next_id = 1 }
+
+let file st ~now ~app ?event ~diagnosis ~resolution ~rolled_back_ops () =
+  let ticket =
+    {
+      id = st.next_id;
+      opened_at = now;
+      app;
+      event =
+        (match event with
+        | Some ev -> Format.asprintf "%a" Event.pp ev
+        | None -> "<none>");
+      event_kind = Option.map Event.kind_of event;
+      diagnosis;
+      resolution;
+      rolled_back_ops;
+    }
+  in
+  st.next_id <- st.next_id + 1;
+  st.tickets <- ticket :: st.tickets;
+  ticket
+
+let all st = List.rev st.tickets
+let count st = List.length st.tickets
+let by_app st app = List.filter (fun t -> t.app = app) (all st)
+
+let resolution_name = function
+  | Ignored -> "ignored"
+  | Transformed alt -> Printf.sprintf "transformed -> %s" alt
+  | Disabled -> "app disabled"
+  | Blocked -> "blocked pre-commit"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v2>ticket #%d (t=%.3f) app=%s@,event: %s@,diagnosis: %s@,resolution: %s (%d ops rolled back)@]"
+    t.id t.opened_at t.app t.event t.diagnosis
+    (resolution_name t.resolution)
+    t.rolled_back_ops

@@ -1,0 +1,39 @@
+(** Problem tickets (§3.3 "How to alert operators?").
+
+    Crash-Pad's research agenda is to make the SDN-Apps — not their
+    developers — oblivious to failures: every subverted failure produces a
+    ticket carrying the offending event, the failure diagnosis and the
+    compromise that was applied, so the underlying bug can be triaged. *)
+
+type resolution =
+  | Ignored  (** Absolute compromise: the event was dropped. *)
+  | Transformed of string  (** Equivalence compromise; the replayed form. *)
+  | Disabled  (** No compromise: the application was taken down. *)
+  | Blocked  (** Byzantine output stopped before commit, txn rolled back. *)
+
+type t = {
+  id : int;
+  opened_at : float;  (** Virtual time. *)
+  app : string;
+  event : string;  (** Rendered offending event. *)
+  event_kind : Controller.Event.kind option;
+  diagnosis : string;  (** Detector output: exception text, violations… *)
+  resolution : resolution;
+  rolled_back_ops : int;  (** Transaction operations undone. *)
+}
+
+type store
+
+val store : unit -> store
+val file : store -> now:float -> app:string -> ?event:Controller.Event.t
+  -> diagnosis:string -> resolution:resolution -> rolled_back_ops:int -> unit
+  -> t
+
+val all : store -> t list
+(** Oldest first. *)
+
+val count : store -> int
+val by_app : store -> string -> t list
+
+val resolution_name : resolution -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+open Openflow
+open Controller
+
+let link_downs_of_switch ~links_of sid =
+  links_of sid
+  |> List.filter (fun (l : Event.link) -> l.src_switch = sid)
+  |> List.map (fun l -> Event.Link_down l)
+
+let equivalents ~links_of (ev : Event.t) =
+  match ev with
+  | Event.Switch_down sid -> (
+      (* A switch-down is the union of the downs of its links. *)
+      match link_downs_of_switch ~links_of sid with
+      | [] -> []
+      | downs -> [ downs ])
+  | Event.Link_down l ->
+      (* Coarsen: declare the whole near-side switch down. Over-reacting,
+         but strictly a superset of the lost connectivity. *)
+      [ [ Event.Switch_down l.src_switch ] ]
+  | Event.Port_status (sid, _reason, desc) when not desc.Message.up ->
+      let via_link =
+        links_of sid
+        |> List.filter (fun (l : Event.link) ->
+               l.src_switch = sid && l.src_port = desc.Message.port_no)
+        |> List.map (fun l -> [ Event.Link_down l ])
+      in
+      via_link @ [ [ Event.Switch_down sid ] ]
+  | Event.Packet_in (sid, pi) ->
+      (* Replay a minimal form: headers only, no buffer reference, plain
+         table-miss reason — sheds whatever payload detail crashed the
+         parser. *)
+      let minimal =
+        {
+          Message.pi_buffer_id = None;
+          pi_in_port = pi.Message.pi_in_port;
+          pi_reason = Message.No_match;
+          pi_packet = { pi.Message.pi_packet with Packet.payload_len = 0 };
+        }
+      in
+      if minimal = pi then [] else [ [ Event.Packet_in (sid, minimal) ] ]
+  | Event.Switch_up (sid, features) ->
+      (* Decompose into per-port notifications. *)
+      let ports =
+        List.map
+          (fun desc -> Event.Port_status (sid, Message.Port_add, desc))
+          features.Message.ports
+      in
+      if ports = [] then [] else [ ports ]
+  | Event.Port_status _ | Event.Link_up _ | Event.Flow_removed _
+  | Event.Stats_reply _ | Event.Tick _ ->
+      []
+
+let describe alternative =
+  Format.asprintf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+       Event.pp)
+    alternative

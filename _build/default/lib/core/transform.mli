@@ -1,0 +1,22 @@
+(** Event transformations for the Equivalence-Compromise policy (§3.3).
+
+    The domain knowledge the paper exploits: certain events are supersets
+    of others. A switch-down is equivalent to the set of link-downs of its
+    attached links; a link-down can be coarsened into a switch-down; a
+    packet-in can be retargeted as a plain table-miss replay. When an event
+    crashes an application, Crash-Pad replays an equivalent form instead. *)
+
+open Controller
+
+val equivalents :
+  links_of:(Openflow.Types.switch_id -> Event.link list) ->
+  Event.t ->
+  Event.t list list
+(** Alternative event sequences to try, best first. Each alternative is a
+    {e sequence} (a switch-down expands to several link-downs). The empty
+    outer list means the event has no usable equivalent and the caller
+    should fall back to ignoring it. [links_of] reports the live links
+    around a switch (from the controller's topology service). *)
+
+val describe : Event.t list -> string
+(** Render an alternative for tickets and logs. *)

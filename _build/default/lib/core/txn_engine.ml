@@ -1,0 +1,13 @@
+open Openflow
+
+type txn = {
+  apply : Controller.Command.t -> Message.t list;
+  commit : unit -> unit;
+  abort : unit -> unit;
+  issued : unit -> Controller.Command.t list;
+}
+
+type t = {
+  engine_name : string;
+  begin_txn : app:string -> txn;
+}

@@ -1,0 +1,24 @@
+(** The transaction-engine interface the LegoSDN runtime programs against.
+
+    Two implementations exist: {!Netlog} (eager apply + inverse-based
+    rollback, the paper's design) and {!Delay_buffer} (queue until commit,
+    the prototype's stopgap from §4.1). The runtime — and the E9 ablation
+    bench — can swap one for the other. *)
+
+open Openflow
+
+type txn = {
+  apply : Controller.Command.t -> Message.t list;
+      (** Run one application command inside the transaction; returns any
+          synchronous switch replies that applications should see (e.g.
+          statistics). *)
+  commit : unit -> unit;
+  abort : unit -> unit;
+  issued : unit -> Controller.Command.t list;
+      (** Commands applied so far, oldest first. *)
+}
+
+type t = {
+  engine_name : string;
+  begin_txn : app:string -> txn;
+}

@@ -1,0 +1,27 @@
+(** Serialization of controller events and application commands for the
+    AppVisor RPC channel.
+
+    In the paper's prototype the proxy and stub exchange UDP datagrams; here
+    every event and command that crosses an isolation boundary is encoded to
+    bytes and decoded on the far side through these functions, so the
+    serialization cost the paper accepts in §3.1 is actually paid (and
+    measurable). Message-shaped payloads reuse the OpenFlow wire codec. *)
+
+exception Decode_error of string
+
+val encode_event : Controller.Event.t -> bytes
+val decode_event : bytes -> Controller.Event.t
+
+val encode_command : Controller.Command.t -> bytes
+val decode_command : bytes -> Controller.Command.t
+
+val encode_commands : Controller.Command.t list -> bytes
+val decode_commands : bytes -> Controller.Command.t list
+
+val event_size : Controller.Event.t -> int
+val commands_size : Controller.Command.t list -> int
+
+val roundtrip_event : Controller.Event.t -> Controller.Event.t
+(** [decode_event (encode_event e)] — one hop across the boundary. *)
+
+val roundtrip_commands : Controller.Command.t list -> Controller.Command.t list

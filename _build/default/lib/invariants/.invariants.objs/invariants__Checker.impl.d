@@ -1,0 +1,1 @@
+lib/invariants/checker.ml: Action Format List Message Netsim Ofp_match Openflow Packet Snapshot Types

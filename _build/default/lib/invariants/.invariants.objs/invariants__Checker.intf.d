@@ -1,0 +1,1 @@
+lib/invariants/checker.mli: Format Message Netsim Openflow Snapshot Types

@@ -1,0 +1,1 @@
+lib/invariants/snapshot.ml: Action Hashtbl Int List Map Message Netsim Openflow Types

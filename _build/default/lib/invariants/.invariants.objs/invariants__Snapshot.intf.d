@@ -1,0 +1,1 @@
+lib/invariants/snapshot.mli: Message Netsim Openflow Packet Types

@@ -1,0 +1,149 @@
+open Openflow
+module Topology = Netsim.Topology
+module Flow_entry = Netsim.Flow_entry
+
+type violation =
+  | Forwarding_loop of {
+      src : Topology.host;
+      dst : Topology.host;
+      path : (Types.switch_id * Types.port_no) list;
+    }
+  | Black_hole of {
+      src : Topology.host;
+      dst : Topology.host;
+      at : Types.switch_id list;
+    }
+  | Unreachable of { src : Topology.host; dst : Topology.host }
+  | Drop_all_rule of { sw : Types.switch_id; priority : int }
+  | Waypoint_bypassed of {
+      src : Topology.host;
+      dst : Topology.host;
+      waypoint : Types.switch_id;
+    }
+  | Isolation_breached of { src : Topology.host; dst : Topology.host }
+
+type invariant =
+  | Loop_freedom
+  | Black_hole_freedom
+  | Pairwise_reachability of (Topology.host * Topology.host) list
+  | No_drop_all
+  | Waypoint of {
+      pairs : (Topology.host * Topology.host) list;
+      via : Types.switch_id;
+    }
+  | Isolation of {
+      group_a : Topology.host list;
+      group_b : Topology.host list;
+    }
+
+let default = [ Loop_freedom; Black_hole_freedom; No_drop_all ]
+
+let canonical_packet src dst = Packet.tcp ~src_host:src ~dst_host:dst ()
+
+let host_pairs topo =
+  let hosts = Topology.hosts topo in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst -> if src <> dst then Some (src, dst) else None)
+        hosts)
+    hosts
+
+let check_one snap acc = function
+  | Loop_freedom ->
+      List.fold_left
+        (fun acc (src, dst) ->
+          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          if probe.Snapshot.looped then
+            Forwarding_loop { src; dst; path = probe.Snapshot.path } :: acc
+          else acc)
+        acc
+        (host_pairs (Snapshot.topology snap))
+  | Black_hole_freedom ->
+      List.fold_left
+        (fun acc (src, dst) ->
+          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          match probe.Snapshot.blackholed_at with
+          | [] -> acc
+          | at -> Black_hole { src; dst; at } :: acc)
+        acc
+        (host_pairs (Snapshot.topology snap))
+  | Pairwise_reachability pairs ->
+      List.fold_left
+        (fun acc (src, dst) ->
+          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          if List.mem dst probe.Snapshot.reached then acc
+          else Unreachable { src; dst } :: acc)
+        acc pairs
+  | No_drop_all ->
+      List.fold_left
+        (fun acc sid ->
+          List.fold_left
+            (fun acc (e : Flow_entry.t) ->
+              if
+                Ofp_match.equal e.pattern Ofp_match.any
+                && Action.is_drop e.actions
+                && e.priority >= Message.default_priority
+              then Drop_all_rule { sw = sid; priority = e.priority } :: acc
+              else acc)
+            acc (Snapshot.entries snap sid))
+        acc
+        (Topology.switches (Snapshot.topology snap))
+  | Waypoint { pairs; via } ->
+      List.fold_left
+        (fun acc (src, dst) ->
+          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          if
+            List.mem dst probe.Snapshot.reached
+            && not (List.exists (fun (sid, _) -> sid = via) probe.Snapshot.path)
+          then Waypoint_bypassed { src; dst; waypoint = via } :: acc
+          else acc)
+        acc pairs
+  | Isolation { group_a; group_b } ->
+      let breach src dst acc =
+        let probe = Snapshot.trace snap src (canonical_packet src dst) in
+        if List.mem dst probe.Snapshot.reached then
+          Isolation_breached { src; dst } :: acc
+        else acc
+      in
+      List.fold_left
+        (fun acc a ->
+          List.fold_left (fun acc b -> breach a b (breach b a acc)) acc group_b)
+        acc group_a
+
+let check ?(invariants = default) snap =
+  List.rev (List.fold_left (check_one snap) [] invariants)
+
+let check_flow_mods ?(invariants = default) snap mods =
+  let before = check ~invariants snap in
+  let after = check ~invariants (Snapshot.apply_flow_mods snap mods) in
+  List.filter (fun v -> not (List.mem v before)) after
+
+let violation_kind = function
+  | Forwarding_loop _ -> "forwarding-loop"
+  | Black_hole _ -> "black-hole"
+  | Unreachable _ -> "unreachable"
+  | Drop_all_rule _ -> "drop-all-rule"
+  | Waypoint_bypassed _ -> "waypoint-bypassed"
+  | Isolation_breached _ -> "isolation-breached"
+
+let pp_violation fmt = function
+  | Forwarding_loop { src; dst; path } ->
+      Format.fprintf fmt "loop on h%d->h%d (path length %d)" src dst
+        (List.length path)
+  | Black_hole { src; dst; at } ->
+      Format.fprintf fmt "black hole on h%d->h%d at [%a]" src dst
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+           Types.pp_switch)
+        at
+  | Unreachable { src; dst } ->
+      Format.fprintf fmt "h%d cannot reach h%d" src dst
+  | Drop_all_rule { sw; priority } ->
+      Format.fprintf fmt "drop-all rule on %a at priority %d" Types.pp_switch
+        sw priority
+  | Waypoint_bypassed { src; dst; waypoint } ->
+      Format.fprintf fmt "h%d->h%d delivered without traversing %a" src dst
+        Types.pp_switch waypoint
+  | Isolation_breached { src; dst } ->
+      Format.fprintf fmt "isolation breached: h%d can reach h%d" src dst

@@ -1,0 +1,77 @@
+(** Network invariants and their checker — the policy-checker role VeriFlow
+    plays in the paper ([20]): Crash-Pad consults it to detect byzantine
+    application failures before faulty rules are committed, and operators
+    use it to define "No-Compromise" invariants. *)
+
+open Openflow
+
+type violation =
+  | Forwarding_loop of {
+      src : Netsim.Topology.host;
+      dst : Netsim.Topology.host;
+      path : (Types.switch_id * Types.port_no) list;
+    }
+  | Black_hole of {
+      src : Netsim.Topology.host;
+      dst : Netsim.Topology.host;
+      at : Types.switch_id list;
+    }
+  | Unreachable of { src : Netsim.Topology.host; dst : Netsim.Topology.host }
+  | Drop_all_rule of { sw : Types.switch_id; priority : int }
+  | Waypoint_bypassed of {
+      src : Netsim.Topology.host;
+      dst : Netsim.Topology.host;
+      waypoint : Types.switch_id;
+    }
+  | Isolation_breached of {
+      src : Netsim.Topology.host;
+      dst : Netsim.Topology.host;
+    }
+
+type invariant =
+  | Loop_freedom
+      (** No canonical host-pair packet may revisit forwarding state. *)
+  | Black_hole_freedom
+      (** No matched packet may be forwarded into a dead end (an explicit
+          drop rule is fine; silently losing traffic is not). *)
+  | Pairwise_reachability of (Netsim.Topology.host * Netsim.Topology.host) list
+      (** These (src, dst) pairs must be deliverable using installed rules
+          only. *)
+  | No_drop_all
+      (** No match-everything rule with empty actions at or above default
+          priority. *)
+  | Waypoint of {
+      pairs : (Netsim.Topology.host * Netsim.Topology.host) list;
+      via : Types.switch_id;
+    }
+      (** Traffic between each listed (src, dst) pair, when it is delivered
+          at all using installed rules, must traverse switch [via] — the
+          classic middlebox/firewall waypointing property. *)
+  | Isolation of {
+      group_a : Netsim.Topology.host list;
+      group_b : Netsim.Topology.host list;
+    }
+      (** No packet may be deliverable between the two host groups (in
+          either direction): a "No-Compromise" security invariant in the
+          paper's sense. *)
+
+val default : invariant list
+(** [Loop_freedom; Black_hole_freedom; No_drop_all] — the safety properties
+    the paper names (black-holes and network-loops). *)
+
+val check : ?invariants:invariant list -> Snapshot.t -> violation list
+(** Violations in the snapshot, probing every ordered host pair with a
+    canonical TCP packet (a VeriFlow-style equivalence-class approximation:
+    one representative packet per pair). *)
+
+val check_flow_mods :
+  ?invariants:invariant list ->
+  Snapshot.t ->
+  (Types.switch_id * Message.flow_mod) list ->
+  violation list
+(** Violations that the hypothetical flow-mods would introduce: violations
+    present after applying them minus those already present before — so
+    pre-existing damage is not pinned on the app under test. *)
+
+val violation_kind : violation -> string
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,182 @@
+open Openflow
+module Topology = Netsim.Topology
+module Flow_entry = Netsim.Flow_entry
+module Flow_table = Netsim.Flow_table
+module Sw = Netsim.Sw
+module Net = Netsim.Net
+
+module Sid_map = Map.Make (Int)
+
+type sw_state = {
+  rules : Flow_entry.t list;  (* priority order, as Flow_table.entries *)
+  alive : bool;
+  ports_down : (Types.port_no, unit) Hashtbl.t;
+  port_nos : Types.port_no list;
+}
+
+type t = {
+  frozen_at : float;
+  topo : Topology.t;
+  switches : sw_state Sid_map.t;
+}
+
+let of_net net =
+  let topo = Net.topology net in
+  let switches =
+    List.fold_left
+      (fun acc sid ->
+        let sw = Net.switch net sid in
+        let ports_down = Hashtbl.create 4 in
+        let port_nos =
+          List.map
+            (fun (p : Sw.port_state) ->
+              if not p.port_up then Hashtbl.replace ports_down p.port_no ();
+              p.port_no)
+            (Sw.port_list sw)
+        in
+        Sid_map.add sid
+          {
+            rules = Flow_table.entries sw.Sw.table;
+            alive = sw.Sw.up;
+            ports_down;
+            port_nos;
+          }
+          acc)
+      Sid_map.empty (Topology.switches topo)
+  in
+  {
+    frozen_at = Netsim.Clock.now (Net.clock net);
+    topo;
+    switches;
+  }
+
+let now t = t.frozen_at
+let topology t = t.topo
+
+let entries t sid =
+  match Sid_map.find_opt sid t.switches with
+  | Some s -> s.rules
+  | None -> []
+
+let switch_up t sid =
+  match Sid_map.find_opt sid t.switches with
+  | Some s -> s.alive
+  | None -> false
+
+let port_up t sid port =
+  match Sid_map.find_opt sid t.switches with
+  | Some s -> not (Hashtbl.mem s.ports_down port)
+  | None -> false
+
+(* Apply a flow-mod functionally by rebuilding a scratch table. Entries are
+   immutable for our purposes (counters are irrelevant to invariants). *)
+let apply_flow_mod t sid fm =
+  match Sid_map.find_opt sid t.switches with
+  | None -> t
+  | Some s ->
+      let table = Flow_table.create () in
+      List.iter (Flow_table.add table) (List.rev s.rules);
+      let open Message in
+      (match fm.command with
+      | Add -> Flow_table.add table (Flow_entry.of_flow_mod ~now:t.frozen_at fm)
+      | Modify | Modify_strict ->
+          let strict = fm.command = Modify_strict in
+          if
+            not
+              (Flow_table.modify table ~strict fm.pattern
+                 ~priority:fm.priority fm.actions)
+          then Flow_table.add table (Flow_entry.of_flow_mod ~now:t.frozen_at fm)
+      | Delete | Delete_strict ->
+          let strict = fm.command = Delete_strict in
+          ignore
+            (Flow_table.delete table ~strict ?out_port:fm.out_port fm.pattern
+               ~priority:fm.priority));
+      let s' = { s with rules = Flow_table.entries table } in
+      { t with switches = Sid_map.add sid s' t.switches }
+
+let apply_flow_mods t mods =
+  List.fold_left (fun acc (sid, fm) -> apply_flow_mod acc sid fm) t mods
+
+type probe = {
+  reached : Topology.host list;
+  punted_at : Types.switch_id list;
+  blackholed_at : Types.switch_id list;
+  looped : bool;
+  path : (Types.switch_id * Types.port_no) list;
+}
+
+let lookup t sid ~in_port pkt =
+  match Sid_map.find_opt sid t.switches with
+  | None -> None
+  | Some s ->
+      List.find_opt
+        (fun (e : Flow_entry.t) ->
+          Flow_entry.expiry_reason e ~now:t.frozen_at = None
+          && Flow_entry.matches e ~in_port pkt)
+        s.rules
+
+let resolve t sid ~in_port (pkt, out) =
+  let s = Sid_map.find sid t.switches in
+  let up_ports_except skip =
+    List.filter
+      (fun p -> (not (Hashtbl.mem s.ports_down p)) && p <> skip)
+      s.port_nos
+  in
+  if out = Types.port_flood || out = Types.port_all then
+    List.map (fun p -> (pkt, p)) (up_ports_except in_port)
+  else if out = Types.port_in_port then [ (pkt, in_port) ]
+  else if
+    out = Types.port_controller || out = Types.port_local
+    || out = Types.port_none
+  then []
+  else if List.mem out s.port_nos && not (Hashtbl.mem s.ports_down out) then
+    [ (pkt, out) ]
+  else []
+
+let hop_limit = 64
+
+let trace t h pkt =
+  let reached = ref [] in
+  let punted = ref [] in
+  let blackholed = ref [] in
+  let looped = ref false in
+  let path = ref [] in
+  let seen = Hashtbl.create 32 in
+  let rec visit sid in_port pkt hops =
+    path := (sid, in_port) :: !path;
+    let key = (sid, in_port, pkt) in
+    if Hashtbl.mem seen key || hops >= hop_limit then looped := true
+    else begin
+      Hashtbl.replace seen key ();
+      if not (switch_up t sid) then blackholed := sid :: !blackholed
+      else
+        match lookup t sid ~in_port pkt with
+        | None -> punted := sid :: !punted
+        | Some entry ->
+            let staged = Action.apply_staged entry.actions pkt in
+            let copies = List.concat_map (resolve t sid ~in_port) staged in
+            if copies = [] && Action.is_drop entry.actions then ()
+            else if copies = [] then blackholed := sid :: !blackholed
+            else
+              List.iter
+                (fun (pkt', out_port) ->
+                  match Topology.peer t.topo (Topology.Switch sid) out_port with
+                  | Some { node = Topology.Host h'; _ } ->
+                      reached := h' :: !reached
+                  | Some { node = Topology.Switch sid'; port = port' } ->
+                      visit sid' port' pkt' (hops + 1)
+                  | None -> blackholed := sid :: !blackholed)
+                copies
+    end
+  in
+  (match Topology.host_attachment t.topo h with
+  | Some (sid, port) when Topology.peer t.topo (Topology.Host h) 1 <> None ->
+      visit sid port pkt 0
+  | Some _ | None -> ());
+  {
+    reached = List.sort_uniq compare !reached;
+    punted_at = List.sort_uniq compare !punted;
+    blackholed_at = List.sort_uniq compare !blackholed;
+    looped = !looped;
+    path = List.rev !path;
+  }

@@ -1,0 +1,41 @@
+(** A pure, frozen copy of data-plane state: flow tables, port liveness and
+    switch liveness at one instant, plus the (shared, read-only) topology.
+
+    Crash-Pad checks an application's *proposed* output before it touches
+    the network, so the snapshot supports applying hypothetical flow-mods
+    functionally and probing the result. *)
+
+open Openflow
+
+type t
+
+val of_net : Netsim.Net.t -> t
+(** Freeze the current state of a live network. *)
+
+val now : t -> float
+val topology : t -> Netsim.Topology.t
+
+val entries : t -> Types.switch_id -> Netsim.Flow_entry.t list
+(** Flow entries of a switch in priority order; [] for unknown switches. *)
+
+val switch_up : t -> Types.switch_id -> bool
+val port_up : t -> Types.switch_id -> Types.port_no -> bool
+
+val apply_flow_mod : t -> Types.switch_id -> Message.flow_mod -> t
+(** The snapshot after the flow-mod, computed functionally; the original is
+    unchanged. *)
+
+val apply_flow_mods : t -> (Types.switch_id * Message.flow_mod) list -> t
+
+(** Result of tracing one packet through the frozen tables. *)
+type probe = {
+  reached : Netsim.Topology.host list;
+  punted_at : Types.switch_id list;
+  blackholed_at : Types.switch_id list;
+  looped : bool;
+  path : (Types.switch_id * Types.port_no) list;
+}
+
+val trace : t -> Netsim.Topology.host -> Packet.t -> probe
+(** Follow a packet injected by a host. Pure: no counter or buffer
+    changes. *)

@@ -1,0 +1,1 @@
+lib/netsim/flow_entry.ml: Action Format Message Ofp_match Openflow Packet

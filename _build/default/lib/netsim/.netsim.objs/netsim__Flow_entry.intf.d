@@ -1,0 +1,1 @@
+lib/netsim/flow_entry.mli: Action Format Message Ofp_match Openflow Packet Types

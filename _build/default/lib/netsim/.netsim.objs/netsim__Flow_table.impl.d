@@ -1,0 +1,1 @@
+lib/netsim/flow_table.ml: Action Flow_entry Format List Ofp_match Openflow

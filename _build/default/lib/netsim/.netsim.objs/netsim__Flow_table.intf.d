@@ -1,0 +1,1 @@
+lib/netsim/flow_table.mli: Action Flow_entry Format Message Ofp_match Openflow Packet Types

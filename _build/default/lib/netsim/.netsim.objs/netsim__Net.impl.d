@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Action Clock Flow_table Hashtbl List Message Openflow Packet Sw Topology Types

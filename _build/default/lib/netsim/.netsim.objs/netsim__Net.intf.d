@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Clock Message Openflow Packet Sw Topology Types

@@ -1,0 +1,1 @@
+lib/netsim/sw.ml: Action Flow_entry Flow_table Format Hashtbl List Message Ofp_match Openflow Option Packet Printf Types

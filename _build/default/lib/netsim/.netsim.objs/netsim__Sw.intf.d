@@ -1,0 +1,1 @@
+lib/netsim/sw.mli: Flow_table Format Hashtbl Message Openflow Packet Types

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Format List Openflow Printf Types

@@ -1,0 +1,14 @@
+type t = { mutable now : float }
+
+let create ?(start = 0.) () = { now = start }
+let now c = c.now
+
+let advance_to c t =
+  if t < c.now then
+    invalid_arg
+      (Printf.sprintf "Clock.advance_to: %g is before current time %g" t c.now);
+  c.now <- t
+
+let advance_by c d =
+  if d < 0. then invalid_arg "Clock.advance_by: negative delta";
+  c.now <- c.now +. d

@@ -1,0 +1,16 @@
+(** Virtual simulation time.
+
+    All time in the simulator is virtual and deterministic; nothing ever
+    reads the wall clock. Time is a [float] in seconds. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+val now : t -> float
+
+val advance_to : t -> float -> unit
+(** Move time forward. Raises [Invalid_argument] on attempts to move it
+    backwards — simulation time is monotonic. *)
+
+val advance_by : t -> float -> unit
+(** [advance_by c d] moves time forward by [d] seconds ([d >= 0]). *)

@@ -1,0 +1,77 @@
+(* Binary min-heap over (time, sequence) pairs in a growable array. The
+   sequence number breaks ties so that same-time events are FIFO. *)
+
+type 'a cell = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time value =
+  let cell = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.heap then begin
+    let cap = max 8 (2 * t.len) in
+    let fresh = Array.make cap cell in
+    Array.blit t.heap 0 fresh 0 t.len;
+    t.heap <- fresh
+  end;
+  t.heap.(t.len) <- cell;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let drain_until t ~time =
+  let rec go acc =
+    match peek_time t with
+    | Some ts when ts <= time -> (
+        match pop t with Some ev -> go (ev :: acc) | None -> acc)
+    | Some _ | None -> acc
+  in
+  List.rev (go [])

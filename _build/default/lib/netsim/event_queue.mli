@@ -1,0 +1,21 @@
+(** A deterministic discrete-event priority queue keyed by virtual time.
+
+    Events with equal timestamps dequeue in insertion order (FIFO), which
+    keeps whole-simulation runs reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val drain_until : 'a t -> time:float -> (float * 'a) list
+(** All events with timestamp [<= time], earliest first. *)

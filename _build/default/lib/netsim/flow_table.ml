@@ -1,0 +1,86 @@
+open Openflow
+
+(* Entries are kept sorted by decreasing priority; within a priority level,
+   insertion order is preserved, which makes lookups deterministic. *)
+type t = { mutable rules : Flow_entry.t list }
+
+let create () = { rules = [] }
+
+let size t = List.length t.rules
+let entries t = t.rules
+let clear t = t.rules <- []
+
+let insert_sorted entry rules =
+  let rec go = function
+    | [] -> [ entry ]
+    | (e : Flow_entry.t) :: rest as all ->
+        if entry.Flow_entry.priority > e.priority then entry :: all
+        else e :: go rest
+  in
+  go rules
+
+let add t entry =
+  let without =
+    List.filter (fun e -> not (Flow_entry.same_rule e entry)) t.rules
+  in
+  t.rules <- insert_sorted entry without
+
+let touches ~strict pattern ~priority (e : Flow_entry.t) =
+  if strict then priority = e.priority && Ofp_match.equal pattern e.pattern
+  else Ofp_match.subsumes pattern e.pattern
+
+let modify t ~strict pattern ~priority actions =
+  let hit = ref false in
+  t.rules <-
+    List.map
+      (fun (e : Flow_entry.t) ->
+        if touches ~strict pattern ~priority e then begin
+          hit := true;
+          { e with actions }
+        end
+        else e)
+      t.rules;
+  !hit
+
+let delete t ~strict ?out_port pattern ~priority =
+  let port_ok (e : Flow_entry.t) =
+    match out_port with
+    | None -> true
+    | Some p -> List.mem p (Action.outputs e.actions)
+  in
+  let gone, kept =
+    List.partition
+      (fun e -> touches ~strict pattern ~priority e && port_ok e)
+      t.rules
+  in
+  t.rules <- kept;
+  gone
+
+let lookup t ~now ~in_port pkt =
+  let live (e : Flow_entry.t) = Flow_entry.expiry_reason e ~now = None in
+  List.find_opt
+    (fun e -> live e && Flow_entry.matches e ~in_port pkt)
+    t.rules
+
+let expire t ~now =
+  let expired, kept =
+    List.partition_map
+      (fun e ->
+        match Flow_entry.expiry_reason e ~now with
+        | Some reason -> Left (e, reason)
+        | None -> Right e)
+      t.rules
+  in
+  t.rules <- kept;
+  expired
+
+let find_exact t pattern ~priority =
+  List.find_opt
+    (fun (e : Flow_entry.t) ->
+      e.priority = priority && Ofp_match.equal e.pattern pattern)
+    t.rules
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list Flow_entry.pp)
+    t.rules

@@ -1,0 +1,51 @@
+(** A single OF 1.0 flow table: priority-ordered entries with wildcard
+    matching, strict/non-strict modify and delete, and timeout expiry. *)
+
+open Openflow
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+val entries : t -> Flow_entry.t list
+(** Entries in priority order (highest first); ties in insertion order. *)
+
+val clear : t -> unit
+
+val add : t -> Flow_entry.t -> unit
+(** Install an entry. An existing entry with identical match and priority is
+    replaced (counters reset), per OF 1.0 Add semantics. *)
+
+val modify :
+  t -> strict:bool -> Ofp_match.t -> priority:int -> Action.t list -> bool
+(** Update the action list of matching entries in place (preserving
+    counters). Non-strict touches every entry the pattern {!Ofp_match.subsumes};
+    strict only an exact match+priority twin. Returns [false] when nothing
+    matched — the caller must then fall back to an add, as the spec says. *)
+
+val delete :
+  t ->
+  strict:bool ->
+  ?out_port:Types.port_no ->
+  Ofp_match.t ->
+  priority:int ->
+  Flow_entry.t list
+(** Remove matching entries and return them (most recent state first was not
+    guaranteed; priority order). [out_port] further restricts to entries
+    whose actions output to that port. *)
+
+val lookup : t -> now:float -> in_port:Types.port_no -> Packet.t
+  -> Flow_entry.t option
+(** Highest-priority live entry matching the packet. Counters are NOT
+    touched; callers decide whether the lookup is a forwarding event
+    ({!Flow_entry.account}) or a read-only probe. *)
+
+val expire : t -> now:float
+  -> (Flow_entry.t * Message.flow_removed_reason) list
+(** Remove every timed-out entry, returning each with its reason. *)
+
+val find_exact : t -> Ofp_match.t -> priority:int -> Flow_entry.t option
+(** The entry with exactly this match and priority, if present. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,313 @@
+open Openflow
+
+type fault =
+  | Link_down of Topology.node * Topology.node
+  | Link_up of Topology.node * Topology.node
+  | Switch_down of Types.switch_id
+  | Switch_up of Types.switch_id
+  | Port_down of Types.switch_id * Types.port_no
+  | Port_up of Types.switch_id * Types.port_no
+
+type notification =
+  | From_switch of Types.switch_id * Message.t
+  | Switch_connected of Types.switch_id * Message.features
+  | Switch_disconnected of Types.switch_id
+  | Delivered of Topology.host * Packet.t
+
+type stats = {
+  mutable delivered : int;
+  mutable blackholed : int;
+  mutable looped : int;
+  mutable packet_ins : int;
+}
+
+type t = {
+  clock : Clock.t;
+  topo : Topology.t;
+  switches : (int, Sw.t) Hashtbl.t;
+  mutable pending : notification list;  (* reverse order *)
+  hop_limit : int;
+  st : stats;
+}
+
+let queue t n = t.pending <- n :: t.pending
+
+let create ?(hop_limit = 64) clock topo =
+  let switches = Hashtbl.create 16 in
+  let t =
+    {
+      clock;
+      topo;
+      switches;
+      pending = [];
+      hop_limit;
+      st = { delivered = 0; blackholed = 0; looped = 0; packet_ins = 0 };
+    }
+  in
+  List.iter
+    (fun sid ->
+      let port_nos = List.map fst (Topology.switch_ports topo sid) in
+      let sw = Sw.create ~id:sid ~port_nos in
+      Hashtbl.replace switches sid sw;
+      queue t (Switch_connected (sid, Sw.features sw)))
+    (Topology.switches topo);
+  t
+
+let topology t = t.topo
+let clock t = t.clock
+
+let switch t sid =
+  match Hashtbl.find_opt t.switches sid with
+  | Some sw -> sw
+  | None -> raise Not_found
+
+let stats t = t.st
+
+(* Propagate the data-plane effects of a forward_result outward from a
+   switch, copy by copy, bounded by the hop limit. *)
+let rec propagate t sid (fwd : Sw.forward_result) ~hops =
+  let sw = switch t sid in
+  List.iter
+    (fun pi ->
+      t.st.packet_ins <- t.st.packet_ins + 1;
+      queue t (From_switch (sid, Message.message (Message.Packet_in pi))))
+    fwd.punts;
+  List.iter
+    (fun (pkt, out_port) ->
+      Sw.account_tx sw out_port pkt;
+      match Topology.peer t.topo (Topology.Switch sid) out_port with
+      | Some { node = Topology.Host h; _ } ->
+          t.st.delivered <- t.st.delivered + 1;
+          queue t (Delivered (h, pkt))
+      | Some { node = Topology.Switch next_sid; port = next_port } ->
+          if hops >= t.hop_limit then t.st.looped <- t.st.looped + 1
+          else begin
+            let next_sw = switch t next_sid in
+            if next_sw.up then
+              let fwd' =
+                Sw.process_packet next_sw ~now:(Clock.now t.clock)
+                  ~in_port:next_port pkt
+              in
+              propagate t next_sid fwd' ~hops:(hops + 1)
+            else t.st.blackholed <- t.st.blackholed + 1
+          end
+      | None -> t.st.blackholed <- t.st.blackholed + 1)
+    fwd.transmits
+
+let send t sid msg =
+  match Hashtbl.find_opt t.switches sid with
+  | None ->
+      [ Message.message ~xid:msg.Message.xid
+          (Message.Error (Message.Bad_request, "unknown switch")) ]
+  | Some sw ->
+      let replies, fwd = Sw.handle_message sw ~now:(Clock.now t.clock) msg in
+      propagate t sid fwd ~hops:0;
+      replies
+
+let inject t h pkt =
+  match Topology.host_attachment t.topo h with
+  | None -> ()
+  | Some (sid, port) -> (
+      match Topology.peer t.topo (Topology.Host h) 1 with
+      | None -> () (* access link down: packet lost at the NIC *)
+      | Some _ ->
+          let sw = switch t sid in
+          if sw.up then begin
+            let fwd =
+              Sw.process_packet sw ~now:(Clock.now t.clock) ~in_port:port pkt
+            in
+            propagate t sid fwd ~hops:0
+          end)
+
+let poll t =
+  let batch = List.rev t.pending in
+  t.pending <- [];
+  batch
+
+let port_status_notification t sid port_no =
+  let sw = switch t sid in
+  match Sw.port sw port_no with
+  | None -> ()
+  | Some p ->
+      if sw.up then
+        queue t
+          (From_switch
+             ( sid,
+               Message.message
+                 (Message.Port_status (Message.Port_modify, Sw.port_desc p)) ))
+
+let set_link_state t link ~up =
+  Topology.set_link link ~up;
+  let update_endpoint (e : Topology.endpoint) =
+    match e.node with
+    | Topology.Switch sid ->
+        let sw = switch t sid in
+        ignore (Sw.set_port sw e.port ~up);
+        port_status_notification t sid e.port
+    | Topology.Host _ -> ()
+  in
+  update_endpoint link.Topology.a;
+  update_endpoint link.Topology.b
+
+let apply_fault t fault =
+  match fault with
+  | Link_down (na, nb) -> (
+      match Topology.link_between t.topo na nb with
+      | Some l -> set_link_state t l ~up:false
+      | None -> ())
+  | Link_up (na, nb) -> (
+      match Topology.link_between t.topo na nb with
+      | Some l -> set_link_state t l ~up:true
+      | None -> ())
+  | Port_down (sid, port) -> (
+      match Topology.link_at t.topo (Topology.Switch sid) port with
+      | Some l -> set_link_state t l ~up:false
+      | None -> ())
+  | Port_up (sid, port) -> (
+      match Topology.link_at t.topo (Topology.Switch sid) port with
+      | Some l -> set_link_state t l ~up:true
+      | None -> ())
+  | Switch_down sid ->
+      let sw = switch t sid in
+      if sw.up then begin
+        sw.up <- false;
+        (* Carrier drops on every attached link; peers see port-down. *)
+        List.iter
+          (fun (_, l) -> set_link_state t l ~up:false)
+          (Topology.switch_ports t.topo sid);
+        queue t (Switch_disconnected sid)
+      end
+  | Switch_up sid ->
+      let sw = switch t sid in
+      if not sw.up then begin
+        sw.up <- true;
+        (* Reboot semantics: empty table, empty buffers. *)
+        Flow_table.clear sw.table;
+        Hashtbl.reset sw.buffers;
+        List.iter
+          (fun (_, l) ->
+            (* Only links whose far end is also alive come back. *)
+            let far_alive =
+              let far (e : Topology.endpoint) =
+                match e.node with
+                | Topology.Switch other ->
+                    other = sid || (switch t other).up
+                | Topology.Host _ -> true
+              in
+              far l.Topology.a && far l.Topology.b
+            in
+            if far_alive then set_link_state t l ~up:true)
+          (Topology.switch_ports t.topo sid);
+        queue t (Switch_connected (sid, Sw.features sw))
+      end
+
+let tick t =
+  let now = Clock.now t.clock in
+  List.iter
+    (fun sid ->
+      let sw = switch t sid in
+      if sw.up then
+        List.iter
+          (fun msg -> queue t (From_switch (sid, msg)))
+          (Sw.expire_flows sw ~now))
+    (Topology.switches t.topo)
+
+type probe_result = {
+  reached : Topology.host list;
+  punted_at : Types.switch_id list;
+  blackholed_at : Types.switch_id list;
+  looped : bool;
+  path : (Types.switch_id * Types.port_no) list;
+}
+
+(* Pure resolution of a staged output for probing: same logic as the
+   switch's, without mutating drop counters. *)
+let probe_resolve sw ~in_port (pkt, out) =
+  let up_ports_except skip =
+    Sw.port_list sw
+    |> List.filter (fun (p : Sw.port_state) ->
+           p.port_up && p.port_no <> skip)
+    |> List.map (fun (p : Sw.port_state) -> p.port_no)
+  in
+  if out = Types.port_flood || out = Types.port_all then
+    List.map (fun p -> (pkt, p)) (up_ports_except in_port)
+  else if out = Types.port_in_port then [ (pkt, in_port) ]
+  else if
+    out = Types.port_controller || out = Types.port_local
+    || out = Types.port_none
+  then []
+  else
+    match Sw.port sw out with
+    | Some p when p.port_up -> [ (pkt, out) ]
+    | Some _ | None -> []
+
+let probe t h pkt =
+  let reached = ref [] in
+  let punted = ref [] in
+  let blackholed = ref [] in
+  let looped = ref false in
+  let path = ref [] in
+  let seen = Hashtbl.create 32 in
+  let now = Clock.now t.clock in
+  let rec visit sid in_port pkt hops =
+    path := (sid, in_port) :: !path;
+    let key = (sid, in_port, pkt) in
+    if Hashtbl.mem seen key || hops >= t.hop_limit then looped := true
+    else begin
+      Hashtbl.replace seen key ();
+      let sw = switch t sid in
+      if not sw.up then blackholed := sid :: !blackholed
+      else
+        match Flow_table.lookup sw.table ~now ~in_port pkt with
+        | None -> punted := sid :: !punted
+        | Some entry ->
+            let staged = Action.apply_staged entry.actions pkt in
+            let copies =
+              List.concat_map (probe_resolve sw ~in_port) staged
+            in
+            if copies = [] && Action.is_drop entry.actions then
+              (* explicit drop rule: intentional, not a black hole *)
+              ()
+            else if copies = [] then blackholed := sid :: !blackholed
+            else
+              List.iter
+                (fun (pkt', out_port) ->
+                  match Topology.peer t.topo (Topology.Switch sid) out_port with
+                  | Some { node = Topology.Host h'; _ } ->
+                      reached := h' :: !reached
+                  | Some { node = Topology.Switch sid'; port = port' } ->
+                      visit sid' port' pkt' (hops + 1)
+                  | None -> blackholed := sid :: !blackholed)
+                copies
+    end
+  in
+  (match Topology.host_attachment t.topo h with
+  | Some (sid, port) when Topology.peer t.topo (Topology.Host h) 1 <> None ->
+      visit sid port pkt 0
+  | Some _ | None -> ());
+  {
+    reached = List.sort_uniq compare !reached;
+    punted_at = List.sort_uniq compare !punted;
+    blackholed_at = List.sort_uniq compare !blackholed;
+    looped = !looped;
+    path = List.rev !path;
+  }
+
+let reachable t src dst =
+  let pkt = Packet.tcp ~src_host:src ~dst_host:dst () in
+  List.mem dst (probe t src pkt).reached
+
+let connectivity t =
+  let hosts = Topology.hosts t.topo in
+  let pairs = ref 0 and ok = ref 0 in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            incr pairs;
+            if reachable t src dst then incr ok
+          end)
+        hosts)
+    hosts;
+  if !pairs = 0 then 1.0 else float !ok /. float !pairs

@@ -1,0 +1,90 @@
+(** The live network: a topology instantiated with switch state, a data
+    plane that propagates packets across it, and a notification queue
+    feeding the controller.
+
+    This is the "southbound" boundary: the controller calls {!send} and
+    {!poll}; workloads call {!inject}; failure injection calls
+    {!apply_fault}; invariant checkers use the read-only {!probe}. *)
+
+open Openflow
+
+type fault =
+  | Link_down of Topology.node * Topology.node
+  | Link_up of Topology.node * Topology.node
+  | Switch_down of Types.switch_id
+  | Switch_up of Types.switch_id
+      (** A switch coming back has an empty flow table — reboot semantics. *)
+  | Port_down of Types.switch_id * Types.port_no
+  | Port_up of Types.switch_id * Types.port_no
+
+type notification =
+  | From_switch of Types.switch_id * Message.t
+      (** Asynchronous switch-to-controller message: packet-in,
+          flow-removed, port-status. *)
+  | Switch_connected of Types.switch_id * Message.features
+  | Switch_disconnected of Types.switch_id
+  | Delivered of Topology.host * Packet.t
+      (** A packet reached a host NIC (visible to workloads, not to the
+          controller). *)
+
+type stats = {
+  mutable delivered : int;
+  mutable blackholed : int;  (** Copies dropped with no matching egress. *)
+  mutable looped : int;  (** Copies killed by the hop limit. *)
+  mutable packet_ins : int;
+}
+
+type t
+
+val create : ?hop_limit:int -> Clock.t -> Topology.t -> t
+(** Instantiate switches for every switch node. A [Switch_connected]
+    notification is queued per switch, modelling the initial handshake. *)
+
+val topology : t -> Topology.t
+val clock : t -> Clock.t
+val switch : t -> Types.switch_id -> Sw.t
+(** Raises [Not_found] for unknown ids. *)
+
+val stats : t -> stats
+
+val send : t -> Types.switch_id -> Message.t -> Message.t list
+(** Deliver a controller-to-switch message; returns the synchronous replies.
+    Data-plane side effects (packet-outs, buffered-packet releases)
+    propagate through the network, possibly queueing notifications. Sending
+    to a disconnected switch returns a single [Error] reply. *)
+
+val inject : t -> Topology.host -> Packet.t -> unit
+(** A host transmits a packet into its access switch. Effects (deliveries,
+    packet-ins) are queued as notifications. *)
+
+val poll : t -> notification list
+(** Drain queued notifications, oldest first. *)
+
+val apply_fault : t -> fault -> unit
+(** Change topology/switch state and queue the resulting port-status or
+    connect/disconnect notifications. *)
+
+val tick : t -> unit
+(** Expire flow-table entries against the current clock, queueing
+    flow-removed notifications. *)
+
+(** Read-only trace of where a packet would go, given current tables.
+    Counters, buffers and notifications are untouched. *)
+type probe_result = {
+  reached : Topology.host list;
+  punted_at : Types.switch_id list;  (** Table misses along the way. *)
+  blackholed_at : Types.switch_id list;
+  looped : bool;
+  path : (Types.switch_id * Types.port_no) list;
+      (** (switch, ingress port) in visit order. *)
+}
+
+val probe : t -> Topology.host -> Packet.t -> probe_result
+
+val reachable : t -> Topology.host -> Topology.host -> bool
+(** Would a canonical TCP packet from one host reach the other right now,
+    using only installed rules (no controller help)? *)
+
+val connectivity : t -> float
+(** Fraction of ordered host pairs for which {!reachable} holds; 1.0 on a
+    fully programmed network. *)

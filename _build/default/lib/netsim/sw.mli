@@ -1,0 +1,75 @@
+(** A simulated OpenFlow 1.0 switch: one flow table, a set of ports with
+    counters, a packet buffer store, and a message handler implementing the
+    controller-facing protocol. *)
+
+open Openflow
+
+type port_state = {
+  port_no : Types.port_no;
+  hw_addr : Types.mac;
+  mutable port_up : bool;
+  mutable no_flood : bool;
+      (** OFPPC_NO_FLOOD: set via [Port_mod]; FLOOD outputs skip the port. *)
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
+  mutable rx_dropped : int;
+  mutable tx_dropped : int;
+}
+
+type t = {
+  id : Types.switch_id;
+  table : Flow_table.t;
+  mutable up : bool;
+  ports : (int, port_state) Hashtbl.t;
+  buffers : (int, Packet.t * Types.port_no) Hashtbl.t;
+  mutable next_buffer_id : int;
+}
+
+val create : id:Types.switch_id -> port_nos:Types.port_no list -> t
+(** A switch with the given wired ports, all initially up. *)
+
+val port : t -> Types.port_no -> port_state option
+val port_list : t -> port_state list
+(** Ports ascending by number. *)
+
+val set_port : t -> Types.port_no -> up:bool -> bool
+(** Returns [false] if the port does not exist. *)
+
+val features : t -> Message.features
+val port_desc : port_state -> Message.port_desc
+
+(** Result of pushing one packet through the pipeline. *)
+type forward_result = {
+  transmits : (Packet.t * Types.port_no) list;
+      (** Concrete egress copies, reserved ports already expanded. *)
+  punts : Message.packet_in list;
+      (** Packet-ins raised (table miss or output-to-controller). *)
+  matched : bool;  (** Whether some flow entry matched. *)
+}
+
+val empty_forward : forward_result
+
+val process_packet :
+  t -> now:float -> in_port:Types.port_no -> Packet.t -> forward_result
+(** Run the packet through the flow table, updating entry and port rx
+    counters. A table miss buffers the packet and raises a [No_match]
+    packet-in carrying the buffer id. *)
+
+val account_tx : t -> Types.port_no -> Packet.t -> unit
+(** Record an actual transmission out of a port (the network layer calls
+    this once per copy it propagates). *)
+
+val handle_message :
+  t -> now:float -> Message.t -> Message.t list * forward_result
+(** Process one controller-to-switch message; returns the direct protocol
+    replies (echo/barrier/stats/features/flow-removed/error, with the
+    request's xid) and any data-plane transmissions it triggered
+    (packet-out, or a flow-mod applied to a buffered packet). *)
+
+val expire_flows : t -> now:float -> Message.t list
+(** Remove timed-out entries; returns the [Flow_removed] notifications for
+    entries that asked for them. *)
+
+val pp : Format.formatter -> t -> unit

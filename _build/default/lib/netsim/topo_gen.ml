@@ -1,0 +1,221 @@
+open Topology
+
+(* Builder tracking the next free inter-switch and host-facing port of each
+   switch; inter-switch ports count up from 1, host ports from 100. *)
+type builder = {
+  topo : Topology.t;
+  inter : (int, int) Hashtbl.t;
+  hostp : (int, int) Hashtbl.t;
+  mutable next_host : int;
+}
+
+let builder () =
+  {
+    topo = Topology.create ();
+    inter = Hashtbl.create 16;
+    hostp = Hashtbl.create 16;
+    next_host = 1;
+  }
+
+let fresh_port table sid start =
+  let p = try Hashtbl.find table sid with Not_found -> start in
+  Hashtbl.replace table sid (p + 1);
+  p
+
+let add_switches b n =
+  for sid = 1 to n do
+    Topology.add_switch b.topo sid
+  done
+
+let link_switches b s1 s2 =
+  let p1 = fresh_port b.inter s1 1 in
+  let p2 = fresh_port b.inter s2 1 in
+  ignore
+    (Topology.connect b.topo
+       { node = Switch s1; port = p1 }
+       { node = Switch s2; port = p2 })
+
+let add_hosts b sid count =
+  for _ = 1 to count do
+    let h = b.next_host in
+    b.next_host <- b.next_host + 1;
+    Topology.add_host b.topo h;
+    let port = fresh_port b.hostp sid 100 in
+    ignore (Topology.attach_host b.topo h sid port)
+  done
+
+let linear ?(hosts_per_switch = 1) n =
+  if n < 1 then invalid_arg "Topo_gen.linear: need at least one switch";
+  let b = builder () in
+  add_switches b n;
+  for s = 1 to n - 1 do
+    link_switches b s (s + 1)
+  done;
+  for s = 1 to n do
+    add_hosts b s hosts_per_switch
+  done;
+  b.topo
+
+let ring ?(hosts_per_switch = 1) n =
+  if n < 3 then invalid_arg "Topo_gen.ring: need at least three switches";
+  let b = builder () in
+  add_switches b n;
+  for s = 1 to n - 1 do
+    link_switches b s (s + 1)
+  done;
+  link_switches b n 1;
+  for s = 1 to n do
+    add_hosts b s hosts_per_switch
+  done;
+  b.topo
+
+let star ?(hosts_per_switch = 1) n =
+  if n < 1 then invalid_arg "Topo_gen.star: need at least one leaf";
+  let b = builder () in
+  add_switches b (n + 1);
+  for leaf = 2 to n + 1 do
+    link_switches b 1 leaf
+  done;
+  for leaf = 2 to n + 1 do
+    add_hosts b leaf hosts_per_switch
+  done;
+  b.topo
+
+let tree ?(hosts_per_leaf = 1) ~depth ~fanout () =
+  if depth < 0 then invalid_arg "Topo_gen.tree: negative depth";
+  if fanout < 1 then invalid_arg "Topo_gen.tree: fanout must be positive";
+  let b = builder () in
+  (* Count nodes level by level; ids are assigned breadth-first from 1. *)
+  let level_size = Array.make (depth + 1) 1 in
+  for d = 1 to depth do
+    level_size.(d) <- level_size.(d - 1) * fanout
+  done;
+  let total = Array.fold_left ( + ) 0 level_size in
+  add_switches b total;
+  let first_of_level = Array.make (depth + 1) 1 in
+  for d = 1 to depth do
+    first_of_level.(d) <- first_of_level.(d - 1) + level_size.(d - 1)
+  done;
+  for d = 0 to depth - 1 do
+    for i = 0 to level_size.(d) - 1 do
+      let parent = first_of_level.(d) + i in
+      for c = 0 to fanout - 1 do
+        let child = first_of_level.(d + 1) + (i * fanout) + c in
+        link_switches b parent child
+      done
+    done
+  done;
+  let first_leaf = first_of_level.(depth) in
+  for leaf = first_leaf to first_leaf + level_size.(depth) - 1 do
+    add_hosts b leaf hosts_per_leaf
+  done;
+  b.topo
+
+let mesh ?(hosts_per_switch = 1) n =
+  if n < 2 then invalid_arg "Topo_gen.mesh: need at least two switches";
+  let b = builder () in
+  add_switches b n;
+  for s1 = 1 to n do
+    for s2 = s1 + 1 to n do
+      link_switches b s1 s2
+    done
+  done;
+  for s = 1 to n do
+    add_hosts b s hosts_per_switch
+  done;
+  b.topo
+
+let fat_tree k =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Topo_gen.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let n_core = half * half in
+  let b = builder () in
+  (* Ids: cores 1..n_core, then per pod: aggs then edges. *)
+  let agg p i = n_core + (p * k) + i + 1 in
+  let edge p i = n_core + (p * k) + half + i + 1 in
+  add_switches b (n_core + (k * k));
+  for p = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      (* Each aggregation switch connects to the cores of its "column". *)
+      for c = 0 to half - 1 do
+        link_switches b (agg p a) ((a * half) + c + 1)
+      done;
+      (* ... and to every edge switch in its pod. *)
+      for e = 0 to half - 1 do
+        link_switches b (agg p a) (edge p e)
+      done
+    done;
+    for e = 0 to half - 1 do
+      add_hosts b (edge p e) half
+    done
+  done;
+  b.topo
+
+let jellyfish ?(hosts_per_switch = 1) ~seed ~switches ~degree () =
+  if switches < 3 then invalid_arg "Topo_gen.jellyfish: need >= 3 switches";
+  if degree < 2 then invalid_arg "Topo_gen.jellyfish: degree must be >= 2";
+  let rng = Random.State.make [| seed |] in
+  let b = builder () in
+  add_switches b switches;
+  let deg = Array.make (switches + 1) 0 in
+  let edge_exists s1 s2 =
+    Topology.link_between b.topo (Switch s1) (Switch s2) <> None
+  in
+  let wire s1 s2 =
+    link_switches b s1 s2;
+    deg.(s1) <- deg.(s1) + 1;
+    deg.(s2) <- deg.(s2) + 1
+  in
+  (* A ring guarantees connectivity; random chords fill the degree budget. *)
+  for s = 1 to switches - 1 do
+    wire s (s + 1)
+  done;
+  wire switches 1;
+  let attempts = ref 0 in
+  let budget = switches * degree * 10 in
+  while
+    !attempts < budget
+    && Array.exists (fun d -> d < degree) (Array.sub deg 1 switches)
+  do
+    incr attempts;
+    let s1 = 1 + Random.State.int rng switches in
+    let s2 = 1 + Random.State.int rng switches in
+    if s1 <> s2 && deg.(s1) < degree && deg.(s2) < degree
+       && not (edge_exists s1 s2)
+    then wire s1 s2
+  done;
+  for s = 1 to switches do
+    add_hosts b s hosts_per_switch
+  done;
+  b.topo
+
+let random ?(hosts_per_switch = 1) ~seed ~switches ~extra_links () =
+  if switches < 1 then invalid_arg "Topo_gen.random: need switches";
+  let rng = Random.State.make [| seed |] in
+  let b = builder () in
+  add_switches b switches;
+  (* Random spanning tree: attach each new switch to a uniformly chosen
+     earlier one, guaranteeing connectivity. *)
+  for s = 2 to switches do
+    let parent = 1 + Random.State.int rng (s - 1) in
+    link_switches b parent s
+  done;
+  let edge_exists s1 s2 =
+    Topology.link_between b.topo (Switch s1) (Switch s2) <> None
+  in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_links && !attempts < extra_links * 20 do
+    incr attempts;
+    let s1 = 1 + Random.State.int rng switches in
+    let s2 = 1 + Random.State.int rng switches in
+    if s1 <> s2 && not (edge_exists s1 s2) then begin
+      link_switches b s1 s2;
+      incr added
+    end
+  done;
+  for s = 1 to switches do
+    add_hosts b s hosts_per_switch
+  done;
+  b.topo

@@ -1,0 +1,43 @@
+(** Deterministic topology generators for experiments and tests.
+
+    Conventions: switches are numbered from 1; hosts are numbered from 1
+    across the whole topology; inter-switch ports start at 1 per switch and
+    host-facing ports at 100, so the two ranges never collide. *)
+
+val linear : ?hosts_per_switch:int -> int -> Topology.t
+(** [linear n] is a chain s1 — s2 — … — sn. *)
+
+val ring : ?hosts_per_switch:int -> int -> Topology.t
+(** [ring n] is the chain closed into a cycle ([n >= 3]). *)
+
+val star : ?hosts_per_switch:int -> int -> Topology.t
+(** [star n] is a hub (switch 1) with [n] leaf switches; hosts hang off the
+    leaves. *)
+
+val tree : ?hosts_per_leaf:int -> depth:int -> fanout:int -> unit -> Topology.t
+(** A complete [fanout]-ary tree of switches of the given [depth]
+    (depth 0 = a single root). Hosts attach to the leaves. *)
+
+val mesh : ?hosts_per_switch:int -> int -> Topology.t
+(** [mesh n] is a full mesh of [n] switches. *)
+
+val random :
+  ?hosts_per_switch:int -> seed:int -> switches:int -> extra_links:int
+  -> unit -> Topology.t
+(** A connected random graph: a random spanning tree plus [extra_links]
+    additional random switch-switch links (skipping duplicates), from a
+    seeded generator. *)
+
+val fat_tree : int -> Topology.t
+(** [fat_tree k] is the canonical k-ary fat-tree data-center fabric
+    ([k] even, ≥ 2): [(k/2)²] core switches, [k] pods of [k/2] aggregation
+    and [k/2] edge switches, and [k/2] hosts per edge switch — [k³/4]
+    hosts in total. Switch ids: cores first, then pod by pod (aggregation
+    before edge). *)
+
+val jellyfish :
+  ?hosts_per_switch:int -> seed:int -> switches:int -> degree:int -> unit
+  -> Topology.t
+(** A Jellyfish-style random regular-ish graph: every switch aims for
+    [degree] inter-switch links, wired by seeded random matching (connected
+    by construction via an initial ring). *)

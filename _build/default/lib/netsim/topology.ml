@@ -1,0 +1,149 @@
+open Openflow
+
+type host = int
+
+type node = Switch of Types.switch_id | Host of host
+
+type endpoint = { node : node; port : Types.port_no }
+
+type link = {
+  link_id : int;
+  a : endpoint;
+  b : endpoint;
+  mutable up : bool;
+}
+
+type t = {
+  mutable switch_ids : Types.switch_id list;  (* sorted ascending *)
+  mutable host_ids : host list;  (* sorted ascending *)
+  mutable link_list : link list;  (* reverse creation order *)
+  mutable next_link_id : int;
+}
+
+let create () =
+  { switch_ids = []; host_ids = []; link_list = []; next_link_id = 0 }
+
+let insert_sorted x l =
+  let rec go = function
+    | [] -> [ x ]
+    | y :: rest as all -> if x < y then x :: all else y :: go rest
+  in
+  go l
+
+let add_switch t sid =
+  if List.mem sid t.switch_ids then
+    invalid_arg (Printf.sprintf "Topology.add_switch: duplicate switch %d" sid);
+  t.switch_ids <- insert_sorted sid t.switch_ids
+
+let add_host t hid =
+  if List.mem hid t.host_ids then
+    invalid_arg (Printf.sprintf "Topology.add_host: duplicate host %d" hid);
+  t.host_ids <- insert_sorted hid t.host_ids
+
+let node_exists t = function
+  | Switch sid -> List.mem sid t.switch_ids
+  | Host h -> List.mem h t.host_ids
+
+let endpoint_eq e node port = e.node = node && e.port = port
+
+let link_at t node port =
+  List.find_opt
+    (fun l -> endpoint_eq l.a node port || endpoint_eq l.b node port)
+    t.link_list
+
+let pp_node fmt = function
+  | Switch sid -> Types.pp_switch fmt sid
+  | Host h -> Format.fprintf fmt "h%d" h
+
+let connect t ea eb =
+  let check e =
+    if not (node_exists t e.node) then
+      invalid_arg
+        (Format.asprintf "Topology.connect: undeclared node %a" pp_node e.node);
+    if link_at t e.node e.port <> None then
+      invalid_arg
+        (Format.asprintf "Topology.connect: %a port %d already wired" pp_node
+           e.node e.port)
+  in
+  check ea;
+  check eb;
+  let link = { link_id = t.next_link_id; a = ea; b = eb; up = true } in
+  t.next_link_id <- t.next_link_id + 1;
+  t.link_list <- link :: t.link_list;
+  link
+
+let attach_host t h sid port =
+  connect t { node = Host h; port = 1 } { node = Switch sid; port }
+
+let switches t = t.switch_ids
+let hosts t = t.host_ids
+let links t = List.rev t.link_list
+
+let far_end l node port =
+  if endpoint_eq l.a node port then Some l.b
+  else if endpoint_eq l.b node port then Some l.a
+  else None
+
+let peer t node port =
+  match link_at t node port with
+  | Some l when l.up -> far_end l node port
+  | Some _ | None -> None
+
+let peer_even_if_down t node port =
+  match link_at t node port with
+  | Some l -> far_end l node port
+  | None -> None
+
+let link_between t na nb =
+  let joins l =
+    (l.a.node = na && l.b.node = nb) || (l.a.node = nb && l.b.node = na)
+  in
+  List.find_opt joins (links t)
+
+let switch_ports t sid =
+  let node = Switch sid in
+  links t
+  |> List.filter_map (fun l ->
+         if l.a.node = node then Some (l.a.port, l)
+         else if l.b.node = node then Some (l.b.port, l)
+         else None)
+  |> List.sort (fun (p, _) (q, _) -> compare p q)
+
+let host_attachment t h =
+  match link_at t (Host h) 1 with
+  | None -> None
+  | Some l -> (
+      match far_end l (Host h) 1 with
+      | Some { node = Switch sid; port } -> Some (sid, port)
+      | Some { node = Host _; _ } | None -> None)
+
+let hosts_on t sid =
+  switch_ports t sid
+  |> List.filter_map (fun (port, l) ->
+         match far_end l (Switch sid) port with
+         | Some { node = Host h; _ } -> Some (h, port)
+         | Some { node = Switch _; _ } | None -> None)
+
+let neighbor_switches t sid =
+  switch_ports t sid
+  |> List.filter_map (fun (port, l) ->
+         if not l.up then None
+         else
+           match far_end l (Switch sid) port with
+           | Some { node = Switch nb; port = remote } -> Some (nb, port, remote)
+           | Some { node = Host _; _ } | None -> None)
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let set_link l ~up = l.up <- up
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>switches: %a@,hosts: %a@,links:@,%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Types.pp_switch)
+    t.switch_ids
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    t.host_ids
+    (Format.pp_print_list (fun f l ->
+         Format.fprintf f "  %a:%d <-%s-> %a:%d" pp_node l.a.node l.a.port
+           (if l.up then "" else "X")
+           pp_node l.b.node l.b.port))
+    (links t)

@@ -1,0 +1,77 @@
+(** Network topology: switches, hosts and the links wiring them together.
+
+    Nodes are identified by {!node}; every link joins two (node, port)
+    endpoints and carries an up/down state. Hosts attach to switches through
+    ordinary links (host side always port 1). All accessors iterate in
+    deterministic (sorted) order. *)
+
+open Openflow
+
+type host = int
+
+type node = Switch of Types.switch_id | Host of host
+
+type endpoint = { node : node; port : Types.port_no }
+
+type link = {
+  link_id : int;
+  a : endpoint;
+  b : endpoint;
+  mutable up : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val add_switch : t -> Types.switch_id -> unit
+(** Declare a switch. Raises [Invalid_argument] on duplicates. *)
+
+val add_host : t -> host -> unit
+
+val connect : t -> endpoint -> endpoint -> link
+(** Wire two endpoints together. Raises [Invalid_argument] if either
+    (node, port) is already wired or a node is undeclared. *)
+
+val attach_host : t -> host -> Types.switch_id -> Types.port_no -> link
+(** Convenience: declare nothing, just [connect] host port 1 to the switch
+    port. *)
+
+val switches : t -> Types.switch_id list
+(** All switch ids, ascending. *)
+
+val hosts : t -> host list
+
+val links : t -> link list
+(** All links, in creation order. *)
+
+val peer : t -> node -> Types.port_no -> endpoint option
+(** The far end of the live link at (node, port); [None] if unwired or the
+    link is down. *)
+
+val peer_even_if_down : t -> node -> Types.port_no -> endpoint option
+
+val link_at : t -> node -> Types.port_no -> link option
+
+val link_between : t -> node -> node -> link option
+(** The first link joining the two nodes, regardless of state. *)
+
+val switch_ports : t -> Types.switch_id -> (Types.port_no * link) list
+(** Wired ports of a switch, ascending by port number. *)
+
+val host_attachment : t -> host -> (Types.switch_id * Types.port_no) option
+(** Where a host plugs into the fabric (via a live or dead link). *)
+
+val hosts_on : t -> Types.switch_id -> (host * Types.port_no) list
+(** Hosts attached to the switch, with the switch-side port. *)
+
+val neighbor_switches :
+  t -> Types.switch_id
+  -> (Types.switch_id * Types.port_no * Types.port_no) list
+(** Adjacent switches over live links as
+    (neighbor, local port, remote port), ascending by neighbor id. *)
+
+val set_link : link -> up:bool -> unit
+
+val pp : Format.formatter -> t -> unit
+val pp_node : Format.formatter -> node -> unit

@@ -1,0 +1,1 @@
+lib/openflow/action.ml: Buf Format List Packet Types

@@ -1,0 +1,1 @@
+lib/openflow/buf.ml: Bytes Char Int64

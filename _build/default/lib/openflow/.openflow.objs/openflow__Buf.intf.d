@@ -1,0 +1,1 @@
+lib/openflow/buf.mli:

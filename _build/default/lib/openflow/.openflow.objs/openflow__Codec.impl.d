@@ -1,0 +1,1 @@
+lib/openflow/codec.ml: Action Buf Bytes Format Int64 List Message Ofp_match Packet String Types

@@ -1,0 +1,1 @@
+lib/openflow/hexdump.ml: Buffer Bytes Char Codec Format Printf

@@ -1,0 +1,1 @@
+lib/openflow/hexdump.mli: Format Message

@@ -1,0 +1,1 @@
+lib/openflow/message.ml: Action Format Ofp_match Packet Types

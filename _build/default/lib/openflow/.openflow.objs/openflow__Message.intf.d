@@ -1,0 +1,1 @@
+lib/openflow/message.mli: Action Format Ofp_match Packet Types

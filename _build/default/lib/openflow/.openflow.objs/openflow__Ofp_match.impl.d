@@ -1,0 +1,1 @@
+lib/openflow/ofp_match.ml: Buf Format Option Packet Stdlib Types

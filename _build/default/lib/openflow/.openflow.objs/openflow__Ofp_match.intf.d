@@ -1,0 +1,1 @@
+lib/openflow/ofp_match.mli: Buf Format Packet Types

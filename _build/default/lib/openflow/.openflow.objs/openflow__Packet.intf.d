@@ -1,0 +1,1 @@
+lib/openflow/packet.mli: Format Types

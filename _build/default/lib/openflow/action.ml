@@ -1,0 +1,125 @@
+type t =
+  | Output of Types.port_no
+  | Enqueue of Types.port_no * Types.queue_id
+  | Set_dl_src of Types.mac
+  | Set_dl_dst of Types.mac
+  | Set_vlan of int
+  | Strip_vlan
+  | Set_nw_src of Types.ip
+  | Set_nw_dst of Types.ip
+  | Set_nw_tos of int
+  | Set_tp_src of int
+  | Set_tp_dst of int
+
+let rewrite (p : Packet.t) = function
+  | Output _ | Enqueue _ -> p
+  | Set_dl_src m -> { p with dl_src = m }
+  | Set_dl_dst m -> { p with dl_dst = m }
+  | Set_vlan vid -> { p with dl_vlan = Some vid }
+  | Strip_vlan -> { p with dl_vlan = None }
+  | Set_nw_src ip -> { p with nw_src = ip }
+  | Set_nw_dst ip -> { p with nw_dst = ip }
+  | Set_nw_tos tos -> { p with nw_tos = tos }
+  | Set_tp_src tp -> { p with tp_src = tp }
+  | Set_tp_dst tp -> { p with tp_dst = tp }
+
+let apply_staged actions pkt =
+  let final, emitted =
+    List.fold_left
+      (fun (p, acc) a ->
+        match a with
+        | Output port | Enqueue (port, _) -> (p, (p, port) :: acc)
+        | _ -> (rewrite p a, acc))
+      (pkt, []) actions
+  in
+  ignore final;
+  List.rev emitted
+
+let apply actions pkt =
+  let final =
+    List.fold_left (fun p a -> rewrite p a) pkt actions
+  in
+  (final, List.map snd (apply_staged actions pkt))
+
+let outputs actions =
+  List.filter_map
+    (function Output p | Enqueue (p, _) -> Some p | _ -> None)
+    actions
+
+let is_drop actions = outputs actions = []
+
+let equal a b = a = b
+
+let pp fmt = function
+  | Output p -> Format.fprintf fmt "output(%a)" Types.pp_port p
+  | Enqueue (p, q) -> Format.fprintf fmt "enqueue(%a,q%d)" Types.pp_port p q
+  | Set_dl_src m -> Format.fprintf fmt "set_dl_src(%a)" Types.pp_mac m
+  | Set_dl_dst m -> Format.fprintf fmt "set_dl_dst(%a)" Types.pp_mac m
+  | Set_vlan v -> Format.fprintf fmt "set_vlan(%d)" v
+  | Strip_vlan -> Format.pp_print_string fmt "strip_vlan"
+  | Set_nw_src ip -> Format.fprintf fmt "set_nw_src(%a)" Types.pp_ip ip
+  | Set_nw_dst ip -> Format.fprintf fmt "set_nw_dst(%a)" Types.pp_ip ip
+  | Set_nw_tos t -> Format.fprintf fmt "set_nw_tos(%d)" t
+  | Set_tp_src t -> Format.fprintf fmt "set_tp_src(%d)" t
+  | Set_tp_dst t -> Format.fprintf fmt "set_tp_dst(%d)" t
+
+let pp_list fmt actions =
+  if actions = [] then Format.pp_print_string fmt "drop"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+      pp fmt actions
+
+(* Wire tags follow the OFPAT_* numbering where one exists. *)
+let tag = function
+  | Output _ -> 0
+  | Set_vlan _ -> 1
+  | Strip_vlan -> 3
+  | Set_dl_src _ -> 4
+  | Set_dl_dst _ -> 5
+  | Set_nw_src _ -> 6
+  | Set_nw_dst _ -> 7
+  | Set_nw_tos _ -> 8
+  | Set_tp_src _ -> 9
+  | Set_tp_dst _ -> 10
+  | Enqueue _ -> 11
+
+let encode w a =
+  Buf.u16 w (tag a);
+  match a with
+  | Output p -> Buf.u16 w p
+  | Enqueue (p, q) ->
+      Buf.u16 w p;
+      Buf.u32 w q
+  | Set_dl_src m | Set_dl_dst m -> Buf.u48 w m
+  | Set_vlan v -> Buf.u16 w v
+  | Strip_vlan -> ()
+  | Set_nw_src ip | Set_nw_dst ip -> Buf.u32 w ip
+  | Set_nw_tos v -> Buf.u8 w v
+  | Set_tp_src v | Set_tp_dst v -> Buf.u16 w v
+
+let decode r =
+  match Buf.read_u16 r with
+  | 0 -> Output (Buf.read_u16 r)
+  | 1 -> Set_vlan (Buf.read_u16 r)
+  | 3 -> Strip_vlan
+  | 4 -> Set_dl_src (Buf.read_u48 r)
+  | 5 -> Set_dl_dst (Buf.read_u48 r)
+  | 6 -> Set_nw_src (Buf.read_u32 r)
+  | 7 -> Set_nw_dst (Buf.read_u32 r)
+  | 8 -> Set_nw_tos (Buf.read_u8 r)
+  | 9 -> Set_tp_src (Buf.read_u16 r)
+  | 10 -> Set_tp_dst (Buf.read_u16 r)
+  | 11 ->
+      let p = Buf.read_u16 r in
+      let q = Buf.read_u32 r in
+      Enqueue (p, q)
+  | n -> Format.ksprintf failwith "Action.decode: unknown action type %d" n
+
+let encode_list w actions =
+  Buf.u16 w (List.length actions);
+  List.iter (encode w) actions
+
+let decode_list r =
+  let n = Buf.read_u16 r in
+  List.init n (fun _ -> decode r)

@@ -1,0 +1,47 @@
+(** OpenFlow 1.0 actions.
+
+    An action list is applied in order to a packet; an empty list means
+    drop. *)
+
+type t =
+  | Output of Types.port_no
+      (** Forward out of a port; reserved ports ([Types.port_flood] etc.)
+          keep their OF 1.0 semantics in the data plane. *)
+  | Enqueue of Types.port_no * Types.queue_id
+  | Set_dl_src of Types.mac
+  | Set_dl_dst of Types.mac
+  | Set_vlan of int
+  | Strip_vlan
+  | Set_nw_src of Types.ip
+  | Set_nw_dst of Types.ip
+  | Set_nw_tos of int
+  | Set_tp_src of int
+  | Set_tp_dst of int
+
+val apply : t list -> Packet.t -> Packet.t * Types.port_no list
+(** [apply actions pkt] is the rewritten packet and the list of egress
+    ports, applying header rewrites in order. Field rewrites that occur
+    after an [Output] do not affect the already-emitted copy — matching the
+    OF 1.0 sequential action semantics — so the returned packet is the final
+    header state while each egress port is paired with the header state at
+    emission time by {!apply_staged}. *)
+
+val apply_staged : t list -> Packet.t -> (Packet.t * Types.port_no) list
+(** Per-output view: each emitted copy with the headers it carried at the
+    moment its [Output] executed. *)
+
+val outputs : t list -> Types.port_no list
+(** The output ports named in the list, in order. *)
+
+val is_drop : t list -> bool
+(** True when the list emits no packet at all. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+
+val encode : Buf.writer -> t -> unit
+val decode : Buf.reader -> t
+
+val encode_list : Buf.writer -> t list -> unit
+val decode_list : Buf.reader -> t list

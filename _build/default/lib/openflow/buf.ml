@@ -1,0 +1,110 @@
+type writer = { mutable data : Bytes.t; mutable len : int }
+
+let writer ?(capacity = 64) () =
+  { data = Bytes.create (max 1 capacity); len = 0 }
+
+let length w = w.len
+
+let ensure w extra =
+  let needed = w.len + extra in
+  if needed > Bytes.length w.data then begin
+    let cap = ref (Bytes.length w.data) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let fresh = Bytes.create !cap in
+    Bytes.blit w.data 0 fresh 0 w.len;
+    w.data <- fresh
+  end
+
+let u8 w v =
+  ensure w 1;
+  Bytes.unsafe_set w.data w.len (Char.unsafe_chr (v land 0xff));
+  w.len <- w.len + 1
+
+let u16 w v =
+  u8 w (v lsr 8);
+  u8 w v
+
+let u32 w v =
+  u16 w (v lsr 16);
+  u16 w v
+
+let u48 w v =
+  u16 w (v lsr 32);
+  u32 w v
+
+let u64 w v =
+  u32 w (Int64.to_int (Int64.shift_right_logical v 32));
+  u32 w (Int64.to_int (Int64.logand v 0xffffffffL))
+
+let raw w b =
+  let n = Bytes.length b in
+  ensure w n;
+  Bytes.blit b 0 w.data w.len n;
+  w.len <- w.len + n
+
+let pad w n =
+  ensure w n;
+  Bytes.fill w.data w.len n '\000';
+  w.len <- w.len + n
+
+let patch_u16 w ~pos v =
+  assert (pos + 2 <= w.len);
+  Bytes.set w.data pos (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set w.data (pos + 1) (Char.chr (v land 0xff))
+
+let contents w = Bytes.sub w.data 0 w.len
+
+type reader = { src : Bytes.t; limit : int; mutable cur : int; start : int }
+
+exception Underflow
+
+let reader ?(pos = 0) ?len b =
+  let limit =
+    match len with None -> Bytes.length b | Some n -> min (pos + n) (Bytes.length b)
+  in
+  { src = b; limit; cur = pos; start = pos }
+
+let pos r = r.cur - r.start
+let remaining r = r.limit - r.cur
+
+let check r n = if r.cur + n > r.limit then raise Underflow
+
+let read_u8 r =
+  check r 1;
+  let v = Char.code (Bytes.unsafe_get r.src r.cur) in
+  r.cur <- r.cur + 1;
+  v
+
+let read_u16 r =
+  let hi = read_u8 r in
+  let lo = read_u8 r in
+  (hi lsl 8) lor lo
+
+let read_u32 r =
+  let hi = read_u16 r in
+  let lo = read_u16 r in
+  (hi lsl 16) lor lo
+
+let read_u48 r =
+  let hi = read_u16 r in
+  let lo = read_u32 r in
+  (hi lsl 32) lor lo
+
+let read_u64 r =
+  let hi = read_u32 r in
+  let lo = read_u32 r in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int hi) 32)
+    (Int64.of_int lo)
+
+let read_raw r n =
+  check r n;
+  let b = Bytes.sub r.src r.cur n in
+  r.cur <- r.cur + n;
+  b
+
+let skip r n =
+  check r n;
+  r.cur <- r.cur + n

@@ -1,0 +1,74 @@
+(** Growable big-endian byte buffers: the serialization substrate shared by
+    the OpenFlow wire codec and the AppVisor RPC channel.
+
+    All multi-byte quantities are big-endian (network byte order), matching
+    the OpenFlow wire format. *)
+
+(** {1 Writing} *)
+
+type writer
+(** A growable output buffer. *)
+
+val writer : ?capacity:int -> unit -> writer
+(** [writer ()] is a fresh empty buffer. [capacity] is the initial
+    allocation hint (default 64 bytes). *)
+
+val length : writer -> int
+(** Number of bytes written so far. *)
+
+val u8 : writer -> int -> unit
+(** Append one byte. The value is masked to 8 bits. *)
+
+val u16 : writer -> int -> unit
+(** Append a 16-bit big-endian value (masked). *)
+
+val u32 : writer -> int -> unit
+(** Append a 32-bit big-endian value (masked). *)
+
+val u48 : writer -> int -> unit
+(** Append a 48-bit big-endian value (masked); used for MAC addresses. *)
+
+val u64 : writer -> int64 -> unit
+(** Append a 64-bit big-endian value; used for datapath ids and cookies. *)
+
+val raw : writer -> bytes -> unit
+(** Append raw bytes verbatim. *)
+
+val pad : writer -> int -> unit
+(** Append [n] zero bytes. *)
+
+val patch_u16 : writer -> pos:int -> int -> unit
+(** Overwrite the 16-bit value at offset [pos]; used to back-patch the
+    OpenFlow header length field once a message body is known. *)
+
+val contents : writer -> bytes
+(** A copy of everything written so far. *)
+
+(** {1 Reading} *)
+
+type reader
+(** A cursor over immutable input bytes. *)
+
+exception Underflow
+(** Raised by all reads that run past the end of input. *)
+
+val reader : ?pos:int -> ?len:int -> bytes -> reader
+(** [reader b] reads from [b]; [pos]/[len] restrict the window. *)
+
+val pos : reader -> int
+(** Current cursor offset relative to the start of the window. *)
+
+val remaining : reader -> int
+(** Bytes left before the end of the window. *)
+
+val read_u8 : reader -> int
+val read_u16 : reader -> int
+val read_u32 : reader -> int
+val read_u48 : reader -> int
+val read_u64 : reader -> int64
+
+val read_raw : reader -> int -> bytes
+(** [read_raw r n] consumes and returns the next [n] bytes. *)
+
+val skip : reader -> int -> unit
+(** Advance the cursor by [n] bytes. *)

@@ -1,0 +1,30 @@
+let printable c = if c >= ' ' && c <= '~' then c else '.'
+
+let of_bytes b =
+  let len = Bytes.length b in
+  let buf = Buffer.create (len * 4) in
+  let rec line offset =
+    if offset < len then begin
+      Buffer.add_string buf (Printf.sprintf "%08x  " offset);
+      let row = min 16 (len - offset) in
+      for i = 0 to 15 do
+        if i = 8 then Buffer.add_char buf ' ';
+        if i < row then
+          Buffer.add_string buf
+            (Printf.sprintf "%02x " (Char.code (Bytes.get b (offset + i))))
+        else Buffer.add_string buf "   "
+      done;
+      Buffer.add_string buf " |";
+      for i = 0 to row - 1 do
+        Buffer.add_char buf (printable (Bytes.get b (offset + i)))
+      done;
+      Buffer.add_string buf "|\n";
+      line (offset + 16)
+    end
+  in
+  line 0;
+  Buffer.contents buf
+
+let of_message msg = of_bytes (Codec.encode msg)
+
+let pp fmt b = Format.pp_print_string fmt (of_bytes b)

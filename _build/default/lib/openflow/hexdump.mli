@@ -1,0 +1,10 @@
+(** Wire-format debugging: canonical hex+ASCII dumps of frames and
+    messages, in the `hexdump -C` layout every network engineer reads. *)
+
+val of_bytes : bytes -> string
+(** 16 bytes per line: offset, hex columns (gap after 8), ASCII gutter. *)
+
+val of_message : Message.t -> string
+(** The encoded wire frame of a message, dumped. *)
+
+val pp : Format.formatter -> bytes -> unit

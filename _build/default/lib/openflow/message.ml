@@ -1,0 +1,227 @@
+type flow_mod_command =
+  | Add
+  | Modify
+  | Modify_strict
+  | Delete
+  | Delete_strict
+
+type flow_mod = {
+  pattern : Ofp_match.t;
+  cookie : int64;
+  command : flow_mod_command;
+  idle_timeout : int;
+  hard_timeout : int;
+  priority : int;
+  buffer_id : int option;
+  out_port : Types.port_no option;
+  notify_when_removed : bool;
+  actions : Action.t list;
+}
+
+let default_priority = 32768
+
+let flow_add ?(cookie = 0L) ?(idle_timeout = 0) ?(hard_timeout = 0)
+    ?(priority = default_priority) ?(notify_when_removed = false) pattern
+    actions =
+  {
+    pattern;
+    cookie;
+    command = Add;
+    idle_timeout;
+    hard_timeout;
+    priority;
+    buffer_id = None;
+    out_port = None;
+    notify_when_removed;
+    actions;
+  }
+
+let flow_delete ?(strict = false) ?(priority = default_priority) pattern =
+  {
+    pattern;
+    cookie = 0L;
+    command = (if strict then Delete_strict else Delete);
+    idle_timeout = 0;
+    hard_timeout = 0;
+    priority;
+    buffer_id = None;
+    out_port = None;
+    notify_when_removed = false;
+    actions = [];
+  }
+
+type packet_in_reason = No_match | Action_to_controller
+
+type flow_removed_reason = Removed_idle | Removed_hard | Removed_delete
+
+type port_desc = {
+  port_no : Types.port_no;
+  hw_addr : Types.mac;
+  name : string;
+  up : bool;
+  no_flood : bool;
+}
+
+type features = {
+  datapath_id : Types.switch_id;
+  n_buffers : int;
+  n_tables : int;
+  ports : port_desc list;
+}
+
+type packet_in = {
+  pi_buffer_id : int option;
+  pi_in_port : Types.port_no;
+  pi_reason : packet_in_reason;
+  pi_packet : Packet.t;
+}
+
+type packet_out = {
+  po_buffer_id : int option;
+  po_in_port : Types.port_no option;
+  po_actions : Action.t list;
+  po_packet : Packet.t option;
+}
+
+type flow_removed = {
+  fr_pattern : Ofp_match.t;
+  fr_cookie : int64;
+  fr_priority : int;
+  fr_reason : flow_removed_reason;
+  fr_duration : int;
+  fr_idle_timeout : int;
+  fr_packet_count : int;
+  fr_byte_count : int;
+}
+
+type port_status_reason = Port_add | Port_delete | Port_modify
+
+type stats_request =
+  | Flow_stats_request of Ofp_match.t
+  | Aggregate_stats_request of Ofp_match.t
+  | Port_stats_request of Types.port_no option
+  | Description_request
+
+type flow_stat = {
+  fs_pattern : Ofp_match.t;
+  fs_priority : int;
+  fs_cookie : int64;
+  fs_duration : int;
+  fs_idle_timeout : int;
+  fs_hard_timeout : int;
+  fs_packet_count : int;
+  fs_byte_count : int;
+  fs_actions : Action.t list;
+}
+
+type port_stat = {
+  ps_port_no : Types.port_no;
+  ps_rx_packets : int;
+  ps_tx_packets : int;
+  ps_rx_bytes : int;
+  ps_tx_bytes : int;
+  ps_rx_dropped : int;
+  ps_tx_dropped : int;
+}
+
+type stats_reply =
+  | Flow_stats_reply of flow_stat list
+  | Aggregate_stats_reply of { packets : int; bytes : int; flows : int }
+  | Port_stats_reply of port_stat list
+  | Description_reply of string
+
+type port_mod = {
+  pm_port_no : Types.port_no;
+  pm_no_flood : bool;
+}
+
+type error_kind =
+  | Bad_request
+  | Bad_action
+  | Flow_mod_failed
+  | Port_mod_failed
+
+type payload =
+  | Hello
+  | Echo_request of bytes
+  | Echo_reply of bytes
+  | Features_request
+  | Features_reply of features
+  | Packet_in of packet_in
+  | Packet_out of packet_out
+  | Flow_mod of flow_mod
+  | Flow_removed of flow_removed
+  | Port_status of port_status_reason * port_desc
+  | Port_mod of port_mod
+  | Stats_request of stats_request
+  | Stats_reply of stats_reply
+  | Barrier_request
+  | Barrier_reply
+  | Error of error_kind * string
+
+type t = { xid : Types.xid; payload : payload }
+
+let message ?(xid = 0) payload = { xid; payload }
+
+let is_state_altering = function
+  | Flow_mod _ | Packet_out _ | Port_mod _ -> true
+  | Hello | Echo_request _ | Echo_reply _ | Features_request
+  | Features_reply _ | Packet_in _ | Flow_removed _ | Port_status _
+  | Stats_request _ | Stats_reply _ | Barrier_request | Barrier_reply
+  | Error _ ->
+      false
+
+let payload_kind = function
+  | Hello -> "hello"
+  | Echo_request _ -> "echo_request"
+  | Echo_reply _ -> "echo_reply"
+  | Features_request -> "features_request"
+  | Features_reply _ -> "features_reply"
+  | Packet_in _ -> "packet_in"
+  | Packet_out _ -> "packet_out"
+  | Flow_mod _ -> "flow_mod"
+  | Flow_removed _ -> "flow_removed"
+  | Port_status _ -> "port_status"
+  | Port_mod _ -> "port_mod"
+  | Stats_request _ -> "stats_request"
+  | Stats_reply _ -> "stats_reply"
+  | Barrier_request -> "barrier_request"
+  | Barrier_reply -> "barrier_reply"
+  | Error _ -> "error"
+
+let equal a b = a = b
+
+let pp_command fmt = function
+  | Add -> Format.pp_print_string fmt "add"
+  | Modify -> Format.pp_print_string fmt "modify"
+  | Modify_strict -> Format.pp_print_string fmt "modify_strict"
+  | Delete -> Format.pp_print_string fmt "delete"
+  | Delete_strict -> Format.pp_print_string fmt "delete_strict"
+
+let pp_payload fmt = function
+  | Flow_mod fm ->
+      Format.fprintf fmt "flow_mod(%a prio=%d %a -> %a)" pp_command fm.command
+        fm.priority Ofp_match.pp fm.pattern Action.pp_list fm.actions
+  | Packet_in pi ->
+      Format.fprintf fmt "packet_in(port=%a %a)" Types.pp_port pi.pi_in_port
+        Packet.pp pi.pi_packet
+  | Packet_out po ->
+      Format.fprintf fmt "packet_out(%a)" Action.pp_list po.po_actions
+  | Port_status (reason, desc) ->
+      let r =
+        match reason with
+        | Port_add -> "add"
+        | Port_delete -> "delete"
+        | Port_modify -> "modify"
+      in
+      Format.fprintf fmt "port_status(%s %a up=%b)" r Types.pp_port
+        desc.port_no desc.up
+  | Flow_removed fr ->
+      Format.fprintf fmt "flow_removed(%a)" Ofp_match.pp fr.fr_pattern
+  | Port_mod pm ->
+      Format.fprintf fmt "port_mod(%a no_flood=%b)" Types.pp_port pm.pm_port_no
+        pm.pm_no_flood
+  | Error (_, msg) -> Format.fprintf fmt "error(%s)" msg
+  | other -> Format.pp_print_string fmt (payload_kind other)
+
+let pp fmt t = Format.fprintf fmt "#%d %a" t.xid pp_payload t.payload

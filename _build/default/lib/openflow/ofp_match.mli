@@ -1,0 +1,64 @@
+(** OpenFlow 1.0 flow match structure (ofp_match).
+
+    Each field is either a wildcard ([None]) or an exact value ([Some v]).
+    This is the OF 1.0 subset without CIDR-prefix IP masks: exact-or-wild per
+    field, which is what the LegoSDN applications and experiments need. *)
+
+type t = {
+  in_port : Types.port_no option;
+  dl_src : Types.mac option;
+  dl_dst : Types.mac option;
+  dl_vlan : int option option;  (** [Some None] matches untagged explicitly. *)
+  dl_type : int option;
+  nw_src : Types.ip option;
+  nw_dst : Types.ip option;
+  nw_proto : int option;
+  nw_tos : int option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+val any : t
+(** The all-wildcard match. *)
+
+val make :
+  ?in_port:Types.port_no ->
+  ?dl_src:Types.mac ->
+  ?dl_dst:Types.mac ->
+  ?dl_vlan:int option ->
+  ?dl_type:int ->
+  ?nw_src:Types.ip ->
+  ?nw_dst:Types.ip ->
+  ?nw_proto:int ->
+  ?nw_tos:int ->
+  ?tp_src:int ->
+  ?tp_dst:int ->
+  unit ->
+  t
+(** A match with the given exact fields; everything omitted is wildcarded. *)
+
+val exact : in_port:Types.port_no -> Packet.t -> t
+(** The fully-specified match extracted from a packet, as a learning switch
+    would install it. *)
+
+val matches : t -> in_port:Types.port_no -> Packet.t -> bool
+(** Does the packet arriving on [in_port] satisfy this match? *)
+
+val subsumes : t -> t -> bool
+(** [subsumes pat m] is true when every packet matched by [m] is also
+    matched by [pat] — the OF 1.0 non-strict delete/modify semantics:
+    [pat] must be equal or strictly wilder on every field. *)
+
+val overlaps : t -> t -> bool
+(** Two matches overlap when some packet could satisfy both (fields conflict
+    nowhere). Used for overlap checking on flow insertion. *)
+
+val wildcard_count : t -> int
+(** Number of wildcarded fields; 0 means fully exact. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val encode : Buf.writer -> t -> unit
+val decode : Buf.reader -> t

@@ -1,0 +1,1 @@
+lib/workload/bug_corpus.mli: Apps

@@ -1,0 +1,1 @@
+lib/workload/failure_schedule.ml: Array List Netsim Random

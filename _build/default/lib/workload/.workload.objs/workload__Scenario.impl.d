@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Controller Failure_schedule Format Hashtbl Legosdn List Netsim Option Traffic

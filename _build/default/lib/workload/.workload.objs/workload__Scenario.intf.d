@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Controller Failure_schedule Format Legosdn Netsim Traffic

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Buffer Bytes Char Controller Legosdn List String

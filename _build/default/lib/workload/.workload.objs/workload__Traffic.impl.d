@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array List Netsim Openflow Packet Random

@@ -1,0 +1,119 @@
+module Bug_model = Apps.Bug_model
+module Event = Controller.Event
+
+type severity = Catastrophic | Degraded | Cosmetic
+
+type entry = {
+  id : int;
+  summary : string;
+  severity : severity;
+  bug : Bug_model.t option;
+}
+
+(* 8 catastrophic out of 50 = 16%, matching the paper's tracker survey. *)
+let catastrophic_entries =
+  [
+    ( "NullPointerException parsing packet-in with truncated payload",
+      Bug_model.make (Bug_model.On_tp_dst 0) Bug_model.Crash );
+    ( "ArrayIndexOutOfBounds on port-status for port not in port map",
+      Bug_model.crash_on Event.K_port_status );
+    ( "Unhandled exception when switch disconnects mid-rebalance",
+      Bug_model.crash_on Event.K_switch_down );
+    ( "Divide-by-zero computing per-port load with zero active uplinks",
+      Bug_model.crash_on_nth Event.K_packet_in 5 );
+    ( "Crash after partial rule push when flow table iterator invalidated",
+      Bug_model.make (Bug_model.On_nth_of_kind (Event.K_packet_in, 4))
+        (Bug_model.Crash_partial 0.5) );
+    ( "Thread deadlock between stats poller and rebalancer",
+      Bug_model.make (Bug_model.On_kind Event.K_stats_reply) Bug_model.Hang );
+    ( "State accumulation in flow cache never evicted (OOM after hours)",
+      Bug_model.make (Bug_model.On_kind Event.K_packet_in)
+        (Bug_model.Leak 4096) );
+    ( "Race: rules installed pointing at removed port, traffic black-holed",
+      Bug_model.make (Bug_model.On_nth_of_kind (Event.K_packet_in, 3))
+        Bug_model.Byzantine_blackhole );
+  ]
+
+let degraded_summaries =
+  [
+    "Rebalance oscillates between two uplinks under symmetric load";
+    "Stats polling interval ignores config value, hardcoded 10s";
+    "Flow migration leaves stale low-priority duplicate rules";
+    "Uneven distribution when host count is prime";
+    "LLDP neighbor timeout too aggressive on slow links";
+    "Rules installed with idle timeout 0 never expire";
+    "Port speed read as 100Mbps on 10G interfaces";
+    "Config reload drops active flow assignments";
+    "IPv6 traffic silently ignored by classifier";
+    "Duplicate packet-out when buffer id also carries payload";
+    "Counters wrap at 32 bits on long-lived flows";
+    "Header space overlap check skipped for VLAN-tagged flows";
+    "Backup uplink not used until primary fully saturated";
+    "Flow table usage metric counts deleted entries";
+    "Rebalance triggered by echo replies, not data traffic";
+    "Priority inversion between monitor rules and forwarding rules";
+    "Graceful shutdown leaves rules installed with no owner";
+    "Pause frames misinterpreted as port-down";
+    "ARP replies forwarded to all uplinks causing duplicates";
+    "Host move not detected until old flow idles out";
+    "Statistics aggregation double-counts multi-action rules";
+  ]
+
+let cosmetic_summaries =
+  [
+    "Log spam: one INFO line per packet-in at default level";
+    "CLI help text lists removed --threads option";
+    "Uptime display overflows after 25 days";
+    "Typos in REST API error messages";
+    "Version string reports SNAPSHOT in release builds";
+    "Web UI port utilisation bars unsorted";
+    "Metric names use camelCase and snake_case inconsistently";
+    "README quickstart references renamed jar";
+    "Debug dump prints MAC addresses without leading zeros";
+    "Startup banner shows wrong copyright year";
+    "Unused import warnings in build";
+    "Config parser accepts trailing garbage silently";
+    "Thread names not set, hard to profile";
+    "Misleading DEBUG message on normal barrier reply";
+    "REST endpoint returns 200 for unknown switch (empty body)";
+    "Exception stack traces logged twice";
+    "Stats CSV export uses locale-dependent decimal separator";
+    "Port description truncated at 16 characters in UI";
+    "Redundant barrier after every single flow-mod";
+    "Source tarball contains editor backup files";
+    "Javadoc missing for public API";
+  ]
+
+let flowscale_like =
+  let catastrophic =
+    List.map
+      (fun (summary, bug) -> (summary, Catastrophic, Some bug))
+      catastrophic_entries
+  in
+  let degraded =
+    List.map (fun s -> (s, Degraded, None)) degraded_summaries
+  in
+  let cosmetic = List.map (fun s -> (s, Cosmetic, None)) cosmetic_summaries in
+  List.mapi
+    (fun i (summary, severity, bug) -> { id = i + 1; summary; severity; bug })
+    (catastrophic @ degraded @ cosmetic)
+
+let stats entries =
+  List.map
+    (fun severity ->
+      ( severity,
+        List.length (List.filter (fun e -> e.severity = severity) entries) ))
+    [ Catastrophic; Degraded; Cosmetic ]
+
+let catastrophic_fraction entries =
+  if entries = [] then 0.
+  else
+    float (List.length (List.filter (fun e -> e.severity = Catastrophic) entries))
+    /. float (List.length entries)
+
+let severity_name = function
+  | Catastrophic -> "catastrophic"
+  | Degraded -> "degraded"
+  | Cosmetic -> "cosmetic"
+
+let executable_bugs entries = List.filter_map (fun e -> e.bug) entries

@@ -1,0 +1,27 @@
+(** A synthetic bug corpus calibrated to the paper's §2.1 observation:
+    examining the public FlowScale bug tracker, 16 % of reported bugs
+    resulted in catastrophic exceptions.
+
+    The real tracker is long gone; this corpus reproduces its shape — 50
+    reports, 8 catastrophic (16 %) — with each catastrophic entry carrying
+    an executable {!Apps.Bug_model} bug so experiments can actually inject
+    it. *)
+
+type severity = Catastrophic | Degraded | Cosmetic
+
+type entry = {
+  id : int;
+  summary : string;
+  severity : severity;
+  bug : Apps.Bug_model.t option;
+      (** Executable model; present for every catastrophic entry. *)
+}
+
+val flowscale_like : entry list
+(** The 50-entry corpus. *)
+
+val stats : entry list -> (severity * int) list
+val catastrophic_fraction : entry list -> float
+val severity_name : severity -> string
+
+val executable_bugs : entry list -> Apps.Bug_model.t list

@@ -1,0 +1,25 @@
+(** Timed network-fault schedules for experiments. *)
+
+type timed_fault = float * Netsim.Net.fault
+
+val link_flap :
+  a:Netsim.Topology.node ->
+  b:Netsim.Topology.node ->
+  down_at:float ->
+  up_at:float ->
+  timed_fault list
+
+val switch_outage :
+  Openflow.Types.switch_id -> down_at:float -> up_at:float -> timed_fault list
+
+val periodic_link_flaps :
+  Netsim.Topology.t ->
+  seed:int ->
+  period:float ->
+  downtime:float ->
+  duration:float ->
+  timed_fault list
+(** Every [period] seconds, flap one random inter-switch link for
+    [downtime] seconds. *)
+
+val sorted : timed_fault list -> timed_fault list

@@ -1,0 +1,66 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let mean = function
+  | [] -> 0.
+  | samples -> List.fold_left ( +. ) 0. samples /. float (List.length samples)
+
+let percentile samples q =
+  if samples = [] then invalid_arg "Stats.percentile: empty series";
+  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q outside [0,1]";
+  let sorted = List.sort compare samples in
+  let n = List.length sorted in
+  (* Nearest-rank: the ceil(q*n)-th smallest (1-based), clamped. *)
+  let rank = max 1 (min n (int_of_float (ceil (q *. float n)))) in
+  List.nth sorted (rank - 1)
+
+let summarize = function
+  | [] -> None
+  | samples ->
+      let n = List.length samples in
+      let m = mean samples in
+      let variance =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. samples
+        /. float n
+      in
+      Some
+        {
+          n;
+          mean = m;
+          stddev = sqrt variance;
+          min = List.fold_left min infinity samples;
+          p50 = percentile samples 0.5;
+          p90 = percentile samples 0.9;
+          p99 = percentile samples 0.99;
+          max = List.fold_left max neg_infinity samples;
+        }
+
+let histogram ~buckets samples =
+  if buckets < 1 then invalid_arg "Stats.histogram: need at least one bucket";
+  match samples with
+  | [] -> []
+  | _ ->
+      let lo = List.fold_left min infinity samples in
+      let hi = List.fold_left max neg_infinity samples in
+      let width = if hi = lo then 1. else (hi -. lo) /. float buckets in
+      let counts = Array.make buckets 0 in
+      List.iter
+        (fun x ->
+          let idx = min (buckets - 1) (int_of_float ((x -. lo) /. width)) in
+          counts.(idx) <- counts.(idx) + 1)
+        samples;
+      List.init buckets (fun i ->
+          (lo +. (float i *. width), lo +. (float (i + 1) *. width), counts.(i)))
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g" s.n
+    s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,29 @@
+(** Descriptive statistics for experiment output: summaries of sample
+    series (availability over runs, connectivity over time, latencies). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on an empty series. Percentiles by nearest-rank. *)
+
+val percentile : float list -> float -> float
+(** [percentile samples q] for q in [0, 1] (nearest-rank; raises
+    [Invalid_argument] on an empty list or q outside the range). *)
+
+val mean : float list -> float
+(** 0 on an empty list. *)
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** Equal-width buckets over [min, max] as (lo, hi, count); [] on empty
+    input. The last bucket is closed on both ends. *)
+
+val pp_summary : Format.formatter -> summary -> unit

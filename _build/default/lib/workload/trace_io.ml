@@ -1,0 +1,68 @@
+module Event = Controller.Event
+
+let magic = "LSDNTRC1"
+
+let encode events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  let add_u32 v =
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  add_u32 (List.length events);
+  List.iter
+    (fun ev ->
+      let b = Legosdn.Wire.encode_event ev in
+      add_u32 (Bytes.length b);
+      Buffer.add_bytes buf b)
+    events;
+  Buffer.to_bytes buf
+
+let decode b =
+  let len = Bytes.length b in
+  let fail msg = failwith ("Trace_io.decode: " ^ msg) in
+  if len < String.length magic + 4 then fail "truncated header";
+  if Bytes.sub_string b 0 (String.length magic) <> magic then
+    fail "bad magic";
+  let pos = ref (String.length magic) in
+  let read_u32 () =
+    if !pos + 4 > len then fail "truncated length";
+    let v =
+      (Char.code (Bytes.get b !pos) lsl 24)
+      lor (Char.code (Bytes.get b (!pos + 1)) lsl 16)
+      lor (Char.code (Bytes.get b (!pos + 2)) lsl 8)
+      lor Char.code (Bytes.get b (!pos + 3))
+    in
+    pos := !pos + 4;
+    v
+  in
+  let count = read_u32 () in
+  List.init count (fun _ ->
+      let n = read_u32 () in
+      if !pos + n > len then fail "truncated event";
+      let frame = Bytes.sub b !pos n in
+      pos := !pos + n;
+      try Legosdn.Wire.decode_event frame
+      with Legosdn.Wire.Decode_error e -> fail e)
+
+let save path events =
+  let oc = open_out_bin path in
+  output_bytes oc (encode events);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  decode b
+
+type recorder = { mutable events : Event.t list (* newest first *) }
+
+let recorder () = { events = [] }
+let record r ev = r.events <- ev :: r.events
+let recorded r = List.rev r.events
+let length r = List.length r.events

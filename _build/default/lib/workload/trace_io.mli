@@ -1,0 +1,29 @@
+(** Event-trace recording and replay.
+
+    Crash-Pad's tickets and the STS minimizer both work from event traces;
+    this module gives traces a durable form: a length-prefixed binary
+    framing of {!Legosdn.Wire}-encoded events, so a production incident can
+    be captured, shipped to a developer and replayed (or delta-debugged)
+    offline. *)
+
+val encode : Controller.Event.t list -> bytes
+(** Serialize a trace to a single buffer. *)
+
+val decode : bytes -> Controller.Event.t list
+(** Raises [Failure] on malformed input. *)
+
+val save : string -> Controller.Event.t list -> unit
+(** Write a trace file. *)
+
+val load : string -> Controller.Event.t list
+(** Read a trace file back. *)
+
+(** A live recorder to hang off a runtime's event path. *)
+type recorder
+
+val recorder : unit -> recorder
+val record : recorder -> Controller.Event.t -> unit
+val recorded : recorder -> Controller.Event.t list
+(** Oldest first. *)
+
+val length : recorder -> int

@@ -1,0 +1,75 @@
+open Openflow
+
+type injection = {
+  at : float;
+  src : Netsim.Topology.host;
+  packet : Packet.t;
+}
+
+type flow_spec = {
+  src_host : Netsim.Topology.host;
+  dst_host : Netsim.Topology.host;
+  start : float;
+  packets : int;
+  interval : float;
+  dport : int;
+}
+
+let flow_injections spec =
+  List.init spec.packets (fun i ->
+      {
+        at = spec.start +. (float i *. spec.interval);
+        src = spec.src_host;
+        (* The canonical source port: installed exact-match rules then also
+           cover the reachability probes used by the connectivity metric. *)
+        packet =
+          Packet.tcp ~src_host:spec.src_host ~dst_host:spec.dst_host
+            ~dport:spec.dport ();
+      })
+
+let uniform_pairs ~seed ~hosts ~flows ~duration ?(packets_per_flow = 3)
+    ?(dport = 80) () =
+  let rng = Random.State.make [| seed |] in
+  let host_array = Array.of_list hosts in
+  let n = Array.length host_array in
+  if n < 2 then []
+  else
+    List.init flows (fun _ ->
+        let src = host_array.(Random.State.int rng n) in
+        let dst = ref host_array.(Random.State.int rng n) in
+        while !dst = src do
+          dst := host_array.(Random.State.int rng n)
+        done;
+        {
+          src_host = src;
+          dst_host = !dst;
+          start = Random.State.float rng duration;
+          packets = packets_per_flow;
+          interval = 0.01;
+          dport;
+        })
+
+let all_pairs_once ~hosts ~start ~spacing =
+  let pairs =
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun dst -> if src <> dst then Some (src, dst) else None)
+          hosts)
+      hosts
+  in
+  List.mapi
+    (fun i (src, dst) ->
+      {
+        src_host = src;
+        dst_host = dst;
+        start = start +. (float i *. spacing);
+        packets = 1;
+        interval = spacing;
+        dport = 80;
+      })
+    pairs
+
+let schedule specs =
+  List.concat_map flow_injections specs
+  |> List.stable_sort (fun a b -> compare a.at b.at)

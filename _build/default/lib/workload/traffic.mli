@@ -1,0 +1,45 @@
+(** Deterministic traffic generators.
+
+    A workload is a list of timed packet injections; generators are seeded
+    so that every run of an experiment sees the identical packet
+    sequence. *)
+
+open Openflow
+
+type injection = {
+  at : float;
+  src : Netsim.Topology.host;
+  packet : Packet.t;
+}
+
+type flow_spec = {
+  src_host : Netsim.Topology.host;
+  dst_host : Netsim.Topology.host;
+  start : float;
+  packets : int;
+  interval : float;
+  dport : int;
+}
+
+val flow_injections : flow_spec -> injection list
+(** The packet train of one flow ([packets] packets, [interval] apart). *)
+
+val uniform_pairs :
+  seed:int ->
+  hosts:Netsim.Topology.host list ->
+  flows:int ->
+  duration:float ->
+  ?packets_per_flow:int ->
+  ?dport:int ->
+  unit ->
+  flow_spec list
+(** [flows] random ordered host pairs with start times uniform in
+    [0, duration). *)
+
+val all_pairs_once : hosts:Netsim.Topology.host list -> start:float
+  -> spacing:float -> flow_spec list
+(** One single-packet flow per ordered host pair, [spacing] apart —
+    the deterministic "warm up every path" workload. *)
+
+val schedule : flow_spec list -> injection list
+(** All injections of all flows, sorted by time (stable). *)

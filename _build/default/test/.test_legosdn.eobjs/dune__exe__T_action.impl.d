@@ -1,0 +1,1 @@
+test/t_action.ml: Action Alcotest Buf List Openflow Packet QCheck2 QCheck_alcotest T_util

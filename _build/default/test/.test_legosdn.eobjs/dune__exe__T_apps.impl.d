@@ -1,0 +1,1 @@
+test/t_apps.ml: Action Alcotest Apps Clock Controller Flow_entry Flow_table Invariants Legosdn List Message Net Netsim Openflow Option Packet Sw T_util Topo_gen Topology

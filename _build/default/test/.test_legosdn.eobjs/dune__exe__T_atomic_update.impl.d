@@ -1,0 +1,1 @@
+test/t_atomic_update.ml: Action Alcotest Clock Flow_table Invariants Legosdn List Message Net Netsim Ofp_match Openflow Sw T_util Topo_gen Types

@@ -1,0 +1,1 @@
+test/t_buf.ml: Alcotest Buf Bytes List Openflow QCheck2 QCheck_alcotest T_util

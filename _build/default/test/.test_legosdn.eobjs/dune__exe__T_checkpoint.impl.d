@@ -1,0 +1,1 @@
+test/t_checkpoint.ml: Alcotest Apps Controller Legosdn T_util

@@ -1,0 +1,1 @@
+test/t_codec.ml: Action Alcotest Bytes Char Codec Message Ofp_match Openflow Packet QCheck2 QCheck_alcotest T_util Types

@@ -1,0 +1,1 @@
+test/t_config_lang.ml: Alcotest Apps Controller Invariants Legosdn List Netsim Option QCheck2 QCheck_alcotest T_util

@@ -1,0 +1,1 @@
+test/t_consistency.ml: Alcotest Apps Clock Controller Flow_table Legosdn List Net Netsim Openflow QCheck2 QCheck_alcotest Sw T_util Topo_gen Topology

@@ -1,0 +1,1 @@
+test/t_crashpad.ml: Alcotest Apps Clock Controller Flow_table Legosdn List Message Net Netsim Ofp_match Openflow Option QCheck2 QCheck_alcotest Sw T_util Topo_gen

@@ -1,0 +1,1 @@
+test/t_delay_buffer.ml: Action Alcotest Clock Controller Flow_table Legosdn List Message Net Netsim Ofp_match Openflow Sw T_util Topo_gen

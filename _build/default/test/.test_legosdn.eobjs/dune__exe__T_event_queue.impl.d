@@ -1,0 +1,1 @@
+test/t_event_queue.ml: Alcotest Event_queue List Netsim Option QCheck2 QCheck_alcotest T_util

@@ -1,0 +1,1 @@
+test/t_extensions.ml: Action Alcotest Apps Controller Fun Legosdn List Message Ofp_match Openflow Packet QCheck2 QCheck_alcotest T_util

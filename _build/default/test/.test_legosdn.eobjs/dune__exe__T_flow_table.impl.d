@@ -1,0 +1,1 @@
+test/t_flow_table.ml: Action Alcotest Flow_entry Flow_table List Message Netsim Ofp_match Openflow Packet QCheck2 QCheck_alcotest T_util

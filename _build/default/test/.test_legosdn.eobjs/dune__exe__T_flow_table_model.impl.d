@@ -1,0 +1,1 @@
+test/t_flow_table_model.ml: Action Flow_entry Flow_table List Netsim Ofp_match Openflow Option Packet QCheck2 QCheck_alcotest Types

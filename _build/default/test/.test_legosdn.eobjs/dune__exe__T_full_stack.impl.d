@@ -1,0 +1,1 @@
+test/t_full_stack.ml: Alcotest Apps Clock Controller Invariants Legosdn List Net Netsim Openflow T_util Topo_gen Topology

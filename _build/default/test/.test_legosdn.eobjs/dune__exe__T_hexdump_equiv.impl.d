@@ -1,0 +1,1 @@
+test/t_hexdump_equiv.ml: Alcotest Apps Bytes Controller Hexdump Legosdn List Message Openflow QCheck2 QCheck_alcotest String T_util

@@ -1,0 +1,1 @@
+test/t_invariants.ml: Action Alcotest Clock Flow_table Invariants List Message Net Netsim Ofp_match Openflow Sw T_util Topo_gen Types

@@ -1,0 +1,1 @@
+test/t_match.ml: Alcotest Buf List Ofp_match Openflow Packet QCheck2 QCheck_alcotest T_util

@@ -1,0 +1,1 @@
+test/t_misc.ml: Action Alcotest Apps Clock Controller Format Legosdn List Message Net Netsim Ofp_match Openflow String T_util Topo_gen Topology Types Workload

@@ -1,0 +1,1 @@
+test/t_monolithic.ml: Alcotest Apps Clock Controller Flow_table List Net Netsim Openflow Sw T_util Topo_gen

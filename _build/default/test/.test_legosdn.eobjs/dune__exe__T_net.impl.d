@@ -1,0 +1,1 @@
+test/t_net.ml: Action Alcotest Clock Flow_entry Flow_table List Message Net Netsim Ofp_match Openflow Sw T_util Topo_gen Topology Types

@@ -1,0 +1,1 @@
+test/t_netlog.ml: Action Alcotest Clock Controller Flow_entry Flow_table Legosdn List Message Net Netsim Ofp_match Openflow QCheck2 QCheck_alcotest Sw T_util Topo_gen Types

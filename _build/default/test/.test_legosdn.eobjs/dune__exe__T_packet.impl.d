@@ -1,0 +1,1 @@
+test/t_packet.ml: Alcotest Bytes Openflow Packet QCheck2 QCheck_alcotest T_util Types

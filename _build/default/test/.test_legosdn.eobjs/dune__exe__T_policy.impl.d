@@ -1,0 +1,1 @@
+test/t_policy.ml: Alcotest Controller Legosdn List QCheck2 QCheck_alcotest String T_util

@@ -1,0 +1,1 @@
+test/t_quarantine.ml: Alcotest Apps Clock Controller Legosdn List Message Net Netsim Openflow Option Packet T_util Topo_gen

@@ -1,0 +1,1 @@
+test/t_sandbox.ml: Alcotest Apps Controller Legosdn List Message Openflow String T_util

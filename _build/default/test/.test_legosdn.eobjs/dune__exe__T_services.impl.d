@@ -1,0 +1,1 @@
+test/t_services.ml: Action Alcotest Controller List Message Net Netsim Ofp_match Openflow T_util Topo_gen Topology Types

@@ -1,0 +1,1 @@
+test/t_small_modules.ml: Action Alcotest Clock Controller Invariants Legosdn List Message Net Netsim Ofp_match Openflow String T_util Topo_gen Topology Types

@@ -1,0 +1,1 @@
+test/t_soak.ml: Alcotest Apps Controller Legosdn List Net Netsim Openflow Option Printf T_util Topo_gen Topology Workload

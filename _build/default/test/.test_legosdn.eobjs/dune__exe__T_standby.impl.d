@@ -1,0 +1,1 @@
+test/t_standby.ml: Alcotest Apps Clock Legosdn List Net Netsim Option T_util Topo_gen

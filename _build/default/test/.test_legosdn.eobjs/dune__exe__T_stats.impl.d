@@ -1,0 +1,1 @@
+test/t_stats.ml: Alcotest List QCheck2 QCheck_alcotest T_util Workload

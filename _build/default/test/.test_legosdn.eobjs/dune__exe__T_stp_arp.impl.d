@@ -1,0 +1,1 @@
+test/t_stp_arp.ml: Action Alcotest Apps Clock Codec Controller Legosdn List Message Net Netsim Openflow Packet Sw T_util Topo_gen Topology Types

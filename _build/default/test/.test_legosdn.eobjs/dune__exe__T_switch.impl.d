@@ -1,0 +1,1 @@
+test/t_switch.ml: Action Alcotest Bytes Flow_entry Flow_table List Message Netsim Ofp_match Openflow Option Packet Sw T_util Types

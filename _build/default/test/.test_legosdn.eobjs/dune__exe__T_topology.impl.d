@@ -1,0 +1,1 @@
+test/t_topology.ml: Alcotest Hashtbl List Netsim Option QCheck2 QCheck_alcotest T_util Topo_gen Topology

@@ -1,0 +1,1 @@
+test/t_trace_io.ml: Alcotest Bytes Controller Filename Fun Legosdn List Message Openflow Sys T_util Workload

@@ -1,0 +1,1 @@
+test/t_transform.ml: Alcotest Controller Legosdn List Message Ofp_match Openflow Packet T_util

@@ -1,0 +1,1 @@
+test/t_util.ml: Action Alcotest Controller Int64 List Message Netsim Ofp_match Openflow Packet QCheck2

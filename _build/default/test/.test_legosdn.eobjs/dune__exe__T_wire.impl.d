@@ -1,0 +1,1 @@
+test/t_wire.ml: Action Alcotest Bytes Controller Legosdn List Message Ofp_match Openflow QCheck2 QCheck_alcotest T_util Types

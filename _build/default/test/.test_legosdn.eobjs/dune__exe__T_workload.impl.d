@@ -1,0 +1,1 @@
+test/t_workload.ml: Alcotest Apps Controller Legosdn List Netsim T_util Topo_gen Topology Workload

@@ -1,0 +1,76 @@
+open Openflow
+
+let pkt = Packet.tcp ~src_host:1 ~dst_host:2 ()
+
+let test_rewrites_apply_in_order () =
+  let final, outs =
+    Action.apply
+      [ Action.Set_tp_dst 443; Action.Output 3; Action.Set_tp_dst 8080 ]
+      pkt
+  in
+  Alcotest.(check int) "final header state" 8080 final.Packet.tp_dst;
+  Alcotest.(check (list int)) "one output" [ 3 ] outs
+
+let test_staged_semantics () =
+  (* The copy emitted before a rewrite must carry the pre-rewrite header. *)
+  let staged =
+    Action.apply_staged
+      [ Action.Output 1; Action.Set_tp_dst 443; Action.Output 2 ]
+      pkt
+  in
+  match staged with
+  | [ (p1, 1); (p2, 2) ] ->
+      Alcotest.(check int) "first copy unmodified" 80 p1.Packet.tp_dst;
+      Alcotest.(check int) "second copy rewritten" 443 p2.Packet.tp_dst
+  | _ -> Alcotest.fail "expected exactly two staged outputs"
+
+let test_drop () =
+  T_util.checkb "empty list is drop" true (Action.is_drop []);
+  T_util.checkb "rewrite-only list is drop" true
+    (Action.is_drop [ Action.Set_vlan 5 ]);
+  T_util.checkb "output is not drop" false (Action.is_drop [ Action.Output 1 ])
+
+let test_vlan_actions () =
+  let tagged, _ = Action.apply [ Action.Set_vlan 99 ] pkt in
+  Alcotest.(check (option int)) "tag set" (Some 99) tagged.Packet.dl_vlan;
+  let stripped, _ = Action.apply [ Action.Strip_vlan ] tagged in
+  Alcotest.(check (option int)) "tag stripped" None stripped.Packet.dl_vlan
+
+let test_outputs_includes_enqueue () =
+  Alcotest.(check (list int)) "enqueue counts as output" [ 7; 2 ]
+    (Action.outputs [ Action.Enqueue (7, 1); Action.Output 2 ])
+
+let encode_decode a =
+  let w = Buf.writer () in
+  Action.encode w a;
+  Action.decode (Buf.reader (Buf.contents w))
+
+let prop_action_roundtrip =
+  QCheck2.Test.make ~name:"action codec roundtrip" ~count:500 T_util.Gen.action
+    (fun a -> encode_decode a = a)
+
+let prop_list_roundtrip =
+  QCheck2.Test.make ~name:"action list codec roundtrip" ~count:300
+    T_util.Gen.actions (fun l ->
+      let w = Buf.writer () in
+      Action.encode_list w l;
+      Action.decode_list (Buf.reader (Buf.contents w)) = l)
+
+let prop_apply_consistent =
+  QCheck2.Test.make ~name:"apply and apply_staged agree on outputs" ~count:300
+    QCheck2.Gen.(pair T_util.Gen.actions T_util.Gen.packet)
+    (fun (actions, p) ->
+      snd (Action.apply actions p)
+      = List.map snd (Action.apply_staged actions p))
+
+let suite =
+  [
+    Alcotest.test_case "rewrites apply in order" `Quick test_rewrites_apply_in_order;
+    Alcotest.test_case "staged output semantics" `Quick test_staged_semantics;
+    Alcotest.test_case "drop detection" `Quick test_drop;
+    Alcotest.test_case "vlan set/strip" `Quick test_vlan_actions;
+    Alcotest.test_case "enqueue is an output" `Quick test_outputs_includes_enqueue;
+    QCheck_alcotest.to_alcotest prop_action_roundtrip;
+    QCheck_alcotest.to_alcotest prop_list_roundtrip;
+    QCheck_alcotest.to_alcotest prop_apply_consistent;
+  ]

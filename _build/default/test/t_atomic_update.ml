@@ -1,0 +1,115 @@
+open Openflow
+open Netsim
+module Atomic_update = Legosdn.Atomic_update
+module Checker = Invariants.Checker
+
+let setup () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
+  ignore (Net.poll net);
+  let engine = Legosdn.Netlog.engine (Legosdn.Netlog.create net) in
+  (net, engine)
+
+let mac h = Types.mac_of_host h
+
+let path_update =
+  [
+    (1, Message.flow_add (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 1 ]);
+    (2, Message.flow_add (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 100 ]);
+  ]
+
+let test_good_update_commits () =
+  let net, engine = setup () in
+  (match Atomic_update.apply ~net ~engine ~app:"op" path_update with
+  | Atomic_update.Committed -> ()
+  | other -> Alcotest.failf "expected commit, got %s" (Atomic_update.describe other));
+  T_util.checkb "path live" true (Net.reachable net 1 2)
+
+let test_bad_update_rolls_back_everything () =
+  let net, engine = setup () in
+  (* Two good rules plus one that black-holes h2->h1 traffic. *)
+  let update =
+    path_update
+    @ [ (2, Message.flow_add (Ofp_match.make ~dl_dst:(mac 1) ()) [ Action.Output 77 ]) ]
+  in
+  (match Atomic_update.apply ~net ~engine ~app:"op" update with
+  | Atomic_update.Rolled_back (Atomic_update.Invariant_broken _) -> ()
+  | other -> Alcotest.failf "expected invariant rollback, got %s" (Atomic_update.describe other));
+  (* All-or-nothing: even the good rules are absent. *)
+  List.iter
+    (fun sid ->
+      T_util.checki "nothing installed" 0
+        (Flow_table.size (Net.switch net sid).Sw.table))
+    [ 1; 2; 3 ]
+
+let test_switch_rejection_rolls_back () =
+  let net, engine = setup () in
+  Net.apply_fault net (Net.Switch_down 2);
+  ignore (Net.poll net);
+  (* s3's half is fine; the dead s2 rejects its half. The batch must not
+     leave s3's rule behind. (No rule here routes toward the dead switch,
+     so the hypothetical invariant screen passes.) *)
+  let update =
+    [
+      (3, Message.flow_add (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 100 ]);
+      (2, Message.flow_add (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 100 ]);
+    ]
+  in
+  (match Atomic_update.apply ~net ~engine ~app:"op" update with
+  | Atomic_update.Rolled_back (Atomic_update.Switch_rejected (2, _)) -> ()
+  | other -> Alcotest.failf "expected rejection by s2, got %s" (Atomic_update.describe other));
+  T_util.checki "s3's rule rolled back too" 0
+    (Flow_table.size (Net.switch net 3).Sw.table)
+
+let test_custom_invariants () =
+  let net, engine = setup () in
+  (* An isolation policy between h1 and h3 vetoes a path between them. *)
+  let invariants =
+    Checker.Isolation { group_a = [ 1 ]; group_b = [ 3 ] } :: Checker.default
+  in
+  let update =
+    [
+      (1, Message.flow_add (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 1 ]);
+      (2, Message.flow_add (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 2 ]);
+      (3, Message.flow_add (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 100 ]);
+    ]
+  in
+  match Atomic_update.apply ~invariants ~net ~engine ~app:"op" update with
+  | Atomic_update.Rolled_back (Atomic_update.Invariant_broken violations) ->
+      T_util.checkb "isolation violation named" true
+        (List.exists
+           (function Checker.Isolation_breached _ -> true | _ -> false)
+           violations)
+  | other -> Alcotest.failf "expected isolation veto, got %s" (Atomic_update.describe other)
+
+let test_preexisting_damage_not_blamed () =
+  let net, engine = setup () in
+  (* Damage the network first, outside any transaction. *)
+  ignore
+    (Net.send net 3
+       (Message.message
+          (Message.Flow_mod
+             (Message.flow_add (Ofp_match.make ~dl_dst:(mac 1) ()) [ Action.Output 99 ]))));
+  match Atomic_update.apply ~net ~engine ~app:"op" path_update with
+  | Atomic_update.Committed -> ()
+  | other ->
+      Alcotest.failf "pre-existing black hole wrongly blamed: %s"
+        (Atomic_update.describe other)
+
+let test_empty_update () =
+  let net, engine = setup () in
+  match Atomic_update.apply ~net ~engine ~app:"op" [] with
+  | Atomic_update.Committed -> ignore net
+  | other -> Alcotest.failf "empty update must commit, got %s" (Atomic_update.describe other)
+
+let suite =
+  [
+    Alcotest.test_case "good update commits" `Quick test_good_update_commits;
+    Alcotest.test_case "bad update rolls back everything" `Quick
+      test_bad_update_rolls_back_everything;
+    Alcotest.test_case "switch rejection rolls back" `Quick test_switch_rejection_rolls_back;
+    Alcotest.test_case "custom invariants veto" `Quick test_custom_invariants;
+    Alcotest.test_case "pre-existing damage not blamed" `Quick
+      test_preexisting_damage_not_blamed;
+    Alcotest.test_case "empty update" `Quick test_empty_update;
+  ]

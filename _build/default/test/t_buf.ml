@@ -1,0 +1,116 @@
+open Openflow
+
+let test_roundtrip_fixed () =
+  let w = Buf.writer () in
+  Buf.u8 w 0xab;
+  Buf.u16 w 0xbeef;
+  Buf.u32 w 0xdeadbeef;
+  Buf.u48 w 0x0200deadbeef;
+  Buf.u64 w 0x1122334455667788L;
+  let r = Buf.reader (Buf.contents w) in
+  T_util.checki "u8" 0xab (Buf.read_u8 r);
+  T_util.checki "u16" 0xbeef (Buf.read_u16 r);
+  T_util.checki "u32" 0xdeadbeef (Buf.read_u32 r);
+  T_util.checki "u48" 0x0200deadbeef (Buf.read_u48 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Buf.read_u64 r);
+  T_util.checki "fully consumed" 0 (Buf.remaining r)
+
+let test_masking () =
+  let w = Buf.writer () in
+  Buf.u8 w 0x1ff;
+  Buf.u16 w 0x12345;
+  let r = Buf.reader (Buf.contents w) in
+  T_util.checki "u8 masks to 8 bits" 0xff (Buf.read_u8 r);
+  T_util.checki "u16 masks to 16 bits" 0x2345 (Buf.read_u16 r)
+
+let test_growth () =
+  let w = Buf.writer ~capacity:1 () in
+  for i = 0 to 999 do
+    Buf.u16 w i
+  done;
+  T_util.checki "length after growth" 2000 (Buf.length w);
+  let r = Buf.reader (Buf.contents w) in
+  for i = 0 to 999 do
+    T_util.checki "value survives growth" i (Buf.read_u16 r)
+  done
+
+let test_underflow () =
+  let r = Buf.reader (Bytes.of_string "ab") in
+  Alcotest.check_raises "u32 from 2 bytes underflows" Buf.Underflow (fun () ->
+      ignore (Buf.read_u32 r))
+
+let test_raw_and_pad () =
+  let w = Buf.writer () in
+  Buf.raw w (Bytes.of_string "hello");
+  Buf.pad w 3;
+  let b = Buf.contents w in
+  T_util.checki "length" 8 (Bytes.length b);
+  Alcotest.(check string) "payload" "hello\000\000\000" (Bytes.to_string b)
+
+let test_patch () =
+  let w = Buf.writer () in
+  Buf.u16 w 0;
+  Buf.u32 w 42;
+  Buf.patch_u16 w ~pos:0 (Buf.length w);
+  let r = Buf.reader (Buf.contents w) in
+  T_util.checki "patched length field" 6 (Buf.read_u16 r)
+
+let test_reader_window () =
+  let b = Bytes.of_string "abcdef" in
+  let r = Buf.reader ~pos:2 ~len:3 b in
+  T_util.checki "windowed remaining" 3 (Buf.remaining r);
+  Alcotest.(check string) "windowed bytes" "cde"
+    (Bytes.to_string (Buf.read_raw r 3));
+  Alcotest.check_raises "window end enforced" Buf.Underflow (fun () ->
+      ignore (Buf.read_u8 r))
+
+let test_skip_and_pos () =
+  let r = Buf.reader (Bytes.of_string "abcdef") in
+  Buf.skip r 4;
+  T_util.checki "pos after skip" 4 (Buf.pos r);
+  T_util.checki "remaining after skip" 2 (Buf.remaining r)
+
+let prop_u48_roundtrip =
+  QCheck2.Test.make ~name:"u48 roundtrips any 48-bit value" ~count:500
+    QCheck2.Gen.(map (fun i -> i land 0xFFFFFFFFFFFF) (int_bound max_int))
+    (fun v ->
+      let w = Buf.writer () in
+      Buf.u48 w v;
+      Buf.read_u48 (Buf.reader (Buf.contents w)) = v land 0xFFFFFFFFFFFF)
+
+let prop_mixed_sequence =
+  QCheck2.Test.make ~name:"mixed write sequence reads back" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 3) (int_bound 0xFFFF)))
+    (fun ops ->
+      let w = Buf.writer () in
+      List.iter
+        (fun (kind, v) ->
+          match kind with
+          | 0 -> Buf.u8 w v
+          | 1 -> Buf.u16 w v
+          | 2 -> Buf.u32 w v
+          | _ -> Buf.u48 w v)
+        ops;
+      let r = Buf.reader (Buf.contents w) in
+      List.for_all
+        (fun (kind, v) ->
+          match kind with
+          | 0 -> Buf.read_u8 r = v land 0xff
+          | 1 -> Buf.read_u16 r = v land 0xffff
+          | 2 -> Buf.read_u32 r = v land 0xffffffff
+          | _ -> Buf.read_u48 r = v)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "fixed-width roundtrip" `Quick test_roundtrip_fixed;
+    Alcotest.test_case "values are masked" `Quick test_masking;
+    Alcotest.test_case "buffer growth preserves data" `Quick test_growth;
+    Alcotest.test_case "underflow raises" `Quick test_underflow;
+    Alcotest.test_case "raw bytes and padding" `Quick test_raw_and_pad;
+    Alcotest.test_case "length back-patching" `Quick test_patch;
+    Alcotest.test_case "reader window" `Quick test_reader_window;
+    Alcotest.test_case "skip and pos" `Quick test_skip_and_pos;
+    QCheck_alcotest.to_alcotest prop_u48_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mixed_sequence;
+  ]

@@ -1,0 +1,73 @@
+module Checkpoint = Legosdn.Checkpoint
+module App_sig = Controller.App_sig
+module Event = Controller.Event
+
+let instance () = App_sig.instantiate (module Apps.Learning_switch)
+
+let tick t = Event.Tick t
+
+let test_due_before_first_event () =
+  let c = Checkpoint.create ~every:5 in
+  T_util.checkb "due initially" true (Checkpoint.due c);
+  Checkpoint.take c (instance ());
+  T_util.checkb "not due right after" false (Checkpoint.due c)
+
+let test_every_one () =
+  let c = Checkpoint.create ~every:1 in
+  Checkpoint.take c (instance ());
+  Checkpoint.record_applied c (tick 1.);
+  T_util.checkb "due after each event with k=1" true (Checkpoint.due c)
+
+let test_every_k () =
+  let c = Checkpoint.create ~every:3 in
+  Checkpoint.take c (instance ());
+  Checkpoint.record_applied c (tick 1.);
+  T_util.checkb "not due after 1 of 3" false (Checkpoint.due c);
+  Checkpoint.record_applied c (tick 2.);
+  Checkpoint.record_applied c (tick 3.);
+  T_util.checkb "due after 3 of 3" true (Checkpoint.due c)
+
+let test_restore_point_carries_journal () =
+  let c = Checkpoint.create ~every:10 in
+  T_util.checkb "no restore point yet" true (Checkpoint.restore_point c = None);
+  Checkpoint.take c (instance ());
+  Checkpoint.record_applied c (tick 1.);
+  Checkpoint.record_applied c (tick 2.);
+  match Checkpoint.restore_point c with
+  | Some (_, journal) ->
+      Alcotest.(check (list T_util.event_t)) "journal order oldest-first"
+        [ tick 1.; tick 2. ] journal
+  | None -> Alcotest.fail "restore point expected"
+
+let test_take_clears_journal () =
+  let c = Checkpoint.create ~every:2 in
+  Checkpoint.take c (instance ());
+  Checkpoint.record_applied c (tick 1.);
+  Checkpoint.take c (instance ());
+  T_util.checki "journal cleared" 0 (Checkpoint.journal_length c);
+  T_util.checki "two snapshots accounted" 2 (Checkpoint.snapshots_taken c)
+
+let test_bytes_accounting () =
+  let c = Checkpoint.create ~every:1 in
+  Checkpoint.take c (instance ());
+  let first = Checkpoint.bytes_written c in
+  T_util.checkb "bytes counted" true (first > 0);
+  T_util.checki "last snapshot size" first (Checkpoint.last_snapshot_bytes c);
+  Checkpoint.take c (instance ());
+  T_util.checki "bytes accumulate" (2 * first) (Checkpoint.bytes_written c)
+
+let test_invalid_k () =
+  Alcotest.check_raises "k=0 rejected"
+    (Invalid_argument "Checkpoint.create: every must be >= 1") (fun () ->
+      ignore (Checkpoint.create ~every:0))
+
+let suite =
+  [
+    Alcotest.test_case "due before first event" `Quick test_due_before_first_event;
+    Alcotest.test_case "k=1 cadence" `Quick test_every_one;
+    Alcotest.test_case "k=3 cadence" `Quick test_every_k;
+    Alcotest.test_case "restore point journal" `Quick test_restore_point_carries_journal;
+    Alcotest.test_case "take clears journal" `Quick test_take_clears_journal;
+    Alcotest.test_case "byte accounting" `Quick test_bytes_accounting;
+    Alcotest.test_case "invalid k" `Quick test_invalid_k;
+  ]

@@ -1,0 +1,215 @@
+open Openflow
+
+let pkt = Packet.tcp ~src_host:1 ~dst_host:2 ()
+
+let roundtrip msg = Codec.decode (Codec.encode msg)
+
+let check_rt name msg =
+  Alcotest.check T_util.message_t name msg (roundtrip msg)
+
+let port_desc : Message.port_desc =
+  { port_no = 3; hw_addr = Types.mac_of_host 3; name = "eth3"; up = true; no_flood = false }
+
+let features : Message.features =
+  { datapath_id = 42; n_buffers = 256; n_tables = 1; ports = [ port_desc ] }
+
+let test_simple_messages () =
+  check_rt "hello" (Message.message ~xid:7 Message.Hello);
+  check_rt "echo request"
+    (Message.message (Message.Echo_request (Bytes.of_string "ping")));
+  check_rt "echo reply"
+    (Message.message (Message.Echo_reply (Bytes.of_string "pong")));
+  check_rt "features request" (Message.message Message.Features_request);
+  check_rt "barrier request" (Message.message ~xid:99 Message.Barrier_request);
+  check_rt "barrier reply" (Message.message ~xid:99 Message.Barrier_reply);
+  check_rt "error"
+    (Message.message (Message.Error (Message.Flow_mod_failed, "table full")))
+
+let test_features_reply () =
+  check_rt "features reply" (Message.message (Message.Features_reply features))
+
+let test_packet_in_out () =
+  check_rt "packet_in buffered"
+    (Message.message
+       (Message.Packet_in
+          {
+            pi_buffer_id = Some 17;
+            pi_in_port = 2;
+            pi_reason = Message.No_match;
+            pi_packet = pkt;
+          }));
+  check_rt "packet_in unbuffered"
+    (Message.message
+       (Message.Packet_in
+          {
+            pi_buffer_id = None;
+            pi_in_port = 5;
+            pi_reason = Message.Action_to_controller;
+            pi_packet = pkt;
+          }));
+  check_rt "packet_out with payload"
+    (Message.message
+       (Message.Packet_out
+          {
+            po_buffer_id = None;
+            po_in_port = Some 1;
+            po_actions = [ Action.Output Types.port_flood ];
+            po_packet = Some pkt;
+          }));
+  check_rt "packet_out by buffer id"
+    (Message.message
+       (Message.Packet_out
+          {
+            po_buffer_id = Some 4;
+            po_in_port = None;
+            po_actions = [ Action.Output 2; Action.Set_tp_dst 443 ];
+            po_packet = None;
+          }))
+
+let test_flow_mod () =
+  check_rt "flow add"
+    (Message.message
+       (Message.Flow_mod
+          (Message.flow_add ~cookie:5L ~idle_timeout:60 ~priority:1000
+             ~notify_when_removed:true
+             (Ofp_match.make ~tp_dst:80 ())
+             [ Action.Output 2 ])));
+  check_rt "flow delete strict"
+    (Message.message
+       (Message.Flow_mod
+          (Message.flow_delete ~strict:true ~priority:5 (Ofp_match.make ~in_port:1 ()))))
+
+let test_flow_removed () =
+  check_rt "flow removed"
+    (Message.message
+       (Message.Flow_removed
+          {
+            fr_pattern = Ofp_match.make ~tp_dst:80 ();
+            fr_cookie = 9L;
+            fr_priority = 100;
+            fr_reason = Message.Removed_idle;
+            fr_duration = 61;
+            fr_idle_timeout = 60;
+            fr_packet_count = 12;
+            fr_byte_count = 1200;
+          }))
+
+let test_port_status () =
+  check_rt "port status"
+    (Message.message (Message.Port_status (Message.Port_modify, port_desc)))
+
+let test_stats () =
+  check_rt "flow stats request"
+    (Message.message
+       (Message.Stats_request (Message.Flow_stats_request Ofp_match.any)));
+  check_rt "aggregate request"
+    (Message.message
+       (Message.Stats_request
+          (Message.Aggregate_stats_request (Ofp_match.make ~nw_proto:6 ()))));
+  check_rt "port stats request (one port)"
+    (Message.message (Message.Stats_request (Message.Port_stats_request (Some 3))));
+  check_rt "port stats request (all)"
+    (Message.message (Message.Stats_request (Message.Port_stats_request None)));
+  check_rt "description request"
+    (Message.message (Message.Stats_request Message.Description_request));
+  check_rt "flow stats reply"
+    (Message.message
+       (Message.Stats_reply
+          (Message.Flow_stats_reply
+             [
+               {
+                 fs_pattern = Ofp_match.make ~tp_dst:80 ();
+                 fs_priority = 10;
+                 fs_cookie = 0L;
+                 fs_duration = 5;
+                 fs_idle_timeout = 60;
+                 fs_hard_timeout = 0;
+                 fs_packet_count = 3;
+                 fs_byte_count = 300;
+                 fs_actions = [ Action.Output 1 ];
+               };
+             ])));
+  check_rt "aggregate reply"
+    (Message.message
+       (Message.Stats_reply
+          (Message.Aggregate_stats_reply { packets = 10; bytes = 1000; flows = 2 })));
+  check_rt "port stats reply"
+    (Message.message
+       (Message.Stats_reply
+          (Message.Port_stats_reply
+             [
+               {
+                 ps_port_no = 1;
+                 ps_rx_packets = 5;
+                 ps_tx_packets = 6;
+                 ps_rx_bytes = 500;
+                 ps_tx_bytes = 600;
+                 ps_rx_dropped = 0;
+                 ps_tx_dropped = 1;
+               };
+             ])));
+  check_rt "description reply"
+    (Message.message (Message.Stats_reply (Message.Description_reply "netsim s1")))
+
+let test_header_fields () =
+  let b = Codec.encode (Message.message ~xid:0xabcd Message.Hello) in
+  T_util.checki "version byte" 0x01 (Char.code (Bytes.get b 0));
+  T_util.checki "length field equals frame size"
+    (Bytes.length b)
+    ((Char.code (Bytes.get b 2) lsl 8) lor Char.code (Bytes.get b 3))
+
+let test_bad_version () =
+  let b = Codec.encode (Message.message Message.Hello) in
+  Bytes.set b 0 '\x04';
+  T_util.checkb "wrong version rejected" true
+    (try
+       ignore (Codec.decode b);
+       false
+     with Codec.Decode_error _ -> true)
+
+let test_truncated () =
+  let b = Codec.encode (Message.message (Message.Features_reply features)) in
+  let cut = Bytes.sub b 0 (Bytes.length b - 5) in
+  T_util.checkb "truncation rejected" true
+    (try
+       ignore (Codec.decode cut);
+       false
+     with Codec.Decode_error _ -> true)
+
+let prop_flow_mod_roundtrip =
+  QCheck2.Test.make ~name:"flow_mod messages roundtrip" ~count:500
+    T_util.Gen.flow_mod (fun fm ->
+      let msg = Message.message ~xid:3 (Message.Flow_mod fm) in
+      roundtrip msg = msg)
+
+let prop_packet_in_roundtrip =
+  QCheck2.Test.make ~name:"packet_in messages roundtrip" ~count:300
+    QCheck2.Gen.(pair T_util.Gen.packet (int_range 1 48))
+    (fun (p, in_port) ->
+      let msg =
+        Message.message
+          (Message.Packet_in
+             {
+               pi_buffer_id = (if in_port mod 2 = 0 then Some in_port else None);
+               pi_in_port = in_port;
+               pi_reason = Message.No_match;
+               pi_packet = p;
+             })
+      in
+      roundtrip msg = msg)
+
+let suite =
+  [
+    Alcotest.test_case "simple messages" `Quick test_simple_messages;
+    Alcotest.test_case "features reply" `Quick test_features_reply;
+    Alcotest.test_case "packet in/out" `Quick test_packet_in_out;
+    Alcotest.test_case "flow mod" `Quick test_flow_mod;
+    Alcotest.test_case "flow removed" `Quick test_flow_removed;
+    Alcotest.test_case "port status" `Quick test_port_status;
+    Alcotest.test_case "statistics" `Quick test_stats;
+    Alcotest.test_case "wire header" `Quick test_header_fields;
+    Alcotest.test_case "bad version" `Quick test_bad_version;
+    Alcotest.test_case "truncated body" `Quick test_truncated;
+    QCheck_alcotest.to_alcotest prop_flow_mod_roundtrip;
+    QCheck_alcotest.to_alcotest prop_packet_in_roundtrip;
+  ]

@@ -1,0 +1,191 @@
+module Config_lang = Legosdn.Config_lang
+module Runtime = Legosdn.Runtime
+module Crashpad = Legosdn.Crashpad
+module Policy = Legosdn.Policy
+module Quarantine = Legosdn.Quarantine
+module Detector = Legosdn.Detector
+module Resources = Legosdn.Resources
+module Checker = Invariants.Checker
+module Event = Controller.Event
+
+let example =
+  {|
+# production config
+checkpoint every 5
+engine netlog
+quarantine threshold 3
+heartbeat interval 0.2 misses 5
+rpc timeout 0.01
+limit state-bytes 200000
+limit commands-per-event 128
+invariant loop-freedom
+invariant no-drop-all
+invariant isolation 1,2|5,6
+invariant waypoint via 3 pairs 1:5,2:6
+app firewall event * => no-compromise
+app * event switch_down => equivalence
+default => absolute
+|}
+
+let test_parse_full_example () =
+  let c = Config_lang.parse_exn example in
+  T_util.checki "checkpoint k" 5 c.Runtime.checkpoint_every;
+  T_util.checkb "engine" true (c.Runtime.engine = Runtime.Netlog_engine);
+  let cp = c.Runtime.crashpad in
+  (match cp.Crashpad.quarantine with
+  | Some q -> T_util.checki "quarantine threshold" 3 (Quarantine.threshold q)
+  | None -> Alcotest.fail "quarantine expected");
+  Alcotest.(check (float 1e-9)) "heartbeat interval" 0.2
+    cp.Crashpad.timing.Detector.heartbeat_interval;
+  T_util.checki "misses" 5 cp.Crashpad.timing.Detector.heartbeat_misses;
+  Alcotest.(check (float 1e-9)) "rpc timeout" 0.01
+    cp.Crashpad.timing.Detector.rpc_timeout;
+  T_util.checkb "state limit" true
+    (cp.Crashpad.limits.Resources.max_state_bytes = Some 200_000);
+  T_util.checkb "command limit" true
+    (cp.Crashpad.limits.Resources.max_commands_per_event = Some 128);
+  T_util.checki "four invariants selected" 4 (List.length cp.Crashpad.invariants);
+  T_util.checkb "isolation invariant present" true
+    (List.mem
+       (Checker.Isolation { group_a = [ 1; 2 ]; group_b = [ 5; 6 ] })
+       cp.Crashpad.invariants);
+  T_util.checkb "waypoint invariant present" true
+    (List.mem
+       (Checker.Waypoint { pairs = [ (1, 5); (2, 6) ]; via = 3 })
+       cp.Crashpad.invariants);
+  T_util.checkb "policy wired through" true
+    (Policy.decide cp.Crashpad.policy ~app:"firewall" Event.K_tick
+     = Policy.No_compromise);
+  T_util.checkb "policy default" true
+    (Policy.decide cp.Crashpad.policy ~app:"x" Event.K_packet_in
+     = Policy.Absolute)
+
+let test_empty_is_default () =
+  let c = Config_lang.parse_exn "" in
+  T_util.checki "default k" 1 c.Runtime.checkpoint_every;
+  T_util.checkb "default engine" true (c.Runtime.engine = Runtime.Netlog_engine);
+  T_util.checkb "no quarantine" true (c.Runtime.crashpad.Crashpad.quarantine = None);
+  T_util.checkb "default invariants" true
+    (c.Runtime.crashpad.Crashpad.invariants = Checker.default)
+
+let test_errors_located () =
+  let cases =
+    [
+      ("checkpoint every 0", "cadence");
+      ("engine mystery", "directive");
+      ("quarantine threshold x", "threshold");
+      ("rpc timeout -1", "timeout");
+      ("invariant isolation 1,2", "groups");
+      ("invariant waypoint via x pairs 1:2", "switch");
+      ("app x event nope => absolute", "kind");
+      ("default => maybe", "compromise");
+      ("default => absolute\ndefault => absolute", "duplicate");
+    ]
+  in
+  List.iter
+    (fun (text, what) ->
+      match Config_lang.parse text with
+      | Ok _ -> Alcotest.failf "%s should be rejected (%s)" text what
+      | Error e -> T_util.checkb "line recorded" true (e.Config_lang.line >= 1))
+    cases
+
+(* Semantic equality for configs: quarantine compares by presence and
+   threshold (the store is a fresh value each parse). *)
+let config_equiv (a : Runtime.config) (b : Runtime.config) =
+  a.Runtime.checkpoint_every = b.Runtime.checkpoint_every
+  && a.Runtime.engine = b.Runtime.engine
+  && Policy.equal a.Runtime.crashpad.Crashpad.policy
+       b.Runtime.crashpad.Crashpad.policy
+  && a.Runtime.crashpad.Crashpad.invariants
+     = b.Runtime.crashpad.Crashpad.invariants
+  && a.Runtime.crashpad.Crashpad.timing = b.Runtime.crashpad.Crashpad.timing
+  && a.Runtime.crashpad.Crashpad.limits = b.Runtime.crashpad.Crashpad.limits
+  && Option.map Quarantine.threshold a.Runtime.crashpad.Crashpad.quarantine
+     = Option.map Quarantine.threshold b.Runtime.crashpad.Crashpad.quarantine
+
+let test_print_parse_roundtrip () =
+  let c = Config_lang.parse_exn example in
+  let c2 = Config_lang.parse_exn (Config_lang.print c) in
+  T_util.checkb "roundtrip equivalence" true (config_equiv c c2)
+
+let config_gen =
+  QCheck2.Gen.(
+    let compromise =
+      oneofl [ Policy.No_compromise; Policy.Absolute; Policy.Equivalence ]
+    in
+    let* k = int_range 1 20 in
+    let* engine = oneofl [ Runtime.Netlog_engine; Runtime.Delay_buffer_engine ] in
+    let* quarantine = opt (int_range 1 5) in
+    let* state_limit = opt (int_range 1 1_000_000) in
+    let* cmd_limit = opt (int_range 1 512) in
+    let* invariants =
+      list_size (int_bound 3)
+        (oneof
+           [
+             return Checker.Loop_freedom;
+             return Checker.Black_hole_freedom;
+             return Checker.No_drop_all;
+             map
+               (fun pairs -> Checker.Pairwise_reachability pairs)
+               (list_size (int_range 1 3) (pair (int_range 1 9) (int_range 1 9)));
+             map2
+               (fun a b ->
+                 Checker.Isolation { group_a = a; group_b = b })
+               (list_size (int_range 1 3) (int_range 1 9))
+               (list_size (int_range 1 3) (int_range 1 9));
+           ])
+    in
+    let rule =
+      let* app = opt (oneofl [ "a"; "router" ]) in
+      let* kind = opt (oneofl Event.all_kinds) in
+      let* action = compromise in
+      return { Policy.app; kind; action }
+    in
+    let* rules = list_size (int_bound 4) rule in
+    let* default = compromise in
+    return
+      {
+        Runtime.checkpoint_every = k;
+        engine;
+        crashpad =
+          {
+            Crashpad.policy = Policy.make ~default rules;
+            invariants =
+              (if invariants = [] then Checker.default else invariants);
+            timing = Detector.default_timing;
+            limits =
+              {
+                Resources.max_state_bytes = state_limit;
+                max_commands_per_event = cmd_limit;
+              };
+            quarantine =
+              Option.map (fun t -> Quarantine.create ~threshold:t ()) quarantine;
+          };
+      })
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"print/parse roundtrip for any config" ~count:200
+    config_gen (fun c ->
+      config_equiv c (Config_lang.parse_exn (Config_lang.print c)))
+
+let test_runtime_accepts_parsed_config () =
+  let config = Config_lang.parse_exn example in
+  let net =
+    Netsim.Net.create (Netsim.Clock.create ())
+      (Netsim.Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  let rt = Runtime.create ~config net [ (module Apps.Learning_switch) ] in
+  Runtime.step rt;
+  T_util.checkb "runtime runs under parsed config" true
+    (Runtime.events_processed rt > 0)
+
+let suite =
+  [
+    Alcotest.test_case "parse full example" `Quick test_parse_full_example;
+    Alcotest.test_case "empty file is default config" `Quick test_empty_is_default;
+    Alcotest.test_case "errors located" `Quick test_errors_located;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    Alcotest.test_case "runtime accepts parsed config" `Quick
+      test_runtime_accepts_parsed_config;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,69 @@
+open Netsim
+
+let test_time_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3. "c";
+  Event_queue.push q ~time:1. "a";
+  Event_queue.push q ~time:2. "b";
+  let order =
+    List.init 3 (fun _ -> match Event_queue.pop q with
+      | Some (_, v) -> v
+      | None -> "?")
+  in
+  Alcotest.(check (list string)) "earliest first" [ "a"; "b"; "c" ] order
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:1. i
+  done;
+  let order = List.init 10 (fun _ -> Option.get (Event_queue.pop q) |> snd) in
+  Alcotest.(check (list int)) "ties are FIFO" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] order
+
+let test_drain_until () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.push q ~time:t t) [ 5.; 1.; 3.; 2.; 4. ];
+  let drained = Event_queue.drain_until q ~time:3. in
+  Alcotest.(check (list (pair (float 0.0001) (float 0.0001))))
+    "drained up to time 3" [ (1., 1.); (2., 2.); (3., 3.) ] drained;
+  T_util.checki "two left" 2 (Event_queue.size q)
+
+let test_empty () =
+  let q : int Event_queue.t = Event_queue.create () in
+  T_util.checkb "empty" true (Event_queue.is_empty q);
+  T_util.checkb "pop on empty" true (Event_queue.pop q = None);
+  T_util.checkb "peek on empty" true (Event_queue.peek_time q = None)
+
+let prop_pop_sorted =
+  QCheck2.Test.make ~name:"pops are non-decreasing in time" ~count:300
+    QCheck2.Gen.(list (float_bound_exclusive 1000.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let prop_size_conservation =
+  QCheck2.Test.make ~name:"everything pushed comes back out" ~count:200
+    QCheck2.Gen.(list (pair (float_bound_exclusive 100.) small_int))
+    (fun items ->
+      let q = Event_queue.create () in
+      List.iter (fun (t, v) -> Event_queue.push q ~time:t v) items;
+      let rec count n =
+        match Event_queue.pop q with None -> n | Some _ -> count (n + 1)
+      in
+      count 0 = List.length items)
+
+let suite =
+  [
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "FIFO on equal times" `Quick test_fifo_ties;
+    Alcotest.test_case "drain_until" `Quick test_drain_until;
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    QCheck_alcotest.to_alcotest prop_pop_sorted;
+    QCheck_alcotest.to_alcotest prop_size_conservation;
+  ]

@@ -1,0 +1,174 @@
+(* Model-based testing of Flow_table: a naive, obviously-correct reference
+   implementation is driven with the same random operation sequences as the
+   real table, and their observable behaviour (lookups, sizes, removals)
+   must agree at every step. *)
+
+open Openflow
+open Netsim
+
+(* ---- the reference model: a plain list, no cleverness ---- *)
+
+module Model = struct
+  type rule = {
+    pattern : Ofp_match.t;
+    priority : int;
+    actions : Action.t list;
+    seq : int;  (* insertion order for deterministic ties *)
+  }
+
+  type t = { mutable rules : rule list; mutable next_seq : int }
+
+  let create () = { rules = []; next_seq = 0 }
+
+  let add t pattern priority actions =
+    t.rules <-
+      List.filter
+        (fun r -> not (r.priority = priority && Ofp_match.equal r.pattern pattern))
+        t.rules;
+    t.rules <- { pattern; priority; actions; seq = t.next_seq } :: t.rules;
+    t.next_seq <- t.next_seq + 1
+
+  let touches ~strict pattern ~priority r =
+    if strict then r.priority = priority && Ofp_match.equal pattern r.pattern
+    else Ofp_match.subsumes pattern r.pattern
+
+  let modify t ~strict pattern ~priority actions =
+    let hit = ref false in
+    t.rules <-
+      List.map
+        (fun r ->
+          if touches ~strict pattern ~priority r then begin
+            hit := true;
+            { r with actions }
+          end
+          else r)
+        t.rules;
+    !hit
+
+  let delete t ~strict pattern ~priority =
+    let gone, kept =
+      List.partition (touches ~strict pattern ~priority) t.rules
+    in
+    t.rules <- kept;
+    List.length gone
+
+  let size t = List.length t.rules
+
+  (* Highest priority; insertion order (lowest seq) breaks ties. *)
+  let lookup t ~in_port pkt =
+    t.rules
+    |> List.filter (fun r -> Ofp_match.matches r.pattern ~in_port pkt)
+    |> List.sort (fun a b ->
+           match compare b.priority a.priority with
+           | 0 -> compare a.seq b.seq
+           | c -> c)
+    |> function
+    | [] -> None
+    | r :: _ -> Some (r.pattern, r.priority, r.actions)
+end
+
+(* ---- operations ---- *)
+
+type op =
+  | Add of Ofp_match.t * int * Action.t list
+  | Modify of bool * Ofp_match.t * int * Action.t list
+  | Delete of bool * Ofp_match.t * int
+
+let apply_real table = function
+  | Add (pattern, priority, actions) ->
+      Flow_table.add table
+        (Flow_entry.make ~priority ~now:0. pattern actions)
+  | Modify (strict, pattern, priority, actions) ->
+      if not (Flow_table.modify table ~strict pattern ~priority actions) then
+        Flow_table.add table (Flow_entry.make ~priority ~now:0. pattern actions)
+  | Delete (strict, pattern, priority) ->
+      ignore (Flow_table.delete table ~strict pattern ~priority)
+
+let apply_model model = function
+  | Add (pattern, priority, actions) -> Model.add model pattern priority actions
+  | Modify (strict, pattern, priority, actions) ->
+      if not (Model.modify model ~strict pattern ~priority actions) then
+        Model.add model pattern priority actions
+  | Delete (strict, pattern, priority) ->
+      ignore (Model.delete model ~strict pattern ~priority)
+
+(* Small domains maximize collisions, which is where the bugs live. *)
+let small_pattern =
+  QCheck2.Gen.(
+    let* tp_dst = opt (oneofl [ 80; 443 ]) in
+    let* nw_proto = opt (oneofl [ 6; 17 ]) in
+    let* in_port = opt (oneofl [ 1; 2 ]) in
+    return (Ofp_match.make ?tp_dst ?nw_proto ?in_port ()))
+
+let op_gen =
+  QCheck2.Gen.(
+    let* pattern = small_pattern in
+    let* priority = oneofl [ 10; 20; 30 ] in
+    let* actions =
+      map (fun p -> [ Action.Output p ]) (oneofl [ 1; 2; 3 ])
+    in
+    let* strict = bool in
+    oneof
+      [
+        return (Add (pattern, priority, actions));
+        return (Modify (strict, pattern, priority, actions));
+        return (Delete (strict, pattern, priority));
+      ])
+
+let probe_packets =
+  [
+    (1, Packet.tcp ~src_host:1 ~dst_host:2 ~dport:80 ());
+    (2, Packet.tcp ~src_host:2 ~dst_host:1 ~dport:443 ());
+    (1, Packet.make ~nw_proto:17 ~dl_src:(Types.mac_of_host 1)
+         ~dl_dst:(Types.mac_of_host 2) ~nw_src:(Types.ip_of_host 1)
+         ~nw_dst:(Types.ip_of_host 2) ~tp_dst:53 ());
+  ]
+
+let agree table model =
+  Model.size model = Flow_table.size table
+  && List.for_all
+       (fun (in_port, pkt) ->
+         let real =
+           Flow_table.lookup table ~now:0. ~in_port pkt
+           |> Option.map (fun (e : Flow_entry.t) ->
+                  (e.pattern, e.priority, e.actions))
+         in
+         Model.lookup model ~in_port pkt = real)
+       probe_packets
+
+let prop_model_agreement =
+  QCheck2.Test.make ~name:"flow table agrees with naive reference" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 25) op_gen)
+    (fun ops ->
+      let table = Flow_table.create () in
+      let model = Model.create () in
+      List.for_all
+        (fun op ->
+          apply_real table op;
+          apply_model model op;
+          agree table model)
+        ops)
+
+let prop_delete_counts_agree =
+  QCheck2.Test.make ~name:"delete removes the same rule count" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 15) op_gen) (pair small_pattern bool))
+    (fun (ops, (pattern, strict)) ->
+      let table = Flow_table.create () in
+      let model = Model.create () in
+      List.iter
+        (fun op ->
+          apply_real table op;
+          apply_model model op)
+        ops;
+      let real_gone =
+        List.length (Flow_table.delete table ~strict pattern ~priority:20)
+      in
+      let model_gone = Model.delete model ~strict pattern ~priority:20 in
+      real_gone = model_gone)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_model_agreement;
+    QCheck_alcotest.to_alcotest prop_delete_counts_agree;
+  ]

@@ -1,0 +1,145 @@
+open Openflow
+open Netsim
+module Snapshot = Invariants.Snapshot
+module Checker = Invariants.Checker
+
+let setup () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
+  ignore (Net.poll net);
+  net
+
+let install net sid ?(priority = Message.default_priority) pattern actions =
+  ignore
+    (Net.send net sid
+       (Message.message
+          (Message.Flow_mod (Message.flow_add ~priority pattern actions))))
+
+let mac h = Types.mac_of_host h
+
+let test_clean_network_has_no_violations () =
+  let net = setup () in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map Checker.violation_kind (Checker.check (Snapshot.of_net net)))
+
+let test_loop_detected () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.ring 3) in
+  ignore (Net.poll net);
+  install net 1 Ofp_match.any [ Action.Output 1 ];
+  install net 2 Ofp_match.any [ Action.Output 2 ];
+  install net 3 Ofp_match.any [ Action.Output 2 ];
+  let violations = Checker.check ~invariants:[ Checker.Loop_freedom ] (Snapshot.of_net net) in
+  T_util.checkb "loop found" true
+    (List.exists
+       (function Checker.Forwarding_loop _ -> true | _ -> false)
+       violations)
+
+let test_blackhole_detected () =
+  let net = setup () in
+  (* Forward h1->h2 traffic into an unwired port on s1. *)
+  install net 1 (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 77 ];
+  let violations =
+    Checker.check ~invariants:[ Checker.Black_hole_freedom ] (Snapshot.of_net net)
+  in
+  T_util.checkb "black hole found" true
+    (List.exists
+       (function Checker.Black_hole { at = [ 1 ]; _ } -> true | _ -> false)
+       violations)
+
+let test_explicit_drop_is_not_blackhole () =
+  let net = setup () in
+  (* A firewall-style drop rule for a specific pair, below default prio. *)
+  install net 1 ~priority:10 (Ofp_match.make ~dl_dst:(mac 2) ()) [];
+  Alcotest.(check (list string)) "explicit drop tolerated" []
+    (List.map Checker.violation_kind
+       (Checker.check
+          ~invariants:[ Checker.Black_hole_freedom; Checker.No_drop_all ]
+          (Snapshot.of_net net)))
+
+let test_drop_all_detected () =
+  let net = setup () in
+  install net 2 ~priority:65000 Ofp_match.any [];
+  let violations =
+    Checker.check ~invariants:[ Checker.No_drop_all ] (Snapshot.of_net net)
+  in
+  T_util.checkb "drop-all flagged" true
+    (List.exists
+       (function Checker.Drop_all_rule { sw = 2; _ } -> true | _ -> false)
+       violations)
+
+let test_reachability_invariant () =
+  let net = setup () in
+  let inv = [ Checker.Pairwise_reachability [ (1, 2) ] ] in
+  T_util.checkb "unprogrammed: unreachable" true
+    (Checker.check ~invariants:inv (Snapshot.of_net net)
+     |> List.exists (function Checker.Unreachable _ -> true | _ -> false));
+  install net 1 (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 1 ];
+  install net 2 (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 100 ];
+  Alcotest.(check (list string)) "programmed: fine" []
+    (List.map Checker.violation_kind
+       (Checker.check ~invariants:inv (Snapshot.of_net net)))
+
+let test_check_flow_mods_is_differential () =
+  let net = setup () in
+  (* Pre-existing damage... *)
+  install net 1 (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 77 ];
+  let snap = Snapshot.of_net net in
+  T_util.checkb "pre-existing violation visible to check" true
+    (Checker.check snap <> []);
+  (* ...is not pinned on new, harmless mods. *)
+  let harmless =
+    [ (3, Message.flow_add (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 100 ]) ]
+  in
+  Alcotest.(check (list string)) "differential check is clean" []
+    (List.map Checker.violation_kind (Checker.check_flow_mods snap harmless));
+  (* New damage is caught. *)
+  let harmful =
+    [ (3, Message.flow_add (Ofp_match.make ~dl_dst:(mac 1) ()) [ Action.Output 88 ]) ]
+  in
+  T_util.checkb "new damage caught" true (Checker.check_flow_mods snap harmful <> [])
+
+let test_snapshot_apply_is_pure () =
+  let net = setup () in
+  let snap = Snapshot.of_net net in
+  let fm = Message.flow_add Ofp_match.any [ Action.Output 1 ] in
+  let snap2 = Snapshot.apply_flow_mod snap 1 fm in
+  T_util.checki "original snapshot unchanged" 0 (List.length (Snapshot.entries snap 1));
+  T_util.checki "new snapshot has the rule" 1 (List.length (Snapshot.entries snap2 1));
+  T_util.checki "live network unchanged" 0
+    (Flow_table.size (Net.switch net 1).Sw.table)
+
+let test_snapshot_delete_mod () =
+  let net = setup () in
+  install net 1 (Ofp_match.make ~tp_dst:80 ()) [ Action.Output 1 ];
+  let snap = Snapshot.of_net net in
+  let snap2 =
+    Snapshot.apply_flow_mod snap 1 (Message.flow_delete (Ofp_match.make ~tp_dst:80 ()))
+  in
+  T_util.checki "rule deleted in snapshot" 0 (List.length (Snapshot.entries snap2 1));
+  T_util.checki "live rule still present" 1
+    (Flow_table.size (Net.switch net 1).Sw.table)
+
+let test_trace_agrees_with_net_probe () =
+  let net = setup () in
+  install net 1 (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 1 ];
+  install net 2 (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 100 ];
+  let snap = Snapshot.of_net net in
+  let t = Snapshot.trace snap 1 (T_util.tcp_packet 1 2) in
+  let p = Net.probe net 1 (T_util.tcp_packet 1 2) in
+  Alcotest.(check (list int)) "same hosts reached" p.Net.reached t.Snapshot.reached;
+  T_util.checkb "same loop flag" true (p.Net.looped = t.Snapshot.looped)
+
+let suite =
+  [
+    Alcotest.test_case "clean network" `Quick test_clean_network_has_no_violations;
+    Alcotest.test_case "loop detection" `Quick test_loop_detected;
+    Alcotest.test_case "black hole detection" `Quick test_blackhole_detected;
+    Alcotest.test_case "explicit drop tolerated" `Quick test_explicit_drop_is_not_blackhole;
+    Alcotest.test_case "drop-all detection" `Quick test_drop_all_detected;
+    Alcotest.test_case "reachability invariant" `Quick test_reachability_invariant;
+    Alcotest.test_case "differential check" `Quick test_check_flow_mods_is_differential;
+    Alcotest.test_case "snapshot apply is pure" `Quick test_snapshot_apply_is_pure;
+    Alcotest.test_case "snapshot delete" `Quick test_snapshot_delete_mod;
+    Alcotest.test_case "trace agrees with live probe" `Quick test_trace_agrees_with_net_probe;
+  ]

@@ -1,0 +1,106 @@
+open Openflow
+
+let pkt = Packet.tcp ~src_host:1 ~dst_host:2 ~sport:1000 ~dport:80 ()
+
+let test_any_matches_everything () =
+  T_util.checkb "any matches" true (Ofp_match.matches Ofp_match.any ~in_port:7 pkt)
+
+let test_exact_matches_only_itself () =
+  let m = Ofp_match.exact ~in_port:3 pkt in
+  T_util.checkb "matches original" true (Ofp_match.matches m ~in_port:3 pkt);
+  T_util.checkb "wrong in_port" false (Ofp_match.matches m ~in_port:4 pkt);
+  let other = { pkt with Packet.tp_dst = 81 } in
+  T_util.checkb "wrong field" false (Ofp_match.matches m ~in_port:3 other)
+
+let test_single_field () =
+  let m = Ofp_match.make ~tp_dst:80 () in
+  T_util.checkb "matches port 80" true (Ofp_match.matches m ~in_port:1 pkt);
+  let p81 = { pkt with Packet.tp_dst = 81 } in
+  T_util.checkb "rejects port 81" false (Ofp_match.matches m ~in_port:1 p81)
+
+let test_vlan_semantics () =
+  let untagged_only = Ofp_match.make ~dl_vlan:None () in
+  T_util.checkb "explicit-untagged matches untagged" true
+    (Ofp_match.matches untagged_only ~in_port:1 pkt);
+  let tagged = { pkt with Packet.dl_vlan = Some 5 } in
+  T_util.checkb "explicit-untagged rejects tagged" false
+    (Ofp_match.matches untagged_only ~in_port:1 tagged);
+  let vlan5 = Ofp_match.make ~dl_vlan:(Some 5) () in
+  T_util.checkb "vlan 5 matches" true (Ofp_match.matches vlan5 ~in_port:1 tagged)
+
+let test_subsumes () =
+  let wide = Ofp_match.make ~dl_type:Packet.ethertype_ip () in
+  let narrow = Ofp_match.make ~dl_type:Packet.ethertype_ip ~tp_dst:80 () in
+  T_util.checkb "wide subsumes narrow" true (Ofp_match.subsumes wide narrow);
+  T_util.checkb "narrow does not subsume wide" false
+    (Ofp_match.subsumes narrow wide);
+  T_util.checkb "any subsumes all" true (Ofp_match.subsumes Ofp_match.any narrow);
+  T_util.checkb "self subsumption" true (Ofp_match.subsumes narrow narrow)
+
+let test_overlaps () =
+  let a = Ofp_match.make ~tp_dst:80 () in
+  let b = Ofp_match.make ~nw_proto:6 () in
+  let c = Ofp_match.make ~tp_dst:443 () in
+  T_util.checkb "orthogonal fields overlap" true (Ofp_match.overlaps a b);
+  T_util.checkb "conflicting values do not" false (Ofp_match.overlaps a c)
+
+let test_wildcard_count () =
+  T_util.checki "any has 11 wildcards" 11 (Ofp_match.wildcard_count Ofp_match.any);
+  T_util.checki "exact has none" 0
+    (Ofp_match.wildcard_count (Ofp_match.exact ~in_port:1 pkt))
+
+let encode_decode m =
+  let w = Buf.writer () in
+  Ofp_match.encode w m;
+  Ofp_match.decode (Buf.reader (Buf.contents w))
+
+let test_codec_roundtrip_corners () =
+  List.iter
+    (fun m -> Alcotest.check T_util.match_t "roundtrip" m (encode_decode m))
+    [
+      Ofp_match.any;
+      Ofp_match.exact ~in_port:5 pkt;
+      Ofp_match.make ~dl_vlan:None ();
+      Ofp_match.make ~dl_vlan:(Some 100) ();
+      Ofp_match.make ~in_port:1 ~tp_dst:443 ();
+    ]
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"match codec roundtrip" ~count:500 T_util.Gen.ofp_match
+    (fun m -> encode_decode m = m)
+
+let prop_subsumes_implies_matches =
+  QCheck2.Test.make ~name:"subsumption is sound w.r.t. matching" ~count:500
+    QCheck2.Gen.(pair T_util.Gen.ofp_match (pair T_util.Gen.packet (int_range 1 8)))
+    (fun (m, (p, in_port)) ->
+      (* Any packet matched by exact(p) is matched by every pattern that
+         subsumes exact(p). *)
+      let e = Ofp_match.exact ~in_port p in
+      if Ofp_match.subsumes m e then Ofp_match.matches m ~in_port p else true)
+
+let prop_exact_matches_self =
+  QCheck2.Test.make ~name:"exact pattern matches its packet" ~count:500
+    QCheck2.Gen.(pair T_util.Gen.packet (int_range 1 8))
+    (fun (p, in_port) ->
+      Ofp_match.matches (Ofp_match.exact ~in_port p) ~in_port p)
+
+let prop_overlap_symmetric =
+  QCheck2.Test.make ~name:"overlap is symmetric" ~count:300
+    QCheck2.Gen.(pair T_util.Gen.ofp_match T_util.Gen.ofp_match)
+    (fun (a, b) -> Ofp_match.overlaps a b = Ofp_match.overlaps b a)
+
+let suite =
+  [
+    Alcotest.test_case "wildcard matches everything" `Quick test_any_matches_everything;
+    Alcotest.test_case "exact match is exact" `Quick test_exact_matches_only_itself;
+    Alcotest.test_case "single-field match" `Quick test_single_field;
+    Alcotest.test_case "vlan three-state semantics" `Quick test_vlan_semantics;
+    Alcotest.test_case "subsumption" `Quick test_subsumes;
+    Alcotest.test_case "overlap" `Quick test_overlaps;
+    Alcotest.test_case "wildcard count" `Quick test_wildcard_count;
+    Alcotest.test_case "codec corner cases" `Quick test_codec_roundtrip_corners;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_subsumes_implies_matches;
+    QCheck_alcotest.to_alcotest prop_exact_matches_self;
+    QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+  ]

@@ -1,0 +1,58 @@
+open Openflow
+
+let test_tcp_defaults () =
+  let p = Packet.tcp ~src_host:1 ~dst_host:2 () in
+  Alcotest.(check int) "ethertype" Packet.ethertype_ip p.Packet.dl_type;
+  Alcotest.(check int) "proto" Packet.proto_tcp p.Packet.nw_proto;
+  T_util.checkb "src mac derived from host" true
+    (p.Packet.dl_src = Types.mac_of_host 1);
+  T_util.checkb "dst ip derived from host" true
+    (p.Packet.nw_dst = Types.ip_of_host 2)
+
+let test_arp_is_broadcast () =
+  let p = Packet.arp_request ~src_host:1 ~dst_host:2 in
+  T_util.checkb "broadcast dst" true (Types.mac_is_broadcast p.Packet.dl_dst);
+  Alcotest.(check int) "arp ethertype" Packet.ethertype_arp p.Packet.dl_type
+
+let test_frame_roundtrip_plain () =
+  let p = Packet.tcp ~src_host:3 ~dst_host:9 ~sport:555 ~dport:8080 () in
+  Alcotest.check T_util.packet_t "roundtrip" p (Packet.of_frame (Packet.to_frame p))
+
+let test_frame_roundtrip_vlan () =
+  let p =
+    Packet.make ~dl_vlan:(Some 42) ~dl_src:(Types.mac_of_host 1)
+      ~dl_dst:(Types.mac_of_host 2) ~nw_src:(Types.ip_of_host 1)
+      ~nw_dst:(Types.ip_of_host 2) ()
+  in
+  Alcotest.check T_util.packet_t "vlan roundtrip" p
+    (Packet.of_frame (Packet.to_frame p))
+
+let test_size_counts_vlan () =
+  let bare = Packet.tcp ~src_host:1 ~dst_host:2 () in
+  let tagged = { bare with Packet.dl_vlan = Some 7 } in
+  T_util.checki "vlan adds 4 bytes" (Packet.size bare + 4) (Packet.size tagged)
+
+let test_garbage_frame () =
+  Alcotest.check_raises "truncated frame fails cleanly"
+    (Failure "Packet.of_frame: truncated frame") (fun () ->
+      ignore (Packet.of_frame (Bytes.of_string "too short")))
+
+let prop_frame_roundtrip =
+  QCheck2.Test.make ~name:"any packet roundtrips through its frame" ~count:500
+    T_util.Gen.packet (fun p -> Packet.of_frame (Packet.to_frame p) = p)
+
+let prop_size_positive =
+  QCheck2.Test.make ~name:"frame size is positive and >= headers" ~count:200
+    T_util.Gen.packet (fun p -> Packet.size p >= 38)
+
+let suite =
+  [
+    Alcotest.test_case "tcp helper defaults" `Quick test_tcp_defaults;
+    Alcotest.test_case "arp helper broadcasts" `Quick test_arp_is_broadcast;
+    Alcotest.test_case "frame roundtrip (plain)" `Quick test_frame_roundtrip_plain;
+    Alcotest.test_case "frame roundtrip (vlan)" `Quick test_frame_roundtrip_vlan;
+    Alcotest.test_case "size counts vlan tag" `Quick test_size_counts_vlan;
+    Alcotest.test_case "garbage frame rejected" `Quick test_garbage_frame;
+    QCheck_alcotest.to_alcotest prop_frame_roundtrip;
+    QCheck_alcotest.to_alcotest prop_size_positive;
+  ]

@@ -1,0 +1,116 @@
+module Policy = Legosdn.Policy
+module Policy_lang = Legosdn.Policy_lang
+module Event = Controller.Event
+
+let test_default_policy () =
+  let p = Policy.make [] in
+  T_util.checkb "default is equivalence" true
+    (Policy.decide p ~app:"x" Event.K_packet_in = Policy.Equivalence)
+
+let test_first_match_wins () =
+  let p =
+    Policy.make
+      [
+        { Policy.app = Some "fw"; kind = None; action = Policy.No_compromise };
+        { Policy.app = Some "fw"; kind = Some Event.K_tick; action = Policy.Absolute };
+      ]
+  in
+  T_util.checkb "earlier rule shadows later" true
+    (Policy.decide p ~app:"fw" Event.K_tick = Policy.No_compromise)
+
+let test_wildcards () =
+  let p =
+    Policy.make ~default:Policy.Absolute
+      [
+        { Policy.app = None; kind = Some Event.K_switch_down; action = Policy.No_compromise };
+        { Policy.app = Some "lb"; kind = None; action = Policy.Equivalence };
+      ]
+  in
+  T_util.checkb "kind wildcard matches any app" true
+    (Policy.decide p ~app:"whatever" Event.K_switch_down = Policy.No_compromise);
+  T_util.checkb "app rule" true
+    (Policy.decide p ~app:"lb" Event.K_packet_in = Policy.Equivalence);
+  T_util.checkb "fallthrough to default" true
+    (Policy.decide p ~app:"other" Event.K_packet_in = Policy.Absolute)
+
+let test_uniform () =
+  let p = Policy.uniform Policy.No_compromise in
+  List.iter
+    (fun kind ->
+      T_util.checkb "uniform answers the same" true
+        (Policy.decide p ~app:"any" kind = Policy.No_compromise))
+    Event.all_kinds
+
+let example_text =
+  {|
+# security apps must never be compromised
+app firewall event * => no-compromise
+app * event switch_down => equivalence
+app learning_switch event packet_in => absolute   # drop poisoned packets
+default => equivalence
+|}
+
+let test_parse_example () =
+  match Policy_lang.parse example_text with
+  | Error e -> Alcotest.failf "parse error: %a" Policy_lang.pp_error e
+  | Ok p ->
+      T_util.checki "three rules" 3 (List.length (Policy.rules p));
+      T_util.checkb "firewall protected" true
+        (Policy.decide p ~app:"firewall" Event.K_packet_in = Policy.No_compromise);
+      T_util.checkb "switch_down transformed for others" true
+        (Policy.decide p ~app:"router" Event.K_switch_down = Policy.Equivalence);
+      T_util.checkb "ls packet_in dropped" true
+        (Policy.decide p ~app:"learning_switch" Event.K_packet_in = Policy.Absolute)
+
+let test_parse_errors () =
+  (match Policy_lang.parse "app x => nope" with
+  | Error e -> T_util.checki "error on line 1" 1 e.Policy_lang.line
+  | Ok _ -> Alcotest.fail "should not parse");
+  (match Policy_lang.parse "app x event packet_in => sorta" with
+  | Error e ->
+      T_util.checkb "names the bad compromise" true
+        (String.length e.Policy_lang.message > 0)
+  | Ok _ -> Alcotest.fail "bad compromise accepted");
+  (match Policy_lang.parse "app x event nonsense_kind => absolute" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad kind accepted");
+  match Policy_lang.parse "default => absolute\ndefault => equivalence" with
+  | Error e -> T_util.checki "duplicate default flagged" 2 e.Policy_lang.line
+  | Ok _ -> Alcotest.fail "duplicate default accepted"
+
+let test_print_parse_roundtrip () =
+  let p = Policy_lang.parse_exn example_text in
+  let p2 = Policy_lang.parse_exn (Policy_lang.print p) in
+  T_util.checkb "roundtrip equality" true (Policy.equal p p2)
+
+let policy_gen =
+  QCheck2.Gen.(
+    let compromise =
+      oneofl [ Policy.No_compromise; Policy.Absolute; Policy.Equivalence ]
+    in
+    let rule =
+      let* app = opt (oneofl [ "a"; "b"; "router" ]) in
+      let* kind = opt (oneofl Event.all_kinds) in
+      let* action = compromise in
+      return { Policy.app; kind; action }
+    in
+    let* rules = list_size (int_bound 6) rule in
+    let* default = compromise in
+    return (Policy.make ~default rules))
+
+let prop_lang_roundtrip =
+  QCheck2.Test.make ~name:"print/parse roundtrip for any policy" ~count:300
+    policy_gen (fun p ->
+      Policy.equal p (Policy_lang.parse_exn (Policy_lang.print p)))
+
+let suite =
+  [
+    Alcotest.test_case "default policy" `Quick test_default_policy;
+    Alcotest.test_case "first match wins" `Quick test_first_match_wins;
+    Alcotest.test_case "wildcards" `Quick test_wildcards;
+    Alcotest.test_case "uniform policy" `Quick test_uniform;
+    Alcotest.test_case "parse example" `Quick test_parse_example;
+    Alcotest.test_case "parse errors located" `Quick test_parse_errors;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_lang_roundtrip;
+  ]

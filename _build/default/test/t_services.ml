@@ -1,0 +1,103 @@
+open Openflow
+open Netsim
+module Services = Controller.Services
+module Event = Controller.Event
+
+let test_handshake_produces_switch_up_and_links () =
+  let _, _, services, events = T_util.net_with_services (Topo_gen.linear 3) in
+  let ups =
+    List.filter (function Event.Switch_up _ -> true | _ -> false) events
+  in
+  T_util.checki "three switch_up events" 3 (List.length ups);
+  (* 2 physical inter-switch links. *)
+  let link_ups =
+    List.filter (function Event.Link_up _ -> true | _ -> false) events
+  in
+  T_util.checki "two discovered links" 2 (List.length link_ups);
+  T_util.checki "live_links lists both directions" 4
+    (List.length (Services.live_links services));
+  Alcotest.(check (list int)) "connected switches" [ 1; 2; 3 ]
+    (Services.connected_switches services)
+
+let test_link_down_event_derived_once () =
+  let _, net, services, _ = T_util.net_with_services (Topo_gen.linear 2) in
+  Net.apply_fault net (Net.Link_down (Topology.Switch 1, Topology.Switch 2));
+  let events = Net.poll net |> List.concat_map (Services.ingest services) in
+  let downs =
+    List.filter (function Event.Link_down _ -> true | _ -> false) events
+  in
+  T_util.checki "exactly one link_down despite two port_status" 1
+    (List.length downs);
+  T_util.checki "no live links left" 0 (List.length (Services.live_links services))
+
+let test_link_up_rediscovery () =
+  let _, net, services, _ = T_util.net_with_services (Topo_gen.linear 2) in
+  Net.apply_fault net (Net.Link_down (Topology.Switch 1, Topology.Switch 2));
+  ignore (Net.poll net |> List.concat_map (Services.ingest services));
+  Net.apply_fault net (Net.Link_up (Topology.Switch 1, Topology.Switch 2));
+  let events = Net.poll net |> List.concat_map (Services.ingest services) in
+  T_util.checki "one link_up rediscovered" 1
+    (List.length (List.filter (function Event.Link_up _ -> true | _ -> false) events));
+  T_util.checki "live links restored" 2 (List.length (Services.live_links services))
+
+let test_switch_down_removes_links_and_registration () =
+  let _, net, services, _ = T_util.net_with_services (Topo_gen.linear 3) in
+  Net.apply_fault net (Net.Switch_down 2);
+  let events = Net.poll net |> List.concat_map (Services.ingest services) in
+  T_util.checkb "switch_down event" true
+    (List.exists (function Event.Switch_down 2 -> true | _ -> false) events);
+  Alcotest.(check (list int)) "s2 deregistered" [ 1; 3 ]
+    (Services.connected_switches services);
+  T_util.checki "its links are gone" 0 (List.length (Services.live_links services))
+
+let test_host_learning () =
+  let _, net, services, _ =
+    T_util.net_with_services (Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  T_util.checkb "unknown before traffic" true
+    (Services.host_location services (Types.mac_of_host 1) = None);
+  Net.inject net 1 (T_util.tcp_packet 1 2);
+  ignore (Net.poll net |> List.concat_map (Services.ingest services));
+  (match Services.host_location services (Types.mac_of_host 1) with
+  | Some (sid, port) ->
+      T_util.checki "learned switch" 1 sid;
+      T_util.checki "learned port" 100 port
+  | None -> Alcotest.fail "h1 should be learned from its packet-in")
+
+let test_no_learning_on_core_ports () =
+  let _, net, services, _ =
+    T_util.net_with_services (Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  (* Force the packet to traverse to s2 (flood at s1), producing a
+     packet-in at s2 whose ingress is an inter-switch port. *)
+  ignore
+    (Net.send net 1
+       (Message.message
+          (Message.Flow_mod
+             (Message.flow_add Ofp_match.any [ Action.Output Types.port_flood ]))));
+  Net.inject net 1 (T_util.tcp_packet 1 2);
+  ignore (Net.poll net |> List.concat_map (Services.ingest services));
+  (match Services.host_location services (Types.mac_of_host 1) with
+  | Some (sid, _) -> T_util.checki "still located at its edge switch" 1 sid
+  | None ->
+      (* Acceptable: only the s2 copy punted, and s2 must not learn h1 on a
+         core port. *)
+      ())
+
+let test_context_snapshot () =
+  let _, _, services, _ = T_util.net_with_services (Topo_gen.star 2) in
+  let ctx = Services.context services in
+  Alcotest.(check (list int)) "context switches" [ 1; 2; 3 ]
+    (ctx.Controller.App_sig.switches ());
+  T_util.checkb "hub has ports" true (ctx.Controller.App_sig.switch_ports 1 <> [])
+
+let suite =
+  [
+    Alcotest.test_case "handshake and discovery" `Quick test_handshake_produces_switch_up_and_links;
+    Alcotest.test_case "link_down derived once" `Quick test_link_down_event_derived_once;
+    Alcotest.test_case "link rediscovery" `Quick test_link_up_rediscovery;
+    Alcotest.test_case "switch death cleans up" `Quick test_switch_down_removes_links_and_registration;
+    Alcotest.test_case "device manager learns hosts" `Quick test_host_learning;
+    Alcotest.test_case "no learning on core ports" `Quick test_no_learning_on_core_ports;
+    Alcotest.test_case "context view" `Quick test_context_snapshot;
+  ]

@@ -1,0 +1,258 @@
+(* Focused unit tests for the small core modules: counter cache, metrics,
+   resources, tickets, and the new topology generators / invariants. *)
+
+open Openflow
+open Netsim
+module Counter_cache = Legosdn.Counter_cache
+module Metrics = Legosdn.Metrics
+module Resources = Legosdn.Resources
+module Ticket = Legosdn.Ticket
+module Checker = Invariants.Checker
+module Snapshot = Invariants.Snapshot
+
+(* ---- counter cache ---- *)
+
+let pattern80 = Ofp_match.make ~tp_dst:80 ()
+
+let test_cache_accumulates () =
+  let c = Counter_cache.create () in
+  Alcotest.(check (pair int int)) "empty" (0, 0)
+    (Counter_cache.base c 1 pattern80 ~priority:10);
+  Counter_cache.credit c 1 pattern80 ~priority:10 ~packets:5 ~bytes:500;
+  Counter_cache.credit c 1 pattern80 ~priority:10 ~packets:2 ~bytes:200;
+  Alcotest.(check (pair int int)) "accumulated" (7, 700)
+    (Counter_cache.base c 1 pattern80 ~priority:10);
+  (* Distinct priority and switch are distinct identities. *)
+  Alcotest.(check (pair int int)) "priority isolated" (0, 0)
+    (Counter_cache.base c 1 pattern80 ~priority:11);
+  Alcotest.(check (pair int int)) "switch isolated" (0, 0)
+    (Counter_cache.base c 2 pattern80 ~priority:10);
+  T_util.checki "one identity" 1 (Counter_cache.entries c)
+
+let test_cache_adjusts_flow_stats () =
+  let c = Counter_cache.create () in
+  Counter_cache.credit c 1 pattern80 ~priority:10 ~packets:100 ~bytes:9000;
+  let fs : Message.flow_stat =
+    {
+      fs_pattern = pattern80;
+      fs_priority = 10;
+      fs_cookie = 0L;
+      fs_duration = 1;
+      fs_idle_timeout = 0;
+      fs_hard_timeout = 0;
+      fs_packet_count = 3;
+      fs_byte_count = 300;
+      fs_actions = [];
+    }
+  in
+  match
+    Counter_cache.adjust_reply c 1
+      ~request:(Message.Flow_stats_request Ofp_match.any)
+      (Message.Flow_stats_reply [ fs ])
+  with
+  | Message.Flow_stats_reply [ adjusted ] ->
+      T_util.checki "packets corrected" 103 adjusted.Message.fs_packet_count;
+      T_util.checki "bytes corrected" 9300 adjusted.Message.fs_byte_count
+  | _ -> Alcotest.fail "flow stats reply expected"
+
+let test_cache_aggregate_scoped_by_pattern () =
+  let c = Counter_cache.create () in
+  Counter_cache.credit c 1 pattern80 ~priority:10 ~packets:10 ~bytes:1000;
+  Counter_cache.credit c 1 (Ofp_match.make ~tp_dst:443 ()) ~priority:10
+    ~packets:90 ~bytes:9000;
+  let agg = Message.Aggregate_stats_reply { packets = 1; bytes = 100; flows = 2 } in
+  (* A request scoped to port 80 only picks up the port-80 bank. *)
+  match
+    Counter_cache.adjust_reply c 1
+      ~request:(Message.Aggregate_stats_request pattern80) agg
+  with
+  | Message.Aggregate_stats_reply a ->
+      T_util.checki "scoped packets" 11 a.packets;
+      T_util.checki "scoped bytes" 1100 a.bytes
+  | _ -> Alcotest.fail "aggregate reply expected"
+
+let test_cache_leaves_port_stats_alone () =
+  let c = Counter_cache.create () in
+  let reply = Message.Port_stats_reply [] in
+  T_util.checkb "ports untouched" true
+    (Counter_cache.adjust_reply c 1
+       ~request:(Message.Port_stats_request None) reply
+     = reply)
+
+(* ---- metrics ---- *)
+
+let test_metrics_availability_accounting () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 1e-9)) "untouched app fully available" 1.0
+    (Metrics.availability m ~app:"x" ~until:100.);
+  Metrics.add_app_downtime m ~app:"x" 5.;
+  Alcotest.(check (float 1e-9)) "bounded downtime" 0.95
+    (Metrics.availability m ~app:"x" ~until:100.);
+  Metrics.mark_app_down_from m ~app:"x" 50.;
+  Alcotest.(check (float 1e-9)) "open-ended outage counted" (5. +. 50.)
+    (Metrics.app_downtime m ~app:"x" ~until:100.);
+  Alcotest.(check (float 1e-9)) "availability reflects both" 0.45
+    (Metrics.availability m ~app:"x" ~until:100.)
+
+let test_metrics_mark_down_idempotent () =
+  let m = Metrics.create () in
+  Metrics.mark_app_down_from m ~app:"x" 10.;
+  Metrics.mark_app_down_from m ~app:"x" 90.;
+  Alcotest.(check (float 1e-9)) "first mark wins" 90.
+    (Metrics.app_downtime m ~app:"x" ~until:100.)
+
+(* ---- resources ---- *)
+
+let test_resources_unlimited () =
+  Alcotest.(check int) "no breaches" 0
+    (List.length
+       (Resources.check Resources.unlimited ~state_bytes:max_int
+          ~commands_emitted:max_int))
+
+let test_resources_both_breached () =
+  let limits =
+    { Resources.max_state_bytes = Some 10; max_commands_per_event = Some 1 }
+  in
+  let breaches = Resources.check limits ~state_bytes:11 ~commands_emitted:2 in
+  T_util.checki "both breached" 2 (List.length breaches);
+  T_util.checkb "descriptions render" true
+    (List.for_all (fun b -> String.length (Resources.describe b) > 0) breaches)
+
+let test_resources_boundary () =
+  let limits =
+    { Resources.max_state_bytes = Some 10; max_commands_per_event = Some 5 }
+  in
+  T_util.checki "at the limit is fine" 0
+    (List.length (Resources.check limits ~state_bytes:10 ~commands_emitted:5))
+
+(* ---- tickets ---- *)
+
+let test_ticket_store () =
+  let store = Ticket.store () in
+  let t1 =
+    Ticket.file store ~now:1.5 ~app:"a" ~diagnosis:"d1"
+      ~resolution:Ticket.Ignored ~rolled_back_ops:2 ()
+  in
+  let _ =
+    Ticket.file store ~now:2.5 ~app:"b"
+      ~event:(Controller.Event.Switch_down 3) ~diagnosis:"d2"
+      ~resolution:(Ticket.Transformed "[link_down]") ~rolled_back_ops:0 ()
+  in
+  T_util.checki "ids sequential" 1 t1.Ticket.id;
+  T_util.checki "count" 2 (Ticket.count store);
+  T_util.checki "by_app filter" 1 (List.length (Ticket.by_app store "a"));
+  (match Ticket.all store with
+  | [ first; second ] ->
+      T_util.checkb "oldest first" true
+        (first.Ticket.opened_at < second.Ticket.opened_at);
+      T_util.checkb "event kind captured" true
+        (second.Ticket.event_kind = Some Controller.Event.K_switch_down)
+  | _ -> Alcotest.fail "two tickets expected");
+  T_util.checkb "resolutions render" true
+    (String.length (Ticket.resolution_name (Ticket.Transformed "x")) > 0)
+
+(* ---- fat-tree / jellyfish generators ---- *)
+
+let test_fat_tree_shape () =
+  let topo = Topo_gen.fat_tree 4 in
+  (* k=4: 4 cores + 4 pods x 4 switches = 20; 16 hosts. *)
+  T_util.checki "switches" 20 (List.length (Topology.switches topo));
+  T_util.checki "hosts" 16 (List.length (Topology.hosts topo));
+  (* Each core has k=4 links; each agg 4; each edge 2 + 2 hosts. *)
+  T_util.checki "core degree" 4 (List.length (Topology.neighbor_switches topo 1));
+  let edge_sid = 4 + 2 + 1 in
+  (* first pod, first edge *)
+  T_util.checki "edge uplinks" 2
+    (List.length (Topology.neighbor_switches topo edge_sid));
+  T_util.checki "edge hosts" 2 (List.length (Topology.hosts_on topo edge_sid))
+
+let test_fat_tree_rejects_odd_k () =
+  T_util.checkb "odd k rejected" true
+    (try
+       ignore (Topo_gen.fat_tree 3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_jellyfish_connected_and_degree () =
+  let topo = Topo_gen.jellyfish ~seed:5 ~switches:12 ~degree:4 () in
+  T_util.checki "switches" 12 (List.length (Topology.switches topo));
+  List.iter
+    (fun sid ->
+      let d = List.length (Topology.neighbor_switches topo sid) in
+      T_util.checkb "degree within budget" true (d >= 2 && d <= 4))
+    (Topology.switches topo)
+
+(* ---- waypoint / isolation invariants ---- *)
+
+let programmed_linear () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
+  ignore (Net.poll net);
+  let install sid pattern actions =
+    ignore
+      (Net.send net sid
+         (Message.message (Message.Flow_mod (Message.flow_add pattern actions))))
+  in
+  (* h1 -> h3 via s1, s2, s3. *)
+  install 1 (Ofp_match.make ~dl_dst:(Types.mac_of_host 3) ()) [ Action.Output 1 ];
+  install 2 (Ofp_match.make ~dl_dst:(Types.mac_of_host 3) ()) [ Action.Output 2 ];
+  install 3 (Ofp_match.make ~dl_dst:(Types.mac_of_host 3) ()) [ Action.Output 100 ];
+  net
+
+let test_waypoint_satisfied () =
+  let net = programmed_linear () in
+  Alcotest.(check (list string)) "path via s2 satisfies waypoint" []
+    (List.map Checker.violation_kind
+       (Checker.check
+          ~invariants:[ Checker.Waypoint { pairs = [ (1, 3) ]; via = 2 } ]
+          (Snapshot.of_net net)))
+
+let test_waypoint_bypassed () =
+  let net = programmed_linear () in
+  T_util.checkb "no path via s1-only waypoint 99" true
+    (Checker.check
+       ~invariants:[ Checker.Waypoint { pairs = [ (1, 3) ]; via = 99 } ]
+       (Snapshot.of_net net)
+     |> List.exists (function Checker.Waypoint_bypassed _ -> true | _ -> false))
+
+let test_waypoint_vacuous_when_unreachable () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
+  ignore (Net.poll net);
+  Alcotest.(check (list string)) "no delivery, no waypoint violation" []
+    (List.map Checker.violation_kind
+       (Checker.check
+          ~invariants:[ Checker.Waypoint { pairs = [ (1, 3) ]; via = 2 } ]
+          (Snapshot.of_net net)))
+
+let test_isolation () =
+  let net = programmed_linear () in
+  let inv = [ Checker.Isolation { group_a = [ 1 ]; group_b = [ 3 ] } ] in
+  T_util.checkb "installed path breaches isolation" true
+    (Checker.check ~invariants:inv (Snapshot.of_net net)
+     |> List.exists (function Checker.Isolation_breached _ -> true | _ -> false));
+  let inv_ok = [ Checker.Isolation { group_a = [ 1 ]; group_b = [ 2 ] } ] in
+  Alcotest.(check (list string)) "h1/h2 have no path: isolated" []
+    (List.map Checker.violation_kind
+       (Checker.check ~invariants:inv_ok (Snapshot.of_net net)))
+
+let suite =
+  [
+    Alcotest.test_case "cache accumulates per identity" `Quick test_cache_accumulates;
+    Alcotest.test_case "cache adjusts flow stats" `Quick test_cache_adjusts_flow_stats;
+    Alcotest.test_case "cache aggregate scoping" `Quick test_cache_aggregate_scoped_by_pattern;
+    Alcotest.test_case "cache ignores port stats" `Quick test_cache_leaves_port_stats_alone;
+    Alcotest.test_case "metrics availability" `Quick test_metrics_availability_accounting;
+    Alcotest.test_case "metrics mark-down idempotent" `Quick test_metrics_mark_down_idempotent;
+    Alcotest.test_case "resources unlimited" `Quick test_resources_unlimited;
+    Alcotest.test_case "resources both breached" `Quick test_resources_both_breached;
+    Alcotest.test_case "resources boundary" `Quick test_resources_boundary;
+    Alcotest.test_case "ticket store" `Quick test_ticket_store;
+    Alcotest.test_case "fat-tree shape" `Quick test_fat_tree_shape;
+    Alcotest.test_case "fat-tree odd k" `Quick test_fat_tree_rejects_odd_k;
+    Alcotest.test_case "jellyfish degree" `Quick test_jellyfish_connected_and_degree;
+    Alcotest.test_case "waypoint satisfied" `Quick test_waypoint_satisfied;
+    Alcotest.test_case "waypoint bypassed" `Quick test_waypoint_bypassed;
+    Alcotest.test_case "waypoint vacuous" `Quick test_waypoint_vacuous_when_unreachable;
+    Alcotest.test_case "isolation" `Quick test_isolation;
+  ]

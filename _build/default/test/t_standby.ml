@@ -1,0 +1,86 @@
+open Netsim
+module Standby = Legosdn.Standby
+module Runtime = Legosdn.Runtime
+module Sandbox = Legosdn.Sandbox
+
+let drive net step pairs =
+  List.iter
+    (fun (src, dst) ->
+      Clock.advance_by (Net.clock net) 0.2;
+      Net.inject net src (T_util.tcp_packet src dst);
+      step ())
+    pairs
+
+let fresh () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
+  let sb = Standby.create ~sync_interval:0.5 net [ (module Apps.Learning_switch) ] in
+  Standby.step sb;
+  (net, sb)
+
+let ls sb = Option.get (Runtime.sandbox (Standby.runtime sb) "learning_switch")
+
+let test_sync_happens_on_interval () =
+  let net, sb = fresh () in
+  T_util.checkb "initial sync recorded" true (Standby.last_sync_at sb <> None);
+  drive net (fun () -> Standby.step sb) [ (1, 2); (2, 1); (1, 2) ];
+  match Standby.last_sync_at sb with
+  | Some at -> T_util.checkb "resynced after the interval" true (at >= 0.5)
+  | None -> Alcotest.fail "sync timestamp expected"
+
+let test_failover_preserves_synced_state () =
+  let net, sb = fresh () in
+  drive net (fun () -> Standby.step sb) [ (1, 2); (2, 1); (1, 3); (3, 1) ];
+  Standby.sync sb;
+  let state_before = Sandbox.snapshot_bytes (ls sb) in
+  let old_runtime = Standby.runtime sb in
+  let sb = Standby.fail_primary sb in
+  T_util.checkb "a fresh runtime took over" true (Standby.runtime sb != old_runtime);
+  T_util.checki "one failover" 1 (Standby.failovers sb);
+  T_util.checkb "app state restored from shipment" true
+    (Sandbox.snapshot_bytes (ls sb) = state_before);
+  (* The new controller serves traffic. *)
+  drive net (fun () -> Standby.step sb) [ (2, 3) ];
+  T_util.checkb "post-failover events flow" true
+    (Sandbox.events_handled (ls sb) > 0)
+
+let test_failover_loses_only_unsynced_events () =
+  let net, sb = fresh () in
+  drive net (fun () -> Standby.step sb) [ (1, 2) ];
+  Standby.sync sb;
+  let synced = Sandbox.snapshot_bytes (ls sb) in
+  (* More learning after the last sync: this part is lost on failover. *)
+  drive net (fun () -> Standby.step sb) [ (2, 1); (1, 3) ];
+  T_util.checkb "state moved past the sync point" true
+    (Sandbox.snapshot_bytes (ls sb) <> synced);
+  let sb = Standby.fail_primary sb in
+  T_util.checkb "rolled back exactly to the sync point" true
+    (Sandbox.snapshot_bytes (ls sb) = synced)
+
+let test_failover_without_any_sync_reinits () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 2) in
+  (* Huge interval: the create-time state was never shipped. *)
+  let sb = Standby.create ~sync_interval:1e9 net [ (module Apps.Learning_switch) ] in
+  (* Note: first step syncs once (nothing learned yet), which is the
+     freshest shipment the standby will ever get. *)
+  Standby.step sb;
+  drive net (fun () -> Standby.step sb) [ (1, 2); (2, 1) ];
+  let sb = Standby.fail_primary sb in
+  let fresh_snapshot =
+    Sandbox.snapshot_bytes
+      (Legosdn.Sandbox.create ~checkpoint_every:1 (module Apps.Learning_switch))
+  in
+  T_util.checkb "fell back to init state" true
+    (Sandbox.snapshot_bytes (ls sb) = fresh_snapshot)
+
+let suite =
+  [
+    Alcotest.test_case "periodic sync" `Quick test_sync_happens_on_interval;
+    Alcotest.test_case "failover preserves synced state" `Quick
+      test_failover_preserves_synced_state;
+    Alcotest.test_case "only unsynced events lost" `Quick
+      test_failover_loses_only_unsynced_events;
+    Alcotest.test_case "failover without sync re-inits" `Quick
+      test_failover_without_any_sync_reinits;
+  ]

@@ -1,0 +1,78 @@
+module Stats = Workload.Stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_summarize_basic () =
+  match Stats.summarize [ 1.; 2.; 3.; 4.; 5. ] with
+  | None -> Alcotest.fail "summary expected"
+  | Some s ->
+      T_util.checki "n" 5 s.Stats.n;
+      feq "mean" 3. s.Stats.mean;
+      feq "min" 1. s.Stats.min;
+      feq "max" 5. s.Stats.max;
+      feq "p50" 3. s.Stats.p50;
+      feq "stddev" (sqrt 2.) s.Stats.stddev
+
+let test_summarize_empty () =
+  T_util.checkb "empty is None" true (Stats.summarize [] = None)
+
+let test_percentiles () =
+  let samples = List.init 100 (fun i -> float (i + 1)) in
+  feq "p50 of 1..100" 50. (Stats.percentile samples 0.5);
+  feq "p90" 90. (Stats.percentile samples 0.9);
+  feq "p99" 99. (Stats.percentile samples 0.99);
+  feq "p100 is max" 100. (Stats.percentile samples 1.0);
+  feq "p0 clamps to min" 1. (Stats.percentile samples 0.0);
+  feq "single sample" 7. (Stats.percentile [ 7. ] 0.5)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.percentile: empty series") (fun () ->
+      ignore (Stats.percentile [] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
+      ignore (Stats.percentile [ 1. ] 1.5))
+
+let test_histogram () =
+  let h = Stats.histogram ~buckets:4 [ 0.; 1.; 2.; 3.; 4. ] in
+  T_util.checki "bucket count" 4 (List.length h);
+  T_util.checki "total preserved" 5
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h);
+  (match List.rev h with
+  | (_, hi, last) :: _ ->
+      feq "upper bound" 4. hi;
+      T_util.checki "max lands in last bucket" 2 last
+  | [] -> Alcotest.fail "non-empty");
+  T_util.checkb "empty input" true (Stats.histogram ~buckets:3 [] = [])
+
+let test_histogram_constant_series () =
+  let h = Stats.histogram ~buckets:3 [ 5.; 5.; 5. ] in
+  T_util.checki "all in one bucket" 3
+    (List.fold_left (fun acc (_, _, c) -> max acc c) 0 h)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentiles are monotone in q" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.))
+    (fun samples ->
+      let p q = Stats.percentile samples q in
+      p 0.1 <= p 0.5 && p 0.5 <= p 0.9 && p 0.9 <= p 1.0)
+
+let prop_mean_within_bounds =
+  QCheck2.Test.make ~name:"mean lies within [min, max]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.))
+    (fun samples ->
+      match Stats.summarize samples with
+      | None -> false
+      | Some s -> s.Stats.min <= s.Stats.mean && s.Stats.mean <= s.Stats.max)
+
+let suite =
+  [
+    Alcotest.test_case "summarize" `Quick test_summarize_basic;
+    Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant" `Quick test_histogram_constant_series;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_mean_within_bounds;
+  ]

@@ -1,0 +1,161 @@
+open Netsim
+
+let test_linear_shape () =
+  let topo = Topo_gen.linear ~hosts_per_switch:2 4 in
+  T_util.checki "switches" 4 (List.length (Topology.switches topo));
+  T_util.checki "hosts" 8 (List.length (Topology.hosts topo));
+  (* 3 inter-switch + 8 host links *)
+  T_util.checki "links" 11 (List.length (Topology.links topo));
+  T_util.checki "middle switch has 2 switch neighbors" 2
+    (List.length (Topology.neighbor_switches topo 2));
+  T_util.checki "end switch has 1" 1
+    (List.length (Topology.neighbor_switches topo 1))
+
+let test_ring_shape () =
+  let topo = Topo_gen.ring 5 in
+  List.iter
+    (fun sid ->
+      T_util.checki "every ring switch has 2 neighbors" 2
+        (List.length (Topology.neighbor_switches topo sid)))
+    (Topology.switches topo)
+
+let test_star_shape () =
+  let topo = Topo_gen.star 6 in
+  T_util.checki "hub plus leaves" 7 (List.length (Topology.switches topo));
+  T_util.checki "hub degree" 6 (List.length (Topology.neighbor_switches topo 1))
+
+let test_tree_shape () =
+  let topo = Topo_gen.tree ~depth:2 ~fanout:2 () in
+  T_util.checki "1+2+4 switches" 7 (List.length (Topology.switches topo));
+  T_util.checki "4 leaf hosts" 4 (List.length (Topology.hosts topo));
+  T_util.checki "root degree 2" 2 (List.length (Topology.neighbor_switches topo 1))
+
+let test_mesh_shape () =
+  let topo = Topo_gen.mesh 4 in
+  List.iter
+    (fun sid ->
+      T_util.checki "full mesh degree" 3
+        (List.length (Topology.neighbor_switches topo sid)))
+    (Topology.switches topo)
+
+let test_peer_symmetry () =
+  let topo = Topo_gen.linear 3 in
+  List.iter
+    (fun (l : Topology.link) ->
+      (match Topology.peer topo l.a.node l.a.port with
+      | Some e ->
+          T_util.checkb "a's peer is b" true (e.node = l.b.node && e.port = l.b.port)
+      | None -> Alcotest.fail "live link must have a peer");
+      match Topology.peer topo l.b.node l.b.port with
+      | Some e ->
+          T_util.checkb "b's peer is a" true (e.node = l.a.node && e.port = l.a.port)
+      | None -> Alcotest.fail "live link must have a peer")
+    (Topology.links topo)
+
+let test_link_state () =
+  let topo = Topo_gen.linear 2 in
+  let l = Option.get (Topology.link_between topo (Topology.Switch 1) (Topology.Switch 2)) in
+  Topology.set_link l ~up:false;
+  T_util.checkb "down link has no peer" true
+    (Topology.peer topo (Topology.Switch 1) l.a.port = None
+     || Topology.peer topo (Topology.Switch 2) l.a.port = None);
+  T_util.checkb "peer_even_if_down still resolves" true
+    (Topology.peer_even_if_down topo l.a.node l.a.port <> None);
+  T_util.checki "no neighbors over dead link" 0
+    (List.length (Topology.neighbor_switches topo 1))
+
+let test_host_attachment () =
+  let topo = Topo_gen.linear ~hosts_per_switch:1 3 in
+  List.iter
+    (fun h ->
+      match Topology.host_attachment topo h with
+      | Some (sid, port) ->
+          T_util.checkb "host port is in host range" true (port >= 100);
+          T_util.checkb "attached to its own switch" true (sid = h)
+      | None -> Alcotest.fail "every host is attached")
+    (Topology.hosts topo)
+
+let test_duplicate_rejection () =
+  let topo = Topology.create () in
+  Topology.add_switch topo 1;
+  Alcotest.check_raises "duplicate switch"
+    (Invalid_argument "Topology.add_switch: duplicate switch 1") (fun () ->
+      Topology.add_switch topo 1)
+
+let test_double_wire_rejection () =
+  let topo = Topology.create () in
+  Topology.add_switch topo 1;
+  Topology.add_switch topo 2;
+  Topology.add_switch topo 3;
+  ignore
+    (Topology.connect topo
+       { node = Switch 1; port = 1 }
+       { node = Switch 2; port = 1 });
+  T_util.checkb "port reuse rejected" true
+    (try
+       ignore
+         (Topology.connect topo
+            { node = Switch 1; port = 1 }
+            { node = Switch 3; port = 1 });
+       false
+     with Invalid_argument _ -> true)
+
+(* Random topologies are connected by construction: verify with BFS. *)
+let connected topo =
+  match Topology.switches topo with
+  | [] -> true
+  | first :: _ as all ->
+      let visited = Hashtbl.create 16 in
+      let rec bfs frontier =
+        match frontier with
+        | [] -> ()
+        | sid :: rest ->
+            if Hashtbl.mem visited sid then bfs rest
+            else begin
+              Hashtbl.replace visited sid ();
+              let next =
+                List.map (fun (nb, _, _) -> nb)
+                  (Topology.neighbor_switches topo sid)
+              in
+              bfs (next @ rest)
+            end
+      in
+      bfs [ first ];
+      List.for_all (Hashtbl.mem visited) all
+
+let prop_random_connected =
+  QCheck2.Test.make ~name:"random topologies are connected" ~count:50
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 0 15))
+    (fun (switches, extra) ->
+      connected
+        (Topo_gen.random ~seed:(switches + (extra * 31)) ~switches
+           ~extra_links:extra ()))
+
+let prop_generators_deterministic =
+  QCheck2.Test.make ~name:"same seed, same random topology" ~count:20
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let t1 = Topo_gen.random ~seed ~switches:8 ~extra_links:4 () in
+      let t2 = Topo_gen.random ~seed ~switches:8 ~extra_links:4 () in
+      let shape t =
+        List.map
+          (fun (l : Topology.link) -> (l.a.node, l.a.port, l.b.node, l.b.port))
+          (Topology.links t)
+      in
+      shape t1 = shape t2)
+
+let suite =
+  [
+    Alcotest.test_case "linear generator" `Quick test_linear_shape;
+    Alcotest.test_case "ring generator" `Quick test_ring_shape;
+    Alcotest.test_case "star generator" `Quick test_star_shape;
+    Alcotest.test_case "tree generator" `Quick test_tree_shape;
+    Alcotest.test_case "mesh generator" `Quick test_mesh_shape;
+    Alcotest.test_case "peer symmetry" `Quick test_peer_symmetry;
+    Alcotest.test_case "link state changes" `Quick test_link_state;
+    Alcotest.test_case "host attachments" `Quick test_host_attachment;
+    Alcotest.test_case "duplicate switch rejected" `Quick test_duplicate_rejection;
+    Alcotest.test_case "port double-wire rejected" `Quick test_double_wire_rejection;
+    QCheck_alcotest.to_alcotest prop_random_connected;
+    QCheck_alcotest.to_alcotest prop_generators_deterministic;
+  ]

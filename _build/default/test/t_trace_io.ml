@@ -1,0 +1,90 @@
+open Openflow
+module Trace_io = Workload.Trace_io
+module Event = Controller.Event
+
+let sample_trace =
+  [
+    Event.Switch_down 3;
+    Event.Packet_in
+      ( 1,
+        {
+          Message.pi_buffer_id = Some 4;
+          pi_in_port = 2;
+          pi_reason = Message.No_match;
+          pi_packet = T_util.tcp_packet 1 2;
+        } );
+    Event.Tick 3.25;
+    Event.Link_down
+      { Event.src_switch = 1; src_port = 1; dst_switch = 2; dst_port = 1 };
+  ]
+
+let test_encode_decode () =
+  Alcotest.(check (list T_util.event_t)) "roundtrip" sample_trace
+    (Trace_io.decode (Trace_io.encode sample_trace))
+
+let test_empty_trace () =
+  Alcotest.(check (list T_util.event_t)) "empty roundtrip" []
+    (Trace_io.decode (Trace_io.encode []))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "legosdn" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save path sample_trace;
+      Alcotest.(check (list T_util.event_t)) "file roundtrip" sample_trace
+        (Trace_io.load path))
+
+let test_bad_magic () =
+  T_util.checkb "garbage rejected" true
+    (try
+       ignore (Trace_io.decode (Bytes.of_string "NOTATRACE_______"));
+       false
+     with Failure _ -> true)
+
+let test_truncation () =
+  let b = Trace_io.encode sample_trace in
+  let cut = Bytes.sub b 0 (Bytes.length b - 3) in
+  T_util.checkb "truncation rejected" true
+    (try
+       ignore (Trace_io.decode cut);
+       false
+     with Failure _ -> true)
+
+let test_recorder () =
+  let r = Trace_io.recorder () in
+  List.iter (Trace_io.record r) sample_trace;
+  T_util.checki "length" 4 (Trace_io.length r);
+  Alcotest.(check (list T_util.event_t)) "order preserved" sample_trace
+    (Trace_io.recorded r)
+
+let test_recorded_trace_feeds_sts () =
+  (* The intended workflow: record a crashing trace, minimize it offline. *)
+  let module Bug = struct
+    type state = unit
+
+    let name = "bug"
+    let subscriptions = [ Event.K_switch_down ]
+    let init () = ()
+
+    let handle _ () = function
+      | Event.Switch_down 3 -> failwith "boom"
+      | _ -> ((), ([] : Controller.Command.t list))
+  end in
+  let loaded = Trace_io.decode (Trace_io.encode sample_trace) in
+  let minimal, _ =
+    Legosdn.Sts.minimize (module Bug) T_util.null_context loaded
+  in
+  Alcotest.(check (list T_util.event_t)) "culprit recovered from disk format"
+    [ Event.Switch_down 3 ] minimal
+
+let suite =
+  [
+    Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "bad magic" `Quick test_bad_magic;
+    Alcotest.test_case "truncation" `Quick test_truncation;
+    Alcotest.test_case "recorder" `Quick test_recorder;
+    Alcotest.test_case "trace feeds STS" `Quick test_recorded_trace_feeds_sts;
+  ]

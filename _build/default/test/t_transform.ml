@@ -1,0 +1,132 @@
+open Openflow
+module Transform = Legosdn.Transform
+module Event = Controller.Event
+
+let link a pa b pb =
+  { Event.src_switch = a; src_port = pa; dst_switch = b; dst_port = pb }
+
+(* s1 has links to s2 and s3. *)
+let links_of sid =
+  if sid = 1 then [ link 1 1 2 1; link 1 2 3 1 ]
+  else if sid = 2 then [ link 2 1 1 1 ]
+  else if sid = 3 then [ link 3 1 1 2 ]
+  else []
+
+let test_switch_down_becomes_link_downs () =
+  match Transform.equivalents ~links_of (Event.Switch_down 1) with
+  | [ alternative ] ->
+      Alcotest.(check (list T_util.event_t)) "both links go down"
+        [ Event.Link_down (link 1 1 2 1); Event.Link_down (link 1 2 3 1) ]
+        alternative
+  | other -> Alcotest.failf "expected one alternative, got %d" (List.length other)
+
+let test_switch_down_no_links_no_equivalent () =
+  Alcotest.(check int) "isolated switch has no equivalent" 0
+    (List.length (Transform.equivalents ~links_of (Event.Switch_down 9)))
+
+let test_link_down_coarsens_to_switch_down () =
+  match Transform.equivalents ~links_of (Event.Link_down (link 2 1 1 1)) with
+  | [ [ Event.Switch_down 2 ] ] -> ()
+  | _ -> Alcotest.fail "expected coarsening to the near-side switch"
+
+let test_port_down_alternatives () =
+  let desc =
+    { Message.port_no = 1; hw_addr = 0; name = "eth1"; up = false; no_flood = false }
+  in
+  let alts =
+    Transform.equivalents ~links_of (Event.Port_status (2, Message.Port_modify, desc))
+  in
+  T_util.checki "link-down first, switch-down fallback" 2 (List.length alts);
+  (match alts with
+  | [ first; second ] ->
+      Alcotest.(check (list T_util.event_t)) "first is the matching link down"
+        [ Event.Link_down (link 2 1 1 1) ] first;
+      Alcotest.(check (list T_util.event_t)) "second coarsens"
+        [ Event.Switch_down 2 ] second
+  | _ -> Alcotest.fail "two alternatives expected")
+
+let test_port_up_has_no_equivalent () =
+  let desc = { Message.port_no = 1; hw_addr = 0; name = "eth1"; up = true; no_flood = false } in
+  T_util.checki "port-up has no transformation" 0
+    (List.length
+       (Transform.equivalents ~links_of (Event.Port_status (2, Message.Port_modify, desc))))
+
+let test_packet_in_minimised () =
+  let pi =
+    {
+      Message.pi_buffer_id = Some 3;
+      pi_in_port = 7;
+      pi_reason = Message.Action_to_controller;
+      pi_packet = T_util.tcp_packet 1 2;
+    }
+  in
+  match Transform.equivalents ~links_of (Event.Packet_in (4, pi)) with
+  | [ [ Event.Packet_in (4, minimal) ] ] ->
+      T_util.checkb "payload shed" true
+        (minimal.Message.pi_packet.Packet.payload_len = 0);
+      T_util.checkb "buffer reference dropped" true
+        (minimal.Message.pi_buffer_id = None);
+      T_util.checkb "reason normalised" true
+        (minimal.Message.pi_reason = Message.No_match);
+      T_util.checki "ingress preserved" 7 minimal.Message.pi_in_port
+  | _ -> Alcotest.fail "one minimal packet_in expected"
+
+let test_already_minimal_packet_in () =
+  let pi =
+    {
+      Message.pi_buffer_id = None;
+      pi_in_port = 1;
+      pi_reason = Message.No_match;
+      pi_packet = { (T_util.tcp_packet 1 2) with Packet.payload_len = 0 };
+    }
+  in
+  T_util.checki "no self-transformation loop" 0
+    (List.length (Transform.equivalents ~links_of (Event.Packet_in (1, pi))))
+
+let test_switch_up_decomposes_to_ports () =
+  let features =
+    {
+      Message.datapath_id = 5;
+      n_buffers = 0;
+      n_tables = 1;
+      ports =
+        [
+          { Message.port_no = 1; hw_addr = 0; name = "eth1"; up = true; no_flood = false };
+          { Message.port_no = 2; hw_addr = 0; name = "eth2"; up = true; no_flood = false };
+        ];
+    }
+  in
+  match Transform.equivalents ~links_of (Event.Switch_up (5, features)) with
+  | [ alternative ] -> T_util.checki "one port_status per port" 2 (List.length alternative)
+  | _ -> Alcotest.fail "one alternative expected"
+
+let test_tick_and_stats_have_none () =
+  T_util.checki "tick" 0 (List.length (Transform.equivalents ~links_of (Event.Tick 1.)));
+  T_util.checki "flow_removed" 0
+    (List.length
+       (Transform.equivalents ~links_of
+          (Event.Flow_removed
+             ( 1,
+               {
+                 Message.fr_pattern = Ofp_match.any;
+                 fr_cookie = 0L;
+                 fr_priority = 0;
+                 fr_reason = Message.Removed_idle;
+                 fr_duration = 0;
+                 fr_idle_timeout = 0;
+                 fr_packet_count = 0;
+                 fr_byte_count = 0;
+               } ))))
+
+let suite =
+  [
+    Alcotest.test_case "switch_down -> link_downs" `Quick test_switch_down_becomes_link_downs;
+    Alcotest.test_case "isolated switch" `Quick test_switch_down_no_links_no_equivalent;
+    Alcotest.test_case "link_down -> switch_down" `Quick test_link_down_coarsens_to_switch_down;
+    Alcotest.test_case "port_down alternatives" `Quick test_port_down_alternatives;
+    Alcotest.test_case "port_up untransformed" `Quick test_port_up_has_no_equivalent;
+    Alcotest.test_case "packet_in minimised" `Quick test_packet_in_minimised;
+    Alcotest.test_case "minimal packet_in fixpoint" `Quick test_already_minimal_packet_in;
+    Alcotest.test_case "switch_up decomposition" `Quick test_switch_up_decomposes_to_ports;
+    Alcotest.test_case "events without equivalents" `Quick test_tick_and_stats_have_none;
+  ]

@@ -1,0 +1,174 @@
+open Netsim
+module Traffic = Workload.Traffic
+module Failure_schedule = Workload.Failure_schedule
+module Scenario = Workload.Scenario
+module Bug_corpus = Workload.Bug_corpus
+module Event = Controller.Event
+
+let test_flow_injections_shape () =
+  let spec =
+    {
+      Traffic.src_host = 1;
+      dst_host = 2;
+      start = 5.;
+      packets = 3;
+      interval = 0.5;
+      dport = 80;
+    }
+  in
+  let injections = Traffic.flow_injections spec in
+  T_util.checki "packet count" 3 (List.length injections);
+  Alcotest.(check (list (float 0.001))) "timing" [ 5.; 5.5; 6. ]
+    (List.map (fun i -> i.Traffic.at) injections)
+
+let test_uniform_pairs_deterministic () =
+  let gen () =
+    Traffic.uniform_pairs ~seed:9 ~hosts:[ 1; 2; 3; 4 ] ~flows:20 ~duration:10. ()
+  in
+  T_util.checkb "same seed, same workload" true (gen () = gen ());
+  List.iter
+    (fun (f : Traffic.flow_spec) ->
+      T_util.checkb "no self traffic" true (f.src_host <> f.dst_host);
+      T_util.checkb "start in range" true (f.start >= 0. && f.start < 10.))
+    (gen ())
+
+let test_schedule_sorted () =
+  let specs =
+    Traffic.uniform_pairs ~seed:3 ~hosts:[ 1; 2; 3 ] ~flows:10 ~duration:5. ()
+  in
+  let schedule = Traffic.schedule specs in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Traffic.at <= b.Traffic.at && sorted rest
+    | _ -> true
+  in
+  T_util.checkb "sorted by time" true (sorted schedule)
+
+let test_all_pairs_once () =
+  let specs = Traffic.all_pairs_once ~hosts:[ 1; 2; 3 ] ~start:1. ~spacing:0.1 in
+  T_util.checki "n(n-1) flows" 6 (List.length specs)
+
+let test_failure_schedule () =
+  let topo = Topo_gen.linear 4 in
+  let faults =
+    Failure_schedule.periodic_link_flaps topo ~seed:1 ~period:5. ~downtime:1.
+      ~duration:20.
+  in
+  (* flaps at t=5,10,15 — two faults each. *)
+  T_util.checki "three flaps, two faults each" 6 (List.length faults);
+  let sorted = Failure_schedule.sorted faults in
+  T_util.checkb "sorted ascending" true
+    (List.for_all2
+       (fun (a, _) (b, _) -> a <= b)
+       (List.filteri (fun i _ -> i < 5) sorted)
+       (List.tl sorted))
+
+let test_corpus_statistics () =
+  let entries = Bug_corpus.flowscale_like in
+  T_util.checki "fifty reports" 50 (List.length entries);
+  Alcotest.(check (float 0.001)) "16% catastrophic" 0.16
+    (Bug_corpus.catastrophic_fraction entries);
+  T_util.checki "every catastrophic entry is executable" 8
+    (List.length (Bug_corpus.executable_bugs entries));
+  (* Ids unique and sequential. *)
+  Alcotest.(check (list int)) "ids" (List.init 50 (fun i -> i + 1))
+    (List.map (fun e -> e.Bug_corpus.id) entries)
+
+let simple_scenario ?(duration = 5.) ?faults () =
+  let traffic =
+    Traffic.schedule
+      (Traffic.all_pairs_once ~hosts:[ 1; 2; 3 ] ~start:0.5 ~spacing:0.2)
+  in
+  Scenario.make ?faults
+    ~make_topology:(fun () -> Topo_gen.linear ~hosts_per_switch:1 3)
+    ~duration ~traffic ~tick_interval:1.0 ~restart_delay:2.0 ()
+
+let test_scenario_healthy_run () =
+  let report =
+    Scenario.run (simple_scenario ()) ~make_driver:(fun net ->
+        Scenario.legosdn_driver
+          (Legosdn.Runtime.create net [ (module Apps.Learning_switch) ]))
+  in
+  Alcotest.(check (float 0.0001)) "legosdn controller fully available" 1.0
+    report.Scenario.controller_availability;
+  T_util.checki "no controller crashes" 0 report.Scenario.controller_crashes;
+  T_util.checkb "packets injected" true (report.Scenario.packets_injected > 0);
+  T_util.checkb "packets delivered" true (report.Scenario.events_delivered > 0)
+
+let test_scenario_monolithic_crash_and_restart () =
+  let bug = Apps.Bug_model.crash_on_nth Event.K_packet_in 2 in
+  let report =
+    Scenario.run (simple_scenario ~duration:10. ()) ~make_driver:(fun net ->
+        Scenario.monolithic_driver
+          (Controller.Monolithic.create net
+             [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]))
+  in
+  T_util.checkb "controller crashed at least once" true
+    (report.Scenario.controller_crashes >= 1);
+  T_util.checkb "downtime accumulated" true
+    (report.Scenario.controller_downtime >= 2.);
+  T_util.checkb "availability below 1" true
+    (report.Scenario.controller_availability < 1.)
+
+let test_scenario_comparison_shape () =
+  (* The paper's core claim as an executable assertion: same bug, same
+     workload — LegoSDN strictly more available than monolithic. *)
+  let bug = Apps.Bug_model.crash_on_nth Event.K_packet_in 3 in
+  let apps () : (module Controller.App_sig.APP) list =
+    [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+  in
+  let scenario = simple_scenario ~duration:10. () in
+  let mono =
+    Scenario.run scenario ~make_driver:(fun net ->
+        Scenario.monolithic_driver (Controller.Monolithic.create net (apps ())))
+  in
+  let lego =
+    Scenario.run scenario ~make_driver:(fun net ->
+        Scenario.legosdn_driver (Legosdn.Runtime.create net (apps ())))
+  in
+  T_util.checkb "legosdn at least as available" true
+    (lego.Scenario.controller_availability
+     >= mono.Scenario.controller_availability);
+  T_util.checkb "monolithic lost availability" true
+    (mono.Scenario.controller_availability < 1.);
+  Alcotest.(check (float 0.0001)) "legosdn lost none" 1.0
+    lego.Scenario.controller_availability
+
+let test_scenario_deterministic () =
+  let run () =
+    Scenario.run (simple_scenario ()) ~make_driver:(fun net ->
+        Scenario.legosdn_driver
+          (Legosdn.Runtime.create net [ (module Apps.Learning_switch) ]))
+  in
+  let a = run () and b = run () in
+  T_util.checkb "identical reports" true
+    (a.Scenario.samples = b.Scenario.samples
+     && a.Scenario.events_delivered = b.Scenario.events_delivered)
+
+let test_scenario_with_faults () =
+  let faults =
+    Failure_schedule.link_flap ~a:(Topology.Switch 1) ~b:(Topology.Switch 2)
+      ~down_at:2. ~up_at:4.
+  in
+  let report =
+    Scenario.run (simple_scenario ~duration:6. ~faults ()) ~make_driver:(fun net ->
+        Scenario.legosdn_driver
+          (Legosdn.Runtime.create net [ (module Apps.Learning_switch) ]))
+  in
+  T_util.checkb "connectivity dipped during the flap" true
+    (report.Scenario.min_connectivity <= report.Scenario.mean_connectivity)
+
+let suite =
+  [
+    Alcotest.test_case "flow injections" `Quick test_flow_injections_shape;
+    Alcotest.test_case "uniform pairs deterministic" `Quick test_uniform_pairs_deterministic;
+    Alcotest.test_case "schedule sorted" `Quick test_schedule_sorted;
+    Alcotest.test_case "all pairs once" `Quick test_all_pairs_once;
+    Alcotest.test_case "failure schedules" `Quick test_failure_schedule;
+    Alcotest.test_case "bug corpus statistics" `Quick test_corpus_statistics;
+    Alcotest.test_case "healthy scenario" `Quick test_scenario_healthy_run;
+    Alcotest.test_case "monolithic crash & restart" `Quick
+      test_scenario_monolithic_crash_and_restart;
+    Alcotest.test_case "legosdn beats monolithic" `Quick test_scenario_comparison_shape;
+    Alcotest.test_case "scenarios deterministic" `Quick test_scenario_deterministic;
+    Alcotest.test_case "faulted scenario" `Quick test_scenario_with_faults;
+  ]
