@@ -341,6 +341,69 @@ let bench_scenario () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E20 — the control-channel fault model and the reliable-delivery layer:
+   verdict draw cost, the barrier-chasing overhead on a perfect channel,
+   and a full send+drain cycle over 10% loss. Each iteration installs and
+   then deletes one rule so tables stay small and uniform. *)
+
+let bench_channel () =
+  let next_xid = ref 1 in
+  let fresh () =
+    let x = !next_xid in
+    next_xid := x + 1;
+    x
+  in
+  let pattern = Openflow.Ofp_match.make ~tp_src:1 () in
+  let add () =
+    Openflow.Message.message ~xid:(fresh ())
+      (Openflow.Message.Flow_mod
+         (Openflow.Message.flow_add ~priority:10 pattern
+            [ Openflow.Action.Output 1 ]))
+  in
+  let delete () =
+    Openflow.Message.message ~xid:(fresh ())
+      (Openflow.Message.Flow_mod
+         (Openflow.Message.flow_delete ~strict:true ~priority:10 pattern))
+  in
+  let ch = Channel.create ~config:(Channel.lossy 0.1) ~seed:3 () in
+  let direct_net =
+    Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  ignore (Net.poll direct_net);
+  let perfect_net =
+    Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  ignore (Net.poll perfect_net);
+  let perfect_rel = Legosdn.Reliable.create perfect_net in
+  let lossy_clock = Clock.create () in
+  let lossy_net =
+    Net.create ~channel:(Channel.lossy 0.1) ~channel_seed:7 lossy_clock
+      (Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  ignore (Net.poll lossy_net);
+  let lossy_rel = Legosdn.Reliable.create lossy_net in
+  [
+    Test.make ~name:"channel-verdict-10pct-loss"
+      (Staged.stage (fun () -> ignore (Channel.forward ch)));
+    Test.make ~name:"install+delete-direct"
+      (Staged.stage (fun () ->
+           ignore (Net.send direct_net 1 (add ()));
+           ignore (Net.send direct_net 1 (delete ()))));
+    Test.make ~name:"install+delete-reliable-perfect"
+      (Staged.stage (fun () ->
+           ignore (Legosdn.Reliable.send perfect_rel 1 (add ()));
+           ignore (Legosdn.Reliable.send perfect_rel 1 (delete ()))));
+    Test.make ~name:"install+delete-reliable-10pct-loss"
+      (Staged.stage (fun () ->
+           ignore (Legosdn.Reliable.send lossy_rel 1 (add ()));
+           ignore (Legosdn.Reliable.send lossy_rel 1 (delete ()));
+           while Legosdn.Reliable.pending_count lossy_rel > 0 do
+             Clock.advance_by lossy_clock 0.1;
+             Legosdn.Reliable.tick lossy_rel
+           done));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let run_group (experiment, title, tests) =
   Printf.printf "\n### %s — %s\n%!" experiment title;
@@ -378,5 +441,6 @@ let () =
       ("crashpad", "policy / transform / quarantine unit costs",
        bench_crashpad_machinery ());
       ("topology-scale", "STP + invariants on a fat-tree", bench_topology_scale ());
+      ("E20", "control-channel model + reliable delivery", bench_channel ());
       ("scenario", "end-to-end 10-virtual-second scenario runs", bench_scenario ());
     ]

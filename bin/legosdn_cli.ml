@@ -169,6 +169,22 @@ let run_scenario make_topology arch app_names bug policy_file config_file durati
   (match !runtime_holder with
   | Some rt when verbose ->
       Format.printf "@.metrics: %a@." Legosdn.Metrics.pp (Runtime.metrics rt);
+      let net = Runtime.net rt in
+      let ch = Netsim.Net.channel_totals net in
+      Format.printf
+        "channel: sent=%d lost=%d duplicated=%d delayed=%d replies-lost=%d \
+         dups-suppressed=%d@."
+        ch.Netsim.Channel.sent ch.Netsim.Channel.lost
+        ch.Netsim.Channel.duplicated ch.Netsim.Channel.delayed
+        ch.Netsim.Channel.replies_lost
+        (Netsim.Net.dups_suppressed net);
+      (match Runtime.reliable rt with
+      | Some rel ->
+          Format.printf "reliable: pending=%d divergence=%d degraded=%d@."
+            (Legosdn.Reliable.pending_count rel)
+            (Legosdn.Reliable.divergence rel)
+            (Legosdn.Reliable.degraded_count rel)
+      | None -> ());
       let tickets = Runtime.tickets rt in
       Format.printf "tickets: %d@." (List.length tickets);
       List.iter (fun t -> Format.printf "%a@." Legosdn.Ticket.pp t) tickets

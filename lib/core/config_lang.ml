@@ -52,6 +52,7 @@ type builder = {
       (* None = never touched, keep defaults *)
   mutable rules : Policy.rule list;  (* reverse order *)
   mutable default : Policy.compromise option;
+  mutable reliable : Reliable.config;
 }
 
 let fresh_builder () =
@@ -64,6 +65,7 @@ let fresh_builder () =
     invariants = None;
     rules = [];
     default = None;
+    reliable = Runtime.default_config.Runtime.reliable;
   }
 
 let add_invariant b inv =
@@ -87,6 +89,21 @@ let directive b lineno toks =
   | [ "engine"; "delay-buffer" ] ->
       b.engine <- Runtime.Delay_buffer_engine;
       Ok ()
+  | [ "reliable"; "on" ] ->
+      b.reliable <- { b.reliable with Reliable.enabled = true };
+      Ok ()
+  | [ "reliable"; "off" ] ->
+      b.reliable <- { b.reliable with Reliable.enabled = false };
+      Ok ()
+  | [ "reliable"; onoff; "timeout"; tmo; "retries"; n ]
+    when onoff = "on" || onoff = "off" -> (
+      match (float_of_string_opt tmo, int_of_string_opt n) with
+      | Some base_timeout, Some max_retries
+        when base_timeout > 0. && max_retries >= 0 ->
+          b.reliable <-
+            { Reliable.enabled = onoff = "on"; base_timeout; max_retries };
+          Ok ()
+      | _ -> err "bad reliable directive")
   | [ "quarantine"; "threshold"; n ] -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
@@ -198,6 +215,7 @@ let parse text =
         {
           Runtime.checkpoint_every = b.checkpoint_every;
           engine = b.engine;
+          reliable = b.reliable;
           crashpad =
             {
               Crashpad.policy =
@@ -226,6 +244,10 @@ let print (config : Runtime.config) =
     (match config.Runtime.engine with
     | Runtime.Netlog_engine -> "netlog"
     | Runtime.Delay_buffer_engine -> "delay-buffer");
+  let rel = config.Runtime.reliable in
+  line "reliable %s timeout %g retries %d"
+    (if rel.Reliable.enabled then "on" else "off")
+    rel.Reliable.base_timeout rel.Reliable.max_retries;
   let cp = config.Runtime.crashpad in
   (match cp.Crashpad.quarantine with
   | Some q -> line "quarantine threshold %d" (Quarantine.threshold q)

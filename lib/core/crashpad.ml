@@ -27,6 +27,7 @@ type deps = {
   tickets : Ticket.store;
   now : unit -> float;
   enqueue_reply : string -> Event.t -> unit;
+  unreachable : Types.switch_id -> bool;
 }
 
 let file_ticket deps sandbox ~event ~diagnosis ~resolution ~rolled_back =
@@ -38,6 +39,7 @@ let count_failure deps = function
   | Detector.Fail_stop _ -> Metrics.incr_crash deps.metrics
   | Detector.Hang -> Metrics.incr_hang deps.metrics
   | Detector.Byzantine _ -> Metrics.incr_byzantine deps.metrics
+  | Detector.Unreachable _ -> Metrics.incr_unreachable deps.metrics
 
 (* Reply events (statistics) produced while applying commands go back to the
    issuing application as ordinary events. *)
@@ -107,6 +109,24 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
             commands
         with
         | Some failure ->
+            txn.Txn_engine.abort ();
+            Sandbox.revert_last sandbox;
+            count_failure deps failure;
+            Error (failure, 0)
+        | None ->
+        (* Screen for dead control channels: a transaction that would touch
+           a switch the reliable layer has given up on must abort before
+           anything reaches the network, or it can never fully commit. *)
+        match
+          List.find_map
+            (fun cmd ->
+              match switch_of_command cmd with
+              | Some sid when deps.unreachable sid -> Some sid
+              | Some _ | None -> None)
+            commands
+        with
+        | Some sid ->
+            let failure = Detector.Unreachable { switch = sid } in
             txn.Txn_engine.abort ();
             Sandbox.revert_last sandbox;
             count_failure deps failure;

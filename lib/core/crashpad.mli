@@ -42,6 +42,10 @@ type deps = {
   enqueue_reply : string -> Event.t -> unit;
       (** Queue a synchronous-reply event (statistics) for later dispatch
           to the named application. *)
+  unreachable : Types.switch_id -> bool;
+      (** Is this switch's control channel currently given up on? A
+          transaction touching such a switch aborts cleanly before any
+          command reaches the network. *)
 }
 
 val dispatch : config -> deps -> Sandbox.t -> Event.t -> unit

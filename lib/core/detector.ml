@@ -6,6 +6,7 @@ type failure =
   | Fail_stop of { detail : string; partial : Command.t list }
   | Hang
   | Byzantine of Checker.violation list
+  | Unreachable of { switch : Openflow.Types.switch_id }
 
 type timing = {
   rpc_timeout : float;
@@ -20,6 +21,7 @@ let detection_delay timing = function
   | Fail_stop _ -> timing.rpc_timeout
   | Hang -> timing.heartbeat_interval *. float timing.heartbeat_misses
   | Byzantine _ -> 0.
+  | Unreachable _ -> timing.rpc_timeout
 
 let of_verdict = function
   | Sandbox.Done _ -> None
@@ -53,3 +55,5 @@ let describe = function
            ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
            Checker.pp_violation)
         violations
+  | Unreachable { switch } ->
+      Printf.sprintf "unreachable: switch %d control channel down" switch

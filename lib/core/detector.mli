@@ -11,6 +11,10 @@ type failure =
   | Fail_stop of { detail : string; partial : Command.t list }
   | Hang
   | Byzantine of Invariants.Checker.violation list
+  | Unreachable of { switch : Openflow.Types.switch_id }
+      (** The reliable-delivery layer exhausted its retry budget against
+          this switch: transactions touching it must abort, not
+          half-commit. *)
 
 (** Detection-latency model, in virtual seconds. *)
 type timing = {

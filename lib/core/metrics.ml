@@ -16,6 +16,11 @@ type t = {
   mutable n_resource : int;
   mutable n_quarantined : int;
   mutable n_suppressed : int;
+  mutable n_retransmits : int;
+  mutable n_barrier_acks : int;
+  mutable n_resyncs : int;
+  mutable n_resynced_rules : int;
+  mutable n_unreachable : int;
   outages : (string, app_outage) Hashtbl.t;
 }
 
@@ -33,6 +38,11 @@ let create () =
     n_resource = 0;
     n_quarantined = 0;
     n_suppressed = 0;
+    n_retransmits = 0;
+    n_barrier_acks = 0;
+    n_resyncs = 0;
+    n_resynced_rules = 0;
+    n_unreachable = 0;
     outages = Hashtbl.create 8;
   }
 
@@ -48,6 +58,11 @@ let incr_dropped_in_replay t n = t.n_dropped_replay <- t.n_dropped_replay + n
 let incr_resource_breach t = t.n_resource <- t.n_resource + 1
 let incr_quarantined t = t.n_quarantined <- t.n_quarantined + 1
 let incr_suppressed t = t.n_suppressed <- t.n_suppressed + 1
+let incr_retransmits t = t.n_retransmits <- t.n_retransmits + 1
+let incr_barrier_acks t = t.n_barrier_acks <- t.n_barrier_acks + 1
+let incr_resyncs t = t.n_resyncs <- t.n_resyncs + 1
+let incr_resynced_rules t n = t.n_resynced_rules <- t.n_resynced_rules + n
+let incr_unreachable t = t.n_unreachable <- t.n_unreachable + 1
 
 let events t = t.n_events
 let crashes t = t.n_crashes
@@ -61,6 +76,11 @@ let dropped_in_replay t = t.n_dropped_replay
 let resource_breaches t = t.n_resource
 let quarantined t = t.n_quarantined
 let suppressed t = t.n_suppressed
+let retransmits t = t.n_retransmits
+let barrier_acks t = t.n_barrier_acks
+let resyncs t = t.n_resyncs
+let resynced_rules t = t.n_resynced_rules
+let unreachable t = t.n_unreachable
 
 let outage t app =
   match Hashtbl.find_opt t.outages app with
@@ -97,7 +117,8 @@ let availability t ~app ~until =
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@]"
+    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@]"
     t.n_events t.n_crashes t.n_hangs t.n_byzantine t.n_ignored t.n_transformed
     t.n_disabled t.n_replayed t.n_dropped_replay t.n_resource t.n_quarantined
-    t.n_suppressed
+    t.n_suppressed t.n_retransmits t.n_barrier_acks t.n_resyncs
+    t.n_resynced_rules t.n_unreachable

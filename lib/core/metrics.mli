@@ -22,6 +22,11 @@ val incr_dropped_in_replay : t -> int -> unit
 val incr_resource_breach : t -> unit
 val incr_quarantined : t -> unit
 val incr_suppressed : t -> unit
+val incr_retransmits : t -> unit
+val incr_barrier_acks : t -> unit
+val incr_resyncs : t -> unit
+val incr_resynced_rules : t -> int -> unit
+val incr_unreachable : t -> unit
 
 val events : t -> int
 val crashes : t -> int
@@ -39,6 +44,21 @@ val quarantined : t -> int
 
 val suppressed : t -> int
 (** Deliveries filtered out because their signature is quarantined. *)
+
+val retransmits : t -> int
+(** State-altering messages re-sent after a missing barrier ack. *)
+
+val barrier_acks : t -> int
+(** Barrier replies confirming delivery of a state-altering message. *)
+
+val resyncs : t -> int
+(** Reconnected switches whose tables were rebuilt from intended state. *)
+
+val resynced_rules : t -> int
+(** Rules replayed across all resynchronizations. *)
+
+val unreachable : t -> int
+(** Switches declared unreachable after the retry budget ran out. *)
 
 (** {1 Per-app downtime} *)
 

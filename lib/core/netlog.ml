@@ -30,6 +30,7 @@ type txn = {
 
 type t = {
   network : Net.t;
+  send : Types.switch_id -> Message.t -> Message.t list;
   counter_cache : Counter_cache.t;
   mutable next_xid : int;
   mutable n_committed : int;
@@ -38,11 +39,15 @@ type t = {
   mutable n_rolled_back : int;
 }
 
-let create network =
+let create ?transport ?(xid_base = 1) network =
   {
     network;
+    send =
+      (match transport with
+      | Some f -> f
+      | None -> Net.send network);
     counter_cache = Counter_cache.create ();
-    next_xid = 1;
+    next_xid = xid_base;
     n_committed = 0;
     n_aborted = 0;
     n_ops = 0;
@@ -51,6 +56,7 @@ let create network =
 
 let net t = t.network
 let cache t = t.counter_cache
+let next_xid t = t.next_xid
 let committed t = t.n_committed
 let aborted t = t.n_aborted
 let ops_applied t = t.n_ops
@@ -135,10 +141,10 @@ let apply t txn cmd =
     | Command.Flow (sid, fm) ->
         let undos = flow_mod_undos t sid fm in
         txn.undos <- undos @ txn.undos;
-        Net.send t.network sid (Message.message ~xid (Message.Flow_mod fm))
+        t.send sid (Message.message ~xid (Message.Flow_mod fm))
     | Command.Packet (sid, po) ->
         (* Packets already on the wire cannot be recalled; no inverse. *)
-        Net.send t.network sid (Message.message ~xid (Message.Packet_out po))
+        t.send sid (Message.message ~xid (Message.Packet_out po))
     | Command.Port (sid, pm) ->
         (* Capture the previous flag to restore it on abort. *)
         (try
@@ -155,9 +161,9 @@ let apply t txn cmd =
                  :: txn.undos
            | None -> ()
          with Not_found -> ());
-        Net.send t.network sid (Message.message ~xid (Message.Port_mod pm))
+        t.send sid (Message.message ~xid (Message.Port_mod pm))
     | Command.Stats (sid, req) ->
-        Net.send t.network sid (Message.message ~xid (Message.Stats_request req))
+        t.send sid (Message.message ~xid (Message.Stats_request req))
         |> List.map (fun (reply : Message.t) ->
                match reply.payload with
                | Message.Stats_reply sr ->
@@ -177,11 +183,11 @@ let apply t txn cmd =
 let run_undo t = function
   | Undo_port_mod (sid, pm) ->
       ignore
-        (Net.send t.network sid
+        (t.send sid
            (Message.message ~xid:(fresh_xid t) (Message.Port_mod pm)))
   | Undo_add (sid, pattern, priority) ->
       ignore
-        (Net.send t.network sid
+        (t.send sid
            (Message.message ~xid:(fresh_xid t)
               (Message.Flow_mod (Message.flow_delete ~strict:true ~priority pattern))))
   | Undo_modify (sid, pattern, priority, actions) ->
@@ -192,7 +198,7 @@ let run_undo t = function
         }
       in
       ignore
-        (Net.send t.network sid
+        (t.send sid
            (Message.message ~xid:(fresh_xid t) (Message.Flow_mod fm)))
   | Undo_restore { switch = sid; entry = e; saved_at } ->
       (* Remaining lifetime as of the moment the rule was destroyed; a rule
@@ -213,7 +219,7 @@ let run_undo t = function
             ~notify_when_removed:e.notify_when_removed e.pattern e.actions
         in
         ignore
-          (Net.send t.network sid
+          (t.send sid
              (Message.message ~xid:(fresh_xid t) (Message.Flow_mod fm)))
       end
 

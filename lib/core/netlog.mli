@@ -14,10 +14,23 @@ open Openflow
 
 type t
 
-val create : Netsim.Net.t -> t
+val create :
+  ?transport:(Types.switch_id -> Message.t -> Message.t list) ->
+  ?xid_base:int ->
+  Netsim.Net.t ->
+  t
+(** [transport] replaces the raw [Net.send] for every outgoing message —
+    the hook by which {!Reliable} interposes barrier-acked retransmission.
+    Rollback traffic flows through it too. [xid_base] (default 1) seeds the
+    xid counter; a failover controller must pass the predecessor's
+    {!next_xid} so switch-side duplicate detection never confuses a fresh
+    command with a retransmission. *)
 
 val net : t -> Netsim.Net.t
 val cache : t -> Counter_cache.t
+
+val next_xid : t -> int
+(** The next xid this instance will assign (for failover hand-off). *)
 
 (** Lifetime statistics. *)
 val committed : t -> int

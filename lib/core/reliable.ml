@@ -1,0 +1,325 @@
+open Openflow
+module Net = Netsim.Net
+module Clock = Netsim.Clock
+module Flow_table = Netsim.Flow_table
+module Flow_entry = Netsim.Flow_entry
+
+type config = {
+  enabled : bool;
+  base_timeout : float;
+  max_retries : int;
+}
+
+let default_config = { enabled = true; base_timeout = 0.05; max_retries = 8 }
+
+type health = Healthy | Degraded
+
+type pending = {
+  p_sid : Types.switch_id;
+  p_msg : Message.t;  (* original xid preserved: retransmits dedup *)
+  mutable p_sent : bool;
+      (* Per-switch FIFO: only the oldest pending message per switch is on
+         the wire. Later ones are held back until it is acknowledged —
+         otherwise a retransmission could land after a logically later
+         message (e.g. an Add resurrected after its rollback Delete). *)
+  mutable p_barrier_xid : Types.xid;
+  mutable p_attempts : int;
+  mutable p_next_at : float;
+}
+
+(* Barrier xids live in their own range so they can never collide with
+   Netlog's transaction xids (a counter from 1). *)
+let barrier_xid_base = 1_000_000_000
+
+type t = {
+  net : Net.t;
+  cfg : config;
+  metrics : Metrics.t option;
+  shadows : (Types.switch_id, Flow_table.t) Hashtbl.t;
+  states : (Types.switch_id, health) Hashtbl.t;
+  probe_at : (Types.switch_id, float) Hashtbl.t;
+      (* next half-open probe per degraded switch *)
+  mutable queue : pending list;  (* unordered; scanned on tick *)
+  mutable next_barrier_xid : Types.xid;
+  mutable n_retransmits : int;
+  mutable n_acks : int;
+  mutable n_resyncs : int;
+  mutable n_resynced_rules : int;
+  mutable n_degraded : int;
+}
+
+let create ?(config = default_config) ?metrics net =
+  {
+    net;
+    cfg = config;
+    metrics;
+    shadows = Hashtbl.create 16;
+    states = Hashtbl.create 16;
+    probe_at = Hashtbl.create 8;
+    queue = [];
+    next_barrier_xid = barrier_xid_base;
+    n_retransmits = 0;
+    n_acks = 0;
+    n_resyncs = 0;
+    n_resynced_rules = 0;
+    n_degraded = 0;
+  }
+
+let config t = t.cfg
+let now t = Clock.now (Net.clock t.net)
+
+let health t sid =
+  match Hashtbl.find_opt t.states sid with Some h -> h | None -> Healthy
+
+let is_degraded t sid = health t sid = Degraded
+let pending_count t = List.length t.queue
+let shadow t sid = Hashtbl.find_opt t.shadows sid
+let retransmits t = t.n_retransmits
+let acks t = t.n_acks
+let resyncs t = t.n_resyncs
+let resynced_rules t = t.n_resynced_rules
+let degraded_count t = t.n_degraded
+
+let with_metrics t f = match t.metrics with Some m -> f m | None -> ()
+
+let fresh_barrier_xid t =
+  let x = t.next_barrier_xid in
+  t.next_barrier_xid <- t.next_barrier_xid + 1;
+  x
+
+let shadow_of t sid =
+  match Hashtbl.find_opt t.shadows sid with
+  | Some table -> table
+  | None ->
+      let table = Flow_table.create () in
+      Hashtbl.replace t.shadows sid table;
+      table
+
+(* Mirror of Sw.apply_flow_mod on the intent table: what the switch's
+   table will hold once this message is (eventually) delivered. *)
+let record_intent t sid (msg : Message.t) =
+  match msg.payload with
+  | Message.Flow_mod fm -> (
+      let table = shadow_of t sid in
+      let entry () = Flow_entry.of_flow_mod ~now:(now t) fm in
+      match fm.command with
+      | Message.Add -> Flow_table.add table (entry ())
+      | Message.Modify | Message.Modify_strict ->
+          let strict = fm.command = Message.Modify_strict in
+          let hit =
+            Flow_table.modify table ~strict fm.pattern ~priority:fm.priority
+              fm.actions
+          in
+          if not hit then Flow_table.add table (entry ())
+      | Message.Delete | Message.Delete_strict ->
+          let strict = fm.command = Message.Delete_strict in
+          ignore
+            (Flow_table.delete table ~strict ?out_port:fm.out_port fm.pattern
+               ~priority:fm.priority))
+  | _ -> ()
+
+let acked_synchronously xid replies =
+  List.exists
+    (fun (r : Message.t) -> r.payload = Message.Barrier_reply && r.xid = xid)
+    replies
+
+(* A barrier reply alone only proves the channel is alive: the flow-mod
+   ahead of it may have been dropped while the barrier got through. The
+   reply's real meaning — "everything delivered before this barrier has
+   been processed" — lets the controller check the switch's per-xid
+   receive record and acknowledge selectively. *)
+let delivered t sid (msg : Message.t) =
+  (not (Message.is_state_altering msg.payload))
+  || (try Netsim.Sw.has_seen_xid (Net.switch t.net sid) msg.xid
+      with Not_found -> false)
+
+(* Chase one transmitted state-altering message with a barrier. Returns
+   [true] when the barrier reply came back synchronously. *)
+let barrier_probe t sid =
+  let xid = fresh_barrier_xid t in
+  let replies = Net.send t.net sid (Message.message ~xid Message.Barrier_request) in
+  (xid, acked_synchronously xid replies)
+
+let ack t p =
+  t.queue <- List.filter (fun q -> q != p) t.queue;
+  t.n_acks <- t.n_acks + 1;
+  with_metrics t Metrics.incr_barrier_acks
+
+let has_pending t sid = List.exists (fun p -> p.p_sid = sid) t.queue
+
+(* The queue is kept in FIFO order; transmitted entries wait
+   [base_timeout] before their first retransmission, held-back entries
+   become eligible the moment they reach the head of their switch's
+   line. *)
+let enqueue t sid msg ~sent barrier_xid =
+  t.queue <-
+    t.queue
+    @ [
+        {
+          p_sid = sid;
+          p_msg = msg;
+          p_sent = sent;
+          p_barrier_xid = barrier_xid;
+          p_attempts = 0;
+          p_next_at = (now t +. if sent then t.cfg.base_timeout else 0.);
+        };
+      ]
+
+let send t sid (msg : Message.t) =
+  record_intent t sid msg;
+  if is_degraded t sid then []
+  else if t.cfg.enabled && Message.is_state_altering msg.payload then
+    if has_pending t sid then begin
+      (* Head-of-line blocking on purpose: transmitting now could land
+         before the unacknowledged head's retransmission and reorder
+         state changes. *)
+      enqueue t sid msg ~sent:false 0;
+      []
+    end
+    else begin
+      let replies = Net.send t.net sid msg in
+      let barrier_xid, acked = barrier_probe t sid in
+      if acked && delivered t sid msg then begin
+        t.n_acks <- t.n_acks + 1;
+        with_metrics t Metrics.incr_barrier_acks
+      end
+      else enqueue t sid msg ~sent:true barrier_xid;
+      replies
+    end
+  else Net.send t.net sid msg
+
+let probe_interval t = t.cfg.base_timeout *. 8.
+
+let degrade t sid =
+  if not (is_degraded t sid) then begin
+    Hashtbl.replace t.states sid Degraded;
+    Hashtbl.replace t.probe_at sid (now t +. probe_interval t);
+    t.n_degraded <- t.n_degraded + 1;
+    with_metrics t Metrics.incr_unreachable;
+    (* Nothing queued for this switch can succeed any more; the shadow
+       table keeps the intent and resync will replay it on reconnect. *)
+    t.queue <- List.filter (fun p -> p.p_sid <> sid) t.queue
+  end
+
+(* (Re)transmit the head-of-line message for its switch. The first
+   transmission of a held-back message is free; retransmissions burn the
+   retry budget. *)
+let retransmit t p =
+  if p.p_sent && p.p_attempts >= t.cfg.max_retries then degrade t p.p_sid
+  else begin
+    if p.p_sent then begin
+      p.p_attempts <- p.p_attempts + 1;
+      t.n_retransmits <- t.n_retransmits + 1;
+      with_metrics t Metrics.incr_retransmits
+    end
+    else p.p_sent <- true;
+    (* Same xid as the original: if the first copy did arrive, the switch
+       suppresses the duplicate and only the barrier matters. *)
+    ignore (Net.send t.net p.p_sid p.p_msg);
+    let barrier_xid, acked = barrier_probe t p.p_sid in
+    if acked && delivered t p.p_sid p.p_msg then ack t p
+    else begin
+      p.p_barrier_xid <- barrier_xid;
+      p.p_next_at <-
+        now t +. (t.cfg.base_timeout *. (2. ** float p.p_attempts))
+    end
+  end
+
+(* A reconnected switch starts from an empty table (reboot semantics).
+   Replay the intended rule set so the data plane converges without
+   waiting for fresh traffic to re-trigger the applications. *)
+let resync t sid =
+  t.queue <- List.filter (fun p -> p.p_sid <> sid) t.queue;
+  Hashtbl.remove t.states sid;
+  Hashtbl.remove t.probe_at sid;
+  match Hashtbl.find_opt t.shadows sid with
+  | None -> ()
+  | Some table ->
+      let entries = Flow_table.entries table in
+      if entries <> [] then begin
+        t.n_resyncs <- t.n_resyncs + 1;
+        with_metrics t Metrics.incr_resyncs;
+        t.n_resynced_rules <- t.n_resynced_rules + List.length entries;
+        with_metrics t (fun m ->
+            Metrics.incr_resynced_rules m (List.length entries));
+        List.iter
+          (fun (e : Flow_entry.t) ->
+            let fm =
+              Message.flow_add ~cookie:e.cookie ~idle_timeout:e.idle_timeout
+                ~hard_timeout:e.hard_timeout ~priority:e.priority
+                ~notify_when_removed:e.notify_when_removed e.pattern e.actions
+            in
+            ignore
+              (send t sid
+                 (Message.message ~xid:(fresh_barrier_xid t)
+                    (Message.Flow_mod fm))))
+          entries
+      end
+
+(* Circuit-breaker half-open state: a degraded switch is probed with a
+   bare barrier now and then; the first synchronous reply proves the
+   channel works again and triggers a full resync. A probe that reaches
+   no live switch just comes back as an error (or nothing) and the
+   breaker stays open. *)
+let probe_degraded t =
+  let due =
+    Hashtbl.fold
+      (fun sid at acc -> if at <= now t then sid :: acc else acc)
+      t.probe_at []
+  in
+  List.iter
+    (fun sid ->
+      let _, acked = barrier_probe t sid in
+      if acked then resync t sid
+      else Hashtbl.replace t.probe_at sid (now t +. probe_interval t))
+    (List.sort compare due)
+
+(* The oldest pending entry per switch, in queue order. *)
+let heads t =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p.p_sid then false
+      else begin
+        Hashtbl.replace seen p.p_sid ();
+        true
+      end)
+    t.queue
+
+let tick t =
+  if t.cfg.enabled then begin
+    let due = List.filter (fun p -> p.p_next_at <= now t) (heads t) in
+    List.iter (fun p -> if List.memq p t.queue then retransmit t p) due;
+    probe_degraded t
+  end
+
+let observe t = function
+  | Net.From_switch (sid, { Message.payload = Message.Barrier_reply; xid }) ->
+      (* A delayed or retransmission-triggered barrier reply. *)
+      ignore sid;
+      (match List.find_opt (fun p -> p.p_barrier_xid = xid) t.queue with
+      | Some p when delivered t p.p_sid p.p_msg -> ack t p
+      | Some _ | None -> ())
+  | Net.Switch_connected (sid, _) -> if t.cfg.enabled then resync t sid
+  | Net.From_switch _ | Net.Switch_disconnected _ | Net.Delivered _ -> ()
+
+let entry_key (e : Flow_entry.t) = (e.pattern, e.priority, e.actions)
+
+let divergence t =
+  Hashtbl.fold
+    (fun sid table acc ->
+      let intended = List.map entry_key (Flow_table.entries table) in
+      let actual =
+        try
+          List.map entry_key
+            (Flow_table.entries (Net.switch t.net sid).Netsim.Sw.table)
+        with Not_found -> []
+      in
+      let missing =
+        List.filter (fun k -> not (List.mem k actual)) intended
+      in
+      let extra =
+        List.filter (fun k -> not (List.mem k intended)) actual
+      in
+      acc + List.length missing + List.length extra)
+    t.shadows 0

@@ -1,0 +1,88 @@
+(** Reliable southbound delivery over a lossy control channel.
+
+    The channel model ({!Netsim.Channel}) may drop, duplicate or delay any
+    control message. This layer restores exactly-once semantics for
+    state-altering messages the way a real controller must: every
+    [Flow_mod]/[Packet_out]/[Port_mod] is chased by a [Barrier_request]
+    whose reply acknowledges everything before it; a missing ack triggers
+    retransmission with exponential backoff; the switch suppresses
+    duplicate applications by xid ({!Netsim.Sw}); and a switch that
+    exhausts the retry budget is declared {e degraded} so transactions
+    touching it abort cleanly instead of half-committing.
+
+    The layer also keeps a per-switch {e shadow table} — the rules the
+    controller intends the switch to hold. When a switch reconnects after
+    a reboot (empty table) or a healed partition, {!observe} replays the
+    shadow delta so the data plane converges back to intended state
+    without waiting for fresh traffic. *)
+
+open Openflow
+
+type config = {
+  enabled : bool;
+      (** When [false] the layer is a transparent pass-through: intent is
+          still recorded (so divergence can be measured) but nothing is
+          acked, retransmitted or resynchronized. *)
+  base_timeout : float;
+      (** Virtual seconds before the first retransmission; attempt [n]
+          waits [base_timeout * 2^n]. *)
+  max_retries : int;
+      (** Retransmissions per message before the switch is declared
+          degraded. *)
+}
+
+val default_config : config
+(** Enabled; 50 ms base timeout; 8 retries. *)
+
+type health = Healthy | Degraded
+
+type t
+
+val create : ?config:config -> ?metrics:Metrics.t -> Netsim.Net.t -> t
+(** Counters are mirrored into [metrics] when given. *)
+
+val config : t -> config
+
+val send : t -> Types.switch_id -> Message.t -> Message.t list
+(** Transmit one controller-to-switch message; drop-in for [Net.send] (the
+    intended use is [Netlog.create ~transport:(send t)]). State-altering
+    messages are recorded in the shadow table and chased with a barrier;
+    unacknowledged ones enter the retransmission queue. Delivery is FIFO
+    per switch: while a message to a switch awaits its ack, later
+    state-altering messages to the same switch are held back (returning
+    no replies) so a retransmission can never overtake a logically later
+    state change. Sends to a degraded switch are swallowed (intent
+    recorded, nothing transmitted, no replies). *)
+
+val tick : t -> unit
+(** Retransmit every pending message whose backoff deadline has passed,
+    against the network clock. Call once per scheduler step. *)
+
+val observe : t -> Netsim.Net.notification -> unit
+(** Feed every polled notification through here (before or after normal
+    ingestion — the layer only reads). Barrier replies acknowledge pending
+    messages; [Switch_connected] triggers resynchronization. *)
+
+val health : t -> Types.switch_id -> health
+val is_degraded : t -> Types.switch_id -> bool
+
+val pending_count : t -> int
+(** Messages awaiting acknowledgement (drain loops poll this). *)
+
+val shadow : t -> Types.switch_id -> Netsim.Flow_table.t option
+(** The intended rule set for one switch, if any intent was recorded. *)
+
+val divergence : t -> int
+(** Rules present in exactly one of (shadow, actual) summed over switches
+    with recorded intent — 0 when the data plane matches controller
+    intent. Compares (pattern, priority, actions); timeout-expired rules
+    count as divergence, so measure with permanent rules. *)
+
+(** {1 Lifetime counters} *)
+
+val retransmits : t -> int
+val acks : t -> int
+val resyncs : t -> int
+val resynced_rules : t -> int
+val degraded_count : t -> int
+(** Times any switch was declared degraded. *)

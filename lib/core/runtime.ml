@@ -8,6 +8,7 @@ type config = {
   checkpoint_every : int;
   crashpad : Crashpad.config;
   engine : engine_kind;
+  reliable : Reliable.config;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     checkpoint_every = 1;
     crashpad = Crashpad.default_config;
     engine = Netlog_engine;
+    reliable = Reliable.default_config;
   }
 
 type t = {
@@ -22,6 +24,7 @@ type t = {
   mutable services_state : Services.t;
   boxes : Sandbox.t list;
   netlog_instance : Netlog.t option;
+  reliable_layer : Reliable.t option;
   engine : Txn_engine.t;
   metrics_store : Metrics.t;
   ticket_store : Ticket.store;
@@ -31,13 +34,24 @@ type t = {
   mutable n_shed : int;
 }
 
-let create ?(config = default_config) network modules =
-  let netlog_instance, engine =
+let create ?(config = default_config) ?xid_base network modules =
+  let metrics_store = Metrics.create () in
+  let reliable_layer, netlog_instance, engine =
     match config.engine with
     | Netlog_engine ->
-        let nl = Netlog.create network in
-        (Some nl, Netlog.engine nl)
-    | Delay_buffer_engine -> (None, Delay_buffer.engine (Delay_buffer.create network))
+        (* NetLog speaks to switches through the reliable layer, so every
+           transaction command — rollback traffic included — is
+           barrier-acked and retransmitted over a lossy channel. *)
+        let rel =
+          Reliable.create ~config:config.reliable ~metrics:metrics_store
+            network
+        in
+        let nl =
+          Netlog.create ~transport:(Reliable.send rel) ?xid_base network
+        in
+        (Some rel, Some nl, Netlog.engine nl)
+    | Delay_buffer_engine ->
+        (None, None, Delay_buffer.engine (Delay_buffer.create network))
   in
   {
     network;
@@ -47,8 +61,9 @@ let create ?(config = default_config) network modules =
         (fun m -> Sandbox.create ~checkpoint_every:config.checkpoint_every m)
         modules;
     netlog_instance;
+    reliable_layer;
     engine;
-    metrics_store = Metrics.create ();
+    metrics_store;
     ticket_store = Ticket.store ();
     cfg = config;
     reply_backlog = [];
@@ -64,6 +79,7 @@ let metrics t = t.metrics_store
 let tickets t = Ticket.all t.ticket_store
 let ticket_store t = t.ticket_store
 let netlog t = t.netlog_instance
+let reliable t = t.reliable_layer
 let events_processed t = t.n_events
 let events_shed t = t.n_shed
 let config t = t.cfg
@@ -85,6 +101,11 @@ let deps t : Crashpad.deps =
     now = (fun () -> now t);
     enqueue_reply =
       (fun app ev -> t.reply_backlog <- t.reply_backlog @ [ (app, ev) ]);
+    unreachable =
+      (fun sid ->
+        match t.reliable_layer with
+        | Some rel -> Reliable.is_degraded rel sid
+        | None -> false);
   }
 
 let rec drain_replies t =
@@ -112,12 +133,21 @@ let dispatch_event t event =
    way an overloaded controller connection would shed it. *)
 let storm_guard_events = 2048
 
+let observe_reliable t notifications =
+  match t.reliable_layer with
+  | None -> ()
+  | Some rel -> List.iter (Reliable.observe rel) notifications
+
 let step t =
+  (match t.reliable_layer with
+  | Some rel -> Reliable.tick rel
+  | None -> ());
   let budget = ref storm_guard_events in
   let rec go () =
     match Net.poll t.network with
     | [] -> ()
     | notifications ->
+        observe_reliable t notifications;
         let events =
           List.concat_map (Services.ingest t.services_state) notifications
         in
@@ -134,7 +164,11 @@ let step t =
   in
   go ()
 
-let tick t = dispatch_event t (Event.Tick (now t))
+let tick t =
+  (match t.reliable_layer with
+  | Some rel -> Reliable.tick rel
+  | None -> ());
+  dispatch_event t (Event.Tick (now t))
 
 let upgrade_controller t =
   (* Platform restart: controller-side state is rebuilt from the network;

@@ -16,14 +16,21 @@ type config = {
   checkpoint_every : int;  (** k: checkpoint every k events (§5). *)
   crashpad : Crashpad.config;
   engine : engine_kind;
+  reliable : Reliable.config;
+      (** Southbound reliable-delivery settings (NetLog engine only). *)
 }
 
 val default_config : config
-(** k = 1, Crash-Pad defaults, NetLog engine. *)
+(** k = 1, Crash-Pad defaults, NetLog engine, reliable delivery on. *)
 
 type t
 
-val create : ?config:config -> Netsim.Net.t -> (module App_sig.APP) list -> t
+val create :
+  ?config:config -> ?xid_base:int -> Netsim.Net.t ->
+  (module App_sig.APP) list -> t
+(** [xid_base] seeds the NetLog xid counter; a failover controller passes
+    its predecessor's [Netlog.next_xid] so switch-side duplicate detection
+    never mistakes its fresh commands for retransmissions. *)
 
 val step : t -> unit
 (** Drain southbound notifications and dispatch the resulting events. *)
@@ -45,6 +52,9 @@ val tickets : t -> Ticket.t list
 val ticket_store : t -> Ticket.store
 val netlog : t -> Netlog.t option
 (** The NetLog instance, when the NetLog engine is in use. *)
+
+val reliable : t -> Reliable.t option
+(** The reliable-delivery layer, when the NetLog engine is in use. *)
 
 val events_processed : t -> int
 

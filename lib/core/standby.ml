@@ -54,7 +54,14 @@ let fail_primary t =
   t.n_failovers <- t.n_failovers + 1;
   (* The dead controller's pending switch messages died with it. *)
   ignore (Net.poll t.network);
-  let fresh = Runtime.create ~config:t.config t.network t.modules in
+  (* Switches remember applied xids: the successor must continue the xid
+     sequence or its first commands would look like retransmissions. *)
+  let xid_base =
+    match Runtime.netlog t.active with
+    | Some nl -> Netlog.next_xid nl
+    | None -> 1
+  in
+  let fresh = Runtime.create ~config:t.config ~xid_base t.network t.modules in
   List.iter
     (fun box ->
       match List.assoc_opt (Sandbox.name box) t.shipped with

@@ -1,0 +1,91 @@
+type delay =
+  | No_delay
+  | Fixed of float
+  | Uniform of float * float
+
+type config = {
+  loss : float;
+  reply_loss : float;
+  duplicate : float;
+  delay : delay;
+}
+
+let perfect = { loss = 0.; reply_loss = 0.; duplicate = 0.; delay = No_delay }
+let lossy p = { perfect with loss = p; reply_loss = p }
+
+type stats = {
+  mutable sent : int;
+  mutable lost : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable replies_sent : int;
+  mutable replies_lost : int;
+}
+
+type t = {
+  mutable cfg : config;
+  mutable partition : bool;
+  rng : Random.State.t;
+  st : stats;
+}
+
+let create ?(config = perfect) ~seed () =
+  {
+    cfg = config;
+    partition = false;
+    rng = Random.State.make [| 0x5d; seed |];
+    st =
+      {
+        sent = 0;
+        lost = 0;
+        duplicated = 0;
+        delayed = 0;
+        replies_sent = 0;
+        replies_lost = 0;
+      };
+  }
+
+let config t = t.cfg
+let set_config t cfg = t.cfg <- cfg
+let set_loss t p = t.cfg <- { t.cfg with loss = p; reply_loss = p }
+let partitioned t = t.partition
+let set_partitioned t p = t.partition <- p
+let stats t = t.st
+
+(* A probability of exactly 0 must not consume a random draw: the common
+   perfect-channel case then behaves like the seed did, and enabling loss
+   on one channel cannot perturb another channel's sequence. *)
+let happens t p = p > 0. && Random.State.float t.rng 1.0 < p
+
+let draw_delay t =
+  match t.cfg.delay with
+  | No_delay -> 0.
+  | Fixed d -> d
+  | Uniform (lo, hi) ->
+      if hi <= lo then lo else lo +. Random.State.float t.rng (hi -. lo)
+
+let forward t =
+  t.st.sent <- t.st.sent + 1;
+  if t.partition || happens t t.cfg.loss then begin
+    t.st.lost <- t.st.lost + 1;
+    None
+  end
+  else begin
+    let copies =
+      if happens t t.cfg.duplicate then begin
+        t.st.duplicated <- t.st.duplicated + 1;
+        [ draw_delay t; draw_delay t ]
+      end
+      else [ draw_delay t ]
+    in
+    List.iter (fun d -> if d > 0. then t.st.delayed <- t.st.delayed + 1) copies;
+    Some copies
+  end
+
+let reverse t =
+  t.st.replies_sent <- t.st.replies_sent + 1;
+  if t.partition || happens t t.cfg.reply_loss then begin
+    t.st.replies_lost <- t.st.replies_lost + 1;
+    false
+  end
+  else true

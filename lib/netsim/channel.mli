@@ -1,0 +1,67 @@
+(** Per-switch control-channel fault model.
+
+    The seed repository treated the southbound channel as a perfect
+    function call: {!Net.send} never lost, delayed or duplicated a
+    message. This module makes the channel an explicit, failable component
+    so the transaction engine's atomicity claims can be exercised on a
+    degraded network (Rama-style exactly-once delivery is then built on
+    top of it by {!Legosdn.Reliable}).
+
+    Every switch gets its own channel with its own seeded RNG, so runs are
+    deterministic for a given [(seed, config)] pair regardless of how many
+    switches share the network. *)
+
+(** Latency applied to delivered controller-to-switch copies. *)
+type delay =
+  | No_delay
+  | Fixed of float  (** Constant delay, in virtual seconds. *)
+  | Uniform of float * float  (** Uniform in [lo, hi). *)
+
+type config = {
+  loss : float;  (** P(drop) per controller-to-switch copy, in [0, 1]. *)
+  reply_loss : float;  (** P(drop) per switch-to-controller message. *)
+  duplicate : float;
+      (** P(a delivered controller-to-switch message arrives twice). *)
+  delay : delay;
+}
+
+val perfect : config
+(** No loss, no duplication, no delay — the seed's behaviour. *)
+
+val lossy : float -> config
+(** [lossy p] drops each message in either direction with probability [p];
+    no delay, no duplication. *)
+
+type stats = {
+  mutable sent : int;  (** Controller-to-switch messages offered. *)
+  mutable lost : int;  (** Dropped by loss or partition, forward path. *)
+  mutable duplicated : int;  (** Extra copies created. *)
+  mutable delayed : int;  (** Copies scheduled for later delivery. *)
+  mutable replies_sent : int;  (** Switch-to-controller messages offered. *)
+  mutable replies_lost : int;  (** Dropped on the reverse path. *)
+}
+
+type t
+
+val create : ?config:config -> seed:int -> unit -> t
+
+val config : t -> config
+val set_config : t -> config -> unit
+val set_loss : t -> float -> unit
+(** Set [loss] and [reply_loss] together (a symmetric loss burst). *)
+
+val partitioned : t -> bool
+val set_partitioned : t -> bool -> unit
+(** A partitioned channel silently drops everything in both directions —
+    the switch is alive and forwarding, only the control session is cut. *)
+
+val stats : t -> stats
+
+val forward : t -> float list option
+(** Verdict for one controller-to-switch message: [None] means the message
+    is lost; [Some delays] means one copy is delivered per list element,
+    each after the given delay (0. = immediately). Duplication yields a
+    two-element list. *)
+
+val reverse : t -> bool
+(** Verdict for one switch-to-controller message: [false] means lost. *)

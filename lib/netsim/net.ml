@@ -7,6 +7,9 @@ type fault =
   | Switch_up of Types.switch_id
   | Port_down of Types.switch_id * Types.port_no
   | Port_up of Types.switch_id * Types.port_no
+  | Channel_partition of Types.switch_id
+  | Channel_heal of Types.switch_id
+  | Channel_loss of Types.switch_id * float
 
 type notification =
   | From_switch of Types.switch_id * Message.t
@@ -25,21 +28,28 @@ type t = {
   clock : Clock.t;
   topo : Topology.t;
   switches : (int, Sw.t) Hashtbl.t;
+  channels : (int, Channel.t) Hashtbl.t;
   mutable pending : notification list;  (* reverse order *)
+  mutable in_flight : (float * Types.switch_id * Message.t) list;
+      (* delayed controller-to-switch copies, unordered *)
   hop_limit : int;
   st : stats;
 }
 
 let queue t n = t.pending <- n :: t.pending
 
-let create ?(hop_limit = 64) clock topo =
+let create ?(hop_limit = 64) ?(channel = Channel.perfect) ?(channel_seed = 0)
+    clock topo =
   let switches = Hashtbl.create 16 in
+  let channels = Hashtbl.create 16 in
   let t =
     {
       clock;
       topo;
       switches;
+      channels;
       pending = [];
+      in_flight = [];
       hop_limit;
       st = { delivered = 0; blackholed = 0; looped = 0; packet_ins = 0 };
     }
@@ -49,6 +59,8 @@ let create ?(hop_limit = 64) clock topo =
       let port_nos = List.map fst (Topology.switch_ports topo sid) in
       let sw = Sw.create ~id:sid ~port_nos in
       Hashtbl.replace switches sid sw;
+      Hashtbl.replace channels sid
+        (Channel.create ~config:channel ~seed:(channel_seed + sid) ());
       queue t (Switch_connected (sid, Sw.features sw)))
     (Topology.switches topo);
   t
@@ -61,7 +73,42 @@ let switch t sid =
   | Some sw -> sw
   | None -> raise Not_found
 
+let channel t sid =
+  match Hashtbl.find_opt t.channels sid with
+  | Some ch -> ch
+  | None -> raise Not_found
+
 let stats t = t.st
+
+let channel_totals t =
+  let acc =
+    {
+      Channel.sent = 0;
+      lost = 0;
+      duplicated = 0;
+      delayed = 0;
+      replies_sent = 0;
+      replies_lost = 0;
+    }
+  in
+  Hashtbl.iter
+    (fun _ ch ->
+      let s = Channel.stats ch in
+      acc.Channel.sent <- acc.Channel.sent + s.Channel.sent;
+      acc.Channel.lost <- acc.Channel.lost + s.Channel.lost;
+      acc.Channel.duplicated <- acc.Channel.duplicated + s.Channel.duplicated;
+      acc.Channel.delayed <- acc.Channel.delayed + s.Channel.delayed;
+      acc.Channel.replies_sent <- acc.Channel.replies_sent + s.Channel.replies_sent;
+      acc.Channel.replies_lost <- acc.Channel.replies_lost + s.Channel.replies_lost)
+    t.channels;
+  acc
+
+let dups_suppressed t =
+  Hashtbl.fold (fun _ sw acc -> acc + sw.Sw.dups_suppressed) t.switches 0
+
+(* Switch-to-controller messages cross the same degraded channel. *)
+let queue_from_switch t sid msg =
+  if Channel.reverse (channel t sid) then queue t (From_switch (sid, msg))
 
 (* Propagate the data-plane effects of a forward_result outward from a
    switch, copy by copy, bounded by the hop limit. *)
@@ -70,7 +117,7 @@ let rec propagate t sid (fwd : Sw.forward_result) ~hops =
   List.iter
     (fun pi ->
       t.st.packet_ins <- t.st.packet_ins + 1;
-      queue t (From_switch (sid, Message.message (Message.Packet_in pi))))
+      queue_from_switch t sid (Message.message (Message.Packet_in pi)))
     fwd.punts;
   List.iter
     (fun (pkt, out_port) ->
@@ -94,15 +141,44 @@ let rec propagate t sid (fwd : Sw.forward_result) ~hops =
       | None -> t.st.blackholed <- t.st.blackholed + 1)
     fwd.transmits
 
+(* Hand one delivered copy to the switch; surviving replies cross the
+   reverse channel. *)
+let deliver t sid msg =
+  let sw = switch t sid in
+  let ch = channel t sid in
+  let replies, fwd = Sw.handle_message sw ~now:(Clock.now t.clock) msg in
+  propagate t sid fwd ~hops:0;
+  List.filter (fun _ -> Channel.reverse ch) replies
+
 let send t sid msg =
   match Hashtbl.find_opt t.switches sid with
   | None ->
       [ Message.message ~xid:msg.Message.xid
           (Message.Error (Message.Bad_request, "unknown switch")) ]
-  | Some sw ->
-      let replies, fwd = Sw.handle_message sw ~now:(Clock.now t.clock) msg in
-      propagate t sid fwd ~hops:0;
-      replies
+  | Some _ -> (
+      match Channel.forward (channel t sid) with
+      | None -> []  (* lost in transit: the caller sees silence *)
+      | Some delays ->
+          let now = Clock.now t.clock in
+          List.concat_map
+            (fun d ->
+              if d <= 0. then deliver t sid msg
+              else begin
+                t.in_flight <- (now +. d, sid, msg) :: t.in_flight;
+                []
+              end)
+            delays)
+
+(* Delayed copies whose time has come are delivered; their replies can no
+   longer return synchronously and surface as notifications instead. *)
+let process_in_flight t =
+  let now = Clock.now t.clock in
+  let due, rest = List.partition (fun (at, _, _) -> at <= now) t.in_flight in
+  t.in_flight <- rest;
+  List.iter
+    (fun (_, sid, msg) ->
+      List.iter (fun r -> queue t (From_switch (sid, r))) (deliver t sid msg))
+    (List.sort compare due)
 
 let inject t h pkt =
   match Topology.host_attachment t.topo h with
@@ -120,6 +196,7 @@ let inject t h pkt =
           end)
 
 let poll t =
+  process_in_flight t;
   let batch = List.rev t.pending in
   t.pending <- [];
   batch
@@ -130,11 +207,9 @@ let port_status_notification t sid port_no =
   | None -> ()
   | Some p ->
       if sw.up then
-        queue t
-          (From_switch
-             ( sid,
-               Message.message
-                 (Message.Port_status (Message.Port_modify, Sw.port_desc p)) ))
+        queue_from_switch t sid
+          (Message.message
+             (Message.Port_status (Message.Port_modify, Sw.port_desc p)))
 
 let set_link_state t link ~up =
   Topology.set_link link ~up;
@@ -177,13 +252,17 @@ let apply_fault t fault =
           (Topology.switch_ports t.topo sid);
         queue t (Switch_disconnected sid)
       end
+  | Channel_partition sid -> Channel.set_partitioned (channel t sid) true
+  | Channel_heal sid -> Channel.set_partitioned (channel t sid) false
+  | Channel_loss (sid, p) -> Channel.set_loss (channel t sid) p
   | Switch_up sid ->
       let sw = switch t sid in
       if not sw.up then begin
         sw.up <- true;
-        (* Reboot semantics: empty table, empty buffers. *)
+        (* Reboot semantics: empty table, empty buffers, no dedup memory. *)
         Flow_table.clear sw.table;
         Hashtbl.reset sw.buffers;
+        Sw.reset_dedup sw;
         List.iter
           (fun (_, l) ->
             (* Only links whose far end is also alive come back. *)
@@ -202,13 +281,14 @@ let apply_fault t fault =
       end
 
 let tick t =
+  process_in_flight t;
   let now = Clock.now t.clock in
   List.iter
     (fun sid ->
       let sw = switch t sid in
       if sw.up then
         List.iter
-          (fun msg -> queue t (From_switch (sid, msg)))
+          (fun msg -> queue_from_switch t sid msg)
           (Sw.expire_flows sw ~now))
     (Topology.switches t.topo)
 

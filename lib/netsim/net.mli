@@ -16,6 +16,12 @@ type fault =
       (** A switch coming back has an empty flow table — reboot semantics. *)
   | Port_down of Types.switch_id * Types.port_no
   | Port_up of Types.switch_id * Types.port_no
+  | Channel_partition of Types.switch_id
+      (** Cut the control channel silently: the switch keeps forwarding,
+          but no control messages cross in either direction. *)
+  | Channel_heal of Types.switch_id
+  | Channel_loss of Types.switch_id * float
+      (** Set the channel's symmetric loss probability (0. clears it). *)
 
 type notification =
   | From_switch of Types.switch_id * Message.t
@@ -36,9 +42,19 @@ type stats = {
 
 type t
 
-val create : ?hop_limit:int -> Clock.t -> Topology.t -> t
+val create :
+  ?hop_limit:int ->
+  ?channel:Channel.config ->
+  ?channel_seed:int ->
+  Clock.t ->
+  Topology.t ->
+  t
 (** Instantiate switches for every switch node. A [Switch_connected]
-    notification is queued per switch, modelling the initial handshake. *)
+    notification is queued per switch, modelling the initial handshake.
+    Every switch gets its own control {!Channel.t}, seeded with
+    [channel_seed + switch_id] so runs are deterministic and per-switch
+    sequences are independent. The default channel is {!Channel.perfect},
+    under which {!send} behaves exactly as a direct call would. *)
 
 val topology : t -> Topology.t
 val clock : t -> Clock.t
@@ -47,11 +63,26 @@ val switch : t -> Types.switch_id -> Sw.t
 
 val stats : t -> stats
 
+val channel : t -> Types.switch_id -> Channel.t
+(** The control channel to one switch. Raises [Not_found] for unknown
+    ids. *)
+
+val channel_totals : t -> Channel.stats
+(** Fresh record summing the stats of every switch's channel. *)
+
+val dups_suppressed : t -> int
+(** Total state-altering retransmissions suppressed by switch-side xid
+    dedup, summed over all switches. *)
+
 val send : t -> Types.switch_id -> Message.t -> Message.t list
-(** Deliver a controller-to-switch message; returns the synchronous replies.
-    Data-plane side effects (packet-outs, buffered-packet releases)
-    propagate through the network, possibly queueing notifications. Sending
-    to a disconnected switch returns a single [Error] reply. *)
+(** Deliver a controller-to-switch message through its control channel;
+    returns the synchronous replies. The channel may drop the message
+    (returns [[]]), duplicate it, or delay it — a delayed copy is
+    delivered on a later {!poll}/{!tick} and its replies surface as
+    [From_switch] notifications. Data-plane side effects (packet-outs,
+    buffered-packet releases) propagate through the network, possibly
+    queueing notifications. Sending to a disconnected switch returns a
+    single [Error] reply. *)
 
 val inject : t -> Topology.host -> Packet.t -> unit
 (** A host transmits a packet into its access switch. Effects (deliveries,

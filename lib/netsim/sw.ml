@@ -20,7 +20,14 @@ type t = {
   ports : (int, port_state) Hashtbl.t;
   buffers : (int, Packet.t * Types.port_no) Hashtbl.t;
   mutable next_buffer_id : int;
+  seen_xids : (Types.xid, unit) Hashtbl.t;
+  seen_order : Types.xid Queue.t;
+  mutable dups_suppressed : int;
 }
+
+(* Bound on the per-switch dedup window: enough to cover any plausible
+   retransmission window while keeping reboot-survivor memory small. *)
+let dedup_window = 4096
 
 let port_mac sid port_no = Types.mac_of_octets 0x0a 0x00 0x00 sid 0x00 port_no
 
@@ -49,7 +56,33 @@ let create ~id ~port_nos =
     ports;
     buffers = Hashtbl.create 8;
     next_buffer_id = 1;
+    seen_xids = Hashtbl.create 64;
+    seen_order = Queue.create ();
+    dups_suppressed = 0;
   }
+
+(* Exactly-once support for a lossy control channel: state-altering
+   messages carry unique non-zero xids, and a retransmitted xid must not
+   re-apply its effects. Returns [true] the first time an xid is seen. *)
+let register_xid t xid =
+  if xid = 0 then true
+  else if Hashtbl.mem t.seen_xids xid then begin
+    t.dups_suppressed <- t.dups_suppressed + 1;
+    false
+  end
+  else begin
+    Hashtbl.replace t.seen_xids xid ();
+    Queue.push xid t.seen_order;
+    if Queue.length t.seen_order > dedup_window then
+      Hashtbl.remove t.seen_xids (Queue.pop t.seen_order);
+    true
+  end
+
+let reset_dedup t =
+  Hashtbl.reset t.seen_xids;
+  Queue.clear t.seen_order
+
+let has_seen_xid t xid = Hashtbl.mem t.seen_xids xid
 
 let port t n = Hashtbl.find_opt t.ports n
 
@@ -224,6 +257,11 @@ let handle_message t ~now (msg : Message.t) =
   if not t.up then
     ([ reply (Message.Error (Message.Bad_request, "switch is down")) ],
      empty_forward)
+  else if Message.is_state_altering msg.payload && not (register_xid t msg.xid)
+  then
+    (* Retransmit of an already-applied message: idempotent, no effects.
+       A barrier request that follows is still answered normally. *)
+    ([], empty_forward)
   else
     match msg.payload with
     | Hello -> ([ reply Message.Hello ], empty_forward)

@@ -25,10 +25,27 @@ type t = {
   ports : (int, port_state) Hashtbl.t;
   buffers : (int, Packet.t * Types.port_no) Hashtbl.t;
   mutable next_buffer_id : int;
+  seen_xids : (Types.xid, unit) Hashtbl.t;
+      (** Dedup window for state-altering messages (bounded). *)
+  seen_order : Types.xid Queue.t;
+  mutable dups_suppressed : int;
+      (** Retransmitted state-altering messages whose effects were
+          suppressed by the dedup window. *)
 }
 
 val create : id:Types.switch_id -> port_nos:Types.port_no list -> t
 (** A switch with the given wired ports, all initially up. *)
+
+val reset_dedup : t -> unit
+(** Forget the xid dedup window (reboot semantics: a rebooted switch has
+    no memory of what it applied). *)
+
+val has_seen_xid : t -> Types.xid -> bool
+(** Whether a state-altering message with this xid has been processed
+    (and is still inside the dedup window). A barrier reply means "I
+    processed everything you delivered before it"; this is the per-xid
+    receive record that lets a controller turn that into a selective
+    acknowledgement. *)
 
 val port : t -> Types.port_no -> port_state option
 val port_list : t -> port_state list

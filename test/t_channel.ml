@@ -1,0 +1,172 @@
+(* The control-channel fault model: seeded determinism, loss/duplication/
+   delay/partition behaviour, and its wiring into Net.send. *)
+
+open Openflow
+open Netsim
+
+let flow_msg ?(xid = 7) () =
+  Message.message ~xid
+    (Message.Flow_mod (Message.flow_add Ofp_match.any [ Action.Output 2 ]))
+
+let test_perfect_channel_is_transparent () =
+  let ch = Channel.create ~seed:1 () in
+  for _ = 1 to 100 do
+    (match Channel.forward ch with
+    | Some [ 0. ] -> ()
+    | _ -> Alcotest.fail "perfect channel must deliver one immediate copy");
+    T_util.checkb "reply passes" true (Channel.reverse ch)
+  done;
+  let st = Channel.stats ch in
+  T_util.checki "all sent" 100 st.Channel.sent;
+  T_util.checki "none lost" 0 st.Channel.lost
+
+let test_same_seed_same_sequence () =
+  let cfg = { (Channel.lossy 0.3) with Channel.duplicate = 0.2 } in
+  let a = Channel.create ~config:cfg ~seed:42 () in
+  let b = Channel.create ~config:cfg ~seed:42 () in
+  for _ = 1 to 500 do
+    T_util.checkb "forward verdicts agree" true
+      (Channel.forward a = Channel.forward b);
+    T_util.checkb "reverse verdicts agree" true
+      (Channel.reverse a = Channel.reverse b)
+  done;
+  (* A different seed diverges somewhere in 500 draws. *)
+  let c = Channel.create ~config:cfg ~seed:43 () in
+  let d = Channel.create ~config:cfg ~seed:42 () in
+  let diverged = ref false in
+  for _ = 1 to 500 do
+    if Channel.forward c <> Channel.forward d then diverged := true
+  done;
+  T_util.checkb "different seed diverges" true !diverged
+
+let test_loss_extremes () =
+  let total = Channel.create ~config:(Channel.lossy 1.0) ~seed:3 () in
+  for _ = 1 to 50 do
+    T_util.checkb "loss 1.0 drops everything" true (Channel.forward total = None);
+    T_util.checkb "loss 1.0 drops replies" false (Channel.reverse total)
+  done;
+  let none = Channel.create ~config:(Channel.lossy 0.) ~seed:3 () in
+  for _ = 1 to 50 do
+    T_util.checkb "loss 0 delivers everything" true (Channel.forward none <> None)
+  done
+
+let test_partition_and_heal () =
+  let ch = Channel.create ~seed:9 () in
+  Channel.set_partitioned ch true;
+  T_util.checkb "partitioned forward drops" true (Channel.forward ch = None);
+  T_util.checkb "partitioned reverse drops" false (Channel.reverse ch);
+  Channel.set_partitioned ch false;
+  T_util.checkb "healed forward passes" true (Channel.forward ch <> None);
+  T_util.checkb "healed reverse passes" true (Channel.reverse ch);
+  let st = Channel.stats ch in
+  T_util.checki "loss counted" 1 st.Channel.lost;
+  T_util.checki "reply loss counted" 1 st.Channel.replies_lost
+
+let test_duplication_and_delay () =
+  let dup =
+    Channel.create ~config:{ Channel.perfect with Channel.duplicate = 1.0 }
+      ~seed:5 ()
+  in
+  (match Channel.forward dup with
+  | Some [ _; _ ] -> ()
+  | _ -> Alcotest.fail "duplicate 1.0 must deliver two copies");
+  T_util.checki "duplication counted" 1 (Channel.stats dup).Channel.duplicated;
+  let slow =
+    Channel.create
+      ~config:{ Channel.perfect with Channel.delay = Channel.Fixed 0.25 }
+      ~seed:5 ()
+  in
+  (match Channel.forward slow with
+  | Some [ d ] -> Alcotest.(check (float 1e-9)) "fixed delay" 0.25 d
+  | _ -> Alcotest.fail "one delayed copy expected");
+  T_util.checki "delay counted" 1 (Channel.stats slow).Channel.delayed
+
+(* Probability zero must not consume a random draw: perturbing one channel
+   cannot shift another's sequence, and a perfect channel stays on the
+   seed's behaviour byte for byte. *)
+let test_zero_probability_draws_nothing () =
+  let a = Channel.create ~config:(Channel.lossy 0.5) ~seed:11 () in
+  let b = Channel.create ~config:(Channel.lossy 0.5) ~seed:11 () in
+  (* Interleave no-op perfect sends into [b]'s life via a config flip. *)
+  let verdicts ch flips =
+    List.map
+      (fun flip ->
+        if flip then begin
+          Channel.set_loss ch 0.;
+          ignore (Channel.forward ch);
+          Channel.set_loss ch 0.5
+        end;
+        Channel.forward ch <> None)
+      flips
+  in
+  let pattern = [ false; false; false; false; false; false ] in
+  let with_noise = [ true; false; true; false; true; false ] in
+  T_util.checkb "zero-probability sends leave the sequence alone" true
+    (verdicts a pattern = verdicts b with_noise)
+
+let test_net_send_through_lossy_channel_is_deterministic () =
+  let run () =
+    let clock = Clock.create () in
+    let net =
+      Net.create ~channel:(Channel.lossy 0.4) ~channel_seed:21 clock
+        (Topo_gen.linear ~hosts_per_switch:1 2)
+    in
+    ignore (Net.poll net);
+    let outcomes = ref [] in
+    for xid = 1 to 40 do
+      let replies =
+        Net.send net 1
+          (Message.message ~xid (Message.Echo_request (Bytes.of_string "p")))
+      in
+      outcomes := (replies <> []) :: !outcomes
+    done;
+    (!outcomes, (Net.channel_totals net).Channel.lost)
+  in
+  let a = run () and b = run () in
+  T_util.checkb "identical runs" true (a = b);
+  T_util.checkb "some loss at 40%" true (snd a > 0)
+
+let test_net_delayed_delivery () =
+  let clock = Clock.create () in
+  let net =
+    Net.create
+      ~channel:{ Channel.perfect with Channel.delay = Channel.Fixed 0.5 }
+      clock
+      (Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  ignore (Net.poll net);
+  let replies = Net.send net 1 (flow_msg ()) in
+  T_util.checkb "no synchronous effect" true (replies = []);
+  T_util.checki "rule not yet installed" 0 (Flow_table.size (Net.switch net 1).Sw.table);
+  Clock.advance_by clock 0.6;
+  ignore (Net.poll net);
+  T_util.checki "rule installed after the delay" 1
+    (Flow_table.size (Net.switch net 1).Sw.table)
+
+let test_per_switch_channels_independent () =
+  let clock = Clock.create () in
+  let net =
+    Net.create ~channel_seed:2 clock (Topo_gen.linear ~hosts_per_switch:1 2)
+  in
+  ignore (Net.poll net);
+  Channel.set_loss (Net.channel net 1) 1.0;
+  T_util.checkb "switch 1 unreachable" true (Net.send net 1 (flow_msg ()) = []);
+  T_util.checkb "switch 2 still fine" true
+    (Net.send net 2 (Message.message ~xid:8 Message.Barrier_request) <> [])
+
+let suite =
+  [
+    Alcotest.test_case "perfect channel is transparent" `Quick
+      test_perfect_channel_is_transparent;
+    Alcotest.test_case "same seed, same sequence" `Quick test_same_seed_same_sequence;
+    Alcotest.test_case "loss extremes" `Quick test_loss_extremes;
+    Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+    Alcotest.test_case "duplication and delay" `Quick test_duplication_and_delay;
+    Alcotest.test_case "zero probability draws nothing" `Quick
+      test_zero_probability_draws_nothing;
+    Alcotest.test_case "lossy Net.send deterministic" `Quick
+      test_net_send_through_lossy_channel_is_deterministic;
+    Alcotest.test_case "delayed delivery" `Quick test_net_delayed_delivery;
+    Alcotest.test_case "per-switch channels independent" `Quick
+      test_per_switch_channels_independent;
+  ]

@@ -100,6 +100,7 @@ let config_equiv (a : Runtime.config) (b : Runtime.config) =
      = b.Runtime.crashpad.Crashpad.invariants
   && a.Runtime.crashpad.Crashpad.timing = b.Runtime.crashpad.Crashpad.timing
   && a.Runtime.crashpad.Crashpad.limits = b.Runtime.crashpad.Crashpad.limits
+  && a.Runtime.reliable = b.Runtime.reliable
   && Option.map Quarantine.threshold a.Runtime.crashpad.Crashpad.quarantine
      = Option.map Quarantine.threshold b.Runtime.crashpad.Crashpad.quarantine
 
@@ -143,10 +144,18 @@ let config_gen =
     in
     let* rules = list_size (int_bound 4) rule in
     let* default = compromise in
+    let* rel_enabled = bool in
+    let* rel_retries = int_range 0 16 in
     return
       {
         Runtime.checkpoint_every = k;
         engine;
+        reliable =
+          {
+            Legosdn.Reliable.enabled = rel_enabled;
+            base_timeout = 0.05;
+            max_retries = rel_retries;
+          };
         crashpad =
           {
             Crashpad.policy = Policy.make ~default rules;

@@ -5,7 +5,10 @@ let pkt = Packet.tcp ~src_host:1 ~dst_host:2 ()
 
 let fresh () = Sw.create ~id:1 ~port_nos:[ 1; 2; 3 ]
 
-let send sw payload = Sw.handle_message sw ~now:0. (Message.message ~xid:5 payload)
+(* Distinct requests need distinct xids now that switches dedup
+   state-altering messages by xid (retransmission suppression). *)
+let send ?(xid = 5) sw payload =
+  Sw.handle_message sw ~now:0. (Message.message ~xid payload)
 
 let test_miss_buffers_and_punts () =
   let sw = fresh () in
@@ -100,9 +103,10 @@ let test_packet_out_releases_buffer () =
   T_util.checkb "no replies" true (replies = []);
   Alcotest.(check (list int)) "buffered packet sent" [ 3 ]
     (List.map snd fwd2.Sw.transmits);
-  (* Second release of the same buffer must fail: the buffer is gone. *)
+  (* Second release of the same buffer must fail: the buffer is gone. A
+     fresh xid marks this as a new request, not a retransmission. *)
   let replies2, fwd3 =
-    send sw
+    send ~xid:6 sw
       (Message.Packet_out
          {
            po_buffer_id = Some buffer_id;
@@ -154,7 +158,7 @@ let test_flow_stats_filtering () =
        (Message.Flow_mod
           (Message.flow_add (Ofp_match.make ~tp_dst:80 ()) [ Action.Output 1 ])));
   ignore
-    (send sw
+    (send ~xid:6 sw
        (Message.Flow_mod
           (Message.flow_add (Ofp_match.make ~tp_dst:443 ()) [ Action.Output 2 ])));
   match
@@ -175,7 +179,8 @@ let test_delete_notifies () =
              (Ofp_match.make ~tp_dst:80 ())
              [ Action.Output 1 ])));
   match
-    send sw (Message.Flow_mod (Message.flow_delete (Ofp_match.make ~tp_dst:80 ())))
+    send ~xid:6 sw
+      (Message.Flow_mod (Message.flow_delete (Ofp_match.make ~tp_dst:80 ())))
   with
   | [ { Message.payload = Message.Flow_removed fr; _ } ], _ ->
       T_util.checkb "delete reason" true (fr.Message.fr_reason = Message.Removed_delete)
