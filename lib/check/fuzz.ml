@@ -1,0 +1,105 @@
+(* The fuzz campaign: generate a scenario per seed, run it under the
+   oracle suite, and delta-debug any failure down to a minimal element
+   list with the existing Sts machinery. Because elements are resolved
+   modulo the sets they index, every sublist Sts proposes is a valid
+   scenario — the shrink oracle is simply "does the same oracle still
+   fail". *)
+
+module Sts = Legosdn.Sts
+
+(* Deliberate defect injection for validating the fuzzer itself: the
+   campaign must find a planted bug, not just pass vacuously.
+   [No_retransmit] pushes the retransmission timer out to never-fires —
+   spec-level, so the emitted reproducer is self-contained and replays the
+   broken configuration byte-for-byte. *)
+type plant = No_plant | No_retransmit
+
+let plant_name = function
+  | No_plant -> "none"
+  | No_retransmit -> "no-retransmit"
+
+let plant_of_name = function
+  | "none" -> Some No_plant
+  | "no-retransmit" -> Some No_retransmit
+  | _ -> None
+
+let apply_plant plant spec =
+  match plant with
+  | No_plant -> spec
+  | No_retransmit -> { spec with Spec.base_timeout = 1.0e9 }
+
+type finding = {
+  seed : int;
+  oracle : string;
+  detail : string;
+  minimal : Spec.element list;
+  shrink_runs : int;  (* scenario executions the minimization cost *)
+  minimized : Spec.t;
+  result : Runner.result;  (* the minimized spec's failing run *)
+}
+
+let shrink ?oracles spec (failure : Runner.failure) =
+  let failing elements =
+    match (Runner.run ?oracles { spec with Spec.elements = elements }).Runner.failure with
+    | Some f -> f.Runner.oracle = failure.Runner.oracle
+    | None -> false
+  in
+  Sts.minimize_with_oracle failing spec.Spec.elements
+
+(* Run one seed; on failure, minimize and re-run the minimized spec so the
+   finding carries the trace that belongs to the reproducer. *)
+let run_seed ?oracles ?(plant = No_plant) seed =
+  let spec = apply_plant plant (Gen.scenario seed) in
+  let r = Runner.run ?oracles spec in
+  match r.Runner.failure with
+  | None -> None
+  | Some f ->
+      let minimal, shrink_runs = shrink ?oracles spec f in
+      let minimized = { spec with Spec.elements = minimal } in
+      let result = Runner.run ?oracles minimized in
+      let oracle, detail =
+        (* The minimized run must fail the same oracle (the shrink oracle
+           guaranteed it); keep its detail, which describes the minimal
+           scenario rather than the original one. *)
+        match result.Runner.failure with
+        | Some f' -> (f'.Runner.oracle, f'.Runner.detail)
+        | None -> (f.Runner.oracle, f.Runner.detail)
+      in
+      Some { seed; oracle; detail; minimal; shrink_runs; minimized; result }
+
+let reproducer_of (f : finding) =
+  {
+    Repro.spec = f.minimized;
+    oracle = f.oracle;
+    detail = f.detail;
+    trace = f.result.Runner.trace;
+  }
+
+type campaign_result = {
+  seeds_run : int;
+  findings : finding list;  (* in seed order *)
+}
+
+(* [on_finding] fires as findings surface (the CLI streams them);
+   [max_findings] bounds the minimization work, not the scan. *)
+let campaign ?oracles ?(plant = No_plant) ?max_findings
+    ?(on_finding = fun (_ : finding) -> ()) seeds =
+  let findings = ref [] in
+  let ran = ref 0 in
+  let budget_left () =
+    match max_findings with
+    | None -> true
+    | Some k -> List.length !findings < k
+  in
+  List.iter
+    (fun seed ->
+      if budget_left () then begin
+        incr ran;
+        match run_seed ?oracles ~plant seed with
+        | None -> ()
+        | Some f ->
+            findings := f :: !findings;
+            on_finding f
+      end)
+    seeds;
+  { seeds_run = !ran; findings = List.rev !findings }

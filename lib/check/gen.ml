@@ -1,0 +1,116 @@
+(* Seeded scenario generation. One integer seed determines the whole
+   scenario; together with the simulator's virtual clock this makes every
+   fuzz iteration reproducible bit-for-bit. The menus are deliberately
+   conservative: every generated scenario must be one the oracles hold
+   for, so e.g. cyclic topologies (where flooding apps legitimately loop)
+   are left to hand-written specs rather than drawn here. *)
+
+module Policy = Legosdn.Policy
+
+(* Distinct stream from every other seeded component in the repo
+   (Topo_gen.jellyfish, Traffic.uniform_pairs, Channel) so a fuzz seed
+   does not accidentally correlate with a channel seed. *)
+let rng_of_seed seed = Random.State.make [| 0xF0221; seed |]
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let float_in rng lo hi = lo +. Random.State.float rng (hi -. lo)
+
+let int_in rng lo hi = lo + Random.State.int rng (hi - lo + 1)
+
+let topos = [| Spec.Linear 2; Spec.Linear 3; Spec.Linear 4; Spec.Star 2;
+               Spec.Star 3; Spec.Star 4; Spec.Tree { depth = 2; fanout = 2 } |]
+
+(* learning_switch always runs: it is what turns traffic into flow-mods,
+   which is what the convergence and atomicity oracles feed on. *)
+let app_menus =
+  [|
+    [ "learning_switch" ];
+    [ "learning_switch"; "monitor" ];
+    [ "learning_switch"; "firewall" ];
+    [ "learning_switch"; "monitor"; "firewall" ];
+  |]
+
+let gen_element rng ~duration =
+  let roll = Random.State.int rng 100 in
+  if roll < 50 then
+    Spec.Flow
+      {
+        src = Random.State.int rng 1000;
+        dst = Random.State.int rng 1000;
+        start = float_in rng 0.5 (duration -. 1.5);
+        packets = int_in rng 1 3;
+        dport = pick rng [| 80; 8080; 1234 |];
+      }
+  else if roll < 62 then
+    Spec.Link_flap
+      {
+        link = Random.State.int rng 1000;
+        down_at = float_in rng 1.0 (duration -. 2.0);
+        downtime = float_in rng 0.5 2.0;
+      }
+  else if roll < 72 then
+    Spec.Switch_reboot
+      {
+        sw = Random.State.int rng 1000;
+        down_at = float_in rng 1.0 (duration -. 2.0);
+        downtime = float_in rng 0.5 2.0;
+      }
+  else if roll < 82 then
+    Spec.Partition
+      {
+        sw = Random.State.int rng 1000;
+        start = float_in rng 1.0 (duration -. 2.0);
+        duration = float_in rng 0.5 2.0;
+      }
+  else if roll < 92 then
+    Spec.Loss_burst
+      {
+        sw = Random.State.int rng 1000;
+        loss = float_in rng 0.5 0.9;
+        start = float_in rng 1.0 (duration -. 2.0);
+        duration = float_in rng 0.5 2.0;
+      }
+  else
+    Spec.Inject_bug
+      { slot = Random.State.int rng 8; bug = Random.State.int rng 1000 }
+
+let scenario seed =
+  let rng = rng_of_seed seed in
+  let topo = pick rng topos in
+  let apps = pick rng app_menus in
+  let base_loss =
+    if Random.State.int rng 100 < 40 then 0. else float_in rng 0.05 0.3
+  in
+  let duplicate = if Random.State.int rng 100 < 70 then 0. else 0.1 in
+  let delay = if Random.State.int rng 100 < 80 then 0. else 0.02 in
+  (* Only the reliable layer can mask channel loss; an unreliable run over
+     a lossy channel is still a valid scenario (the convergence and
+     atomicity oracles simply do not apply to it). *)
+  let reliable = Random.State.int rng 100 < 80 in
+  let max_retries = int_in rng 4 8 in
+  let checkpoint_every = pick rng [| 1; 2; 5 |] in
+  let policy =
+    let r = Random.State.int rng 100 in
+    if r < 60 then Policy.Equivalence
+    else if r < 85 then Policy.Absolute
+    else Policy.No_compromise
+  in
+  let duration = float_in rng 8.0 16.0 in
+  let n_elements = int_in rng 3 10 in
+  let elements = List.init n_elements (fun _ -> gen_element rng ~duration) in
+  {
+    Spec.seed;
+    topo;
+    apps;
+    base_loss;
+    duplicate;
+    delay;
+    reliable;
+    base_timeout = 0.05;
+    max_retries;
+    checkpoint_every;
+    policy;
+    duration;
+    elements;
+  }

@@ -1,0 +1,212 @@
+(* The oracle suite: properties the whole system must satisfy at quiescent
+   points of a scenario run. [Mid] checks run after every scheduled action
+   (faults may still be active, channels lossy); [Final] checks run once
+   the runner has healed every channel and switch and let the recovery
+   machinery settle, so they can demand full convergence. *)
+
+module Net = Netsim.Net
+module Topology = Netsim.Topology
+module Checker = Invariants.Checker
+module Snapshot = Invariants.Snapshot
+module Runtime = Legosdn.Runtime
+module Reliable = Legosdn.Reliable
+module Metrics = Legosdn.Metrics
+module Policy = Legosdn.Policy
+module Sandbox = Legosdn.Sandbox
+
+type phase = Mid | Final
+
+type ctx = {
+  spec : Spec.t;
+  rt : Runtime.t;
+  net : Net.t;
+  phase : phase;
+  elapsed : float;  (* virtual seconds since the run started *)
+}
+
+type verdict = Pass | Fail of string
+
+type t = { name : string; check : ctx -> verdict }
+
+let failf fmt = Format.ksprintf (fun s -> Fail s) fmt
+
+(* (a) Data-plane invariants. Loop freedom and the absence of match-all
+   drop rules must hold at every quiescent point: the generator only draws
+   acyclic topologies and byzantine output is screened before commit, so
+   not even an injected bug may break them. Black-hole freedom is only
+   demanded at the end of a clean (traffic-only) run — a mid-run link
+   flap legitimately strands rules that point at a dead port. *)
+let invariants =
+  {
+    name = "invariants";
+    check =
+      (fun ctx ->
+        let invs =
+          match ctx.phase with
+          | Mid -> [ Checker.Loop_freedom; Checker.No_drop_all ]
+          | Final ->
+              if Spec.is_clean ctx.spec then
+                [
+                  Checker.Loop_freedom;
+                  Checker.No_drop_all;
+                  Checker.Black_hole_freedom;
+                ]
+              else [ Checker.Loop_freedom; Checker.No_drop_all ]
+        in
+        match Checker.check ~invariants:invs (Snapshot.of_net ctx.net) with
+        | [] -> Pass
+        | v :: _ as all ->
+            Fail
+              (Format.asprintf "%d violation(s), first: %a" (List.length all)
+                 Checker.pp_violation v));
+  }
+
+(* (b) Shadow intent vs. actual flow tables. Once every channel is healed
+   and retransmission has settled, the reliable layer's intent tables and
+   the switches' real tables must agree rule-for-rule — this is the
+   end-to-end correctness claim of [Reliable]. *)
+let convergence =
+  {
+    name = "convergence";
+    check =
+      (fun ctx ->
+        match (ctx.phase, Runtime.reliable ctx.rt) with
+        | Mid, _ | _, None -> Pass
+        | Final, Some rel ->
+            if not (Reliable.config rel).Reliable.enabled then Pass
+            else
+              let d = Reliable.divergence rel in
+              if d = 0 then Pass
+              else failf "%d rule(s) differ between shadow intent and switches" d);
+  }
+
+(* (c) Transaction atomicity under loss. Every message NetLog emitted —
+   forward operations and rollback compensations alike — must have been
+   delivered and barrier-acked by the end of a healed run: nothing may
+   stay half-committed in the retransmission queue, and no switch may
+   still be written off as unreachable. *)
+let atomicity =
+  {
+    name = "atomicity";
+    check =
+      (fun ctx ->
+        match (ctx.phase, Runtime.reliable ctx.rt) with
+        | Mid, _ | _, None -> Pass
+        | Final, Some rel ->
+            if not (Reliable.config rel).Reliable.enabled then Pass
+            else begin
+              let pending = Reliable.pending_count rel in
+              let degraded =
+                List.filter
+                  (Reliable.is_degraded rel)
+                  (Topology.switches (Net.topology ctx.net))
+              in
+              if pending > 0 then
+                failf "%d un-acked message(s) after heal+settle" pending
+              else
+                match degraded with
+                | [] -> Pass
+                | sids ->
+                    failf "switch(es) still degraded after heal: %s"
+                      (String.concat ","
+                         (List.map string_of_int sids))
+            end);
+  }
+
+(* (d) Metrics self-consistency. Availability is a ratio; downtime can
+   only come from detection delays (bounded by the hang timeout per
+   failure) plus real disabled time (bounded by the elapsed clock); every
+   policy resolution corresponds to a detected failure; and Crashpad files
+   exactly one ticket per resolution or resource breach. *)
+let metrics =
+  {
+    name = "metrics";
+    check =
+      (fun ctx ->
+        let m = Runtime.metrics ctx.rt in
+        let failures =
+          Metrics.crashes m + Metrics.hangs m + Metrics.byzantine_blocked m
+          + Metrics.unreachable m
+        in
+        let resolutions =
+          Metrics.ignored m + Metrics.transformed m + Metrics.disabled m
+        in
+        let max_detection = 0.5 (* > heartbeat_interval * heartbeat_misses *) in
+        let bad_app =
+          List.find_map
+            (fun app ->
+              let avail = Metrics.availability m ~app ~until:ctx.elapsed in
+              let down = Metrics.app_downtime m ~app ~until:ctx.elapsed in
+              let bound =
+                ctx.elapsed
+                +. (float (Metrics.crashes m + Metrics.hangs m)
+                   *. max_detection)
+                +. 1e-9
+              in
+              if avail < 0. || avail > 1. then
+                Some
+                  (Printf.sprintf "availability(%s)=%f out of [0,1]" app avail)
+              else if down > bound then
+                Some
+                  (Printf.sprintf "downtime(%s)=%.3f exceeds bound %.3f" app
+                     down bound)
+              else None)
+            ctx.spec.Spec.apps
+        in
+        match bad_app with
+        | Some msg -> Fail msg
+        | None ->
+            if resolutions > failures then
+              failf "%d resolutions for only %d detected failures" resolutions
+                failures
+            else
+              let tickets = List.length (Runtime.tickets ctx.rt) in
+              let expected = resolutions + Metrics.resource_breaches m in
+              if tickets <> expected then
+                failf "%d tickets filed but %d resolutions+breaches" tickets
+                  expected
+              else Pass);
+  }
+
+(* (e) The controller outlives every app failure. An exception escaping
+   Runtime.step/tick is converted into a failure by the runner before the
+   oracles run; here we additionally demand that under any policy other
+   than No_compromise, no sandbox ended up disabled — Crashpad must have
+   absorbed the failure without giving the app up. *)
+let controller_survives =
+  {
+    name = "controller-survives";
+    check =
+      (fun ctx ->
+        if ctx.spec.Spec.policy = Policy.No_compromise then Pass
+        else
+          match
+            List.filter
+              (fun b -> not (Sandbox.alive b))
+              (Runtime.sandboxes ctx.rt)
+          with
+          | [] -> Pass
+          | dead ->
+              failf "sandbox(es) dead under %s policy: %s"
+                (Policy.compromise_name ctx.spec.Spec.policy)
+                (String.concat "," (List.map Sandbox.name dead)));
+  }
+
+let all = [ invariants; convergence; atomicity; metrics; controller_survives ]
+
+let names = List.map (fun o -> o.name) all
+
+let find name = List.find_opt (fun o -> o.name = name) all
+
+(* Select a subset by name; unknown names are an error so a typo in
+   --oracles does not silently run nothing. *)
+let select names =
+  List.map
+    (fun n ->
+      match find n with
+      | Some o -> o
+      | None ->
+          invalid_arg
+            (Printf.sprintf "unknown oracle %S (known: %s)" n
+               (String.concat ", " (List.map (fun o -> o.name) all))))
+    names

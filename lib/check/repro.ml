@@ -1,0 +1,82 @@
+(* Durable reproducers for failing seeds. A reproducer file bundles the
+   (minimized) scenario spec, which oracle failed and why, and the exact
+   event trace of the failing run in Trace_io's wire format — so a
+   reproducer is both replayable (re-run the spec, expect the same oracle
+   to fail) and auditable (the recorded trace can be inspected or diffed
+   byte-for-byte against the replay without re-deriving anything). *)
+
+open Openflow
+module Trace_io = Workload.Trace_io
+module Event = Controller.Event
+
+let magic = "LSDNREP1"
+
+type t = {
+  spec : Spec.t;
+  oracle : string;
+  detail : string;
+  trace : Event.t list;
+}
+
+let put_block w b =
+  Buf.u32 w (Bytes.length b);
+  Buf.raw w b
+
+let get_block r =
+  let n = Buf.read_u32 r in
+  Buf.read_raw r n
+
+let encode t =
+  let w = Buf.writer ~capacity:1024 () in
+  Buf.raw w (Bytes.of_string magic);
+  Spec.encode_into w t.spec;
+  Spec.put_string w t.oracle;
+  Spec.put_string w t.detail;
+  put_block w (Trace_io.encode t.trace);
+  Buf.contents w
+
+let decode b =
+  let r = Buf.reader b in
+  let m = Bytes.to_string (Buf.read_raw r (String.length magic)) in
+  if m <> magic then
+    raise (Spec.Decode_error (Printf.sprintf "bad reproducer magic %S" m));
+  let spec = Spec.decode_from r in
+  let oracle = Spec.get_string r in
+  let detail = Spec.get_string r in
+  let trace = Trace_io.decode (get_block r) in
+  { spec; oracle; detail; trace }
+
+let save path t =
+  let oc = open_out_bin path in
+  output_bytes oc (encode t);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  decode b
+
+type replay_result = {
+  reproduced : bool;  (* the recorded oracle failed again *)
+  same_trace : bool;  (* replay's event stream is byte-identical *)
+  outcome : Runner.result;
+}
+
+(* Replay is a fresh run of the embedded spec: determinism means the same
+   oracle must fail and the dispatched event stream must re-encode to the
+   same bytes as the recorded one. *)
+let replay ?oracles t =
+  let outcome = Runner.run ?oracles t.spec in
+  let reproduced =
+    match outcome.Runner.failure with
+    | Some f -> f.Runner.oracle = t.oracle
+    | None -> false
+  in
+  let same_trace =
+    Bytes.equal (Trace_io.encode outcome.Runner.trace)
+      (Trace_io.encode t.trace)
+  in
+  { reproduced; same_trace; outcome }

@@ -1,0 +1,307 @@
+(* Execute one scenario spec under the full LegoSDN runtime and evaluate
+   the oracle suite at every quiescent point. The run has two phases: the
+   scheduled phase replays the spec's elements on the virtual clock with
+   Mid-phase oracles after every action, then the heal phase restores
+   every channel, link and switch and lets the recovery machinery settle
+   (long enough for the deepest retransmission backoff and the degraded
+   probe interval) before the Final-phase oracles demand convergence. *)
+
+module Net = Netsim.Net
+module Clock = Netsim.Clock
+module Channel = Netsim.Channel
+module Topology = Netsim.Topology
+module Topo_gen = Netsim.Topo_gen
+module Sw = Netsim.Sw
+module Event_queue = Netsim.Event_queue
+module Event = Controller.Event
+module Runtime = Legosdn.Runtime
+module Crashpad = Legosdn.Crashpad
+module Reliable = Legosdn.Reliable
+module Policy = Legosdn.Policy
+module Traffic = Workload.Traffic
+module Bug_corpus = Workload.Bug_corpus
+
+type failure = { oracle : string; detail : string; at : float }
+
+type result = {
+  spec : Spec.t;
+  failure : failure option;
+  trace : Event.t list;  (* every event dispatched to the sandboxes *)
+  checks : int;  (* individual oracle evaluations performed *)
+  events_dispatched : int;
+}
+
+let build_topology = function
+  | Spec.Linear n -> Topo_gen.linear ~hosts_per_switch:1 (max 1 n)
+  | Spec.Star n -> Topo_gen.star ~hosts_per_switch:1 (max 1 n)
+  | Spec.Tree { depth; fanout } ->
+      Topo_gen.tree ~hosts_per_leaf:1 ~depth:(max 0 depth)
+        ~fanout:(max 1 fanout) ()
+  | Spec.Ring n -> Topo_gen.ring ~hosts_per_switch:1 (max 3 n)
+
+(* Index resolution: every element reference is taken modulo the size of
+   the set it names, so shrinking (or hand-editing) a spec can never
+   produce a dangling reference. *)
+let resolve idx lst =
+  match lst with
+  | [] -> None
+  | _ -> Some (List.nth lst (idx mod List.length lst))
+
+let executable_bugs = Bug_corpus.executable_bugs Bug_corpus.flowscale_like
+
+let resolve_apps spec =
+  let base =
+    List.map
+      (fun name ->
+        match Apps.Suite.find name with
+        | Some m -> m
+        | None -> invalid_arg (Printf.sprintf "unknown app %S in spec" name))
+      spec.Spec.apps
+  in
+  let n = List.length base in
+  if n = 0 then invalid_arg "spec has no apps";
+  let wrapped = Array.of_list base in
+  List.iter
+    (function
+      | Spec.Inject_bug { slot; bug } -> (
+          match resolve bug executable_bugs with
+          | None -> ()
+          | Some b ->
+              let i = slot mod n in
+              wrapped.(i) <- Apps.Faulty.wrap ~bug:b wrapped.(i))
+      | _ -> ())
+    spec.Spec.elements;
+  Array.to_list wrapped
+
+type action = Inject of Traffic.injection | Fault of Net.fault | Do_tick
+
+let schedule_of spec topo =
+  let hosts = Topology.hosts topo in
+  let switches = Topology.switches topo in
+  let links = Workload.Failure_schedule.inter_switch_links topo in
+  let queue = Event_queue.create () in
+  let push_fault at f = Event_queue.push queue ~time:at (Fault f) in
+  let ends (l : Topology.link) =
+    match (l.a.node, l.b.node) with
+    | Topology.Switch a, Topology.Switch b -> (Topology.Switch a, Topology.Switch b)
+    | _ -> assert false (* inter_switch_links filtered already *)
+  in
+  List.iter
+    (function
+      | Spec.Flow { src; dst; start; packets; dport } -> (
+          match (resolve src hosts, hosts) with
+          | None, _ | _, [] -> ()
+          | Some src_host, _ ->
+              let n = List.length hosts in
+              if n >= 2 then begin
+                let dst_host =
+                  let d = List.nth hosts (dst mod n) in
+                  if d = src_host then List.nth hosts ((dst + 1) mod n) else d
+                in
+                List.iter
+                  (fun (inj : Traffic.injection) ->
+                    Event_queue.push queue ~time:inj.at (Inject inj))
+                  (Traffic.flow_injections
+                     {
+                       Traffic.src_host;
+                       dst_host;
+                       start;
+                       packets;
+                       interval = 0.05;
+                       dport;
+                     })
+              end)
+      | Spec.Link_flap { link; down_at; downtime } -> (
+          match resolve link links with
+          | None -> ()
+          | Some l ->
+              let a, b = ends l in
+              push_fault down_at (Net.Link_down (a, b));
+              push_fault (down_at +. downtime) (Net.Link_up (a, b)))
+      | Spec.Switch_reboot { sw; down_at; downtime } -> (
+          match resolve sw switches with
+          | None -> ()
+          | Some sid ->
+              push_fault down_at (Net.Switch_down sid);
+              push_fault (down_at +. downtime) (Net.Switch_up sid))
+      | Spec.Partition { sw; start; duration } -> (
+          match resolve sw switches with
+          | None -> ()
+          | Some sid ->
+              push_fault start (Net.Channel_partition sid);
+              push_fault (start +. duration) (Net.Channel_heal sid))
+      | Spec.Loss_burst { sw; loss; start; duration } -> (
+          match resolve sw switches with
+          | None -> ()
+          | Some sid ->
+              push_fault start (Net.Channel_loss (sid, loss));
+              (* Restore the scenario's ambient loss, not a perfect
+                 channel: the burst is an excursion, not a heal. *)
+              push_fault (start +. duration)
+                (Net.Channel_loss (sid, spec.Spec.base_loss)))
+      | Spec.Inject_bug _ -> () (* consumed by resolve_apps *))
+    spec.Spec.elements;
+  let rec ticks t =
+    if t < spec.Spec.duration then begin
+      Event_queue.push queue ~time:t Do_tick;
+      ticks (t +. 0.5)
+    end
+  in
+  ticks 0.5;
+  queue
+
+(* The settle phase after healing must outlast the worst-case recovery
+   lag: the deepest retransmission backoff (base_timeout * 2^max_retries)
+   plus one degraded-probe interval. Capped at 30 virtual seconds so a
+   pathological timer configuration (e.g. the no-retransmit plant) cannot
+   stall the run, and so settling stays well inside the shortest app
+   idle-timeout (60s) — rules must not expire under the oracles. *)
+let settle_time spec =
+  let worst_backoff =
+    spec.Spec.base_timeout *. (2. ** float spec.Spec.max_retries)
+  in
+  Float.min 30.0
+    (Float.max 4.0 (worst_backoff +. (spec.Spec.base_timeout *. 16.)))
+
+let run ?(oracles = Oracle.all) spec =
+  let clock = Clock.create () in
+  let topo = build_topology spec.Spec.topo in
+  let channel_config =
+    {
+      Channel.loss = spec.Spec.base_loss;
+      reply_loss = spec.Spec.base_loss;
+      duplicate = spec.Spec.duplicate;
+      delay =
+        (if spec.Spec.delay > 0. then Channel.Fixed spec.Spec.delay
+         else Channel.No_delay);
+    }
+  in
+  let net =
+    Net.create ~channel:channel_config
+      ~channel_seed:((spec.Spec.seed * 131) + 17)
+      clock topo
+  in
+  let config =
+    {
+      Runtime.checkpoint_every = max 1 spec.Spec.checkpoint_every;
+      crashpad =
+        {
+          Crashpad.default_config with
+          Crashpad.policy = Policy.uniform spec.Spec.policy;
+        };
+      engine = Runtime.Netlog_engine;
+      reliable =
+        {
+          Reliable.enabled = spec.Spec.reliable;
+          base_timeout = spec.Spec.base_timeout;
+          max_retries = spec.Spec.max_retries;
+        };
+    }
+  in
+  let rt = Runtime.create ~config net (resolve_apps spec) in
+  let trace = ref [] in
+  Runtime.set_event_tap rt (fun ev -> trace := ev :: !trace);
+  let failure = ref None in
+  let checks = ref 0 in
+  let fail ~oracle detail =
+    if !failure = None then
+      failure := Some { oracle; detail; at = Clock.now clock }
+  in
+  let check_oracles phase =
+    if !failure = None then
+      List.iter
+        (fun (o : Oracle.t) ->
+          if !failure = None then begin
+            incr checks;
+            match
+              o.Oracle.check
+                {
+                  Oracle.spec;
+                  rt;
+                  net;
+                  phase;
+                  elapsed = Clock.now clock;
+                }
+            with
+            | Oracle.Pass -> ()
+            | Oracle.Fail detail -> fail ~oracle:o.Oracle.name detail
+          end)
+        oracles
+  in
+  let guarded_step () =
+    try Runtime.step rt
+    with exn ->
+      fail ~oracle:"controller-survives"
+        (Printf.sprintf "exception escaped Runtime.step: %s"
+           (Printexc.to_string exn))
+  in
+  let guarded_tick () =
+    try Runtime.tick rt
+    with exn ->
+      fail ~oracle:"controller-survives"
+        (Printf.sprintf "exception escaped Runtime.tick: %s"
+           (Printexc.to_string exn))
+  in
+  (* Initial handshake: switch features reach the apps before traffic. *)
+  guarded_step ();
+  let queue = schedule_of spec topo in
+  let rec loop () =
+    if !failure = None then
+      match Event_queue.pop queue with
+      | None -> ()
+      | Some (time, action) ->
+          Clock.advance_to clock (Float.max time (Clock.now clock));
+          Net.tick net;
+          (match action with
+          | Inject inj -> Net.inject net inj.Traffic.src inj.Traffic.packet
+          | Fault f -> Net.apply_fault net f
+          | Do_tick -> guarded_tick ());
+          guarded_step ();
+          check_oracles Oracle.Mid;
+          loop ()
+  in
+  loop ();
+  (* Heal phase: perfect channels, every switch and link back up. *)
+  if !failure = None then begin
+    List.iter
+      (fun sid ->
+        let ch = Net.channel net sid in
+        Channel.set_config ch Channel.perfect;
+        Channel.set_partitioned ch false)
+      (Topology.switches topo);
+    List.iter
+      (fun sid ->
+        if not (Net.switch net sid).Sw.up then
+          Net.apply_fault net (Net.Switch_up sid))
+      (Topology.switches topo);
+    List.iter
+      (fun (l : Topology.link) ->
+        if not l.Topology.up then
+          match (l.a.node, l.b.node) with
+          | Topology.Switch a, Topology.Switch b ->
+              Net.apply_fault net (Net.Link_up (Topology.Switch a, Topology.Switch b))
+          | _ -> ())
+      (Workload.Failure_schedule.inter_switch_links topo);
+    guarded_step ();
+    (* Settle: drive only the clock and the recovery machinery — no new
+       app activity — until every retransmission and probe has fired. *)
+    let budget = settle_time spec in
+    let step_size = 0.25 in
+    let steps = int_of_float (Float.ceil (budget /. step_size)) in
+    for _ = 1 to steps do
+      if !failure = None then begin
+        Clock.advance_by clock step_size;
+        Net.tick net;
+        guarded_step ()
+      end
+    done;
+    check_oracles Oracle.Final
+  end;
+  Runtime.clear_event_tap rt;
+  {
+    spec;
+    failure = !failure;
+    trace = List.rev !trace;
+    checks = !checks;
+    events_dispatched = Runtime.events_processed rt;
+  }

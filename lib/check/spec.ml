@@ -1,0 +1,277 @@
+(* A whole-system fuzz scenario: a fixed configuration (topology, apps,
+   channel fault model, recovery knobs) plus an ordered list of *elements*
+   — the schedulable pieces (traffic, faults, bug injections) that the
+   shrinker is allowed to remove one by one. Everything an element refers
+   to (hosts, switches, links, bugs) is an *index* resolved modulo the
+   size of the target set, so any sublist of elements is still a valid
+   scenario and delta debugging never produces a dangling reference. *)
+
+open Openflow
+module Policy = Legosdn.Policy
+
+type topo =
+  | Linear of int
+  | Star of int
+  | Tree of { depth : int; fanout : int }
+  | Ring of int
+
+type element =
+  | Flow of { src : int; dst : int; start : float; packets : int; dport : int }
+  | Link_flap of { link : int; down_at : float; downtime : float }
+  | Switch_reboot of { sw : int; down_at : float; downtime : float }
+  | Partition of { sw : int; start : float; duration : float }
+  | Loss_burst of { sw : int; loss : float; start : float; duration : float }
+  | Inject_bug of { slot : int; bug : int }
+
+type t = {
+  seed : int;
+  topo : topo;
+  apps : string list;
+  base_loss : float;  (* both directions of every control channel *)
+  duplicate : float;
+  delay : float;  (* 0 = no channel delay; otherwise a fixed delay *)
+  reliable : bool;
+  base_timeout : float;  (* Reliable retransmission timer *)
+  max_retries : int;
+  checkpoint_every : int;
+  policy : Policy.compromise;
+  duration : float;
+  elements : element list;
+}
+
+(* A scenario whose only elements are traffic carries stricter oracle
+   expectations (e.g. black-hole freedom at the end of the run): nothing
+   was injected that could legitimately disturb forwarding. *)
+let is_clean t =
+  List.for_all (function Flow _ -> true | _ -> false) t.elements
+
+let has_bug t =
+  List.exists (function Inject_bug _ -> true | _ -> false) t.elements
+
+(* ---------------- pretty printing ---------------- *)
+
+let topo_name = function
+  | Linear n -> Printf.sprintf "linear:%d" n
+  | Star n -> Printf.sprintf "star:%d" n
+  | Tree { depth; fanout } -> Printf.sprintf "tree:%d:%d" depth fanout
+  | Ring n -> Printf.sprintf "ring:%d" n
+
+let element_summary = function
+  | Flow { src; dst; start; packets; dport } ->
+      Printf.sprintf "flow host[%d]->host[%d] at %.2fs (%d pkts, dport %d)"
+        src dst start packets dport
+  | Link_flap { link; down_at; downtime } ->
+      Printf.sprintf "link-flap link[%d] at %.2fs for %.2fs" link down_at
+        downtime
+  | Switch_reboot { sw; down_at; downtime } ->
+      Printf.sprintf "switch-reboot sw[%d] at %.2fs for %.2fs" sw down_at
+        downtime
+  | Partition { sw; start; duration } ->
+      Printf.sprintf "channel-partition sw[%d] at %.2fs for %.2fs" sw start
+        duration
+  | Loss_burst { sw; loss; start; duration } ->
+      Printf.sprintf "loss-burst sw[%d] %.0f%% at %.2fs for %.2fs" sw
+        (loss *. 100.) start duration
+  | Inject_bug { slot; bug } ->
+      Printf.sprintf "inject-bug corpus[%d] into app-slot %d" bug slot
+
+let summary t =
+  Printf.sprintf
+    "seed=%d topo=%s apps=[%s] loss=%.2f dup=%.2f delay=%.3f reliable=%b \
+     retries=%d ckpt=%d policy=%s duration=%.1fs elements=%d"
+    t.seed (topo_name t.topo)
+    (String.concat "," t.apps)
+    t.base_loss t.duplicate t.delay t.reliable t.max_retries
+    t.checkpoint_every
+    (Policy.compromise_name t.policy)
+    t.duration
+    (List.length t.elements)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s" (summary t);
+  List.iter
+    (fun el -> Format.fprintf fmt "@,  %s" (element_summary el))
+    t.elements;
+  Format.fprintf fmt "@]"
+
+(* ---------------- binary codec (reproducer files) ---------------- *)
+
+exception Decode_error of string
+
+let fail fmt = Format.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+let put_float w v = Buf.u64 w (Int64.bits_of_float v)
+let get_float r = Int64.float_of_bits (Buf.read_u64 r)
+
+let put_string w s =
+  Buf.u16 w (String.length s);
+  Buf.raw w (Bytes.of_string s)
+
+let get_string r =
+  let n = Buf.read_u16 r in
+  Bytes.to_string (Buf.read_raw r n)
+
+let put_topo w = function
+  | Linear n ->
+      Buf.u8 w 0;
+      Buf.u16 w n
+  | Star n ->
+      Buf.u8 w 1;
+      Buf.u16 w n
+  | Tree { depth; fanout } ->
+      Buf.u8 w 2;
+      Buf.u16 w depth;
+      Buf.u16 w fanout
+  | Ring n ->
+      Buf.u8 w 3;
+      Buf.u16 w n
+
+let get_topo r =
+  match Buf.read_u8 r with
+  | 0 -> Linear (Buf.read_u16 r)
+  | 1 -> Star (Buf.read_u16 r)
+  | 2 ->
+      let depth = Buf.read_u16 r in
+      let fanout = Buf.read_u16 r in
+      Tree { depth; fanout }
+  | 3 -> Ring (Buf.read_u16 r)
+  | k -> fail "unknown topology tag %d" k
+
+let put_element w = function
+  | Flow { src; dst; start; packets; dport } ->
+      Buf.u8 w 0;
+      Buf.u16 w src;
+      Buf.u16 w dst;
+      put_float w start;
+      Buf.u16 w packets;
+      Buf.u16 w dport
+  | Link_flap { link; down_at; downtime } ->
+      Buf.u8 w 1;
+      Buf.u16 w link;
+      put_float w down_at;
+      put_float w downtime
+  | Switch_reboot { sw; down_at; downtime } ->
+      Buf.u8 w 2;
+      Buf.u16 w sw;
+      put_float w down_at;
+      put_float w downtime
+  | Partition { sw; start; duration } ->
+      Buf.u8 w 3;
+      Buf.u16 w sw;
+      put_float w start;
+      put_float w duration
+  | Loss_burst { sw; loss; start; duration } ->
+      Buf.u8 w 4;
+      Buf.u16 w sw;
+      put_float w loss;
+      put_float w start;
+      put_float w duration
+  | Inject_bug { slot; bug } ->
+      Buf.u8 w 5;
+      Buf.u16 w slot;
+      Buf.u16 w bug
+
+let get_element r =
+  match Buf.read_u8 r with
+  | 0 ->
+      let src = Buf.read_u16 r in
+      let dst = Buf.read_u16 r in
+      let start = get_float r in
+      let packets = Buf.read_u16 r in
+      let dport = Buf.read_u16 r in
+      Flow { src; dst; start; packets; dport }
+  | 1 ->
+      let link = Buf.read_u16 r in
+      let down_at = get_float r in
+      let downtime = get_float r in
+      Link_flap { link; down_at; downtime }
+  | 2 ->
+      let sw = Buf.read_u16 r in
+      let down_at = get_float r in
+      let downtime = get_float r in
+      Switch_reboot { sw; down_at; downtime }
+  | 3 ->
+      let sw = Buf.read_u16 r in
+      let start = get_float r in
+      let duration = get_float r in
+      Partition { sw; start; duration }
+  | 4 ->
+      let sw = Buf.read_u16 r in
+      let loss = get_float r in
+      let start = get_float r in
+      let duration = get_float r in
+      Loss_burst { sw; loss; start; duration }
+  | 5 ->
+      let slot = Buf.read_u16 r in
+      let bug = Buf.read_u16 r in
+      Inject_bug { slot; bug }
+  | k -> fail "unknown element tag %d" k
+
+let policy_tag = function
+  | Policy.No_compromise -> 0
+  | Policy.Absolute -> 1
+  | Policy.Equivalence -> 2
+
+let policy_of_tag = function
+  | 0 -> Policy.No_compromise
+  | 1 -> Policy.Absolute
+  | 2 -> Policy.Equivalence
+  | k -> fail "unknown policy tag %d" k
+
+let encode_into w t =
+  Buf.u32 w t.seed;
+  put_topo w t.topo;
+  Buf.u16 w (List.length t.apps);
+  List.iter (put_string w) t.apps;
+  put_float w t.base_loss;
+  put_float w t.duplicate;
+  put_float w t.delay;
+  Buf.u8 w (if t.reliable then 1 else 0);
+  put_float w t.base_timeout;
+  Buf.u16 w t.max_retries;
+  Buf.u16 w t.checkpoint_every;
+  Buf.u8 w (policy_tag t.policy);
+  put_float w t.duration;
+  Buf.u16 w (List.length t.elements);
+  List.iter (put_element w) t.elements
+
+let decode_from r =
+  let seed = Buf.read_u32 r in
+  let topo = get_topo r in
+  let n_apps = Buf.read_u16 r in
+  let apps = List.init n_apps (fun _ -> get_string r) in
+  let base_loss = get_float r in
+  let duplicate = get_float r in
+  let delay = get_float r in
+  let reliable = Buf.read_u8 r = 1 in
+  let base_timeout = get_float r in
+  let max_retries = Buf.read_u16 r in
+  let checkpoint_every = Buf.read_u16 r in
+  let policy = policy_of_tag (Buf.read_u8 r) in
+  let duration = get_float r in
+  let n_elements = Buf.read_u16 r in
+  let elements = List.init n_elements (fun _ -> get_element r) in
+  {
+    seed;
+    topo;
+    apps;
+    base_loss;
+    duplicate;
+    delay;
+    reliable;
+    base_timeout;
+    max_retries;
+    checkpoint_every;
+    policy;
+    duration;
+    elements;
+  }
+
+let encode t =
+  let w = Buf.writer ~capacity:256 () in
+  encode_into w t;
+  Buf.contents w
+
+let decode b = decode_from (Buf.reader b)
+
+let equal a b = a = b

@@ -12,6 +12,11 @@ type config = {
 
 let default_config = { enabled = true; base_timeout = 0.05; max_retries = 8 }
 
+(* The retransmission backoff schedule: how long a message waits after its
+   [attempts]-th transmission before the next one. Attempt 0 is the
+   original send, so the schedule is base, 2*base, 4*base, ... *)
+let backoff_delay cfg attempts = cfg.base_timeout *. (2. ** float attempts)
+
 type health = Healthy | Degraded
 
 type pending = {
@@ -161,7 +166,7 @@ let enqueue t sid msg ~sent barrier_xid =
           p_sent = sent;
           p_barrier_xid = barrier_xid;
           p_attempts = 0;
-          p_next_at = (now t +. if sent then t.cfg.base_timeout else 0.);
+          p_next_at = (now t +. if sent then backoff_delay t.cfg 0 else 0.);
         };
       ]
 
@@ -220,8 +225,7 @@ let retransmit t p =
     if acked && delivered t p.p_sid p.p_msg then ack t p
     else begin
       p.p_barrier_xid <- barrier_xid;
-      p.p_next_at <-
-        now t +. (t.cfg.base_timeout *. (2. ** float p.p_attempts))
+      p.p_next_at <- now t +. backoff_delay t.cfg p.p_attempts
     end
   end
 

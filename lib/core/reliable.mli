@@ -34,6 +34,16 @@ type config = {
 val default_config : config
 (** Enabled; 50 ms base timeout; 8 retries. *)
 
+val backoff_delay : config -> int -> float
+(** [backoff_delay cfg n] is how long a message waits after its [n]-th
+    transmission: [base_timeout * 2^n]. Exposed so tests and checkers can
+    state the schedule without re-deriving it. *)
+
+val barrier_xid_base : int
+(** First xid of the barrier range (1_000_000_000). Barrier xids live in
+    their own range so they can never collide with NetLog's transaction
+    xids; exposed so tests can forge barrier replies. *)
+
 type health = Healthy | Degraded
 
 type t

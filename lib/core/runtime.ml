@@ -32,6 +32,7 @@ type t = {
   mutable reply_backlog : (string * Event.t) list;
   mutable n_events : int;
   mutable n_shed : int;
+  mutable event_tap : (Event.t -> unit) option;
 }
 
 let create ?(config = default_config) ?xid_base network modules =
@@ -69,6 +70,7 @@ let create ?(config = default_config) ?xid_base network modules =
     reply_backlog = [];
     n_events = 0;
     n_shed = 0;
+    event_tap = None;
   }
 
 let net t = t.network
@@ -85,6 +87,13 @@ let events_shed t = t.n_shed
 let config t = t.cfg
 
 let now t = Clock.now (Net.clock t.network)
+
+(* Observation hook for external checkers (the scenario fuzzer's oracle
+   suite records the dispatched event stream through it). The tap sees
+   every event exactly as the sandboxes do, including replies drained from
+   the backlog, and must not mutate runtime state. *)
+let set_event_tap t f = t.event_tap <- Some f
+let clear_event_tap t = t.event_tap <- None
 
 let links_of t sid =
   Services.live_links t.services_state
@@ -120,6 +129,7 @@ let rec drain_replies t =
 
 let dispatch_event t event =
   t.n_events <- t.n_events + 1;
+  (match t.event_tap with Some f -> f event | None -> ());
   Metrics.incr_events t.metrics_store;
   List.iter
     (fun box -> Crashpad.dispatch t.cfg.crashpad (deps t) box event)

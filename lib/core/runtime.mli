@@ -62,4 +62,12 @@ val events_shed : t -> int
 (** Notifications dropped by the broadcast-storm guard (see
     {!Controller.Monolithic.events_shed}). *)
 
+val set_event_tap : t -> (Event.t -> unit) -> unit
+(** Observe every event exactly as it is dispatched to the sandboxes
+    (backlog replies included). For external checkers — the scenario
+    fuzzer records the event stream through it; the tap must not mutate
+    runtime state. At most one tap is active; setting replaces. *)
+
+val clear_event_tap : t -> unit
+
 val config : t -> config

@@ -26,6 +26,10 @@ val loss_burst :
 (** Raise one switch's control-channel loss probability to [loss] for the
     window, then back to zero. *)
 
+val inter_switch_links : Netsim.Topology.t -> Netsim.Topology.link list
+(** The links whose both endpoints are switches — the ones worth flapping
+    (host links kill connectivity trivially). Deterministic order. *)
+
 val periodic_link_flaps :
   Netsim.Topology.t ->
   seed:int ->

@@ -206,6 +206,58 @@ let test_expiry_notification () =
       T_util.checkb "hard reason" true (fr.Message.fr_reason = Message.Removed_hard)
   | _ -> Alcotest.fail "expiry notification expected"
 
+(* Property: the xid dedup window makes delivery idempotent. Any
+   duplication pattern of a message sequence — every duplicate arriving
+   some time after its original, as retransmission guarantees — leaves
+   the flow table exactly as exactly-once delivery would. *)
+let prop_dedup_idempotent =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 8) T_util.Gen.flow_mod)
+        (list_size (int_bound 12) (pair (int_bound 100) (int_bound 100))))
+  in
+  QCheck2.Test.make ~name:"any duplication pattern equals exactly-once"
+    ~count:300 gen (fun (fms, dups) ->
+      (* Non-zero unique xids: xid 0 opts out of deduplication. *)
+      let msgs =
+        List.mapi
+          (fun i fm -> Message.message ~xid:(i + 1) (Message.Flow_mod fm))
+          fms
+      in
+      let n = List.length msgs in
+      (* Build the duplicated delivery sequence: start from the originals
+         in order and insert each duplicate at any point after its
+         original's first occurrence. *)
+      let with_dups =
+        List.fold_left
+          (fun seq (which, pos) ->
+            let m = List.nth msgs (which mod n) in
+            let first =
+              let rec idx i = function
+                | [] -> 0
+                | x :: _ when x == m || x = m -> i
+                | _ :: rest -> idx (i + 1) rest
+              in
+              idx 0 seq
+            in
+            let at = first + 1 + (pos mod (List.length seq - first)) in
+            let rec insert i = function
+              | rest when i = at -> m :: rest
+              | [] -> [ m ]
+              | x :: rest -> x :: insert (i + 1) rest
+            in
+            insert 0 seq)
+          msgs dups
+      in
+      let deliver sw seq =
+        List.iter (fun m -> ignore (Sw.handle_message sw ~now:0. m)) seq
+      in
+      let once = fresh () and dup = fresh () in
+      deliver once msgs;
+      deliver dup with_dups;
+      Flow_table.entries once.Sw.table = Flow_table.entries dup.Sw.table)
+
 let suite =
   [
     Alcotest.test_case "table miss buffers and punts" `Quick test_miss_buffers_and_punts;
@@ -221,4 +273,5 @@ let suite =
     Alcotest.test_case "delete notifies" `Quick test_delete_notifies;
     Alcotest.test_case "down switch errors" `Quick test_down_switch_errors;
     Alcotest.test_case "timeout expiry notifies" `Quick test_expiry_notification;
+    QCheck_alcotest.to_alcotest prop_dedup_idempotent;
   ]

@@ -78,6 +78,152 @@ let test_recorded_trace_feeds_sts () =
   Alcotest.(check (list T_util.event_t)) "culprit recovered from disk format"
     [ Event.Switch_down 3 ] minimal
 
+(* Property: write → read is the identity for arbitrary traces covering
+   all nine event constructors — the trust anchor for fuzzer reproducer
+   files, which embed traces in this format. *)
+module G = struct
+  open QCheck2.Gen
+
+  let sid = int_range 1 64
+  let port_no = int_range 1 48
+  let name_string = string_size ~gen:(char_range 'a' 'z') (int_bound 12)
+
+  (* Exact-roundtrip floats: Tick encodes via Int64.bits_of_float, so any
+     finite float works; quarters keep failures readable. *)
+  let finite_float = map (fun i -> float_of_int i /. 4.) (int_bound 400_000)
+
+  let port_desc =
+    let* port_no = port_no in
+    let* hw_addr = T_util.Gen.mac in
+    let* name = name_string in
+    let* up = bool and* no_flood = bool in
+    return { Message.port_no; hw_addr; name; up; no_flood }
+
+  let features =
+    let* datapath_id = sid in
+    let* n_buffers = int_bound 256 and* n_tables = int_range 1 16 in
+    let* ports = list_size (int_bound 4) port_desc in
+    return { Message.datapath_id; n_buffers; n_tables; ports }
+
+  let packet_in =
+    let* pi_buffer_id = opt (int_bound 0xFFFF) in
+    let* pi_in_port = port_no in
+    let* pi_reason = oneofl Message.[ No_match; Action_to_controller ] in
+    let* pi_packet = T_util.Gen.packet in
+    return { Message.pi_buffer_id; pi_in_port; pi_reason; pi_packet }
+
+  let flow_removed =
+    let* fr_pattern = T_util.Gen.ofp_match in
+    let* fr_cookie = map Int64.of_int (int_bound 1_000_000) in
+    let* fr_priority = int_bound 0xFFFF in
+    let* fr_reason =
+      oneofl Message.[ Removed_idle; Removed_hard; Removed_delete ]
+    in
+    let* fr_duration = int_bound 0xFFFF in
+    let* fr_idle_timeout = int_bound 300 in
+    let* fr_packet_count = int_bound 1_000_000 in
+    let* fr_byte_count = int_bound 1_000_000 in
+    return
+      {
+        Message.fr_pattern;
+        fr_cookie;
+        fr_priority;
+        fr_reason;
+        fr_duration;
+        fr_idle_timeout;
+        fr_packet_count;
+        fr_byte_count;
+      }
+
+  let flow_stat =
+    let* fs_pattern = T_util.Gen.ofp_match in
+    let* fs_priority = int_bound 0xFFFF in
+    let* fs_cookie = map Int64.of_int (int_bound 1_000_000) in
+    let* fs_duration = int_bound 0xFFFF in
+    let* fs_idle_timeout = int_bound 300 and* fs_hard_timeout = int_bound 300 in
+    let* fs_packet_count = int_bound 1_000_000 in
+    let* fs_byte_count = int_bound 1_000_000 in
+    let* fs_actions = T_util.Gen.actions in
+    return
+      {
+        Message.fs_pattern;
+        fs_priority;
+        fs_cookie;
+        fs_duration;
+        fs_idle_timeout;
+        fs_hard_timeout;
+        fs_packet_count;
+        fs_byte_count;
+        fs_actions;
+      }
+
+  let port_stat =
+    let* ps_port_no = port_no in
+    let* ps_rx_packets = int_bound 1_000_000 in
+    let* ps_tx_packets = int_bound 1_000_000 in
+    let* ps_rx_bytes = int_bound 1_000_000 in
+    let* ps_tx_bytes = int_bound 1_000_000 in
+    let* ps_rx_dropped = int_bound 1_000 in
+    let* ps_tx_dropped = int_bound 1_000 in
+    return
+      {
+        Message.ps_port_no;
+        ps_rx_packets;
+        ps_tx_packets;
+        ps_rx_bytes;
+        ps_tx_bytes;
+        ps_rx_dropped;
+        ps_tx_dropped;
+      }
+
+  let stats_reply =
+    oneof
+      [
+        map
+          (fun l -> Message.Flow_stats_reply l)
+          (list_size (int_bound 3) flow_stat);
+        (let* packets = int_bound 1_000_000 in
+         let* bytes = int_bound 1_000_000 in
+         let* flows = int_bound 1_000 in
+         return (Message.Aggregate_stats_reply { packets; bytes; flows }));
+        map
+          (fun l -> Message.Port_stats_reply l)
+          (list_size (int_bound 3) port_stat);
+        map (fun s -> Message.Description_reply s) name_string;
+      ]
+
+  let link =
+    let* src_switch = sid and* dst_switch = sid in
+    let* src_port = port_no and* dst_port = port_no in
+    return { Event.src_switch; src_port; dst_switch; dst_port }
+
+  let event =
+    oneof
+      [
+        map2 (fun s f -> Event.Switch_up (s, f)) sid features;
+        map (fun s -> Event.Switch_down s) sid;
+        (let* s = sid in
+         let* reason =
+           oneofl Message.[ Port_add; Port_delete; Port_modify ]
+         in
+         let* desc = port_desc in
+         return (Event.Port_status (s, reason, desc)));
+        map (fun l -> Event.Link_up l) link;
+        map (fun l -> Event.Link_down l) link;
+        map2 (fun s pi -> Event.Packet_in (s, pi)) sid packet_in;
+        map2 (fun s fr -> Event.Flow_removed (s, fr)) sid flow_removed;
+        (let* s = sid and* xid = int_bound 0xFFFF and* sr = stats_reply in
+         return (Event.Stats_reply (s, xid, sr)));
+        map (fun t -> Event.Tick t) finite_float;
+      ]
+
+  let trace = list_size (int_bound 16) event
+end
+
+let prop_roundtrip_identity =
+  QCheck2.Test.make ~name:"arbitrary trace write/read identity" ~count:200
+    G.trace (fun trace -> Trace_io.decode (Trace_io.encode trace) = trace)
+
 let suite =
   [
     Alcotest.test_case "encode/decode" `Quick test_encode_decode;
@@ -87,4 +233,5 @@ let suite =
     Alcotest.test_case "truncation" `Quick test_truncation;
     Alcotest.test_case "recorder" `Quick test_recorder;
     Alcotest.test_case "trace feeds STS" `Quick test_recorded_trace_feeds_sts;
+    QCheck_alcotest.to_alcotest prop_roundtrip_identity;
   ]
