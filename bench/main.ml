@@ -404,21 +404,87 @@ let bench_channel () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* The incremental invariant checker on the Crash-Pad hot path: a k=4
+   fat-tree whose tables were populated by a learning switch (exact-match
+   rules — the flow-table hash fast path), checked repeatedly.
 
-let run_group (experiment, title, tests) =
+   - "full" freezes the world and traces every pair, every iteration —
+     the pre-incremental behaviour.
+   - "warm" is the steady state between transactions: nothing changed, so
+     the check is version scans plus cache reads.
+   - "cold" builds a fresh engine per iteration — the price of the first
+     check, which must stay close to "full".
+   - "check-flow-mods-*" screen a 3-rule hypothetical batch, the exact
+     call Crash-Pad makes per transaction. *)
+
+let bench_incremental () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.fat_tree 4) in
+  let mono = Monolithic.create net [ (module Apps.Learning_switch) ] in
+  Monolithic.step mono;
+  let hosts = Topology.hosts (Net.topology net) in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            Clock.advance_by clock 0.001;
+            Net.inject net src (Openflow.Packet.tcp ~src_host:src ~dst_host:dst ());
+            Monolithic.step mono
+          end)
+        hosts)
+    hosts;
+  let warm_engine = Invariants.Incremental.create net in
+  ignore (Invariants.Incremental.check warm_engine);
+  let mods =
+    List.init 3 (fun i ->
+        ( i + 1,
+          Openflow.Message.flow_add
+            (Openflow.Ofp_match.make ~tp_src:(i + 1) ())
+            [ Openflow.Action.Output 1 ] ))
+  in
+  let mods_engine = Invariants.Incremental.create net in
+  ignore (Invariants.Incremental.check mods_engine);
+  [
+    Test.make ~name:"invariant-check-fat-tree-k4-full"
+      (Staged.stage (fun () ->
+           ignore (Invariants.Checker.check (Invariants.Snapshot.of_net net))));
+    Test.make ~name:"invariant-check-fat-tree-k4-warm"
+      (Staged.stage (fun () ->
+           ignore (Invariants.Incremental.check warm_engine)));
+    Test.make ~name:"invariant-check-fat-tree-k4-cold"
+      (Staged.stage (fun () ->
+           ignore
+             (Invariants.Incremental.check (Invariants.Incremental.create net))));
+    Test.make ~name:"check-flow-mods-full"
+      (Staged.stage (fun () ->
+           ignore
+             (Invariants.Checker.check_flow_mods
+                (Invariants.Snapshot.of_net net)
+                mods)));
+    Test.make ~name:"check-flow-mods-incremental"
+      (Staged.stage (fun () ->
+           ignore (Invariants.Incremental.check_flow_mods mods_engine mods)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+type row = { group : string; test : string; ns_per_run : float; r2 : float }
+
+let run_group ~quota (experiment, title, tests) =
   Printf.printf "\n### %s — %s\n%!" experiment title;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None () in
   let raw =
-    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:experiment tests)
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:experiment (tests ()))
   in
   let results = Analyze.all ols instance raw in
   Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
   |> List.sort compare
-  |> List.iter (fun (name, ols_result) ->
+  |> List.map (fun (name, ols_result) ->
          let estimate =
            match Analyze.OLS.estimates ols_result with
            | Some [ e ] -> e
@@ -427,20 +493,126 @@ let run_group (experiment, title, tests) =
          let r2 =
            match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
          in
-         Printf.printf "  %-42s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2)
+         Printf.printf "  %-42s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2;
+         (* Bechamel reports "<group>/<test>"; keep the bare test name so
+            consumers can address tests without knowing their cluster. *)
+         let prefix = experiment ^ "/" in
+         let test =
+           if String.length name > String.length prefix
+              && String.sub name 0 (String.length prefix) = prefix
+           then
+             String.sub name (String.length prefix)
+               (String.length name - String.length prefix)
+           else name
+         in
+         { group = experiment; test; ns_per_run = estimate; r2 })
+
+(* Hand-rolled JSON (no json library in the tree): the grammar here is
+   numbers and [A-Za-z0-9._+-] names, so escaping is just strings. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f then "null" else Printf.sprintf "%.1f" f
+
+let find_ns rows name =
+  List.find_map
+    (fun r -> if r.test = name then Some r.ns_per_run else None)
+    rows
+
+let ratio rows ~num ~den =
+  match (find_ns rows num, find_ns rows den) with
+  | Some n, Some d when d > 0. && not (Float.is_nan n || Float.is_nan d) ->
+      Some (n /. d)
+  | _ -> None
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"group\": \"%s\", \"test\": \"%s\", \"ns_per_run\": %s, \
+         \"r_square\": %s}%s\n"
+        (json_escape r.group) (json_escape r.test)
+        (json_float r.ns_per_run)
+        (if Float.is_nan r.r2 then "null" else Printf.sprintf "%.3f" r.r2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ],\n  \"derived\": {\n";
+  let derived =
+    List.filter_map
+      (fun (key, num, den) ->
+        Option.map
+          (fun v -> Printf.sprintf "    \"%s\": %.2f" key v)
+          (ratio rows ~num ~den))
+      [
+        ( "full-over-warm-speedup",
+          "invariant-check-fat-tree-k4-full",
+          "invariant-check-fat-tree-k4-warm" );
+        ( "cold-over-full-overhead",
+          "invariant-check-fat-tree-k4-cold",
+          "invariant-check-fat-tree-k4-full" );
+        ( "flow-mods-full-over-incremental-speedup",
+          "check-flow-mods-full",
+          "check-flow-mods-incremental" );
+      ]
+  in
+  output_string oc (String.concat ",\n" derived);
+  output_string oc "\n  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+(* Test lists are thunks so that [--only] skips the setup work (traffic
+   population, scenario builds) of every unselected cluster. *)
+let groups () =
+  [
+    ("E4", "isolation / control-loop latency", bench_isolation);
+    ("E5", "checkpoint cost vs state size", bench_checkpoint);
+    ("E6", "crash-recovery cost vs transaction size", bench_recovery);
+    ("E8-E9", "NetLog vs delay-buffer transactions", bench_netlog);
+    ("substrate", "codec / data plane / invariant checker", bench_substrate);
+    ("crashpad", "policy / transform / quarantine unit costs",
+     bench_crashpad_machinery);
+    ("topology-scale", "STP + invariants on a fat-tree", bench_topology_scale);
+    ("E20", "control-channel model + reliable delivery", bench_channel);
+    ("scenario", "end-to-end 10-virtual-second scenario runs", bench_scenario);
+    ("invariants", "incremental vs full invariant checking", bench_incremental);
+  ]
 
 let () =
-  Printf.printf "LegoSDN benchmark harness (see EXPERIMENTS.md for the index)\n";
-  List.iter run_group
+  let json_path = ref "" in
+  let only = ref "" in
+  let quota = ref 0.25 in
+  Arg.parse
     [
-      ("E4", "isolation / control-loop latency", bench_isolation ());
-      ("E5", "checkpoint cost vs state size", bench_checkpoint ());
-      ("E6", "crash-recovery cost vs transaction size", bench_recovery ());
-      ("E8-E9", "NetLog vs delay-buffer transactions", bench_netlog ());
-      ("substrate", "codec / data plane / invariant checker", bench_substrate ());
-      ("crashpad", "policy / transform / quarantine unit costs",
-       bench_crashpad_machinery ());
-      ("topology-scale", "STP + invariants on a fat-tree", bench_topology_scale ());
-      ("E20", "control-channel model + reliable delivery", bench_channel ());
-      ("scenario", "end-to-end 10-virtual-second scenario runs", bench_scenario ());
+      ("--json", Arg.Set_string json_path,
+       "FILE  also write results as JSON to FILE");
+      ("--only", Arg.Set_string only,
+       "GROUP  run only the named cluster (e.g. invariants, E4)");
+      ("--quota", Arg.Set_float quota,
+       "SECONDS  per-test measurement budget (default 0.25)");
     ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench [--only GROUP] [--quota SECONDS] [--json FILE]";
+  Printf.printf "LegoSDN benchmark harness (see EXPERIMENTS.md for the index)\n";
+  let selected =
+    if !only = "" then groups ()
+    else
+      match List.filter (fun (g, _, _) -> g = !only) (groups ()) with
+      | [] ->
+          Printf.eprintf "unknown group %S (known: %s)\n" !only
+            (String.concat ", " (List.map (fun (g, _, _) -> g) (groups ())));
+          exit 2
+      | gs -> gs
+  in
+  let rows = List.concat_map (run_group ~quota:!quota) selected in
+  if !json_path <> "" then write_json !json_path rows

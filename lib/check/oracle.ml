@@ -35,7 +35,13 @@ let failf fmt = Format.ksprintf (fun s -> Fail s) fmt
    acyclic topologies and byzantine output is screened before commit, so
    not even an injected bug may break them. Black-hole freedom is only
    demanded at the end of a clean (traffic-only) run — a mid-run link
-   flap legitimately strands rules that point at a dead port. *)
+   flap legitimately strands rules that point at a dead port.
+
+   The check runs through the runtime's incremental engine — the same one
+   screening Crash-Pad transactions — so every quiescent point also
+   exercises its cache against live fault sequences; its results are
+   proven equal to a full [Checker.check] on a fresh snapshot by the
+   equivalence property in the test suite. *)
 let invariants =
   {
     name = "invariants";
@@ -53,7 +59,10 @@ let invariants =
                 ]
               else [ Checker.Loop_freedom; Checker.No_drop_all ]
         in
-        match Checker.check ~invariants:invs (Snapshot.of_net ctx.net) with
+        match
+          Invariants.Incremental.check ~invariants:invs
+            (Runtime.incremental ctx.rt)
+        with
         | [] -> Pass
         | v :: _ as all ->
             Fail

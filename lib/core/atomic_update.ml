@@ -8,14 +8,18 @@ type failure =
 
 type outcome = Committed | Rolled_back of failure
 
-let apply ?(invariants = Checker.default) ~net ~engine ~app updates =
+let apply ?(invariants = Checker.default) ?checker ~net ~engine ~app updates =
   (* Screen first, hypothetically, on a snapshot: newly-introduced
      violations veto the whole batch before a single switch is touched
      (pre-existing damage is not pinned on this update). This also works
      with the delay-buffer engine, whose mid-transaction network state
      would otherwise be unobservable. *)
-  let snap = Snapshot.of_net net in
-  match Checker.check_flow_mods ~invariants snap updates with
+  let violations =
+    match checker with
+    | Some eng -> Invariants.Incremental.check_flow_mods ~invariants eng updates
+    | None -> Checker.check_flow_mods ~invariants (Snapshot.of_net net) updates
+  in
+  match violations with
   | _ :: _ as violations -> Rolled_back (Invariant_broken violations)
   | [] -> (
       let txn = engine.Txn_engine.begin_txn ~app in

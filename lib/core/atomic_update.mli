@@ -22,6 +22,7 @@ type outcome = Committed | Rolled_back of failure
 
 val apply :
   ?invariants:Invariants.Checker.invariant list ->
+  ?checker:Invariants.Incremental.t ->
   net:Netsim.Net.t ->
   engine:Txn_engine.t ->
   app:string ->
@@ -30,6 +31,8 @@ val apply :
 (** Apply the batch atomically: on [Committed] every flow-mod is live; on
     [Rolled_back] none is (the network is byte-identical to before).
     Invariants are checked on the applied state just before commit
-    (default: {!Invariants.Checker.default}). *)
+    (default: {!Invariants.Checker.default}); with [checker] the screening
+    runs through the incremental engine's caches instead of a fresh full
+    snapshot, with the same verdict. *)
 
 val describe : outcome -> string

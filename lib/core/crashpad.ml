@@ -20,6 +20,7 @@ let default_config =
 
 type deps = {
   engine : Txn_engine.t;
+  incremental : Invariants.Incremental.t option;
   net : Netsim.Net.t;
   context : unit -> App_sig.context;
   links_of : Types.switch_id -> Event.link list;
@@ -105,8 +106,8 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
       end
       else
         match
-          Detector.check_byzantine ~invariants:config.invariants deps.net
-            commands
+          Detector.check_byzantine ?engine:deps.incremental
+            ~invariants:config.invariants deps.net commands
         with
         | Some failure ->
             txn.Txn_engine.abort ();

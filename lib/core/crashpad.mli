@@ -33,6 +33,10 @@ val default_config : config
 (** What Crash-Pad needs from its host runtime. *)
 type deps = {
   engine : Txn_engine.t;
+  incremental : Invariants.Incremental.t option;
+      (** When set, byzantine screening runs through this incremental
+          checker instead of snapshotting the whole network per
+          transaction. Verdicts are identical; only the work is smaller. *)
   net : Netsim.Net.t;
   context : unit -> App_sig.context;
   links_of : Types.switch_id -> Event.link list;

@@ -33,12 +33,17 @@ let flow_mods_of commands =
     (function Command.Flow (sid, fm) -> Some (sid, fm) | _ -> None)
     commands
 
-let check_byzantine ~invariants net commands =
+let check_byzantine ?engine ~invariants net commands =
   match flow_mods_of commands with
   | [] -> None
   | mods -> (
-      let snap = Snapshot.of_net net in
-      match Checker.check_flow_mods ~invariants snap mods with
+      let violations =
+        match engine with
+        | Some eng -> Invariants.Incremental.check_flow_mods ~invariants eng mods
+        | None ->
+            Checker.check_flow_mods ~invariants (Snapshot.of_net net) mods
+      in
+      match violations with
       | [] -> None
       | violations -> Some (Byzantine violations))
 

@@ -36,11 +36,16 @@ val of_verdict : Sandbox.verdict -> failure option
 (** [None] for a successful verdict. *)
 
 val check_byzantine :
+  ?engine:Invariants.Incremental.t ->
   invariants:Invariants.Checker.invariant list ->
   Netsim.Net.t ->
   Command.t list ->
   failure option
 (** Would committing these commands introduce an invariant violation?
-    Evaluated on a snapshot; the live network is untouched. *)
+    Evaluated on a snapshot; the live network is untouched. With [engine]
+    the snapshot and per-pair traces are served incrementally from the
+    engine's caches (this is the Crash-Pad hot path — one call per
+    transaction); without it a full snapshot is taken and checked. The
+    verdict is the same either way. *)
 
 val describe : failure -> string

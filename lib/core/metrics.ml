@@ -21,6 +21,11 @@ type t = {
   mutable n_resyncs : int;
   mutable n_resynced_rules : int;
   mutable n_unreachable : int;
+  mutable n_inv_hits : int;
+  mutable n_inv_misses : int;
+  mutable n_inv_invalidations : int;
+  mutable n_inv_recaptures : int;
+  mutable n_inv_memoized : int;
   outages : (string, app_outage) Hashtbl.t;
 }
 
@@ -43,6 +48,11 @@ let create () =
     n_resyncs = 0;
     n_resynced_rules = 0;
     n_unreachable = 0;
+    n_inv_hits = 0;
+    n_inv_misses = 0;
+    n_inv_invalidations = 0;
+    n_inv_recaptures = 0;
+    n_inv_memoized = 0;
     outages = Hashtbl.create 8;
   }
 
@@ -63,6 +73,14 @@ let incr_barrier_acks t = t.n_barrier_acks <- t.n_barrier_acks + 1
 let incr_resyncs t = t.n_resyncs <- t.n_resyncs + 1
 let incr_resynced_rules t n = t.n_resynced_rules <- t.n_resynced_rules + n
 let incr_unreachable t = t.n_unreachable <- t.n_unreachable + 1
+let incr_inv_trace_hit t = t.n_inv_hits <- t.n_inv_hits + 1
+let incr_inv_trace_miss t = t.n_inv_misses <- t.n_inv_misses + 1
+
+let incr_inv_invalidation t =
+  t.n_inv_invalidations <- t.n_inv_invalidations + 1
+
+let incr_inv_recapture t = t.n_inv_recaptures <- t.n_inv_recaptures + 1
+let incr_inv_memoized t = t.n_inv_memoized <- t.n_inv_memoized + 1
 
 let events t = t.n_events
 let crashes t = t.n_crashes
@@ -81,6 +99,11 @@ let barrier_acks t = t.n_barrier_acks
 let resyncs t = t.n_resyncs
 let resynced_rules t = t.n_resynced_rules
 let unreachable t = t.n_unreachable
+let inv_trace_hits t = t.n_inv_hits
+let inv_trace_misses t = t.n_inv_misses
+let inv_invalidations t = t.n_inv_invalidations
+let inv_recaptures t = t.n_inv_recaptures
+let inv_memoized_checks t = t.n_inv_memoized
 
 let outage t app =
   match Hashtbl.find_opt t.outages app with
@@ -117,8 +140,9 @@ let availability t ~app ~until =
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@]"
+    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@,inv-cache hits=%d misses=%d invalidations=%d recaptures=%d memoized=%d@]"
     t.n_events t.n_crashes t.n_hangs t.n_byzantine t.n_ignored t.n_transformed
     t.n_disabled t.n_replayed t.n_dropped_replay t.n_resource t.n_quarantined
     t.n_suppressed t.n_retransmits t.n_barrier_acks t.n_resyncs
-    t.n_resynced_rules t.n_unreachable
+    t.n_resynced_rules t.n_unreachable t.n_inv_hits t.n_inv_misses
+    t.n_inv_invalidations t.n_inv_recaptures t.n_inv_memoized

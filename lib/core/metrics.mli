@@ -27,6 +27,11 @@ val incr_barrier_acks : t -> unit
 val incr_resyncs : t -> unit
 val incr_resynced_rules : t -> int -> unit
 val incr_unreachable : t -> unit
+val incr_inv_trace_hit : t -> unit
+val incr_inv_trace_miss : t -> unit
+val incr_inv_invalidation : t -> unit
+val incr_inv_recapture : t -> unit
+val incr_inv_memoized : t -> unit
 
 val events : t -> int
 val crashes : t -> int
@@ -59,6 +64,21 @@ val resynced_rules : t -> int
 
 val unreachable : t -> int
 (** Switches declared unreachable after the retry budget ran out. *)
+
+val inv_trace_hits : t -> int
+(** Cached traces the incremental invariant checker reused. *)
+
+val inv_trace_misses : t -> int
+(** Pairs the incremental checker had to trace from scratch. *)
+
+val inv_invalidations : t -> int
+(** Cached traces discarded because a visited switch changed. *)
+
+val inv_recaptures : t -> int
+(** Switch states re-frozen into the incremental checker's snapshot. *)
+
+val inv_memoized_checks : t -> int
+(** Whole checks answered from the previous result (nothing changed). *)
 
 (** {1 Per-app downtime} *)
 

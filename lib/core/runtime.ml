@@ -26,6 +26,7 @@ type t = {
   netlog_instance : Netlog.t option;
   reliable_layer : Reliable.t option;
   engine : Txn_engine.t;
+  incremental_checker : Invariants.Incremental.t;
   metrics_store : Metrics.t;
   ticket_store : Ticket.store;
   cfg : config;
@@ -54,6 +55,21 @@ let create ?(config = default_config) ?xid_base network modules =
     | Delay_buffer_engine ->
         (None, None, Delay_buffer.engine (Delay_buffer.create network))
   in
+  let incremental_checker =
+    let observer = function
+      | Invariants.Incremental.Trace_hit ->
+          Metrics.incr_inv_trace_hit metrics_store
+      | Invariants.Incremental.Trace_miss ->
+          Metrics.incr_inv_trace_miss metrics_store
+      | Invariants.Incremental.Trace_invalidated ->
+          Metrics.incr_inv_invalidation metrics_store
+      | Invariants.Incremental.Switch_recaptured _ ->
+          Metrics.incr_inv_recapture metrics_store
+      | Invariants.Incremental.Check_memoized ->
+          Metrics.incr_inv_memoized metrics_store
+    in
+    Invariants.Incremental.create ~observer network
+  in
   {
     network;
     services_state = Services.create (Net.clock network) (Net.topology network);
@@ -64,6 +80,7 @@ let create ?(config = default_config) ?xid_base network modules =
     netlog_instance;
     reliable_layer;
     engine;
+    incremental_checker;
     metrics_store;
     ticket_store = Ticket.store ();
     cfg = config;
@@ -82,6 +99,7 @@ let tickets t = Ticket.all t.ticket_store
 let ticket_store t = t.ticket_store
 let netlog t = t.netlog_instance
 let reliable t = t.reliable_layer
+let incremental t = t.incremental_checker
 let events_processed t = t.n_events
 let events_shed t = t.n_shed
 let config t = t.cfg
@@ -102,6 +120,7 @@ let links_of t sid =
 let deps t : Crashpad.deps =
   {
     engine = t.engine;
+    incremental = Some t.incremental_checker;
     net = t.network;
     context = (fun () -> Services.context t.services_state);
     links_of = (fun sid -> links_of t sid);

@@ -56,6 +56,10 @@ val netlog : t -> Netlog.t option
 val reliable : t -> Reliable.t option
 (** The reliable-delivery layer, when the NetLog engine is in use. *)
 
+val incremental : t -> Invariants.Incremental.t
+(** The incremental invariant checker that screens every transaction's
+    flow-mods. Its cache events are mirrored into {!metrics}. *)
+
 val events_processed : t -> int
 
 val events_shed : t -> int

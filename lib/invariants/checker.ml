@@ -49,11 +49,16 @@ let host_pairs topo =
         hosts)
     hosts
 
-let check_one snap acc = function
+(* The per-pair probing logic is parameterized on the trace function so a
+   caching layer (Incremental) can serve memoized probes: every invariant
+   below is a pure function of the probe and the per-switch rule lists, so
+   any trace provider that agrees with [Snapshot.trace] yields identical
+   violations in identical order. *)
+let check_one ~trace snap acc = function
   | Loop_freedom ->
       List.fold_left
         (fun acc (src, dst) ->
-          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          let probe = trace src dst in
           if probe.Snapshot.looped then
             Forwarding_loop { src; dst; path = probe.Snapshot.path } :: acc
           else acc)
@@ -62,7 +67,7 @@ let check_one snap acc = function
   | Black_hole_freedom ->
       List.fold_left
         (fun acc (src, dst) ->
-          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          let probe = trace src dst in
           match probe.Snapshot.blackholed_at with
           | [] -> acc
           | at -> Black_hole { src; dst; at } :: acc)
@@ -71,7 +76,7 @@ let check_one snap acc = function
   | Pairwise_reachability pairs ->
       List.fold_left
         (fun acc (src, dst) ->
-          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          let probe = trace src dst in
           if List.mem dst probe.Snapshot.reached then acc
           else Unreachable { src; dst } :: acc)
         acc pairs
@@ -92,7 +97,7 @@ let check_one snap acc = function
   | Waypoint { pairs; via } ->
       List.fold_left
         (fun acc (src, dst) ->
-          let probe = Snapshot.trace snap src (canonical_packet src dst) in
+          let probe = trace src dst in
           if
             List.mem dst probe.Snapshot.reached
             && not (List.exists (fun (sid, _) -> sid = via) probe.Snapshot.path)
@@ -101,7 +106,7 @@ let check_one snap acc = function
         acc pairs
   | Isolation { group_a; group_b } ->
       let breach src dst acc =
-        let probe = Snapshot.trace snap src (canonical_packet src dst) in
+        let probe = trace src dst in
         if List.mem dst probe.Snapshot.reached then
           Isolation_breached { src; dst } :: acc
         else acc
@@ -111,13 +116,47 @@ let check_one snap acc = function
           List.fold_left (fun acc b -> breach a b (breach b a acc)) acc group_b)
         acc group_a
 
+let check_with ?(invariants = default) ~trace snap =
+  List.rev (List.fold_left (check_one ~trace snap) [] invariants)
+
+(* The full checker memoizes traces within one call: several invariants
+   probe the same (src, dst) pair, and one canonical packet per pair means
+   one trace per pair suffices. *)
+let memoized_trace snap =
+  let memo = Hashtbl.create 64 in
+  fun src dst ->
+    match Hashtbl.find_opt memo (src, dst) with
+    | Some probe -> probe
+    | None ->
+        let probe = Snapshot.trace snap src (canonical_packet src dst) in
+        Hashtbl.replace memo (src, dst) probe;
+        probe
+
 let check ?(invariants = default) snap =
-  List.rev (List.fold_left (check_one snap) [] invariants)
+  check_with ~invariants ~trace:(memoized_trace snap) snap
+
+(* Dedup key: violation kind plus its endpoints. Deliberately coarser than
+   structural equality — a pre-existing black hole for a pair stays
+   pre-existing even when a new mod moves it to a different switch — and
+   O(1) per violation instead of a quadratic List.mem scan. *)
+let violation_key = function
+  | Forwarding_loop { src; dst; _ } -> ("loop", src, dst)
+  | Black_hole { src; dst; _ } -> ("black-hole", src, dst)
+  | Unreachable { src; dst } -> ("unreachable", src, dst)
+  | Drop_all_rule { sw; priority } -> ("drop-all", sw, priority)
+  | Waypoint_bypassed { src; dst; waypoint } ->
+      (Printf.sprintf "waypoint-%d" waypoint, src, dst)
+  | Isolation_breached { src; dst } -> ("isolation", src, dst)
+
+let diff_new ~before after =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace seen (violation_key v) ()) before;
+  List.filter (fun v -> not (Hashtbl.mem seen (violation_key v))) after
 
 let check_flow_mods ?(invariants = default) snap mods =
   let before = check ~invariants snap in
   let after = check ~invariants (Snapshot.apply_flow_mods snap mods) in
-  List.filter (fun v -> not (List.mem v before)) after
+  diff_new ~before after
 
 let violation_kind = function
   | Forwarding_loop _ -> "forwarding-loop"

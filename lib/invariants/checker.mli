@@ -59,10 +59,35 @@ val default : invariant list
 (** [Loop_freedom; Black_hole_freedom; No_drop_all] — the safety properties
     the paper names (black-holes and network-loops). *)
 
+val canonical_packet :
+  Netsim.Topology.host -> Netsim.Topology.host -> Packet.t
+(** The representative packet used to probe a (src, dst) pair — a
+    VeriFlow-style equivalence-class approximation: one canonical TCP
+    packet per ordered pair. Any cache of traces must key on the same
+    packet the checker probes with. *)
+
 val check : ?invariants:invariant list -> Snapshot.t -> violation list
-(** Violations in the snapshot, probing every ordered host pair with a
-    canonical TCP packet (a VeriFlow-style equivalence-class approximation:
-    one representative packet per pair). *)
+(** Violations in the snapshot, probing every ordered host pair with
+    {!canonical_packet}. Traces are memoized within one call, so several
+    invariants probing the same pair cost one trace. *)
+
+val check_with :
+  ?invariants:invariant list ->
+  trace:(Netsim.Topology.host -> Netsim.Topology.host -> Snapshot.probe) ->
+  Snapshot.t ->
+  violation list
+(** Like {!check} but probing through [trace] instead of tracing the
+    snapshot directly. Violations and their order are identical to
+    {!check} whenever [trace src dst] agrees with
+    [Snapshot.trace snap src (canonical_packet src dst)] — this is how the
+    incremental engine substitutes cached probes without changing
+    results. *)
+
+val diff_new : before:violation list -> violation list -> violation list
+(** The violations of the second list that are new relative to [before],
+    keyed by violation kind and endpoints (not full structural equality,
+    so pre-existing damage that merely shifts location is not counted as
+    new). Order of the second list is preserved. *)
 
 val check_flow_mods :
   ?invariants:invariant list ->

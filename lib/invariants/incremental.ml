@@ -1,0 +1,269 @@
+open Openflow
+module Topology = Netsim.Topology
+module Flow_entry = Netsim.Flow_entry
+module Sw = Netsim.Sw
+module Net = Netsim.Net
+module Clock = Netsim.Clock
+
+type event =
+  | Trace_hit
+  | Trace_miss
+  | Trace_invalidated
+  | Switch_recaptured of Types.switch_id
+  | Check_memoized
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  recaptures : int;
+  memoized_checks : int;
+}
+
+(* A cached probe is valid while every switch it depended on still has the
+   epoch it had when the trace ran. Deps are the switches the packet
+   visited (plus the src/dst attachment switches, which decide whether the
+   trace starts or delivers at all): a trace is built hop by hop from the
+   state of exactly those switches, so if none was re-captured, re-tracing
+   would retread the same hops and produce the same probe. *)
+type cached_trace = {
+  probe : Snapshot.probe;
+  deps : (Types.switch_id * int) list;
+}
+
+type t = {
+  net : Net.t;
+  mutable snap : Snapshot.t;
+  versions : (Types.switch_id, int) Hashtbl.t;
+      (* last-seen Sw.version per switch *)
+  epochs : (Types.switch_id, int) Hashtbl.t;
+      (* bumped on every re-capture; what cache lines key validity on *)
+  horizons : (Types.switch_id, float) Hashtbl.t;
+      (* earliest future instant a flow entry of the switch could expire *)
+  cache : (Topology.host * Topology.host, cached_trace) Hashtbl.t;
+  mutable memo_check : (Checker.invariant list * Checker.violation list) option;
+      (* last full-check result; valid until any switch is re-captured *)
+  observer : event -> unit;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable recaptures : int;
+  mutable memoized : int;
+}
+
+(* Earliest instant at which the entry could expire. [last_used] only ever
+   moves forward (live traffic refreshing an idle timeout), so a horizon
+   computed from it is at worst conservative: the switch gets re-captured
+   no later than the true first expiry. Entries already expired are
+   excluded — they cannot revive (the live table filters expired entries
+   before accounting matches), so they would otherwise pin the horizon in
+   the past and keep the switch permanently dirty. *)
+let deadline (e : Flow_entry.t) =
+  let idle =
+    if e.idle_timeout > 0 then e.last_used +. float e.idle_timeout
+    else infinity
+  in
+  let hard =
+    if e.hard_timeout > 0 then e.installed_at +. float e.hard_timeout
+    else infinity
+  in
+  min idle hard
+
+let horizon_of ~now rules =
+  List.fold_left
+    (fun acc e ->
+      let d = deadline e in
+      if d > now then min acc d else acc)
+    infinity rules
+
+let bump_epoch t sid =
+  Hashtbl.replace t.epochs sid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.epochs sid))
+
+let record t sid ~now =
+  Hashtbl.replace t.versions sid (Sw.version (Net.switch t.net sid));
+  Hashtbl.replace t.horizons sid (horizon_of ~now (Snapshot.entries t.snap sid))
+
+let create ?(observer = fun _ -> ()) net =
+  let t =
+    {
+      net;
+      snap = Snapshot.of_net net;
+      versions = Hashtbl.create 32;
+      epochs = Hashtbl.create 32;
+      horizons = Hashtbl.create 32;
+      cache = Hashtbl.create 256;
+      memo_check = None;
+      observer;
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+      recaptures = 0;
+      memoized = 0;
+    }
+  in
+  let now = Clock.now (Net.clock net) in
+  List.iter
+    (fun sid ->
+      Hashtbl.replace t.epochs sid 0;
+      record t sid ~now)
+    (Topology.switches (Net.topology net));
+  t
+
+(* A switch is dirty when its forwarding-state version moved (rules, port
+   or liveness changes) or when the clock crossed its expiry horizon, in
+   which case some entry may have timed out with no version change. Both
+   re-capture the switch into the persistent snapshot and bump its epoch,
+   invalidating (lazily) every cached trace that visited it. *)
+let refresh t =
+  let now = Clock.now (Net.clock t.net) in
+  let dirty =
+    List.filter
+      (fun sid ->
+        let version_moved =
+          match Hashtbl.find_opt t.versions sid with
+          | Some v -> v <> Sw.version (Net.switch t.net sid)
+          | None -> true
+        in
+        version_moved
+        ||
+        match Hashtbl.find_opt t.horizons sid with
+        | Some h -> now >= h
+        | None -> true)
+      (Topology.switches (Net.topology t.net))
+  in
+  (* Even with nothing dirty the snapshot's clock must advance: no entry of
+     a clean switch crosses its deadline before the horizon, so moving
+     [frozen_at] to [now] changes no lookup there. *)
+  t.snap <- Snapshot.refresh t.snap t.net ~dirty;
+  if dirty <> [] then t.memo_check <- None;
+  List.iter
+    (fun sid ->
+      bump_epoch t sid;
+      record t sid ~now;
+      t.recaptures <- t.recaptures + 1;
+      t.observer (Switch_recaptured sid))
+    dirty
+
+let snapshot t = t.snap
+
+let valid t deps =
+  List.for_all
+    (fun (sid, ep) -> Hashtbl.find_opt t.epochs sid = Some ep)
+    deps
+
+let attachment topo h =
+  match Topology.host_attachment topo h with
+  | Some (sid, _) -> [ sid ]
+  | None -> []
+
+let deps_of t probe src dst =
+  let topo = Snapshot.topology t.snap in
+  let sids =
+    List.map fst probe.Snapshot.path
+    @ attachment topo src @ attachment topo dst
+  in
+  List.map
+    (fun sid -> (sid, Option.value ~default:0 (Hashtbl.find_opt t.epochs sid)))
+    (List.sort_uniq compare sids)
+
+let trace_cached t src dst =
+  match Hashtbl.find_opt t.cache (src, dst) with
+  | Some line when valid t line.deps ->
+      t.hits <- t.hits + 1;
+      t.observer Trace_hit;
+      line.probe
+  | stale ->
+      if stale <> None then begin
+        t.invalidations <- t.invalidations + 1;
+        t.observer Trace_invalidated
+      end;
+      t.misses <- t.misses + 1;
+      t.observer Trace_miss;
+      let probe = Snapshot.trace t.snap src (Checker.canonical_packet src dst) in
+      Hashtbl.replace t.cache (src, dst) { probe; deps = deps_of t probe src dst };
+      probe
+
+(* The steady-state fast path: when refresh re-captured nothing, every
+   switch is bit-identical to the previous check, so the previous violation
+   list — not just the traces behind it — is still the answer. A clean
+   back-to-back check is then one version scan over the switches. Several
+   invariants request the same pair, so live checks also wrap the
+   persistent cache in a per-call memo: each pair is validated once per
+   check, not once per invariant. *)
+let full_check ?invariants t =
+  refresh t;
+  let invs = Option.value ~default:Checker.default invariants in
+  match t.memo_check with
+  | Some (invs', result) when invs' = invs ->
+      t.memoized <- t.memoized + 1;
+      t.observer Check_memoized;
+      result
+  | _ ->
+      let memo = Hashtbl.create 64 in
+      let trace src dst =
+        match Hashtbl.find_opt memo (src, dst) with
+        | Some probe -> probe
+        | None ->
+            let probe = trace_cached t src dst in
+            Hashtbl.replace memo (src, dst) probe;
+            probe
+      in
+      let result = Checker.check_with ~invariants:invs ~trace t.snap in
+      t.memo_check <- Some (invs, result);
+      result
+
+let check ?invariants t = full_check ?invariants t
+
+let check_flow_mods ?invariants t mods =
+  (* The "before" set is mostly cache (or whole-result memo) reads — and
+     misses it takes warm the persistent cache for both the "after" pass
+     and future checks. *)
+  let before = full_check ?invariants t in
+  let overlay = Snapshot.apply_flow_mods t.snap mods in
+  let modified = List.sort_uniq compare (List.map fst mods) in
+  let memo = Hashtbl.create 64 in
+  (* A trace whose visited switches exclude every modified one is identical
+     under the overlay, so the (just-warmed) persistent line is reused.
+     Anything else is traced against the overlay and memoized only for this
+     call — hypothetical state never enters the persistent cache. *)
+  let trace_after src dst =
+    match Hashtbl.find_opt memo (src, dst) with
+    | Some probe -> probe
+    | None ->
+        let probe =
+          match Hashtbl.find_opt t.cache (src, dst) with
+          | Some line
+            when valid t line.deps
+                 && not
+                      (List.exists
+                         (fun (sid, _) -> List.mem sid modified)
+                         line.deps) ->
+              t.hits <- t.hits + 1;
+              t.observer Trace_hit;
+              line.probe
+          | _ ->
+              t.misses <- t.misses + 1;
+              t.observer Trace_miss;
+              Snapshot.trace overlay src (Checker.canonical_packet src dst)
+        in
+        Hashtbl.replace memo (src, dst) probe;
+        probe
+  in
+  let after = Checker.check_with ?invariants ~trace:trace_after overlay in
+  Checker.diff_new ~before after
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    recaptures = t.recaptures;
+    memoized_checks = t.memoized;
+  }
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "trace cache: %d hits, %d misses (%d after invalidation); %d switch \
+     re-captures; %d whole-check memo hits"
+    s.hits s.misses s.invalidations s.recaptures s.memoized_checks

@@ -1,0 +1,74 @@
+(** Incremental invariant checking for the Crash-Pad hot path.
+
+    A full check freezes the whole network ({!Snapshot.of_net}) and traces
+    every host pair from scratch — O(switches + pairs × path length) per
+    transaction even when the app touched one switch. This engine keeps a
+    persistent snapshot and a trace cache between checks and re-does only
+    the work invalidated since the last call:
+
+    - each switch carries a monotonic {!Netsim.Sw.version}; the engine
+      re-captures (and re-shares everything else of) a switch only when its
+      version moved or a flow-entry timeout may have fired;
+    - each cached trace records the switches it visited; it is reused
+      verbatim while none of them was re-captured.
+
+    Results are exactly those of the full {!Checker.check} on a fresh
+    snapshot — the equivalence is exercised property-style in the test
+    suite. *)
+
+open Openflow
+
+type t
+
+(** Cache activity, exposed so the host (Runtime metrics, benches, tests)
+    can count without this library depending on them. *)
+type event =
+  | Trace_hit  (** A cached trace was reused. *)
+  | Trace_miss  (** A pair was traced from scratch (no valid cache line). *)
+  | Trace_invalidated
+      (** A cached trace existed but a visited switch had changed. *)
+  | Switch_recaptured of Types.switch_id
+      (** A switch's state was re-frozen into the persistent snapshot. *)
+  | Check_memoized
+      (** A whole check was answered from the previous result: no switch
+          had changed at all, so neither had the violation list. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** A subset of [misses]. *)
+  recaptures : int;
+  memoized_checks : int;
+}
+
+val create : ?observer:(event -> unit) -> Netsim.Net.t -> t
+(** An engine bound to [net]. The initial snapshot is taken eagerly so the
+    first check starts warm on topology capture (traces still miss). *)
+
+val check : ?invariants:Checker.invariant list -> t -> Checker.violation list
+(** Equal to [Checker.check ~invariants (Snapshot.of_net net)] at the
+    network's current instant, reusing every trace whose visited switches
+    are unchanged since the previous call. *)
+
+val check_flow_mods :
+  ?invariants:Checker.invariant list ->
+  t ->
+  (Types.switch_id * Message.flow_mod) list ->
+  Checker.violation list
+(** Equal to [Checker.check_flow_mods] on a fresh snapshot. The "before"
+    pass reads (and warms) the persistent cache; the "after" pass overlays
+    the hypothetical mods and re-traces only pairs whose cached trace
+    visited a modified switch. Hypothetical results never enter the
+    persistent cache. *)
+
+val refresh : t -> unit
+(** Bring the persistent snapshot up to date with the network without
+    checking anything (both [check] functions do this implicitly). *)
+
+val snapshot : t -> Snapshot.t
+(** The engine's current persistent snapshot (as of the last refresh). *)
+
+val stats : t -> stats
+(** Cumulative cache activity since [create]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

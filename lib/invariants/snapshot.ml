@@ -20,28 +20,28 @@ type t = {
   switches : sw_state Sid_map.t;
 }
 
+let capture_switch net sid =
+  let sw = Net.switch net sid in
+  let ports_down = Hashtbl.create 4 in
+  let port_nos =
+    List.map
+      (fun (p : Sw.port_state) ->
+        if not p.port_up then Hashtbl.replace ports_down p.port_no ();
+        p.port_no)
+      (Sw.port_list sw)
+  in
+  {
+    rules = Flow_table.entries sw.Sw.table;
+    alive = sw.Sw.up;
+    ports_down;
+    port_nos;
+  }
+
 let of_net net =
   let topo = Net.topology net in
   let switches =
     List.fold_left
-      (fun acc sid ->
-        let sw = Net.switch net sid in
-        let ports_down = Hashtbl.create 4 in
-        let port_nos =
-          List.map
-            (fun (p : Sw.port_state) ->
-              if not p.port_up then Hashtbl.replace ports_down p.port_no ();
-              p.port_no)
-            (Sw.port_list sw)
-        in
-        Sid_map.add sid
-          {
-            rules = Flow_table.entries sw.Sw.table;
-            alive = sw.Sw.up;
-            ports_down;
-            port_nos;
-          }
-          acc)
+      (fun acc sid -> Sid_map.add sid (capture_switch net sid) acc)
       Sid_map.empty (Topology.switches topo)
   in
   {
@@ -49,6 +49,17 @@ let of_net net =
     topo;
     switches;
   }
+
+(* Re-capture only the dirty switches; every other per-switch state (and its
+   memoized rules list) is shared structurally with the previous snapshot.
+   The incremental engine decides dirtiness from {!Netsim.Sw.version}. *)
+let refresh t net ~dirty =
+  let switches =
+    List.fold_left
+      (fun acc sid -> Sid_map.add sid (capture_switch net sid) acc)
+      t.switches dirty
+  in
+  { t with frozen_at = Netsim.Clock.now (Net.clock net); switches }
 
 let now t = t.frozen_at
 let topology t = t.topo
@@ -68,31 +79,69 @@ let port_up t sid port =
   | Some s -> not (Hashtbl.mem s.ports_down port)
   | None -> false
 
-(* Apply a flow-mod functionally by rebuilding a scratch table. Entries are
-   immutable for our purposes (counters are irrelevant to invariants). *)
+(* Apply a flow-mod functionally as an overlay on the rule list itself —
+   entries are immutable for our purposes (counters are irrelevant to
+   invariants), so one list pass replaces the old rebuild-a-scratch-table
+   approach, and untouched switches stay fully shared. The semantics mirror
+   Flow_table exactly: priority-descending order, insertion order within a
+   priority (append on add). *)
+let insert_sorted entry rules =
+  let rec go = function
+    | [] -> [ entry ]
+    | (e : Flow_entry.t) :: rest as all ->
+        if entry.Flow_entry.priority > e.priority then entry :: all
+        else e :: go rest
+  in
+  go rules
+
+let touches ~strict pattern ~priority (e : Flow_entry.t) =
+  if strict then priority = e.priority && Ofp_match.equal pattern e.pattern
+  else Ofp_match.subsumes pattern e.pattern
+
 let apply_flow_mod t sid fm =
   match Sid_map.find_opt sid t.switches with
   | None -> t
   | Some s ->
-      let table = Flow_table.create () in
-      List.iter (Flow_table.add table) (List.rev s.rules);
       let open Message in
-      (match fm.command with
-      | Add -> Flow_table.add table (Flow_entry.of_flow_mod ~now:t.frozen_at fm)
-      | Modify | Modify_strict ->
-          let strict = fm.command = Modify_strict in
-          if
-            not
-              (Flow_table.modify table ~strict fm.pattern
-                 ~priority:fm.priority fm.actions)
-          then Flow_table.add table (Flow_entry.of_flow_mod ~now:t.frozen_at fm)
-      | Delete | Delete_strict ->
-          let strict = fm.command = Delete_strict in
-          ignore
-            (Flow_table.delete table ~strict ?out_port:fm.out_port fm.pattern
-               ~priority:fm.priority));
-      let s' = { s with rules = Flow_table.entries table } in
-      { t with switches = Sid_map.add sid s' t.switches }
+      let rules =
+        match fm.command with
+        | Add ->
+            let entry = Flow_entry.of_flow_mod ~now:t.frozen_at fm in
+            insert_sorted entry
+              (List.filter
+                 (fun e -> not (Flow_entry.same_rule e entry))
+                 s.rules)
+        | Modify | Modify_strict ->
+            let strict = fm.command = Modify_strict in
+            let hit = ref false in
+            let mapped =
+              List.map
+                (fun (e : Flow_entry.t) ->
+                  if touches ~strict fm.pattern ~priority:fm.priority e then begin
+                    hit := true;
+                    { e with actions = fm.actions }
+                  end
+                  else e)
+                s.rules
+            in
+            if !hit then mapped
+            else
+              insert_sorted (Flow_entry.of_flow_mod ~now:t.frozen_at fm) s.rules
+        | Delete | Delete_strict ->
+            let strict = fm.command = Delete_strict in
+            let port_ok (e : Flow_entry.t) =
+              match fm.out_port with
+              | None -> true
+              | Some p -> List.mem p (Action.outputs e.actions)
+            in
+            List.filter
+              (fun e ->
+                not
+                  (touches ~strict fm.pattern ~priority:fm.priority e
+                  && port_ok e))
+              s.rules
+      in
+      { t with switches = Sid_map.add sid { s with rules } t.switches }
 
 let apply_flow_mods t mods =
   List.fold_left (fun acc (sid, fm) -> apply_flow_mod acc sid fm) t mods

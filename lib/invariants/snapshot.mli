@@ -12,6 +12,12 @@ type t
 val of_net : Netsim.Net.t -> t
 (** Freeze the current state of a live network. *)
 
+val refresh : t -> Netsim.Net.t -> dirty:Types.switch_id list -> t
+(** A new snapshot at the network's current clock that re-captures only the
+    [dirty] switches; every other switch's state is shared structurally
+    with [t]. The caller (the incremental engine) is responsible for naming
+    every switch whose {!Netsim.Sw.version} moved since [t] was taken. *)
+
 val now : t -> float
 val topology : t -> Netsim.Topology.t
 

@@ -8,8 +8,16 @@ type t
 val create : unit -> t
 
 val size : t -> int
+(** Cached entry count; O(1). *)
+
+val generation : t -> int
+(** Monotonic mutation counter: bumps whenever the rule set changes
+    (add/modify/delete/clear/expire). Snapshot and invariant-cache layers
+    compare generations to detect change without diffing rules. *)
+
 val entries : t -> Flow_entry.t list
-(** Entries in priority order (highest first); ties in insertion order. *)
+(** Entries in priority order (highest first); ties in insertion order.
+    Memoized between mutations — repeated calls return the same list. *)
 
 val clear : t -> unit
 

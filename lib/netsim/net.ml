@@ -245,7 +245,7 @@ let apply_fault t fault =
   | Switch_down sid ->
       let sw = switch t sid in
       if sw.up then begin
-        sw.up <- false;
+        Sw.set_up sw ~up:false;
         (* Carrier drops on every attached link; peers see port-down. *)
         List.iter
           (fun (_, l) -> set_link_state t l ~up:false)
@@ -258,7 +258,7 @@ let apply_fault t fault =
   | Switch_up sid ->
       let sw = switch t sid in
       if not sw.up then begin
-        sw.up <- true;
+        Sw.set_up sw ~up:true;
         (* Reboot semantics: empty table, empty buffers, no dedup memory. *)
         Flow_table.clear sw.table;
         Hashtbl.reset sw.buffers;

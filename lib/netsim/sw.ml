@@ -23,6 +23,7 @@ type t = {
   seen_xids : (Types.xid, unit) Hashtbl.t;
   seen_order : Types.xid Queue.t;
   mutable dups_suppressed : int;
+  mutable cfg_gen : int;
 }
 
 (* Bound on the per-switch dedup window: enough to cover any plausible
@@ -59,7 +60,20 @@ let create ~id ~port_nos =
     seen_xids = Hashtbl.create 64;
     seen_order = Queue.create ();
     dups_suppressed = 0;
+    cfg_gen = 0;
   }
+
+(* Forwarding-relevant configuration version: bumps on any port or liveness
+   change, and folds in the flow table's own mutation counter. Both terms
+   only grow, so equality of [version] across two instants means nothing
+   that affects forwarding behaviour changed in between. *)
+let version t = t.cfg_gen + Flow_table.generation t.table
+
+let set_up t ~up =
+  if t.up <> up then begin
+    t.up <- up;
+    t.cfg_gen <- t.cfg_gen + 1
+  end
 
 (* Exactly-once support for a lossy control channel: state-altering
    messages carry unique non-zero xids, and a retransmitted xid must not
@@ -94,6 +108,7 @@ let set_port t n ~up =
   match port t n with
   | None -> false
   | Some p ->
+      if p.port_up <> up then t.cfg_gen <- t.cfg_gen + 1;
       p.port_up <- up;
       true
 

@@ -31,10 +31,22 @@ type t = {
   mutable dups_suppressed : int;
       (** Retransmitted state-altering messages whose effects were
           suppressed by the dedup window. *)
+  mutable cfg_gen : int;
+      (** Port/liveness change counter; see {!version}. *)
 }
 
 val create : id:Types.switch_id -> port_nos:Types.port_no list -> t
 (** A switch with the given wired ports, all initially up. *)
+
+val version : t -> int
+(** Monotonic forwarding-state version: changes whenever the flow table,
+    a port's up/down state or the switch's liveness changes. Equal
+    versions at two instants guarantee identical forwarding behaviour,
+    which is what the incremental invariant checker keys its caches on. *)
+
+val set_up : t -> up:bool -> unit
+(** Change switch liveness, bumping {!version} on a real transition. The
+    network layer uses this instead of writing the [up] field directly. *)
 
 val reset_dedup : t -> unit
 (** Forget the xid dedup window (reboot semantics: a rebooted switch has

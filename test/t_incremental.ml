@@ -1,0 +1,305 @@
+(* The incremental invariant checker must be observationally equal to the
+   full checker — same violations, same order — no matter what happened to
+   the network since its caches were last valid. The property below drives
+   both through arbitrary flow-mod / fault / clock sequences; the unit
+   tests pin the invalidation paths that are easy to get wrong (reboots,
+   flow timeouts, partition + resync, hypothetical-overlay pollution). *)
+
+open Openflow
+open Netsim
+module Checker = Invariants.Checker
+module Snapshot = Invariants.Snapshot
+module Incremental = Invariants.Incremental
+module Runtime = Legosdn.Runtime
+module Metrics = Legosdn.Metrics
+
+let mac = Types.mac_of_host
+
+(* Small vocabularies keep collisions (same rule re-added, deletes that
+   actually hit, rules shadowing each other) frequent. Port 77 is unwired
+   on every generated topology, so black holes appear regularly. *)
+let patterns =
+  [|
+    Ofp_match.any;
+    Ofp_match.make ~dl_dst:(mac 1) ();
+    Ofp_match.make ~dl_dst:(mac 2) ();
+    Ofp_match.make ~dl_dst:(mac 3) ();
+    Ofp_match.make ~tp_dst:80 ();
+    Ofp_match.make ~dl_dst:(mac 2) ~tp_dst:80 ();
+  |]
+
+let action_sets =
+  [|
+    [ Action.Output 1 ];
+    [ Action.Output 2 ];
+    [ Action.Output 100 ];
+    [ Action.Output 77 ];
+    [];
+    [ Action.Output Types.port_flood ];
+  |]
+
+let priorities = [| 10; Message.default_priority; 65000 |]
+let timeouts = [| 0; 1; 3 |]
+
+type op =
+  | Flow of int * Message.flow_mod
+  | Fault of Net.fault
+  | Advance of float
+
+let gen_install =
+  QCheck2.Gen.(
+    map
+      (fun (sid, (p, a), (prio, (idle, hard))) ->
+        Flow
+          ( sid,
+            Message.flow_add
+              ~idle_timeout:timeouts.(idle) ~hard_timeout:timeouts.(hard)
+              ~priority:priorities.(prio) patterns.(p) action_sets.(a) ))
+      (triple (int_range 1 3)
+         (pair (int_bound 5) (int_bound 5))
+         (pair (int_bound 2) (pair (int_bound 2) (int_bound 2)))))
+
+let gen_delete =
+  QCheck2.Gen.(
+    map
+      (fun (sid, p, strict) ->
+        Flow (sid, Message.flow_delete ~strict patterns.(p)))
+      (triple (int_range 1 3) (int_bound 5) bool))
+
+let gen_op =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, gen_install);
+        (2, gen_delete);
+        (1, map (fun s -> Fault (Net.Switch_down s)) (int_range 1 3));
+        (1, map (fun s -> Fault (Net.Switch_up s)) (int_range 1 3));
+        ( 1,
+          map
+            (fun (s, p) -> Fault (Net.Port_down (s, p)))
+            (pair (int_range 1 3) (oneofl [ 1; 2; 100 ])) );
+        ( 1,
+          map
+            (fun (s, p) -> Fault (Net.Port_up (s, p)))
+            (pair (int_range 1 3) (oneofl [ 1; 2; 100 ])) );
+        (2, map (fun d -> Advance (float_of_int d *. 0.7)) (int_range 0 5));
+      ])
+
+let apply_op net clock = function
+  | Flow (sid, fm) ->
+      ignore (Net.send net sid (Message.message (Message.Flow_mod fm)))
+  | Fault f -> Net.apply_fault net f
+  | Advance d -> Clock.advance_by clock d
+
+(* Invariants chosen to exercise every probe consumer: pair traces (loops,
+   black holes, reachability, isolation) and rule scans (drop-all). *)
+let invs =
+  [
+    Checker.Loop_freedom;
+    Checker.Black_hole_freedom;
+    Checker.No_drop_all;
+    Checker.Pairwise_reachability [ (1, 3); (3, 1) ];
+    Checker.Isolation { group_a = [ 1 ]; group_b = [ 3 ] };
+  ]
+
+let make_net ring =
+  let clock = Clock.create () in
+  let topo =
+    if ring then Topo_gen.ring ~hosts_per_switch:1 3
+    else Topo_gen.linear ~hosts_per_switch:1 3
+  in
+  let net = Net.create clock topo in
+  ignore (Net.poll net);
+  (clock, net)
+
+(* The engine persists across the whole sequence — precisely what Crash-Pad
+   does across transactions — while the reference checker re-freezes the
+   world at every step. *)
+let prop_check_equiv =
+  QCheck2.Test.make
+    ~name:"incremental check = full check across arbitrary sequences"
+    ~count:500
+    QCheck2.Gen.(pair bool (list_size (int_range 1 12) gen_op))
+    (fun (ring, ops) ->
+      let clock, net = make_net ring in
+      let eng = Incremental.create net in
+      List.for_all
+        (fun op ->
+          apply_op net clock op;
+          Incremental.check ~invariants:invs eng
+          = Checker.check ~invariants:invs (Snapshot.of_net net))
+        ops)
+
+let gen_mod =
+  QCheck2.Gen.(
+    map
+      (fun (sid, op) ->
+        match op with
+        | Flow (_, fm) -> (sid, fm)
+        | _ -> assert false)
+      (pair (int_range 1 3) (frequency [ (3, gen_install); (1, gen_delete) ])))
+
+let prop_flow_mods_equiv =
+  QCheck2.Test.make
+    ~name:"incremental check_flow_mods = full differential check" ~count:500
+    QCheck2.Gen.(
+      triple bool
+        (list_size (int_range 0 8) gen_op)
+        (list_size (int_range 1 3) gen_mod))
+    (fun (ring, ops, mods) ->
+      let clock, net = make_net ring in
+      let eng = Incremental.create net in
+      List.iter (apply_op net clock) ops;
+      (* Warm the persistent cache first, as a previous transaction would
+         have; the hypothetical pass must not be disturbed by (or disturb)
+         it. *)
+      ignore (Incremental.check ~invariants:invs eng);
+      Incremental.check_flow_mods ~invariants:invs eng mods
+      = Checker.check_flow_mods ~invariants:invs (Snapshot.of_net net) mods)
+
+(* -- unit tests ---------------------------------------------------------- *)
+
+let install net sid ?(priority = Message.default_priority) ?(idle = 0)
+    pattern actions =
+  ignore
+    (Net.send net sid
+       (Message.message
+          (Message.Flow_mod
+             (Message.flow_add ~idle_timeout:idle ~priority pattern actions))))
+
+let check_agrees msg eng net =
+  T_util.checkb msg true
+    (Incremental.check ~invariants:invs eng
+    = Checker.check ~invariants:invs (Snapshot.of_net net))
+
+let test_warm_cache_hits () =
+  let _, net = make_net false in
+  install net 1 (Ofp_match.make ~dl_dst:(mac 2) ()) [ Action.Output 1 ];
+  let eng = Incremental.create net in
+  check_agrees "first (cold) check agrees" eng net;
+  let cold = Incremental.stats eng in
+  T_util.checkb "cold check traced pairs" true (cold.Incremental.misses > 0);
+  (* An untouched network: the whole previous result is still valid. *)
+  check_agrees "second (warm) check agrees" eng net;
+  let warm = Incremental.stats eng in
+  T_util.checki "warm check was memoized wholesale" 1
+    warm.Incremental.memoized_checks;
+  T_util.checki "warm check traced nothing" cold.Incremental.misses
+    warm.Incremental.misses;
+  T_util.checki "warm check recaptured nothing" cold.Incremental.recaptures
+    warm.Incremental.recaptures;
+  (* Touch one switch: only traces through it re-run; the rest are served
+     from the per-pair cache. *)
+  install net 1 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 1 ];
+  check_agrees "third (partially dirty) check agrees" eng net;
+  let dirty = Incremental.stats eng in
+  T_util.checkb "unaffected traces reused" true
+    (dirty.Incremental.hits > warm.Incremental.hits);
+  T_util.checkb "stale traces re-run" true
+    (dirty.Incremental.invalidations > warm.Incremental.invalidations)
+
+let test_switch_reboot_invalidates () =
+  let _, net = make_net false in
+  install net 1 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 1 ];
+  install net 2 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 2 ];
+  install net 3 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 100 ];
+  let eng = Incremental.create net in
+  check_agrees "warmed" eng net;
+  Net.apply_fault net (Net.Switch_down 2);
+  check_agrees "agrees while switch down" eng net;
+  Net.apply_fault net (Net.Switch_up 2);
+  (* The reboot emptied s2's table: cached traces through it must die. *)
+  check_agrees "agrees after reboot" eng net;
+  let s = Incremental.stats eng in
+  T_util.checkb "reboot invalidated cached traces" true
+    (s.Incremental.invalidations > 0);
+  T_util.checkb "reboot re-captured the switch" true
+    (s.Incremental.recaptures > 0)
+
+let test_flow_timeout_invalidates () =
+  let clock, net = make_net false in
+  install net 1 ~idle:1 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 1 ];
+  install net 2 ~idle:1 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 2 ];
+  install net 3 ~idle:1 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 100 ];
+  let eng = Incremental.create net in
+  check_agrees "path up while rules live" eng net;
+  (* No flow-mod, no fault: only the clock moves. The engine must notice
+     the idle expiry on its own (the horizon mechanism) — a version-only
+     scheme would serve the stale reachable trace here. *)
+  Clock.advance_by clock 5.0;
+  check_agrees "agrees after idle expiry" eng net;
+  T_util.checkb "expiry made the pair unreachable" true
+    (List.exists
+       (function Checker.Unreachable _ -> true | _ -> false)
+       (Incremental.check ~invariants:invs eng))
+
+let test_hypothetical_mods_do_not_pollute () =
+  let _, net = make_net false in
+  install net 1 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 1 ];
+  install net 2 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 2 ];
+  install net 3 (Ofp_match.make ~dl_dst:(mac 3) ()) [ Action.Output 100 ];
+  let eng = Incremental.create net in
+  check_agrees "warmed" eng net;
+  let harmful =
+    [ (2, Message.flow_delete (Ofp_match.make ~dl_dst:(mac 3) ())) ]
+  in
+  T_util.checkb "hypothetical delete flagged" true
+    (Incremental.check_flow_mods ~invariants:invs eng harmful <> []);
+  (* The overlay trace (unreachable) must not have replaced the persistent
+     one: the live network still has the rule. *)
+  check_agrees "persistent cache untouched by overlay" eng net;
+  T_util.checkb "live 1->3 path still clean" true
+    (not
+       (List.exists
+          (function
+            | Checker.Unreachable { src = 1; dst = 3 } -> true
+            | _ -> false)
+          (Incremental.check ~invariants:invs eng)))
+
+(* Partition, degrade, heal: the reliable layer replays shadow intent into
+   the rebooted switch (PR "Reliable resync"); the runtime's engine must
+   track every one of those writes and agree with a fresh full check at
+   each stage. *)
+let test_partition_heal_resync_equivalence () =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
+  let rt = Runtime.create net [ (module Apps.Learning_switch) ] in
+  let eng = Runtime.incremental rt in
+  Runtime.step rt;
+  List.iter
+    (fun (src, dst) ->
+      Clock.advance_by clock 0.05;
+      Net.inject net src (Packet.tcp ~src_host:src ~dst_host:dst ());
+      Runtime.step rt)
+    [ (1, 3); (3, 1); (1, 3); (3, 1) ];
+  T_util.checkb "path warmed" true (Net.reachable net 1 3);
+  check_agrees "agrees on warmed path" eng net;
+  Net.apply_fault net (Net.Switch_down 2);
+  Runtime.step rt;
+  check_agrees "agrees while switch down" eng net;
+  Net.apply_fault net (Net.Switch_up 2);
+  Runtime.step rt;
+  (* Resync replays the learned rules into the empty rebooted table via
+     the control channel, not via apply_fault — exactly the kind of write
+     the version counters must pick up. *)
+  T_util.checkb "resync repaired the path" true (Net.reachable net 1 3);
+  check_agrees "agrees after resync replay" eng net;
+  T_util.checkb "metrics saw cache traffic" true
+    (Metrics.inv_trace_hits (Runtime.metrics rt)
+     + Metrics.inv_trace_misses (Runtime.metrics rt)
+    > 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_check_equiv;
+    QCheck_alcotest.to_alcotest prop_flow_mods_equiv;
+    Alcotest.test_case "warm cache reuses traces" `Quick test_warm_cache_hits;
+    Alcotest.test_case "switch reboot invalidates" `Quick
+      test_switch_reboot_invalidates;
+    Alcotest.test_case "flow timeout invalidates" `Quick
+      test_flow_timeout_invalidates;
+    Alcotest.test_case "hypothetical mods do not pollute" `Quick
+      test_hypothetical_mods_do_not_pollute;
+    Alcotest.test_case "partition-heal resync equivalence" `Quick
+      test_partition_heal_resync_equivalence;
+  ]
