@@ -468,11 +468,88 @@ let bench_incremental () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E22 — observability overhead: the same control-loop hot paths with the
+   no-op tracer vs a live ring-buffer tracer, plus the tracer's unit
+   costs. The derived "obs-*-overhead" ratios are the acceptance numbers:
+   tracing on must stay within a few percent of tracing off on the
+   dispatch path, and the no-op tracer is a single branch. *)
+
+let bench_obs () =
+  let make_rt () =
+    let net =
+      Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3)
+    in
+    let rt = Runtime.create net [ (module Apps.Hub) ] in
+    Runtime.step rt;
+    (net, rt)
+  in
+  let off_net, off_rt = make_rt () in
+  let on_net, on_rt = make_rt () in
+  (* A modest ring reaches wraparound (steady state) during warm-up, so
+     the measured slope is the tracer's per-span work rather than the
+     live-heap growth of a still-filling 65536-slot ring. *)
+  let ring = 8192 in
+  Runtime.set_tracer on_rt
+    (Obs.Tracer.create ~capacity:ring
+       ~now:(fun () -> Clock.now (Net.clock on_net))
+       ());
+  let ev = packet_in_event 1 2 in
+  (* The per-transaction screening call (E21's hot path), traced vs not. *)
+  let screen_net = Net.create (Clock.create ()) (Topo_gen.fat_tree 4) in
+  ignore (Net.poll screen_net);
+  let screen_engine = Invariants.Incremental.create screen_net in
+  ignore (Invariants.Incremental.check screen_engine);
+  let screen_tracer =
+    Obs.Tracer.create ~capacity:ring
+      ~now:(fun () -> Clock.now (Net.clock screen_net))
+      ()
+  in
+  let mods =
+    List.init 3 (fun i ->
+        Command.Flow
+          ( (i mod 4) + 1,
+            Openflow.Message.flow_add
+              (Openflow.Ofp_match.make ~tp_src:(i + 1) ())
+              [ Openflow.Action.Output 1 ] ))
+  in
+  let screen tracer =
+    ignore
+      (Legosdn.Detector.check_byzantine ~tracer ~engine:screen_engine
+         ~invariants:Invariants.Checker.default screen_net mods)
+  in
+  let prim = Obs.Tracer.create ~capacity:4096 ~now:(fun () -> 0.) () in
+  let hist = Obs.Histogram.create () in
+  [
+    Test.make ~name:"dispatch-tracing-off"
+      (Staged.stage (fun () ->
+           Runtime.dispatch_event off_rt ev;
+           ignore (Net.poll off_net)));
+    Test.make ~name:"dispatch-tracing-on"
+      (Staged.stage (fun () ->
+           Runtime.dispatch_event on_rt ev;
+           ignore (Net.poll on_net)));
+    Test.make ~name:"screen-tracing-off"
+      (Staged.stage (fun () -> screen Obs.Tracer.noop));
+    Test.make ~name:"screen-tracing-on"
+      (Staged.stage (fun () -> screen screen_tracer));
+    Test.make ~name:"span-start-finish"
+      (Staged.stage (fun () ->
+           Obs.Tracer.finish prim (Obs.Tracer.start prim Obs.Span.App_handle)));
+    Test.make ~name:"tracer-instant"
+      (Staged.stage (fun () -> Obs.Tracer.instant prim Obs.Span.Inv_cache_hit));
+    Test.make ~name:"histogram-observe"
+      (Staged.stage (fun () -> Obs.Histogram.observe hist 3.2e-6));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 type row = { group : string; test : string; ns_per_run : float; r2 : float }
 
+(* All measurement progress goes to stderr so that stdout carries nothing
+   but the JSON when [--json -] is used (and so that [--json FILE] runs
+   can be piped or captured without interleaved progress lines). *)
 let run_group ~quota (experiment, title, tests) =
-  Printf.printf "\n### %s — %s\n%!" experiment title;
+  Printf.eprintf "\n### %s — %s\n%!" experiment title;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -493,7 +570,7 @@ let run_group ~quota (experiment, title, tests) =
          let r2 =
            match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
          in
-         Printf.printf "  %-42s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2;
+         Printf.eprintf "  %-42s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2;
          (* Bechamel reports "<group>/<test>"; keep the bare test name so
             consumers can address tests without knowing their cluster. *)
          let prefix = experiment ^ "/" in
@@ -535,7 +612,7 @@ let ratio rows ~num ~den =
   | _ -> None
 
 let write_json path rows =
-  let oc = open_out path in
+  let oc = if path = "-" then stdout else open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->
@@ -564,12 +641,17 @@ let write_json path rows =
         ( "flow-mods-full-over-incremental-speedup",
           "check-flow-mods-full",
           "check-flow-mods-incremental" );
+        ("obs-dispatch-overhead", "dispatch-tracing-on", "dispatch-tracing-off");
+        ("obs-screen-overhead", "screen-tracing-on", "screen-tracing-off");
       ]
   in
   output_string oc (String.concat ",\n" derived);
   output_string oc "\n  }\n}\n";
-  close_out oc;
-  Printf.printf "\nwrote %s\n%!" path
+  if path = "-" then flush oc
+  else begin
+    close_out oc;
+    Printf.eprintf "\nwrote %s\n%!" path
+  end
 
 (* Test lists are thunks so that [--only] skips the setup work (traffic
    population, scenario builds) of every unselected cluster. *)
@@ -586,6 +668,7 @@ let groups () =
     ("E20", "control-channel model + reliable delivery", bench_channel);
     ("scenario", "end-to-end 10-virtual-second scenario runs", bench_scenario);
     ("invariants", "incremental vs full invariant checking", bench_incremental);
+    ("obs", "tracing overhead on the hot paths (E22)", bench_obs);
   ]
 
 let () =
@@ -595,7 +678,7 @@ let () =
   Arg.parse
     [
       ("--json", Arg.Set_string json_path,
-       "FILE  also write results as JSON to FILE");
+       "FILE  also write results as JSON to FILE ('-' for stdout)");
       ("--only", Arg.Set_string only,
        "GROUP  run only the named cluster (e.g. invariants, E4)");
       ("--quota", Arg.Set_float quota,
@@ -603,7 +686,7 @@ let () =
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench [--only GROUP] [--quota SECONDS] [--json FILE]";
-  Printf.printf "LegoSDN benchmark harness (see EXPERIMENTS.md for the index)\n";
+  Printf.eprintf "LegoSDN benchmark harness (see EXPERIMENTS.md for the index)\n";
   let selected =
     if !only = "" then groups ()
     else

@@ -89,7 +89,7 @@ let read_file path =
 (* ---------------- the run command ---------------- *)
 
 let run_scenario make_topology arch app_names bug policy_file config_file duration
-    verbose =
+    trace_out trace_buffer verbose =
   let apps =
     List.filter_map
       (fun name ->
@@ -153,6 +153,10 @@ let run_scenario make_topology arch app_names bug policy_file config_file durati
     Scenario.make ~make_topology ~duration ~traffic ~tick_interval:1.
       ~restart_delay:10. ()
   in
+  if trace_out <> None && arch = "monolithic" then
+    Printf.eprintf
+      "warning: --trace-out is ignored for the monolithic baseline (no \
+       runtime to trace)\n";
   let runtime_holder = ref None in
   let report =
     match arch with
@@ -162,10 +166,32 @@ let run_scenario make_topology arch app_names bug policy_file config_file durati
     | _ ->
         Scenario.run scenario ~make_driver:(fun net ->
             let rt = Runtime.create ~config net apps in
+            if trace_out <> None then
+              (* Virtual time for span placement; the host's real clock for
+                 durations, so the exported timeline carries genuine
+                 per-stage latencies (experiment E22). *)
+              Runtime.set_tracer rt
+                (Obs.Tracer.create ~capacity:trace_buffer
+                   ~wall:Unix.gettimeofday
+                   ~now:(fun () -> Clock.now (Net.clock net))
+                   ());
             runtime_holder := Some rt;
             Scenario.legosdn_driver rt)
   in
   Format.printf "%a@." Scenario.pp_report report;
+  (match (!runtime_holder, trace_out) with
+  | Some rt, Some path ->
+      let tracer = Runtime.tracer rt in
+      let spans = Obs.Tracer.spans tracer in
+      Obs.Export.save path spans;
+      Printf.printf "trace: %d span(s) written to %s (%d recorded, %d \
+                     dropped by the ring)\n"
+        (List.length spans) path
+        (Obs.Tracer.recorded tracer)
+        (Obs.Tracer.dropped tracer);
+      if verbose then
+        Format.printf "span latencies:@.%a@." Obs.Tracer.pp_summary tracer
+  | _ -> ());
   (match !runtime_holder with
   | Some rt when verbose ->
       Format.printf "@.metrics: %a@." Legosdn.Metrics.pp (Runtime.metrics rt);
@@ -268,6 +294,39 @@ let minimize_trace trace_path app_name bug =
         `Ok ()
       end
 
+(* ---------------- the validate-trace command ---------------- *)
+
+let validate_trace path =
+  match Obs.Export.load path with
+  | Error e ->
+      Printf.eprintf "%s: cannot decode: %s\n" path e;
+      exit 1
+  | Ok spans -> (
+      match Obs.Export.validate spans with
+      | Error e ->
+          Printf.eprintf "%s: ill-formed trace: %s\n" path e;
+          exit 1
+      | Ok () ->
+          let kinds = Obs.Export.kinds spans in
+          Printf.printf "%s: OK — %d span(s), kinds: %s\n" path
+            (List.length spans)
+            (if kinds = [] then "(none)"
+             else String.concat ", " (List.map Obs.Span.kind_name kinds));
+          (* Per-kind latency digest, recomputed from the file itself. *)
+          List.iter
+            (fun kind ->
+              let hist = Obs.Histogram.create () in
+              List.iter
+                (fun (s : Obs.Span.t) ->
+                  if s.kind = kind && not (Obs.Span.is_instant s) then
+                    Obs.Histogram.observe hist (Obs.Span.duration s))
+                spans;
+              if Obs.Histogram.count hist > 0 then
+                Format.printf "  %-10s %a@." (Obs.Span.kind_name kind)
+                  Obs.Histogram.pp hist)
+            kinds;
+          `Ok ())
+
 (* ---------------- the check-policy command ---------------- *)
 
 let check_config path =
@@ -352,12 +411,26 @@ let duration_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print metrics and tickets.")
 
+let trace_out_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the run's span trace as Chrome-trace JSON (open in \
+                 chrome://tracing or validate with $(b,validate-trace)).")
+
+let trace_buffer_arg =
+  Arg.(value & opt int 65536
+       & info [ "trace-buffer" ] ~docv:"N"
+           ~doc:"Span ring-buffer capacity; the oldest spans are dropped \
+                 once it wraps.")
+
 let run_cmd =
   let doc = "Run a traffic scenario against a controller architecture" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret
             (const run_scenario $ topo_arg $ arch_arg $ apps_arg $ bug_arg
-             $ policy_arg $ config_arg $ duration_arg $ verbose_arg))
+             $ policy_arg $ config_arg $ duration_arg $ trace_out_arg
+             $ trace_buffer_arg $ verbose_arg))
 
 let check_policy_cmd =
   let doc = "Parse and echo a Crash-Pad policy file" in
@@ -397,10 +470,22 @@ let minimize_cmd =
   Cmd.v (Cmd.info "minimize" ~doc)
     Term.(ret (const minimize_trace $ trace_pos $ app_pos $ bug_required))
 
+let validate_trace_cmd =
+  let doc =
+    "Decode a Chrome-trace JSON file produced by $(b,run --trace-out) (or \
+     embedded in a fuzzer reproducer), check its structural \
+     well-formedness, and print a per-stage latency digest"
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "validate-trace" ~doc) Term.(ret (const validate_trace $ path))
+
 let () =
   let doc = "LegoSDN command-line playground" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "legosdn_cli" ~doc)
-          [ run_cmd; check_policy_cmd; check_config_cmd; record_cmd; minimize_cmd ]))
+          [
+            run_cmd; check_policy_cmd; check_config_cmd; record_cmd;
+            minimize_cmd; validate_trace_cmd;
+          ]))

@@ -82,6 +82,14 @@ let replay_arg =
   let doc = "Replay a reproducer file instead of fuzzing." in
   Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Span-trace the minimized run of every finding with a ring buffer of \
+     $(docv) spans; the trace is embedded in the reproducer file as \
+     Chrome-trace JSON."
+  in
+  Arg.(value & opt (some int) None & info [ "trace-buffer" ] ~docv:"N" ~doc)
+
 let select_oracles = function
   | None -> Check.Oracle.all
   | Some csv ->
@@ -102,10 +110,23 @@ let do_replay oracles path =
     path
     (Check.Spec.summary repro.Check.Repro.spec)
     repro.Check.Repro.oracle repro.Check.Repro.detail;
+  let spans_ok =
+    match repro.Check.Repro.spans with
+    | [] -> true
+    | spans -> (
+        match Obs.Export.validate spans with
+        | Ok () ->
+            Printf.printf "  embedded span trace: %d span(s), well-formed\n%!"
+              (List.length spans);
+            true
+        | Error e ->
+            Printf.printf "  embedded span trace: INVALID (%s)\n%!" e;
+            false)
+  in
   let r = Check.Repro.replay ~oracles repro in
   Printf.printf "  reproduced: %b\n  trace byte-identical: %b\n%!"
     r.Check.Repro.reproduced r.Check.Repro.same_trace;
-  if r.Check.Repro.reproduced && r.Check.Repro.same_trace then begin
+  if r.Check.Repro.reproduced && r.Check.Repro.same_trace && spans_ok then begin
     Printf.printf "replay OK\n%!";
     0
   end
@@ -114,7 +135,7 @@ let do_replay oracles path =
     2
   end
 
-let do_fuzz oracles seeds budget plant out =
+let do_fuzz oracles seeds budget plant trace_buffer out =
   Printf.printf "fuzzing %d seed(s), oracles: %s, plant: %s\n%!"
     (List.length seeds)
     (String.concat "," (List.map (fun o -> o.Check.Oracle.name) oracles))
@@ -135,14 +156,15 @@ let do_fuzz oracles seeds budget plant out =
     Printf.printf "  reproducer: %s\n%!" path
   in
   let result =
-    Check.Fuzz.campaign ~oracles ~plant ?max_findings:budget ~on_finding seeds
+    Check.Fuzz.campaign ~oracles ~plant ?trace_buffer ?max_findings:budget
+      ~on_finding seeds
   in
   Printf.printf "%d seed(s) run, %d finding(s)\n%!"
     result.Check.Fuzz.seeds_run
     (List.length result.Check.Fuzz.findings);
   if result.Check.Fuzz.findings = [] then 0 else 2
 
-let main seeds budget oracles_csv out plant replay =
+let main seeds budget oracles_csv out plant trace_buffer replay =
   match
     (try Ok (select_oracles oracles_csv)
      with Invalid_argument msg -> Error msg)
@@ -153,7 +175,7 @@ let main seeds budget oracles_csv out plant replay =
   | Ok oracles -> (
       match replay with
       | Some path -> do_replay oracles path
-      | None -> do_fuzz oracles seeds budget plant out)
+      | None -> do_fuzz oracles seeds budget plant trace_buffer out)
 
 let cmd =
   let doc = "deterministic scenario fuzzer for the LegoSDN stack" in
@@ -161,6 +183,6 @@ let cmd =
     (Cmd.info "legosdn_fuzz" ~doc)
     Term.(
       const main $ seeds_arg $ budget_arg $ oracles_arg $ out_arg $ plant_arg
-      $ replay_arg)
+      $ trace_arg $ replay_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -47,8 +47,10 @@ let shrink ?oracles spec (failure : Runner.failure) =
   Sts.minimize_with_oracle failing spec.Spec.elements
 
 (* Run one seed; on failure, minimize and re-run the minimized spec so the
-   finding carries the trace that belongs to the reproducer. *)
-let run_seed ?oracles ?(plant = No_plant) seed =
+   finding carries the trace that belongs to the reproducer. Only that
+   final run is traced ([trace_buffer]): the scan and the shrink loop stay
+   untraced — spans would describe runs the reproducer doesn't contain. *)
+let run_seed ?oracles ?(plant = No_plant) ?trace_buffer seed =
   let spec = apply_plant plant (Gen.scenario seed) in
   let r = Runner.run ?oracles spec in
   match r.Runner.failure with
@@ -56,7 +58,7 @@ let run_seed ?oracles ?(plant = No_plant) seed =
   | Some f ->
       let minimal, shrink_runs = shrink ?oracles spec f in
       let minimized = { spec with Spec.elements = minimal } in
-      let result = Runner.run ?oracles minimized in
+      let result = Runner.run ?oracles ?trace_buffer minimized in
       let oracle, detail =
         (* The minimized run must fail the same oracle (the shrink oracle
            guaranteed it); keep its detail, which describes the minimal
@@ -73,6 +75,7 @@ let reproducer_of (f : finding) =
     oracle = f.oracle;
     detail = f.detail;
     trace = f.result.Runner.trace;
+    spans = f.result.Runner.spans;
   }
 
 type campaign_result = {
@@ -82,7 +85,7 @@ type campaign_result = {
 
 (* [on_finding] fires as findings surface (the CLI streams them);
    [max_findings] bounds the minimization work, not the scan. *)
-let campaign ?oracles ?(plant = No_plant) ?max_findings
+let campaign ?oracles ?(plant = No_plant) ?trace_buffer ?max_findings
     ?(on_finding = fun (_ : finding) -> ()) seeds =
   let findings = ref [] in
   let ran = ref 0 in
@@ -95,7 +98,7 @@ let campaign ?oracles ?(plant = No_plant) ?max_findings
     (fun seed ->
       if budget_left () then begin
         incr ran;
-        match run_seed ?oracles ~plant seed with
+        match run_seed ?oracles ~plant ?trace_buffer seed with
         | None -> ()
         | Some f ->
             findings := f :: !findings;

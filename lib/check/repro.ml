@@ -1,21 +1,26 @@
 (* Durable reproducers for failing seeds. A reproducer file bundles the
-   (minimized) scenario spec, which oracle failed and why, and the exact
-   event trace of the failing run in Trace_io's wire format — so a
-   reproducer is both replayable (re-run the spec, expect the same oracle
-   to fail) and auditable (the recorded trace can be inspected or diffed
-   byte-for-byte against the replay without re-deriving anything). *)
+   (minimized) scenario spec, which oracle failed and why, the exact event
+   trace of the failing run in Trace_io's wire format, and (version 2) the
+   run's structured span trace as Chrome-trace JSON — so a reproducer is
+   replayable (re-run the spec, expect the same oracle to fail), auditable
+   (the recorded trace can be inspected or diffed byte-for-byte against
+   the replay), and now *explainable*: the span timeline shows what the
+   runtime was doing when the oracle tripped. Version-1 files (no spans)
+   still load. *)
 
 open Openflow
 module Trace_io = Workload.Trace_io
 module Event = Controller.Event
 
-let magic = "LSDNREP1"
+let magic = "LSDNREP2"
+let magic_v1 = "LSDNREP1"
 
 type t = {
   spec : Spec.t;
   oracle : string;
   detail : string;
   trace : Event.t list;
+  spans : Obs.Span.t list;
 }
 
 let put_block w b =
@@ -33,18 +38,29 @@ let encode t =
   Spec.put_string w t.oracle;
   Spec.put_string w t.detail;
   put_block w (Trace_io.encode t.trace);
+  (* Spans travel as Chrome-trace JSON: the same bytes a --trace-out file
+     holds, so any reproducer's timeline opens in chrome://tracing too. *)
+  put_block w (Bytes.of_string (Obs.Export.to_chrome t.spans));
   Buf.contents w
 
 let decode b =
   let r = Buf.reader b in
   let m = Bytes.to_string (Buf.read_raw r (String.length magic)) in
-  if m <> magic then
+  if m <> magic && m <> magic_v1 then
     raise (Spec.Decode_error (Printf.sprintf "bad reproducer magic %S" m));
   let spec = Spec.decode_from r in
   let oracle = Spec.get_string r in
   let detail = Spec.get_string r in
   let trace = Trace_io.decode (get_block r) in
-  { spec; oracle; detail; trace }
+  let spans =
+    if m = magic_v1 then []
+    else
+      match Obs.Export.of_chrome (Bytes.to_string (get_block r)) with
+      | Ok spans -> spans
+      | Error e ->
+          raise (Spec.Decode_error (Printf.sprintf "bad span trace: %s" e))
+  in
+  { spec; oracle; detail; trace; spans }
 
 let save path t =
   let oc = open_out_bin path in

@@ -29,6 +29,8 @@ type result = {
   trace : Event.t list;  (* every event dispatched to the sandboxes *)
   checks : int;  (* individual oracle evaluations performed *)
   events_dispatched : int;
+  spans : Obs.Span.t list;
+      (* the run's structured trace; empty unless [trace_buffer] was given *)
 }
 
 let build_topology = function
@@ -163,7 +165,11 @@ let settle_time spec =
   Float.min 30.0
     (Float.max 4.0 (worst_backoff +. (spec.Spec.base_timeout *. 16.)))
 
-let run ?(oracles = Oracle.all) spec =
+(* [trace_buffer]: ring-buffer capacity for span tracing; [None] runs with
+   the no-op tracer. The tracer's timebases are the scenario's virtual
+   clock plus the deterministic logical tick counter, so traced runs stay
+   byte-for-byte replayable. *)
+let run ?(oracles = Oracle.all) ?trace_buffer spec =
   let clock = Clock.create () in
   let topo = build_topology spec.Spec.topo in
   let channel_config =
@@ -199,8 +205,22 @@ let run ?(oracles = Oracle.all) spec =
     }
   in
   let rt = Runtime.create ~config net (resolve_apps spec) in
+  let tracer =
+    match trace_buffer with
+    | None -> Obs.Tracer.noop
+    | Some capacity ->
+        let tr =
+          Obs.Tracer.create ~capacity ~now:(fun () -> Clock.now clock) ()
+        in
+        Runtime.set_tracer rt tr;
+        tr
+  in
   let trace = ref [] in
-  Runtime.set_event_tap rt (fun ev -> trace := ev :: !trace);
+  let tap =
+    Obs.Hub.subscribe (Runtime.hub rt) (function
+      | Obs.Hub.Dispatched ev -> trace := ev :: !trace
+      | Obs.Hub.Inv_cache _ | Obs.Hub.Delivery _ -> ())
+  in
   let failure = ref None in
   let checks = ref 0 in
   let fail ~oracle detail =
@@ -297,11 +317,12 @@ let run ?(oracles = Oracle.all) spec =
     done;
     check_oracles Oracle.Final
   end;
-  Runtime.clear_event_tap rt;
+  Obs.Hub.unsubscribe (Runtime.hub rt) tap;
   {
     spec;
     failure = !failure;
     trace = List.rev !trace;
     checks = !checks;
     events_dispatched = Runtime.events_processed rt;
+    spans = Obs.Tracer.spans tracer;
   }

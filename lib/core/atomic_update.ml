@@ -8,43 +8,53 @@ type failure =
 
 type outcome = Committed | Rolled_back of failure
 
-let apply ?(invariants = Checker.default) ?checker ~net ~engine ~app updates =
+let apply ?(tracer = Obs.Tracer.noop) ?(invariants = Checker.default) ?checker
+    ~net ~engine ~app updates =
   (* Screen first, hypothetically, on a snapshot: newly-introduced
      violations veto the whole batch before a single switch is touched
      (pre-existing damage is not pinned on this update). This also works
      with the delay-buffer engine, whose mid-transaction network state
      would otherwise be unobservable. *)
   let violations =
-    match checker with
-    | Some eng -> Invariants.Incremental.check_flow_mods ~invariants eng updates
-    | None -> Checker.check_flow_mods ~invariants (Snapshot.of_net net) updates
+    Obs.Tracer.with_span tracer Obs.Span.Detection (fun () ->
+        match checker with
+        | Some eng ->
+            Invariants.Incremental.check_flow_mods ~invariants eng updates
+        | None ->
+            Checker.check_flow_mods ~invariants (Snapshot.of_net net) updates)
   in
   match violations with
   | _ :: _ as violations -> Rolled_back (Invariant_broken violations)
-  | [] -> (
-      let txn = engine.Txn_engine.begin_txn ~app in
-      let rejection = ref None in
-      List.iter
-        (fun (sid, fm) ->
-          if !rejection = None then
-            let replies =
-              txn.Txn_engine.apply (Controller.Command.Flow (sid, fm))
-            in
-            List.iter
-              (fun (reply : Message.t) ->
-                match reply.payload with
-                | Message.Error (_, text) when !rejection = None ->
-                    rejection := Some (Switch_rejected (sid, text))
-                | _ -> ())
-              replies)
-        updates;
-      match !rejection with
-      | Some failure ->
-          txn.Txn_engine.abort ();
-          Rolled_back failure
-      | None ->
-          txn.Txn_engine.commit ();
-          Committed)
+  | [] ->
+      let attrs =
+        if Obs.Tracer.enabled tracer then
+          [ ("app", app); ("updates", string_of_int (List.length updates)) ]
+        else []
+      in
+      Obs.Tracer.with_span tracer ~attrs Obs.Span.Txn_commit (fun () ->
+          let txn = engine.Txn_engine.begin_txn ~app in
+          let rejection = ref None in
+          List.iter
+            (fun (sid, fm) ->
+              if !rejection = None then
+                let replies =
+                  txn.Txn_engine.apply (Controller.Command.Flow (sid, fm))
+                in
+                List.iter
+                  (fun (reply : Message.t) ->
+                    match reply.payload with
+                    | Message.Error (_, text) when !rejection = None ->
+                        rejection := Some (Switch_rejected (sid, text))
+                    | _ -> ())
+                  replies)
+            updates;
+          match !rejection with
+          | Some failure ->
+              txn.Txn_engine.abort ();
+              Rolled_back failure
+          | None ->
+              txn.Txn_engine.commit ();
+              Committed)
 
 let describe = function
   | Committed -> "committed"

@@ -21,6 +21,7 @@ type failure =
 type outcome = Committed | Rolled_back of failure
 
 val apply :
+  ?tracer:Obs.Tracer.t ->
   ?invariants:Invariants.Checker.invariant list ->
   ?checker:Invariants.Incremental.t ->
   net:Netsim.Net.t ->
@@ -33,6 +34,8 @@ val apply :
     Invariants are checked on the applied state just before commit
     (default: {!Invariants.Checker.default}); with [checker] the screening
     runs through the incremental engine's caches instead of a fresh full
-    snapshot, with the same verdict. *)
+    snapshot, with the same verdict. [tracer] records the screening as a
+    [Detection] span and the transactional phase as a [Txn_commit] span
+    (with a nested [Txn_rollback] from the engine when it aborts). *)
 
 val describe : outcome -> string

@@ -29,6 +29,7 @@ type deps = {
   now : unit -> float;
   enqueue_reply : string -> Event.t -> unit;
   unreachable : Types.switch_id -> bool;
+  tracer : Obs.Tracer.t;
 }
 
 let file_ticket deps sandbox ~event ~diagnosis ~resolution ~rolled_back =
@@ -41,6 +42,12 @@ let count_failure deps = function
   | Detector.Hang -> Metrics.incr_hang deps.metrics
   | Detector.Byzantine _ -> Metrics.incr_byzantine deps.metrics
   | Detector.Unreachable _ -> Metrics.incr_unreachable deps.metrics
+
+let failure_kind = function
+  | Detector.Fail_stop _ -> "fail-stop"
+  | Detector.Hang -> "hang"
+  | Detector.Byzantine _ -> "byzantine"
+  | Detector.Unreachable _ -> "unreachable"
 
 (* Reply events (statistics) produced while applying commands go back to the
    issuing application as ordinary events. *)
@@ -69,21 +76,36 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
   Sandbox.prepare sandbox;
   let txn = deps.engine.Txn_engine.begin_txn ~app:(Sandbox.name sandbox) in
   let fail_and_recover failure ~partial =
-    (* Partial output escaped before the crash: it reached the network, so
-       it must be in the transaction to be rolled back with it. *)
-    List.iter (fun cmd -> ignore (txn.Txn_engine.apply cmd)) partial;
-    let rolled_back = List.length (txn.Txn_engine.issued ()) in
-    txn.Txn_engine.abort ();
-    count_failure deps failure;
-    Metrics.add_app_downtime deps.metrics ~app:(Sandbox.name sandbox)
-      (Detector.detection_delay config.timing failure);
-    let recovery = Sandbox.recover sandbox (deps.context ()) in
-    Metrics.incr_replayed deps.metrics recovery.Sandbox.replayed;
-    Metrics.incr_dropped_in_replay deps.metrics
-      recovery.Sandbox.dropped_in_replay;
-    Error (failure, rolled_back)
+    let attrs =
+      if Obs.Tracer.enabled deps.tracer then
+        [ ("phase", "replay"); ("failure", failure_kind failure) ]
+      else []
+    in
+    Obs.Tracer.with_span deps.tracer ~attrs Obs.Span.Recovery (fun () ->
+        (* Partial output escaped before the crash: it reached the network,
+           so it must be in the transaction to be rolled back with it. *)
+        List.iter (fun cmd -> ignore (txn.Txn_engine.apply cmd)) partial;
+        let rolled_back = List.length (txn.Txn_engine.issued ()) in
+        txn.Txn_engine.abort ();
+        count_failure deps failure;
+        Metrics.add_app_downtime deps.metrics ~app:(Sandbox.name sandbox)
+          (Detector.detection_delay config.timing failure);
+        let recovery = Sandbox.recover sandbox (deps.context ()) in
+        Metrics.incr_replayed deps.metrics recovery.Sandbox.replayed;
+        Metrics.incr_dropped_in_replay deps.metrics
+          recovery.Sandbox.dropped_in_replay;
+        Error (failure, rolled_back))
   in
-  match Sandbox.deliver sandbox (deps.context ()) event with
+  let verdict =
+    let attrs =
+      if Obs.Tracer.enabled deps.tracer then
+        [ ("app", Sandbox.name sandbox) ]
+      else []
+    in
+    Obs.Tracer.with_span deps.tracer ~attrs Obs.Span.App_handle (fun () ->
+        Sandbox.deliver sandbox (deps.context ()) event)
+  in
+  match verdict with
   | Sandbox.Done commands -> (
       (* Screen before commit: resource limits, then byzantine output. *)
       let breaches =
@@ -106,8 +128,9 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
       end
       else
         match
-          Detector.check_byzantine ?engine:deps.incremental
-            ~invariants:config.invariants deps.net commands
+          Detector.check_byzantine ~tracer:deps.tracer
+            ?engine:deps.incremental ~invariants:config.invariants deps.net
+            commands
         with
         | Some failure ->
             txn.Txn_engine.abort ();
@@ -133,14 +156,24 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
             count_failure deps failure;
             Error (failure, 0)
         | None ->
-            List.iter
-              (fun cmd ->
-                let replies = txn.Txn_engine.apply cmd in
-                match switch_of_command cmd with
-                | Some sid -> route_replies deps sandbox sid replies
-                | None -> ())
-              commands;
-            txn.Txn_engine.commit ();
+            let attrs =
+              if Obs.Tracer.enabled deps.tracer then
+                [
+                  ("app", Sandbox.name sandbox);
+                  ("commands", string_of_int (List.length commands));
+                ]
+              else []
+            in
+            Obs.Tracer.with_span deps.tracer ~attrs Obs.Span.Txn_commit
+              (fun () ->
+                List.iter
+                  (fun cmd ->
+                    let replies = txn.Txn_engine.apply cmd in
+                    match switch_of_command cmd with
+                    | Some sid -> route_replies deps sandbox sid replies
+                    | None -> ())
+                  commands;
+                txn.Txn_engine.commit ());
             Sandbox.confirm sandbox event;
             Ok ())
   | Sandbox.Crashed { partial; detail } ->
@@ -164,12 +197,27 @@ let rec try_alternatives config deps sandbox = function
       if ok then Some alternative
       else try_alternatives config deps sandbox rest
 
+let compromise_name = function
+  | Policy.No_compromise -> "no-compromise"
+  | Policy.Absolute -> "absolute"
+  | Policy.Equivalence -> "equivalence"
+
 let apply_policy config deps sandbox event failure ~rolled_back =
   let diagnosis = Detector.describe failure in
   let compromise =
     Policy.decide config.policy ~app:(Sandbox.name sandbox)
       (Event.kind_of event)
   in
+  let attrs =
+    if Obs.Tracer.enabled deps.tracer then
+      [
+        ("phase", "policy");
+        ("failure", failure_kind failure);
+        ("compromise", compromise_name compromise);
+      ]
+    else []
+  in
+  Obs.Tracer.with_span deps.tracer ~attrs Obs.Span.Recovery @@ fun () ->
   match compromise with
   | Policy.No_compromise ->
       Sandbox.disable sandbox;

@@ -50,6 +50,9 @@ type deps = {
       (** Is this switch's control channel currently given up on? A
           transaction touching such a switch aborts cleanly before any
           command reaches the network. *)
+  tracer : Obs.Tracer.t;
+      (** Records per-stage spans (app delivery, detection, commit,
+          recovery). Pass {!Obs.Tracer.noop} to disable. *)
 }
 
 val dispatch : config -> deps -> Sandbox.t -> Event.t -> unit

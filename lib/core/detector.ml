@@ -33,19 +33,27 @@ let flow_mods_of commands =
     (function Command.Flow (sid, fm) -> Some (sid, fm) | _ -> None)
     commands
 
-let check_byzantine ?engine ~invariants net commands =
+let check_byzantine ?(tracer = Obs.Tracer.noop) ?engine ~invariants net
+    commands =
   match flow_mods_of commands with
   | [] -> None
-  | mods -> (
-      let violations =
-        match engine with
-        | Some eng -> Invariants.Incremental.check_flow_mods ~invariants eng mods
-        | None ->
-            Checker.check_flow_mods ~invariants (Snapshot.of_net net) mods
+  | mods ->
+      let attrs =
+        if Obs.Tracer.enabled tracer then
+          [ ("mods", string_of_int (List.length mods)) ]
+        else []
       in
-      match violations with
-      | [] -> None
-      | violations -> Some (Byzantine violations))
+      Obs.Tracer.with_span tracer ~attrs Obs.Span.Detection (fun () ->
+          let violations =
+            match engine with
+            | Some eng ->
+                Invariants.Incremental.check_flow_mods ~invariants eng mods
+            | None ->
+                Checker.check_flow_mods ~invariants (Snapshot.of_net net) mods
+          in
+          match violations with
+          | [] -> None
+          | violations -> Some (Byzantine violations))
 
 let describe = function
   | Fail_stop { detail; partial } ->

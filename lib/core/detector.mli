@@ -36,6 +36,7 @@ val of_verdict : Sandbox.verdict -> failure option
 (** [None] for a successful verdict. *)
 
 val check_byzantine :
+  ?tracer:Obs.Tracer.t ->
   ?engine:Invariants.Incremental.t ->
   invariants:Invariants.Checker.invariant list ->
   Netsim.Net.t ->
@@ -46,6 +47,7 @@ val check_byzantine :
     the snapshot and per-pair traces are served incrementally from the
     engine's caches (this is the Crash-Pad hot path — one call per
     transaction); without it a full snapshot is taken and checked. The
-    verdict is the same either way. *)
+    verdict is the same either way. [tracer] records the screening as a
+    [Detection] span. *)
 
 val describe : failure -> string

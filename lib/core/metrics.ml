@@ -1,109 +1,208 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Obs.Histogram.t
+
 type app_outage = {
   mutable accumulated : float;
   mutable down_since : float option;
 }
 
 type t = {
-  mutable n_events : int;
-  mutable n_crashes : int;
-  mutable n_hangs : int;
-  mutable n_byzantine : int;
-  mutable n_ignored : int;
-  mutable n_transformed : int;
-  mutable n_disabled : int;
-  mutable n_replayed : int;
-  mutable n_dropped_replay : int;
-  mutable n_resource : int;
-  mutable n_quarantined : int;
-  mutable n_suppressed : int;
-  mutable n_retransmits : int;
-  mutable n_barrier_acks : int;
-  mutable n_resyncs : int;
-  mutable n_resynced_rules : int;
-  mutable n_unreachable : int;
-  mutable n_inv_hits : int;
-  mutable n_inv_misses : int;
-  mutable n_inv_invalidations : int;
-  mutable n_inv_recaptures : int;
-  mutable n_inv_memoized : int;
+  registry : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, reversed *)
+  (* Pre-registered handles for the runtime's own counters: the hot path
+     bumps a record field, never the hashtable. *)
+  n_events : counter;
+  n_crashes : counter;
+  n_hangs : counter;
+  n_byzantine : counter;
+  n_ignored : counter;
+  n_transformed : counter;
+  n_disabled : counter;
+  n_replayed : counter;
+  n_dropped_replay : counter;
+  n_resource : counter;
+  n_quarantined : counter;
+  n_suppressed : counter;
+  n_retransmits : counter;
+  n_barrier_acks : counter;
+  n_resyncs : counter;
+  n_resynced_rules : counter;
+  n_unreachable : counter;
+  n_inv_hits : counter;
+  n_inv_misses : counter;
+  n_inv_invalidations : counter;
+  n_inv_recaptures : counter;
+  n_inv_memoized : counter;
   outages : (string, app_outage) Hashtbl.t;
 }
 
+let register t name metric =
+  if Hashtbl.mem t.registry name then
+    invalid_arg (Printf.sprintf "Metrics: %S already registered" name);
+  Hashtbl.replace t.registry name metric;
+  t.order <- name :: t.order
+
+let new_counter t name =
+  let c = { c_name = name; c_value = 0 } in
+  register t name (Counter c);
+  c
+
 let create () =
-  {
-    n_events = 0;
-    n_crashes = 0;
-    n_hangs = 0;
-    n_byzantine = 0;
-    n_ignored = 0;
-    n_transformed = 0;
-    n_disabled = 0;
-    n_replayed = 0;
-    n_dropped_replay = 0;
-    n_resource = 0;
-    n_quarantined = 0;
-    n_suppressed = 0;
-    n_retransmits = 0;
-    n_barrier_acks = 0;
-    n_resyncs = 0;
-    n_resynced_rules = 0;
-    n_unreachable = 0;
-    n_inv_hits = 0;
-    n_inv_misses = 0;
-    n_inv_invalidations = 0;
-    n_inv_recaptures = 0;
-    n_inv_memoized = 0;
-    outages = Hashtbl.create 8;
-  }
+  (* Sequential let-bindings, not record-field initializers, so the
+     registration order (hence [names]) is the declaration order. *)
+  let t =
+    {
+      registry = Hashtbl.create 64;
+      order = [];
+      n_events = { c_name = "events"; c_value = 0 };
+      n_crashes = { c_name = "crashes"; c_value = 0 };
+      n_hangs = { c_name = "hangs"; c_value = 0 };
+      n_byzantine = { c_name = "byzantine"; c_value = 0 };
+      n_ignored = { c_name = "ignored"; c_value = 0 };
+      n_transformed = { c_name = "transformed"; c_value = 0 };
+      n_disabled = { c_name = "disabled"; c_value = 0 };
+      n_replayed = { c_name = "replayed"; c_value = 0 };
+      n_dropped_replay = { c_name = "dropped-in-replay"; c_value = 0 };
+      n_resource = { c_name = "resource-breaches"; c_value = 0 };
+      n_quarantined = { c_name = "quarantined"; c_value = 0 };
+      n_suppressed = { c_name = "suppressed"; c_value = 0 };
+      n_retransmits = { c_name = "retransmits"; c_value = 0 };
+      n_barrier_acks = { c_name = "barrier-acks"; c_value = 0 };
+      n_resyncs = { c_name = "resyncs"; c_value = 0 };
+      n_resynced_rules = { c_name = "resynced-rules"; c_value = 0 };
+      n_unreachable = { c_name = "unreachable"; c_value = 0 };
+      n_inv_hits = { c_name = "inv-hits"; c_value = 0 };
+      n_inv_misses = { c_name = "inv-misses"; c_value = 0 };
+      n_inv_invalidations = { c_name = "inv-invalidations"; c_value = 0 };
+      n_inv_recaptures = { c_name = "inv-recaptures"; c_value = 0 };
+      n_inv_memoized = { c_name = "inv-memoized"; c_value = 0 };
+      outages = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun c -> register t c.c_name (Counter c))
+    [
+      t.n_events; t.n_crashes; t.n_hangs; t.n_byzantine; t.n_ignored;
+      t.n_transformed; t.n_disabled; t.n_replayed; t.n_dropped_replay;
+      t.n_resource; t.n_quarantined; t.n_suppressed; t.n_retransmits;
+      t.n_barrier_acks; t.n_resyncs; t.n_resynced_rules; t.n_unreachable;
+      t.n_inv_hits; t.n_inv_misses; t.n_inv_invalidations;
+      t.n_inv_recaptures; t.n_inv_memoized;
+    ];
+  t
 
-let incr_events t = t.n_events <- t.n_events + 1
-let incr_crash t = t.n_crashes <- t.n_crashes + 1
-let incr_hang t = t.n_hangs <- t.n_hangs + 1
-let incr_byzantine t = t.n_byzantine <- t.n_byzantine + 1
-let incr_ignored t = t.n_ignored <- t.n_ignored + 1
-let incr_transformed t = t.n_transformed <- t.n_transformed + 1
-let incr_disabled t = t.n_disabled <- t.n_disabled + 1
-let incr_replayed t n = t.n_replayed <- t.n_replayed + n
-let incr_dropped_in_replay t n = t.n_dropped_replay <- t.n_dropped_replay + n
-let incr_resource_breach t = t.n_resource <- t.n_resource + 1
-let incr_quarantined t = t.n_quarantined <- t.n_quarantined + 1
-let incr_suppressed t = t.n_suppressed <- t.n_suppressed + 1
-let incr_retransmits t = t.n_retransmits <- t.n_retransmits + 1
-let incr_barrier_acks t = t.n_barrier_acks <- t.n_barrier_acks + 1
-let incr_resyncs t = t.n_resyncs <- t.n_resyncs + 1
-let incr_resynced_rules t n = t.n_resynced_rules <- t.n_resynced_rules + n
-let incr_unreachable t = t.n_unreachable <- t.n_unreachable + 1
-let incr_inv_trace_hit t = t.n_inv_hits <- t.n_inv_hits + 1
-let incr_inv_trace_miss t = t.n_inv_misses <- t.n_inv_misses + 1
+(* ---------------- registry API ---------------- *)
 
-let incr_inv_invalidation t =
-  t.n_inv_invalidations <- t.n_inv_invalidations + 1
+let counter t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
+  | None -> new_counter t name
 
-let incr_inv_recapture t = t.n_inv_recaptures <- t.n_inv_recaptures + 1
-let incr_inv_memoized t = t.n_inv_memoized <- t.n_inv_memoized + 1
+let gauge t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
+  | None ->
+      let g = { g_name = name; g_value = 0. } in
+      register t name (Gauge g);
+      g
 
-let events t = t.n_events
-let crashes t = t.n_crashes
-let hangs t = t.n_hangs
-let byzantine_blocked t = t.n_byzantine
-let ignored t = t.n_ignored
-let transformed t = t.n_transformed
-let disabled t = t.n_disabled
-let replayed t = t.n_replayed
-let dropped_in_replay t = t.n_dropped_replay
-let resource_breaches t = t.n_resource
-let quarantined t = t.n_quarantined
-let suppressed t = t.n_suppressed
-let retransmits t = t.n_retransmits
-let barrier_acks t = t.n_barrier_acks
-let resyncs t = t.n_resyncs
-let resynced_rules t = t.n_resynced_rules
-let unreachable t = t.n_unreachable
-let inv_trace_hits t = t.n_inv_hits
-let inv_trace_misses t = t.n_inv_misses
-let inv_invalidations t = t.n_inv_invalidations
-let inv_recaptures t = t.n_inv_recaptures
-let inv_memoized_checks t = t.n_inv_memoized
+let histogram t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Histogram h) -> h
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+  | None ->
+      let h = Obs.Histogram.create () in
+      register t name (Histogram h);
+      h
+
+let attach_histogram t name h =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Histogram _) -> Hashtbl.replace t.registry name (Histogram h)
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+  | None -> register t name (Histogram h)
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let counter_name c = c.c_name
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+let gauge_name g = g.g_name
+let find t name = Hashtbl.find_opt t.registry name
+let names t = List.rev t.order
+
+let pp_registry fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i name ->
+      if i > 0 then Format.fprintf fmt "@,";
+      match Hashtbl.find_opt t.registry name with
+      | Some (Counter c) -> Format.fprintf fmt "%s=%d" name c.c_value
+      | Some (Gauge g) -> Format.fprintf fmt "%s=%g" name g.g_value
+      | Some (Histogram h) ->
+          Format.fprintf fmt "%s: %a" name Obs.Histogram.pp h
+      | None -> ())
+    (names t);
+  Format.fprintf fmt "@]"
+
+(* ---------------- compat view ---------------- *)
+
+let incr_events t = incr t.n_events
+let incr_crash t = incr t.n_crashes
+let incr_hang t = incr t.n_hangs
+let incr_byzantine t = incr t.n_byzantine
+let incr_ignored t = incr t.n_ignored
+let incr_transformed t = incr t.n_transformed
+let incr_disabled t = incr t.n_disabled
+let incr_replayed t n = add t.n_replayed n
+let incr_dropped_in_replay t n = add t.n_dropped_replay n
+let incr_resource_breach t = incr t.n_resource
+let incr_quarantined t = incr t.n_quarantined
+let incr_suppressed t = incr t.n_suppressed
+let incr_retransmits t = incr t.n_retransmits
+let incr_barrier_acks t = incr t.n_barrier_acks
+let incr_resyncs t = incr t.n_resyncs
+let incr_resynced_rules t n = add t.n_resynced_rules n
+let incr_unreachable t = incr t.n_unreachable
+let incr_inv_trace_hit t = incr t.n_inv_hits
+let incr_inv_trace_miss t = incr t.n_inv_misses
+let incr_inv_invalidation t = incr t.n_inv_invalidations
+let incr_inv_recapture t = incr t.n_inv_recaptures
+let incr_inv_memoized t = incr t.n_inv_memoized
+
+let events t = value t.n_events
+let crashes t = value t.n_crashes
+let hangs t = value t.n_hangs
+let byzantine_blocked t = value t.n_byzantine
+let ignored t = value t.n_ignored
+let transformed t = value t.n_transformed
+let disabled t = value t.n_disabled
+let replayed t = value t.n_replayed
+let dropped_in_replay t = value t.n_dropped_replay
+let resource_breaches t = value t.n_resource
+let quarantined t = value t.n_quarantined
+let suppressed t = value t.n_suppressed
+let retransmits t = value t.n_retransmits
+let barrier_acks t = value t.n_barrier_acks
+let resyncs t = value t.n_resyncs
+let resynced_rules t = value t.n_resynced_rules
+let unreachable t = value t.n_unreachable
+let inv_trace_hits t = value t.n_inv_hits
+let inv_trace_misses t = value t.n_inv_misses
+let inv_invalidations t = value t.n_inv_invalidations
+let inv_recaptures t = value t.n_inv_recaptures
+let inv_memoized_checks t = value t.n_inv_memoized
+
+(* ---------------- per-app downtime ---------------- *)
 
 let outage t app =
   match Hashtbl.find_opt t.outages app with
@@ -141,8 +240,9 @@ let availability t ~app ~until =
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@,inv-cache hits=%d misses=%d invalidations=%d recaptures=%d memoized=%d@]"
-    t.n_events t.n_crashes t.n_hangs t.n_byzantine t.n_ignored t.n_transformed
-    t.n_disabled t.n_replayed t.n_dropped_replay t.n_resource t.n_quarantined
-    t.n_suppressed t.n_retransmits t.n_barrier_acks t.n_resyncs
-    t.n_resynced_rules t.n_unreachable t.n_inv_hits t.n_inv_misses
-    t.n_inv_invalidations t.n_inv_recaptures t.n_inv_memoized
+    (events t) (crashes t) (hangs t) (byzantine_blocked t) (ignored t)
+    (transformed t) (disabled t) (replayed t) (dropped_in_replay t)
+    (resource_breaches t) (quarantined t) (suppressed t) (retransmits t)
+    (barrier_acks t) (resyncs t) (resynced_rules t) (unreachable t)
+    (inv_trace_hits t) (inv_trace_misses t) (inv_invalidations t)
+    (inv_recaptures t) (inv_memoized_checks t)

@@ -2,13 +2,63 @@
 
     Virtual-time bookkeeping: how long was the controller up, how long was
     each application usable, how many failures were subverted and by which
-    compromise. The availability experiment (E7) reads these. *)
+    compromise. The availability experiment (E7) reads these.
+
+    Internally this is a typed metric {e registry}: named counters, gauges
+    and latency histograms, created on demand and enumerable for export.
+    The original flat-counter API ({!incr_crash}, {!crashes}, …) survives
+    as a compat view over pre-registered counters, so existing callers and
+    the CLI output are unchanged; new instrumentation should obtain a
+    handle once ({!counter}, {!gauge}, {!histogram}) and bump it on the
+    hot path with no hashing. *)
 
 type t
 
 val create : unit -> t
 
-(** {1 Counters} *)
+(** {1 The registry} *)
+
+type counter
+(** A monotone integer. *)
+
+type gauge
+(** A last-write-wins float. *)
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Obs.Histogram.t
+
+val counter : t -> string -> counter
+(** Find-or-register. Raises [Invalid_argument] if [name] is already
+    registered as a different metric type. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> Obs.Histogram.t
+
+val attach_histogram : t -> string -> Obs.Histogram.t -> unit
+(** Register an externally owned histogram (e.g. a tracer's per-span-kind
+    latency histogram) under [name], replacing any previous histogram of
+    that name. Raises [Invalid_argument] on a name held by a counter or
+    gauge. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val find : t -> string -> metric option
+val names : t -> string list
+(** In registration order. *)
+
+val pp_registry : Format.formatter -> t -> unit
+(** Every registered metric, one per line, in registration order. *)
+
+(** {1 Legacy counters — compat view} *)
 
 val incr_events : t -> unit
 val incr_crash : t -> unit
@@ -96,3 +146,5 @@ val availability : t -> app:string -> until:float -> float
 (** [1 - downtime/until]; 1.0 for an app never charged. *)
 
 val pp : Format.formatter -> t -> unit
+(** The historical summary line — format unchanged across the registry
+    redesign (scripts and the fuzzer's metrics oracle parse it). *)

@@ -37,6 +37,7 @@ type t = {
   mutable n_aborted : int;
   mutable n_ops : int;
   mutable n_rolled_back : int;
+  mutable tracer : Obs.Tracer.t;
 }
 
 let create ?transport ?(xid_base = 1) network =
@@ -52,7 +53,10 @@ let create ?transport ?(xid_base = 1) network =
     n_aborted = 0;
     n_ops = 0;
     n_rolled_back = 0;
+    tracer = Obs.Tracer.noop;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let net t = t.network
 let cache t = t.counter_cache
@@ -233,11 +237,17 @@ let abort t txn =
   if not txn.closed then begin
     txn.closed <- true;
     t.n_aborted <- t.n_aborted + 1;
-    List.iter
-      (fun undo ->
-        t.n_rolled_back <- t.n_rolled_back + 1;
-        run_undo t undo)
-      txn.undos;
+    let attrs =
+      if Obs.Tracer.enabled t.tracer then
+        [ ("app", txn.app); ("undos", string_of_int (List.length txn.undos)) ]
+      else []
+    in
+    Obs.Tracer.with_span t.tracer ~attrs Obs.Span.Txn_rollback (fun () ->
+        List.iter
+          (fun undo ->
+            t.n_rolled_back <- t.n_rolled_back + 1;
+            run_undo t undo)
+          txn.undos);
     txn.undos <- []
   end
 

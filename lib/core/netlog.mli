@@ -29,6 +29,10 @@ val create :
 val net : t -> Netsim.Net.t
 val cache : t -> Counter_cache.t
 
+val set_tracer : t -> Obs.Tracer.t -> unit
+(** Record every rollback as a [Txn_rollback] span (app and undo count in
+    the attributes). Default: the no-op tracer. *)
+
 val next_xid : t -> int
 (** The next xid this instance will assign (for failover hand-off). *)
 

@@ -40,6 +40,7 @@ type t = {
   net : Net.t;
   cfg : config;
   metrics : Metrics.t option;
+  notify : Obs.Hub.delivery -> unit;
   shadows : (Types.switch_id, Flow_table.t) Hashtbl.t;
   states : (Types.switch_id, health) Hashtbl.t;
   probe_at : (Types.switch_id, float) Hashtbl.t;
@@ -53,11 +54,12 @@ type t = {
   mutable n_degraded : int;
 }
 
-let create ?(config = default_config) ?metrics net =
+let create ?(config = default_config) ?metrics ?(notify = fun _ -> ()) net =
   {
     net;
     cfg = config;
     metrics;
+    notify;
     shadows = Hashtbl.create 16;
     states = Hashtbl.create 16;
     probe_at = Hashtbl.create 8;
@@ -148,7 +150,8 @@ let barrier_probe t sid =
 let ack t p =
   t.queue <- List.filter (fun q -> q != p) t.queue;
   t.n_acks <- t.n_acks + 1;
-  with_metrics t Metrics.incr_barrier_acks
+  with_metrics t Metrics.incr_barrier_acks;
+  t.notify (Obs.Hub.Acked { sw = p.p_sid; xid = p.p_msg.Message.xid })
 
 let has_pending t sid = List.exists (fun p -> p.p_sid = sid) t.queue
 
@@ -179,14 +182,17 @@ let send t sid (msg : Message.t) =
          before the unacknowledged head's retransmission and reorder
          state changes. *)
       enqueue t sid msg ~sent:false 0;
+      t.notify (Obs.Hub.Queued { sw = sid; xid = msg.Message.xid });
       []
     end
     else begin
       let replies = Net.send t.net sid msg in
+      t.notify (Obs.Hub.Sent { sw = sid; xid = msg.Message.xid });
       let barrier_xid, acked = barrier_probe t sid in
       if acked && delivered t sid msg then begin
         t.n_acks <- t.n_acks + 1;
-        with_metrics t Metrics.incr_barrier_acks
+        with_metrics t Metrics.incr_barrier_acks;
+        t.notify (Obs.Hub.Acked { sw = sid; xid = msg.Message.xid })
       end
       else enqueue t sid msg ~sent:true barrier_xid;
       replies
@@ -201,6 +207,7 @@ let degrade t sid =
     Hashtbl.replace t.probe_at sid (now t +. probe_interval t);
     t.n_degraded <- t.n_degraded + 1;
     with_metrics t Metrics.incr_unreachable;
+    t.notify (Obs.Hub.Degraded { sw = sid });
     (* Nothing queued for this switch can succeed any more; the shadow
        table keeps the intent and resync will replay it on reconnect. *)
     t.queue <- List.filter (fun p -> p.p_sid <> sid) t.queue
@@ -215,9 +222,19 @@ let retransmit t p =
     if p.p_sent then begin
       p.p_attempts <- p.p_attempts + 1;
       t.n_retransmits <- t.n_retransmits + 1;
-      with_metrics t Metrics.incr_retransmits
+      with_metrics t Metrics.incr_retransmits;
+      t.notify
+        (Obs.Hub.Retransmitted
+           {
+             sw = p.p_sid;
+             xid = p.p_msg.Message.xid;
+             attempt = p.p_attempts;
+           })
     end
-    else p.p_sent <- true;
+    else begin
+      p.p_sent <- true;
+      t.notify (Obs.Hub.Sent { sw = p.p_sid; xid = p.p_msg.Message.xid })
+    end;
     (* Same xid as the original: if the first copy did arrive, the switch
        suppresses the duplicate and only the barrier matters. *)
     ignore (Net.send t.net p.p_sid p.p_msg);
@@ -242,6 +259,7 @@ let resync t sid =
       let entries = Flow_table.entries table in
       if entries <> [] then begin
         t.n_resyncs <- t.n_resyncs + 1;
+        t.notify (Obs.Hub.Resynced { sw = sid; rules = List.length entries });
         with_metrics t Metrics.incr_resyncs;
         t.n_resynced_rules <- t.n_resynced_rules + List.length entries;
         with_metrics t (fun m ->

@@ -48,8 +48,16 @@ type health = Healthy | Degraded
 
 type t
 
-val create : ?config:config -> ?metrics:Metrics.t -> Netsim.Net.t -> t
-(** Counters are mirrored into [metrics] when given. *)
+val create :
+  ?config:config ->
+  ?metrics:Metrics.t ->
+  ?notify:(Obs.Hub.delivery -> unit) ->
+  Netsim.Net.t ->
+  t
+(** Counters are mirrored into [metrics] when given. [notify] is invoked
+    synchronously on every delivery-lifecycle step (sent, queued behind
+    the head of line, retransmitted, acked, degraded, resynced) — the
+    runtime routes it onto its {!Obs.Hub}. *)
 
 val config : t -> config
 

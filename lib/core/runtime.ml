@@ -33,11 +33,45 @@ type t = {
   mutable reply_backlog : (string * Event.t) list;
   mutable n_events : int;
   mutable n_shed : int;
-  mutable event_tap : (Event.t -> unit) option;
+  obs_hub : Obs.Hub.t;
+  tracer_cell : Obs.Tracer.t ref;
+  mutable tap_sub : Obs.Hub.subscription option;
 }
+
+(* Delivery activity becomes instant marks in the trace, so a Chrome
+   timeline shows retransmissions and resyncs against the spans of the
+   transactions that provoked them. *)
+let bridge_delivery_to_tracer tracer_cell = function
+  | Obs.Hub.Delivery d ->
+      let tracer = !tracer_cell in
+      if Obs.Tracer.enabled tracer then begin
+        let i = string_of_int in
+        match d with
+        | Obs.Hub.Sent { sw; xid } ->
+            Obs.Tracer.instant tracer
+              ~attrs:[ ("sw", i sw); ("xid", i xid) ]
+              Obs.Span.Delivery
+        | Obs.Hub.Acked { sw; xid } ->
+            Obs.Tracer.instant tracer
+              ~attrs:[ ("sw", i sw); ("xid", i xid); ("acked", "true") ]
+              Obs.Span.Delivery
+        | Obs.Hub.Retransmitted { sw; xid; attempt } ->
+            Obs.Tracer.instant tracer
+              ~attrs:[ ("sw", i sw); ("xid", i xid); ("attempt", i attempt) ]
+              Obs.Span.Retransmit
+        | Obs.Hub.Resynced { sw; rules } ->
+            Obs.Tracer.instant tracer
+              ~attrs:[ ("sw", i sw); ("rules", i rules) ]
+              Obs.Span.Resync
+        | Obs.Hub.Queued _ | Obs.Hub.Degraded _ -> ()
+      end
+  | Obs.Hub.Dispatched _ | Obs.Hub.Inv_cache _ -> ()
 
 let create ?(config = default_config) ?xid_base network modules =
   let metrics_store = Metrics.create () in
+  let obs_hub = Obs.Hub.create () in
+  let tracer_cell = ref Obs.Tracer.noop in
+  ignore (Obs.Hub.subscribe obs_hub (bridge_delivery_to_tracer tracer_cell));
   let reliable_layer, netlog_instance, engine =
     match config.engine with
     | Netlog_engine ->
@@ -46,6 +80,7 @@ let create ?(config = default_config) ?xid_base network modules =
            barrier-acked and retransmitted over a lossy channel. *)
         let rel =
           Reliable.create ~config:config.reliable ~metrics:metrics_store
+            ~notify:(fun d -> Obs.Hub.emit obs_hub (Obs.Hub.Delivery d))
             network
         in
         let nl =
@@ -56,17 +91,21 @@ let create ?(config = default_config) ?xid_base network modules =
         (None, None, Delay_buffer.engine (Delay_buffer.create network))
   in
   let incremental_checker =
-    let observer = function
+    let observer ev =
+      (match ev with
       | Invariants.Incremental.Trace_hit ->
-          Metrics.incr_inv_trace_hit metrics_store
+          Metrics.incr_inv_trace_hit metrics_store;
+          Obs.Tracer.instant !tracer_cell Obs.Span.Inv_cache_hit
       | Invariants.Incremental.Trace_miss ->
-          Metrics.incr_inv_trace_miss metrics_store
+          Metrics.incr_inv_trace_miss metrics_store;
+          Obs.Tracer.instant !tracer_cell Obs.Span.Inv_cache_miss
       | Invariants.Incremental.Trace_invalidated ->
           Metrics.incr_inv_invalidation metrics_store
       | Invariants.Incremental.Switch_recaptured _ ->
           Metrics.incr_inv_recapture metrics_store
       | Invariants.Incremental.Check_memoized ->
-          Metrics.incr_inv_memoized metrics_store
+          Metrics.incr_inv_memoized metrics_store);
+      Obs.Hub.emit obs_hub (Obs.Hub.Inv_cache ev)
     in
     Invariants.Incremental.create ~observer network
   in
@@ -87,7 +126,9 @@ let create ?(config = default_config) ?xid_base network modules =
     reply_backlog = [];
     n_events = 0;
     n_shed = 0;
-    event_tap = None;
+    obs_hub;
+    tracer_cell;
+    tap_sub = None;
   }
 
 let net t = t.network
@@ -105,13 +146,43 @@ let events_shed t = t.n_shed
 let config t = t.cfg
 
 let now t = Clock.now (Net.clock t.network)
+let hub t = t.obs_hub
+let tracer t = !(t.tracer_cell)
 
-(* Observation hook for external checkers (the scenario fuzzer's oracle
-   suite records the dispatched event stream through it). The tap sees
-   every event exactly as the sandboxes do, including replies drained from
-   the backlog, and must not mutate runtime state. *)
-let set_event_tap t f = t.event_tap <- Some f
-let clear_event_tap t = t.event_tap <- None
+let set_tracer t tracer =
+  t.tracer_cell := tracer;
+  (match t.netlog_instance with
+  | Some nl -> Netlog.set_tracer nl tracer
+  | None -> ());
+  (* Per-stage latency distributions become first-class metrics, so one
+     [Metrics.pp_registry] shows counters and span latencies together. *)
+  List.iter
+    (fun (kind, hist) ->
+      Metrics.attach_histogram t.metrics_store
+        ("span." ^ Obs.Span.kind_name kind)
+        hist)
+    (Obs.Tracer.histograms tracer)
+
+(* Deprecated observation hook, now a thin wrapper over [Obs.Hub]: the tap
+   is a hub subscriber filtered to [Dispatched] events. It sees every
+   event exactly as the sandboxes do and must not mutate runtime state.
+   New code should call [Obs.Hub.subscribe (hub t)] directly. *)
+let set_event_tap t f =
+  (match t.tap_sub with
+  | Some sub -> Obs.Hub.unsubscribe t.obs_hub sub
+  | None -> ());
+  t.tap_sub <-
+    Some
+      (Obs.Hub.subscribe t.obs_hub (function
+        | Obs.Hub.Dispatched ev -> f ev
+        | Obs.Hub.Inv_cache _ | Obs.Hub.Delivery _ -> ()))
+
+let clear_event_tap t =
+  match t.tap_sub with
+  | Some sub ->
+      Obs.Hub.unsubscribe t.obs_hub sub;
+      t.tap_sub <- None
+  | None -> ()
 
 let links_of t sid =
   Services.live_links t.services_state
@@ -134,6 +205,7 @@ let deps t : Crashpad.deps =
         match t.reliable_layer with
         | Some rel -> Reliable.is_degraded rel sid
         | None -> false);
+    tracer = !(t.tracer_cell);
   }
 
 let rec drain_replies t =
@@ -148,12 +220,19 @@ let rec drain_replies t =
 
 let dispatch_event t event =
   t.n_events <- t.n_events + 1;
-  (match t.event_tap with Some f -> f event | None -> ());
-  Metrics.incr_events t.metrics_store;
-  List.iter
-    (fun box -> Crashpad.dispatch t.cfg.crashpad (deps t) box event)
-    t.boxes;
-  drain_replies t
+  let tracer = !(t.tracer_cell) in
+  let attrs =
+    if Obs.Tracer.enabled tracer then
+      [ ("kind", Event.kind_name (Event.kind_of event)) ]
+    else []
+  in
+  Obs.Tracer.with_span tracer ~attrs Obs.Span.Event_root (fun () ->
+      Obs.Hub.emit t.obs_hub (Obs.Hub.Dispatched event);
+      Metrics.incr_events t.metrics_store;
+      List.iter
+        (fun box -> Crashpad.dispatch t.cfg.crashpad (deps t) box event)
+        t.boxes;
+      drain_replies t)
 
 (* Drain-until-quiet with a broadcast-storm guard, mirroring
    Monolithic.step so the two architectures process identical event

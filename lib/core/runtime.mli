@@ -58,7 +58,25 @@ val reliable : t -> Reliable.t option
 
 val incremental : t -> Invariants.Incremental.t
 (** The incremental invariant checker that screens every transaction's
-    flow-mods. Its cache events are mirrored into {!metrics}. *)
+    flow-mods. Its cache events are mirrored into {!metrics} and published
+    on {!hub} as [Inv_cache] events. *)
+
+(** {1 Observability} *)
+
+val hub : t -> Obs.Hub.t
+(** The runtime's event hub — the one subscription surface. Every
+    dispatched event ([Dispatched]), invariant-cache action ([Inv_cache])
+    and southbound delivery step ([Delivery]) is published here. *)
+
+val tracer : t -> Obs.Tracer.t
+(** The active tracer; {!Obs.Tracer.noop} until {!set_tracer}. *)
+
+val set_tracer : t -> Obs.Tracer.t -> unit
+(** Install a tracer: every event dispatch opens an [Event_root] span with
+    nested per-stage spans (app delivery, detection, transaction
+    commit/rollback, recovery), and delivery/cache activity is marked as
+    instants. The tracer's per-kind latency histograms are registered in
+    {!metrics} under ["span.<kind>"]. *)
 
 val events_processed : t -> int
 
@@ -67,11 +85,13 @@ val events_shed : t -> int
     {!Controller.Monolithic.events_shed}). *)
 
 val set_event_tap : t -> (Event.t -> unit) -> unit
-(** Observe every event exactly as it is dispatched to the sandboxes
-    (backlog replies included). For external checkers — the scenario
-    fuzzer records the event stream through it; the tap must not mutate
-    runtime state. At most one tap is active; setting replaces. *)
+(** Deprecated — thin wrapper over [Obs.Hub.subscribe (hub t)] filtered to
+    [Dispatched] events; prefer subscribing to {!hub} directly. Observes
+    every event exactly as it is dispatched to the sandboxes; the tap must
+    not mutate runtime state. At most one tap is active; setting
+    replaces. *)
 
 val clear_event_tap : t -> unit
+(** Deprecated — cancels the {!set_event_tap} subscription. *)
 
 val config : t -> config

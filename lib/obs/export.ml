@@ -1,0 +1,152 @@
+let span_to_json (s : Span.t) =
+  Json.Obj
+    [
+      ("name", Json.Str (Span.kind_name s.kind));
+      ("cat", Json.Str "legosdn");
+      ("ph", Json.Str "X");
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num 1.);
+      ("ts", Json.Num (s.t0 *. 1e6));
+      ("dur", Json.Num ((s.t1 -. s.t0) *. 1e6));
+      ( "args",
+        Json.Obj
+          [
+            ("id", Json.Num (float s.id));
+            ("parent", Json.Num (float s.parent));
+            ("vt", Json.Num s.vt);
+            ("vt_end", Json.Num s.vt_end);
+            ("t0", Json.Num s.t0);
+            ("t1", Json.Num s.t1);
+            ( "attrs",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.attrs) );
+          ] );
+    ]
+
+let to_chrome spans =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map span_to_json spans));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv j ~what =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed %S in %s" name what)
+
+let span_of_json j =
+  let what = "trace event" in
+  let* name = field "name" Json.to_str j ~what in
+  let* kind =
+    match Span.kind_of_name name with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "unknown span kind %S" name)
+  in
+  let* args =
+    match Json.member "args" j with
+    | Some (Json.Obj _ as a) -> Ok a
+    | _ -> Error "missing args object"
+  in
+  let what = "args" in
+  let* id = field "id" Json.to_float args ~what in
+  let* parent = field "parent" Json.to_float args ~what in
+  let* vt = field "vt" Json.to_float args ~what in
+  let* vt_end = field "vt_end" Json.to_float args ~what in
+  let* t0 = field "t0" Json.to_float args ~what in
+  let* t1 = field "t1" Json.to_float args ~what in
+  let* attrs =
+    match Json.member "attrs" args with
+    | Some (Json.Obj fields) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match Json.to_str v with
+            | Some s -> Ok ((k, s) :: acc)
+            | None -> Error (Printf.sprintf "attr %S is not a string" k))
+          (Ok []) fields
+        |> Result.map List.rev
+    | _ -> Error "missing attrs object"
+  in
+  Ok
+    {
+      Span.id = int_of_float id;
+      parent = int_of_float parent;
+      kind;
+      vt;
+      vt_end;
+      t0;
+      t1;
+      attrs;
+    }
+
+let of_chrome text =
+  let* doc = Json.parse text in
+  let* events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "no traceEvents array"
+  in
+  List.fold_left
+    (fun acc ev ->
+      let* acc = acc in
+      let* s = span_of_json ev in
+      Ok (s :: acc))
+    (Ok []) events
+  |> Result.map List.rev
+
+let validate spans =
+  let by_id = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> Ok ()
+    | (s : Span.t) :: rest ->
+        if s.id <= 0 then Error (Printf.sprintf "span id %d not positive" s.id)
+        else if Hashtbl.mem by_id s.id then
+          Error (Printf.sprintf "duplicate span id %d" s.id)
+        else if s.t1 < s.t0 then
+          Error (Printf.sprintf "span #%d ends before it starts (wall)" s.id)
+        else if s.vt_end < s.vt then
+          Error
+            (Printf.sprintf "span #%d ends before it starts (virtual)" s.id)
+        else if s.parent >= s.id then
+          Error
+            (Printf.sprintf "span #%d opened before its parent #%d" s.id
+               s.parent)
+        else begin
+          (match Hashtbl.find_opt by_id s.parent with
+          | Some (p : Span.t) when s.t0 < p.t0 || s.t1 > p.t1 ->
+              Error
+                (Printf.sprintf "span #%d escapes its parent #%d interval"
+                   s.id s.parent)
+          | _ ->
+              (* A parent missing from the list was evicted by ring
+                 wraparound (or the span is a root): nothing to check. *)
+              Ok ())
+          |> function
+          | Error _ as e -> e
+          | Ok () ->
+              Hashtbl.replace by_id s.id s;
+              go rest
+        end
+  in
+  go spans
+
+let kinds spans =
+  List.filter
+    (fun k -> List.exists (fun (s : Span.t) -> s.kind = k) spans)
+    Span.all_kinds
+
+let save path spans =
+  let oc = open_out_bin path in
+  output_string oc (to_chrome spans);
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_chrome text

@@ -1,0 +1,28 @@
+(** Chrome-trace export and re-import.
+
+    The export is the Chrome Trace Event JSON object format (load it in
+    [chrome://tracing] / Perfetto): one complete ("ph":"X") event per
+    span, [ts]/[dur] in microseconds of the wall/logical timebase, with
+    the exact span fields duplicated under [args] so {!of_chrome} can
+    reconstruct the span list byte-for-byte (floats are printed with 17
+    significant digits). *)
+
+val to_chrome : Span.t list -> string
+
+val of_chrome : string -> (Span.t list, string) result
+(** Inverse of {!to_chrome}: [of_chrome (to_chrome spans) = Ok spans]. *)
+
+val validate : Span.t list -> (unit, string) result
+(** Structural well-formedness: ids unique and positive, every span's end
+    at or after its start (both timebases), every span opened after its
+    parent, and — when the parent is present in the list — the child's
+    wall interval contained in the parent's. Spans whose parent was
+    evicted by ring wraparound are treated as roots. *)
+
+val kinds : Span.t list -> Span.kind list
+(** Distinct kinds present, in {!Span.all_kinds} order. *)
+
+val save : string -> Span.t list -> unit
+(** Write [to_chrome] to a file. *)
+
+val load : string -> (Span.t list, string) result

@@ -1,0 +1,114 @@
+type t = {
+  min_bound : float;
+  factor : float;
+  mutable counts : int array;  (* grown on demand *)
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(min_bound = 1e-9) ?(factor = 2.) () =
+  if min_bound <= 0. then invalid_arg "Histogram.create: min_bound <= 0";
+  if factor <= 1. then invalid_arg "Histogram.create: factor <= 1";
+  {
+    min_bound;
+    factor;
+    counts = Array.make 8 0;
+    total = 0;
+    sum = 0.;
+    min_v = nan;
+    max_v = nan;
+  }
+
+(* The bucket index is found by repeated multiplication — the same
+   operation [bound_of] uses — so a sample equal to a bucket's upper bound
+   always lands in that bucket, float rounding included. *)
+let index_of t x =
+  if x <= t.min_bound then 0
+  else begin
+    let i = ref 0 and b = ref t.min_bound in
+    while x > !b do
+      incr i;
+      b := !b *. t.factor
+    done;
+    !i
+  end
+
+let bound_of t i =
+  let b = ref t.min_bound in
+  for _ = 1 to i do
+    b := !b *. t.factor
+  done;
+  !b
+
+let ensure t i =
+  if i >= Array.length t.counts then begin
+    let counts = Array.make (max (i + 1) (2 * Array.length t.counts)) 0 in
+    Array.blit t.counts 0 counts 0 (Array.length t.counts);
+    t.counts <- counts
+  end
+
+let observe t x =
+  let i = index_of t x in
+  ensure t i;
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. x;
+  if Float.is_nan t.min_v || x < t.min_v then t.min_v <- x;
+  if Float.is_nan t.max_v || x > t.max_v then t.max_v <- x
+
+let count t = t.total
+let sum t = t.sum
+let min_seen t = t.min_v
+let max_seen t = t.max_v
+
+let quantile t q =
+  if t.total = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float t.total))) in
+    let rank = min rank t.total in
+    let acc = ref 0 and i = ref 0 in
+    while !acc < rank do
+      acc := !acc + t.counts.(!i);
+      if !acc < rank then incr i
+    done;
+    bound_of t !i
+  end
+
+let buckets t =
+  let out = ref [] in
+  Array.iteri
+    (fun i c -> if c > 0 then out := (bound_of t i, c) :: !out)
+    t.counts;
+  List.rev !out
+
+let merge_into ~dst t =
+  if dst.min_bound <> t.min_bound || dst.factor <> t.factor then
+    invalid_arg "Histogram.merge_into: bucket layouts differ";
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        ensure dst i;
+        dst.counts.(i) <- dst.counts.(i) + c
+      end)
+    t.counts;
+  dst.total <- dst.total + t.total;
+  dst.sum <- dst.sum +. t.sum;
+  if not (Float.is_nan t.min_v) then
+    if Float.is_nan dst.min_v || t.min_v < dst.min_v then dst.min_v <- t.min_v;
+  if not (Float.is_nan t.max_v) then
+    if Float.is_nan dst.max_v || t.max_v > dst.max_v then dst.max_v <- t.max_v
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.;
+  t.min_v <- nan;
+  t.max_v <- nan
+
+let pp fmt t =
+  if t.total = 0 then Format.fprintf fmt "empty"
+  else
+    Format.fprintf fmt "n=%d p50<=%.3g p95<=%.3g p99<=%.3g max=%.3g" t.total
+      (quantile t 0.5) (quantile t 0.95) (quantile t 0.99) t.max_v

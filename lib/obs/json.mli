@@ -1,0 +1,31 @@
+(** A minimal JSON value type, printer and parser.
+
+    The tree has no JSON library; this is just enough for the Chrome-trace
+    exporter and its decoder. Printing escapes every byte outside
+    printable ASCII as [\u00XX], so arbitrary OCaml strings round-trip
+    byte-for-byte. Numbers print with 17 significant digits, so floats
+    round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** The error string carries a byte offset. Trailing whitespace is
+    allowed; trailing garbage is an error. *)
+
+(** {1 Accessors} — shallow, total *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or a missing key. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

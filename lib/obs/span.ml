@@ -1,0 +1,65 @@
+type kind =
+  | Event_root
+  | App_handle
+  | Detection
+  | Txn_commit
+  | Txn_rollback
+  | Recovery
+  | Delivery
+  | Retransmit
+  | Resync
+  | Inv_cache_hit
+  | Inv_cache_miss
+
+let all_kinds =
+  [
+    Event_root;
+    App_handle;
+    Detection;
+    Txn_commit;
+    Txn_rollback;
+    Recovery;
+    Delivery;
+    Retransmit;
+    Resync;
+    Inv_cache_hit;
+    Inv_cache_miss;
+  ]
+
+let kind_name = function
+  | Event_root -> "event"
+  | App_handle -> "app"
+  | Detection -> "detect"
+  | Txn_commit -> "commit"
+  | Txn_rollback -> "rollback"
+  | Recovery -> "recovery"
+  | Delivery -> "delivery"
+  | Retransmit -> "retransmit"
+  | Resync -> "resync"
+  | Inv_cache_hit -> "inv-hit"
+  | Inv_cache_miss -> "inv-miss"
+
+let kind_of_name name =
+  List.find_opt (fun k -> kind_name k = name) all_kinds
+
+type t = {
+  id : int;
+  parent : int;
+  kind : kind;
+  vt : float;
+  vt_end : float;
+  t0 : float;
+  t1 : float;
+  attrs : (string * string) list;
+}
+
+let duration s = s.t1 -. s.t0
+let is_instant s = s.t1 = s.t0
+
+let pp fmt s =
+  Format.fprintf fmt "#%d%s %s vt=%g dur=%g%a" s.id
+    (if s.parent < 0 then "" else Printf.sprintf "<-#%d" s.parent)
+    (kind_name s.kind) s.vt (duration s)
+    (fun fmt attrs ->
+      List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) attrs)
+    s.attrs
