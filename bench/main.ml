@@ -468,6 +468,99 @@ let bench_incremental () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E23 — delta checkpointing: take cost (full blob vs chunked delta) on a
+   warmed learning switch, restore latency across journal depths
+   (materialize + replay), and a deterministic steady-state byte-accounting
+   experiment. The byte numbers are not timed — they are exact counters
+   from the checkpoint store, surfaced through the JSON "derived" section
+   so CI can assert the delta-vs-full reduction without rerunning. *)
+
+module Checkpoint = Legosdn.Checkpoint
+
+let ckpt_stats : (string * float) list ref = ref []
+
+(* One availability-style run: warm the app on an 8-host pair mix, then
+   keep replaying the same pairs (steady state — learned state no longer
+   changes), checkpointing with k=1 so every event pays a snapshot. Only
+   steady-state bytes are reported; the warm-up is charged to neither. *)
+let steady_state_bytes make_ckpt =
+  let c = make_ckpt () in
+  let live = ref (App_sig.instantiate (module Apps.Learning_switch)) in
+  let feed src dst =
+    if Checkpoint.due c then Checkpoint.take c !live;
+    let ev = packet_in_event ~sid:1 ~in_port:src src dst in
+    let updated, _ = App_sig.handle !live null_context ev in
+    live := updated;
+    Checkpoint.record_applied c ev
+  in
+  let sweep () =
+    for src = 1 to 16 do
+      for dst = 1 to 16 do
+        if src <> dst then feed src dst
+      done
+    done
+  in
+  sweep ();
+  let base = Checkpoint.bytes_written c in
+  for _round = 1 to 10 do
+    sweep ()
+  done;
+  (float_of_int (Checkpoint.bytes_written c - base), c)
+
+let bench_ckpt () =
+  let full_bytes, _ = steady_state_bytes (fun () -> Checkpoint.create ~every:1) in
+  let delta_bytes, delta_c =
+    steady_state_bytes (fun () ->
+        Checkpoint.create_delta ~cadence:(Checkpoint.Every 1) ())
+  in
+  ckpt_stats :=
+    [
+      ("ckpt-steady-full-bytes-written", full_bytes);
+      ("ckpt-steady-delta-bytes-written", delta_bytes);
+      ( "ckpt-bytes-ratio-full-over-delta",
+        if delta_bytes > 0. then full_bytes /. delta_bytes else nan );
+      ("ckpt-chunk-hits", float_of_int (Checkpoint.chunk_hits delta_c));
+      ("ckpt-chunk-misses", float_of_int (Checkpoint.chunk_misses delta_c));
+      ( "ckpt-bytes-deduped",
+        float_of_int (Checkpoint.chunk_bytes_deduped delta_c) );
+    ];
+  let inst = learning_switch_with_macs 1_000 in
+  let full = Checkpoint.create ~every:1 in
+  Checkpoint.take full inst;
+  let delta = Checkpoint.create_delta ~cadence:(Checkpoint.Every 1) () in
+  Checkpoint.take delta inst;
+  let restore_test n =
+    let c = Checkpoint.create_delta ~cadence:(Checkpoint.Every 100_000) () in
+    Checkpoint.take c inst;
+    for i = 1 to n do
+      Checkpoint.record_applied c
+        (packet_in_event ~sid:1 ~in_port:(1 + (i mod 40)) ((i mod 97) + 1)
+           (((i + 13) mod 97) + 1))
+    done;
+    Test.make
+      ~name:(Printf.sprintf "restore-journal-%d" n)
+      (Staged.stage (fun () ->
+           match Checkpoint.restore_point c with
+           | None -> ()
+           | Some (snap, journal) ->
+               let restored = ref (App_sig.restore inst snap) in
+               List.iter
+                 (fun ev ->
+                   let updated, _ = App_sig.handle !restored null_context ev in
+                   restored := updated)
+                 journal))
+  in
+  [
+    Test.make ~name:"take-full-1000-macs"
+      (Staged.stage (fun () -> Checkpoint.take full inst));
+    (* Steady state for the delta store: every chunk hits, so this measures
+       the chunking + digest walk rather than storage. *)
+    Test.make ~name:"take-delta-1000-macs"
+      (Staged.stage (fun () -> Checkpoint.take delta inst));
+  ]
+  @ List.map restore_test [ 0; 16; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
 (* E22 — observability overhead: the same control-loop hot paths with the
    no-op tracer vs a live ring-buffer tracer, plus the tracer's unit
    costs. The derived "obs-*-overhead" ratios are the acceptance numbers:
@@ -643,7 +736,18 @@ let write_json path rows =
           "check-flow-mods-incremental" );
         ("obs-dispatch-overhead", "dispatch-tracing-on", "dispatch-tracing-off");
         ("obs-screen-overhead", "screen-tracing-on", "screen-tracing-off");
+        ("ckpt-take-full-over-delta", "take-full-1000-macs",
+         "take-delta-1000-macs");
       ]
+  in
+  (* Exact counters from the ckpt cluster's byte-accounting experiment
+     (empty unless that cluster ran). *)
+  let derived =
+    derived
+    @ List.map
+        (fun (key, v) ->
+          Printf.sprintf "    \"%s\": %.2f" (json_escape key) v)
+        !ckpt_stats
   in
   output_string oc (String.concat ",\n" derived);
   output_string oc "\n  }\n}\n";
@@ -669,6 +773,7 @@ let groups () =
     ("scenario", "end-to-end 10-virtual-second scenario runs", bench_scenario);
     ("invariants", "incremental vs full invariant checking", bench_incremental);
     ("obs", "tracing overhead on the hot paths (E22)", bench_obs);
+    ("ckpt", "delta checkpointing: take/restore cost + bytes (E23)", bench_ckpt);
   ]
 
 let () =

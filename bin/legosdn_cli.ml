@@ -89,7 +89,7 @@ let read_file path =
 (* ---------------- the run command ---------------- *)
 
 let run_scenario make_topology arch app_names bug policy_file config_file duration
-    trace_out trace_buffer verbose =
+    trace_out trace_buffer delta_ckpt verbose =
   let apps =
     List.filter_map
       (fun name ->
@@ -140,6 +140,11 @@ let run_scenario make_topology arch app_names bug policy_file config_file durati
           Runtime.default_config with
           Runtime.crashpad = { Crashpad.default_config with Crashpad.policy };
         }
+  in
+  let config =
+    if delta_ckpt then
+      { config with Runtime.checkpoint_mode = Runtime.Ckpt_delta_adaptive }
+    else config
   in
   let probe_topo = make_topology () in
   let hosts = Topology.hosts probe_topo in
@@ -211,6 +216,22 @@ let run_scenario make_topology arch app_names bug policy_file config_file durati
             (Legosdn.Reliable.divergence rel)
             (Legosdn.Reliable.degraded_count rel)
       | None -> ());
+      List.iter
+        (fun box ->
+          let c = Legosdn.Sandbox.checkpoint_store box in
+          Format.printf
+            "checkpoint[%s]: %s snapshots=%d written=%dB last=%dB journal=%d \
+             chunk-hits=%d chunk-misses=%d deduped=%dB@."
+            (Legosdn.Sandbox.name box)
+            (if Legosdn.Checkpoint.is_delta c then "delta" else "full")
+            (Legosdn.Checkpoint.snapshots_taken c)
+            (Legosdn.Checkpoint.bytes_written c)
+            (Legosdn.Checkpoint.last_snapshot_bytes c)
+            (Legosdn.Checkpoint.journal_length c)
+            (Legosdn.Checkpoint.chunk_hits c)
+            (Legosdn.Checkpoint.chunk_misses c)
+            (Legosdn.Checkpoint.chunk_bytes_deduped c))
+        (Runtime.sandboxes rt);
       let tickets = Runtime.tickets rt in
       Format.printf "tickets: %d@." (List.length tickets);
       List.iter (fun t -> Format.printf "%a@." Legosdn.Ticket.pp t) tickets
@@ -411,6 +432,13 @@ let duration_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print metrics and tickets.")
 
+let delta_ckpt_arg =
+  Arg.(value & flag
+       & info [ "delta-ckpt" ]
+           ~doc:"Use content-chunked delta checkpoints with the adaptive \
+                 cadence (overrides the checkpoint mode of \
+                 $(b,--config-file)).")
+
 let trace_out_arg =
   Arg.(value
        & opt (some string) None
@@ -430,7 +458,7 @@ let run_cmd =
     Term.(ret
             (const run_scenario $ topo_arg $ arch_arg $ apps_arg $ bug_arg
              $ policy_arg $ config_arg $ duration_arg $ trace_out_arg
-             $ trace_buffer_arg $ verbose_arg))
+             $ trace_buffer_arg $ delta_ckpt_arg $ verbose_arg))
 
 let check_policy_cmd =
   let doc = "Parse and echo a Crash-Pad policy file" in

@@ -190,6 +190,10 @@ let run ?(oracles = Oracle.all) ?trace_buffer spec =
   let config =
     {
       Runtime.checkpoint_every = max 1 spec.Spec.checkpoint_every;
+      (* Delta storage with the spec's fixed cadence: identical event
+         scheduling to full blobs, but every fuzz run exercises the
+         chunked store/materialize path. *)
+      checkpoint_mode = Runtime.Ckpt_delta;
       crashpad =
         {
           Crashpad.default_config with

@@ -1,50 +1,311 @@
 module App_sig = Controller.App_sig
 module Event = Controller.Event
 
+module Chunk_store = struct
+  (* Keys are (content digest, probe). The probe index separates distinct
+     contents that share a digest: lookups walk probes until a byte-equal
+     chunk is found or a slot is free, so a collision can cost a few extra
+     probes but never corrupts a snapshot. *)
+  type key = int64 * int
+
+  type chunk = { data : bytes; mutable refs : int }
+
+  type t = {
+    size : int;
+    table : (key, chunk) Hashtbl.t;
+    mutable n_hits : int;
+    mutable n_misses : int;
+    mutable n_deduped : int;
+    mutable n_written : int;
+    mutable n_stored : int;
+    mutable n_evicted : int;
+  }
+
+  type manifest = { total : int; keys : key array }
+
+  type write = {
+    hits : int;
+    misses : int;
+    deduped_bytes : int;
+    written_bytes : int;
+  }
+
+  let create ?(chunk_size = 64) () =
+    if chunk_size < 1 then
+      invalid_arg "Chunk_store.create: chunk_size must be >= 1";
+    {
+      size = chunk_size;
+      table = Hashtbl.create 256;
+      n_hits = 0;
+      n_misses = 0;
+      n_deduped = 0;
+      n_written = 0;
+      n_stored = 0;
+      n_evicted = 0;
+    }
+
+  let chunk_size t = t.size
+
+  (* FNV-1a, 64-bit. *)
+  let digest b =
+    let h = ref 0xcbf29ce484222325L in
+    for i = 0 to Bytes.length b - 1 do
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i))))
+          0x100000001b3L
+    done;
+    !h
+
+  (* Serialized-manifest cost model: a small header (length + chunk count)
+     plus one chunk reference (digest + probe + length) per chunk. *)
+  let manifest_overhead nchunks = 16 + (10 * nchunks)
+
+  let intern t data =
+    let d = digest data in
+    let rec probe p =
+      match Hashtbl.find_opt t.table (d, p) with
+      | Some c when Bytes.equal c.data data ->
+          c.refs <- c.refs + 1;
+          ((d, p), true)
+      | Some _ -> probe (p + 1)
+      | None ->
+          Hashtbl.replace t.table (d, p) { data; refs = 1 };
+          t.n_stored <- t.n_stored + Bytes.length data;
+          ((d, p), false)
+    in
+    probe 0
+
+  let store t blob =
+    let len = Bytes.length blob in
+    let n = (len + t.size - 1) / t.size in
+    let keys = Array.make n (0L, 0) in
+    let hits = ref 0 and misses = ref 0 in
+    let deduped = ref 0 and written = ref 0 in
+    for i = 0 to n - 1 do
+      let off = i * t.size in
+      let clen = min t.size (len - off) in
+      let key, hit = intern t (Bytes.sub blob off clen) in
+      keys.(i) <- key;
+      if hit then begin
+        incr hits;
+        deduped := !deduped + clen
+      end
+      else begin
+        incr misses;
+        written := !written + clen
+      end
+    done;
+    let written_bytes = !written + manifest_overhead n in
+    t.n_hits <- t.n_hits + !hits;
+    t.n_misses <- t.n_misses + !misses;
+    t.n_deduped <- t.n_deduped + !deduped;
+    t.n_written <- t.n_written + written_bytes;
+    ( { total = len; keys },
+      {
+        hits = !hits;
+        misses = !misses;
+        deduped_bytes = !deduped;
+        written_bytes;
+      } )
+
+  let release t m =
+    Array.iter
+      (fun key ->
+        match Hashtbl.find_opt t.table key with
+        | None -> ()
+        | Some c ->
+            c.refs <- c.refs - 1;
+            if c.refs <= 0 then begin
+              Hashtbl.remove t.table key;
+              t.n_stored <- t.n_stored - Bytes.length c.data;
+              t.n_evicted <- t.n_evicted + 1
+            end)
+      m.keys
+
+  let materialize t m =
+    let out = Bytes.create m.total in
+    Array.iteri
+      (fun i key ->
+        match Hashtbl.find_opt t.table key with
+        | None -> invalid_arg "Chunk_store.materialize: released manifest"
+        | Some c ->
+            Bytes.blit c.data 0 out (i * t.size) (Bytes.length c.data))
+      m.keys;
+    out
+
+  let manifest_bytes m = m.total
+  let hits t = t.n_hits
+  let misses t = t.n_misses
+  let bytes_deduped t = t.n_deduped
+  let bytes_written t = t.n_written
+  let chunk_count t = Hashtbl.length t.table
+  let stored_bytes t = t.n_stored
+  let evicted_chunks t = t.n_evicted
+end
+
+type cadence =
+  | Every of int
+  | Adaptive of {
+      replay_cost_per_event : int;
+      min_events : int;
+      max_events : int;
+    }
+
+type notification =
+  | Took of {
+      delta : bool;
+      logical : int;
+      written : int;
+      chunk_hits : int;
+      chunk_misses : int;
+      deduped : int;
+    }
+  | Materialized of { bytes : int; journal : int }
+
+type stored = Blob of bytes | Chunked of Chunk_store.manifest
+
 type t = {
-  k : int;
-  mutable latest : bytes option;
+  when_due : cadence;
+  store : Chunk_store.t option;  (* None = full-blob storage *)
+  observer : (notification -> unit) option;
+  mutable latest : stored option;
   mutable journal : Event.t list;  (* newest first *)
+  mutable journal_len : int;
   mutable taken : int;
   mutable total_bytes : int;
   mutable last_bytes : int;
+  mutable last_write : int;
+  mutable est_write : float;  (* EWMA of per-take written bytes *)
 }
 
-let create ~every =
-  if every < 1 then invalid_arg "Checkpoint.create: every must be >= 1";
+let check_cadence = function
+  | Every k -> if k < 1 then invalid_arg "Checkpoint.create: every must be >= 1"
+  | Adaptive { replay_cost_per_event; min_events; max_events } ->
+      if replay_cost_per_event < 1 || min_events < 1 || max_events < 1 then
+        invalid_arg "Checkpoint: adaptive cadence parameters must be >= 1";
+      if min_events > max_events then
+        invalid_arg "Checkpoint: min_events > max_events"
+
+let make ?observer ~store when_due =
+  check_cadence when_due;
   {
-    k = every;
+    when_due;
+    store;
+    observer;
     latest = None;
     journal = [];
+    journal_len = 0;
     taken = 0;
     total_bytes = 0;
     last_bytes = 0;
+    last_write = 0;
+    est_write = 0.;
   }
 
-let every t = t.k
+let create ~every = make ~store:None (Every every)
+let create_full ?observer ~every () = make ?observer ~store:None (Every every)
+
+let create_delta ?chunk_size ?observer ~cadence () =
+  make ?observer ~store:(Some (Chunk_store.create ?chunk_size ())) cadence
+
+let cadence t = t.when_due
+
+let every t =
+  match t.when_due with Every k -> k | Adaptive { max_events; _ } -> max_events
+
+let is_delta t = t.store <> None
+
+let notify t n = match t.observer with None -> () | Some f -> f n
 
 let due t =
   match t.latest with
   | None -> true
-  | Some _ -> List.length t.journal >= t.k
+  | Some _ -> (
+      match t.when_due with
+      | Every k -> t.journal_len >= k
+      | Adaptive { replay_cost_per_event; min_events; max_events } ->
+          t.journal_len >= max_events
+          || t.journal_len >= min_events
+             && float_of_int (t.journal_len * replay_cost_per_event)
+                >= t.est_write)
 
 let take t inst =
   let snap = App_sig.snapshot inst in
-  t.latest <- Some snap;
+  let logical = Bytes.length snap in
+  (match t.store with
+  | None ->
+      t.latest <- Some (Blob snap);
+      t.last_write <- logical;
+      notify t
+        (Took
+           {
+             delta = false;
+             logical;
+             written = logical;
+             chunk_hits = 0;
+             chunk_misses = 0;
+             deduped = 0;
+           })
+  | Some store ->
+      let manifest, w = Chunk_store.store store snap in
+      (* Store the new snapshot before releasing the old one: chunks the
+         two share must keep a reference across the swap, or the store
+         would evict and immediately re-write them. *)
+      let previous = t.latest in
+      t.latest <- Some (Chunked manifest);
+      (match previous with
+      | Some (Chunked m) -> Chunk_store.release store m
+      | Some (Blob _) | None -> ());
+      t.last_write <- w.Chunk_store.written_bytes;
+      notify t
+        (Took
+           {
+             delta = true;
+             logical;
+             written = w.Chunk_store.written_bytes;
+             chunk_hits = w.Chunk_store.hits;
+             chunk_misses = w.Chunk_store.misses;
+             deduped = w.Chunk_store.deduped_bytes;
+           }));
   t.journal <- [];
+  t.journal_len <- 0;
   t.taken <- t.taken + 1;
-  t.last_bytes <- Bytes.length snap;
-  t.total_bytes <- t.total_bytes + Bytes.length snap
+  t.last_bytes <- logical;
+  t.total_bytes <- t.total_bytes + t.last_write;
+  t.est_write <-
+    (if t.taken = 1 then float_of_int t.last_write
+     else (0.5 *. t.est_write) +. (0.5 *. float_of_int t.last_write))
 
-let record_applied t ev = t.journal <- ev :: t.journal
+let record_applied t ev =
+  t.journal <- ev :: t.journal;
+  t.journal_len <- t.journal_len + 1
 
 let restore_point t =
   match t.latest with
   | None -> None
-  | Some snap -> Some (snap, List.rev t.journal)
+  | Some (Blob snap) -> Some (snap, List.rev t.journal)
+  | Some (Chunked m) ->
+      let snap =
+        match t.store with
+        | Some store -> Chunk_store.materialize store m
+        | None -> assert false
+      in
+      notify t
+        (Materialized { bytes = Bytes.length snap; journal = t.journal_len });
+      Some (snap, List.rev t.journal)
 
-let journal_length t = List.length t.journal
-
+let journal_length t = t.journal_len
 let snapshots_taken t = t.taken
 let bytes_written t = t.total_bytes
 let last_snapshot_bytes t = t.last_bytes
+let last_write_bytes t = t.last_write
+
+let chunk_hits t =
+  match t.store with None -> 0 | Some s -> Chunk_store.hits s
+
+let chunk_misses t =
+  match t.store with None -> 0 | Some s -> Chunk_store.misses s
+
+let chunk_bytes_deduped t =
+  match t.store with None -> 0 | Some s -> Chunk_store.bytes_deduped s

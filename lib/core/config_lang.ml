@@ -44,6 +44,7 @@ let kind_of_name name =
 (* Mutable accumulation while scanning the file. *)
 type builder = {
   mutable checkpoint_every : int;
+  mutable checkpoint_mode : Runtime.ckpt_mode;
   mutable engine : Runtime.engine_kind;
   mutable quarantine_threshold : int option;
   mutable timing : Detector.timing;
@@ -58,6 +59,7 @@ type builder = {
 let fresh_builder () =
   {
     checkpoint_every = Runtime.default_config.Runtime.checkpoint_every;
+    checkpoint_mode = Runtime.default_config.Runtime.checkpoint_mode;
     engine = Runtime.default_config.Runtime.engine;
     quarantine_threshold = None;
     timing = Detector.default_timing;
@@ -83,6 +85,18 @@ let directive b lineno toks =
           b.checkpoint_every <- k;
           Ok ()
       | _ -> err (Printf.sprintf "bad checkpoint cadence %S" k))
+  | [ "checkpoint"; "mode"; m ] -> (
+      match m with
+      | "full" ->
+          b.checkpoint_mode <- Runtime.Ckpt_full;
+          Ok ()
+      | "delta" ->
+          b.checkpoint_mode <- Runtime.Ckpt_delta;
+          Ok ()
+      | "delta-adaptive" ->
+          b.checkpoint_mode <- Runtime.Ckpt_delta_adaptive;
+          Ok ()
+      | _ -> err (Printf.sprintf "unknown checkpoint mode %S" m))
   | [ "engine"; "netlog" ] ->
       b.engine <- Runtime.Netlog_engine;
       Ok ()
@@ -214,6 +228,7 @@ let parse text =
       Ok
         {
           Runtime.checkpoint_every = b.checkpoint_every;
+          checkpoint_mode = b.checkpoint_mode;
           engine = b.engine;
           reliable = b.reliable;
           crashpad =
@@ -240,6 +255,11 @@ let print (config : Runtime.config) =
   let b = Buffer.create 256 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "checkpoint every %d" config.Runtime.checkpoint_every;
+  line "checkpoint mode %s"
+    (match config.Runtime.checkpoint_mode with
+    | Runtime.Ckpt_full -> "full"
+    | Runtime.Ckpt_delta -> "delta"
+    | Runtime.Ckpt_delta_adaptive -> "delta-adaptive");
   line "engine %s"
     (match config.Runtime.engine with
     | Runtime.Netlog_engine -> "netlog"

@@ -13,6 +13,7 @@
 
     {v
     checkpoint every 5
+    checkpoint mode delta                # or: full | delta-adaptive
     engine netlog                        # or: delay-buffer
     quarantine threshold 2               # absent = quarantine off
     heartbeat interval 0.1 misses 3

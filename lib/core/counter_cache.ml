@@ -2,17 +2,69 @@ open Openflow
 
 type key = Types.switch_id * Ofp_match.t * int
 
-type t = (key, int * int) Hashtbl.t
+type entry = { mutable packets : int; mutable bytes : int; mutable stamp : int }
 
-let create () : t = Hashtbl.create 32
+type t = {
+  table : (key, entry) Hashtbl.t;
+  capacity : int;
+  on_evict : unit -> unit;
+  mutable tick : int;  (* LRU clock: bumped on every touch *)
+  mutable n_evicted : int;
+}
+
+let create ?(capacity = 1024) ?(on_evict = fun () -> ()) () =
+  if capacity < 1 then invalid_arg "Counter_cache.create: capacity must be >= 1";
+  { table = Hashtbl.create 32; capacity; on_evict; tick = 0; n_evicted = 0 }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+(* Drop the least-recently-touched identity. A linear scan, but it only
+   runs when an insert finds the cache full — never on the stats path. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.n_evicted <- t.n_evicted + 1;
+      t.on_evict ()
 
 let credit t sid pattern ~priority ~packets ~bytes =
   let key = (sid, pattern, priority) in
-  let p0, b0 = Option.value (Hashtbl.find_opt t key) ~default:(0, 0) in
-  Hashtbl.replace t key (p0 + packets, b0 + bytes)
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.packets <- e.packets + packets;
+      e.bytes <- e.bytes + bytes;
+      touch t e
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let e = { packets; bytes; stamp = 0 } in
+      touch t e;
+      Hashtbl.replace t.table key e
 
 let base t sid pattern ~priority =
-  Option.value (Hashtbl.find_opt t (sid, pattern, priority)) ~default:(0, 0)
+  match Hashtbl.find_opt t.table (sid, pattern, priority) with
+  | Some e ->
+      touch t e;
+      (e.packets, e.bytes)
+  | None -> (0, 0)
+
+let consume t sid pattern ~priority =
+  let key = (sid, pattern, priority) in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      Hashtbl.remove t.table key;
+      Some (e.packets, e.bytes)
+  | None -> None
 
 let adjust_reply t sid ~request reply =
   match reply with
@@ -27,26 +79,30 @@ let adjust_reply t sid ~request reply =
                fs_byte_count = fs.fs_byte_count + b;
              })
            stats)
-  | Message.Aggregate_stats_reply agg ->
-      let pattern =
-        match request with
-        | Message.Aggregate_stats_request m | Message.Flow_stats_request m -> m
-        | Message.Port_stats_request _ | Message.Description_request ->
-            Ofp_match.any
-      in
-      let extra_p, extra_b =
-        Hashtbl.fold
-          (fun (s, m, _prio) (p, b) (ap, ab) ->
-            if s = sid && Ofp_match.subsumes pattern m then (ap + p, ab + b)
-            else (ap, ab))
-          t (0, 0)
-      in
-      Message.Aggregate_stats_reply
-        {
-          packets = agg.packets + extra_p;
-          bytes = agg.bytes + extra_b;
-          flows = agg.flows;
-        }
+  | Message.Aggregate_stats_reply agg -> (
+      match request with
+      | Message.Aggregate_stats_request pattern
+      | Message.Flow_stats_request pattern ->
+          let extra_p, extra_b =
+            Hashtbl.fold
+              (fun (s, m, _prio) (e : entry) (ap, ab) ->
+                if s = sid && Ofp_match.subsumes pattern m then
+                  (ap + e.packets, ab + e.bytes)
+                else (ap, ab))
+              t.table (0, 0)
+          in
+          Message.Aggregate_stats_reply
+            {
+              packets = agg.packets + extra_p;
+              bytes = agg.bytes + extra_b;
+              flows = agg.flows;
+            }
+      | Message.Port_stats_request _ | Message.Description_request ->
+          (* Request/reply kind mismatch: crediting here (the old
+             [Ofp_match.any] fallback) inflated aggregates with every
+             banked flow on the switch. *)
+          reply)
   | Message.Port_stats_reply _ | Message.Description_reply _ -> reply
 
-let entries t = Hashtbl.length t
+let entries t = Hashtbl.length t.table
+let evictions t = t.n_evicted

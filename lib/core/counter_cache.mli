@@ -4,13 +4,21 @@
     restores a deleted flow it re-adds it with zeroed counters and banks the
     old values here; statistics replies that pass through NetLog are then
     corrected by adding the banked base back, so applications never observe
-    the counter reset. *)
+    the counter reset.
+
+    The bank is bounded: when an application deliberately reinstalls a rule
+    (a fresh Add is a legitimate counter reset) NetLog {!consume}s the
+    credit, and identities beyond [capacity] are evicted least-recently-used
+    so churn cannot grow the cache without bound. *)
 
 open Openflow
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> ?on_evict:(unit -> unit) -> unit -> t
+(** [capacity] (default 1024) bounds the number of banked identities; the
+    least-recently-touched one is dropped (and [on_evict] called) when an
+    insert would exceed it. Raises [Invalid_argument] if [capacity < 1]. *)
 
 val credit :
   t ->
@@ -26,6 +34,12 @@ val credit :
 val base : t -> Types.switch_id -> Ofp_match.t -> priority:int -> int * int
 (** Banked (packets, bytes) for the rule; (0, 0) if never credited. *)
 
+val consume :
+  t -> Types.switch_id -> Ofp_match.t -> priority:int -> (int * int) option
+(** Remove and return the banked counters for a rule identity — called when
+    the application itself reinstalls the rule, which legitimately resets
+    its counters. [None] if nothing was banked. *)
+
 val adjust_reply :
   t ->
   Types.switch_id ->
@@ -34,8 +48,13 @@ val adjust_reply :
   Message.stats_reply
 (** Correct a statistics reply from the given switch: per-flow stats get
     their banked base added; aggregate stats get the sum of the bases of
-    rules subsumed by the request pattern. Port and description replies are
-    returned unchanged. *)
+    rules subsumed by the request pattern, but only when the request was a
+    flow or aggregate request — on a request/reply kind mismatch the reply
+    is returned unchanged. Port and description replies are returned
+    unchanged. *)
 
 val entries : t -> int
 (** Number of banked rule identities. *)
+
+val evictions : t -> int
+(** Identities dropped by the LRU capacity bound. *)

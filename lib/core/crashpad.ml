@@ -73,7 +73,7 @@ let switch_of_command = function
    [Error (failure, rolled_back)] after an abort. The sandbox state has
    already been repaired (restore + replay) when [Error] is returned. *)
 let attempt config deps sandbox event : (unit, Detector.failure * int) result =
-  Sandbox.prepare sandbox;
+  Sandbox.prepare ~tracer:deps.tracer sandbox;
   let txn = deps.engine.Txn_engine.begin_txn ~app:(Sandbox.name sandbox) in
   let fail_and_recover failure ~partial =
     let attrs =
@@ -90,7 +90,7 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
         count_failure deps failure;
         Metrics.add_app_downtime deps.metrics ~app:(Sandbox.name sandbox)
           (Detector.detection_delay config.timing failure);
-        let recovery = Sandbox.recover sandbox (deps.context ()) in
+        let recovery = Sandbox.recover ~tracer:deps.tracer sandbox (deps.context ()) in
         Metrics.incr_replayed deps.metrics recovery.Sandbox.replayed;
         Metrics.incr_dropped_in_replay deps.metrics
           recovery.Sandbox.dropped_in_replay;

@@ -82,6 +82,13 @@ val incr_inv_trace_miss : t -> unit
 val incr_inv_invalidation : t -> unit
 val incr_inv_recapture : t -> unit
 val incr_inv_memoized : t -> unit
+val incr_checkpoint : t -> unit
+val incr_ckpt_restore : t -> unit
+val add_ckpt_chunk_hits : t -> int -> unit
+val add_ckpt_chunk_misses : t -> int -> unit
+val add_ckpt_bytes_deduped : t -> int -> unit
+val add_ckpt_bytes_written : t -> int -> unit
+val incr_counter_cache_eviction : t -> unit
 
 val events : t -> int
 val crashes : t -> int
@@ -129,6 +136,27 @@ val inv_recaptures : t -> int
 
 val inv_memoized_checks : t -> int
 (** Whole checks answered from the previous result (nothing changed). *)
+
+val checkpoints : t -> int
+(** Application checkpoints taken (full or delta). *)
+
+val ckpt_restores : t -> int
+(** Snapshots materialized from the chunk store for a restore. *)
+
+val ckpt_chunk_hits : t -> int
+(** Chunks a delta checkpoint found already stored (deduplicated). *)
+
+val ckpt_chunk_misses : t -> int
+(** Chunks a delta checkpoint had to write. *)
+
+val ckpt_bytes_deduped : t -> int
+(** Snapshot bytes not written thanks to chunk reuse. *)
+
+val ckpt_bytes_written : t -> int
+(** Bytes checkpoints actually wrote (chunk data + manifest overhead). *)
+
+val counter_cache_evictions : t -> int
+(** Banked rule identities dropped by the counter-cache LRU bound. *)
 
 (** {1 Per-app downtime} *)
 

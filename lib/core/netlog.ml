@@ -20,6 +20,9 @@ type undo =
       (** Put a rewritten action list back. *)
   | Undo_port_mod of Types.switch_id * Message.port_mod
       (** Put a port's previous OFPPC_NO_FLOOD setting back. *)
+  | Undo_recredit of Types.switch_id * Ofp_match.t * int * int * int
+      (** Re-bank counter-cache credits an Add consumed (switch, pattern,
+          priority, packets, bytes). *)
 
 type txn = {
   app : string;
@@ -40,14 +43,20 @@ type t = {
   mutable tracer : Obs.Tracer.t;
 }
 
-let create ?transport ?(xid_base = 1) network =
+let create ?transport ?(xid_base = 1) ?metrics network =
   {
     network;
     send =
       (match transport with
       | Some f -> f
       | None -> Net.send network);
-    counter_cache = Counter_cache.create ();
+    counter_cache =
+      Counter_cache.create
+        ~on_evict:
+          (match metrics with
+          | Some m -> fun () -> Metrics.incr_counter_cache_eviction m
+          | None -> fun () -> ())
+        ();
     next_xid = xid_base;
     n_committed = 0;
     n_aborted = 0;
@@ -144,6 +153,22 @@ let apply t txn cmd =
     match cmd with
     | Command.Flow (sid, fm) ->
         let undos = flow_mod_undos t sid fm in
+        (* An application reinstalling a rule is a legitimate counter
+           reset: the banked base must go, or later stats would resurrect
+           pre-reset traffic. Consumption is transactional — abort
+           re-credits. *)
+        let undos =
+          if fm.command = Message.Add then
+            match
+              Counter_cache.consume t.counter_cache sid fm.pattern
+                ~priority:fm.priority
+            with
+            | Some (packets, bytes) ->
+                Undo_recredit (sid, fm.pattern, fm.priority, packets, bytes)
+                :: undos
+            | None -> undos
+          else undos
+        in
         txn.undos <- undos @ txn.undos;
         t.send sid (Message.message ~xid (Message.Flow_mod fm))
     | Command.Packet (sid, po) ->
@@ -185,6 +210,9 @@ let apply t txn cmd =
   replies
 
 let run_undo t = function
+  | Undo_recredit (sid, pattern, priority, packets, bytes) ->
+      Counter_cache.credit t.counter_cache sid pattern ~priority ~packets
+        ~bytes
   | Undo_port_mod (sid, pm) ->
       ignore
         (t.send sid

@@ -17,6 +17,7 @@ type t
 val create :
   ?transport:(Types.switch_id -> Message.t -> Message.t list) ->
   ?xid_base:int ->
+  ?metrics:Metrics.t ->
   Netsim.Net.t ->
   t
 (** [transport] replaces the raw [Net.send] for every outgoing message —
@@ -24,7 +25,8 @@ val create :
     Rollback traffic flows through it too. [xid_base] (default 1) seeds the
     xid counter; a failover controller must pass the predecessor's
     {!next_xid} so switch-side duplicate detection never confuses a fresh
-    command with a retransmission. *)
+    command with a retransmission. [metrics] receives counter-cache
+    eviction counts. *)
 
 val net : t -> Netsim.Net.t
 val cache : t -> Counter_cache.t

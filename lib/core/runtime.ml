@@ -3,9 +3,11 @@ module Net = Netsim.Net
 module Clock = Netsim.Clock
 
 type engine_kind = Netlog_engine | Delay_buffer_engine
+type ckpt_mode = Ckpt_full | Ckpt_delta | Ckpt_delta_adaptive
 
 type config = {
   checkpoint_every : int;
+  checkpoint_mode : ckpt_mode;
   crashpad : Crashpad.config;
   engine : engine_kind;
   reliable : Reliable.config;
@@ -14,6 +16,7 @@ type config = {
 let default_config =
   {
     checkpoint_every = 1;
+    checkpoint_mode = Ckpt_full;
     crashpad = Crashpad.default_config;
     engine = Netlog_engine;
     reliable = Reliable.default_config;
@@ -84,7 +87,8 @@ let create ?(config = default_config) ?xid_base network modules =
             network
         in
         let nl =
-          Netlog.create ~transport:(Reliable.send rel) ?xid_base network
+          Netlog.create ~transport:(Reliable.send rel) ?xid_base
+            ~metrics:metrics_store network
         in
         (Some rel, Some nl, Netlog.engine nl)
     | Delay_buffer_engine ->
@@ -109,12 +113,45 @@ let create ?(config = default_config) ?xid_base network modules =
     in
     Invariants.Incremental.create ~observer network
   in
+  let ckpt_observer = function
+    | Checkpoint.Took { written; chunk_hits; chunk_misses; deduped; _ } ->
+        Metrics.incr_checkpoint metrics_store;
+        Metrics.add_ckpt_bytes_written metrics_store written;
+        Metrics.add_ckpt_chunk_hits metrics_store chunk_hits;
+        Metrics.add_ckpt_chunk_misses metrics_store chunk_misses;
+        Metrics.add_ckpt_bytes_deduped metrics_store deduped
+    | Checkpoint.Materialized _ -> Metrics.incr_ckpt_restore metrics_store
+  in
+  let make_ckpt () =
+    let k = config.checkpoint_every in
+    match config.checkpoint_mode with
+    | Ckpt_full -> Checkpoint.create_full ~observer:ckpt_observer ~every:k ()
+    | Ckpt_delta ->
+        Checkpoint.create_delta ~observer:ckpt_observer
+          ~cadence:(Checkpoint.Every k) ()
+    | Ckpt_delta_adaptive ->
+        (* A journaled event replays in microseconds while a full snapshot
+           write is ~the state size; 64 write-byte units per event keeps
+           the journal short for big states and long for small ones. The
+           fixed k survives as the floor; the ceiling bounds replay. *)
+        Checkpoint.create_delta ~observer:ckpt_observer
+          ~cadence:
+            (Checkpoint.Adaptive
+               {
+                 replay_cost_per_event = 64;
+                 min_events = k;
+                 max_events = max (8 * k) 64;
+               })
+          ()
+  in
   {
     network;
     services_state = Services.create (Net.clock network) (Net.topology network);
     boxes =
       List.map
-        (fun m -> Sandbox.create ~checkpoint_every:config.checkpoint_every m)
+        (fun m ->
+          Sandbox.create ~ckpt:(make_ckpt ())
+            ~checkpoint_every:config.checkpoint_every m)
         modules;
     netlog_instance;
     reliable_layer;

@@ -12,8 +12,21 @@ open Controller
 
 type engine_kind = Netlog_engine | Delay_buffer_engine
 
+(** How each sandbox's checkpoint store is configured. *)
+type ckpt_mode =
+  | Ckpt_full  (** Full snapshot blobs, fixed every-k cadence. *)
+  | Ckpt_delta
+      (** Content-chunked delta snapshots, same fixed every-k cadence —
+          identical scheduling to [Ckpt_full], cheaper writes. *)
+  | Ckpt_delta_adaptive
+      (** Delta snapshots with the adaptive cadence: checkpoint when the
+          estimated journal-replay cost exceeds the estimated write cost,
+          with [checkpoint_every] as the floor and [max (8k) 64] as the
+          journal ceiling. *)
+
 type config = {
   checkpoint_every : int;  (** k: checkpoint every k events (§5). *)
+  checkpoint_mode : ckpt_mode;
   crashpad : Crashpad.config;
   engine : engine_kind;
   reliable : Reliable.config;
@@ -21,7 +34,8 @@ type config = {
 }
 
 val default_config : config
-(** k = 1, Crash-Pad defaults, NetLog engine, reliable delivery on. *)
+(** k = 1, full checkpoints, Crash-Pad defaults, NetLog engine, reliable
+    delivery on. *)
 
 type t
 

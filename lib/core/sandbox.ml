@@ -15,11 +15,14 @@ type t = {
   mutable n_rpc_bytes : int;
 }
 
-let create ~checkpoint_every m =
+let create ?ckpt ~checkpoint_every m =
   {
     inst = App_sig.instantiate m;
     prev_inst = None;
-    ckpt = Checkpoint.create ~every:checkpoint_every;
+    ckpt =
+      (match ckpt with
+      | Some c -> c
+      | None -> Checkpoint.create ~every:checkpoint_every);
     is_alive = true;
     n_events = 0;
     n_crashes = 0;
@@ -39,7 +42,24 @@ let rpc_bytes t = t.n_rpc_bytes
 let state_size t = App_sig.state_size t.inst
 let checkpoint_store t = t.ckpt
 
-let prepare t = if Checkpoint.due t.ckpt then Checkpoint.take t.ckpt t.inst
+let prepare ?(tracer = Obs.Tracer.noop) t =
+  if Checkpoint.due t.ckpt then
+    if Obs.Tracer.enabled tracer then begin
+      let id =
+        Obs.Tracer.start tracer
+          ~attrs:[ ("app", name t) ]
+          Obs.Span.Ckpt_take
+      in
+      Checkpoint.take t.ckpt t.inst;
+      Obs.Tracer.finish tracer
+        ~attrs:
+          [
+            ("written", string_of_int (Checkpoint.last_write_bytes t.ckpt));
+            ("delta", string_of_bool (Checkpoint.is_delta t.ckpt));
+          ]
+        id
+    end
+    else Checkpoint.take t.ckpt t.inst
 
 (* One hop of the proxy->stub RPC: bytes out, bytes back in. *)
 let ship_event t ev =
@@ -87,29 +107,52 @@ let checkpoint_now t = Checkpoint.take t.ckpt t.inst
 
 type recovery = { replayed : int; dropped_in_replay : int }
 
-let recover t ctx =
-  match Checkpoint.restore_point t.ckpt with
-  | None ->
-      t.inst <- App_sig.reboot t.inst;
-      { replayed = 0; dropped_in_replay = 0 }
-  | Some (snapshot, journal) ->
-      t.inst <- App_sig.restore t.inst snapshot;
-      let replayed = ref 0 and dropped = ref 0 in
-      List.iter
-        (fun ev ->
-          (* Replay rebuilds state only; commands were already committed the
-             first time around, so they are discarded here. A replay crash
-             means the journal event is skipped (state diverges slightly,
-             availability is preserved). *)
-          match App_sig.handle t.inst ctx ev with
-          | updated, _commands ->
-              t.inst <- updated;
-              incr replayed
-          | exception _ -> incr dropped)
-        journal;
-      (* The restored state becomes the new baseline. *)
-      Checkpoint.take t.ckpt t.inst;
-      { replayed = !replayed; dropped_in_replay = !dropped }
+let recover ?(tracer = Obs.Tracer.noop) t ctx =
+  let restore () =
+    match Checkpoint.restore_point t.ckpt with
+    | None ->
+        t.inst <- App_sig.reboot t.inst;
+        { replayed = 0; dropped_in_replay = 0 }
+    | Some (snapshot, journal) ->
+        t.inst <- App_sig.restore t.inst snapshot;
+        let replayed = ref 0 and dropped = ref 0 in
+        List.iter
+          (fun ev ->
+            (* Replay rebuilds state only; commands were already committed the
+               first time around, so they are discarded here. A replay crash
+               means the journal event is skipped (state diverges slightly,
+               availability is preserved). *)
+            match App_sig.handle t.inst ctx ev with
+            | updated, _commands ->
+                t.inst <- updated;
+                incr replayed
+            | exception _ -> incr dropped)
+          journal;
+        (* The restored state becomes the new baseline. *)
+        Checkpoint.take t.ckpt t.inst;
+        { replayed = !replayed; dropped_in_replay = !dropped }
+  in
+  if Obs.Tracer.enabled tracer then begin
+    let id =
+      Obs.Tracer.start tracer
+        ~attrs:
+          [
+            ("app", name t);
+            ("journal", string_of_int (Checkpoint.journal_length t.ckpt));
+          ]
+        Obs.Span.Ckpt_restore
+    in
+    let r = restore () in
+    Obs.Tracer.finish tracer
+      ~attrs:
+        [
+          ("replayed", string_of_int r.replayed);
+          ("dropped", string_of_int r.dropped_in_replay);
+        ]
+      id;
+    r
+  end
+  else restore ()
 
 let reboot t = t.inst <- App_sig.reboot t.inst
 

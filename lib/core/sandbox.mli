@@ -24,7 +24,10 @@ type verdict =
 
 type t
 
-val create : checkpoint_every:int -> (module App_sig.APP) -> t
+val create : ?ckpt:Checkpoint.t -> checkpoint_every:int -> (module App_sig.APP) -> t
+(** [ckpt] substitutes a custom checkpoint store (delta storage, adaptive
+    cadence); by default a full-blob store with cadence [checkpoint_every]
+    is created. *)
 
 val name : t -> string
 val subscribes_to : t -> Event.kind -> bool
@@ -48,8 +51,10 @@ val state_size : t -> int
 
 val checkpoint_store : t -> Checkpoint.t
 
-val prepare : t -> unit
-(** Take a checkpoint if one is due (call before dispatching an event). *)
+val prepare : ?tracer:Obs.Tracer.t -> t -> unit
+(** Take a checkpoint if one is due (call before dispatching an event).
+    With a tracer, the take is recorded as a [Ckpt_take] span carrying the
+    app name and bytes written. *)
 
 val deliver : t -> App_sig.context -> Event.t -> verdict
 (** The full RPC path: serialize the event, hand it to the app, serialize
@@ -77,10 +82,12 @@ type recovery = {
           (their effects are already on the network; only state is lost). *)
 }
 
-val recover : t -> App_sig.context -> recovery
+val recover : ?tracer:Obs.Tracer.t -> t -> App_sig.context -> recovery
 (** Restore the latest checkpoint and replay the journal (commands produced
     during replay are discarded: they were committed when first executed).
-    With no checkpoint yet, falls back to a reboot ([init] state). *)
+    With no checkpoint yet, falls back to a reboot ([init] state). With a
+    tracer, the restore is recorded as a [Ckpt_restore] span carrying the
+    journal depth and replay outcome. *)
 
 val reboot : t -> unit
 (** Fresh [init] state, clearing nothing else. *)

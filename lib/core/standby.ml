@@ -1,13 +1,19 @@
 module Net = Netsim.Net
 module Clock = Netsim.Clock
 
+module Chunk_store = Checkpoint.Chunk_store
+
 type t = {
   network : Net.t;
   modules : (module Controller.App_sig.APP) list;
   config : Runtime.config;
   sync_interval : float;
   mutable active : Runtime.t;
-  mutable shipped : (string * bytes) list;  (* app -> latest snapshot *)
+  (* app -> latest shipped snapshot, as a manifest into [store]: a sync
+     only ships the chunks that changed since the previous one. *)
+  mutable shipped : (string * Chunk_store.manifest) list;
+  store : Chunk_store.t;
+  mutable n_shipped_bytes : int;
   mutable synced_at : float option;
   mutable n_failovers : int;
 }
@@ -21,6 +27,8 @@ let create ?(config = Runtime.default_config) ?(sync_interval = 1.) network
     sync_interval;
     active = Runtime.create ~config network modules;
     shipped = [];
+    store = Chunk_store.create ();
+    n_shipped_bytes = 0;
     synced_at = None;
     n_failovers = 0;
   }
@@ -30,10 +38,21 @@ let runtime t = t.active
 let now t = Clock.now (Net.clock t.network)
 
 let sync t =
-  t.shipped <-
+  let fresh =
     List.map
-      (fun box -> (Sandbox.name box, Sandbox.snapshot_bytes box))
-      (Runtime.sandboxes t.active);
+      (fun box ->
+        let manifest, w =
+          Chunk_store.store t.store (Sandbox.snapshot_bytes box)
+        in
+        t.n_shipped_bytes <- t.n_shipped_bytes + w.Chunk_store.written_bytes;
+        (Sandbox.name box, manifest))
+      (Runtime.sandboxes t.active)
+  in
+  (* Release the superseded manifests only after the fresh ones hold their
+     references, so chunks shared across syncs survive the swap. *)
+  let previous = t.shipped in
+  t.shipped <- fresh;
+  List.iter (fun (_, m) -> Chunk_store.release t.store m) previous;
   t.synced_at <- Some (now t)
 
 let maybe_sync t =
@@ -65,7 +84,8 @@ let fail_primary t =
   List.iter
     (fun box ->
       match List.assoc_opt (Sandbox.name box) t.shipped with
-      | Some snapshot -> Sandbox.restore_bytes box snapshot
+      | Some manifest ->
+          Sandbox.restore_bytes box (Chunk_store.materialize t.store manifest)
       | None -> ())
     (Runtime.sandboxes fresh);
   t.active <- fresh;
@@ -74,3 +94,5 @@ let fail_primary t =
   t
 
 let failovers t = t.n_failovers
+let shipped_bytes t = t.n_shipped_bytes
+let chunk_store t = t.store

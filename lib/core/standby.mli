@@ -44,3 +44,11 @@ val fail_primary : t -> t
     Returns the same [t] with the new active runtime installed. *)
 
 val failovers : t -> int
+
+val shipped_bytes : t -> int
+(** Cumulative bytes actually shipped to the standby: snapshots are
+    content-chunked against the standby's store, so steady-state syncs
+    ship only changed chunks plus manifest overhead. *)
+
+val chunk_store : t -> Checkpoint.Chunk_store.t
+(** The standby's chunk store (hit/miss/dedup accounting). *)

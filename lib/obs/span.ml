@@ -10,6 +10,8 @@ type kind =
   | Resync
   | Inv_cache_hit
   | Inv_cache_miss
+  | Ckpt_take
+  | Ckpt_restore
 
 let all_kinds =
   [
@@ -24,6 +26,8 @@ let all_kinds =
     Resync;
     Inv_cache_hit;
     Inv_cache_miss;
+    Ckpt_take;
+    Ckpt_restore;
   ]
 
 let kind_name = function
@@ -38,6 +42,8 @@ let kind_name = function
   | Resync -> "resync"
   | Inv_cache_hit -> "inv-hit"
   | Inv_cache_miss -> "inv-miss"
+  | Ckpt_take -> "checkpoint"
+  | Ckpt_restore -> "restore"
 
 let kind_of_name name =
   List.find_opt (fun k -> kind_name k = name) all_kinds

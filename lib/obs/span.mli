@@ -20,6 +20,8 @@ type kind =
   | Resync  (** Replaying intent into a reconnected switch. *)
   | Inv_cache_hit  (** Incremental checker reused a cached trace (instant). *)
   | Inv_cache_miss  (** Incremental checker traced from scratch (instant). *)
+  | Ckpt_take  (** Taking an application checkpoint (full or delta). *)
+  | Ckpt_restore  (** Materializing a snapshot and replaying the journal. *)
 
 val all_kinds : kind list
 

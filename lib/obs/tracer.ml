@@ -37,6 +37,8 @@ let kind_index : Span.kind -> int = function
   | Span.Resync -> 8
   | Span.Inv_cache_hit -> 9
   | Span.Inv_cache_miss -> 10
+  | Span.Ckpt_take -> 11
+  | Span.Ckpt_restore -> 12
 
 let create ?(capacity = 65536) ?wall ~now () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity <= 0";

@@ -1,3 +1,4 @@
+open Openflow
 module Checkpoint = Legosdn.Checkpoint
 module App_sig = Controller.App_sig
 module Event = Controller.Event
@@ -5,6 +6,30 @@ module Event = Controller.Event
 let instance () = App_sig.instantiate (module Apps.Learning_switch)
 
 let tick t = Event.Tick t
+
+let packet_in ?(sid = 1) ?(in_port = 100) src dst =
+  Event.Packet_in
+    ( sid,
+      {
+        Message.pi_buffer_id = None;
+        pi_in_port = in_port;
+        pi_reason = Message.No_match;
+        pi_packet = T_util.tcp_packet src dst;
+      } )
+
+(* An instance with some learned state, so snapshots are a few chunks
+   long rather than a near-empty Marshal header. *)
+let warmed_instance () =
+  let inst = ref (instance ()) in
+  for src = 1 to 8 do
+    for dst = 1 to 8 do
+      let updated, _ =
+        App_sig.handle !inst T_util.null_context (packet_in src dst)
+      in
+      inst := updated
+    done
+  done;
+  !inst
 
 let test_due_before_first_event () =
   let c = Checkpoint.create ~every:5 in
@@ -61,6 +86,109 @@ let test_invalid_k () =
     (Invalid_argument "Checkpoint.create: every must be >= 1") (fun () ->
       ignore (Checkpoint.create ~every:0))
 
+(* ---- delta storage ---- *)
+
+let test_delta_vs_full_bytes () =
+  let full = Checkpoint.create ~every:1 in
+  let delta = Checkpoint.create_delta ~cadence:(Checkpoint.Every 1) () in
+  let inst = warmed_instance () in
+  Checkpoint.take full inst;
+  Checkpoint.take delta inst;
+  Checkpoint.take full inst;
+  Checkpoint.take delta inst;
+  let logical = Checkpoint.last_snapshot_bytes full in
+  T_util.checki "full pays the whole blob each time" (2 * logical)
+    (Checkpoint.bytes_written full);
+  (* Unchanged state: the second delta take hits on every chunk and pays
+     only manifest overhead. *)
+  T_util.checkb "second delta take is manifest-only" true
+    (Checkpoint.last_write_bytes delta < logical);
+  T_util.checkb "delta cheaper than full overall" true
+    (Checkpoint.bytes_written delta < Checkpoint.bytes_written full);
+  T_util.checkb "dedup accounted" true
+    (Checkpoint.chunk_bytes_deduped delta > 0);
+  T_util.checkb "chunk hits accounted" true (Checkpoint.chunk_hits delta > 0);
+  match Checkpoint.restore_point delta with
+  | Some (snap, _) ->
+      T_util.checkb "materialization is byte-exact" true
+        (Bytes.equal snap (App_sig.snapshot inst))
+  | None -> Alcotest.fail "restore point expected"
+
+let test_adaptive_cadence () =
+  (* Astronomic replay cost: due exactly when min_events is reached. *)
+  let eager =
+    Checkpoint.create_delta
+      ~cadence:
+        (Checkpoint.Adaptive
+           { replay_cost_per_event = 1_000_000; min_events = 2; max_events = 8 })
+      ()
+  in
+  Checkpoint.take eager (warmed_instance ());
+  Checkpoint.record_applied eager (tick 1.);
+  T_util.checkb "below min_events" false (Checkpoint.due eager);
+  Checkpoint.record_applied eager (tick 2.);
+  T_util.checkb "due at min_events under huge replay cost" true
+    (Checkpoint.due eager);
+  (* Negligible replay cost: only the max_events ceiling triggers. *)
+  let lazy_c =
+    Checkpoint.create_delta
+      ~cadence:
+        (Checkpoint.Adaptive
+           { replay_cost_per_event = 1; min_events = 1; max_events = 3 })
+      ()
+  in
+  Checkpoint.take lazy_c (warmed_instance ());
+  Checkpoint.record_applied lazy_c (tick 1.);
+  T_util.checkb "cheap replay defers" false (Checkpoint.due lazy_c);
+  Checkpoint.record_applied lazy_c (tick 2.);
+  Checkpoint.record_applied lazy_c (tick 3.);
+  T_util.checkb "max_events bounds the journal" true (Checkpoint.due lazy_c)
+
+(* The tentpole's correctness property: restoring from a chunked snapshot
+   plus journal replay reproduces the live application state byte-for-byte,
+   whatever the event sequence, cadence or chunk size. *)
+let prop_restore_equivalence =
+  QCheck2.Test.make ~name:"delta restore + replay = live state" ~count:100
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 40)
+           (oneof
+              [
+                map2 (fun a b -> `Pkt (a, b)) (int_range 1 6) (int_range 1 6);
+                map (fun t -> `Tick (float_of_int t)) (int_range 1 100);
+              ]))
+        (oneofl [ 1; 2; 5 ])
+        (oneofl [ 1; 7; 64 ]))
+    (fun (events, k, chunk_size) ->
+      let c =
+        Checkpoint.create_delta ~chunk_size ~cadence:(Checkpoint.Every k) ()
+      in
+      let ctx = T_util.null_context in
+      let live = ref (instance ()) in
+      List.iter
+        (fun e ->
+          let ev =
+            match e with
+            | `Pkt (src, dst) -> packet_in src dst
+            | `Tick t -> Event.Tick t
+          in
+          (* The sandbox protocol: checkpoint when due, deliver, journal. *)
+          if Checkpoint.due c then Checkpoint.take c !live;
+          let updated, _ = App_sig.handle !live ctx ev in
+          live := updated;
+          Checkpoint.record_applied c ev)
+        events;
+      match Checkpoint.restore_point c with
+      | None -> false
+      | Some (snap, journal) ->
+          let restored = ref (App_sig.restore !live snap) in
+          List.iter
+            (fun ev ->
+              let updated, _ = App_sig.handle !restored ctx ev in
+              restored := updated)
+            journal;
+          Bytes.equal (App_sig.snapshot !restored) (App_sig.snapshot !live))
+
 let suite =
   [
     Alcotest.test_case "due before first event" `Quick test_due_before_first_event;
@@ -70,4 +198,7 @@ let suite =
     Alcotest.test_case "take clears journal" `Quick test_take_clears_journal;
     Alcotest.test_case "byte accounting" `Quick test_bytes_accounting;
     Alcotest.test_case "invalid k" `Quick test_invalid_k;
+    Alcotest.test_case "delta vs full bytes" `Quick test_delta_vs_full_bytes;
+    Alcotest.test_case "adaptive cadence" `Quick test_adaptive_cadence;
+    QCheck_alcotest.to_alcotest prop_restore_equivalence;
   ]

@@ -93,6 +93,7 @@ let test_errors_located () =
    threshold (the store is a fresh value each parse). *)
 let config_equiv (a : Runtime.config) (b : Runtime.config) =
   a.Runtime.checkpoint_every = b.Runtime.checkpoint_every
+  && a.Runtime.checkpoint_mode = b.Runtime.checkpoint_mode
   && a.Runtime.engine = b.Runtime.engine
   && Policy.equal a.Runtime.crashpad.Crashpad.policy
        b.Runtime.crashpad.Crashpad.policy
@@ -115,6 +116,9 @@ let config_gen =
       oneofl [ Policy.No_compromise; Policy.Absolute; Policy.Equivalence ]
     in
     let* k = int_range 1 20 in
+    let* mode =
+      oneofl [ Runtime.Ckpt_full; Runtime.Ckpt_delta; Runtime.Ckpt_delta_adaptive ]
+    in
     let* engine = oneofl [ Runtime.Netlog_engine; Runtime.Delay_buffer_engine ] in
     let* quarantine = opt (int_range 1 5) in
     let* state_limit = opt (int_range 1 1_000_000) in
@@ -149,6 +153,7 @@ let config_gen =
     return
       {
         Runtime.checkpoint_every = k;
+        checkpoint_mode = mode;
         engine;
         reliable =
           {

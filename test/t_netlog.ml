@@ -289,6 +289,34 @@ let prop_rollback_identity =
       Netlog.abort nl txn;
       network_shape net = before)
 
+(* An application reinstalling a rule is a legitimate counter reset: the
+   Add must consume the banked base — and an abort must re-bank it. *)
+let test_add_consumes_bank_and_abort_recredits () =
+  let _, _net, nl = setup () in
+  let pattern = Ofp_match.make ~tp_dst:80 () in
+  let cache = Netlog.cache nl in
+  Counter_cache.credit cache 1 pattern ~priority:32768 ~packets:9 ~bytes:900;
+  let txn = Netlog.begin_txn nl ~app:"t" in
+  ignore
+    (Netlog.apply nl txn (flow_cmd 1 (Message.flow_add pattern [ Action.Output 1 ])));
+  Alcotest.(check (pair int int)) "bank consumed by the reinstall" (0, 0)
+    (Counter_cache.base cache 1 pattern ~priority:32768);
+  Netlog.abort nl txn;
+  Alcotest.(check (pair int int)) "abort re-banked the credit" (9, 900)
+    (Counter_cache.base cache 1 pattern ~priority:32768)
+
+let test_committed_add_drops_bank () =
+  let _, _net, nl = setup () in
+  let pattern = Ofp_match.make ~tp_dst:80 () in
+  let cache = Netlog.cache nl in
+  Counter_cache.credit cache 1 pattern ~priority:32768 ~packets:9 ~bytes:900;
+  let txn = Netlog.begin_txn nl ~app:"t" in
+  ignore
+    (Netlog.apply nl txn (flow_cmd 1 (Message.flow_add pattern [ Action.Output 1 ])));
+  Netlog.commit nl txn;
+  Alcotest.(check (pair int int)) "bank stays consumed after commit" (0, 0)
+    (Counter_cache.base cache 1 pattern ~priority:32768)
+
 let suite =
   [
     Alcotest.test_case "abort undoes add" `Quick test_abort_undoes_add;
@@ -303,5 +331,9 @@ let suite =
     Alcotest.test_case "counter cache corrects flow stats" `Quick test_counter_cache_corrects_stats;
     Alcotest.test_case "counter cache corrects aggregates" `Quick test_aggregate_stats_corrected;
     Alcotest.test_case "issued order" `Quick test_issued_order;
+    Alcotest.test_case "add consumes bank, abort re-credits" `Quick
+      test_add_consumes_bank_and_abort_recredits;
+    Alcotest.test_case "committed add drops bank" `Quick
+      test_committed_add_drops_bank;
     QCheck_alcotest.to_alcotest prop_rollback_identity;
   ]

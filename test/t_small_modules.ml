@@ -79,6 +79,58 @@ let test_cache_leaves_port_stats_alone () =
        ~request:(Message.Port_stats_request None) reply
      = reply)
 
+let test_cache_kind_mismatch_untouched () =
+  let c = Counter_cache.create () in
+  Counter_cache.credit c 1 pattern80 ~priority:10 ~packets:10 ~bytes:1000;
+  let agg =
+    Message.Aggregate_stats_reply { packets = 1; bytes = 100; flows = 2 }
+  in
+  (* An aggregate reply to a port-stats or description request must not be
+     credited (the old fallback added every banked flow on the switch). *)
+  (match
+     Counter_cache.adjust_reply c 1
+       ~request:(Message.Port_stats_request None) agg
+   with
+  | Message.Aggregate_stats_reply a ->
+      T_util.checki "port-request packets untouched" 1 a.packets;
+      T_util.checki "port-request bytes untouched" 100 a.bytes
+  | _ -> Alcotest.fail "aggregate reply expected");
+  match
+    Counter_cache.adjust_reply c 1 ~request:Message.Description_request agg
+  with
+  | Message.Aggregate_stats_reply a ->
+      T_util.checki "description-request untouched" 1 a.packets
+  | _ -> Alcotest.fail "aggregate reply expected"
+
+let test_cache_lru_eviction () =
+  let observed = ref 0 in
+  let c =
+    Counter_cache.create ~capacity:2 ~on_evict:(fun () -> incr observed) ()
+  in
+  Counter_cache.credit c 1 pattern80 ~priority:1 ~packets:1 ~bytes:1;
+  Counter_cache.credit c 1 pattern80 ~priority:2 ~packets:2 ~bytes:2;
+  (* Touch priority 1 so priority 2 becomes the LRU victim. *)
+  ignore (Counter_cache.base c 1 pattern80 ~priority:1);
+  Counter_cache.credit c 1 pattern80 ~priority:3 ~packets:3 ~bytes:3;
+  T_util.checki "capacity held" 2 (Counter_cache.entries c);
+  T_util.checki "one eviction" 1 (Counter_cache.evictions c);
+  T_util.checki "observer called" 1 !observed;
+  Alcotest.(check (pair int int)) "LRU victim gone" (0, 0)
+    (Counter_cache.base c 1 pattern80 ~priority:2);
+  Alcotest.(check (pair int int)) "touched identity survives" (1, 1)
+    (Counter_cache.base c 1 pattern80 ~priority:1)
+
+let test_cache_consume () =
+  let c = Counter_cache.create () in
+  Counter_cache.credit c 1 pattern80 ~priority:10 ~packets:7 ~bytes:700;
+  (match Counter_cache.consume c 1 pattern80 ~priority:10 with
+  | Some (7, 700) -> ()
+  | Some _ | None -> Alcotest.fail "banked credit expected");
+  Alcotest.(check (pair int int)) "gone after consume" (0, 0)
+    (Counter_cache.base c 1 pattern80 ~priority:10);
+  T_util.checkb "second consume finds nothing" true
+    (Counter_cache.consume c 1 pattern80 ~priority:10 = None)
+
 (* ---- metrics ---- *)
 
 let test_metrics_availability_accounting () =
@@ -242,6 +294,10 @@ let suite =
     Alcotest.test_case "cache adjusts flow stats" `Quick test_cache_adjusts_flow_stats;
     Alcotest.test_case "cache aggregate scoping" `Quick test_cache_aggregate_scoped_by_pattern;
     Alcotest.test_case "cache ignores port stats" `Quick test_cache_leaves_port_stats_alone;
+    Alcotest.test_case "cache kind mismatch untouched" `Quick
+      test_cache_kind_mismatch_untouched;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache consume on reinstall" `Quick test_cache_consume;
     Alcotest.test_case "metrics availability" `Quick test_metrics_availability_accounting;
     Alcotest.test_case "metrics mark-down idempotent" `Quick test_metrics_mark_down_idempotent;
     Alcotest.test_case "resources unlimited" `Quick test_resources_unlimited;
