@@ -636,6 +636,102 @@ let bench_obs () =
 
 (* ------------------------------------------------------------------ *)
 
+(* E24: replicated-cluster fail-over. Two acceptance numbers: the
+   virtual-time gap between a leader kill and its successor serving
+   traffic (an exact counter from one scripted kill run, surfaced via the
+   derived section), and the wall-clock overhead of driving a 3-replica
+   cluster versus a single controller on the same fat-tree workload (the
+   derived "failover-replication-overhead" ratio, budget <= 2x). *)
+
+let failover_stats : (string * float) list ref = ref []
+
+let bench_failover () =
+  let cluster_config =
+    {
+      Runtime.default_config with
+      Runtime.cluster =
+        { Runtime.replicas = 3; election_lo = 0.15; election_hi = 0.3 };
+    }
+  in
+  let fat_tree_world () =
+    let clock = Clock.create () in
+    let topo = Topo_gen.fat_tree 4 in
+    let net = Net.create clock topo in
+    let hosts = Array.of_list (Topology.hosts topo) in
+    let n = Array.length hosts in
+    let counter = ref 0 in
+    let inject () =
+      incr counter;
+      let src = hosts.(!counter mod n)
+      and dst = hosts.((!counter + 3) mod n) in
+      Net.inject net src (Openflow.Packet.tcp ~src_host:src ~dst_host:dst ())
+    in
+    (clock, net, inject)
+  in
+  (* Exact counters from one scripted kill run: traffic, a kill at the
+     midpoint, traffic to the end. *)
+  let clock, net, inject = fat_tree_world () in
+  let apps : (module App_sig.APP) list =
+    (* STP prunes the fat-tree's loops before learning-switch floods, so
+       the drive reaches a steady state instead of a broadcast storm. *)
+    [ (module Apps.Spanning_tree); (module Apps.Learning_switch) ]
+  in
+  let killed = Cluster.create ~config:cluster_config ~seed:11 net apps in
+  for i = 1 to 40 do
+    Clock.advance_by clock 0.5;
+    Net.tick net;
+    inject ();
+    if i = 20 then Cluster.arm_kill killed;
+    Cluster.tick killed
+  done;
+  failover_stats :=
+    [
+      ( "failover-latency-virtual-s",
+        match Cluster.failover_latencies killed with
+        | d :: _ -> d
+        | [] -> Float.nan );
+      ( "failover-replication-bytes",
+        float_of_int (Cluster.replication_bytes killed) );
+      ( "failover-state-transfers",
+        float_of_int (Cluster.transfers_shipped killed) );
+    ];
+  (* Wall-clock cost of one driver tick, replicated vs solo, in steady
+     state: both sides are warmed through the learning storm first, so
+     the slope compares replication machinery, not first-contact
+     flooding. The solo thunk pairs [tick] with [step] — the cluster's
+     tick polls and dispatches internally, the bare runtime needs both. *)
+  let cl_clock, cl_net, cl_inject = fat_tree_world () in
+  let cluster =
+    Cluster.create ~config:cluster_config ~seed:12 cl_net apps
+  in
+  let drive_cluster () =
+    Clock.advance_by cl_clock 0.5;
+    Net.tick cl_net;
+    cl_inject ();
+    Cluster.tick cluster
+  in
+  let solo_clock, solo_net, solo_inject = fat_tree_world () in
+  let solo = Runtime.create solo_net apps in
+  let drive_solo () =
+    Clock.advance_by solo_clock 0.5;
+    Net.tick solo_net;
+    solo_inject ();
+    Runtime.tick solo;
+    Runtime.step solo
+  in
+  for _ = 1 to 60 do
+    drive_cluster ();
+    drive_solo ()
+  done;
+  [
+    Test.make ~name:"drive-tick-cluster-3-fat-tree-k4"
+      (Staged.stage drive_cluster);
+    Test.make ~name:"drive-tick-solo-fat-tree-k4"
+      (Staged.stage drive_solo);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
 type row = { group : string; test : string; ns_per_run : float; r2 : float }
 
 (* All measurement progress goes to stderr so that stdout carries nothing
@@ -738,6 +834,9 @@ let write_json path rows =
         ("obs-screen-overhead", "screen-tracing-on", "screen-tracing-off");
         ("ckpt-take-full-over-delta", "take-full-1000-macs",
          "take-delta-1000-macs");
+        ( "failover-replication-overhead",
+          "drive-tick-cluster-3-fat-tree-k4",
+          "drive-tick-solo-fat-tree-k4" );
       ]
   in
   (* Exact counters from the ckpt cluster's byte-accounting experiment
@@ -747,7 +846,7 @@ let write_json path rows =
     @ List.map
         (fun (key, v) ->
           Printf.sprintf "    \"%s\": %.2f" (json_escape key) v)
-        !ckpt_stats
+        (!ckpt_stats @ !failover_stats)
   in
   output_string oc (String.concat ",\n" derived);
   output_string oc "\n  }\n}\n";
@@ -774,6 +873,8 @@ let groups () =
     ("invariants", "incremental vs full invariant checking", bench_incremental);
     ("obs", "tracing overhead on the hot paths (E22)", bench_obs);
     ("ckpt", "delta checkpointing: take/restore cost + bytes (E23)", bench_ckpt);
+    ("failover", "replicated cluster: fail-over + replication cost (E24)",
+     bench_failover);
   ]
 
 let () =

@@ -73,10 +73,21 @@ let plant_arg =
   let doc =
     "Deliberately planted defect for self-validation: 'no-retransmit' \
      disables the reliable layer's retransmission timer, which the \
-     convergence/atomicity oracles must catch."
+     convergence/atomicity oracles must catch; 'kill-leader' turns each \
+     scenario into a replicated fail-over trial (see --kill-leader)."
   in
   Arg.(value & opt plant_conv Check.Fuzz.No_plant
        & info [ "plant" ] ~docv:"PLANT" ~doc)
+
+let kill_leader_arg =
+  let doc =
+    "Shorthand for --plant kill-leader: run every seed as a 3-replica \
+     cluster with traffic-only elements and a leader kill armed \
+     mid-transaction, checked by the leader-failover oracle (single live \
+     leader, converged replicas, and delivery parity with a never-killed \
+     run of the same scenario)."
+  in
+  Arg.(value & flag & info [ "kill-leader" ] ~doc)
 
 let replay_arg =
   let doc = "Replay a reproducer file instead of fuzzing." in
@@ -164,7 +175,8 @@ let do_fuzz oracles seeds budget plant trace_buffer out =
     (List.length result.Check.Fuzz.findings);
   if result.Check.Fuzz.findings = [] then 0 else 2
 
-let main seeds budget oracles_csv out plant trace_buffer replay =
+let main seeds budget oracles_csv out plant kill_leader trace_buffer replay =
+  let plant = if kill_leader then Check.Fuzz.Kill_leader_plant else plant in
   match
     (try Ok (select_oracles oracles_csv)
      with Invalid_argument msg -> Error msg)
@@ -183,6 +195,6 @@ let cmd =
     (Cmd.info "legosdn_fuzz" ~doc)
     Term.(
       const main $ seeds_arg $ budget_arg $ oracles_arg $ out_arg $ plant_arg
-      $ trace_arg $ replay_arg)
+      $ kill_leader_arg $ trace_arg $ replay_arg)
 
 let () = exit (Cmd.eval' cmd)

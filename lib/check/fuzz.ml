@@ -12,21 +12,64 @@ module Sts = Legosdn.Sts
    [No_retransmit] pushes the retransmission timer out to never-fires —
    spec-level, so the emitted reproducer is self-contained and replays the
    broken configuration byte-for-byte. *)
-type plant = No_plant | No_retransmit
+type plant = No_plant | No_retransmit | Kill_leader_plant
 
 let plant_name = function
   | No_plant -> "none"
   | No_retransmit -> "no-retransmit"
+  | Kill_leader_plant -> "kill-leader"
 
 let plant_of_name = function
   | "none" -> Some No_plant
   | "no-retransmit" -> Some No_retransmit
+  | "kill-leader" -> Some Kill_leader_plant
   | _ -> None
+
+(* The kill-leader plant turns a generated scenario into a fail-over
+   trial: three replicas, traffic-only elements, and a [Kill_leader]
+   armed just before the last flow starts so the kill is guaranteed to
+   fire on a state-altering send (the flow's punt forces one). Loss and
+   duplication are pinned to zero because the runner's differential
+   check — kill run delivers exactly what a never-killed run delivers —
+   is only sound when every packet reaches its destination exactly once
+   in both runs; channel delay stays as generated. *)
+let kill_leader spec =
+  let flows =
+    List.filter (function Spec.Flow _ -> true | _ -> false) spec.Spec.elements
+  in
+  let flows =
+    if flows <> [] then flows
+    else
+      [
+        (* A scenario with no traffic cannot exercise a mid-transaction
+           kill: synthesize one deterministic flow. *)
+        Spec.Flow
+          { src = spec.Spec.seed; dst = spec.Spec.seed + 1; start = 1.0;
+            packets = 6; dport = 80 };
+      ]
+  in
+  let last_start =
+    List.fold_left
+      (fun acc -> function
+        | Spec.Flow { start; _ } -> Float.max acc start
+        | _ -> acc)
+      0. flows
+  in
+  let at = Float.max 0.05 (last_start -. 0.01) in
+  {
+    spec with
+    Spec.base_loss = 0.;
+    duplicate = 0.;
+    replicas = 3;
+    duration = Float.max spec.Spec.duration (at +. 2.);
+    elements = flows @ [ Spec.Kill_leader { at } ];
+  }
 
 let apply_plant plant spec =
   match plant with
   | No_plant -> spec
   | No_retransmit -> { spec with Spec.base_timeout = 1.0e9 }
+  | Kill_leader_plant -> kill_leader spec
 
 type finding = {
   seed : int;

@@ -112,5 +112,11 @@ let scenario seed =
     checkpoint_every;
     policy;
     duration;
+    (* Single controller by default: no extra RNG draws here, so adding
+       the cluster fields does not shift any existing seed's scenario.
+       Cluster scenarios come from the kill-leader plant. *)
+    replicas = 1;
+    election_lo = 0.15;
+    election_hi = 0.3;
     elements;
   }

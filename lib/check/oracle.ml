@@ -20,6 +20,8 @@ type ctx = {
   spec : Spec.t;
   rt : Runtime.t;
   net : Net.t;
+  cluster : Cluster.t option;
+      (* present when the spec runs replicated (replicas > 1) *)
   phase : phase;
   elapsed : float;  (* virtual seconds since the run started *)
 }
@@ -201,7 +203,40 @@ let controller_survives =
                 (String.concat "," (List.map Sandbox.name dead)));
   }
 
-let all = [ invariants; convergence; atomicity; metrics; controller_survives ]
+(* (f) Fail-over sanity for replicated runs. After healing and settling,
+   the cluster must have exactly one live leader, every live replica must
+   agree on term and commit index, and — if the armed leader kill actually
+   fired — a successor must have taken over. The end-to-end half of the
+   property (the kill-run delivers the same packets to their destinations
+   as a never-killed run) is a differential check the runner performs,
+   reported under this oracle's name. *)
+let leader_failover =
+  {
+    name = "leader-failover";
+    check =
+      (fun ctx ->
+        match (ctx.cluster, ctx.phase) with
+        | None, _ | _, Mid -> Pass
+        | Some c, Final -> (
+            match Cluster.alive_leaders c with
+            | [] -> Fail "no live leader after heal+settle"
+            | _ :: _ :: _ as ids ->
+                failf "%d live leaders after heal+settle: %s"
+                  (List.length ids)
+                  (String.concat "," (List.map string_of_int ids))
+            | [ _ ] ->
+                if not (Cluster.converged c) then
+                  Fail
+                    "live replicas disagree on term/commit after heal+settle"
+                else if
+                  Cluster.kills c > 0 && Cluster.failovers c = 0
+                then Fail "leader was killed but no successor took over"
+                else Pass));
+  }
+
+let all =
+  [ invariants; convergence; atomicity; metrics; controller_survives;
+    leader_failover ]
 
 let names = List.map (fun o -> o.name) all
 

@@ -5,14 +5,17 @@
    replayable (re-run the spec, expect the same oracle to fail), auditable
    (the recorded trace can be inspected or diffed byte-for-byte against
    the replay), and now *explainable*: the span timeline shows what the
-   runtime was doing when the oracle tripped. Version-1 files (no spans)
-   still load. *)
+   runtime was doing when the oracle tripped. Version 3 adds the spec's
+   cluster fields (replicas, election-timeout range) and the Kill_leader
+   element; version-1 (no spans) and version-2 (single-controller spec
+   layout) files still load. *)
 
 open Openflow
 module Trace_io = Workload.Trace_io
 module Event = Controller.Event
 
-let magic = "LSDNREP2"
+let magic = "LSDNREP3"
+let magic_v2 = "LSDNREP2"
 let magic_v1 = "LSDNREP1"
 
 type t = {
@@ -46,9 +49,13 @@ let encode t =
 let decode b =
   let r = Buf.reader b in
   let m = Bytes.to_string (Buf.read_raw r (String.length magic)) in
-  if m <> magic && m <> magic_v1 then
-    raise (Spec.Decode_error (Printf.sprintf "bad reproducer magic %S" m));
-  let spec = Spec.decode_from r in
+  let version =
+    if m = magic then 3
+    else if m = magic_v2 then 2
+    else if m = magic_v1 then 1
+    else raise (Spec.Decode_error (Printf.sprintf "bad reproducer magic %S" m))
+  in
+  let spec = Spec.decode_from ~version r in
   let oracle = Spec.get_string r in
   let detail = Spec.get_string r in
   let trace = Trace_io.decode (get_block r) in

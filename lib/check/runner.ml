@@ -4,7 +4,13 @@
    Mid-phase oracles after every action, then the heal phase restores
    every channel, link and switch and lets the recovery machinery settle
    (long enough for the deepest retransmission backoff and the degraded
-   probe interval) before the Final-phase oracles demand convergence. *)
+   probe interval) before the Final-phase oracles demand convergence.
+
+   A spec with [replicas > 1] runs replicated: the controllers live in a
+   {!Cluster.t} (perfect controller-to-controller channels — southbound
+   faults are the subject under test), the [Kill_leader] element arms the
+   mid-transaction leader kill, and a clean kill run ends with a
+   differential check against the same spec minus the kill. *)
 
 module Net = Netsim.Net
 module Clock = Netsim.Clock
@@ -29,6 +35,9 @@ type result = {
   trace : Event.t list;  (* every event dispatched to the sandboxes *)
   checks : int;  (* individual oracle evaluations performed *)
   events_dispatched : int;
+  delivered_to_dst : int;
+      (* packets delivered to their destination host — the quantity the
+         fail-over differential compares across runs *)
   spans : Obs.Span.t list;
       (* the run's structured trace; empty unless [trace_buffer] was given *)
 }
@@ -75,7 +84,7 @@ let resolve_apps spec =
     spec.Spec.elements;
   Array.to_list wrapped
 
-type action = Inject of Traffic.injection | Fault of Net.fault | Do_tick
+type action = Inject of Traffic.injection | Fault of Net.fault | Do_tick | Arm_kill
 
 let schedule_of spec topo =
   let hosts = Topology.hosts topo in
@@ -141,6 +150,11 @@ let schedule_of spec topo =
                  channel: the burst is an excursion, not a heal. *)
               push_fault (start +. duration)
                 (Net.Channel_loss (sid, spec.Spec.base_loss)))
+      | Spec.Kill_leader { at } ->
+          (* Arm only: the kill itself fires on the leader's next
+             state-altering send, so it always lands mid-transaction. On a
+             single-controller spec the element is inert. *)
+          Event_queue.push queue ~time:at Arm_kill
       | Spec.Inject_bug _ -> () (* consumed by resolve_apps *))
     spec.Spec.elements;
   let rec ticks t =
@@ -165,11 +179,52 @@ let settle_time spec =
   Float.min 30.0
     (Float.max 4.0 (worst_backoff +. (spec.Spec.base_timeout *. 16.)))
 
+let config_of spec =
+  {
+    Runtime.checkpoint_every = max 1 spec.Spec.checkpoint_every;
+    (* Delta storage with the spec's fixed cadence: identical event
+       scheduling to full blobs, but every fuzz run exercises the
+       chunked store/materialize path. *)
+    checkpoint_mode = Runtime.Ckpt_delta;
+    crashpad =
+      {
+        Crashpad.default_config with
+        Crashpad.policy = Policy.uniform spec.Spec.policy;
+      };
+    engine = Runtime.Netlog_engine;
+    reliable =
+      {
+        Reliable.enabled = spec.Spec.reliable;
+        base_timeout = spec.Spec.base_timeout;
+        max_retries = spec.Spec.max_retries;
+      };
+    cluster =
+      {
+        Runtime.replicas = max 1 spec.Spec.replicas;
+        election_lo = spec.Spec.election_lo;
+        election_hi = spec.Spec.election_hi;
+      };
+  }
+
+let has_kill spec =
+  List.exists
+    (function Spec.Kill_leader _ -> true | _ -> false)
+    spec.Spec.elements
+
+let without_kill spec =
+  {
+    spec with
+    Spec.elements =
+      List.filter
+        (function Spec.Kill_leader _ -> false | _ -> true)
+        spec.Spec.elements;
+  }
+
 (* [trace_buffer]: ring-buffer capacity for span tracing; [None] runs with
    the no-op tracer. The tracer's timebases are the scenario's virtual
    clock plus the deterministic logical tick counter, so traced runs stay
    byte-for-byte replayable. *)
-let run ?(oracles = Oracle.all) ?trace_buffer spec =
+let rec run ?(oracles = Oracle.all) ?trace_buffer spec =
   let clock = Clock.create () in
   let topo = build_topology spec.Spec.topo in
   let channel_config =
@@ -187,43 +242,45 @@ let run ?(oracles = Oracle.all) ?trace_buffer spec =
       ~channel_seed:((spec.Spec.seed * 131) + 17)
       clock topo
   in
-  let config =
-    {
-      Runtime.checkpoint_every = max 1 spec.Spec.checkpoint_every;
-      (* Delta storage with the spec's fixed cadence: identical event
-         scheduling to full blobs, but every fuzz run exercises the
-         chunked store/materialize path. *)
-      checkpoint_mode = Runtime.Ckpt_delta;
-      crashpad =
-        {
-          Crashpad.default_config with
-          Crashpad.policy = Policy.uniform spec.Spec.policy;
-        };
-      engine = Runtime.Netlog_engine;
-      reliable =
-        {
-          Reliable.enabled = spec.Spec.reliable;
-          base_timeout = spec.Spec.base_timeout;
-          max_retries = spec.Spec.max_retries;
-        };
-    }
-  in
-  let rt = Runtime.create ~config net (resolve_apps spec) in
+  let config = config_of spec in
   let tracer =
     match trace_buffer with
     | None -> Obs.Tracer.noop
     | Some capacity ->
-        let tr =
-          Obs.Tracer.create ~capacity ~now:(fun () -> Clock.now clock) ()
-        in
-        Runtime.set_tracer rt tr;
-        tr
+        Obs.Tracer.create ~capacity ~now:(fun () -> Clock.now clock) ()
   in
   let trace = ref [] in
-  let tap =
-    Obs.Hub.subscribe (Runtime.hub rt) (function
-      | Obs.Hub.Dispatched ev -> trace := ev :: !trace
-      | Obs.Hub.Inv_cache _ | Obs.Hub.Delivery _ -> ())
+  let taps = ref [] in
+  (* Runs once for a single controller; once per elected leader in a
+     replicated run — each leader builds a fresh runtime, so the tracer
+     and the dispatch tap must follow it. *)
+  let attach rt =
+    Runtime.set_tracer rt tracer;
+    let tap =
+      Obs.Hub.subscribe (Runtime.hub rt) (function
+        | Obs.Hub.Dispatched ev -> trace := ev :: !trace
+        | Obs.Hub.Inv_cache _ | Obs.Hub.Delivery _ -> ())
+    in
+    taps := (Runtime.hub rt, tap) :: !taps
+  in
+  let apps = resolve_apps spec in
+  let cluster, solo_rt =
+    if spec.Spec.replicas > 1 then begin
+      let c =
+        Cluster.create ~config ~on_runtime:attach ~seed:spec.Spec.seed net
+          apps
+      in
+      Cluster.set_tracer c tracer;
+      (Some c, None)
+    end
+    else begin
+      let rt = Runtime.create ~config net apps in
+      attach rt;
+      (None, Some rt)
+    end
+  in
+  let current_rt () =
+    match cluster with Some c -> Cluster.active_runtime c | None -> solo_rt
   in
   let failure = ref None in
   let checks = ref 0 in
@@ -232,41 +289,54 @@ let run ?(oracles = Oracle.all) ?trace_buffer spec =
       failure := Some { oracle; detail; at = Clock.now clock }
   in
   let check_oracles phase =
-    if !failure = None then
-      List.iter
-        (fun (o : Oracle.t) ->
-          if !failure = None then begin
-            incr checks;
-            match
-              o.Oracle.check
-                {
-                  Oracle.spec;
-                  rt;
-                  net;
-                  phase;
-                  elapsed = Clock.now clock;
-                }
-            with
-            | Oracle.Pass -> ()
-            | Oracle.Fail detail -> fail ~oracle:o.Oracle.name detail
-          end)
-        oracles
+    (* Until the first election a replicated run has no runtime to judge;
+       the cluster is still in its pre-handshake state, so there is
+       nothing the oracles could meaningfully check. *)
+    match current_rt () with
+    | None -> ()
+    | Some rt ->
+        if !failure = None then
+          List.iter
+            (fun (o : Oracle.t) ->
+              if !failure = None then begin
+                incr checks;
+                match
+                  o.Oracle.check
+                    {
+                      Oracle.spec;
+                      rt;
+                      net;
+                      cluster;
+                      phase;
+                      elapsed = Clock.now clock;
+                    }
+                with
+                | Oracle.Pass -> ()
+                | Oracle.Fail detail -> fail ~oracle:o.Oracle.name detail
+              end)
+            oracles
   in
   let guarded_step () =
-    try Runtime.step rt
+    try
+      match cluster with
+      | Some c -> Cluster.step c
+      | None -> ( match solo_rt with Some rt -> Runtime.step rt | None -> ())
     with exn ->
       fail ~oracle:"controller-survives"
-        (Printf.sprintf "exception escaped Runtime.step: %s"
-           (Printexc.to_string exn))
+        (Printf.sprintf "exception escaped step: %s" (Printexc.to_string exn))
   in
   let guarded_tick () =
-    try Runtime.tick rt
+    try
+      match cluster with
+      | Some c -> Cluster.tick c
+      | None -> ( match solo_rt with Some rt -> Runtime.tick rt | None -> ())
     with exn ->
       fail ~oracle:"controller-survives"
-        (Printf.sprintf "exception escaped Runtime.tick: %s"
-           (Printexc.to_string exn))
+        (Printf.sprintf "exception escaped tick: %s" (Printexc.to_string exn))
   in
-  (* Initial handshake: switch features reach the apps before traffic. *)
+  (* Initial handshake: switch features reach the apps before traffic (in
+     a replicated run they wait in the network queue for the first
+     elected leader to poll them). *)
   guarded_step ();
   let queue = schedule_of spec topo in
   let rec loop () =
@@ -279,7 +349,9 @@ let run ?(oracles = Oracle.all) ?trace_buffer spec =
           (match action with
           | Inject inj -> Net.inject net inj.Traffic.src inj.Traffic.packet
           | Fault f -> Net.apply_fault net f
-          | Do_tick -> guarded_tick ());
+          | Do_tick -> guarded_tick ()
+          | Arm_kill -> (
+              match cluster with Some c -> Cluster.arm_kill c | None -> ()));
           guarded_step ();
           check_oracles Oracle.Mid;
           loop ()
@@ -308,7 +380,8 @@ let run ?(oracles = Oracle.all) ?trace_buffer spec =
       (Workload.Failure_schedule.inter_switch_links topo);
     guarded_step ();
     (* Settle: drive only the clock and the recovery machinery — no new
-       app activity — until every retransmission and probe has fired. *)
+       app activity — until every retransmission and probe has fired (and,
+       replicated, until any pending election and fail-over completes). *)
     let budget = settle_time spec in
     let step_size = 0.25 in
     let steps = int_of_float (Float.ceil (budget /. step_size)) in
@@ -321,12 +394,42 @@ let run ?(oracles = Oracle.all) ?trace_buffer spec =
     done;
     check_oracles Oracle.Final
   end;
-  Obs.Hub.unsubscribe (Runtime.hub rt) tap;
+  (* Differential half of the fail-over oracle: a clean kill run must
+     deliver exactly the packets a never-killed run of the same spec
+     (same replicas, same seeds) delivers to their destinations. Sound
+     because the kill-leader plant pins loss/duplication to zero and uses
+     traffic-only elements: every injected packet reaches its destination
+     exactly once in both runs, whatever controller-side paths differ. *)
+  if
+    !failure = None && cluster <> None && has_kill spec
+    && spec.Spec.base_loss = 0. && spec.Spec.duplicate = 0.
+    && Spec.is_clean (without_kill spec)
+  then begin
+    let baseline = run ~oracles (without_kill spec) in
+    match baseline.failure with
+    | Some f ->
+        fail ~oracle:"leader-failover"
+          (Printf.sprintf "baseline (kill removed) run failed %s: %s" f.oracle
+             f.detail)
+    | None ->
+        let mine = (Net.stats net).Net.delivered_to_dst in
+        if mine <> baseline.delivered_to_dst then
+          fail ~oracle:"leader-failover"
+            (Printf.sprintf
+               "kill run delivered %d packet(s) to destinations, baseline %d"
+               mine baseline.delivered_to_dst)
+  end;
+  List.iter (fun (hub, tap) -> Obs.Hub.unsubscribe hub tap) !taps;
   {
     spec;
     failure = !failure;
     trace = List.rev !trace;
     checks = !checks;
-    events_dispatched = Runtime.events_processed rt;
+    events_dispatched =
+      (match (cluster, solo_rt) with
+      | Some c, _ -> Cluster.commit_index c
+      | None, Some rt -> Runtime.events_processed rt
+      | None, None -> 0);
+    delivered_to_dst = (Net.stats net).Net.delivered_to_dst;
     spans = Obs.Tracer.spans tracer;
   }

@@ -22,6 +22,7 @@ type element =
   | Partition of { sw : int; start : float; duration : float }
   | Loss_burst of { sw : int; loss : float; start : float; duration : float }
   | Inject_bug of { slot : int; bug : int }
+  | Kill_leader of { at : float }
 
 type t = {
   seed : int;
@@ -36,6 +37,9 @@ type t = {
   checkpoint_every : int;
   policy : Policy.compromise;
   duration : float;
+  replicas : int;  (* 1 = single controller, no cluster layer *)
+  election_lo : float;  (* election-timeout draw range, virtual seconds *)
+  election_hi : float;
   elements : element list;
 }
 
@@ -74,17 +78,18 @@ let element_summary = function
         (loss *. 100.) start duration
   | Inject_bug { slot; bug } ->
       Printf.sprintf "inject-bug corpus[%d] into app-slot %d" bug slot
+  | Kill_leader { at } -> Printf.sprintf "kill-leader at %.2fs" at
 
 let summary t =
   Printf.sprintf
     "seed=%d topo=%s apps=[%s] loss=%.2f dup=%.2f delay=%.3f reliable=%b \
-     retries=%d ckpt=%d policy=%s duration=%.1fs elements=%d"
+     retries=%d ckpt=%d policy=%s duration=%.1fs replicas=%d elements=%d"
     t.seed (topo_name t.topo)
     (String.concat "," t.apps)
     t.base_loss t.duplicate t.delay t.reliable t.max_retries
     t.checkpoint_every
     (Policy.compromise_name t.policy)
-    t.duration
+    t.duration t.replicas
     (List.length t.elements)
 
 let pp fmt t =
@@ -170,6 +175,9 @@ let put_element w = function
       Buf.u8 w 5;
       Buf.u16 w slot;
       Buf.u16 w bug
+  | Kill_leader { at } ->
+      Buf.u8 w 6;
+      put_float w at
 
 let get_element r =
   match Buf.read_u8 r with
@@ -205,6 +213,9 @@ let get_element r =
       let slot = Buf.read_u16 r in
       let bug = Buf.read_u16 r in
       Inject_bug { slot; bug }
+  | 6 ->
+      let at = get_float r in
+      Kill_leader { at }
   | k -> fail "unknown element tag %d" k
 
 let policy_tag = function
@@ -232,10 +243,16 @@ let encode_into w t =
   Buf.u16 w t.checkpoint_every;
   Buf.u8 w (policy_tag t.policy);
   put_float w t.duration;
+  Buf.u16 w t.replicas;
+  put_float w t.election_lo;
+  put_float w t.election_hi;
   Buf.u16 w (List.length t.elements);
   List.iter (put_element w) t.elements
 
-let decode_from r =
+(* [version] is the spec-layout version implied by the enclosing file's
+   magic (reproducers): 1 and 2 predate the cluster fields and decode as
+   single-controller scenarios. *)
+let decode_from ?(version = 3) r =
   let seed = Buf.read_u32 r in
   let topo = get_topo r in
   let n_apps = Buf.read_u16 r in
@@ -249,6 +266,14 @@ let decode_from r =
   let checkpoint_every = Buf.read_u16 r in
   let policy = policy_of_tag (Buf.read_u8 r) in
   let duration = get_float r in
+  let replicas, election_lo, election_hi =
+    if version >= 3 then
+      let replicas = Buf.read_u16 r in
+      let lo = get_float r in
+      let hi = get_float r in
+      (replicas, lo, hi)
+    else (1, 0.15, 0.3)
+  in
   let n_elements = Buf.read_u16 r in
   let elements = List.init n_elements (fun _ -> get_element r) in
   {
@@ -264,6 +289,9 @@ let decode_from r =
     checkpoint_every;
     policy;
     duration;
+    replicas;
+    election_lo;
+    election_hi;
     elements;
   }
 

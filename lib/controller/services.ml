@@ -159,6 +159,31 @@ let ingest t = function
           [])
   | Net.Delivered _ -> []
 
+(* Apply one *dispatched event*'s state effects without emitting anything.
+   Every state change [ingest] makes is captured by an event it (or a
+   sibling call) emits — switch features, port descs, link endpoints and
+   packet-ins all ride on the events themselves — so replaying a log of
+   dispatched events through [observe] reconstructs the exact service
+   state the ingesting controller had when it dispatched them. Derived
+   link events are in the log too, so [Switch_up]/[Port_status] must not
+   re-run discovery here: the log already carries its results. *)
+let observe t = function
+  | Event.Switch_up (sid, (features : Message.features)) ->
+      Hashtbl.replace t.connected sid features;
+      List.iter
+        (fun (d : Message.port_desc) ->
+          Hashtbl.replace t.port_state (sid, d.port_no) d.up)
+        features.ports
+  | Event.Switch_down sid -> Hashtbl.remove t.connected sid
+  | Event.Port_status (sid, _reason, desc) ->
+      Hashtbl.replace t.port_state (sid, desc.port_no) desc.up
+  | Event.Link_up l ->
+      record_link t l.Event.src_switch l.Event.src_port l.Event.dst_switch
+        l.Event.dst_port
+  | Event.Link_down l -> ignore (forget_link t l.Event.src_switch l.Event.src_port)
+  | Event.Packet_in (sid, pi) -> learn_host t sid pi
+  | Event.Flow_removed _ | Event.Stats_reply _ | Event.Tick _ -> ()
+
 let context t : App_sig.context =
   {
     now = (fun () -> Clock.now t.clock);

@@ -17,6 +17,16 @@ val ingest : t -> Netsim.Net.notification -> Event.t list
     link-up/link-down events). Notifications that do not concern
     applications return []. *)
 
+val observe : t -> Event.t -> unit
+(** Apply one dispatched event's state effects without emitting anything.
+    Events carry everything [ingest] learned when it produced them
+    (features, port descs, link endpoints, packet-ins), so replaying a
+    dispatched-event log through [observe] on a fresh [t] reconstructs the
+    service state the original controller had at dispatch time. The
+    cluster layer uses this to give every replica — and a fail-over leader
+    re-dispatching committed entries — the same application-visible
+    context the original leader saw. *)
+
 val connected_switches : t -> Types.switch_id list
 val live_links : t -> Event.link list
 (** Both directions of every live inter-switch link. *)

@@ -54,6 +54,7 @@ type builder = {
   mutable rules : Policy.rule list;  (* reverse order *)
   mutable default : Policy.compromise option;
   mutable reliable : Reliable.config;
+  mutable cluster : Runtime.cluster_config;
 }
 
 let fresh_builder () =
@@ -68,6 +69,7 @@ let fresh_builder () =
     rules = [];
     default = None;
     reliable = Runtime.default_config.Runtime.reliable;
+    cluster = Runtime.default_config.Runtime.cluster;
   }
 
 let add_invariant b inv =
@@ -118,6 +120,20 @@ let directive b lineno toks =
             { Reliable.enabled = onoff = "on"; base_timeout; max_retries };
           Ok ()
       | _ -> err "bad reliable directive")
+  | [ "replicas"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 && n mod 2 = 1 ->
+          b.cluster <- { b.cluster with Runtime.replicas = n };
+          Ok ()
+      | Some _ -> err "replicas must be odd (2f+1)"
+      | None -> err (Printf.sprintf "bad replica count %S" n))
+  | [ "election"; "timeout"; lo; hi ] -> (
+      match (float_of_string_opt lo, float_of_string_opt hi) with
+      | Some election_lo, Some election_hi
+        when election_lo > 0. && election_hi > election_lo ->
+          b.cluster <- { b.cluster with Runtime.election_lo; election_hi };
+          Ok ()
+      | _ -> err "bad election timeout range (need 0 < lo < hi)")
   | [ "quarantine"; "threshold"; n ] -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
@@ -231,6 +247,7 @@ let parse text =
           checkpoint_mode = b.checkpoint_mode;
           engine = b.engine;
           reliable = b.reliable;
+          cluster = b.cluster;
           crashpad =
             {
               Crashpad.policy =
@@ -268,6 +285,9 @@ let print (config : Runtime.config) =
   line "reliable %s timeout %g retries %d"
     (if rel.Reliable.enabled then "on" else "off")
     rel.Reliable.base_timeout rel.Reliable.max_retries;
+  let cl = config.Runtime.cluster in
+  line "replicas %d" cl.Runtime.replicas;
+  line "election timeout %g %g" cl.Runtime.election_lo cl.Runtime.election_hi;
   let cp = config.Runtime.crashpad in
   (match cp.Crashpad.quarantine with
   | Some q -> line "quarantine threshold %d" (Quarantine.threshold q)

@@ -38,6 +38,7 @@ let barrier_xid_base = 1_000_000_000
 
 type t = {
   net : Net.t;
+  from : int option;  (* controller identity for master/slave role checks *)
   cfg : config;
   metrics : Metrics.t option;
   notify : Obs.Hub.delivery -> unit;
@@ -54,9 +55,11 @@ type t = {
   mutable n_degraded : int;
 }
 
-let create ?(config = default_config) ?metrics ?(notify = fun _ -> ()) net =
+let create ?(config = default_config) ?controller_id ?metrics
+    ?(notify = fun _ -> ()) net =
   {
     net;
+    from = controller_id;
     cfg = config;
     metrics;
     notify;
@@ -144,7 +147,7 @@ let delivered t sid (msg : Message.t) =
    [true] when the barrier reply came back synchronously. *)
 let barrier_probe t sid =
   let xid = fresh_barrier_xid t in
-  let replies = Net.send t.net sid (Message.message ~xid Message.Barrier_request) in
+  let replies = Net.send ?from:t.from t.net sid (Message.message ~xid Message.Barrier_request) in
   (xid, acked_synchronously xid replies)
 
 let ack t p =
@@ -186,7 +189,7 @@ let send t sid (msg : Message.t) =
       []
     end
     else begin
-      let replies = Net.send t.net sid msg in
+      let replies = Net.send ?from:t.from t.net sid msg in
       t.notify (Obs.Hub.Sent { sw = sid; xid = msg.Message.xid });
       let barrier_xid, acked = barrier_probe t sid in
       if acked && delivered t sid msg then begin
@@ -197,7 +200,7 @@ let send t sid (msg : Message.t) =
       else enqueue t sid msg ~sent:true barrier_xid;
       replies
     end
-  else Net.send t.net sid msg
+  else Net.send ?from:t.from t.net sid msg
 
 let probe_interval t = t.cfg.base_timeout *. 8.
 
@@ -237,7 +240,7 @@ let retransmit t p =
     end;
     (* Same xid as the original: if the first copy did arrive, the switch
        suppresses the duplicate and only the barrier matters. *)
-    ignore (Net.send t.net p.p_sid p.p_msg);
+    ignore (Net.send ?from:t.from t.net p.p_sid p.p_msg);
     let barrier_xid, acked = barrier_probe t p.p_sid in
     if acked && delivered t p.p_sid p.p_msg then ack t p
     else begin
@@ -324,6 +327,39 @@ let observe t = function
       | Some _ | None -> ())
   | Net.Switch_connected (sid, _) -> if t.cfg.enabled then resync t sid
   | Net.From_switch _ | Net.Switch_disconnected _ | Net.Delivered _ -> ()
+
+(* Shadow tables travel with replica state transfer: a fail-over
+   controller that starts from empty shadows would count every rule the
+   old leader installed as "extra" divergence and could never resync a
+   rebooted switch. Export/import move the full intent, entry by entry. *)
+let export_shadows t =
+  Hashtbl.fold
+    (fun sid table acc -> (sid, Flow_table.entries table) :: acc)
+    t.shadows []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let import_shadows t shadows =
+  Hashtbl.reset t.shadows;
+  List.iter
+    (fun (sid, entries) ->
+      let table = shadow_of t sid in
+      List.iter (fun e -> Flow_table.add table e) entries)
+    shadows
+
+(* The un-acked queue also travels with replica state transfer. The
+   shipper's dispatch of a log entry and the wire delivery of the
+   commands it produced are separated by head-of-line blocking and
+   retransmission backoff: a command can sit in this queue long after
+   its entry is committed, snapshotted, and out of the re-dispatch
+   window. A successor that dropped the queue would silently lose that
+   command forever. Import re-injects each message un-sent, with its
+   original xid: if the old copy did reach the switch, per-xid dedup
+   suppresses the replay and only the trailing barrier matters. *)
+let export_pending t = List.map (fun p -> (p.p_sid, p.p_msg)) t.queue
+
+let import_pending t pending =
+  t.queue <- [];
+  List.iter (fun (sid, msg) -> enqueue t sid msg ~sent:false 0) pending
 
 let entry_key (e : Flow_entry.t) = (e.pattern, e.priority, e.actions)
 

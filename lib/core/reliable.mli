@@ -50,6 +50,7 @@ type t
 
 val create :
   ?config:config ->
+  ?controller_id:int ->
   ?metrics:Metrics.t ->
   ?notify:(Obs.Hub.delivery -> unit) ->
   Netsim.Net.t ->
@@ -57,7 +58,9 @@ val create :
 (** Counters are mirrored into [metrics] when given. [notify] is invoked
     synchronously on every delivery-lifecycle step (sent, queued behind
     the head of line, retransmitted, acked, degraded, resynced) — the
-    runtime routes it onto its {!Obs.Hub}. *)
+    runtime routes it onto its {!Obs.Hub}. [controller_id] stamps every
+    southbound send for the switches' master/slave role check
+    ({!Netsim.Sw.set_master}). *)
 
 val config : t -> config
 
@@ -89,6 +92,28 @@ val pending_count : t -> int
 
 val shadow : t -> Types.switch_id -> Netsim.Flow_table.t option
 (** The intended rule set for one switch, if any intent was recorded. *)
+
+val export_shadows : t -> (Types.switch_id * Netsim.Flow_entry.t list) list
+(** All shadow tables as entry lists, sorted by switch id — the portable
+    form replica state transfer ships to a standby controller. *)
+
+val import_shadows :
+  t -> (Types.switch_id * Netsim.Flow_entry.t list) list -> unit
+(** Replace the shadow tables wholesale with a previously exported set. A
+    fail-over controller calls this before serving traffic so resync and
+    {!divergence} reason about the rules its predecessor installed. *)
+
+val export_pending : t -> (Types.switch_id * Message.t) list
+(** The un-acked send queue in FIFO order — commands whose wire delivery
+    is still outstanding. Ships with replica state transfer: a command
+    can be held back or awaiting retransmission long after the log entry
+    that produced it was snapshotted, and a successor without the queue
+    would lose it forever. *)
+
+val import_pending : t -> (Types.switch_id * Message.t) list -> unit
+(** Replace the un-acked queue with a previously exported one. Each
+    message is re-injected un-sent with its original xid, so switch-side
+    dedup suppresses replays of copies that did arrive. *)
 
 val divergence : t -> int
 (** Rules present in exactly one of (shadow, actual) summed over switches

@@ -5,12 +5,22 @@ module Clock = Netsim.Clock
 type engine_kind = Netlog_engine | Delay_buffer_engine
 type ckpt_mode = Ckpt_full | Ckpt_delta | Ckpt_delta_adaptive
 
+type cluster_config = {
+  replicas : int;
+  election_lo : float;
+  election_hi : float;
+}
+
+let default_cluster_config =
+  { replicas = 1; election_lo = 0.15; election_hi = 0.3 }
+
 type config = {
   checkpoint_every : int;
   checkpoint_mode : ckpt_mode;
   crashpad : Crashpad.config;
   engine : engine_kind;
   reliable : Reliable.config;
+  cluster : cluster_config;
 }
 
 let default_config =
@@ -20,11 +30,13 @@ let default_config =
     crashpad = Crashpad.default_config;
     engine = Netlog_engine;
     reliable = Reliable.default_config;
+    cluster = default_cluster_config;
   }
 
 type t = {
   network : Net.t;
   mutable services_state : Services.t;
+  mutable context_services : Services.t option;
   boxes : Sandbox.t list;
   netlog_instance : Netlog.t option;
   reliable_layer : Reliable.t option;
@@ -70,7 +82,8 @@ let bridge_delivery_to_tracer tracer_cell = function
       end
   | Obs.Hub.Dispatched _ | Obs.Hub.Inv_cache _ -> ()
 
-let create ?(config = default_config) ?xid_base network modules =
+let create ?(config = default_config) ?xid_base ?controller_id
+    ?southbound_gate network modules =
   let metrics_store = Metrics.create () in
   let obs_hub = Obs.Hub.create () in
   let tracer_cell = ref Obs.Tracer.noop in
@@ -82,13 +95,24 @@ let create ?(config = default_config) ?xid_base network modules =
            transaction command — rollback traffic included — is
            barrier-acked and retransmitted over a lossy channel. *)
         let rel =
-          Reliable.create ~config:config.reliable ~metrics:metrics_store
+          Reliable.create ~config:config.reliable ?controller_id
+            ~metrics:metrics_store
             ~notify:(fun d -> Obs.Hub.emit obs_hub (Obs.Hub.Delivery d))
             network
         in
+        let transport =
+          match southbound_gate with
+          | None -> Reliable.send rel
+          | Some gate ->
+              (* The cluster's controlled-kill hook: a closed gate
+                 black-holes the send (as a crashed process would) without
+                 raising — an exception here would unwind through the
+                 transaction engine and be misread as an app failure. *)
+              fun sid msg ->
+                if gate sid msg then Reliable.send rel sid msg else []
+        in
         let nl =
-          Netlog.create ~transport:(Reliable.send rel) ?xid_base
-            ~metrics:metrics_store network
+          Netlog.create ~transport ?xid_base ~metrics:metrics_store network
         in
         (Some rel, Some nl, Netlog.engine nl)
     | Delay_buffer_engine ->
@@ -147,6 +171,7 @@ let create ?(config = default_config) ?xid_base network modules =
   {
     network;
     services_state = Services.create (Net.clock network) (Net.topology network);
+    context_services = None;
     boxes =
       List.map
         (fun m ->
@@ -221,8 +246,18 @@ let clear_event_tap t =
       t.tap_sub <- None
   | None -> ()
 
+(* The service state applications see through their context. Normally the
+   ingesting services; the cluster layer overrides it with a replica built
+   by [Services.observe] over the committed log, so a fail-over leader
+   re-dispatching an old entry hands apps the context the original leader
+   had at that entry — not the (later) ingest-time state. *)
+let ctx_services t =
+  match t.context_services with Some s -> s | None -> t.services_state
+
+let set_context_services t s = t.context_services <- s
+
 let links_of t sid =
-  Services.live_links t.services_state
+  Services.live_links (ctx_services t)
   |> List.filter (fun (l : Event.link) -> l.src_switch = sid)
 
 let deps t : Crashpad.deps =
@@ -230,7 +265,7 @@ let deps t : Crashpad.deps =
     engine = t.engine;
     incremental = Some t.incremental_checker;
     net = t.network;
-    context = (fun () -> Services.context t.services_state);
+    context = (fun () -> Services.context (ctx_services t));
     links_of = (fun sid -> links_of t sid);
     metrics = t.metrics_store;
     tickets = t.ticket_store;
@@ -283,19 +318,26 @@ let observe_reliable t notifications =
   | None -> ()
   | Some rel -> List.iter (Reliable.observe rel) notifications
 
+(* One poll round: drain the network's notification queue, feed the
+   reliable layer, and translate to controller events — without
+   dispatching them. The cluster layer uses this to interpose log
+   replication between "event observed" and "event dispatched". *)
+let poll_events t =
+  match Net.poll t.network with
+  | [] -> []
+  | notifications ->
+      observe_reliable t notifications;
+      List.concat_map (Services.ingest t.services_state) notifications
+
 let step t =
   (match t.reliable_layer with
   | Some rel -> Reliable.tick rel
   | None -> ());
   let budget = ref storm_guard_events in
   let rec go () =
-    match Net.poll t.network with
+    match poll_events t with
     | [] -> ()
-    | notifications ->
-        observe_reliable t notifications;
-        let events =
-          List.concat_map (Services.ingest t.services_state) notifications
-        in
+    | events ->
         List.iter
           (fun ev ->
             if !budget > 0 then begin

@@ -24,6 +24,20 @@ type ckpt_mode =
           with [checkpoint_every] as the floor and [max (8k) 64] as the
           journal ceiling. *)
 
+(** Controller-cluster settings. The runtime itself only carries them (the
+    {!Cluster} library consumes them); [replicas = 1] means
+    single-controller operation. *)
+type cluster_config = {
+  replicas : int;  (** Cluster size, 2f+1 for tolerating f kills. *)
+  election_lo : float;
+      (** Election-timeout range, virtual seconds: each replica draws its
+          randomized-but-seeded timeout uniformly from [lo, hi). *)
+  election_hi : float;
+}
+
+val default_cluster_config : cluster_config
+(** 1 replica, timeouts drawn from [0.15, 0.3). *)
+
 type config = {
   checkpoint_every : int;  (** k: checkpoint every k events (§5). *)
   checkpoint_mode : ckpt_mode;
@@ -31,23 +45,45 @@ type config = {
   engine : engine_kind;
   reliable : Reliable.config;
       (** Southbound reliable-delivery settings (NetLog engine only). *)
+  cluster : cluster_config;
 }
 
 val default_config : config
 (** k = 1, full checkpoints, Crash-Pad defaults, NetLog engine, reliable
-    delivery on. *)
+    delivery on, single controller. *)
 
 type t
 
 val create :
-  ?config:config -> ?xid_base:int -> Netsim.Net.t ->
-  (module App_sig.APP) list -> t
+  ?config:config ->
+  ?xid_base:int ->
+  ?controller_id:int ->
+  ?southbound_gate:(Openflow.Types.switch_id -> Openflow.Message.t -> bool) ->
+  Netsim.Net.t ->
+  (module App_sig.APP) list ->
+  t
 (** [xid_base] seeds the NetLog xid counter; a failover controller passes
     its predecessor's [Netlog.next_xid] so switch-side duplicate detection
-    never mistakes its fresh commands for retransmissions. *)
+    never mistakes its fresh commands for retransmissions.
+
+    [controller_id] stamps every southbound send with this controller's
+    identity so switches can enforce master/slave roles.
+
+    [southbound_gate] interposes on the NetLog transport: a send for which
+    the gate returns [false] is silently black-holed — the wire behaviour
+    of a controller process that died mid-transaction. The cluster layer
+    uses it to kill a leader at a precise point without raising through the
+    transaction engine. *)
 
 val step : t -> unit
 (** Drain southbound notifications and dispatch the resulting events. *)
+
+val poll_events : t -> Event.t list
+(** One poll round of {!step} without the dispatch: drain currently queued
+    notifications, feed the reliable layer, and return the translated
+    events. The caller is expected to {!dispatch_event} them (possibly
+    after replicating them); polling again before doing so is safe but
+    yields events that logically follow the undispatched ones. *)
 
 val dispatch_event : t -> Event.t -> unit
 val tick : t -> unit
@@ -59,6 +95,16 @@ val upgrade_controller : t -> unit
 
 val net : t -> Netsim.Net.t
 val services : t -> Services.t
+
+val set_context_services : t -> Services.t option -> unit
+(** Override the service state applications see through their context
+    ([Some s]), or restore the runtime's own ingesting services ([None]).
+    The cluster layer installs a replica advanced by
+    {!Controller.Services.observe} over the committed log so event
+    dispatch is deterministic across leaders: the context an application
+    consults depends only on the log prefix before the event, never on
+    what the dispatching controller happened to have ingested since. *)
+
 val sandboxes : t -> Sandbox.t list
 val sandbox : t -> string -> Sandbox.t option
 val metrics : t -> Metrics.t

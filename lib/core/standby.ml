@@ -1,19 +1,20 @@
 module Net = Netsim.Net
 module Clock = Netsim.Clock
 
-module Chunk_store = Checkpoint.Chunk_store
-
 type t = {
   network : Net.t;
   modules : (module Controller.App_sig.APP) list;
   config : Runtime.config;
   sync_interval : float;
   mutable active : Runtime.t;
-  (* app -> latest shipped snapshot, as a manifest into [store]: a sync
-     only ships the chunks that changed since the previous one. *)
-  mutable shipped : (string * Chunk_store.manifest) list;
-  store : Chunk_store.t;
-  mutable n_shipped_bytes : int;
+  xfer : State_transfer.t;
+  mutable latest : State_transfer.snapshot option;
+  (* Absolute virtual-clock deadline for the next sync. Advancing it by
+     whole intervals from the *deadline* (not from the time the step
+     happened to run) keeps the cadence anchored to the virtual clock:
+     however unevenly the driver steps, the sync times are the same
+     deterministic sequence under replay. *)
+  mutable next_due : float;
   mutable synced_at : float option;
   mutable n_failovers : int;
 }
@@ -26,9 +27,9 @@ let create ?(config = Runtime.default_config) ?(sync_interval = 1.) network
     config;
     sync_interval;
     active = Runtime.create ~config network modules;
-    shipped = [];
-    store = Chunk_store.create ();
-    n_shipped_bytes = 0;
+    xfer = State_transfer.create ();
+    latest = None;
+    next_due = 0.;
     synced_at = None;
     n_failovers = 0;
   }
@@ -38,30 +39,18 @@ let runtime t = t.active
 let now t = Clock.now (Net.clock t.network)
 
 let sync t =
-  let fresh =
-    List.map
-      (fun box ->
-        let manifest, w =
-          Chunk_store.store t.store (Sandbox.snapshot_bytes box)
-        in
-        t.n_shipped_bytes <- t.n_shipped_bytes + w.Chunk_store.written_bytes;
-        (Sandbox.name box, manifest))
-      (Runtime.sandboxes t.active)
-  in
-  (* Release the superseded manifests only after the fresh ones hold their
-     references, so chunks shared across syncs survive the swap. *)
-  let previous = t.shipped in
-  t.shipped <- fresh;
-  List.iter (fun (_, m) -> Chunk_store.release t.store m) previous;
-  t.synced_at <- Some (now t)
+  let at = now t in
+  t.latest <-
+    Some
+      (State_transfer.ship t.xfer
+         ~commit_index:(Runtime.events_processed t.active)
+         t.active);
+  t.synced_at <- Some at;
+  while t.next_due <= at do
+    t.next_due <- t.next_due +. t.sync_interval
+  done
 
-let maybe_sync t =
-  let due =
-    match t.synced_at with
-    | None -> true
-    | Some at -> now t -. at >= t.sync_interval
-  in
-  if due then sync t
+let maybe_sync t = if now t >= t.next_due then sync t
 
 let step t =
   Runtime.step t.active;
@@ -81,18 +70,14 @@ let fail_primary t =
     | None -> 1
   in
   let fresh = Runtime.create ~config:t.config ~xid_base t.network t.modules in
-  List.iter
-    (fun box ->
-      match List.assoc_opt (Sandbox.name box) t.shipped with
-      | Some manifest ->
-          Sandbox.restore_bytes box (Chunk_store.materialize t.store manifest)
-      | None -> ())
-    (Runtime.sandboxes fresh);
+  (match t.latest with
+  | Some snapshot -> State_transfer.restore t.xfer snapshot fresh
+  | None -> ());
   t.active <- fresh;
   (* Take over: re-handshake with every live switch. *)
   Runtime.upgrade_controller fresh;
   t
 
 let failovers t = t.n_failovers
-let shipped_bytes t = t.n_shipped_bytes
-let chunk_store t = t.store
+let shipped_bytes t = State_transfer.shipped_bytes t.xfer
+let chunk_store t = State_transfer.store t.xfer

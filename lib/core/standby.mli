@@ -33,7 +33,11 @@ val sync : t -> unit
 (** Ship every application's current snapshot to the standby now. *)
 
 val maybe_sync : t -> unit
-(** {!sync} if at least [sync_interval] has elapsed since the last one. *)
+(** {!sync} if the virtual clock has reached the next sync deadline. The
+    deadline advances in whole [sync_interval] steps anchored to the
+    virtual clock (never to wall time or to when the driver happened to
+    call {!step}), so the sync schedule is a deterministic function of
+    the clock and survives replay byte-for-byte. *)
 
 val last_sync_at : t -> float option
 

@@ -19,6 +19,7 @@ type notification =
 
 type stats = {
   mutable delivered : int;
+  mutable delivered_to_dst : int;
   mutable blackholed : int;
   mutable looped : int;
   mutable packet_ins : int;
@@ -30,7 +31,7 @@ type t = {
   switches : (int, Sw.t) Hashtbl.t;
   channels : (int, Channel.t) Hashtbl.t;
   mutable pending : notification list;  (* reverse order *)
-  mutable in_flight : (float * Types.switch_id * Message.t) list;
+  mutable in_flight : (float * Types.switch_id * int option * Message.t) list;
       (* delayed controller-to-switch copies, unordered *)
   hop_limit : int;
   st : stats;
@@ -51,7 +52,14 @@ let create ?(hop_limit = 64) ?(channel = Channel.perfect) ?(channel_seed = 0)
       pending = [];
       in_flight = [];
       hop_limit;
-      st = { delivered = 0; blackholed = 0; looped = 0; packet_ins = 0 };
+      st =
+        {
+          delivered = 0;
+          delivered_to_dst = 0;
+          blackholed = 0;
+          looped = 0;
+          packet_ins = 0;
+        };
     }
   in
   List.iter
@@ -125,6 +133,8 @@ let rec propagate t sid (fwd : Sw.forward_result) ~hops =
       match Topology.peer t.topo (Topology.Switch sid) out_port with
       | Some { node = Topology.Host h; _ } ->
           t.st.delivered <- t.st.delivered + 1;
+          if pkt.Packet.dl_dst = Types.mac_of_host h then
+            t.st.delivered_to_dst <- t.st.delivered_to_dst + 1;
           queue t (Delivered (h, pkt))
       | Some { node = Topology.Switch next_sid; port = next_port } ->
           if hops >= t.hop_limit then t.st.looped <- t.st.looped + 1
@@ -143,14 +153,14 @@ let rec propagate t sid (fwd : Sw.forward_result) ~hops =
 
 (* Hand one delivered copy to the switch; surviving replies cross the
    reverse channel. *)
-let deliver t sid msg =
+let deliver ?from t sid msg =
   let sw = switch t sid in
   let ch = channel t sid in
-  let replies, fwd = Sw.handle_message sw ~now:(Clock.now t.clock) msg in
+  let replies, fwd = Sw.handle_message ?from sw ~now:(Clock.now t.clock) msg in
   propagate t sid fwd ~hops:0;
   List.filter (fun _ -> Channel.reverse ch) replies
 
-let send t sid msg =
+let send ?from t sid msg =
   match Hashtbl.find_opt t.switches sid with
   | None ->
       [ Message.message ~xid:msg.Message.xid
@@ -162,9 +172,9 @@ let send t sid msg =
           let now = Clock.now t.clock in
           List.concat_map
             (fun d ->
-              if d <= 0. then deliver t sid msg
+              if d <= 0. then deliver ?from t sid msg
               else begin
-                t.in_flight <- (now +. d, sid, msg) :: t.in_flight;
+                t.in_flight <- (now +. d, sid, from, msg) :: t.in_flight;
                 []
               end)
             delays)
@@ -173,11 +183,15 @@ let send t sid msg =
    longer return synchronously and surface as notifications instead. *)
 let process_in_flight t =
   let now = Clock.now t.clock in
-  let due, rest = List.partition (fun (at, _, _) -> at <= now) t.in_flight in
+  let due, rest =
+    List.partition (fun (at, _, _, _) -> at <= now) t.in_flight
+  in
   t.in_flight <- rest;
   List.iter
-    (fun (_, sid, msg) ->
-      List.iter (fun r -> queue t (From_switch (sid, r))) (deliver t sid msg))
+    (fun (_, sid, from, msg) ->
+      List.iter
+        (fun r -> queue t (From_switch (sid, r)))
+        (deliver ?from t sid msg))
     (List.sort compare due)
 
 let inject t h pkt =

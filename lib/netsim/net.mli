@@ -35,6 +35,12 @@ type notification =
 
 type stats = {
   mutable delivered : int;
+  mutable delivered_to_dst : int;
+      (** Copies delivered to the host the packet was addressed to — the
+          useful-work subset of [delivered] (flood copies reaching other
+          hosts count only in [delivered]). The fail-over oracle compares
+          this across runs: it is invariant to flood-vs-unicast path
+          differences, which [delivered] is not. *)
   mutable blackholed : int;  (** Copies dropped with no matching egress. *)
   mutable looped : int;  (** Copies killed by the hop limit. *)
   mutable packet_ins : int;
@@ -74,7 +80,7 @@ val dups_suppressed : t -> int
 (** Total state-altering retransmissions suppressed by switch-side xid
     dedup, summed over all switches. *)
 
-val send : t -> Types.switch_id -> Message.t -> Message.t list
+val send : ?from:int -> t -> Types.switch_id -> Message.t -> Message.t list
 (** Deliver a controller-to-switch message through its control channel;
     returns the synchronous replies. The channel may drop the message
     (returns [[]]), duplicate it, or delay it — a delayed copy is
@@ -82,7 +88,8 @@ val send : t -> Types.switch_id -> Message.t -> Message.t list
     [From_switch] notifications. Data-plane side effects (packet-outs,
     buffered-packet releases) propagate through the network, possibly
     queueing notifications. Sending to a disconnected switch returns a
-    single [Error] reply. *)
+    single [Error] reply. [from] names the sending controller for the
+    switch's master/slave role check (see {!Sw.set_master}). *)
 
 val inject : t -> Topology.host -> Packet.t -> unit
 (** A host transmits a packet into its access switch. Effects (deliveries,

@@ -24,6 +24,8 @@ type t = {
   seen_order : Types.xid Queue.t;
   mutable dups_suppressed : int;
   mutable cfg_gen : int;
+  mutable master : int option;
+  mutable slave_rejected : int;
 }
 
 (* Bound on the per-switch dedup window: enough to cover any plausible
@@ -61,6 +63,8 @@ let create ~id ~port_nos =
     seen_order = Queue.create ();
     dups_suppressed = 0;
     cfg_gen = 0;
+    master = None;
+    slave_rejected = 0;
   }
 
 (* Forwarding-relevant configuration version: bumps on any port or liveness
@@ -95,6 +99,15 @@ let register_xid t xid =
 let reset_dedup t =
   Hashtbl.reset t.seen_xids;
   Queue.clear t.seen_order
+
+(* OF 1.2-style controller roles, collapsed to the one bit that matters
+   here: when a master is designated, state-altering messages from any
+   other controller are rejected with an error instead of applied. *)
+let set_master t controller = t.master <- controller
+
+let accepts_state_altering t = function
+  | None -> true
+  | Some from -> ( match t.master with None -> true | Some m -> m = from)
 
 let has_seen_xid t xid = Hashtbl.mem t.seen_xids xid
 
@@ -267,11 +280,19 @@ let take_buffer t = function
       if found <> None then Hashtbl.remove t.buffers id;
       found
 
-let handle_message t ~now (msg : Message.t) =
+let handle_message ?from t ~now (msg : Message.t) =
   let reply payload = Message.message ~xid:msg.xid payload in
   if not t.up then
     ([ reply (Message.Error (Message.Bad_request, "switch is down")) ],
      empty_forward)
+  else if
+    Message.is_state_altering msg.payload
+    && not (accepts_state_altering t from)
+  then begin
+    t.slave_rejected <- t.slave_rejected + 1;
+    ([ reply (Message.Error (Message.Bad_request, "controller is slave")) ],
+     empty_forward)
+  end
   else if Message.is_state_altering msg.payload && not (register_xid t msg.xid)
   then
     (* Retransmit of an already-applied message: idempotent, no effects.

@@ -33,6 +33,11 @@ type t = {
           suppressed by the dedup window. *)
   mutable cfg_gen : int;
       (** Port/liveness change counter; see {!version}. *)
+  mutable master : int option;
+      (** Designated master controller id, if the cluster set one. *)
+  mutable slave_rejected : int;
+      (** State-altering messages rejected because the sender was not the
+          designated master. *)
 }
 
 val create : id:Types.switch_id -> port_nos:Types.port_no list -> t
@@ -51,6 +56,12 @@ val set_up : t -> up:bool -> unit
 val reset_dedup : t -> unit
 (** Forget the xid dedup window (reboot semantics: a rebooted switch has
     no memory of what it applied). *)
+
+val set_master : t -> int option -> unit
+(** Designate a master controller (or clear the role with [None]). While a
+    master is set, state-altering messages attributed to any other
+    controller are answered with an error and not applied — the OF 1.2
+    master/slave role contract, reduced to its write-exclusion core. *)
 
 val has_seen_xid : t -> Types.xid -> bool
 (** Whether a state-altering message with this xid has been processed
@@ -91,11 +102,13 @@ val account_tx : t -> Types.port_no -> Packet.t -> unit
     this once per copy it propagates). *)
 
 val handle_message :
-  t -> now:float -> Message.t -> Message.t list * forward_result
+  ?from:int -> t -> now:float -> Message.t -> Message.t list * forward_result
 (** Process one controller-to-switch message; returns the direct protocol
     replies (echo/barrier/stats/features/flow-removed/error, with the
     request's xid) and any data-plane transmissions it triggered
-    (packet-out, or a flow-mod applied to a buffered packet). *)
+    (packet-out, or a flow-mod applied to a buffered packet). [from]
+    identifies the sending controller for the master/slave role check;
+    omitting it bypasses the check (single-controller deployments). *)
 
 val expire_flows : t -> now:float -> Message.t list
 (** Remove timed-out entries; returns the [Flow_removed] notifications for

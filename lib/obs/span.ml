@@ -12,6 +12,10 @@ type kind =
   | Inv_cache_miss
   | Ckpt_take
   | Ckpt_restore
+  | Election
+  | Replicate
+  | State_transfer
+  | Failover
 
 let all_kinds =
   [
@@ -28,6 +32,10 @@ let all_kinds =
     Inv_cache_miss;
     Ckpt_take;
     Ckpt_restore;
+    Election;
+    Replicate;
+    State_transfer;
+    Failover;
   ]
 
 let kind_name = function
@@ -44,6 +52,10 @@ let kind_name = function
   | Inv_cache_miss -> "inv-miss"
   | Ckpt_take -> "checkpoint"
   | Ckpt_restore -> "restore"
+  | Election -> "election"
+  | Replicate -> "replicate"
+  | State_transfer -> "xfer"
+  | Failover -> "failover"
 
 let kind_of_name name =
   List.find_opt (fun k -> kind_name k = name) all_kinds

@@ -22,6 +22,10 @@ type kind =
   | Inv_cache_miss  (** Incremental checker traced from scratch (instant). *)
   | Ckpt_take  (** Taking an application checkpoint (full or delta). *)
   | Ckpt_restore  (** Materializing a snapshot and replaying the journal. *)
+  | Election  (** One leader-election round in the controller cluster. *)
+  | Replicate  (** Majority-commit of one replicated log entry. *)
+  | State_transfer  (** Incremental replica state transfer (chunk shipping). *)
+  | Failover  (** A standby taking over as leader after a kill. *)
 
 val all_kinds : kind list
 

@@ -39,6 +39,10 @@ let kind_index : Span.kind -> int = function
   | Span.Inv_cache_miss -> 10
   | Span.Ckpt_take -> 11
   | Span.Ckpt_restore -> 12
+  | Span.Election -> 13
+  | Span.Replicate -> 14
+  | Span.State_transfer -> 15
+  | Span.Failover -> 16
 
 let create ?(capacity = 65536) ?wall ~now () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity <= 0";

@@ -13,6 +13,8 @@ let example =
 # production config
 checkpoint every 5
 engine netlog
+replicas 3
+election timeout 0.1 0.25
 quarantine threshold 3
 heartbeat interval 0.2 misses 5
 rpc timeout 0.01
@@ -31,6 +33,11 @@ let test_parse_full_example () =
   let c = Config_lang.parse_exn example in
   T_util.checki "checkpoint k" 5 c.Runtime.checkpoint_every;
   T_util.checkb "engine" true (c.Runtime.engine = Runtime.Netlog_engine);
+  T_util.checki "replicas" 3 c.Runtime.cluster.Runtime.replicas;
+  Alcotest.(check (float 1e-9)) "election lo" 0.1
+    c.Runtime.cluster.Runtime.election_lo;
+  Alcotest.(check (float 1e-9)) "election hi" 0.25
+    c.Runtime.cluster.Runtime.election_hi;
   let cp = c.Runtime.crashpad in
   (match cp.Crashpad.quarantine with
   | Some q -> T_util.checki "quarantine threshold" 3 (Quarantine.threshold q)
@@ -65,6 +72,8 @@ let test_empty_is_default () =
   T_util.checki "default k" 1 c.Runtime.checkpoint_every;
   T_util.checkb "default engine" true (c.Runtime.engine = Runtime.Netlog_engine);
   T_util.checkb "no quarantine" true (c.Runtime.crashpad.Crashpad.quarantine = None);
+  T_util.checkb "default single controller" true
+    (c.Runtime.cluster = Runtime.default_cluster_config);
   T_util.checkb "default invariants" true
     (c.Runtime.crashpad.Crashpad.invariants = Checker.default)
 
@@ -80,6 +89,10 @@ let test_errors_located () =
       ("app x event nope => absolute", "kind");
       ("default => maybe", "compromise");
       ("default => absolute\ndefault => absolute", "duplicate");
+      ("replicas 2", "even cluster size");
+      ("replicas x", "replica count");
+      ("election timeout 0.3 0.1", "inverted range");
+      ("election timeout 0 0.3", "non-positive lo");
     ]
   in
   List.iter
@@ -102,6 +115,7 @@ let config_equiv (a : Runtime.config) (b : Runtime.config) =
   && a.Runtime.crashpad.Crashpad.timing = b.Runtime.crashpad.Crashpad.timing
   && a.Runtime.crashpad.Crashpad.limits = b.Runtime.crashpad.Crashpad.limits
   && a.Runtime.reliable = b.Runtime.reliable
+  && a.Runtime.cluster = b.Runtime.cluster
   && Option.map Quarantine.threshold a.Runtime.crashpad.Crashpad.quarantine
      = Option.map Quarantine.threshold b.Runtime.crashpad.Crashpad.quarantine
 
@@ -150,11 +164,17 @@ let config_gen =
     let* default = compromise in
     let* rel_enabled = bool in
     let* rel_retries = int_range 0 16 in
+    let* replicas = oneofl [ 1; 3; 5 ] in
+    (* Exact-decimal timeouts: the printer uses %g, so round-tripping is
+       only an equality for values it prints exactly. *)
+    let* election_lo = oneofl [ 0.05; 0.1; 0.15; 0.2 ] in
+    let* election_hi = oneofl [ 0.25; 0.3; 0.4 ] in
     return
       {
         Runtime.checkpoint_every = k;
         checkpoint_mode = mode;
         engine;
+        cluster = { Runtime.replicas; election_lo; election_hi };
         reliable =
           {
             Legosdn.Reliable.enabled = rel_enabled;
