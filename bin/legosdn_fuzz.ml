@@ -89,6 +89,29 @@ let kill_leader_arg =
   in
   Arg.(value & flag & info [ "kill-leader" ] ~doc)
 
+let dispatch_conv =
+  Arg.conv
+    ( (fun s ->
+        match s with
+        | "seq" -> Ok Legosdn.Runtime.Sequential
+        | "sharded" -> Ok Legosdn.Runtime.default_sharded
+        | _ -> Error (`Msg (Printf.sprintf "unknown dispatch mode %S" s))),
+      fun fmt d ->
+        Format.fprintf fmt "%s"
+          (match d with
+          | Legosdn.Runtime.Sequential -> "seq"
+          | Legosdn.Runtime.Sharded _ -> "sharded") )
+
+let dispatch_arg =
+  let doc =
+    "Event-dispatch engine: 'seq' (the sequential specification) or \
+     'sharded' (the batched engine). An execution parameter, not part of \
+     the scenario: the same seeds and reproducers run under either, and \
+     must behave identically."
+  in
+  Arg.(value & opt dispatch_conv Legosdn.Runtime.Sequential
+       & info [ "dispatch" ] ~docv:"MODE" ~doc)
+
 let replay_arg =
   let doc = "Replay a reproducer file instead of fuzzing." in
   Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
@@ -115,7 +138,7 @@ let ensure_dir dir =
 let repro_path dir (f : Check.Fuzz.finding) =
   Filename.concat dir (Printf.sprintf "seed-%d.lsdnrep" f.Check.Fuzz.seed)
 
-let do_replay oracles path =
+let do_replay oracles dispatch path =
   let repro = Check.Repro.load path in
   Printf.printf "replaying %s\n  spec: %s\n  expected failure: %s (%s)\n%!"
     path
@@ -134,7 +157,7 @@ let do_replay oracles path =
             Printf.printf "  embedded span trace: INVALID (%s)\n%!" e;
             false)
   in
-  let r = Check.Repro.replay ~oracles repro in
+  let r = Check.Repro.replay ~oracles ~dispatch repro in
   Printf.printf "  reproduced: %b\n  trace byte-identical: %b\n%!"
     r.Check.Repro.reproduced r.Check.Repro.same_trace;
   if r.Check.Repro.reproduced && r.Check.Repro.same_trace && spans_ok then begin
@@ -146,11 +169,15 @@ let do_replay oracles path =
     2
   end
 
-let do_fuzz oracles seeds budget plant trace_buffer out =
-  Printf.printf "fuzzing %d seed(s), oracles: %s, plant: %s\n%!"
+let do_fuzz oracles dispatch seeds budget plant trace_buffer out =
+  Printf.printf "fuzzing %d seed(s), oracles: %s, plant: %s, dispatch: %s\n%!"
     (List.length seeds)
     (String.concat "," (List.map (fun o -> o.Check.Oracle.name) oracles))
-    (Check.Fuzz.plant_name plant);
+    (Check.Fuzz.plant_name plant)
+    (match dispatch with
+    | Legosdn.Runtime.Sequential -> "seq"
+    | Legosdn.Runtime.Sharded { shards; max_batch } ->
+        Printf.sprintf "sharded(%d,%d)" shards max_batch);
   let on_finding (f : Check.Fuzz.finding) =
     ensure_dir out;
     let path = repro_path out f in
@@ -167,15 +194,16 @@ let do_fuzz oracles seeds budget plant trace_buffer out =
     Printf.printf "  reproducer: %s\n%!" path
   in
   let result =
-    Check.Fuzz.campaign ~oracles ~plant ?trace_buffer ?max_findings:budget
-      ~on_finding seeds
+    Check.Fuzz.campaign ~oracles ~plant ?trace_buffer ~dispatch
+      ?max_findings:budget ~on_finding seeds
   in
   Printf.printf "%d seed(s) run, %d finding(s)\n%!"
     result.Check.Fuzz.seeds_run
     (List.length result.Check.Fuzz.findings);
   if result.Check.Fuzz.findings = [] then 0 else 2
 
-let main seeds budget oracles_csv out plant kill_leader trace_buffer replay =
+let main seeds budget oracles_csv out plant kill_leader trace_buffer dispatch
+    replay =
   let plant = if kill_leader then Check.Fuzz.Kill_leader_plant else plant in
   match
     (try Ok (select_oracles oracles_csv)
@@ -186,8 +214,8 @@ let main seeds budget oracles_csv out plant kill_leader trace_buffer replay =
       1
   | Ok oracles -> (
       match replay with
-      | Some path -> do_replay oracles path
-      | None -> do_fuzz oracles seeds budget plant trace_buffer out)
+      | Some path -> do_replay oracles dispatch path
+      | None -> do_fuzz oracles dispatch seeds budget plant trace_buffer out)
 
 let cmd =
   let doc = "deterministic scenario fuzzer for the LegoSDN stack" in
@@ -195,6 +223,6 @@ let cmd =
     (Cmd.info "legosdn_fuzz" ~doc)
     Term.(
       const main $ seeds_arg $ budget_arg $ oracles_arg $ out_arg $ plant_arg
-      $ kill_leader_arg $ trace_arg $ replay_arg)
+      $ kill_leader_arg $ trace_arg $ dispatch_arg $ replay_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -81,9 +81,12 @@ type finding = {
   result : Runner.result;  (* the minimized spec's failing run *)
 }
 
-let shrink ?oracles spec (failure : Runner.failure) =
+let shrink ?oracles ?dispatch spec (failure : Runner.failure) =
   let failing elements =
-    match (Runner.run ?oracles { spec with Spec.elements = elements }).Runner.failure with
+    match
+      (Runner.run ?oracles ?dispatch { spec with Spec.elements = elements })
+        .Runner.failure
+    with
     | Some f -> f.Runner.oracle = failure.Runner.oracle
     | None -> false
   in
@@ -93,15 +96,15 @@ let shrink ?oracles spec (failure : Runner.failure) =
    finding carries the trace that belongs to the reproducer. Only that
    final run is traced ([trace_buffer]): the scan and the shrink loop stay
    untraced — spans would describe runs the reproducer doesn't contain. *)
-let run_seed ?oracles ?(plant = No_plant) ?trace_buffer seed =
+let run_seed ?oracles ?(plant = No_plant) ?trace_buffer ?dispatch seed =
   let spec = apply_plant plant (Gen.scenario seed) in
-  let r = Runner.run ?oracles spec in
+  let r = Runner.run ?oracles ?dispatch spec in
   match r.Runner.failure with
   | None -> None
   | Some f ->
-      let minimal, shrink_runs = shrink ?oracles spec f in
+      let minimal, shrink_runs = shrink ?oracles ?dispatch spec f in
       let minimized = { spec with Spec.elements = minimal } in
-      let result = Runner.run ?oracles ?trace_buffer minimized in
+      let result = Runner.run ?oracles ?trace_buffer ?dispatch minimized in
       let oracle, detail =
         (* The minimized run must fail the same oracle (the shrink oracle
            guaranteed it); keep its detail, which describes the minimal
@@ -128,7 +131,7 @@ type campaign_result = {
 
 (* [on_finding] fires as findings surface (the CLI streams them);
    [max_findings] bounds the minimization work, not the scan. *)
-let campaign ?oracles ?(plant = No_plant) ?trace_buffer ?max_findings
+let campaign ?oracles ?(plant = No_plant) ?trace_buffer ?dispatch ?max_findings
     ?(on_finding = fun (_ : finding) -> ()) seeds =
   let findings = ref [] in
   let ran = ref 0 in
@@ -141,7 +144,7 @@ let campaign ?oracles ?(plant = No_plant) ?trace_buffer ?max_findings
     (fun seed ->
       if budget_left () then begin
         incr ran;
-        match run_seed ?oracles ~plant ?trace_buffer seed with
+        match run_seed ?oracles ~plant ?trace_buffer ?dispatch seed with
         | None -> ()
         | Some f ->
             findings := f :: !findings;

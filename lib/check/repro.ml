@@ -90,9 +90,12 @@ type replay_result = {
 
 (* Replay is a fresh run of the embedded spec: determinism means the same
    oracle must fail and the dispatched event stream must re-encode to the
-   same bytes as the recorded one. *)
-let replay ?oracles t =
-  let outcome = Runner.run ?oracles t.spec in
+   same bytes as the recorded one. [dispatch] is an execution parameter,
+   not part of the file format: a reproducer recorded under one engine
+   must replay identically under the other — the determinism constraint
+   the dispatch differential enforces. *)
+let replay ?oracles ?dispatch t =
+  let outcome = Runner.run ?oracles ?dispatch t.spec in
   let reproduced =
     match outcome.Runner.failure with
     | Some f -> f.Runner.oracle = t.oracle

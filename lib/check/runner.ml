@@ -29,6 +29,23 @@ module Bug_corpus = Workload.Bug_corpus
 
 type failure = { oracle : string; detail : string; at : float }
 
+(* The equivalence surface of the dispatch-engine differential: everything
+   two engines must agree on after running the same spec. Deliberately
+   excludes protocol-mechanics counters (barriers, acks, checkpoints,
+   replays) that legitimately differ under batching. *)
+type final_state = {
+  tables : (Openflow.Types.switch_id * Netsim.Flow_entry.t list) list;
+      (* actual switch flow tables, sorted by switch id *)
+  shadows : (Openflow.Types.switch_id * Netsim.Flow_entry.t list) list;
+      (* controller intent (Reliable shadow tables) *)
+  journal : Legosdn.Netlog.journal_entry list;
+      (* every transaction, its commands and its fate, in order *)
+  f_events : int;  (* events dispatched (semantic metric) *)
+  f_crashes : int;  (* app crashes observed *)
+  f_committed : int;  (* NetLog transactions committed *)
+  f_aborted : int;  (* NetLog transactions rolled back *)
+}
+
 type result = {
   spec : Spec.t;
   failure : failure option;
@@ -40,6 +57,7 @@ type result = {
          fail-over differential compares across runs *)
   spans : Obs.Span.t list;
       (* the run's structured trace; empty unless [trace_buffer] was given *)
+  final : final_state;
 }
 
 let build_topology = function
@@ -179,8 +197,9 @@ let settle_time spec =
   Float.min 30.0
     (Float.max 4.0 (worst_backoff +. (spec.Spec.base_timeout *. 16.)))
 
-let config_of spec =
+let config_of ?(dispatch = Runtime.Sequential) spec =
   {
+    Runtime.dispatch;
     Runtime.checkpoint_every = max 1 spec.Spec.checkpoint_every;
     (* Delta storage with the spec's fixed cadence: identical event
        scheduling to full blobs, but every fuzz run exercises the
@@ -223,8 +242,11 @@ let without_kill spec =
 (* [trace_buffer]: ring-buffer capacity for span tracing; [None] runs with
    the no-op tracer. The tracer's timebases are the scenario's virtual
    clock plus the deterministic logical tick counter, so traced runs stay
-   byte-for-byte replayable. *)
-let rec run ?(oracles = Oracle.all) ?trace_buffer spec =
+   byte-for-byte replayable. [dispatch] selects the event-dispatch engine
+   — an execution parameter, not part of the spec, so one recorded spec
+   replays under either engine. *)
+let rec run ?(oracles = Oracle.all) ?trace_buffer
+    ?(dispatch = Runtime.Sequential) spec =
   let clock = Clock.create () in
   let topo = build_topology spec.Spec.topo in
   let channel_config =
@@ -242,7 +264,7 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer spec =
       ~channel_seed:((spec.Spec.seed * 131) + 17)
       clock topo
   in
-  let config = config_of spec in
+  let config = config_of ~dispatch spec in
   let tracer =
     match trace_buffer with
     | None -> Obs.Tracer.noop
@@ -405,7 +427,7 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer spec =
     && spec.Spec.base_loss = 0. && spec.Spec.duplicate = 0.
     && Spec.is_clean (without_kill spec)
   then begin
-    let baseline = run ~oracles (without_kill spec) in
+    let baseline = run ~oracles ~dispatch (without_kill spec) in
     match baseline.failure with
     | Some f ->
         fail ~oracle:"leader-failover"
@@ -420,6 +442,47 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer spec =
                mine baseline.delivered_to_dst)
   end;
   List.iter (fun (hub, tap) -> Obs.Hub.unsubscribe hub tap) !taps;
+  let final =
+    let tables =
+      Topology.switches topo |> List.sort compare
+      |> List.map (fun sid ->
+             (sid, Netsim.Flow_table.entries (Net.switch net sid).Sw.table))
+    in
+    match current_rt () with
+    | None ->
+        {
+          tables;
+          shadows = [];
+          journal = [];
+          f_events = 0;
+          f_crashes = 0;
+          f_committed = 0;
+          f_aborted = 0;
+        }
+    | Some rt ->
+        let m = Runtime.metrics rt in
+        {
+          tables;
+          shadows =
+            (match Runtime.reliable rt with
+            | Some rel -> Reliable.export_shadows rel
+            | None -> []);
+          journal =
+            (match Runtime.netlog rt with
+            | Some nl -> Legosdn.Netlog.journal nl
+            | None -> []);
+          f_events = Legosdn.Metrics.events m;
+          f_crashes = Legosdn.Metrics.crashes m;
+          f_committed =
+            (match Runtime.netlog rt with
+            | Some nl -> Legosdn.Netlog.committed nl
+            | None -> 0);
+          f_aborted =
+            (match Runtime.netlog rt with
+            | Some nl -> Legosdn.Netlog.aborted nl
+            | None -> 0);
+        }
+  in
   {
     spec;
     failure = !failure;
@@ -432,4 +495,5 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer spec =
       | None, None -> 0);
     delivered_to_dst = (Net.stats net).Net.delivered_to_dst;
     spans = Obs.Tracer.spans tracer;
+    final;
   }

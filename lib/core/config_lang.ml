@@ -55,6 +55,7 @@ type builder = {
   mutable default : Policy.compromise option;
   mutable reliable : Reliable.config;
   mutable cluster : Runtime.cluster_config;
+  mutable dispatch : Runtime.dispatch_mode;
 }
 
 let fresh_builder () =
@@ -70,6 +71,7 @@ let fresh_builder () =
     default = None;
     reliable = Runtime.default_config.Runtime.reliable;
     cluster = Runtime.default_config.Runtime.cluster;
+    dispatch = Runtime.default_config.Runtime.dispatch;
   }
 
 let add_invariant b inv =
@@ -99,6 +101,18 @@ let directive b lineno toks =
           b.checkpoint_mode <- Runtime.Ckpt_delta_adaptive;
           Ok ()
       | _ -> err (Printf.sprintf "unknown checkpoint mode %S" m))
+  | [ "dispatch"; "seq" ] ->
+      b.dispatch <- Runtime.Sequential;
+      Ok ()
+  | [ "dispatch"; "sharded" ] ->
+      b.dispatch <- Runtime.default_sharded;
+      Ok ()
+  | [ "dispatch"; "sharded"; "shards"; s; "batch"; m ] -> (
+      match (int_of_string_opt s, int_of_string_opt m) with
+      | Some shards, Some max_batch when shards >= 1 && max_batch >= 1 ->
+          b.dispatch <- Runtime.Sharded { shards; max_batch };
+          Ok ()
+      | _ -> err "bad dispatch directive (need shards >= 1, batch >= 1)")
   | [ "engine"; "netlog" ] ->
       b.engine <- Runtime.Netlog_engine;
       Ok ()
@@ -248,6 +262,7 @@ let parse text =
           engine = b.engine;
           reliable = b.reliable;
           cluster = b.cluster;
+          dispatch = b.dispatch;
           crashpad =
             {
               Crashpad.policy =
@@ -260,6 +275,7 @@ let parse text =
                 Option.map
                   (fun threshold -> Quarantine.create ~threshold ())
                   b.quarantine_threshold;
+              batched_checkpoints = false;
             };
         }
 
@@ -281,6 +297,10 @@ let print (config : Runtime.config) =
     (match config.Runtime.engine with
     | Runtime.Netlog_engine -> "netlog"
     | Runtime.Delay_buffer_engine -> "delay-buffer");
+  (match config.Runtime.dispatch with
+  | Runtime.Sequential -> line "dispatch seq"
+  | Runtime.Sharded { shards; max_batch } ->
+      line "dispatch sharded shards %d batch %d" shards max_batch);
   let rel = config.Runtime.reliable in
   line "reliable %s timeout %g retries %d"
     (if rel.Reliable.enabled then "on" else "off")

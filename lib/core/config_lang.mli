@@ -15,6 +15,7 @@
     checkpoint every 5
     checkpoint mode delta                # or: full | delta-adaptive
     engine netlog                        # or: delay-buffer
+    dispatch sharded shards 8 batch 64   # or: dispatch seq | dispatch sharded
     quarantine threshold 2               # absent = quarantine off
     heartbeat interval 0.1 misses 3
     rpc timeout 0.05

@@ -7,6 +7,12 @@ type config = {
   timing : Detector.timing;
   limits : Resources.limits;
   quarantine : Quarantine.t option;
+  batched_checkpoints : bool;
+      (* The batch engine checkpoints every sandbox at batch entry and
+         journals within the batch; the per-event prepare here is then
+         redundant work, not a correctness requirement (recovery replays
+         the intra-batch journal under the same frozen context the events
+         were first delivered with). *)
 }
 
 let default_config =
@@ -16,6 +22,7 @@ let default_config =
     timing = Detector.default_timing;
     limits = Resources.unlimited;
     quarantine = None;
+    batched_checkpoints = false;
   }
 
 type deps = {
@@ -73,7 +80,7 @@ let switch_of_command = function
    [Error (failure, rolled_back)] after an abort. The sandbox state has
    already been repaired (restore + replay) when [Error] is returned. *)
 let attempt config deps sandbox event : (unit, Detector.failure * int) result =
-  Sandbox.prepare ~tracer:deps.tracer sandbox;
+  if not config.batched_checkpoints then Sandbox.prepare ~tracer:deps.tracer sandbox;
   let txn = deps.engine.Txn_engine.begin_txn ~app:(Sandbox.name sandbox) in
   let fail_and_recover failure ~partial =
     let attrs =
@@ -110,7 +117,7 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
       (* Screen before commit: resource limits, then byzantine output. *)
       let breaches =
         Resources.check config.limits
-          ~state_bytes:(Sandbox.state_size sandbox)
+          ~state_bytes:(fun () -> Sandbox.state_size sandbox)
           ~commands_emitted:(List.length commands)
       in
       if breaches <> [] then begin

@@ -24,6 +24,10 @@ type config = {
   quarantine : Quarantine.t option;
       (** When set, repeatedly-failing event signatures are blacklisted and
           filtered before delivery (§5 multi-transaction failures). *)
+  batched_checkpoints : bool;
+      (** Skip the per-event {!Sandbox.prepare}: the caller checkpoints
+          every sandbox at batch entry instead (the sharded dispatch
+          engine's amortization). Default [false]. *)
 }
 
 val default_config : config

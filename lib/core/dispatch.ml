@@ -1,0 +1,97 @@
+open Openflow
+open Controller
+
+type item = { seq : int; ev : Event.t }
+
+type t = {
+  shards : int;
+  queues : item Queue.t array;
+  mutable next_seq : int;
+  mutable len : int;
+}
+
+let create ~shards =
+  if shards <= 0 then invalid_arg "Dispatch.create: shards <= 0";
+  {
+    shards;
+    queues = Array.init shards (fun _ -> Queue.create ());
+    next_seq = 0;
+    len = 0;
+  }
+
+let shards t = t.shards
+
+let shard_of t (ev : Event.t) =
+  if t.shards = 1 then 0
+  else
+    match ev with
+    | Event.Tick _ -> 0
+    | Event.Packet_in (sid, pi) ->
+        (* Flow-level affinity: packets of one (switch, src, dst) flow land
+           on one shard, so per-flow learning state is never split. *)
+        let p = pi.Message.pi_packet in
+        Hashtbl.hash (sid, p.Packet.dl_src, p.Packet.dl_dst) mod t.shards
+    | Event.Link_up l | Event.Link_down l ->
+        Hashtbl.hash
+          (l.Event.src_switch, l.Event.src_port, l.Event.dst_switch,
+           l.Event.dst_port)
+        mod t.shards
+    | ev -> (
+        match Event.switch_of ev with
+        | Some sid -> Hashtbl.hash sid mod t.shards
+        | None -> 0)
+
+let push t ev =
+  let s = shard_of t ev in
+  Queue.add { seq = t.next_seq; ev } t.queues.(s);
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let clear t =
+  Array.iter Queue.clear t.queues;
+  t.len <- 0
+
+(* The head of each shard queue is that shard's oldest event; the
+   globally oldest event is therefore always some queue's head. Scanning
+   the heads for the minimum sequence number yields events in exact
+   arrival order — which is why the shard count can never change
+   dispatch order. *)
+let min_head t =
+  let best = ref None in
+  for i = 0 to t.shards - 1 do
+    match Queue.peek_opt t.queues.(i) with
+    | None -> ()
+    | Some it -> (
+        match !best with
+        | Some (_, b) when b.seq <= it.seq -> ()
+        | _ -> best := Some (i, it))
+  done;
+  !best
+
+let next_batch t ~max_batch =
+  if max_batch <= 0 then invalid_arg "Dispatch.next_batch: max_batch <= 0";
+  let rec take acc n =
+    if n >= max_batch then List.rev acc
+    else
+      match min_head t with
+      | None -> List.rev acc
+      | Some (shard, it) -> (
+          match it.ev with
+          | Event.Tick _ when acc <> [] ->
+              (* A Tick is a batch barrier: everything before it must be
+                 fully dispatched (and its deferred barriers settled)
+                 before time advances. Cut here; the Tick opens the next
+                 batch. *)
+              List.rev acc
+          | Event.Tick _ ->
+              ignore (Queue.pop t.queues.(shard));
+              t.len <- t.len - 1;
+              [ (shard, it.ev) ]
+          | _ ->
+              ignore (Queue.pop t.queues.(shard));
+              t.len <- t.len - 1;
+              take ((shard, it.ev) :: acc) (n + 1))
+  in
+  take [] 0

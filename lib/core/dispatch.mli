@@ -1,0 +1,44 @@
+(** Sharded event queues for the batched dispatch engine.
+
+    Events are partitioned across [shards] FIFO queues by a (switch,
+    flow-key) hash — [Packet_in] additionally keys on the packet's
+    (dl_src, dl_dst) so one flow's packets always share a shard; link
+    events key on their endpoints; [Tick] (and other switch-less events)
+    pin to shard 0.
+
+    Sharding changes {e grouping}, never {e order}: each event carries a
+    global arrival sequence number and {!next_batch} drains the queues by
+    a k-way minimum-sequence merge across the shard heads, which
+    reconstructs exact arrival order for any shard count. The shard
+    assignment is surfaced purely as batching/observability structure
+    (per-shard spans, per-shard runs). A [Tick] acts as a batch barrier:
+    it never shares a batch with earlier events and is returned as a
+    singleton batch. *)
+
+type t
+
+val create : shards:int -> t
+(** Raises [Invalid_argument] if [shards <= 0]. *)
+
+val shards : t -> int
+
+val shard_of : t -> Controller.Event.t -> int
+(** The shard this event would be (or was) queued on. Deterministic per
+    event value and shard count. *)
+
+val push : t -> Controller.Event.t -> unit
+(** Append to the owning shard's queue, stamping the next global arrival
+    sequence number. *)
+
+val length : t -> int
+(** Total queued events across all shards. *)
+
+val clear : t -> unit
+(** Discard every queued event (the storm guard shedding the backlog).
+    Sequence numbering continues from where it was. *)
+
+val next_batch : t -> max_batch:int -> (int * Controller.Event.t) list
+(** Pop up to [max_batch] events in global arrival order, each paired
+    with its shard. Cuts before a [Tick] (unless the [Tick] is first, in
+    which case the batch is exactly [[(0, Tick _)]]). Empty list when no
+    events are queued. Raises [Invalid_argument] if [max_batch <= 0]. *)

@@ -31,6 +31,16 @@ type txn = {
   mutable closed : bool;
 }
 
+(* One closed transaction, as the journal remembers it. Commands are kept
+   structurally (not re-encoded) so the record is cheap to take on the
+   commit path and still byte-comparable across runs. *)
+type journal_entry = {
+  je_app : string;
+  je_committed : bool;
+  je_ops : Command.t list;  (** in application order *)
+  je_rolled_back : int;  (** undos executed; 0 for commits *)
+}
+
 type t = {
   network : Net.t;
   send : Types.switch_id -> Message.t -> Message.t list;
@@ -40,6 +50,7 @@ type t = {
   mutable n_aborted : int;
   mutable n_ops : int;
   mutable n_rolled_back : int;
+  mutable history : journal_entry list;  (* newest first *)
   mutable tracer : Obs.Tracer.t;
 }
 
@@ -62,6 +73,7 @@ let create ?transport ?(xid_base = 1) ?metrics network =
     n_aborted = 0;
     n_ops = 0;
     n_rolled_back = 0;
+    history = [];
     tracer = Obs.Tracer.noop;
   }
 
@@ -74,6 +86,7 @@ let committed t = t.n_committed
 let aborted t = t.n_aborted
 let ops_applied t = t.n_ops
 let ops_rolled_back t = t.n_rolled_back
+let journal t = List.rev t.history
 
 let begin_txn _t ~app = { app; undos = []; applied = []; closed = false }
 
@@ -258,7 +271,15 @@ let run_undo t = function
 let commit t txn =
   if not txn.closed then begin
     txn.closed <- true;
-    t.n_committed <- t.n_committed + 1
+    t.n_committed <- t.n_committed + 1;
+    t.history <-
+      {
+        je_app = txn.app;
+        je_committed = true;
+        je_ops = List.rev txn.applied;
+        je_rolled_back = 0;
+      }
+      :: t.history
   end
 
 let abort t txn =
@@ -276,6 +297,14 @@ let abort t txn =
             t.n_rolled_back <- t.n_rolled_back + 1;
             run_undo t undo)
           txn.undos);
+    t.history <-
+      {
+        je_app = txn.app;
+        je_committed = false;
+        je_ops = List.rev txn.applied;
+        je_rolled_back = List.length txn.undos;
+      }
+      :: t.history;
     txn.undos <- []
   end
 

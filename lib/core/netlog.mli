@@ -44,6 +44,21 @@ val aborted : t -> int
 val ops_applied : t -> int
 val ops_rolled_back : t -> int
 
+(** One closed transaction, as the journal remembers it. *)
+type journal_entry = {
+  je_app : string;
+  je_committed : bool;  (** [false] = aborted and rolled back. *)
+  je_ops : Controller.Command.t list;  (** In application order. *)
+  je_rolled_back : int;  (** Undos executed during the abort; 0 for commits. *)
+}
+
+val journal : t -> journal_entry list
+(** Every transaction ever closed on this instance, oldest first. This is
+    the transaction-atomicity surface the dispatch-engine differential
+    tests compare: two engines are only equivalent if they commit and
+    abort the same transactions with the same commands, in the same
+    order. *)
+
 type txn
 
 val begin_txn : t -> app:string -> txn

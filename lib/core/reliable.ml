@@ -36,6 +36,10 @@ type pending = {
    Netlog's transaction xids (a counter from 1). *)
 let barrier_xid_base = 1_000_000_000
 
+(* Messages whose per-message barrier chase was deferred to [end_batch]:
+   one barrier per touched switch closes them all. Newest first. *)
+type batch = { mutable deferred : (Types.switch_id * Message.t) list }
+
 type t = {
   net : Net.t;
   from : int option;  (* controller identity for master/slave role checks *)
@@ -47,6 +51,7 @@ type t = {
   probe_at : (Types.switch_id, float) Hashtbl.t;
       (* next half-open probe per degraded switch *)
   mutable queue : pending list;  (* unordered; scanned on tick *)
+  mutable batch : batch option;
   mutable next_barrier_xid : Types.xid;
   mutable n_retransmits : int;
   mutable n_acks : int;
@@ -67,6 +72,7 @@ let create ?(config = default_config) ?controller_id ?metrics
     states = Hashtbl.create 16;
     probe_at = Hashtbl.create 8;
     queue = [];
+    batch = None;
     next_barrier_xid = barrier_xid_base;
     n_retransmits = 0;
     n_acks = 0;
@@ -176,6 +182,27 @@ let enqueue t sid msg ~sent barrier_xid =
         };
       ]
 
+(* May the per-message barrier chase for this switch be deferred to the
+   end of the current batch? Only when the channel consumes no random
+   draws and cannot reorder, drop or delay — i.e. the verdict for every
+   message on it is "delivered now, deterministically". On such a channel
+   the skipped barriers are invisible: no RNG state advances, no pending
+   entry is created, and the deferred flow-mods are already on the switch
+   (verified per message via [delivered]). Any fault configuration at all
+   sends the message down the exact sequential protocol instead, byte for
+   byte, RNG draw for RNG draw. *)
+let channel_safe t sid =
+  match Net.channel t.net sid with
+  | exception Not_found -> false
+  | ch ->
+      (not (Netsim.Channel.partitioned ch))
+      &&
+      let c = Netsim.Channel.config ch in
+      c.Netsim.Channel.loss = 0.
+      && c.Netsim.Channel.reply_loss = 0.
+      && c.Netsim.Channel.duplicate = 0.
+      && c.Netsim.Channel.delay = Netsim.Channel.No_delay
+
 let send t sid (msg : Message.t) =
   record_intent t sid msg;
   if is_degraded t sid then []
@@ -191,16 +218,62 @@ let send t sid (msg : Message.t) =
     else begin
       let replies = Net.send ?from:t.from t.net sid msg in
       t.notify (Obs.Hub.Sent { sw = sid; xid = msg.Message.xid });
-      let barrier_xid, acked = barrier_probe t sid in
-      if acked && delivered t sid msg then begin
-        t.n_acks <- t.n_acks + 1;
-        with_metrics t Metrics.incr_barrier_acks;
-        t.notify (Obs.Hub.Acked { sw = sid; xid = msg.Message.xid })
-      end
-      else enqueue t sid msg ~sent:true barrier_xid;
+      (match t.batch with
+      | Some b when channel_safe t sid && delivered t sid msg ->
+          (* Coalesce: the message is verified on the switch; one barrier
+             at [end_batch] acknowledges it together with every other
+             deferred message for this switch. Not enqueued as pending, so
+             later sends in the batch keep transmitting immediately —
+             exactly as they would after a synchronous ack. *)
+          b.deferred <- (sid, msg) :: b.deferred
+      | Some _ | None -> (
+          let barrier_xid, acked = barrier_probe t sid in
+          if acked && delivered t sid msg then begin
+            t.n_acks <- t.n_acks + 1;
+            with_metrics t Metrics.incr_barrier_acks;
+            t.notify (Obs.Hub.Acked { sw = sid; xid = msg.Message.xid })
+          end
+          else enqueue t sid msg ~sent:true barrier_xid));
       replies
     end
   else Net.send ?from:t.from t.net sid msg
+
+let begin_batch t = if t.batch = None then t.batch <- Some { deferred = [] }
+
+let end_batch t =
+  match t.batch with
+  | None -> ()
+  | Some b ->
+      t.batch <- None;
+      let deferred = List.rev b.deferred in
+      (* One barrier per touched switch, in ascending switch order —
+         deterministic regardless of how sends interleaved. *)
+      let sids =
+        List.sort_uniq compare (List.map (fun (sid, _) -> sid) deferred)
+      in
+      List.iter
+        (fun sid ->
+          let msgs =
+            List.filter_map
+              (fun (s, m) -> if s = sid then Some m else None)
+              deferred
+          in
+          let barrier_xid, acked = barrier_probe t sid in
+          List.iter
+            (fun (msg : Message.t) ->
+              if acked && delivered t sid msg then begin
+                t.n_acks <- t.n_acks + 1;
+                with_metrics t Metrics.incr_barrier_acks;
+                t.notify (Obs.Hub.Acked { sw = sid; xid = msg.Message.xid })
+              end
+              else
+                (* Defensive: the channel was declared safe when the
+                   message went out, so this means the switch itself went
+                   away mid-batch. Hand the message to the ordinary
+                   retransmission machinery. *)
+                enqueue t sid msg ~sent:true barrier_xid)
+            msgs)
+        sids
 
 let probe_interval t = t.cfg.base_timeout *. 8.
 

@@ -79,6 +79,28 @@ val tick : t -> unit
 (** Retransmit every pending message whose backoff deadline has passed,
     against the network clock. Call once per scheduler step. *)
 
+(** {1 Batched barrier coalescing}
+
+    Between {!begin_batch} and {!end_batch}, a state-altering send whose
+    channel is fault-free (no loss, no reply loss, no duplication, no
+    delay, not partitioned) and whose delivery is verified on the switch
+    skips its per-message barrier chase; {!end_batch} closes all such
+    deferred messages with one barrier per touched switch (ascending
+    switch order). On any other channel the send follows the exact
+    sequential protocol — same bytes, same RNG draws, same pending-queue
+    transitions — so batching is observationally invisible except for the
+    number of barrier messages on fault-free channels. *)
+
+val begin_batch : t -> unit
+(** Enter batch mode. Idempotent; no effect if already in a batch. *)
+
+val end_batch : t -> unit
+(** Leave batch mode and settle every deferred message: one
+    [Barrier_request] per touched switch acknowledges them all; any
+    message the probe cannot confirm (switch vanished mid-batch) is
+    handed to the ordinary retransmission queue. No-op outside a
+    batch. *)
+
 val observe : t -> Netsim.Net.notification -> unit
 (** Feed every polled notification through here (before or after normal
     ingestion — the layer only reads). Barrier replies acknowledge pending

@@ -10,11 +10,14 @@ type breach =
 let unlimited = { max_state_bytes = None; max_commands_per_event = None }
 
 let check limits ~state_bytes ~commands_emitted =
+  (* [state_bytes] is a thunk: measuring it means serializing the whole
+     application state, so it is only forced when a limit is set. *)
   let state =
     match limits.max_state_bytes with
-    | Some limit when state_bytes > limit ->
-        [ State_too_large { used = state_bytes; limit } ]
-    | Some _ | None -> []
+    | Some limit ->
+        let used = state_bytes () in
+        if used > limit then [ State_too_large { used; limit } ] else []
+    | None -> []
   in
   let commands =
     match limits.max_commands_per_event with

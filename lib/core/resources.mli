@@ -20,7 +20,10 @@ type breach =
 val unlimited : limits
 
 val check :
-  limits -> state_bytes:int -> commands_emitted:int -> breach list
-(** Every limit the measurements exceed. *)
+  limits -> state_bytes:(unit -> int) -> commands_emitted:int -> breach list
+(** Every limit the measurements exceed. [state_bytes] is forced only
+    when [max_state_bytes] is set: measuring it serializes the entire
+    application state, far too expensive for the per-event hot path when
+    no limit is being enforced. *)
 
 val describe : breach -> string

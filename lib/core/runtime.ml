@@ -14,6 +14,12 @@ type cluster_config = {
 let default_cluster_config =
   { replicas = 1; election_lo = 0.15; election_hi = 0.3 }
 
+type dispatch_mode =
+  | Sequential
+  | Sharded of { shards : int; max_batch : int }
+
+let default_sharded = Sharded { shards = 8; max_batch = 64 }
+
 type config = {
   checkpoint_every : int;
   checkpoint_mode : ckpt_mode;
@@ -21,6 +27,7 @@ type config = {
   engine : engine_kind;
   reliable : Reliable.config;
   cluster : cluster_config;
+  dispatch : dispatch_mode;
 }
 
 let default_config =
@@ -31,6 +38,7 @@ let default_config =
     engine = Netlog_engine;
     reliable = Reliable.default_config;
     cluster = default_cluster_config;
+    dispatch = Sequential;
   }
 
 type t = {
@@ -48,6 +56,7 @@ type t = {
   mutable reply_backlog : (string * Event.t) list;
   mutable n_events : int;
   mutable n_shed : int;
+  queue : Dispatch.t option;  (* Some iff cfg.dispatch is Sharded *)
   obs_hub : Obs.Hub.t;
   tracer_cell : Obs.Tracer.t ref;
   mutable tap_sub : Obs.Hub.subscription option;
@@ -168,16 +177,32 @@ let create ?(config = default_config) ?xid_base ?controller_id
                })
           ()
   in
+  let boxes =
+    List.map
+      (fun m ->
+        Sandbox.create ~ckpt:(make_ckpt ())
+          ~checkpoint_every:config.checkpoint_every m)
+      modules
+  in
+  let queue =
+    match config.dispatch with
+    | Sequential -> None
+    | Sharded { shards; max_batch } ->
+        if shards <= 0 then invalid_arg "Runtime.create: shards <= 0";
+        if max_batch <= 0 then invalid_arg "Runtime.create: max_batch <= 0";
+        (* The sharded engine also switches the RPC boundary to the
+           reusable codec buffers; the sequential engine keeps the
+           fresh-allocation path as the executable specification. *)
+        List.iter
+          (fun b -> Sandbox.set_scratch b (Some (Wire.scratch ())))
+          boxes;
+        Some (Dispatch.create ~shards)
+  in
   {
     network;
     services_state = Services.create (Net.clock network) (Net.topology network);
     context_services = None;
-    boxes =
-      List.map
-        (fun m ->
-          Sandbox.create ~ckpt:(make_ckpt ())
-            ~checkpoint_every:config.checkpoint_every m)
-        modules;
+    boxes;
     netlog_instance;
     reliable_layer;
     engine;
@@ -188,6 +213,7 @@ let create ?(config = default_config) ?xid_base ?controller_id
     reply_backlog = [];
     n_events = 0;
     n_shed = 0;
+    queue;
     obs_hub;
     tracer_cell;
     tap_sub = None;
@@ -280,17 +306,23 @@ let deps t : Crashpad.deps =
     tracer = !(t.tracer_cell);
   }
 
-let rec drain_replies t =
+let rec drain_replies ?cfg t =
+  let cfg = match cfg with Some c -> c | None -> t.cfg.crashpad in
   match t.reply_backlog with
   | [] -> ()
   | (app, ev) :: rest ->
       t.reply_backlog <- rest;
       (match sandbox t app with
-      | Some box -> Crashpad.dispatch t.cfg.crashpad (deps t) box ev
+      | Some box -> Crashpad.dispatch cfg (deps t) box ev
       | None -> ());
-      drain_replies t
+      drain_replies ~cfg t
 
-let dispatch_event t event =
+(* The per-event delivery pipeline, shared verbatim by both engines:
+   everything inside the [Event_root] span is what "dispatch one event"
+   means. The engines differ only in what surrounds it — per-event
+   barrier chases and checkpoints (sequential) versus per-batch ones
+   (sharded). *)
+let dispatch_with t cfg deps event =
   t.n_events <- t.n_events + 1;
   let tracer = !(t.tracer_cell) in
   let attrs =
@@ -301,10 +333,77 @@ let dispatch_event t event =
   Obs.Tracer.with_span tracer ~attrs Obs.Span.Event_root (fun () ->
       Obs.Hub.emit t.obs_hub (Obs.Hub.Dispatched event);
       Metrics.incr_events t.metrics_store;
-      List.iter
-        (fun box -> Crashpad.dispatch t.cfg.crashpad (deps t) box event)
-        t.boxes;
-      drain_replies t)
+      List.iter (fun box -> Crashpad.dispatch cfg deps box event) t.boxes;
+      drain_replies ~cfg t)
+
+let dispatch_event t event = dispatch_with t t.cfg.crashpad (deps t) event
+
+(* Checkpoints may be amortized to one per batch only when the cadence is
+   deterministic per event (Every 1): then the sequential engine's journal
+   is provably empty at every delivery, the batched journal only ever
+   spans the current batch, and — because services never ingest while a
+   batch is dispatching — replaying that journal under the frozen context
+   reproduces the original state transitions exactly. Both engines
+   therefore recover precisely the state before the crashing event. With
+   k > 1 or the adaptive cadence the journal may span polls, where
+   sequential replay already runs under a context the events were not
+   delivered under; the sharded engine then mirrors the per-event
+   [Sandbox.prepare] to stay byte-equivalent. *)
+let batch_amortizes_checkpoints t =
+  t.cfg.checkpoint_every = 1 && t.cfg.checkpoint_mode <> Ckpt_delta_adaptive
+
+(* Dispatch one batch (arrival order, shard-annotated). One
+   [Reliable] batch brackets the whole thing, so flow-mods to a
+   fault-free switch share a single barrier; contiguous same-shard runs
+   get a [Shard_dispatch] span under the [Batch_root]. *)
+let dispatch_batch t batch =
+  match batch with
+  | [] -> ()
+  | _ ->
+      (match t.reliable_layer with
+      | Some rel -> Reliable.begin_batch rel
+      | None -> ());
+      let tracer = !(t.tracer_cell) in
+      let attrs =
+        if Obs.Tracer.enabled tracer then
+          [ ("events", string_of_int (List.length batch)) ]
+        else []
+      in
+      Obs.Tracer.with_span tracer ~attrs Obs.Span.Batch_root (fun () ->
+          let cfg =
+            if batch_amortizes_checkpoints t then begin
+              List.iter (fun box -> Sandbox.prepare ~tracer box) t.boxes;
+              { t.cfg.crashpad with Crashpad.batched_checkpoints = true }
+            end
+            else t.cfg.crashpad
+          in
+          let deps = deps t in
+          let rec runs = function
+            | [] -> ()
+            | (shard, ev) :: rest ->
+                let same, rest =
+                  let rec split acc = function
+                    | (s, e) :: tl when s = shard -> split (e :: acc) tl
+                    | tl -> (List.rev acc, tl)
+                  in
+                  split [ ev ] rest
+                in
+                let attrs =
+                  if Obs.Tracer.enabled tracer then
+                    [
+                      ("shard", string_of_int shard);
+                      ("events", string_of_int (List.length same));
+                    ]
+                  else []
+                in
+                Obs.Tracer.with_span tracer ~attrs Obs.Span.Shard_dispatch
+                  (fun () -> List.iter (dispatch_with t cfg deps) same);
+                runs rest
+          in
+          runs batch);
+      (match t.reliable_layer with
+      | Some rel -> Reliable.end_batch rel
+      | None -> ())
 
 (* Drain-until-quiet with a broadcast-storm guard, mirroring
    Monolithic.step so the two architectures process identical event
@@ -329,10 +428,7 @@ let poll_events t =
       observe_reliable t notifications;
       List.concat_map (Services.ingest t.services_state) notifications
 
-let step t =
-  (match t.reliable_layer with
-  | Some rel -> Reliable.tick rel
-  | None -> ());
+let step_sequential t =
   let budget = ref storm_guard_events in
   let rec go () =
     match poll_events t with
@@ -351,11 +447,66 @@ let step t =
   in
   go ()
 
+(* Identical poll-round structure and shedding arithmetic as
+   [step_sequential]: each poll round's events are enqueued, then drained
+   to empty before polling again — so batches never mix poll rounds'
+   descendants out of order, and the budget decrements once per
+   dispatched event exactly as the sequential loop does. *)
+let step_sharded t q max_batch =
+  let budget = ref storm_guard_events in
+  let rec drain () =
+    if Dispatch.length q > 0 then
+      if !budget > 0 then begin
+        let batch = Dispatch.next_batch q ~max_batch:(min max_batch !budget) in
+        dispatch_batch t batch;
+        budget := !budget - List.length batch;
+        drain ()
+      end
+      else begin
+        t.n_shed <- t.n_shed + Dispatch.length q;
+        Dispatch.clear q
+      end
+  in
+  let rec go () =
+    match poll_events t with
+    | [] -> ()
+    | events ->
+        List.iter (Dispatch.push q) events;
+        drain ();
+        if !budget > 0 then go ()
+        else t.n_shed <- t.n_shed + List.length (Net.poll t.network)
+  in
+  go ()
+
+let step t =
+  (match t.reliable_layer with
+  | Some rel -> Reliable.tick rel
+  | None -> ());
+  match (t.queue, t.cfg.dispatch) with
+  | Some q, Sharded { max_batch; _ } -> step_sharded t q max_batch
+  | _ -> step_sequential t
+
 let tick t =
   (match t.reliable_layer with
   | Some rel -> Reliable.tick rel
   | None -> ());
-  dispatch_event t (Event.Tick (now t))
+  let ev = Event.Tick (now t) in
+  match t.queue with
+  | None -> dispatch_event t ev
+  | Some q ->
+      (* Through the engine, so the Tick is subject to the same
+         batch-barrier rule as a queued one. The queue is empty here
+         ([step] always drains it), so the Tick forms a singleton batch —
+         the sequential dispatch, batched. *)
+      Dispatch.push q ev;
+      let rec drain () =
+        match Dispatch.next_batch q ~max_batch:max_int with
+        | [] -> ()
+        | batch ->
+            dispatch_batch t batch;
+            drain ()
+      in
+      drain ()
 
 let upgrade_controller t =
   (* Platform restart: controller-side state is rebuilt from the network;

@@ -38,6 +38,30 @@ type cluster_config = {
 val default_cluster_config : cluster_config
 (** 1 replica, timeouts drawn from [0.15, 0.3). *)
 
+(** How {!step} turns polled events into Crash-Pad deliveries.
+
+    [Sequential] is the executable specification: one event at a time,
+    each with its own barrier chase and (at k = 1) its own checkpoint.
+
+    [Sharded] partitions events across [shards] FIFO queues by a
+    (switch, flow-key) hash and dispatches them in batches of up to
+    [max_batch]: the queues are drained by a minimum-arrival-sequence
+    merge (so dispatch order is {e exactly} arrival order regardless of
+    shard count), flow-mods to fault-free switches are acknowledged by
+    one barrier per switch per batch ({!Reliable.begin_batch}),
+    checkpoints amortize to one per sandbox per batch when the cadence
+    permits, and the sandbox RPC boundary reuses codec buffers
+    ({!Sandbox.set_scratch}). [Tick] events act as batch barriers. The
+    two modes are observationally equivalent — same final flow tables,
+    shadow intent, NetLog journal and semantic metrics on the same event
+    stream — which [test/t_dispatch.ml] checks differentially. *)
+type dispatch_mode =
+  | Sequential
+  | Sharded of { shards : int; max_batch : int }
+
+val default_sharded : dispatch_mode
+(** [Sharded {shards = 8; max_batch = 64}]. *)
+
 type config = {
   checkpoint_every : int;  (** k: checkpoint every k events (§5). *)
   checkpoint_mode : ckpt_mode;
@@ -46,11 +70,12 @@ type config = {
   reliable : Reliable.config;
       (** Southbound reliable-delivery settings (NetLog engine only). *)
   cluster : cluster_config;
+  dispatch : dispatch_mode;
 }
 
 val default_config : config
 (** k = 1, full checkpoints, Crash-Pad defaults, NetLog engine, reliable
-    delivery on, single controller. *)
+    delivery on, single controller, sequential dispatch. *)
 
 type t
 
@@ -76,7 +101,9 @@ val create :
     transaction engine. *)
 
 val step : t -> unit
-(** Drain southbound notifications and dispatch the resulting events. *)
+(** Drain southbound notifications and dispatch the resulting events,
+    through whichever engine {!config.dispatch} selects. Both engines
+    share the poll-round structure and the broadcast-storm guard. *)
 
 val poll_events : t -> Event.t list
 (** One poll round of {!step} without the dispatch: drain currently queued
@@ -86,7 +113,16 @@ val poll_events : t -> Event.t list
     yields events that logically follow the undispatched ones. *)
 
 val dispatch_event : t -> Event.t -> unit
+(** Deliver one event through the {e sequential} pipeline regardless of
+    {!config.dispatch} — this is the per-event specification both engines
+    share, and the entry point the cluster layer uses to dispatch
+    committed log entries one at a time (commit-gating interposes between
+    observation and dispatch, so batching happens upstream of it). *)
+
 val tick : t -> unit
+(** Advance the reliable layer and deliver a [Tick] event. Under sharded
+    dispatch the [Tick] flows through the engine as a singleton batch —
+    a [Tick] is a batch barrier, never grouped with other events. *)
 
 val upgrade_controller : t -> unit
 (** Simulate a controller upgrade (§3.4): platform state (services) is torn

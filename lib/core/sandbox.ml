@@ -13,6 +13,7 @@ type t = {
   mutable n_events : int;
   mutable n_crashes : int;
   mutable n_rpc_bytes : int;
+  mutable scratch : Wire.scratch option;
 }
 
 let create ?ckpt ~checkpoint_every m =
@@ -27,7 +28,14 @@ let create ?ckpt ~checkpoint_every m =
     n_events = 0;
     n_crashes = 0;
     n_rpc_bytes = 0;
+    scratch = None;
   }
+
+(* Install (or remove) a reusable codec buffer for the RPC boundary. The
+   sharded engine installs one per sandbox; the sequential engine keeps
+   the fresh-allocation path, staying the executable specification the
+   scratch path is tested against. *)
+let set_scratch t s = t.scratch <- s
 
 let name t = App_sig.name t.inst
 let subscribes_to t kind = App_sig.subscribes_to t.inst kind
@@ -63,14 +71,26 @@ let prepare ?(tracer = Obs.Tracer.noop) t =
 
 (* One hop of the proxy->stub RPC: bytes out, bytes back in. *)
 let ship_event t ev =
-  let b = Wire.encode_event ev in
-  t.n_rpc_bytes <- t.n_rpc_bytes + Bytes.length b;
-  Wire.decode_event b
+  match t.scratch with
+  | Some s ->
+      let ev', n = Wire.roundtrip_event_scratch s ev in
+      t.n_rpc_bytes <- t.n_rpc_bytes + n;
+      ev'
+  | None ->
+      let b = Wire.encode_event ev in
+      t.n_rpc_bytes <- t.n_rpc_bytes + Bytes.length b;
+      Wire.decode_event b
 
 let ship_commands t cmds =
-  let b = Wire.encode_commands cmds in
-  t.n_rpc_bytes <- t.n_rpc_bytes + Bytes.length b;
-  Wire.decode_commands b
+  match t.scratch with
+  | Some s ->
+      let cmds', n = Wire.roundtrip_commands_scratch s cmds in
+      t.n_rpc_bytes <- t.n_rpc_bytes + n;
+      cmds'
+  | None ->
+      let b = Wire.encode_commands cmds in
+      t.n_rpc_bytes <- t.n_rpc_bytes + Bytes.length b;
+      Wire.decode_commands b
 
 let deliver t ctx ev =
   let ev = ship_event t ev in

@@ -32,6 +32,13 @@ val create : ?ckpt:Checkpoint.t -> checkpoint_every:int -> (module App_sig.APP) 
 val name : t -> string
 val subscribes_to : t -> Event.kind -> bool
 
+val set_scratch : t -> Wire.scratch option -> unit
+(** Install ([Some]) or remove ([None]) a reusable codec buffer for the
+    RPC boundary: {!Wire.roundtrip_event_scratch} replaces the
+    fresh-allocation ship path. Byte-stream and error behaviour are
+    identical (see {!Wire.scratch}); only allocation changes. The sharded
+    dispatch engine installs one per sandbox. *)
+
 val alive : t -> bool
 
 val disable : t -> unit

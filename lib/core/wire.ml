@@ -11,10 +11,30 @@ let put_message w msg =
   Buf.u16 w (Bytes.length b);
   Buf.raw w b
 
+(* Scratch-path twin of [put_message]: same bytes (length prefix then
+   frame), no intermediate buffer. The length is back-patched once the
+   frame is in place. *)
+let put_message_into w msg =
+  let lenpos = Buf.length w in
+  Buf.u16 w 0;
+  Codec.encode_into w msg;
+  Buf.patch_u16 w ~pos:lenpos (Buf.length w - lenpos - 2)
+
 let get_message r =
   let n = Buf.read_u16 r in
   let b = Buf.read_raw r n in
   try Codec.decode b
+  with Codec.Decode_error e -> fail "embedded message: %s" e
+
+(* Scratch-path twin of [get_message]: the embedded frame is decoded
+   through a shared-store window instead of a copied sub-buffer. Torn
+   frames surface identically: a short window raises [Buf.Underflow] from
+   [sub_reader] exactly where [read_raw] would, and an internally
+   truncated frame yields the same [Decode_error] text. *)
+let get_message_at r =
+  let n = Buf.read_u16 r in
+  let sub = Buf.sub_reader r n in
+  try Codec.decode_at sub
   with Codec.Decode_error e -> fail "embedded message: %s" e
 
 let put_link w (l : Event.link) =
@@ -30,20 +50,22 @@ let get_link r : Event.link =
   let dst_port = Buf.read_u16 r in
   { src_switch; src_port; dst_switch; dst_port }
 
-let encode_event (ev : Event.t) =
-  let w = Buf.writer ~capacity:64 () in
-  (match ev with
+(* [embed] is how message-shaped payloads reach the buffer: the fresh
+   path encodes to an intermediate [bytes], the scratch path appends in
+   place. Both produce the same stream. *)
+let put_event ~embed w (ev : Event.t) =
+  match ev with
   | Event.Switch_up (sid, features) ->
       Buf.u8 w 0;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Features_reply features))
+      embed w (Message.message (Message.Features_reply features))
   | Event.Switch_down sid ->
       Buf.u8 w 1;
       Buf.u32 w sid
   | Event.Port_status (sid, reason, desc) ->
       Buf.u8 w 2;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Port_status (reason, desc)))
+      embed w (Message.message (Message.Port_status (reason, desc)))
   | Event.Link_up l ->
       Buf.u8 w 3;
       put_link w l
@@ -53,33 +75,36 @@ let encode_event (ev : Event.t) =
   | Event.Packet_in (sid, pi) ->
       Buf.u8 w 5;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Packet_in pi))
+      embed w (Message.message (Message.Packet_in pi))
   | Event.Flow_removed (sid, fr) ->
       Buf.u8 w 6;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Flow_removed fr))
+      embed w (Message.message (Message.Flow_removed fr))
   | Event.Stats_reply (sid, xid, sr) ->
       Buf.u8 w 7;
       Buf.u32 w sid;
-      put_message w (Message.message ~xid (Message.Stats_reply sr))
+      embed w (Message.message ~xid (Message.Stats_reply sr))
   | Event.Tick now ->
       Buf.u8 w 8;
-      Buf.u64 w (Int64.bits_of_float now));
+      Buf.u64 w (Int64.bits_of_float now)
+
+let encode_event (ev : Event.t) =
+  let w = Buf.writer ~capacity:64 () in
+  put_event ~embed:put_message w ev;
   Buf.contents w
 
-let decode_event b =
-  let r = Buf.reader b in
+let get_event ~get_msg r =
   try
     match Buf.read_u8 r with
     | 0 -> (
         let sid = Buf.read_u32 r in
-        match (get_message r).Message.payload with
+        match (get_msg r).Message.payload with
         | Message.Features_reply f -> Event.Switch_up (sid, f)
         | _ -> fail "switch_up: embedded message is not features_reply")
     | 1 -> Event.Switch_down (Buf.read_u32 r)
     | 2 -> (
         let sid = Buf.read_u32 r in
-        match (get_message r).Message.payload with
+        match (get_msg r).Message.payload with
         | Message.Port_status (reason, desc) ->
             Event.Port_status (sid, reason, desc)
         | _ -> fail "port_status: bad embedded message")
@@ -87,17 +112,17 @@ let decode_event b =
     | 4 -> Event.Link_down (get_link r)
     | 5 -> (
         let sid = Buf.read_u32 r in
-        match (get_message r).Message.payload with
+        match (get_msg r).Message.payload with
         | Message.Packet_in pi -> Event.Packet_in (sid, pi)
         | _ -> fail "packet_in: bad embedded message")
     | 6 -> (
         let sid = Buf.read_u32 r in
-        match (get_message r).Message.payload with
+        match (get_msg r).Message.payload with
         | Message.Flow_removed fr -> Event.Flow_removed (sid, fr)
         | _ -> fail "flow_removed: bad embedded message")
     | 7 -> (
         let sid = Buf.read_u32 r in
-        let msg = get_message r in
+        let msg = get_msg r in
         match msg.Message.payload with
         | Message.Stats_reply sr -> Event.Stats_reply (sid, msg.Message.xid, sr)
         | _ -> fail "stats_reply: bad embedded message")
@@ -105,20 +130,24 @@ let decode_event b =
     | n -> fail "unknown event tag %d" n
   with Buf.Underflow -> fail "truncated event"
 
-let put_command w (cmd : Command.t) =
+let decode_event b = get_event ~get_msg:get_message (Buf.reader b)
+
+let decode_event_at r = get_event ~get_msg:get_message_at r
+
+let put_command ~embed w (cmd : Command.t) =
   match cmd with
   | Command.Flow (sid, fm) ->
       Buf.u8 w 0;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Flow_mod fm))
+      embed w (Message.message (Message.Flow_mod fm))
   | Command.Packet (sid, po) ->
       Buf.u8 w 1;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Packet_out po))
+      embed w (Message.message (Message.Packet_out po))
   | Command.Stats (sid, sr) ->
       Buf.u8 w 2;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Stats_request sr))
+      embed w (Message.message (Message.Stats_request sr))
   | Command.Log s ->
       Buf.u8 w 3;
       Buf.u16 w (String.length s);
@@ -126,23 +155,23 @@ let put_command w (cmd : Command.t) =
   | Command.Port (sid, pm) ->
       Buf.u8 w 4;
       Buf.u32 w sid;
-      put_message w (Message.message (Message.Port_mod pm))
+      embed w (Message.message (Message.Port_mod pm))
 
-let get_command r : Command.t =
+let get_command ~get_msg r : Command.t =
   match Buf.read_u8 r with
   | 0 -> (
       let sid = Buf.read_u32 r in
-      match (get_message r).Message.payload with
+      match (get_msg r).Message.payload with
       | Message.Flow_mod fm -> Command.Flow (sid, fm)
       | _ -> fail "flow command: bad embedded message")
   | 1 -> (
       let sid = Buf.read_u32 r in
-      match (get_message r).Message.payload with
+      match (get_msg r).Message.payload with
       | Message.Packet_out po -> Command.Packet (sid, po)
       | _ -> fail "packet command: bad embedded message")
   | 2 -> (
       let sid = Buf.read_u32 r in
-      match (get_message r).Message.payload with
+      match (get_msg r).Message.payload with
       | Message.Stats_request sr -> Command.Stats (sid, sr)
       | _ -> fail "stats command: bad embedded message")
   | 3 ->
@@ -150,31 +179,37 @@ let get_command r : Command.t =
       Command.Log (Bytes.to_string (Buf.read_raw r n))
   | 4 -> (
       let sid = Buf.read_u32 r in
-      match (get_message r).Message.payload with
+      match (get_msg r).Message.payload with
       | Message.Port_mod pm -> Command.Port (sid, pm)
       | _ -> fail "port command: bad embedded message")
   | n -> fail "unknown command tag %d" n
 
 let encode_command cmd =
   let w = Buf.writer ~capacity:64 () in
-  put_command w cmd;
+  put_command ~embed:put_message w cmd;
   Buf.contents w
 
 let decode_command b =
-  try get_command (Buf.reader b)
+  try get_command ~get_msg:get_message (Buf.reader b)
   with Buf.Underflow -> fail "truncated command"
 
 let encode_commands cmds =
   let w = Buf.writer ~capacity:128 () in
   Buf.u16 w (List.length cmds);
-  List.iter (put_command w) cmds;
+  List.iter (put_command ~embed:put_message w) cmds;
   Buf.contents w
 
 let decode_commands b =
   try
     let r = Buf.reader b in
     let n = Buf.read_u16 r in
-    List.init n (fun _ -> get_command r)
+    List.init n (fun _ -> get_command ~get_msg:get_message r)
+  with Buf.Underflow -> fail "truncated command list"
+
+let decode_commands_at r =
+  try
+    let n = Buf.read_u16 r in
+    List.init n (fun _ -> get_command ~get_msg:get_message_at r)
   with Buf.Underflow -> fail "truncated command list"
 
 let event_size ev = Bytes.length (encode_event ev)
@@ -182,3 +217,32 @@ let commands_size cmds = Bytes.length (encode_commands cmds)
 
 let roundtrip_event ev = decode_event (encode_event ev)
 let roundtrip_commands cmds = decode_commands (encode_commands cmds)
+
+(* The allocation-free hot path: one scratch buffer per RPC channel,
+   rewound (not reallocated) per message. After warm-up the only
+   allocations left in a ship are the decoded values themselves. *)
+type scratch = { sw : Buf.writer }
+
+let scratch ?(capacity = 512) () = { sw = Buf.writer ~capacity () }
+
+let encode_event_into s ev =
+  Buf.reset s.sw;
+  put_event ~embed:put_message_into s.sw ev;
+  Buf.length s.sw
+
+let encode_commands_into s cmds =
+  Buf.reset s.sw;
+  Buf.u16 s.sw (List.length cmds);
+  List.iter (put_command ~embed:put_message_into s.sw) cmds;
+  Buf.length s.sw
+
+let roundtrip_event_scratch s ev =
+  let n = encode_event_into s ev in
+  (decode_event_at (Buf.reader_of_writer s.sw), n)
+
+let roundtrip_commands_scratch s cmds =
+  let n = encode_commands_into s cmds in
+  (decode_commands_at (Buf.reader_of_writer s.sw), n)
+
+(* Test hook: the exact bytes the scratch path produced, as a copy. *)
+let scratch_contents s = Buf.contents s.sw

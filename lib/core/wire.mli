@@ -25,3 +25,39 @@ val roundtrip_event : Controller.Event.t -> Controller.Event.t
 (** [decode_event (encode_event e)] — one hop across the boundary. *)
 
 val roundtrip_commands : Controller.Command.t list -> Controller.Command.t list
+
+(** {1 Reusable-buffer path}
+
+    The fresh-allocation functions above allocate a writer, an
+    intermediate [bytes] per embedded message, and a copy of the final
+    frame — per ship. A {!scratch} carries one writer that is rewound
+    (never reallocated, once grown) between ships, and decodes through
+    zero-copy windows over the same backing store. The byte stream and
+    the decode behaviour (including torn-frame errors) are identical to
+    the fresh path; the qcheck equality properties in [test/t_wire.ml]
+    and [test/t_codec.ml] are the evidence. *)
+
+type scratch
+
+val scratch : ?capacity:int -> unit -> scratch
+(** A fresh scratch buffer (default initial capacity 512 bytes). Not
+    shareable across concurrent ships — one per RPC channel. *)
+
+val roundtrip_event_scratch :
+  scratch -> Controller.Event.t -> Controller.Event.t * int
+(** One hop across the boundary through the scratch buffer; also returns
+    the encoded size (the bytes that crossed). *)
+
+val roundtrip_commands_scratch :
+  scratch -> Controller.Command.t list -> Controller.Command.t list * int
+
+val decode_event_at : Openflow.Buf.reader -> Controller.Event.t
+(** Decode directly from a reader window (no sub-buffer copies). Same
+    result and same [Decode_error]s as {!decode_event} on the windowed
+    bytes. *)
+
+val decode_commands_at : Openflow.Buf.reader -> Controller.Command.t list
+
+val scratch_contents : scratch -> bytes
+(** Copy of the bytes most recently encoded into the scratch — for
+    equality tests against the fresh path. *)

@@ -16,6 +16,8 @@ type kind =
   | Replicate
   | State_transfer
   | Failover
+  | Batch_root
+  | Shard_dispatch
 
 let all_kinds =
   [
@@ -36,6 +38,8 @@ let all_kinds =
     Replicate;
     State_transfer;
     Failover;
+    Batch_root;
+    Shard_dispatch;
   ]
 
 let kind_name = function
@@ -56,6 +60,8 @@ let kind_name = function
   | Replicate -> "replicate"
   | State_transfer -> "xfer"
   | Failover -> "failover"
+  | Batch_root -> "batch"
+  | Shard_dispatch -> "shard"
 
 let kind_of_name name =
   List.find_opt (fun k -> kind_name k = name) all_kinds

@@ -26,6 +26,9 @@ type kind =
   | Replicate  (** Majority-commit of one replicated log entry. *)
   | State_transfer  (** Incremental replica state transfer (chunk shipping). *)
   | Failover  (** A standby taking over as leader after a kill. *)
+  | Batch_root  (** One batch through the sharded dispatch engine. *)
+  | Shard_dispatch
+      (** A contiguous run of same-shard events inside a batch. *)
 
 val all_kinds : kind list
 

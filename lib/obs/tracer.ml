@@ -43,6 +43,8 @@ let kind_index : Span.kind -> int = function
   | Span.Replicate -> 14
   | Span.State_transfer -> 15
   | Span.Failover -> 16
+  | Span.Batch_root -> 17
+  | Span.Shard_dispatch -> 18
 
 let create ?(capacity = 65536) ?wall ~now () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity <= 0";

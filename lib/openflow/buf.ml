@@ -56,6 +56,11 @@ let patch_u16 w ~pos v =
 
 let contents w = Bytes.sub w.data 0 w.len
 
+(* Rewind without releasing the backing store: the buffer keeps its
+   high-water-mark capacity, so a reused writer stops allocating once it
+   has seen its largest frame. *)
+let reset w = w.len <- 0
+
 type reader = { src : Bytes.t; limit : int; mutable cur : int; start : int }
 
 exception Underflow
@@ -108,3 +113,17 @@ let read_raw r n =
 let skip r n =
   check r n;
   r.cur <- r.cur + n
+
+(* A window over the next [n] bytes, consumed from the parent. Shares the
+   parent's backing store — no copy — so embedded length-prefixed frames
+   decode without the [read_raw] allocation. *)
+let sub_reader r n =
+  check r n;
+  let s = { src = r.src; limit = r.cur + n; cur = r.cur; start = r.cur } in
+  r.cur <- r.cur + n;
+  s
+
+(* Zero-copy read-back of a writer: the reader borrows the writer's
+   backing store. The borrow is only valid until the next write or
+   [reset] — writes can grow (replace) the buffer under the reader. *)
+let reader_of_writer w = { src = w.data; limit = w.len; cur = 0; start = 0 }

@@ -44,6 +44,12 @@ val patch_u16 : writer -> pos:int -> int -> unit
 val contents : writer -> bytes
 (** A copy of everything written so far. *)
 
+val reset : writer -> unit
+(** Rewind to empty without releasing the backing store: a reused writer
+    keeps its high-water-mark capacity and stops allocating once it has
+    grown to its largest frame. The hot-path codec scratch buffers are
+    built on this. *)
+
 (** {1 Reading} *)
 
 type reader
@@ -72,3 +78,14 @@ val read_raw : reader -> int -> bytes
 
 val skip : reader -> int -> unit
 (** Advance the cursor by [n] bytes. *)
+
+val sub_reader : reader -> int -> reader
+(** [sub_reader r n] consumes the next [n] bytes of [r] and returns a
+    reader windowed onto exactly those bytes, sharing the backing store
+    (no copy). Raises {!Underflow} if fewer than [n] bytes remain — the
+    same torn-frame behaviour as [read_raw]. *)
+
+val reader_of_writer : writer -> reader
+(** A zero-copy reader over everything written so far. The reader borrows
+    the writer's backing store: it is valid only until the next write or
+    {!reset} on the writer. *)

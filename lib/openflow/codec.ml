@@ -418,14 +418,21 @@ let get_body typ r : Message.payload =
   end
   else fail "unknown message type %d" typ
 
-let encode (m : Message.t) =
-  let w = Buf.writer ~capacity:128 () in
+(* Append one frame at the writer's current position. The header length
+   field is relative to the frame start, so frames embedded mid-buffer
+   carry the same bytes a standalone [encode] would produce. *)
+let encode_into w (m : Message.t) =
+  let base = Buf.length w in
   Buf.u8 w version;
   Buf.u8 w (type_of_payload m.payload);
   Buf.u16 w 0 (* length, patched below *);
   Buf.u32 w m.xid;
   put_body w m.payload;
-  Buf.patch_u16 w ~pos:2 (Buf.length w);
+  Buf.patch_u16 w ~pos:(base + 2) (Buf.length w - base)
+
+let encode (m : Message.t) =
+  let w = Buf.writer ~capacity:128 () in
+  encode_into w m;
   Buf.contents w
 
 let decode_at r : Message.t =

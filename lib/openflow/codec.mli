@@ -12,6 +12,12 @@ exception Decode_error of string
 val encode : Message.t -> bytes
 (** Serialize a message to a wire frame. *)
 
+val encode_into : Buf.writer -> Message.t -> unit
+(** Append the frame to an existing writer instead of allocating a fresh
+    buffer — the reusable-scratch path of the AppVisor RPC codec. The
+    frame bytes are identical to {!encode}'s regardless of what precedes
+    them in the writer (the header length field is frame-relative). *)
+
 val decode : bytes -> Message.t
 (** Parse one frame. Raises {!Decode_error} on malformed input. *)
 

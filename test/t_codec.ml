@@ -176,6 +176,34 @@ let test_truncated () =
        false
      with Codec.Decode_error _ -> true)
 
+(* [encode_into] patches the frame length relative to where the frame
+   begins, so encoding onto a dirty writer (the scratch path) appends
+   exactly the bytes [encode] would produce into a fresh one. *)
+let test_encode_into_dirty_writer () =
+  let w = Openflow.Buf.writer ~capacity:8 () in
+  Openflow.Buf.raw w (Bytes.of_string "dirty-prefix");
+  let msgs =
+    [
+      Message.message Message.Hello;
+      Message.message ~xid:9 (Message.Features_reply features);
+      Message.message ~xid:77 (Message.Packet_out
+        { po_buffer_id = None; po_in_port = None;
+          po_actions = [ Openflow.Action.Output 2 ];
+          po_packet = Some (T_util.tcp_packet 1 2) });
+    ]
+  in
+  List.iter
+    (fun msg ->
+      let base = Openflow.Buf.length w in
+      Codec.encode_into w msg;
+      let appended =
+        Bytes.sub (Openflow.Buf.contents w) base (Openflow.Buf.length w - base)
+      in
+      T_util.checkb "appended bytes = fresh encode" true
+        (Bytes.equal appended (Codec.encode msg));
+      T_util.checkb "appended frame decodes" true (Codec.decode appended = msg))
+    msgs
+
 let prop_flow_mod_roundtrip =
   QCheck2.Test.make ~name:"flow_mod messages roundtrip" ~count:500
     T_util.Gen.flow_mod (fun fm ->
@@ -210,6 +238,8 @@ let suite =
     Alcotest.test_case "wire header" `Quick test_header_fields;
     Alcotest.test_case "bad version" `Quick test_bad_version;
     Alcotest.test_case "truncated body" `Quick test_truncated;
+    Alcotest.test_case "encode_into dirty writer" `Quick
+      test_encode_into_dirty_writer;
     QCheck_alcotest.to_alcotest prop_flow_mod_roundtrip;
     QCheck_alcotest.to_alcotest prop_packet_in_roundtrip;
   ]

@@ -116,6 +116,7 @@ let config_equiv (a : Runtime.config) (b : Runtime.config) =
   && a.Runtime.crashpad.Crashpad.limits = b.Runtime.crashpad.Crashpad.limits
   && a.Runtime.reliable = b.Runtime.reliable
   && a.Runtime.cluster = b.Runtime.cluster
+  && a.Runtime.dispatch = b.Runtime.dispatch
   && Option.map Quarantine.threshold a.Runtime.crashpad.Crashpad.quarantine
      = Option.map Quarantine.threshold b.Runtime.crashpad.Crashpad.quarantine
 
@@ -169,10 +170,19 @@ let config_gen =
        only an equality for values it prints exactly. *)
     let* election_lo = oneofl [ 0.05; 0.1; 0.15; 0.2 ] in
     let* election_hi = oneofl [ 0.25; 0.3; 0.4 ] in
+    let* dispatch =
+      oneofl
+        [
+          Runtime.Sequential;
+          Runtime.default_sharded;
+          Runtime.Sharded { shards = 3; max_batch = 7 };
+        ]
+    in
     return
       {
         Runtime.checkpoint_every = k;
         checkpoint_mode = mode;
+        dispatch;
         engine;
         cluster = { Runtime.replicas; election_lo; election_hi };
         reliable =
@@ -194,6 +204,7 @@ let config_gen =
               };
             quarantine =
               Option.map (fun t -> Quarantine.create ~threshold:t ()) quarantine;
+            batched_checkpoints = false;
           };
       })
 

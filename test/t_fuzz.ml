@@ -81,6 +81,35 @@ let test_reproducer_roundtrip_and_replay () =
   T_util.checkb "same oracle fails on replay" true r.Repro.reproduced;
   T_util.checkb "replay trace byte-identical" true r.Repro.same_trace
 
+(* Dispatch mode is an execution parameter, not part of the reproducer
+   format: a reproducer recorded under the sequential engine must replay
+   byte-for-byte under the sharded engine, and vice versa — determinism
+   across engines, not merely within one. *)
+let test_reproducer_replays_across_engines () =
+  let sharded = Legosdn.Runtime.default_sharded in
+  (* Recorded sequential, replayed sharded... *)
+  let f = find_planted () in
+  let repro = Repro.decode (Repro.encode (Fuzz.reproducer_of f)) in
+  let r = Repro.replay ~dispatch:sharded repro in
+  T_util.checkb "seq-recorded reproduces under sharded" true
+    r.Repro.reproduced;
+  T_util.checkb "seq-recorded trace identical under sharded" true
+    r.Repro.same_trace;
+  (* ...and recorded sharded, replayed sequential. *)
+  match
+    (Fuzz.campaign ~plant:Fuzz.No_retransmit ~dispatch:sharded
+       ~max_findings:1 (seeds 0 10))
+      .Fuzz.findings
+  with
+  | [] -> Alcotest.fail "planted defect not found under sharded dispatch"
+  | f :: _ ->
+      let repro = Repro.decode (Repro.encode (Fuzz.reproducer_of f)) in
+      let r = Repro.replay repro in
+      T_util.checkb "sharded-recorded reproduces under seq" true
+        r.Repro.reproduced;
+      T_util.checkb "sharded-recorded trace identical under seq" true
+        r.Repro.same_trace
+
 let suite =
   [
     Alcotest.test_case "spec codec roundtrip" `Quick test_spec_codec_roundtrip;
@@ -93,4 +122,6 @@ let suite =
       test_planted_bug_found_and_shrunk;
     Alcotest.test_case "reproducer roundtrip and replay" `Slow
       test_reproducer_roundtrip_and_replay;
+    Alcotest.test_case "reproducer replays across engines" `Slow
+      test_reproducer_replays_across_engines;
   ]

@@ -158,14 +158,23 @@ let test_metrics_mark_down_idempotent () =
 let test_resources_unlimited () =
   Alcotest.(check int) "no breaches" 0
     (List.length
-       (Resources.check Resources.unlimited ~state_bytes:max_int
-          ~commands_emitted:max_int))
+       (Resources.check Resources.unlimited
+          ~state_bytes:(fun () -> max_int)
+          ~commands_emitted:max_int));
+  (* With no state limit the (expensive) measurement is never taken. *)
+  Alcotest.(check int) "state size not measured when unlimited" 0
+    (List.length
+       (Resources.check Resources.unlimited
+          ~state_bytes:(fun () -> Alcotest.fail "state_bytes forced")
+          ~commands_emitted:0))
 
 let test_resources_both_breached () =
   let limits =
     { Resources.max_state_bytes = Some 10; max_commands_per_event = Some 1 }
   in
-  let breaches = Resources.check limits ~state_bytes:11 ~commands_emitted:2 in
+  let breaches =
+    Resources.check limits ~state_bytes:(fun () -> 11) ~commands_emitted:2
+  in
   T_util.checki "both breached" 2 (List.length breaches);
   T_util.checkb "descriptions render" true
     (List.for_all (fun b -> String.length (Resources.describe b) > 0) breaches)
@@ -175,7 +184,8 @@ let test_resources_boundary () =
     { Resources.max_state_bytes = Some 10; max_commands_per_event = Some 5 }
   in
   T_util.checki "at the limit is fine" 0
-    (List.length (Resources.check limits ~state_bytes:10 ~commands_emitted:5))
+    (List.length
+       (Resources.check limits ~state_bytes:(fun () -> 10) ~commands_emitted:5))
 
 (* ---- tickets ---- *)
 

@@ -110,6 +110,92 @@ let prop_packet_in_roundtrip =
       in
       Wire.roundtrip_event ev = ev)
 
+(* ------------------------------------------------------------------ *)
+(* The reusable-buffer (scratch) path: the sharded engine's RPC
+   boundary. Must be byte-identical to the fresh-allocation path for
+   every message kind, on a buffer deliberately dirtied by previous
+   encodes — and must reject torn frames at every truncation boundary
+   exactly as the fresh path does. *)
+
+let test_scratch_bytes_equal_fresh () =
+  let s = Wire.scratch ~capacity:8 () in
+  (* One scratch across the whole sample set, so each encode runs on a
+     buffer still holding the previous event's bytes. *)
+  List.iter
+    (fun ev ->
+      let got, n = Wire.roundtrip_event_scratch s ev in
+      Alcotest.check T_util.event_t "scratch roundtrip value" ev got;
+      T_util.checki "scratch size = fresh size" (Wire.event_size ev) n;
+      T_util.checkb "scratch bytes = fresh bytes" true
+        (Bytes.equal (Wire.scratch_contents s) (Wire.encode_event ev)))
+    sample_events;
+  let got, n = Wire.roundtrip_commands_scratch s sample_commands in
+  Alcotest.(check (list T_util.command_t)) "scratch command list" sample_commands got;
+  T_util.checkb "scratch command bytes = fresh bytes" true
+    (Bytes.equal (Wire.scratch_contents s) (Wire.encode_commands sample_commands));
+  T_util.checki "scratch command size = fresh size"
+    (Bytes.length (Wire.encode_commands sample_commands))
+    n;
+  let _, n_empty = Wire.roundtrip_commands_scratch s [] in
+  T_util.checkb "empty command list encodes" true (n_empty > 0)
+
+let decode_error f =
+  try
+    ignore (f ());
+    false
+  with Wire.Decode_error _ -> true
+
+let test_torn_frames_equal_fresh () =
+  (* Truncate every event's encoding at every byte boundary: both decode
+     paths must reject every prefix (short read / torn frame) and accept
+     only the full frame. *)
+  List.iter
+    (fun ev ->
+      let full = Wire.encode_event ev in
+      for cut = 0 to Bytes.length full - 1 do
+        let torn = Bytes.sub full 0 cut in
+        let fresh_rejects = decode_error (fun () -> Wire.decode_event torn) in
+        let windowed_rejects =
+          decode_error (fun () -> Wire.decode_event_at (Buf.reader torn))
+        in
+        T_util.checkb
+          (Printf.sprintf "cut at %d/%d rejected by both paths" cut
+             (Bytes.length full))
+          true
+          (fresh_rejects && windowed_rejects)
+      done;
+      T_util.checkb "full frame accepted by windowed path" true
+        (Wire.decode_event_at (Buf.reader full) = ev))
+    sample_events;
+  let full = Wire.encode_commands sample_commands in
+  for cut = 0 to Bytes.length full - 1 do
+    let torn = Bytes.sub full 0 cut in
+    T_util.checkb "torn command list rejected by both paths" true
+      (decode_error (fun () -> Wire.decode_commands torn)
+      && decode_error (fun () -> Wire.decode_commands_at (Buf.reader torn)))
+  done
+
+let prop_scratch_equals_fresh =
+  (* One shared scratch across all cases: every case reuses the dirty
+     buffer of the previous one. *)
+  let s = Wire.scratch () in
+  QCheck2.Test.make ~name:"scratch path == fresh path for any packet_in"
+    ~count:300 T_util.Gen.packet (fun p ->
+      let ev =
+        Event.Packet_in
+          ( 3,
+            {
+              Message.pi_buffer_id = Some 7;
+              pi_in_port = 5;
+              pi_reason = Message.No_match;
+              pi_packet = p;
+            } )
+      in
+      let got, n = Wire.roundtrip_event_scratch s ev in
+      got = ev
+      && n = Wire.event_size ev
+      && Bytes.equal (Wire.scratch_contents s) (Wire.encode_event ev))
+
 let prop_flow_commands_roundtrip =
   QCheck2.Test.make ~name:"flow commands roundtrip for any flow_mod" ~count:300
     T_util.Gen.flow_mod (fun fm ->
@@ -123,6 +209,11 @@ let suite =
     Alcotest.test_case "command list roundtrip" `Quick test_command_list_roundtrip;
     Alcotest.test_case "sizes positive" `Quick test_sizes_are_positive;
     Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+    Alcotest.test_case "scratch bytes equal fresh" `Quick
+      test_scratch_bytes_equal_fresh;
+    Alcotest.test_case "torn frames equal fresh" `Quick
+      test_torn_frames_equal_fresh;
     QCheck_alcotest.to_alcotest prop_packet_in_roundtrip;
+    QCheck_alcotest.to_alcotest prop_scratch_equals_fresh;
     QCheck_alcotest.to_alcotest prop_flow_commands_roundtrip;
   ]
