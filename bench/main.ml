@@ -820,13 +820,216 @@ let bench_dispatch () =
 
 (* ------------------------------------------------------------------ *)
 
+(* E26 — scale to fat-tree k=16. Three sub-experiments:
+
+   - match-storage interning: install one dl_dst rule per (switch, host)
+     pair of a k=16 fabric (320 x 1024 entries sharing 1024 distinct
+     patterns) through the production path (Flow_entry.make ->
+     Flow_table.add), then measure the heap reachable from the stored
+     patterns with interning on vs off. The ratio is the fabric-wide
+     match-storage saving (budget: >= 4x).
+   - bounded trace cache: a trace-driven learning-switch campaign on a
+     k=4 fat-tree with a deliberately tiny [trace_cache_budget], sampling
+     the inv-trace-cache-bytes gauge after every step. Evictions > 0 and
+     peak <= budget show the cache holds memory flat under load.
+   - trace-driven flood throughput at k = 4 / 8 / 16: the ARP-responder
+     harness of E25 (gratuitous warm-up, no data-plane amplification),
+     but with the request order drawn from a Trace_gen plan — heavy-tailed
+     bursts over a diurnal curve, the load shape big fabrics actually see.
+     Live-words deltas per world and events-per-step counters land in the
+     derived section; events/sec per k is computed from the fitted
+     ns/run. *)
+
+let scale_stats : (string * float) list ref = ref []
+
+let match_storage_words ~interned k =
+  let was = Openflow.Ofp_match.interning_enabled () in
+  Openflow.Ofp_match.set_interning interned;
+  Fun.protect
+    ~finally:(fun () -> Openflow.Ofp_match.set_interning was)
+    (fun () ->
+      let topo = Topo_gen.fat_tree k in
+      let switches = Topology.switches topo in
+      let hosts = Topology.hosts topo in
+      let tables =
+        List.map
+          (fun _ ->
+            let table = Flow_table.create () in
+            List.iter
+              (fun h ->
+                Flow_table.add table
+                  (Flow_entry.make ~priority:10 ~now:0.
+                     (Openflow.Ofp_match.make
+                        ~dl_dst:(Openflow.Types.mac_of_host h)
+                        ())
+                     [ Openflow.Action.Output 1 ]))
+              hosts;
+            table)
+          switches
+      in
+      let patterns =
+        Array.of_list
+          (List.concat_map
+             (fun table ->
+               List.map
+                 (fun e -> e.Flow_entry.pattern)
+                 (Flow_table.entries table))
+             tables)
+      in
+      (* [reachable_words] counts shared blocks once, so interned tables
+         charge each distinct pattern a single time. *)
+      (Array.length patterns, Obj.reachable_words (Obj.repr patterns)))
+
+let bounded_cache_campaign () =
+  let budget = 65_536 in
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.fat_tree 4) in
+  let hosts = Topology.hosts (Net.topology net) in
+  let config =
+    {
+      Runtime.default_config with
+      Runtime.trace_cache_budget = Some budget;
+      Runtime.dispatch = Runtime.default_sharded;
+    }
+  in
+  (* STP first so the learning switch works on a loop-free overlay. *)
+  let rt =
+    Runtime.create ~config net
+      [ (module Apps.Spanning_tree); (module Apps.Learning_switch) ]
+  in
+  Runtime.step rt;
+  let w =
+    {
+      Runtime.default_workload_config with
+      Runtime.w_seed = 42;
+      Runtime.w_rate = 60.;
+      Runtime.w_churn = 0.1;
+    }
+  in
+  let injections =
+    Workload.Trace_gen.injections ~config:w ~hosts ~duration:8. ()
+  in
+  let m = Runtime.metrics rt in
+  let peak = ref 0 in
+  List.iter
+    (fun i ->
+      Clock.advance_by clock
+        (Float.max 0. (i.Workload.Traffic.at -. Clock.now clock));
+      Net.tick net;
+      Net.inject net i.Workload.Traffic.src i.Workload.Traffic.packet;
+      Runtime.step rt;
+      peak := max !peak (Legosdn.Metrics.inv_cache_bytes m))
+    injections;
+  [
+    ("scale-trace-cache-budget-bytes", float_of_int budget);
+    ("scale-trace-cache-peak-bytes", float_of_int !peak);
+    ( "scale-trace-cache-evictions",
+      float_of_int (Legosdn.Metrics.inv_evictions m) );
+  ]
+
+let scale_world k =
+  let clock = Clock.create () in
+  let net = Net.create clock (Topo_gen.fat_tree k) in
+  let hosts = Array.of_list (Topology.hosts (Net.topology net)) in
+  let config =
+    { Runtime.default_config with Runtime.dispatch = Runtime.default_sharded }
+  in
+  let rt = Runtime.create ~config net [ (module Apps.Arp_responder) ] in
+  Runtime.step rt;
+  (* Gratuitous replies teach the responder every binding without the
+     broadcast storm an unknown-address request would start (see E25). *)
+  let gratuitous j =
+    Openflow.Packet.make ~dl_type:Openflow.Packet.ethertype_arp ~nw_proto:2
+      ~dl_src:(Openflow.Types.mac_of_host j)
+      ~dl_dst:Openflow.Types.mac_broadcast
+      ~nw_src:(Openflow.Types.ip_of_host j)
+      ~nw_dst:(Openflow.Types.ip_of_host j) ~tp_src:0 ~tp_dst:0
+      ~payload_len:28 ()
+  in
+  Array.iter
+    (fun src ->
+      Net.inject net src (gratuitous src);
+      Runtime.step rt)
+    hosts;
+  (* The drive replays a Trace_gen plan as ARP requests for known
+     addresses: heavy-tailed src/dst bursts, every packet-in answered by
+     one unicast packet-out. *)
+  let w =
+    {
+      Runtime.default_workload_config with
+      Runtime.w_seed = k;
+      Runtime.w_rate = 200.;
+    }
+  in
+  let plan =
+    Workload.Trace_gen.plan ~config:w ~hosts:(Array.to_list hosts)
+      ~duration:30. ()
+  in
+  let flows = Array.of_list plan.Workload.Trace_gen.flows in
+  let nf = Array.length flows in
+  assert (nf > 0);
+  let burst = 32 in
+  let cursor = ref 0 in
+  let drive () =
+    for _ = 1 to burst do
+      let f = flows.(!cursor mod nf) in
+      incr cursor;
+      Net.inject net f.Workload.Traffic.src_host
+        (Openflow.Packet.arp_request ~src_host:f.Workload.Traffic.src_host
+           ~dst_host:f.Workload.Traffic.dst_host)
+    done;
+    Runtime.step rt
+  in
+  (rt, drive)
+
+let live_words () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words
+
+let bench_scale () =
+  scale_stats := [];
+  let entries, interned_words = match_storage_words ~interned:true 16 in
+  let _, fresh_words = match_storage_words ~interned:false 16 in
+  scale_stats :=
+    [
+      ("scale-match-entries", float_of_int entries);
+      ("scale-match-words-interned", float_of_int interned_words);
+      ("scale-match-words-fresh", float_of_int fresh_words);
+      ( "scale-match-intern-ratio",
+        float_of_int fresh_words /. float_of_int interned_words );
+    ]
+    @ bounded_cache_campaign ();
+  List.map
+    (fun k ->
+      let before = live_words () in
+      let rt, drive = scale_world k in
+      let after = live_words () in
+      for _ = 1 to 3 do
+        drive ()
+      done;
+      let ev_before = Runtime.events_processed rt in
+      drive ();
+      scale_stats :=
+        !scale_stats
+        @ [
+            ( Printf.sprintf "scale-live-words-k%d" k,
+              float_of_int (after - before) );
+            ( Printf.sprintf "scale-flood-events-per-step-k%d" k,
+              float_of_int (Runtime.events_processed rt - ev_before) );
+          ];
+      Test.make
+        ~name:(Printf.sprintf "trace-step-fat-tree-k%d" k)
+        (Staged.stage drive))
+    [ 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+
 type row = { group : string; test : string; ns_per_run : float; r2 : float }
 
 (* All measurement progress goes to stderr so that stdout carries nothing
    but the JSON when [--json -] is used (and so that [--json FILE] runs
    can be piped or captured without interleaved progress lines). *)
-let run_group ~quota (experiment, title, tests) =
-  Printf.eprintf "\n### %s — %s\n%!" experiment title;
+let measure_group ~quota (experiment, tests) =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -847,7 +1050,6 @@ let run_group ~quota (experiment, title, tests) =
          let r2 =
            match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
          in
-         Printf.eprintf "  %-42s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2;
          (* Bechamel reports "<group>/<test>"; keep the bare test name so
             consumers can address tests without knowing their cluster. *)
          let prefix = experiment ^ "/" in
@@ -860,6 +1062,44 @@ let run_group ~quota (experiment, title, tests) =
            else name
          in
          { group = experiment; test; ns_per_run = estimate; r2 })
+
+(* A noisy OLS fit (low r²) means the reported slope is not trustworthy:
+   re-measure the whole group with a doubled quota (more samples damp
+   scheduler noise and GC jitter) and keep the best fit per test, up to
+   three attempts. Groups that still miss [min_r2] are reported with a
+   warning — the JSON carries the honest r² either way, and CI asserts on
+   it for the groups it consumes. *)
+let run_group ~quota ~min_r2 (experiment, title, tests) =
+  Printf.eprintf "\n### %s — %s\n%!" experiment title;
+  let acceptable r = Float.is_nan r.r2 || r.r2 >= min_r2 in
+  let better a b = if Float.is_nan b.r2 || a.r2 >= b.r2 then a else b in
+  let merge best rows =
+    List.map
+      (fun r ->
+        match List.find_opt (fun b -> b.test = r.test) best with
+        | Some b -> better r b
+        | None -> r)
+      rows
+  in
+  let rec attempt q tries best =
+    let rows = measure_group ~quota:q (experiment, tests) in
+    let best = merge best rows in
+    if List.for_all acceptable best || tries >= 3 then best
+    else begin
+      Printf.eprintf
+        "  (noisy fit: r² < %.2f — re-measuring with quota %.2fs)\n%!" min_r2
+        (q *. 2.);
+      attempt (q *. 2.) (tries + 1) best
+    end
+  in
+  let rows = attempt quota 1 [] in
+  List.iter
+    (fun r ->
+      Printf.eprintf "  %-42s %14.1f ns/run   (r²=%.3f)%s\n%!"
+        (r.group ^ "/" ^ r.test) r.ns_per_run r.r2
+        (if acceptable r then "" else "   [below --min-r2]"))
+    rows;
+  rows
 
 (* Hand-rolled JSON (no json library in the tree): the grammar here is
    numbers and [A-Za-z0-9._+-] names, so escaping is just strings. *)
@@ -934,10 +1174,24 @@ let write_json path rows =
      (empty unless that cluster ran). *)
   let derived =
     derived
+    @ List.filter_map
+        (fun k ->
+          match
+            ( find_ns rows (Printf.sprintf "trace-step-fat-tree-k%d" k),
+              List.assoc_opt
+                (Printf.sprintf "scale-flood-events-per-step-k%d" k)
+                !scale_stats )
+          with
+          | Some ns, Some ev when ns > 0. && not (Float.is_nan ns) ->
+              Some
+                (Printf.sprintf "    \"scale-events-per-sec-k%d\": %.2f" k
+                   (ev *. 1e9 /. ns))
+          | _ -> None)
+        [ 4; 8; 16 ]
     @ List.map
         (fun (key, v) ->
           Printf.sprintf "    \"%s\": %.2f" (json_escape key) v)
-        (!ckpt_stats @ !failover_stats @ !dispatch_stats)
+        (!ckpt_stats @ !failover_stats @ !dispatch_stats @ !scale_stats)
   in
   output_string oc (String.concat ",\n" derived);
   output_string oc "\n  }\n}\n";
@@ -968,12 +1222,15 @@ let groups () =
      bench_failover);
     ("dispatch", "sequential vs sharded/batched event dispatch (E25)",
      bench_dispatch);
+    ("scale", "fat-tree k=16: interned matches, bounded cache, trace load (E26)",
+     bench_scale);
   ]
 
 let () =
   let json_path = ref "" in
   let only = ref "" in
   let quota = ref 0.25 in
+  let min_r2 = ref 0.95 in
   Arg.parse
     [
       ("--json", Arg.Set_string json_path,
@@ -982,9 +1239,12 @@ let () =
        "GROUP  run only the named cluster (e.g. invariants, E4)");
       ("--quota", Arg.Set_float quota,
        "SECONDS  per-test measurement budget (default 0.25)");
+      ("--min-r2", Arg.Set_float min_r2,
+       "R  re-measure groups whose OLS fit has r-square below R \
+        (default 0.95; 0 disables)");
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--only GROUP] [--quota SECONDS] [--json FILE]";
+    "bench [--only GROUP] [--quota SECONDS] [--min-r2 R] [--json FILE]";
   Printf.eprintf "LegoSDN benchmark harness (see EXPERIMENTS.md for the index)\n";
   let selected =
     if !only = "" then groups ()
@@ -996,5 +1256,7 @@ let () =
           exit 2
       | gs -> gs
   in
-  let rows = List.concat_map (run_group ~quota:!quota) selected in
+  let rows =
+    List.concat_map (run_group ~quota:!quota ~min_r2:!min_r2) selected
+  in
   if !json_path <> "" then write_json !json_path rows

@@ -25,7 +25,7 @@ let parse_topology s =
       (false,
        Printf.sprintf
          "cannot parse topology %S (expected linear:N, ring:N, star:N, \
-          tree:D:F, mesh:N or random:SEED:N:EXTRA)"
+          tree:D:F, mesh:N, fat-tree:K or random:SEED:N:EXTRA)"
          s)
   in
   match String.split_on_char ':' s with
@@ -38,6 +38,7 @@ let parse_topology s =
           Topo_gen.tree ~hosts_per_leaf:1 ~depth:(int_of_string d)
             ~fanout:(int_of_string f) ())
   | [ "mesh"; n ] -> `Ok (fun () -> Topo_gen.mesh ~hosts_per_switch:1 (int_of_string n))
+  | [ "fat-tree"; k ] -> `Ok (fun () -> Topo_gen.fat_tree (int_of_string k))
   | [ "random"; seed; n; extra ] ->
       `Ok
         (fun () ->
@@ -88,8 +89,8 @@ let read_file path =
 
 (* ---------------- the run command ---------------- *)
 
-let run_scenario make_topology arch app_names bug policy_file config_file duration
-    trace_out trace_buffer delta_ckpt verbose =
+let run_scenario make_topology arch app_names bug policy_file config_file
+    workload_flag duration trace_out trace_buffer delta_ckpt verbose =
   let apps =
     List.filter_map
       (fun name ->
@@ -148,12 +149,31 @@ let run_scenario make_topology arch app_names bug policy_file config_file durati
   in
   let probe_topo = make_topology () in
   let hosts = Topology.hosts probe_topo in
-  let traffic =
-    Traffic.schedule
-      (Traffic.all_pairs_once ~hosts ~start:0.3 ~spacing:0.1
-      @ Traffic.uniform_pairs ~seed:7 ~hosts ~flows:(10 * List.length hosts)
-          ~duration ())
+  (* --workload overrides the config file; absent both, the classic
+     all-pairs + uniform mix. Trace-driven load is the only mix that
+     scales to big fabrics: all-pairs is quadratic in hosts (a fat-tree
+     k=16 has 1024 hosts, i.e. ~10^6 pairs). *)
+  let workload_cfg =
+    match (workload_flag, config.Runtime.workload) with
+    | Some `Trace, Some w -> Some w
+    | Some `Trace, None -> Some Runtime.default_workload_config
+    | Some `Pairs, _ -> None
+    | None, w -> w
   in
+  let traffic =
+    match workload_cfg with
+    | Some w ->
+        Workload.Trace_gen.injections ~config:w ~hosts ~duration ()
+    | None ->
+        Traffic.schedule
+          (Traffic.all_pairs_once ~hosts ~start:0.3 ~spacing:0.1
+          @ Traffic.uniform_pairs ~seed:7 ~hosts
+              ~flows:(10 * List.length hosts) ~duration ())
+  in
+  if verbose then
+    Printf.printf "traffic: %d injection(s) (%s workload)\n"
+      (List.length traffic)
+      (match workload_cfg with Some _ -> "trace-driven" | None -> "all-pairs");
   let scenario =
     Scenario.make ~make_topology ~duration ~traffic ~tick_interval:1.
       ~restart_delay:10. ()
@@ -390,7 +410,20 @@ let topo_arg =
   Arg.(value
        & opt topo_conv (fun () -> Topo_gen.linear ~hosts_per_switch:1 3)
        & info [ "topo" ] ~docv:"TOPO"
-           ~doc:"Topology: linear:N, ring:N, star:N, tree:D:F, mesh:N, random:SEED:N:EXTRA.")
+           ~doc:"Topology: linear:N, ring:N, star:N, tree:D:F, mesh:N, \
+                 fat-tree:K, random:SEED:N:EXTRA.")
+
+let workload_arg =
+  Arg.(value
+       & opt (some (enum [ ("pairs", `Pairs); ("trace", `Trace) ])) None
+       & info [ "workload" ] ~docv:"KIND"
+           ~doc:"Traffic mix: $(b,pairs) (every host pair once plus uniform \
+                 random flows; quadratic in hosts) or $(b,trace) \
+                 (trace-driven heavy-tailed load with diurnal shape and \
+                 host churn; the only mix that scales to fat-tree:16). \
+                 Overrides the $(b,workload) directive of \
+                 $(b,--config-file); defaults to that directive, else \
+                 pairs.")
 
 let arch_arg =
   Arg.(value
@@ -457,8 +490,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret
             (const run_scenario $ topo_arg $ arch_arg $ apps_arg $ bug_arg
-             $ policy_arg $ config_arg $ duration_arg $ trace_out_arg
-             $ trace_buffer_arg $ delta_ckpt_arg $ verbose_arg))
+             $ policy_arg $ config_arg $ workload_arg $ duration_arg
+             $ trace_out_arg $ trace_buffer_arg $ delta_ckpt_arg
+             $ verbose_arg))
 
 let check_policy_cmd =
   let doc = "Parse and echo a Crash-Pad policy file" in

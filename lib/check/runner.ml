@@ -67,6 +67,11 @@ let build_topology = function
       Topo_gen.tree ~hosts_per_leaf:1 ~depth:(max 0 depth)
         ~fanout:(max 1 fanout) ()
   | Spec.Ring n -> Topo_gen.ring ~hosts_per_switch:1 (max 3 n)
+  | Spec.Fat_tree k ->
+      (* Clamp to an even k within Topo_gen's port-range cap so a decoded
+         spec can never abort the run. *)
+      let k = min 128 (max 2 (k land lnot 1)) in
+      Topo_gen.fat_tree k
 
 (* Index resolution: every element reference is taken modulo the size of
    the set it names, so shrinking (or hand-editing) a spec can never
@@ -223,6 +228,12 @@ let config_of ?(dispatch = Runtime.Sequential) spec =
         election_lo = spec.Spec.election_lo;
         election_hi = spec.Spec.election_hi;
       };
+    (* Execution parameters, like [dispatch]: a reproducer's verdict must
+       not depend on them. The budget only changes cache residency, and
+       generated workloads are expanded into concrete Flow elements before
+       a spec is ever serialized. *)
+    trace_cache_budget = None;
+    workload = None;
   }
 
 let has_kill spec =

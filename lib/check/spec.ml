@@ -14,6 +14,7 @@ type topo =
   | Star of int
   | Tree of { depth : int; fanout : int }
   | Ring of int
+  | Fat_tree of int
 
 type element =
   | Flow of { src : int; dst : int; start : float; packets : int; dport : int }
@@ -59,6 +60,7 @@ let topo_name = function
   | Star n -> Printf.sprintf "star:%d" n
   | Tree { depth; fanout } -> Printf.sprintf "tree:%d:%d" depth fanout
   | Ring n -> Printf.sprintf "ring:%d" n
+  | Fat_tree k -> Printf.sprintf "fat-tree:%d" k
 
 let element_summary = function
   | Flow { src; dst; start; packets; dport } ->
@@ -130,6 +132,9 @@ let put_topo w = function
   | Ring n ->
       Buf.u8 w 3;
       Buf.u16 w n
+  | Fat_tree k ->
+      Buf.u8 w 4;
+      Buf.u16 w k
 
 let get_topo r =
   match Buf.read_u8 r with
@@ -140,6 +145,7 @@ let get_topo r =
       let fanout = Buf.read_u16 r in
       Tree { depth; fanout }
   | 3 -> Ring (Buf.read_u16 r)
+  | 4 -> Fat_tree (Buf.read_u16 r)
   | k -> fail "unknown topology tag %d" k
 
 let put_element w = function

@@ -56,6 +56,8 @@ type builder = {
   mutable reliable : Reliable.config;
   mutable cluster : Runtime.cluster_config;
   mutable dispatch : Runtime.dispatch_mode;
+  mutable trace_cache_budget : int option;
+  mutable workload : Runtime.workload_config option;
 }
 
 let fresh_builder () =
@@ -72,6 +74,8 @@ let fresh_builder () =
     reliable = Runtime.default_config.Runtime.reliable;
     cluster = Runtime.default_config.Runtime.cluster;
     dispatch = Runtime.default_config.Runtime.dispatch;
+    trace_cache_budget = Runtime.default_config.Runtime.trace_cache_budget;
+    workload = Runtime.default_config.Runtime.workload;
   }
 
 let add_invariant b inv =
@@ -113,6 +117,46 @@ let directive b lineno toks =
           b.dispatch <- Runtime.Sharded { shards; max_batch };
           Ok ()
       | _ -> err "bad dispatch directive (need shards >= 1, batch >= 1)")
+  | [ "trace-cache"; "budget"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+          b.trace_cache_budget <- Some n;
+          Ok ()
+      | _ -> err (Printf.sprintf "bad trace-cache budget %S (bytes > 0)" n))
+  | [ "trace-cache"; "unbounded" ] ->
+      b.trace_cache_budget <- None;
+      Ok ()
+  | [ "workload"; "trace" ] ->
+      b.workload <- Some Runtime.default_workload_config;
+      Ok ()
+  | [
+      "workload"; "trace"; "seed"; seed; "rate"; rate; "alpha"; alpha;
+      "diurnal"; diurnal; "period"; period; "churn"; churn;
+    ] -> (
+      match
+        ( int_of_string_opt seed,
+          float_of_string_opt rate,
+          float_of_string_opt alpha,
+          float_of_string_opt diurnal,
+          float_of_string_opt period,
+          float_of_string_opt churn )
+      with
+      | ( Some w_seed,
+          Some w_rate,
+          Some w_alpha,
+          Some w_diurnal,
+          Some w_period,
+          Some w_churn )
+        when w_rate > 0. && w_alpha > 1. && w_diurnal >= 0.
+             && w_diurnal <= 1. && w_period > 0. && w_churn >= 0. ->
+          b.workload <-
+            Some
+              { Runtime.w_seed; w_rate; w_alpha; w_diurnal; w_period; w_churn };
+          Ok ()
+      | _ ->
+          err
+            "bad workload directive (need rate > 0, alpha > 1, diurnal in \
+             [0,1], period > 0, churn >= 0)")
   | [ "engine"; "netlog" ] ->
       b.engine <- Runtime.Netlog_engine;
       Ok ()
@@ -263,6 +307,8 @@ let parse text =
           reliable = b.reliable;
           cluster = b.cluster;
           dispatch = b.dispatch;
+          trace_cache_budget = b.trace_cache_budget;
+          workload = b.workload;
           crashpad =
             {
               Crashpad.policy =
@@ -301,6 +347,15 @@ let print (config : Runtime.config) =
   | Runtime.Sequential -> line "dispatch seq"
   | Runtime.Sharded { shards; max_batch } ->
       line "dispatch sharded shards %d batch %d" shards max_batch);
+  (match config.Runtime.trace_cache_budget with
+  | Some n -> line "trace-cache budget %d" n
+  | None -> ());
+  (match config.Runtime.workload with
+  | Some w ->
+      line "workload trace seed %d rate %g alpha %g diurnal %g period %g churn %g"
+        w.Runtime.w_seed w.Runtime.w_rate w.Runtime.w_alpha
+        w.Runtime.w_diurnal w.Runtime.w_period w.Runtime.w_churn
+  | None -> ());
   let rel = config.Runtime.reliable in
   line "reliable %s timeout %g retries %d"
     (if rel.Reliable.enabled then "on" else "off")

@@ -16,6 +16,9 @@
     checkpoint mode delta                # or: full | delta-adaptive
     engine netlog                        # or: delay-buffer
     dispatch sharded shards 8 batch 64   # or: dispatch seq | dispatch sharded
+    trace-cache budget 1048576           # bytes; or: trace-cache unbounded
+    workload trace seed 7 rate 40 alpha 1.5 diurnal 0.5 period 60 churn 0.1
+                                         # or bare: workload trace (defaults)
     quarantine threshold 2               # absent = quarantine off
     heartbeat interval 0.1 misses 3
     rpc timeout 0.05

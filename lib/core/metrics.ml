@@ -38,6 +38,7 @@ type t = {
   n_inv_invalidations : counter;
   n_inv_recaptures : counter;
   n_inv_memoized : counter;
+  n_inv_evictions : counter;
   n_ckpts : counter;
   n_ckpt_restores : counter;
   n_ckpt_hits : counter;
@@ -45,6 +46,9 @@ type t = {
   n_ckpt_deduped : counter;
   n_ckpt_written : counter;
   n_cc_evictions : counter;
+  (* Pre-registered gauge: the incremental checker's resident trace-cache
+     bytes, updated from the runtime's eviction observer. *)
+  g_inv_cache_bytes : gauge;
   outages : (string, app_outage) Hashtbl.t;
 }
 
@@ -88,6 +92,7 @@ let create () =
       n_inv_invalidations = { c_name = "inv-invalidations"; c_value = 0 };
       n_inv_recaptures = { c_name = "inv-recaptures"; c_value = 0 };
       n_inv_memoized = { c_name = "inv-memoized"; c_value = 0 };
+      n_inv_evictions = { c_name = "inv-evictions"; c_value = 0 };
       n_ckpts = { c_name = "checkpoints"; c_value = 0 };
       n_ckpt_restores = { c_name = "ckpt-restores"; c_value = 0 };
       n_ckpt_hits = { c_name = "ckpt-chunk-hits"; c_value = 0 };
@@ -95,6 +100,8 @@ let create () =
       n_ckpt_deduped = { c_name = "ckpt-bytes-deduped"; c_value = 0 };
       n_ckpt_written = { c_name = "ckpt-bytes-written"; c_value = 0 };
       n_cc_evictions = { c_name = "counter-cache-evictions"; c_value = 0 };
+      g_inv_cache_bytes =
+        { g_name = "inv-trace-cache-bytes"; g_value = 0. };
       outages = Hashtbl.create 8;
     }
   in
@@ -106,10 +113,12 @@ let create () =
       t.n_resource; t.n_quarantined; t.n_suppressed; t.n_retransmits;
       t.n_barrier_acks; t.n_resyncs; t.n_resynced_rules; t.n_unreachable;
       t.n_inv_hits; t.n_inv_misses; t.n_inv_invalidations;
-      t.n_inv_recaptures; t.n_inv_memoized; t.n_ckpts; t.n_ckpt_restores;
+      t.n_inv_recaptures; t.n_inv_memoized; t.n_inv_evictions;
+      t.n_ckpts; t.n_ckpt_restores;
       t.n_ckpt_hits; t.n_ckpt_misses; t.n_ckpt_deduped; t.n_ckpt_written;
       t.n_cc_evictions;
     ];
+  register t t.g_inv_cache_bytes.g_name (Gauge t.g_inv_cache_bytes);
   t
 
 (* ---------------- registry API ---------------- *)
@@ -194,6 +203,8 @@ let incr_inv_trace_miss t = incr t.n_inv_misses
 let incr_inv_invalidation t = incr t.n_inv_invalidations
 let incr_inv_recapture t = incr t.n_inv_recaptures
 let incr_inv_memoized t = incr t.n_inv_memoized
+let incr_inv_eviction t = incr t.n_inv_evictions
+let set_inv_cache_bytes t bytes = set t.g_inv_cache_bytes (float_of_int bytes)
 let incr_checkpoint t = incr t.n_ckpts
 let incr_ckpt_restore t = incr t.n_ckpt_restores
 let add_ckpt_chunk_hits t n = add t.n_ckpt_hits n
@@ -224,6 +235,8 @@ let inv_trace_misses t = value t.n_inv_misses
 let inv_invalidations t = value t.n_inv_invalidations
 let inv_recaptures t = value t.n_inv_recaptures
 let inv_memoized_checks t = value t.n_inv_memoized
+let inv_evictions t = value t.n_inv_evictions
+let inv_cache_bytes t = int_of_float (gauge_value t.g_inv_cache_bytes)
 let checkpoints t = value t.n_ckpts
 let ckpt_restores t = value t.n_ckpt_restores
 let ckpt_chunk_hits t = value t.n_ckpt_hits
@@ -269,13 +282,14 @@ let availability t ~app ~until =
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@,inv-cache hits=%d misses=%d invalidations=%d recaptures=%d memoized=%d@,checkpoints=%d ckpt-restores=%d ckpt-chunk hits=%d misses=%d deduped=%d written=%d cc-evictions=%d@]"
+    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@,inv-cache hits=%d misses=%d invalidations=%d recaptures=%d memoized=%d evictions=%d@,checkpoints=%d ckpt-restores=%d ckpt-chunk hits=%d misses=%d deduped=%d written=%d cc-evictions=%d@]"
     (events t) (crashes t) (hangs t) (byzantine_blocked t) (ignored t)
     (transformed t) (disabled t) (replayed t) (dropped_in_replay t)
     (resource_breaches t) (quarantined t) (suppressed t) (retransmits t)
     (barrier_acks t) (resyncs t) (resynced_rules t) (unreachable t)
     (inv_trace_hits t) (inv_trace_misses t) (inv_invalidations t)
-    (inv_recaptures t) (inv_memoized_checks t) (checkpoints t)
+    (inv_recaptures t) (inv_memoized_checks t) (inv_evictions t)
+    (checkpoints t)
     (ckpt_restores t) (ckpt_chunk_hits t) (ckpt_chunk_misses t)
     (ckpt_bytes_deduped t) (ckpt_bytes_written t)
     (counter_cache_evictions t)

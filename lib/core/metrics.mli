@@ -82,6 +82,12 @@ val incr_inv_trace_miss : t -> unit
 val incr_inv_invalidation : t -> unit
 val incr_inv_recapture : t -> unit
 val incr_inv_memoized : t -> unit
+val incr_inv_eviction : t -> unit
+
+val set_inv_cache_bytes : t -> int -> unit
+(** Update the [inv-trace-cache-bytes] gauge: the incremental checker's
+    resident trace-cache footprint after an eviction. *)
+
 val incr_checkpoint : t -> unit
 val incr_ckpt_restore : t -> unit
 val add_ckpt_chunk_hits : t -> int -> unit
@@ -136,6 +142,12 @@ val inv_recaptures : t -> int
 
 val inv_memoized_checks : t -> int
 (** Whole checks answered from the previous result (nothing changed). *)
+
+val inv_evictions : t -> int
+(** Cached traces dropped to enforce the trace-cache byte budget. *)
+
+val inv_cache_bytes : t -> int
+(** Last value of the [inv-trace-cache-bytes] gauge. *)
 
 val checkpoints : t -> int
 (** Application checkpoints taken (full or delta). *)

@@ -20,6 +20,29 @@ type dispatch_mode =
 
 let default_sharded = Sharded { shards = 8; max_batch = 64 }
 
+(* Parameters of the trace-driven workload generator (lib/workload's
+   [Trace_gen]). They live here — not in lib/workload — so scenario
+   configs ([Config_lang]) and reproducers can carry them without the core
+   depending on the generator. *)
+type workload_config = {
+  w_seed : int;  (* generator stream, independent of other seeds *)
+  w_rate : float;  (* mean flow arrivals per virtual second at peak load *)
+  w_alpha : float;  (* Pareto shape of inter-arrivals; <=2 is heavy-tailed *)
+  w_diurnal : float;  (* modulation depth, 0 (flat) .. 1 (full trough) *)
+  w_period : float;  (* diurnal period, virtual seconds *)
+  w_churn : float;  (* host leave(+rejoin) events per virtual second *)
+}
+
+let default_workload_config =
+  {
+    w_seed = 1;
+    w_rate = 20.;
+    w_alpha = 1.5;
+    w_diurnal = 0.5;
+    w_period = 60.;
+    w_churn = 0.;
+  }
+
 type config = {
   checkpoint_every : int;
   checkpoint_mode : ckpt_mode;
@@ -28,6 +51,8 @@ type config = {
   reliable : Reliable.config;
   cluster : cluster_config;
   dispatch : dispatch_mode;
+  trace_cache_budget : int option;
+  workload : workload_config option;
 }
 
 let default_config =
@@ -39,6 +64,8 @@ let default_config =
     reliable = Reliable.default_config;
     cluster = default_cluster_config;
     dispatch = Sequential;
+    trace_cache_budget = None;
+    workload = None;
   }
 
 type t = {
@@ -141,10 +168,14 @@ let create ?(config = default_config) ?xid_base ?controller_id
       | Invariants.Incremental.Switch_recaptured _ ->
           Metrics.incr_inv_recapture metrics_store
       | Invariants.Incremental.Check_memoized ->
-          Metrics.incr_inv_memoized metrics_store);
+          Metrics.incr_inv_memoized metrics_store
+      | Invariants.Incremental.Trace_evicted { bytes } ->
+          Metrics.incr_inv_eviction metrics_store;
+          Metrics.set_inv_cache_bytes metrics_store bytes);
       Obs.Hub.emit obs_hub (Obs.Hub.Inv_cache ev)
     in
-    Invariants.Incremental.create ~observer network
+    Invariants.Incremental.create ~observer
+      ?trace_cache_budget:config.trace_cache_budget network
   in
   let ckpt_observer = function
     | Checkpoint.Took { written; chunk_hits; chunk_misses; deduped; _ } ->

@@ -62,6 +62,24 @@ type dispatch_mode =
 val default_sharded : dispatch_mode
 (** [Sharded {shards = 8; max_batch = 64}]. *)
 
+(** Parameters of the trace-driven workload generator
+    ([Workload.Trace_gen]). Carried here so scenario configs and
+    reproducers can name them without the core depending on the
+    generator; the runtime itself treats them as opaque. *)
+type workload_config = {
+  w_seed : int;  (** Generator RNG stream, independent of other seeds. *)
+  w_rate : float;  (** Mean flow arrivals per virtual second at peak. *)
+  w_alpha : float;
+      (** Pareto shape of flow inter-arrivals; values ≤ 2 give the
+          heavy-tailed bursts of real traffic. *)
+  w_diurnal : float;  (** Load-curve modulation depth, 0 (flat) to 1. *)
+  w_period : float;  (** Diurnal period in virtual seconds. *)
+  w_churn : float;  (** Host leave(+rejoin) events per virtual second. *)
+}
+
+val default_workload_config : workload_config
+(** seed 1, rate 20 flows/s, alpha 1.5, diurnal 0.5 over 60 s, no churn. *)
+
 type config = {
   checkpoint_every : int;  (** k: checkpoint every k events (§5). *)
   checkpoint_mode : ckpt_mode;
@@ -71,11 +89,18 @@ type config = {
       (** Southbound reliable-delivery settings (NetLog engine only). *)
   cluster : cluster_config;
   dispatch : dispatch_mode;
+  trace_cache_budget : int option;
+      (** Byte budget for the incremental checker's trace cache
+          ({!Invariants.Incremental.create}); [None] = unbounded. *)
+  workload : workload_config option;
+      (** Trace-driven workload parameters, when the scenario uses the
+          generator instead of a fixed traffic list. *)
 }
 
 val default_config : config
 (** k = 1, full checkpoints, Crash-Pad defaults, NetLog engine, reliable
-    delivery on, single controller, sequential dispatch. *)
+    delivery on, single controller, sequential dispatch, unbounded trace
+    cache, no generated workload. *)
 
 type t
 

@@ -11,6 +11,7 @@ type event =
   | Trace_invalidated
   | Switch_recaptured of Types.switch_id
   | Check_memoized
+  | Trace_evicted of { bytes : int }
 
 type stats = {
   hits : int;
@@ -18,6 +19,7 @@ type stats = {
   invalidations : int;
   recaptures : int;
   memoized_checks : int;
+  evictions : int;
 }
 
 (* A cached probe is valid while every switch it depended on still has the
@@ -29,6 +31,8 @@ type stats = {
 type cached_trace = {
   probe : Snapshot.probe;
   deps : (Types.switch_id * int) list;
+  words : int;  (* heap footprint of the line, for the byte budget *)
+  mutable tick : int;  (* last-use stamp; smallest tick is evicted first *)
 }
 
 type t = {
@@ -41,6 +45,10 @@ type t = {
   horizons : (Types.switch_id, float) Hashtbl.t;
       (* earliest future instant a flow entry of the switch could expire *)
   cache : (Topology.host * Topology.host, cached_trace) Hashtbl.t;
+  budget_words : int option;
+      (* trace-cache byte budget expressed in words; None = unbounded *)
+  mutable cache_words : int;  (* summed [words] of all resident lines *)
+  mutable clock : int;  (* monotonic use counter feeding [tick] *)
   mutable memo_check : (Checker.invariant list * Checker.violation list) option;
       (* last full-check result; valid until any switch is re-captured *)
   observer : event -> unit;
@@ -49,7 +57,10 @@ type t = {
   mutable invalidations : int;
   mutable recaptures : int;
   mutable memoized : int;
+  mutable evictions : int;
 }
+
+let bytes_per_word = Sys.word_size / 8
 
 (* Earliest instant at which the entry could expire. [last_used] only ever
    moves forward (live traffic refreshing an idle timeout), so a horizon
@@ -84,7 +95,7 @@ let record t sid ~now =
   Hashtbl.replace t.versions sid (Sw.version (Net.switch t.net sid));
   Hashtbl.replace t.horizons sid (horizon_of ~now (Snapshot.entries t.snap sid))
 
-let create ?(observer = fun _ -> ()) net =
+let create ?(observer = fun _ -> ()) ?trace_cache_budget net =
   let t =
     {
       net;
@@ -93,6 +104,12 @@ let create ?(observer = fun _ -> ()) net =
       epochs = Hashtbl.create 32;
       horizons = Hashtbl.create 32;
       cache = Hashtbl.create 256;
+      budget_words =
+        Option.map
+          (fun b -> max 1 (b / bytes_per_word))
+          trace_cache_budget;
+      cache_words = 0;
+      clock = 0;
       memo_check = None;
       observer;
       hits = 0;
@@ -100,6 +117,7 @@ let create ?(observer = fun _ -> ()) net =
       invalidations = 0;
       recaptures = 0;
       memoized = 0;
+      evictions = 0;
     }
   in
   let now = Clock.now (Net.clock net) in
@@ -167,10 +185,65 @@ let deps_of t probe src dst =
     (fun sid -> (sid, Option.value ~default:0 (Hashtbl.find_opt t.epochs sid)))
     (List.sort_uniq compare sids)
 
+let touch_line t line =
+  t.clock <- t.clock + 1;
+  line.tick <- t.clock
+
+let cache_bytes t = t.cache_words * bytes_per_word
+let cache_lines t = Hashtbl.length t.cache
+
+(* Evict least-recently-used lines until the budget holds again, never
+   touching [keep] (the line just inserted): a single oversized line parks
+   in the cache rather than thrashing. The victim scan is O(lines), but a
+   budget small enough to evict also keeps the resident line count small,
+   so the scan stays cheap exactly when it runs. Eviction is
+   correctness-preserving by construction — a future access simply misses
+   and re-traces current state. *)
+let enforce_budget t ~keep =
+  match t.budget_words with
+  | None -> ()
+  | Some budget ->
+      let continue = ref (t.cache_words > budget && Hashtbl.length t.cache > 1) in
+      while !continue do
+        let victim = ref None in
+        Hashtbl.iter
+          (fun k line ->
+            if k <> keep then
+              match !victim with
+              | Some (_, best) when best.tick <= line.tick -> ()
+              | _ -> victim := Some (k, line))
+          t.cache;
+        (match !victim with
+        | None -> continue := false
+        | Some (k, line) ->
+            Hashtbl.remove t.cache k;
+            t.cache_words <- t.cache_words - line.words;
+            t.evictions <- t.evictions + 1;
+            t.observer (Trace_evicted { bytes = cache_bytes t }));
+        if t.cache_words <= budget || Hashtbl.length t.cache <= 1 then
+          continue := false
+      done
+
+let store_line t key probe deps =
+  (match Hashtbl.find_opt t.cache key with
+  | Some old -> t.cache_words <- t.cache_words - old.words
+  | None -> ());
+  (* +4 ≈ the line record itself (header + 3 boxed-or-immediate fields
+     beyond the measured payload tuple); the payload tuple's own 3 words
+     stand in for it. Exactness is irrelevant — the budget only has to
+     track growth faithfully. *)
+  let words = Obj.reachable_words (Obj.repr (probe, deps)) + 4 in
+  let line = { probe; deps; words; tick = 0 } in
+  touch_line t line;
+  Hashtbl.replace t.cache key line;
+  t.cache_words <- t.cache_words + words;
+  enforce_budget t ~keep:key
+
 let trace_cached t src dst =
   match Hashtbl.find_opt t.cache (src, dst) with
   | Some line when valid t line.deps ->
       t.hits <- t.hits + 1;
+      touch_line t line;
       t.observer Trace_hit;
       line.probe
   | stale ->
@@ -181,7 +254,7 @@ let trace_cached t src dst =
       t.misses <- t.misses + 1;
       t.observer Trace_miss;
       let probe = Snapshot.trace t.snap src (Checker.canonical_packet src dst) in
-      Hashtbl.replace t.cache (src, dst) { probe; deps = deps_of t probe src dst };
+      store_line t (src, dst) probe (deps_of t probe src dst);
       probe
 
 (* The steady-state fast path: when refresh re-captured nothing, every
@@ -240,6 +313,7 @@ let check_flow_mods ?invariants t mods =
                          (fun (sid, _) -> List.mem sid modified)
                          line.deps) ->
               t.hits <- t.hits + 1;
+              touch_line t line;
               t.observer Trace_hit;
               line.probe
           | _ ->
@@ -260,10 +334,11 @@ let stats t =
     invalidations = t.invalidations;
     recaptures = t.recaptures;
     memoized_checks = t.memoized;
+    evictions = t.evictions;
   }
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "trace cache: %d hits, %d misses (%d after invalidation); %d switch \
-     re-captures; %d whole-check memo hits"
-    s.hits s.misses s.invalidations s.recaptures s.memoized_checks
+     re-captures; %d whole-check memo hits; %d evictions"
+    s.hits s.misses s.invalidations s.recaptures s.memoized_checks s.evictions

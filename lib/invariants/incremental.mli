@@ -32,6 +32,10 @@ type event =
   | Check_memoized
       (** A whole check was answered from the previous result: no switch
           had changed at all, so neither had the violation list. *)
+  | Trace_evicted of { bytes : int }
+      (** A cached trace was evicted to enforce the byte budget; [bytes]
+          is the cache's resident size after the eviction (an up-to-date
+          gauge value for the host). *)
 
 type stats = {
   hits : int;
@@ -39,11 +43,21 @@ type stats = {
   invalidations : int;  (** A subset of [misses]. *)
   recaptures : int;
   memoized_checks : int;
+  evictions : int;  (** Lines dropped by the byte budget (LRU order). *)
 }
 
-val create : ?observer:(event -> unit) -> Netsim.Net.t -> t
+val create :
+  ?observer:(event -> unit) -> ?trace_cache_budget:int -> Netsim.Net.t -> t
 (** An engine bound to [net]. The initial snapshot is taken eagerly so the
-    first check starts warm on topology capture (traces still miss). *)
+    first check starts warm on topology capture (traces still miss).
+
+    [trace_cache_budget] bounds the trace cache's resident heap footprint
+    in bytes (default: unbounded, the pre-budget behavior). When an insert
+    pushes the cache over budget, least-recently-used lines are evicted
+    until it fits again; the newest line is never evicted, so one
+    oversized trace parks rather than thrashes. Eviction never changes
+    results — an evicted pair is simply re-traced on next use — so the
+    incremental-vs-full equivalence holds under any budget. *)
 
 val check : ?invariants:Checker.invariant list -> t -> Checker.violation list
 (** Equal to [Checker.check ~invariants (Snapshot.of_net net)] at the
@@ -70,5 +84,11 @@ val snapshot : t -> Snapshot.t
 
 val stats : t -> stats
 (** Cumulative cache activity since [create]. *)
+
+val cache_bytes : t -> int
+(** Resident trace-cache footprint in bytes (what the byte budget bounds). *)
+
+val cache_lines : t -> int
+(** Number of cached (src, dst) trace lines currently resident. *)
 
 val pp_stats : Format.formatter -> stats -> unit

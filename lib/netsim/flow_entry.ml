@@ -14,9 +14,12 @@ type t = {
   mutable byte_count : int;
 }
 
+(* Patterns are interned at entry creation: every identical wildcard shape
+   installed anywhere in the fabric shares one heap block, and downstream
+   equality/subsume checks hit the pointer fast path. *)
 let of_flow_mod ~now (fm : Message.flow_mod) =
   {
-    pattern = fm.pattern;
+    pattern = Ofp_match.intern fm.pattern;
     priority = fm.priority;
     actions = fm.actions;
     cookie = fm.cookie;
@@ -33,7 +36,7 @@ let make ?(cookie = 0L) ?(idle_timeout = 0) ?(hard_timeout = 0)
     ?(priority = Message.default_priority) ?(notify_when_removed = false) ~now
     pattern actions =
   {
-    pattern;
+    pattern = Ofp_match.intern pattern;
     priority;
     actions;
     cookie;

@@ -18,7 +18,9 @@ type t = {
 }
 
 val of_flow_mod : now:float -> Message.flow_mod -> t
-(** Entry created by an [Add] (or add-semantics [Modify]) flow-mod. *)
+(** Entry created by an [Add] (or add-semantics [Modify]) flow-mod. The
+    pattern is {!Ofp_match.intern}ed (as in [make]), so identical patterns
+    across all entries and tables share one heap block. *)
 
 val make :
   ?cookie:int64 ->

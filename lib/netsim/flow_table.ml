@@ -11,9 +11,20 @@ open Openflow
 
 type slot = { seq : int; entry : Flow_entry.t }
 
+(* The exact-match index hashes with [Ofp_match.hash] (FNV over the fields)
+   rather than the polymorphic hash, and probes through [Ofp_match.equal]'s
+   pointer-equality fast path — stored keys are interned, so twin
+   replacement and [find_exact] on interned probes are pointer compares. *)
+module Mtbl = Hashtbl.Make (struct
+  type t = Ofp_match.t
+
+  let equal = Ofp_match.equal
+  let hash = Ofp_match.hash
+end)
+
 type bucket = {
   prio : int;
-  exact : (Ofp_match.t, slot) Hashtbl.t;
+  exact : slot Mtbl.t;
       (* fully-specified patterns: at most one entry per pattern *)
   mutable wild : slot list;  (* wildcarded patterns, insertion order *)
 }
@@ -39,7 +50,7 @@ let touch t =
 let is_exact pattern = Ofp_match.wildcard_count pattern = 0
 
 let bucket_slots b =
-  Hashtbl.fold (fun _ s acc -> s :: acc) b.exact b.wild
+  Mtbl.fold (fun _ s acc -> s :: acc) b.exact b.wild
   |> List.sort (fun a b -> compare a.seq b.seq)
 
 let entries t =
@@ -62,7 +73,7 @@ let clear t =
 let find_bucket t prio = List.find_opt (fun b -> b.prio = prio) t.buckets
 
 let add_bucket t prio =
-  let b = { prio; exact = Hashtbl.create 8; wild = [] } in
+  let b = { prio; exact = Mtbl.create 8; wild = [] } in
   let rec go = function
     | [] -> [ b ]
     | b' :: rest as all -> if prio > b'.prio then b :: all else b' :: go rest
@@ -72,7 +83,7 @@ let add_bucket t prio =
 
 let drop_empty t =
   t.buckets <-
-    List.filter (fun b -> Hashtbl.length b.exact > 0 || b.wild <> []) t.buckets
+    List.filter (fun b -> Mtbl.length b.exact > 0 || b.wild <> []) t.buckets
 
 let stamp t entry =
   let s = { seq = t.next_seq; entry } in
@@ -80,6 +91,10 @@ let stamp t entry =
   s
 
 let add t (entry : Flow_entry.t) =
+  (* [entry.pattern] is already interned ({!Flow_entry.of_flow_mod}/[make]
+     intern at creation), so the exact index stores shared keys and twin
+     replacement below is a pointer compare. The entry record itself is
+     stored as given — callers alias its mutable counters. *)
   let b =
     match find_bucket t entry.priority with
     | Some b -> b
@@ -89,11 +104,11 @@ let add t (entry : Flow_entry.t) =
      bucket bounds the search; the exact hash makes the common
      (fully-specified) case O(1). *)
   if is_exact entry.pattern then begin
-    if Hashtbl.mem b.exact entry.pattern then begin
-      Hashtbl.remove b.exact entry.pattern;
+    if Mtbl.mem b.exact entry.pattern then begin
+      Mtbl.remove b.exact entry.pattern;
       t.count <- t.count - 1
     end;
-    Hashtbl.replace b.exact entry.pattern (stamp t entry)
+    Mtbl.replace b.exact entry.pattern (stamp t entry)
   end
   else begin
     let dup, kept =
@@ -115,7 +130,7 @@ let modify t ~strict pattern ~priority actions =
   let hit = ref false in
   let rewrite b =
     let keys =
-      Hashtbl.fold
+      Mtbl.fold
         (fun key s acc ->
           if touches ~strict pattern ~priority s.entry then (key, s) :: acc
           else acc)
@@ -124,7 +139,7 @@ let modify t ~strict pattern ~priority actions =
     List.iter
       (fun (key, s) ->
         hit := true;
-        Hashtbl.replace b.exact key
+        Mtbl.replace b.exact key
           { s with entry = { s.entry with Flow_entry.actions } })
       keys;
     b.wild <-
@@ -159,11 +174,11 @@ let delete t ~strict ?out_port pattern ~priority =
     (fun b ->
       if (not strict) || b.prio = priority then begin
         let dead =
-          Hashtbl.fold
+          Mtbl.fold
             (fun key s acc -> if condemned s.entry then (key, s) :: acc else acc)
             b.exact []
         in
-        List.iter (fun (key, _) -> Hashtbl.remove b.exact key) dead;
+        List.iter (fun (key, _) -> Mtbl.remove b.exact key) dead;
         let dead_wild, kept =
           List.partition (fun s -> condemned s.entry) b.wild
         in
@@ -195,7 +210,7 @@ let lookup t ~now ~in_port pkt =
     | [] -> None
     | b :: rest -> (
         let exact_hit =
-          match Hashtbl.find_opt b.exact exact_key with
+          match Mtbl.find_opt b.exact exact_key with
           | Some s when live s.entry -> Some s
           | Some _ | None -> None
         in
@@ -216,14 +231,14 @@ let expire t ~now =
   List.iter
     (fun b ->
       let dead =
-        Hashtbl.fold
+        Mtbl.fold
           (fun key s acc ->
             match Flow_entry.expiry_reason s.entry ~now with
             | Some reason -> (key, s, reason) :: acc
             | None -> acc)
           b.exact []
       in
-      List.iter (fun (key, _, _) -> Hashtbl.remove b.exact key) dead;
+      List.iter (fun (key, _, _) -> Mtbl.remove b.exact key) dead;
       let dead_wild, kept =
         List.partition_map
           (fun s ->
@@ -252,7 +267,7 @@ let find_exact t pattern ~priority =
   | None -> None
   | Some b ->
       if is_exact pattern then
-        Option.map (fun s -> s.entry) (Hashtbl.find_opt b.exact pattern)
+        Option.map (fun s -> s.entry) (Mtbl.find_opt b.exact pattern)
       else
         Option.map
           (fun s -> s.entry)

@@ -23,7 +23,10 @@ val clear : t -> unit
 
 val add : t -> Flow_entry.t -> unit
 (** Install an entry. An existing entry with identical match and priority is
-    replaced (counters reset), per OF 1.0 Add semantics. *)
+    replaced (counters reset), per OF 1.0 Add semantics. Patterns arrive
+    {!Ofp_match.intern}ed (see {!Flow_entry.of_flow_mod}), so identical
+    patterns across tables share one heap block fabric-wide and the exact
+    index probes by pointer. *)
 
 val modify :
   t -> strict:bool -> Ofp_match.t -> priority:int -> Action.t list -> bool

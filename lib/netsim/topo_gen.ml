@@ -128,6 +128,12 @@ let mesh ?(hosts_per_switch = 1) n =
 let fat_tree k =
   if k < 2 || k mod 2 <> 0 then
     invalid_arg "Topo_gen.fat_tree: k must be even and >= 2";
+  (* Port-numbering bound: edge switches carry k/2 inter-switch links on
+     ports 1.. and k/2 hosts on ports 100.., so the two ranges collide at
+     k = 200. Cap well below that — k = 128 is already 20,480 switches and
+     524,288 hosts, past anything the simulator can hold. *)
+  if k > 128 then
+    invalid_arg "Topo_gen.fat_tree: k must be <= 128 (port-range limit)";
   let half = k / 2 in
   let n_core = half * half in
   let b = builder () in

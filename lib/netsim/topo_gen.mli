@@ -5,7 +5,10 @@
     host-facing ports at 100, so the two ranges never collide. *)
 
 val linear : ?hosts_per_switch:int -> int -> Topology.t
-(** [linear n] is a chain s1 — s2 — … — sn. *)
+(** [linear n] is a chain s1 — s2 — … — sn. The cheapest topology per
+    switch (2 links each, no redundancy), which makes it the reference
+    shape for memory-scaling sanity runs: table/match storage grows with
+    [n] while path diversity stays constant. *)
 
 val ring : ?hosts_per_switch:int -> int -> Topology.t
 (** [ring n] is the chain closed into a cycle ([n >= 3]). *)
@@ -31,9 +34,18 @@ val random :
 val fat_tree : int -> Topology.t
 (** [fat_tree k] is the canonical k-ary fat-tree data-center fabric
     ([k] even, ≥ 2): [(k/2)²] core switches, [k] pods of [k/2] aggregation
-    and [k/2] edge switches, and [k/2] hosts per edge switch — [k³/4]
-    hosts in total. Switch ids: cores first, then pod by pod (aggregation
-    before edge). *)
+    and [k/2] edge switches, and [k/2] hosts per edge switch — [5k²/4]
+    switches and [k³/4] hosts in total (k=4: 20 sw / 16 h; k=8: 80 / 128;
+    k=16: 320 / 1024). Switch ids: cores first, then pod by pod
+    (aggregation before edge).
+
+    Large-k limits: edge switches put their [k/2] uplinks on ports 1..
+    and their [k/2] hosts on ports 100.., so the builder's port ranges
+    would collide at k = 200; [k > 128] is rejected. Memory and the
+    O(hosts²) invariant pair space bind long before that — at k = 16 full
+    default invariant checks already trace ~10⁶ pairs, so big-fabric
+    campaigns should restrict to sampled reachability pairs (see the
+    [scale] bench group). *)
 
 val jellyfish :
   ?hosts_per_switch:int -> seed:int -> switches:int -> degree:int -> unit

@@ -58,6 +58,44 @@ let exact ~in_port (p : Packet.t) =
     tp_dst = Some p.tp_dst;
   }
 
+(* FNV-1a over the fields, same constants as [Checkpoint]'s chunk digest.
+   Every field is an int under the type aliases, so folding (presence tag,
+   value) pairs is a canonical serialization: two structurally-equal matches
+   always fold the same stream. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash64 m =
+  let h = ref fnv_offset in
+  let mix v = h := Int64.mul (Int64.logxor !h (Int64.of_int v)) fnv_prime in
+  let field = function
+    | None -> mix 0
+    | Some v ->
+        mix 1;
+        mix v
+  in
+  field m.in_port;
+  field m.dl_src;
+  field m.dl_dst;
+  (match m.dl_vlan with
+  | None -> mix 0
+  | Some None ->
+      mix 1;
+      mix (-1)
+  | Some (Some vid) ->
+      mix 2;
+      mix vid);
+  field m.dl_type;
+  field m.nw_src;
+  field m.nw_dst;
+  field m.nw_proto;
+  field m.nw_tos;
+  field m.tp_src;
+  field m.tp_dst;
+  !h
+
+let hash m = Int64.to_int (hash64 m) land max_int
+
 let field_ok pattern value =
   match pattern with None -> true | Some v -> v = value
 
@@ -82,7 +120,8 @@ let wider pat sub =
   | Some a, Some b -> a = b
 
 let subsumes pat m =
-  wider pat.in_port m.in_port
+  pat == m
+  || wider pat.in_port m.in_port
   && wider pat.dl_src m.dl_src
   && wider pat.dl_dst m.dl_dst
   && wider pat.dl_vlan m.dl_vlan
@@ -116,7 +155,10 @@ let wildcard_count m =
   + w m.nw_src + w m.nw_dst + w m.nw_proto + w m.nw_tos + w m.tp_src
   + w m.tp_dst
 
-let equal a b = a = b
+(* Interned patterns make the pointer-equality fast path hit on the hot
+   subsume/lookup loops; the structural fallback keeps un-interned values
+   (codec output, probe keys) fully interoperable. *)
+let equal a b = a == b || a = b
 let compare = Stdlib.compare
 
 let pp fmt m =
@@ -232,3 +274,48 @@ let decode r =
     tp_src;
     tp_dst;
   }
+
+(* --- Hash-consing -------------------------------------------------------
+
+   A fabric of ~1k switches stores the same handful of wildcard patterns in
+   every flow table; interning collapses those copies to one block each.
+   The pool is a hashed weak set so patterns dropped from every table are
+   reclaimed by the GC — live-heap measurements stay honest. Interning can
+   be switched off to build non-interned baselines for benches and
+   differential tests. *)
+
+module Pool = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = a == b || a = b
+  let hash = hash
+end)
+
+let pool = Pool.create 4096
+let interning = ref true
+let intern_hits = ref 0
+let intern_inserts = ref 0
+
+let set_interning on = interning := on
+let interning_enabled () = !interning
+
+let intern m =
+  if not !interning then m
+  else
+    match Pool.find_opt pool m with
+    | Some shared ->
+        incr intern_hits;
+        shared
+    | None ->
+        Pool.add pool m;
+        incr intern_inserts;
+        m
+
+type intern_stats = { hits : int; inserts : int; live : int }
+
+let intern_stats () =
+  { hits = !intern_hits; inserts = !intern_inserts; live = Pool.count pool }
+
+let reset_intern_stats () =
+  intern_hits := 0;
+  intern_inserts := 0

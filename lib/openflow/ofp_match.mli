@@ -57,8 +57,49 @@ val wildcard_count : t -> int
 (** Number of wildcarded fields; 0 means fully exact. *)
 
 val equal : t -> t -> bool
+(** Structural equality with a pointer-equality fast path, so interned
+    patterns compare in O(1). *)
+
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit
 
+val hash : t -> int
+(** FNV-1a 64-bit hash over the fields (same constants as the checkpoint
+    chunk digest), folded to a non-negative OCaml int. Structurally equal
+    matches hash identically; used to key the intern pool and
+    {!Flow_table}'s exact-match index. *)
+
 val encode : Buf.writer -> t -> unit
 val decode : Buf.reader -> t
+
+(** {1 Hash-consing}
+
+    Identical match patterns recur across every flow table in a fabric
+    (one learning-switch rule shape × thousands of switches). [intern]
+    maps a pattern to a single canonical block held in a hashed weak set:
+    tables that intern on insert store each distinct pattern once
+    fabric-wide, and {!equal}/{!subsumes} short-circuit on pointer
+    equality. The pool is weak — patterns no longer referenced by any
+    table are reclaimed by the GC. *)
+
+val intern : t -> t
+(** The canonical shared copy of this pattern (inserting it if new).
+    Behaviorally the identity function: the result is structurally equal
+    to the argument. When interning is disabled, returns the argument
+    unchanged. *)
+
+val set_interning : bool -> unit
+(** Toggle interning globally (default [true]). Disabling makes [intern]
+    the identity — used to build non-interned baselines for memory benches
+    and differential tests. Already-interned values stay shared. *)
+
+val interning_enabled : unit -> bool
+
+type intern_stats = {
+  hits : int;  (** [intern] calls answered by an existing pool entry. *)
+  inserts : int;  (** [intern] calls that added a new pattern. *)
+  live : int;  (** Distinct patterns currently alive in the pool. *)
+}
+
+val intern_stats : unit -> intern_stats
+val reset_intern_stats : unit -> unit

@@ -1,0 +1,122 @@
+(* Trace-driven workload synthesis. Three ingredients of production
+   traffic that the fixed generators (all_pairs_once / uniform_pairs) miss:
+
+   - heavy-tailed flow inter-arrivals: a Pareto(alpha, xm) renewal process
+     whose mean matches the requested peak rate, so load arrives in bursts
+     separated by long gaps instead of evenly spaced;
+   - a diurnal load curve: candidate arrivals are thinned with probability
+     following a raised cosine over [w_period], the standard trick for
+     turning a constant-rate process into an inhomogeneous one without
+     changing the inter-arrival law inside a short window;
+   - host churn: hosts leave and later rejoin, modeled at the workload
+     level (an offline host neither sends nor receives) so the topology
+     stays fixed and reproducers replay byte-for-byte.
+
+   Everything is drawn from one [Random.State] seeded by [w_seed], so a
+   (config, hosts, duration) triple always yields the identical trace. *)
+
+module Runtime = Legosdn.Runtime
+
+type plan = {
+  flows : Traffic.flow_spec list;
+  offline : (Netsim.Topology.host * (float * float)) list;
+}
+
+(* Inverse-CDF Pareto sample: xm * (1-u)^(-1/alpha), u uniform in [0,1).
+   Finite mean needs alpha > 1 (Config_lang enforces it); the scale xm is
+   chosen so the mean inter-arrival alpha*xm/(alpha-1) equals 1/rate. *)
+let pareto_interval rng ~alpha ~rate =
+  let xm = (alpha -. 1.) /. (alpha *. rate) in
+  let u = Random.State.float rng 1. in
+  xm *. ((1. -. u) ** (-1. /. alpha))
+
+(* Raised-cosine load factor in [1 - depth, 1]: peak at t = 0 (and every
+   full period), trough half a period in. *)
+let diurnal_factor ~depth ~period t =
+  1. -. (depth *. (1. -. cos (2. *. Float.pi *. t /. period)) /. 2.)
+
+let churn_plan rng (w : Runtime.workload_config) ~hosts ~duration =
+  let n_events =
+    int_of_float (Float.round (w.Runtime.w_churn *. duration))
+  in
+  let host_array = Array.of_list hosts in
+  if Array.length host_array = 0 || n_events = 0 then []
+  else
+    List.init n_events (fun _ ->
+        let h = host_array.(Random.State.int rng (Array.length host_array)) in
+        let leave = Random.State.float rng duration in
+        (* Outages between 5% and 20% of the horizon: long enough to shift
+           traffic off the host, short enough that it usually returns. *)
+        let span = duration *. (0.05 +. Random.State.float rng 0.15) in
+        (h, (leave, leave +. span)))
+    |> List.sort compare
+
+let active offline t h =
+  not
+    (List.exists
+       (fun (h', (leave, rejoin)) -> h' = h && t >= leave && t < rejoin)
+       offline)
+
+let plan ~config:(w : Runtime.workload_config) ~hosts ~duration ?(dport = 80)
+    () =
+  let rng = Random.State.make [| w.Runtime.w_seed; 0x7ace |] in
+  let offline = churn_plan rng w ~hosts ~duration in
+  let host_array = Array.of_list hosts in
+  let n = Array.length host_array in
+  let flows = ref [] in
+  if n >= 2 then begin
+    let t = ref 0. in
+    let continue = ref true in
+    while !continue do
+      t :=
+        !t
+        +. pareto_interval rng ~alpha:w.Runtime.w_alpha ~rate:w.Runtime.w_rate;
+      if !t >= duration then continue := false
+      else if
+        (* Thinning: keep the candidate with the diurnal probability. *)
+        Random.State.float rng 1.
+        <= diurnal_factor ~depth:w.Runtime.w_diurnal ~period:w.Runtime.w_period
+             !t
+      then begin
+        (* Uniform src/dst among hosts active now; bounded retries so a
+           churn spike cannot loop forever when almost everyone is away. *)
+        let pick () = host_array.(Random.State.int rng n) in
+        let rec try_pair attempts =
+          if attempts = 0 then None
+          else
+            let src = pick () and dst = pick () in
+            if src <> dst && active offline !t src && active offline !t dst
+            then Some (src, dst)
+            else try_pair (attempts - 1)
+        in
+        match try_pair 8 with
+        | None -> ()
+        | Some (src_host, dst_host) ->
+            (* Flow sizes are heavy-tailed too (mice and elephants), capped
+               so one elephant cannot dominate a short campaign. *)
+            let packets =
+              min 20
+                (1
+                + int_of_float
+                    (pareto_interval rng ~alpha:w.Runtime.w_alpha ~rate:1.))
+            in
+            flows :=
+              {
+                Traffic.src_host;
+                dst_host;
+                start = !t;
+                packets;
+                interval = 0.01;
+                dport;
+              }
+              :: !flows
+      end
+    done
+  end;
+  { flows = List.rev !flows; offline }
+
+let flows ~config ~hosts ~duration ?dport () =
+  (plan ~config ~hosts ~duration ?dport ()).flows
+
+let injections ~config ~hosts ~duration ?dport () =
+  Traffic.schedule (flows ~config ~hosts ~duration ?dport ())

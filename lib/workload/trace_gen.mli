@@ -1,0 +1,57 @@
+(** Trace-driven workload generator for long-horizon, big-topology
+    campaigns.
+
+    Unlike the fixed generators in {!Traffic} (every pair once, uniform
+    random pairs), this synthesizes the statistical shape of production
+    traffic from a {!Legosdn.Runtime.workload_config}:
+
+    - flow inter-arrivals follow a Pareto([w_alpha]) renewal process whose
+      mean matches [w_rate] flows per virtual second at peak — load comes
+      in heavy-tailed bursts;
+    - arrivals are thinned along a raised-cosine diurnal curve of depth
+      [w_diurnal] and period [w_period];
+    - hosts churn: [w_churn] leave(+rejoin) events per virtual second take
+      hosts offline for 5–20% of the horizon, during which they neither
+      send nor receive. Churn is modeled at the workload level — the
+      topology object never mutates, so runs replay deterministically;
+    - flow sizes (packet counts) are heavy-tailed with the same shape,
+      capped at 20 packets.
+
+    All draws come from one RNG seeded by [w_seed]: the same (config,
+    hosts, duration) always produces the identical trace, which is what
+    lets {!Runner}/[Fuzz] campaigns and reproducers use generated load. *)
+
+type plan = {
+  flows : Traffic.flow_spec list;  (** Time-ordered by [start]. *)
+  offline : (Netsim.Topology.host * (float * float)) list;
+      (** Churn outages: host with its [leave, rejoin) interval, sorted. *)
+}
+
+val plan :
+  config:Legosdn.Runtime.workload_config ->
+  hosts:Netsim.Topology.host list ->
+  duration:float ->
+  ?dport:int ->
+  unit ->
+  plan
+(** The full synthesis: generated flows plus the churn schedule they were
+    filtered against. [dport] defaults to 80 (the canonical port exact
+    rules and reachability probes use). *)
+
+val flows :
+  config:Legosdn.Runtime.workload_config ->
+  hosts:Netsim.Topology.host list ->
+  duration:float ->
+  ?dport:int ->
+  unit ->
+  Traffic.flow_spec list
+(** [(plan ...).flows] — drop-in wherever {!Traffic.uniform_pairs} fits. *)
+
+val injections :
+  config:Legosdn.Runtime.workload_config ->
+  hosts:Netsim.Topology.host list ->
+  duration:float ->
+  ?dport:int ->
+  unit ->
+  Traffic.injection list
+(** The scheduled packet train ({!Traffic.schedule} of [flows]). *)

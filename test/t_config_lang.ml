@@ -77,6 +77,29 @@ let test_empty_is_default () =
   T_util.checkb "default invariants" true
     (c.Runtime.crashpad.Crashpad.invariants = Checker.default)
 
+let test_scale_directives () =
+  let c =
+    Config_lang.parse_exn
+      "trace-cache budget 65536\nworkload trace seed 7 rate 40 alpha 1.5 \
+       diurnal 0.25 period 30 churn 0.1"
+  in
+  T_util.checkb "budget parsed" true (c.Runtime.trace_cache_budget = Some 65536);
+  (match c.Runtime.workload with
+  | Some w ->
+      T_util.checki "workload seed" 7 w.Runtime.w_seed;
+      Alcotest.(check (float 1e-9)) "workload rate" 40. w.Runtime.w_rate;
+      Alcotest.(check (float 1e-9)) "workload alpha" 1.5 w.Runtime.w_alpha;
+      Alcotest.(check (float 1e-9)) "workload diurnal" 0.25 w.Runtime.w_diurnal;
+      Alcotest.(check (float 1e-9)) "workload period" 30. w.Runtime.w_period;
+      Alcotest.(check (float 1e-9)) "workload churn" 0.1 w.Runtime.w_churn
+  | None -> Alcotest.fail "workload expected");
+  let d = Config_lang.parse_exn "workload trace\ntrace-cache unbounded" in
+  T_util.checkb "bare workload = defaults" true
+    (d.Runtime.workload = Some Runtime.default_workload_config);
+  T_util.checkb "explicit unbounded" true (d.Runtime.trace_cache_budget = None);
+  T_util.checkb "default is unbounded" true
+    ((Config_lang.parse_exn "").Runtime.trace_cache_budget = None)
+
 let test_errors_located () =
   let cases =
     [
@@ -93,6 +116,14 @@ let test_errors_located () =
       ("replicas x", "replica count");
       ("election timeout 0.3 0.1", "inverted range");
       ("election timeout 0 0.3", "non-positive lo");
+      ("trace-cache budget 0", "non-positive budget");
+      ("trace-cache budget x", "non-numeric budget");
+      ( "workload trace seed 1 rate 0 alpha 1.5 diurnal 0 period 60 churn 0",
+        "zero rate" );
+      ( "workload trace seed 1 rate 10 alpha 1 diurnal 0 period 60 churn 0",
+        "alpha must exceed 1" );
+      ( "workload trace seed 1 rate 10 alpha 1.5 diurnal 2 period 60 churn 0",
+        "diurnal out of range" );
     ]
   in
   List.iter
@@ -117,6 +148,8 @@ let config_equiv (a : Runtime.config) (b : Runtime.config) =
   && a.Runtime.reliable = b.Runtime.reliable
   && a.Runtime.cluster = b.Runtime.cluster
   && a.Runtime.dispatch = b.Runtime.dispatch
+  && a.Runtime.trace_cache_budget = b.Runtime.trace_cache_budget
+  && a.Runtime.workload = b.Runtime.workload
   && Option.map Quarantine.threshold a.Runtime.crashpad.Crashpad.quarantine
      = Option.map Quarantine.threshold b.Runtime.crashpad.Crashpad.quarantine
 
@@ -178,12 +211,27 @@ let config_gen =
           Runtime.Sharded { shards = 3; max_batch = 7 };
         ]
     in
+    let* trace_cache_budget = opt (int_range 1024 10_000_000) in
+    (* Exact-decimal workload parameters, for the same %g reason. *)
+    let* workload =
+      opt
+        (let* w_seed = int_range 0 1000 in
+         let* w_rate = oneofl [ 5.; 20.; 120. ] in
+         let* w_alpha = oneofl [ 1.2; 1.5; 2.5 ] in
+         let* w_diurnal = oneofl [ 0.; 0.5; 1. ] in
+         let* w_period = oneofl [ 30.; 60. ] in
+         let* w_churn = oneofl [ 0.; 0.25 ] in
+         return
+           { Runtime.w_seed; w_rate; w_alpha; w_diurnal; w_period; w_churn })
+    in
     return
       {
         Runtime.checkpoint_every = k;
         checkpoint_mode = mode;
         dispatch;
         engine;
+        trace_cache_budget;
+        workload;
         cluster = { Runtime.replicas; election_lo; election_hi };
         reliable =
           {
@@ -229,6 +277,8 @@ let suite =
     Alcotest.test_case "parse full example" `Quick test_parse_full_example;
     Alcotest.test_case "empty file is default config" `Quick test_empty_is_default;
     Alcotest.test_case "errors located" `Quick test_errors_located;
+    Alcotest.test_case "trace-cache + workload directives" `Quick
+      test_scale_directives;
     Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
     Alcotest.test_case "runtime accepts parsed config" `Quick
       test_runtime_accepts_parsed_config;

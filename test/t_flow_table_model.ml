@@ -167,8 +167,47 @@ let prop_delete_counts_agree =
       let model_gone = Model.delete model ~strict pattern ~priority:20 in
       real_gone = model_gone)
 
+(* Interning is a representation change only: the same operation sequence
+   against a table built with interning on and one built with it off (the
+   pre-interning representation — every pattern a private record) must be
+   observationally identical, down to delete counts. *)
+let with_interning on f =
+  let was = Ofp_match.interning_enabled () in
+  Ofp_match.set_interning on;
+  Fun.protect ~finally:(fun () -> Ofp_match.set_interning was) f
+
+let observe table (in_port, pkt) =
+  Flow_table.lookup table ~now:0. ~in_port pkt
+  |> Option.map (fun (e : Flow_entry.t) -> (e.pattern, e.priority, e.actions))
+
+let prop_interning_differential =
+  QCheck2.Test.make
+    ~name:"interned table agrees with non-interned representation" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 25) op_gen) (pair small_pattern bool))
+    (fun (ops, (del_pattern, del_strict)) ->
+      let interned = Flow_table.create () in
+      let fresh = Flow_table.create () in
+      let agree_step op =
+        with_interning true (fun () -> apply_real interned op);
+        with_interning false (fun () -> apply_real fresh op);
+        Flow_table.size interned = Flow_table.size fresh
+        && List.for_all
+             (fun probe -> observe interned probe = observe fresh probe)
+             probe_packets
+      in
+      List.for_all agree_step ops
+      && (* final delete removes the same rules from both *)
+      List.length
+        (Flow_table.delete interned ~strict:del_strict del_pattern
+           ~priority:20)
+      = List.length
+          (Flow_table.delete fresh ~strict:del_strict del_pattern
+             ~priority:20))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_model_agreement;
     QCheck_alcotest.to_alcotest prop_delete_counts_agree;
+    QCheck_alcotest.to_alcotest prop_interning_differential;
   ]

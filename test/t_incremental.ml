@@ -130,6 +130,30 @@ let prop_check_equiv =
           = Checker.check ~invariants:invs (Snapshot.of_net net))
         ops)
 
+(* PR 3's equivalence property must survive eviction: with a budget small
+   enough to thrash, every evicted line is simply re-traced from current
+   state on its next use, so the answers cannot drift. *)
+let prop_check_equiv_under_eviction =
+  QCheck2.Test.make
+    ~name:"incremental check = full check under trace-cache eviction"
+    ~count:250
+    QCheck2.Gen.(pair bool (list_size (int_range 1 12) gen_op))
+    (fun (ring, ops) ->
+      let clock, net = make_net ring in
+      let observed = ref 0 in
+      let observer = function
+        | Incremental.Trace_evicted _ -> incr observed
+        | _ -> ()
+      in
+      let eng = Incremental.create ~observer ~trace_cache_budget:2048 net in
+      List.for_all
+        (fun op ->
+          apply_op net clock op;
+          Incremental.check ~invariants:invs eng
+          = Checker.check ~invariants:invs (Snapshot.of_net net))
+        ops
+      && (Incremental.stats eng).Incremental.evictions = !observed)
+
 let gen_mod =
   QCheck2.Gen.(
     map
@@ -158,6 +182,39 @@ let prop_flow_mods_equiv =
       = Checker.check_flow_mods ~invariants:invs (Snapshot.of_net net) mods)
 
 (* -- unit tests ---------------------------------------------------------- *)
+
+let test_eviction_bounds_cache () =
+  let clock, net = make_net true in
+  ignore clock;
+  let evicted = ref 0 in
+  let reported = ref max_int in
+  let observer = function
+    | Incremental.Trace_evicted { bytes } ->
+        incr evicted;
+        reported := bytes
+    | _ -> ()
+  in
+  let budget = 512 in
+  let eng = Incremental.create ~observer ~trace_cache_budget:budget net in
+  for i = 1 to 30 do
+    ignore
+      (Net.send net
+         ((i mod 3) + 1)
+         (Message.message
+            (Message.Flow_mod
+               (Message.flow_add ~priority:(10 + i)
+                  patterns.(i mod Array.length patterns)
+                  [ Action.Output ((i mod 2) + 1) ]))));
+    T_util.checkb "equivalence under eviction" true
+      (Incremental.check ~invariants:invs eng
+      = Checker.check ~invariants:invs (Snapshot.of_net net))
+  done;
+  T_util.checkb "budget forced evictions" true (!evicted > 0);
+  T_util.checki "stats agree with observer" !evicted
+    (Incremental.stats eng).Incremental.evictions;
+  T_util.checkb "event reports post-eviction size" true
+    (!reported = Incremental.cache_bytes eng || !reported <= budget);
+  T_util.checkb "cache never empty" true (Incremental.cache_lines eng >= 1)
 
 let install net sid ?(priority = Message.default_priority) ?(idle = 0)
     pattern actions =
@@ -300,6 +357,9 @@ let suite =
       test_flow_timeout_invalidates;
     Alcotest.test_case "hypothetical mods do not pollute" `Quick
       test_hypothetical_mods_do_not_pollute;
+    QCheck_alcotest.to_alcotest prop_check_equiv_under_eviction;
+    Alcotest.test_case "eviction keeps cache bounded and honest" `Quick
+      test_eviction_bounds_cache;
     Alcotest.test_case "partition-heal resync equivalence" `Quick
       test_partition_heal_resync_equivalence;
   ]

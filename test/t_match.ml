@@ -84,6 +84,39 @@ let prop_exact_matches_self =
     (fun (p, in_port) ->
       Ofp_match.matches (Ofp_match.exact ~in_port p) ~in_port p)
 
+(* Hash-consing must be a pure representation change: the interned
+   representative of a pattern is behaviorally indistinguishable from the
+   fresh record it replaced, and the codec round-trip of any pattern
+   re-interns to the very same shared block. *)
+let prop_intern_behavioral =
+  QCheck2.Test.make ~name:"interned match is behaviorally identical"
+    ~count:500
+    QCheck2.Gen.(
+      pair T_util.Gen.ofp_match (pair T_util.Gen.packet (int_range 1 8)))
+    (fun (m, (p, in_port)) ->
+      let i = Ofp_match.intern m in
+      Ofp_match.equal i m && Ofp_match.equal m i
+      && Ofp_match.hash i = Ofp_match.hash m
+      && Ofp_match.subsumes i m && Ofp_match.subsumes m i
+      && Ofp_match.matches i ~in_port p = Ofp_match.matches m ~in_port p
+      && encode_decode i = encode_decode m
+      (* decode yields a fresh record; interning it finds [i] again *)
+      && Ofp_match.intern (encode_decode m) == i)
+
+let test_intern_sharing () =
+  let fresh () = Ofp_match.make ~tp_dst:8080 ~nw_proto:6 () in
+  let a = Ofp_match.intern (fresh ()) in
+  let b = Ofp_match.intern (fresh ()) in
+  T_util.checkb "structurally equal patterns share one block" true (a == b);
+  T_util.checkb "re-interning the representative is the identity" true
+    (Ofp_match.intern a == a);
+  let was = Ofp_match.interning_enabled () in
+  Ofp_match.set_interning false;
+  let c = fresh () in
+  T_util.checkb "disabled interning returns its argument" true
+    (Ofp_match.intern c == c);
+  Ofp_match.set_interning was
+
 let prop_overlap_symmetric =
   QCheck2.Test.make ~name:"overlap is symmetric" ~count:300
     QCheck2.Gen.(pair T_util.Gen.ofp_match T_util.Gen.ofp_match)
@@ -103,4 +136,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_subsumes_implies_matches;
     QCheck_alcotest.to_alcotest prop_exact_matches_self;
     QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+    QCheck_alcotest.to_alcotest prop_intern_behavioral;
+    Alcotest.test_case "intern shares and toggles" `Quick test_intern_sharing;
   ]

@@ -157,6 +157,93 @@ let test_scenario_with_faults () =
   T_util.checkb "connectivity dipped during the flap" true
     (report.Scenario.min_connectivity <= report.Scenario.mean_connectivity)
 
+(* ---- Trace_gen: the trace-driven workload generator ---- *)
+
+module Trace_gen = Workload.Trace_gen
+module Runtime = Legosdn.Runtime
+
+let w_config =
+  {
+    Runtime.default_workload_config with
+    Runtime.w_seed = 11;
+    Runtime.w_rate = 40.;
+    Runtime.w_churn = 0.2;
+  }
+
+let hosts = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_trace_gen_deterministic () =
+  let gen () = Trace_gen.plan ~config:w_config ~hosts ~duration:20. () in
+  T_util.checkb "same config, same plan" true (gen () = gen ());
+  let other =
+    Trace_gen.plan
+      ~config:{ w_config with Runtime.w_seed = 12 }
+      ~hosts ~duration:20. ()
+  in
+  T_util.checkb "different seed, different plan" true (gen () <> other)
+
+let test_trace_gen_shape () =
+  let plan = Trace_gen.plan ~config:w_config ~hosts ~duration:20. () in
+  let n = List.length plan.Trace_gen.flows in
+  (* Mean arrival rate is w_rate at peak, thinned by the diurnal curve
+     (average factor 1 - depth/2 = 0.75 here) and churn: expect roughly
+     0.5-0.75 * rate * duration flows, with wide slack for the heavy
+     tail. *)
+  T_util.checkb "enough flows" true (n > 100);
+  T_util.checkb "not beyond peak rate" true (n <= 20 * 40);
+  List.iter
+    (fun (f : Traffic.flow_spec) ->
+      T_util.checkb "no self traffic" true (f.src_host <> f.dst_host);
+      T_util.checkb "start within horizon" true
+        (f.start >= 0. && f.start < 20.);
+      T_util.checkb "hosts are real" true
+        (List.mem f.src_host hosts && List.mem f.dst_host hosts);
+      T_util.checkb "flow sizes bounded" true
+        (f.packets >= 1 && f.packets <= 20))
+    plan.Trace_gen.flows;
+  let rec sorted = function
+    | (a : Traffic.flow_spec) :: (b :: _ as rest) ->
+        a.start <= b.start && sorted rest
+    | _ -> true
+  in
+  T_util.checkb "flows time-ordered" true (sorted plan.Trace_gen.flows)
+
+let test_trace_gen_churn () =
+  let plan = Trace_gen.plan ~config:w_config ~hosts ~duration:20. () in
+  (* w_churn * duration = 4 outages requested. *)
+  T_util.checki "churn events" 4 (List.length plan.Trace_gen.offline);
+  List.iter
+    (fun (h, (leave, rejoin)) ->
+      T_util.checkb "outage host is real" true (List.mem h hosts);
+      T_util.checkb "outage well-formed" true (0. <= leave && leave < rejoin);
+      (* No flow touches an offline endpoint during its outage. *)
+      List.iter
+        (fun (f : Traffic.flow_spec) ->
+          if f.start >= leave && f.start < rejoin then
+            T_util.checkb "offline host neither sends nor receives" true
+              (f.src_host <> h && f.dst_host <> h))
+        plan.Trace_gen.flows)
+    plan.Trace_gen.offline
+
+let test_trace_gen_no_churn_no_outages () =
+  let plan =
+    Trace_gen.plan
+      ~config:{ w_config with Runtime.w_churn = 0. }
+      ~hosts ~duration:20. ()
+  in
+  T_util.checki "no outages" 0 (List.length plan.Trace_gen.offline)
+
+let test_trace_gen_injections_sorted () =
+  let injections =
+    Trace_gen.injections ~config:w_config ~hosts ~duration:10. ()
+  in
+  T_util.checkb "non-empty" true (injections <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Traffic.at <= b.Traffic.at && sorted rest
+    | _ -> true
+  in
+  T_util.checkb "sorted by time" true (sorted injections)
+
 let suite =
   [
     Alcotest.test_case "flow injections" `Quick test_flow_injections_shape;
@@ -171,4 +258,12 @@ let suite =
     Alcotest.test_case "legosdn beats monolithic" `Quick test_scenario_comparison_shape;
     Alcotest.test_case "scenarios deterministic" `Quick test_scenario_deterministic;
     Alcotest.test_case "faulted scenario" `Quick test_scenario_with_faults;
+    Alcotest.test_case "trace-gen deterministic" `Quick
+      test_trace_gen_deterministic;
+    Alcotest.test_case "trace-gen flow shape" `Quick test_trace_gen_shape;
+    Alcotest.test_case "trace-gen churn outages" `Quick test_trace_gen_churn;
+    Alcotest.test_case "trace-gen zero churn" `Quick
+      test_trace_gen_no_churn_no_outages;
+    Alcotest.test_case "trace-gen injections sorted" `Quick
+      test_trace_gen_injections_sorted;
   ]
