@@ -12,7 +12,7 @@ module Command = Controller.Command
 module App_sig = Controller.App_sig
 module Monolithic = Controller.Monolithic
 module Runtime = Legosdn.Runtime
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Crashpad = Legosdn.Crashpad
 
 let null_context : App_sig.context =
@@ -40,7 +40,7 @@ let absolute_policy_config =
     Runtime.crashpad =
       {
         Crashpad.default_config with
-        Crashpad.policy = Policy.uniform Policy.Absolute;
+        Crashpad.policy = Recovery_policy.uniform Recovery_policy.Absolute;
       };
   }
 
@@ -52,12 +52,12 @@ let bench_isolation () =
   let mono_net =
     Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3)
   in
-  let mono = Monolithic.create mono_net [ (module Apps.Hub) ] in
+  let mono = Monolithic.create mono_net [ (App_sig.app (module Apps.Hub)) ] in
   Monolithic.step mono;
   let lego_net =
     Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3)
   in
-  let lego = Runtime.create lego_net [ (module Apps.Hub) ] in
+  let lego = Runtime.create lego_net [ (App_sig.app (module Apps.Hub)) ] in
   Runtime.step lego;
   let ev = packet_in_event 1 2 in
   let cmds =
@@ -87,7 +87,7 @@ let bench_isolation () =
 (* E5 — checkpoint cost vs application state size. *)
 
 let learning_switch_with_macs n =
-  let inst = ref (App_sig.instantiate (module Apps.Learning_switch)) in
+  let inst = ref (App_sig.instantiate (App_sig.app (module Apps.Learning_switch))) in
   for i = 1 to n do
     let ev =
       packet_in_event ~sid:1 ~in_port:(1 + (i mod 40)) i ((i mod 97) + 1)
@@ -117,7 +117,8 @@ let bench_checkpoint () =
    installs and dies mid-emission; Crash-Pad rolls all of them back,
    restores the snapshot and applies the (Absolute) policy. *)
 
-let partial_crasher n : (module App_sig.APP) =
+let partial_crasher n : App_sig.app =
+  App_sig.app
   (module struct
     type state = int
 
@@ -254,14 +255,14 @@ let bench_substrate () =
 
 let bench_crashpad_machinery () =
   let policy =
-    Legosdn.Policy.make ~default:Legosdn.Policy.Equivalence
+    Legosdn.Recovery_policy.make ~default:Legosdn.Recovery_policy.Equivalence
       [
-        { Legosdn.Policy.app = Some "firewall"; kind = None;
-          action = Legosdn.Policy.No_compromise };
-        { Legosdn.Policy.app = None; kind = Some Event.K_switch_down;
-          action = Legosdn.Policy.Equivalence };
-        { Legosdn.Policy.app = Some "lb"; kind = Some Event.K_packet_in;
-          action = Legosdn.Policy.Absolute };
+        { Legosdn.Recovery_policy.app = Some "firewall"; kind = None;
+          action = Legosdn.Recovery_policy.No_compromise };
+        { Legosdn.Recovery_policy.app = None; kind = Some Event.K_switch_down;
+          action = Legosdn.Recovery_policy.Equivalence };
+        { Legosdn.Recovery_policy.app = Some "lb"; kind = Some Event.K_packet_in;
+          action = Legosdn.Recovery_policy.Absolute };
       ]
   in
   let links_of _ =
@@ -276,7 +277,7 @@ let bench_crashpad_machinery () =
   [
     Test.make ~name:"policy-decide"
       (Staged.stage (fun () ->
-           ignore (Legosdn.Policy.decide policy ~app:"router" Event.K_packet_in)));
+           ignore (Legosdn.Recovery_policy.decide policy ~app:"router" Event.K_packet_in)));
     Test.make ~name:"transform-switch-down"
       (Staged.stage (fun () ->
            ignore (Legosdn.Transform.equivalents ~links_of (Event.Switch_down 1))));
@@ -290,7 +291,7 @@ let bench_crashpad_machinery () =
 let bench_topology_scale () =
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.fat_tree 4) in
-  let rt = Runtime.create net [ (module Apps.Spanning_tree) ] in
+  let rt = Runtime.create net [ (App_sig.app (module Apps.Spanning_tree)) ] in
   Runtime.step rt;
   let services_links =
     Controller.Services.context
@@ -331,13 +332,13 @@ let bench_scenario () =
            ignore
              (Workload.Scenario.run scenario ~make_driver:(fun net ->
                   Workload.Scenario.legosdn_driver
-                    (Runtime.create net [ (module Apps.Learning_switch) ])))));
+                    (Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ])))));
     Test.make ~name:"scenario-10s-monolithic"
       (Staged.stage (fun () ->
            ignore
              (Workload.Scenario.run scenario ~make_driver:(fun net ->
                   Workload.Scenario.monolithic_driver
-                    (Monolithic.create net [ (module Apps.Learning_switch) ])))));
+                    (Monolithic.create net [ (App_sig.app (module Apps.Learning_switch)) ])))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -420,7 +421,7 @@ let bench_channel () =
 let bench_incremental () =
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.fat_tree 4) in
-  let mono = Monolithic.create net [ (module Apps.Learning_switch) ] in
+  let mono = Monolithic.create net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Monolithic.step mono;
   let hosts = Topology.hosts (Net.topology net) in
   List.iter
@@ -485,7 +486,7 @@ let ckpt_stats : (string * float) list ref = ref []
    steady-state bytes are reported; the warm-up is charged to neither. *)
 let steady_state_bytes make_ckpt =
   let c = make_ckpt () in
-  let live = ref (App_sig.instantiate (module Apps.Learning_switch)) in
+  let live = ref (App_sig.instantiate (App_sig.app (module Apps.Learning_switch))) in
   let feed src dst =
     if Checkpoint.due c then Checkpoint.take c !live;
     let ev = packet_in_event ~sid:1 ~in_port:src src dst in
@@ -572,7 +573,7 @@ let bench_obs () =
     let net =
       Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3)
     in
-    let rt = Runtime.create net [ (module Apps.Hub) ] in
+    let rt = Runtime.create net [ (App_sig.app (module Apps.Hub)) ] in
     Runtime.step rt;
     (net, rt)
   in
@@ -671,10 +672,10 @@ let bench_failover () =
   (* Exact counters from one scripted kill run: traffic, a kill at the
      midpoint, traffic to the end. *)
   let clock, net, inject = fat_tree_world () in
-  let apps : (module App_sig.APP) list =
+  let apps : App_sig.app list =
     (* STP prunes the fat-tree's loops before learning-switch floods, so
        the drive reaches a steady state instead of a broadcast storm. *)
-    [ (module Apps.Spanning_tree); (module Apps.Learning_switch) ]
+    [ (App_sig.app (module Apps.Spanning_tree)); (App_sig.app (module Apps.Learning_switch)) ]
   in
   let killed = Cluster.create ~config:cluster_config ~seed:11 net apps in
   for i = 1 to 40 do
@@ -753,7 +754,7 @@ let bench_dispatch () =
     let hosts = Array.of_list (Topology.hosts (Net.topology net)) in
     let nh = Array.length hosts in
     let config = { Runtime.default_config with Runtime.dispatch } in
-    let rt = Runtime.create ~config net [ (module Apps.Arp_responder) ] in
+    let rt = Runtime.create ~config net [ (App_sig.app (module Apps.Arp_responder)) ] in
     Runtime.step rt;
     (* Teach the responder its directory with gratuitous replies: ARP
        *requests* for unknown addresses would flood, and a fat-tree's
@@ -895,7 +896,7 @@ let bounded_cache_campaign () =
   (* STP first so the learning switch works on a loop-free overlay. *)
   let rt =
     Runtime.create ~config net
-      [ (module Apps.Spanning_tree); (module Apps.Learning_switch) ]
+      [ (App_sig.app (module Apps.Spanning_tree)); (App_sig.app (module Apps.Learning_switch)) ]
   in
   Runtime.step rt;
   let w =
@@ -934,7 +935,7 @@ let scale_world k =
   let config =
     { Runtime.default_config with Runtime.dispatch = Runtime.default_sharded }
   in
-  let rt = Runtime.create ~config net [ (module Apps.Arp_responder) ] in
+  let rt = Runtime.create ~config net [ (App_sig.app (module Apps.Arp_responder)) ] in
   Runtime.step rt;
   (* Gratuitous replies teach the responder every binding without the
      broadcast storm an unknown-address request would start (see E25). *)
@@ -1021,6 +1022,100 @@ let bench_scale () =
         ~name:(Printf.sprintf "trace-step-fat-tree-k%d" k)
         (Staged.stage drive))
     [ 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E27 — declarative policy compiler: compile throughput, plus the full
+   pipeline a policy-derived compromise pays (recompile against the
+   post-failure topology, diff against installed intent, differential
+   agreement on a probe set, invariant check over the flow-mods),
+   against the hand-coded transform it subsumes. *)
+
+let policy_stats : (string * float) list ref = ref []
+
+let bench_policy () =
+  policy_stats := [];
+  let switches n = List.init n (fun i -> i + 1) in
+  (* Bidirectional chain matching [Topo_gen.linear]'s port plan: port 1
+     faces down-chain, port 2 up-chain, port 100 attaches the host. *)
+  let chain_links n =
+    List.concat_map
+      (fun i ->
+        [
+          { Event.src_switch = i; src_port = 2; dst_switch = i + 1; dst_port = 1 };
+          { Event.src_switch = i + 1; src_port = 1; dst_switch = i; dst_port = 2 };
+        ])
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  (* The policy_router shape: one Dl_dst route bundle per destination,
+     every switch forwarding along the chain towards it. *)
+  let routes ~fabric:n ~dests:m =
+    Policy.union_all
+      (List.init m (fun h ->
+           let mac = Openflow.Types.mac_of_host (h + 1) in
+           let dst = (h mod n) + 1 in
+           Policy.union_all
+             (List.map
+                (fun sw ->
+                  let out =
+                    if sw = dst then 100 else if sw < dst then 2 else 1
+                  in
+                  Policy.at sw
+                    (Policy.seq
+                       (Policy.filter (Policy.Test (Policy.Dl_dst mac)))
+                       (Policy.forward out)))
+                (switches n))))
+  in
+  let firewall = Apps.Policy_firewall.intent in
+  let routes_16x64 = routes ~fabric:16 ~dests:64 in
+  policy_stats :=
+    [
+      ( "policy-rows-firewall-16sw",
+        float_of_int
+          (Policy.table_rows (Policy.compile ~switches:(switches 16) firewall))
+      );
+      ( "policy-rows-routes-16sw-64dst",
+        float_of_int
+          (Policy.table_rows
+             (Policy.compile ~switches:(switches 16) routes_16x64)) );
+    ];
+  (* The compromise pipeline on a live fabric, exactly the work
+     [Crashpad.sync_intent] does per candidate rule-set: switch 4 has
+     died, so the intent is recompiled over the survivors, diffed against
+     the tables installed before the failure, checked against the
+     reference denotation on a derived probe set, and finally screened by
+     the safety invariants. *)
+  let net =
+    Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 8)
+  in
+  let live = switches 8 in
+  let survivors = List.filter (fun s -> s <> 4) live in
+  let ports _ = [ 100; 1; 2 ] in
+  let pol = Policy.union firewall (routes ~fabric:8 ~dests:8) in
+  let installed = Policy.compile ~switches:live pol in
+  let verified_compromise () =
+    let next = Policy.compile ~switches:survivors pol in
+    let mods = Policy.flow_mods ~prev:installed ~next in
+    let probes = Policy.probes ~ports next in
+    let agreed = Policy.agrees ~ports ~switches:survivors pol next ~probes in
+    let snap = Invariants.Snapshot.of_net net in
+    let violations = Invariants.Checker.check_flow_mods snap mods in
+    ignore agreed;
+    ignore violations
+  in
+  let links_of _ = chain_links 8 in
+  [
+    Test.make ~name:"compile-firewall-16sw"
+      (Staged.stage (fun () ->
+           ignore (Policy.compile ~switches:(switches 16) firewall)));
+    Test.make ~name:"compile-routes-16sw-64dst"
+      (Staged.stage (fun () ->
+           ignore (Policy.compile ~switches:(switches 16) routes_16x64)));
+    Test.make ~name:"verified-compromise-linear-8"
+      (Staged.stage verified_compromise);
+    Test.make ~name:"transform-baseline-switch-down"
+      (Staged.stage (fun () ->
+           ignore (Legosdn.Transform.equivalents ~links_of (Event.Switch_down 4))));
+  ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -1168,6 +1263,9 @@ let write_json path rows =
         ( "dispatch-seq-over-sharded-speedup",
           "flood-step-seq-fat-tree-k8",
           "flood-step-sharded-fat-tree-k8" );
+        ( "policy-compromise-over-transform",
+          "verified-compromise-linear-8",
+          "transform-baseline-switch-down" );
       ]
   in
   (* Exact counters from the ckpt cluster's byte-accounting experiment
@@ -1188,10 +1286,28 @@ let write_json path rows =
                    (ev *. 1e9 /. ns))
           | _ -> None)
         [ 4; 8; 16 ]
+    (* Compile throughput in rows/second, from the policy cluster's
+       row-count stats (empty unless that cluster ran). *)
+    @ List.filter_map
+        (fun (test, stat, key) ->
+          match (find_ns rows test, List.assoc_opt stat !policy_stats) with
+          | Some ns, Some nrows when ns > 0. && not (Float.is_nan ns) ->
+              Some
+                (Printf.sprintf "    \"%s\": %.2f" key (nrows *. 1e9 /. ns))
+          | _ -> None)
+        [
+          ( "compile-firewall-16sw",
+            "policy-rows-firewall-16sw",
+            "policy-compile-rows-per-sec-firewall" );
+          ( "compile-routes-16sw-64dst",
+            "policy-rows-routes-16sw-64dst",
+            "policy-compile-rows-per-sec-routes" );
+        ]
     @ List.map
         (fun (key, v) ->
           Printf.sprintf "    \"%s\": %.2f" (json_escape key) v)
-        (!ckpt_stats @ !failover_stats @ !dispatch_stats @ !scale_stats)
+        (!ckpt_stats @ !failover_stats @ !dispatch_stats @ !scale_stats
+       @ !policy_stats)
   in
   output_string oc (String.concat ",\n" derived);
   output_string oc "\n  }\n}\n";
@@ -1224,6 +1340,8 @@ let groups () =
      bench_dispatch);
     ("scale", "fat-tree k=16: interned matches, bounded cache, trace load (E26)",
      bench_scale);
+    ("policy", "declarative intent: compile + verified compromise (E27)",
+     bench_policy);
   ]
 
 let () =

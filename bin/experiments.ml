@@ -13,7 +13,7 @@ module Monolithic = Controller.Monolithic
 module Runtime = Legosdn.Runtime
 module Sandbox = Legosdn.Sandbox
 module Metrics = Legosdn.Metrics
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Crashpad = Legosdn.Crashpad
 module Ticket = Legosdn.Ticket
 module Scenario = Workload.Scenario
@@ -103,11 +103,11 @@ let standard_traffic ?(poison_every = 0.) duration =
 let poisoned_bug =
   Apps.Bug_model.make (Apps.Bug_model.On_tp_dst 6666) Apps.Bug_model.Crash
 
-let fig1_apps () : (module App_sig.APP) list =
+let fig1_apps () : App_sig.app list =
   [
-    Apps.Faulty.wrap ~bug:poisoned_bug (module Apps.Learning_switch);
-    (module Apps.Firewall);
-    (module Apps.Monitor);
+    Apps.Faulty.wrap ~bug:poisoned_bug (App_sig.app (module Apps.Learning_switch));
+    (App_sig.app (module Apps.Firewall));
+    (App_sig.app (module Apps.Monitor));
   ]
 
 let fig1 () =
@@ -166,9 +166,9 @@ let availability () =
   let variants =
     [
       ("monolithic", `Mono);
-      ("legosdn/no-compromise", `Lego (Policy.uniform Policy.No_compromise));
-      ("legosdn/absolute", `Lego (Policy.uniform Policy.Absolute));
-      ("legosdn/equivalence", `Lego (Policy.uniform Policy.Equivalence));
+      ("legosdn/no-compromise", `Lego (Recovery_policy.uniform Recovery_policy.No_compromise));
+      ("legosdn/absolute", `Lego (Recovery_policy.uniform Recovery_policy.Absolute));
+      ("legosdn/equivalence", `Lego (Recovery_policy.uniform Recovery_policy.Equivalence));
     ]
   in
   row "  %-24s| %-10s| %-11s| %-10s| %-13s| %s\n" "architecture" "poison (s)"
@@ -178,10 +178,10 @@ let availability () =
     (fun poison_every ->
       List.iter
         (fun (label, kind) ->
-          let apps () : (module App_sig.APP) list =
+          let apps () : App_sig.app list =
             [
-              Apps.Faulty.wrap ~bug:poisoned_bug (module Apps.Learning_switch);
-              (module Apps.Firewall);
+              Apps.Faulty.wrap ~bug:poisoned_bug (App_sig.app (module Apps.Learning_switch));
+              (App_sig.app (module Apps.Firewall));
             ]
           in
           let scenario =
@@ -231,9 +231,9 @@ let ckpt_k () =
       let bug = Apps.Bug_model.make (Apps.Bug_model.On_tp_dst 6666) Apps.Bug_model.Crash in
       let rt =
         Runtime.create
-          ~config:(config_with ~checkpoint_every:k (Policy.uniform Policy.Absolute))
+          ~config:(config_with ~checkpoint_every:k (Recovery_policy.uniform Recovery_policy.Absolute))
           net
-          [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+          [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
       in
       Runtime.step rt;
       for i = 1 to 60 do
@@ -254,7 +254,8 @@ let ckpt_k () =
 
 (* ------------------------------------------------------------------ *)
 
-let partial_crasher n : (module App_sig.APP) =
+let partial_crasher n : App_sig.app =
+  App_sig.app
   (module struct
     type state = int
 
@@ -284,7 +285,7 @@ let recovery () =
       let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2) in
       let rt =
         Runtime.create
-          ~config:(config_with (Policy.uniform Policy.Absolute))
+          ~config:(config_with (Recovery_policy.uniform Recovery_policy.Absolute))
           net [ partial_crasher n ]
       in
       Runtime.step rt;
@@ -443,12 +444,12 @@ let nversion_exp () =
         (Apps.Bug_model.make
            (Apps.Bug_model.On_kind Event.K_packet_in)
            Apps.Bug_model.Byzantine_blackhole)
-      (Apps.Router.variant "router_team_b")
+      (App_sig.app (Apps.Router.variant "router_team_b"))
   in
   let run label apps =
     let clock = Clock.create () in
     let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
-    let rt = Runtime.create ~config:(config_with (Policy.uniform Policy.Absolute)) net apps in
+    let rt = Runtime.create ~config:(config_with (Recovery_policy.uniform Recovery_policy.Absolute)) net apps in
     Runtime.step rt;
     for i = 1 to 12 do
       Clock.advance_by clock 0.05;
@@ -466,11 +467,11 @@ let nversion_exp () =
   let module Voted =
     Legosdn.Nversion.Make3
       (Apps.Router)
-      ((val byzantine_router : App_sig.APP))
+      ((val byzantine_router : App_sig.INTENT_APP))
       ((val Apps.Router.variant ~prefer_high_ports:true "router_team_c"))
   in
   run "byzantine router alone" [ byzantine_router ];
-  run "3-version voted bundle" [ (module Voted) ];
+  run "3-version voted bundle" [ App_sig.app (module Voted) ];
   row "\n  Reading: alone, every poisoned output must be caught by the\n";
   row "  invariant checker; inside the bundle the two healthy versions\n";
   row "  out-vote it and nothing bad even reaches the checker.\n"
@@ -482,7 +483,7 @@ let clone_exp () =
   let bug p =
     Apps.Bug_model.make (Apps.Bug_model.With_probability (p, 99)) Apps.Bug_model.Crash
   in
-  let count_crashes (module A : App_sig.APP) events =
+  let count_crashes (module A : App_sig.INTENT_APP) events =
     let crashes = ref 0 in
     let st = ref (A.init ()) in
     let ctx : App_sig.context =
@@ -506,13 +507,13 @@ let clone_exp () =
   List.iter
     (fun p ->
       let plain =
-        count_crashes (Apps.Faulty.wrap ~bug:(bug p) (module Apps.Hub)) 200
+        count_crashes (Apps.Faulty.wrap ~bug:(bug p) (App_sig.app (module Apps.Hub))) 200
       in
       let module Cloned =
         Legosdn.Clone_runner.Make
-          ((val Apps.Faulty.wrap ~bug:(bug p) (module Apps.Hub)))
+          ((val Apps.Faulty.wrap ~bug:(bug p) (App_sig.app (module Apps.Hub))))
       in
-      let masked = count_crashes (module Cloned) 200 in
+      let masked = count_crashes (App_sig.app (module Cloned)) 200 in
       row "  %-8.2f| %-18d| %d\n" p plain masked)
     [ 0.1; 0.3; 0.5 ]
 
@@ -575,7 +576,7 @@ let upgrade_exp () =
   in
   (* LegoSDN upgrade. *)
   let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2) in
-  let rt = Runtime.create net [ (module Apps.Learning_switch) ] in
+  let rt = Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.step rt;
   learn net (fun () -> Runtime.step rt);
   let box = Option.get (Runtime.sandbox rt "learning_switch") in
@@ -584,7 +585,7 @@ let upgrade_exp () =
   let lego_preserved = Sandbox.state_size box = before in
   (* Monolithic restart. *)
   let net2 = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2) in
-  let mono = Monolithic.create net2 [ (module Apps.Learning_switch) ] in
+  let mono = Monolithic.create net2 [ (App_sig.app (module Apps.Learning_switch)) ] in
   Monolithic.step mono;
   learn net2 (fun () -> Monolithic.step mono);
   let state_of m = App_sig.snapshot (List.hd (Monolithic.apps m)) in
@@ -624,7 +625,7 @@ let limits_exp () =
     let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2) in
     let rt =
       Runtime.create ~config net
-        [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+        [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
     in
     Runtime.step rt;
     for i = 1 to 20 do
@@ -645,7 +646,7 @@ let limits_exp () =
 let latency_exp () =
   section "E4" "isolation overhead: serialized bytes per event (virtual view)";
   let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3) in
-  let rt = Runtime.create net [ (module Apps.Learning_switch) ] in
+  let rt = Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.step rt;
   let box = Option.get (Runtime.sandbox rt "learning_switch") in
   let before = ref (Sandbox.rpc_bytes box) in
@@ -675,7 +676,7 @@ let quarantine_exp () =
         Runtime.crashpad =
           {
             Crashpad.default_config with
-            Crashpad.policy = Policy.uniform Policy.Absolute;
+            Crashpad.policy = Recovery_policy.uniform Recovery_policy.Absolute;
             Crashpad.quarantine;
           };
       }
@@ -686,7 +687,7 @@ let quarantine_exp () =
     let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2) in
     let rt =
       Runtime.create ~config net
-        [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+        [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
     in
     Runtime.step rt;
     let poisoned = packet_in_event ~dport:6666 1 2 in
@@ -746,7 +747,7 @@ let standby_exp () =
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
   let sb =
-    Legosdn.Standby.create ~sync_interval:0.5 net [ (module Apps.Learning_switch) ]
+    Legosdn.Standby.create ~sync_interval:0.5 net [ (App_sig.app (module Apps.Learning_switch)) ]
   in
   Legosdn.Standby.step sb;
   List.iter
@@ -773,9 +774,9 @@ let storm_exp () =
   let run with_stp =
     let clock = Clock.create () in
     let net = Net.create clock (Topo_gen.ring ~hosts_per_switch:1 4) in
-    let apps : (module App_sig.APP) list =
-      if with_stp then [ (module Apps.Spanning_tree); (module Apps.Hub) ]
-      else [ (module Apps.Hub) ]
+    let apps : App_sig.app list =
+      if with_stp then [ (App_sig.app (module Apps.Spanning_tree)); (App_sig.app (module Apps.Hub)) ]
+      else [ (App_sig.app (module Apps.Hub)) ]
     in
     let rt = Runtime.create net apps in
     Runtime.step rt;
@@ -906,7 +907,7 @@ let channel_exp () =
         Runtime.reliable = { Legosdn.Reliable.default_config with enabled };
       }
     in
-    let rt = Runtime.create ~config net [ (module Apps.Learning_switch) ] in
+    let rt = Runtime.create ~config net [ (App_sig.app (module Apps.Learning_switch)) ] in
     Runtime.step rt;
     List.iter
       (fun (src, dst) ->
@@ -942,10 +943,10 @@ let availability_dist () =
   section "E7b" "availability distribution over randomized workloads";
   let duration = 20. in
   let run_arch seed kind =
-    let apps () : (module App_sig.APP) list =
+    let apps () : App_sig.app list =
       [
-        Apps.Faulty.wrap ~bug:poisoned_bug (module Apps.Learning_switch);
-        (module Apps.Firewall);
+        Apps.Faulty.wrap ~bug:poisoned_bug (App_sig.app (module Apps.Learning_switch));
+        (App_sig.app (module Apps.Firewall));
       ]
     in
     let traffic =
@@ -974,7 +975,7 @@ let availability_dist () =
         Scenario.run scenario ~make_driver:(fun net ->
             Scenario.legosdn_driver
               (Runtime.create
-                 ~config:(config_with (Policy.uniform Policy.Absolute))
+                 ~config:(config_with (Recovery_policy.uniform Recovery_policy.Absolute))
                  net (apps ())))
   in
   let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in

@@ -12,7 +12,7 @@ open Netsim
 module Event = Controller.Event
 module App_sig = Controller.App_sig
 module Runtime = Legosdn.Runtime
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Crashpad = Legosdn.Crashpad
 module Scenario = Workload.Scenario
 module Traffic = Workload.Traffic
@@ -118,13 +118,13 @@ let run_scenario make_topology arch app_names bug policy_file config_file
   in
   let policy =
     match policy_file with
-    | None -> Policy.uniform Policy.Equivalence
+    | None -> Recovery_policy.uniform Recovery_policy.Equivalence
     | Some path -> (
-        match Legosdn.Policy_lang.parse (read_file path) with
+        match Legosdn.Recovery_policy_lang.parse (read_file path) with
         | Ok p -> p
         | Error e ->
             Printf.eprintf "error: %s: %s\n" path
-              (Format.asprintf "%a" Legosdn.Policy_lang.pp_error e);
+              (Format.asprintf "%a" Legosdn.Recovery_policy_lang.pp_error e);
             exit 2)
   in
   let config =
@@ -279,7 +279,7 @@ end
 let record_trace make_topology app_names duration out_path =
   let apps =
     List.filter_map app_of_name app_names
-    @ [ (module Recorder_app : App_sig.APP) ]
+    @ [ App_sig.app (module Recorder_app : App_sig.APP) ]
   in
   let probe_topo = make_topology () in
   let hosts = Topology.hosts probe_topo in
@@ -319,13 +319,13 @@ let minimize_trace trace_path app_name bug =
           host_location = (fun _ -> None);
         }
       in
-      if not (Legosdn.Sts.crashes_on faulty ctx trace) then begin
+      if not (Legosdn.Sts.crashes_on (App_sig.to_legacy faulty) ctx trace) then begin
         Printf.printf "the trace does not crash %s with bug [%s]\n" app_name
           (Apps.Bug_model.describe bug);
         `Ok ()
       end
       else begin
-        let minimal, calls = Legosdn.Sts.minimize faulty ctx trace in
+        let minimal, calls = Legosdn.Sts.minimize (App_sig.to_legacy faulty) ctx trace in
         Printf.printf
           "minimal causal sequence: %d of %d events (%d oracle calls)\n"
           (List.length minimal) (List.length trace) calls;
@@ -381,15 +381,15 @@ let check_config path =
       exit 1
 
 let check_policy path =
-  match Legosdn.Policy_lang.parse (read_file path) with
+  match Legosdn.Recovery_policy_lang.parse (read_file path) with
   | Ok p ->
       Printf.printf "%s: OK (%d rules)\n%s" path
-        (List.length (Policy.rules p))
-        (Legosdn.Policy_lang.print p);
+        (List.length (Recovery_policy.rules p))
+        (Legosdn.Recovery_policy_lang.print p);
       `Ok ()
   | Error e ->
       Printf.eprintf "%s: %s\n" path
-        (Format.asprintf "%a" Legosdn.Policy_lang.pp_error e);
+        (Format.asprintf "%a" Legosdn.Recovery_policy_lang.pp_error e);
       exit 1
 
 (* ---------------- cmdliner wiring ---------------- *)

@@ -112,6 +112,14 @@ let dispatch_arg =
   Arg.(value & opt dispatch_conv Legosdn.Runtime.Sequential
        & info [ "dispatch" ] ~docv:"MODE" ~doc)
 
+let apps_arg =
+  let doc =
+    "Comma-separated app suite overriding each scenario's generated menu \
+     (e.g. 'policy_router,policy_firewall'); topology, faults and traffic \
+     stay seed-determined."
+  in
+  Arg.(value & opt (some string) None & info [ "apps" ] ~docv:"NAMES" ~doc)
+
 let replay_arg =
   let doc = "Replay a reproducer file instead of fuzzing." in
   Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
@@ -169,7 +177,7 @@ let do_replay oracles dispatch path =
     2
   end
 
-let do_fuzz oracles dispatch seeds budget plant trace_buffer out =
+let do_fuzz oracles dispatch seeds budget plant trace_buffer apps out =
   Printf.printf "fuzzing %d seed(s), oracles: %s, plant: %s, dispatch: %s\n%!"
     (List.length seeds)
     (String.concat "," (List.map (fun o -> o.Check.Oracle.name) oracles))
@@ -194,7 +202,7 @@ let do_fuzz oracles dispatch seeds budget plant trace_buffer out =
     Printf.printf "  reproducer: %s\n%!" path
   in
   let result =
-    Check.Fuzz.campaign ~oracles ~plant ?trace_buffer ~dispatch
+    Check.Fuzz.campaign ~oracles ~plant ?trace_buffer ~dispatch ?apps
       ?max_findings:budget ~on_finding seeds
   in
   Printf.printf "%d seed(s) run, %d finding(s)\n%!"
@@ -203,8 +211,16 @@ let do_fuzz oracles dispatch seeds budget plant trace_buffer out =
   if result.Check.Fuzz.findings = [] then 0 else 2
 
 let main seeds budget oracles_csv out plant kill_leader trace_buffer dispatch
-    replay =
+    apps_csv replay =
   let plant = if kill_leader then Check.Fuzz.Kill_leader_plant else plant in
+  let apps =
+    Option.map
+      (fun csv ->
+        List.filter
+          (fun s -> s <> "")
+          (List.map String.trim (String.split_on_char ',' csv)))
+      apps_csv
+  in
   match
     (try Ok (select_oracles oracles_csv)
      with Invalid_argument msg -> Error msg)
@@ -215,7 +231,7 @@ let main seeds budget oracles_csv out plant kill_leader trace_buffer dispatch
   | Ok oracles -> (
       match replay with
       | Some path -> do_replay oracles dispatch path
-      | None -> do_fuzz oracles dispatch seeds budget plant trace_buffer out)
+      | None -> do_fuzz oracles dispatch seeds budget plant trace_buffer apps out)
 
 let cmd =
   let doc = "deterministic scenario fuzzer for the LegoSDN stack" in
@@ -223,6 +239,6 @@ let cmd =
     (Cmd.info "legosdn_fuzz" ~doc)
     Term.(
       const main $ seeds_arg $ budget_arg $ oracles_arg $ out_arg $ plant_arg
-      $ kill_leader_arg $ trace_arg $ dispatch_arg $ replay_arg)
+      $ kill_leader_arg $ trace_arg $ dispatch_arg $ apps_arg $ replay_arg)
 
 let () = exit (Cmd.eval' cmd)

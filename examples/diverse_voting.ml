@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Software and data diversity (§3.4): three independently built versions
    of the routing application run side by side; LegoSDN feeds them the
    same events and uses the majority output. One version is byzantine (it
@@ -18,7 +19,7 @@ let byzantine_router () =
       (Apps.Bug_model.make
          (Apps.Bug_model.On_kind Event.K_packet_in)
          Apps.Bug_model.Byzantine_blackhole)
-    (Apps.Router.variant "router_team_b")
+    (Controller.App_sig.app (Apps.Router.variant "router_team_b"))
 
 let drive net step =
   List.iter
@@ -52,11 +53,11 @@ let () =
   let module Voted =
     Legosdn.Nversion.Make3
       (Apps.Router)
-      ((val byzantine_router () : Controller.App_sig.APP))
+      ((val byzantine_router () : Controller.App_sig.INTENT_APP))
       ((val Apps.Router.variant ~prefer_high_ports:true "router_team_c"))
   in
   let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3) in
-  let rt = Runtime.create net [ (module Voted) ] in
+  let rt = Runtime.create net [ Controller.App_sig.app (module Voted) ] in
   Runtime.step rt;
   drive net (fun () -> Runtime.step rt);
   report "3-version voted bundle:" rt net;

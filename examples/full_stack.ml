@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* The realistic deployment: a whole application suite on a data-center
    fabric, with failures everywhere.
 
@@ -15,15 +16,15 @@ module Sandbox = Legosdn.Sandbox
 module Metrics = Legosdn.Metrics
 module Event = Controller.Event
 
-let apps () : (module Controller.App_sig.APP) list =
+let apps () : Controller.App_sig.app list =
   [
-    (module Apps.Spanning_tree);
-    (module Apps.Arp_responder);
+    (App_sig.app (module Apps.Spanning_tree));
+    (App_sig.app (module Apps.Arp_responder));
     Apps.Faulty.wrap
       ~bug:(Apps.Bug_model.make (Apps.Bug_model.On_tp_dst 6666) Apps.Bug_model.Crash)
-      (module Apps.Router);
-    (module Apps.Firewall);
-    (module Apps.Monitor);
+      (App_sig.app (module Apps.Router));
+    (App_sig.app (module Apps.Firewall));
+    (App_sig.app (module Apps.Monitor));
   ]
 
 let () =

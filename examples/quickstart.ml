@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Quickstart: the paper's core claim in one run.
 
    A learning switch with an injected deterministic bug (it crashes on the
@@ -19,10 +20,10 @@ module Sandbox = Legosdn.Sandbox
 let buggy_learning_switch () =
   Apps.Faulty.wrap
     ~bug:(Apps.Bug_model.crash_on_nth Controller.Event.K_packet_in 3)
-    (module Apps.Learning_switch)
+    (App_sig.app (module Apps.Learning_switch))
 
-let apps () : (module Controller.App_sig.APP) list =
-  [ buggy_learning_switch (); (module Apps.Firewall) ]
+let apps () : Controller.App_sig.app list =
+  [ buggy_learning_switch (); (App_sig.app (module Apps.Firewall)) ]
 
 (* Drive some host-pair traffic through a controller, stepping after each
    injection so packet-ins are dispatched. *)

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Resilient routing: the Equivalence-Compromise policy in action.
 
    A shortest-path router on a ring has a bug: it crashes when handling
@@ -17,7 +18,7 @@ module Monolithic = Controller.Monolithic
 let buggy_router () =
   Apps.Faulty.wrap
     ~bug:(Apps.Bug_model.crash_on Event.K_link_down)
-    (module Apps.Router)
+    (App_sig.app (module Apps.Router))
 
 let drive net step pairs =
   List.iter

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Controller upgrades without losing application state (§3.4).
 
    The paper: "Upgrades to the controller codebase must be followed by a
@@ -42,7 +43,7 @@ let () =
 
   (* Monolithic: upgrade = restart = app state loss. *)
   let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3) in
-  let mono = Monolithic.create net [ (module Apps.Learning_switch) ] in
+  let mono = Monolithic.create net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Monolithic.step mono;
   drive net (fun () -> Monolithic.step mono) warmup;
   let state_bytes m =
@@ -64,7 +65,7 @@ let () =
 
   (* LegoSDN: platform replaced, sandboxes (and their state) survive. *)
   let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 3) in
-  let lego = Runtime.create net [ (module Apps.Learning_switch) ] in
+  let lego = Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.step lego;
   drive net (fun () -> Runtime.step lego) warmup;
   let box = Option.get (Runtime.sandbox lego "learning_switch") in

@@ -25,7 +25,7 @@ let instance_counter = ref 0
    non-deterministic bugs non-reproducible. *)
 let environment_clock = ref 0
 
-let wrap ~bug (module A : App_sig.APP) : (module App_sig.APP) =
+let wrap ~bug ((module A : App_sig.INTENT_APP) : App_sig.app) : App_sig.app =
   (module struct
     type state = {
       inner : A.state;
@@ -37,6 +37,11 @@ let wrap ~bug (module A : App_sig.APP) : (module App_sig.APP) =
 
     let name = A.name
     let subscriptions = A.subscriptions
+
+    (* Intent passes through untouched: the bug corrupts behavior, not the
+       declared policy — which is exactly what lets Crash-Pad recover the
+       app from its own intent. *)
+    let policy ctx st = A.policy ctx st.inner
 
     let init () =
       incr instance_counter;
@@ -81,7 +86,7 @@ let wrap ~bug (module A : App_sig.APP) : (module App_sig.APP) =
     let byzantine_priority = 65000
 
     let loop_commands (ctx : App_sig.context) =
-      match ctx.App_sig.links () with
+      match App_sig.links ctx with
       | [] -> None
       | (l : Event.link) :: _ ->
           Some
@@ -95,7 +100,7 @@ let wrap ~bug (module A : App_sig.APP) : (module App_sig.APP) =
             ]
 
     let blackhole_commands (ctx : App_sig.context) =
-      match ctx.App_sig.switches () with
+      match App_sig.switches ctx with
       | [] -> None
       | sid :: _ ->
           (* Port 9999 is never wired: traffic vanishes silently. *)

@@ -7,11 +7,10 @@
     heart-beat loss), emitting byzantine rules, or leaking state. *)
 
 val wrap :
-  bug:Bug_model.t ->
-  (module Controller.App_sig.APP) ->
-  (module Controller.App_sig.APP)
-(** The wrapped application keeps the inner application's name and
-    subscriptions, so runtimes and policies are none the wiser. *)
+  bug:Bug_model.t -> Controller.App_sig.app -> Controller.App_sig.app
+(** The wrapped application keeps the inner application's name,
+    subscriptions and declared intent, so runtimes and recovery policies
+    are none the wiser. *)
 
 exception Injected_crash of string
 (** The exception thrown by [Crash]-effect bugs. *)

@@ -25,7 +25,7 @@ let lb_idle_timeout = 120
 
 (* Uplinks of a switch = its live inter-switch ports. *)
 let uplinks (ctx : App_sig.context) sid =
-  ctx.App_sig.links ()
+  App_sig.links ctx
   |> List.filter_map (fun (l : Event.link) ->
          if l.src_switch = sid then Some l.src_port else None)
   |> List.sort_uniq compare

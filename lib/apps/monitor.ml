@@ -20,7 +20,7 @@ let regressions st = st.n_regressions
 
 let handle (ctx : App_sig.context) st = function
   | Event.Tick _ ->
-      let switches = ctx.App_sig.switches () in
+      let switches = App_sig.switches ctx in
       let polls =
         List.map
           (fun sid ->

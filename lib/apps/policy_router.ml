@@ -1,0 +1,113 @@
+open Openflow
+open Controller
+
+(* Destination-MAC routing declared as intent. [handle] only *observes*:
+   it records which MACs exist and floods the triggering packet so nothing
+   blackholes while tables converge. All rule installation happens through
+   the declared policy — per-switch shortest-path routes recompiled by the
+   runtime after every event (and by Crash-Pad during recovery). *)
+
+type state = Types.mac list  (* destinations seen, sorted *)
+
+let name = "policy_router"
+(* Packet-ins only: the routes themselves are derived from the *live*
+   topology (ctx links) at every reconcile, so the app has no need to
+   watch link or switch events — a punted packet is precisely the signal
+   that the compiled tables no longer cover the network. *)
+let subscriptions = [ Event.K_packet_in ]
+let init () = []
+
+let hosts_known st = List.length st
+
+(* BFS first-hop port from [src] towards [dst] over the live links. *)
+let first_hop links src dst =
+  let adjacency = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Event.link) ->
+      let existing =
+        Option.value (Hashtbl.find_opt adjacency l.Event.src_switch) ~default:[]
+      in
+      Hashtbl.replace adjacency l.Event.src_switch
+        ((l.Event.src_port, l.Event.dst_switch) :: existing))
+    links;
+  let neighbors sid =
+    Option.value (Hashtbl.find_opt adjacency sid) ~default:[]
+    |> List.sort compare
+  in
+  let visited = Hashtbl.create 16 in
+  Hashtbl.replace visited src ();
+  let queue = Queue.create () in
+  List.iter
+    (fun (port, next) ->
+      if not (Hashtbl.mem visited next) then begin
+        Hashtbl.replace visited next ();
+        Queue.push (next, port) queue
+      end)
+    (neighbors src);
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let sid, port = Queue.pop queue in
+    if sid = dst then result := Some port
+    else
+      List.iter
+        (fun (_, next) ->
+          if not (Hashtbl.mem visited next) then begin
+            Hashtbl.replace visited next ();
+            Queue.push (next, port) queue
+          end)
+        (neighbors sid)
+  done;
+  !result
+
+let flood_out sid (pi : Message.packet_in) =
+  Command.packet_out ?buffer_id:pi.Message.pi_buffer_id
+    ~in_port:pi.Message.pi_in_port sid
+    [ Action.Output Types.port_flood ]
+    (match pi.Message.pi_buffer_id with
+    | Some _ -> None
+    | None -> Some pi.Message.pi_packet)
+
+let handle _ctx (st : state) = function
+  | Event.Packet_in (sid, pi) ->
+      let src = pi.Message.pi_packet.Packet.dl_src in
+      let st' =
+        if List.mem src st then st else List.sort compare (src :: st)
+      in
+      (st', [ flood_out sid pi ])
+  | _ -> (st, [])
+
+(* One route bundle per known destination: every switch forwards matching
+   traffic out its shortest-path port (the attachment port on the last
+   hop). Unknown destinations fall off the compiled table and punt to the
+   controller, where [handle] floods them. *)
+let policy ctx (st : state) =
+  let links = App_sig.links ctx in
+  let switches = App_sig.switches ctx in
+  let routes =
+    List.filter_map
+      (fun mac ->
+        match App_sig.host_location ctx mac with
+        | None -> None
+        | Some (dst_sid, dst_port) ->
+            let per_switch =
+              List.filter_map
+                (fun sw ->
+                  let out =
+                    if sw = dst_sid then Some dst_port
+                    else first_hop links sw dst_sid
+                  in
+                  Option.map
+                    (fun port ->
+                      Policy.at sw
+                        (Policy.seq
+                           (Policy.filter (Policy.Test (Policy.Dl_dst mac)))
+                           (Policy.forward port)))
+                    out)
+                switches
+            in
+            (match per_switch with
+            | [] -> None
+            | l -> Some (Policy.union_all l)))
+      st
+  in
+  Some (Policy.union_all routes)

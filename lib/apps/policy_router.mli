@@ -1,0 +1,10 @@
+(** Destination-MAC shortest-path routing as declared intent. The handler
+    only records observed source MACs (and floods the trigger packet); the
+    declared policy compiles to one forwarding rule per (switch, known
+    destination) pair, recomputed from the device manager and live links
+    on every reconciliation. *)
+
+include Controller.App_sig.INTENT_APP
+
+val hosts_known : state -> int
+(** Distinct source MACs observed so far. *)

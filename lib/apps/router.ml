@@ -76,12 +76,12 @@ let make ~reverse_neighbors =
         let pkt = pi.Message.pi_packet in
         match
           if Types.mac_is_broadcast pkt.Packet.dl_dst then None
-          else ctx.App_sig.host_location pkt.Packet.dl_dst
+          else App_sig.host_location ctx pkt.Packet.dl_dst
         with
         | None -> (st, [ flood_out sid pi ])
         | Some (dst_sid, dst_port) -> (
             match
-              shortest_path ~reverse_neighbors (ctx.App_sig.links ()) sid
+              shortest_path ~reverse_neighbors (App_sig.links ctx) sid
                 dst_sid
             with
             | None -> (st, [ flood_out sid pi ])

@@ -69,7 +69,7 @@ let handle (ctx : App_sig.context) st event =
   match event with
   | Event.Switch_up _ | Event.Switch_down _ | Event.Link_up _
   | Event.Link_down _ ->
-      let links = ctx.App_sig.links () in
+      let links = App_sig.links ctx in
       let tree = tree_edges links in
       let on_tree (l : Event.link) =
         List.mem (min l.src_switch l.dst_switch, max l.src_switch l.dst_switch) tree

@@ -1,14 +1,18 @@
-let all : (string * (module Controller.App_sig.APP)) list =
+module App_sig = Controller.App_sig
+
+let all : (string * App_sig.app) list =
   [
-    ("learning_switch", (module Learning_switch));
-    ("hub", (module Hub));
-    ("flooder", (module Flooder));
-    ("router", (module Router));
-    ("load_balancer", (module Load_balancer));
-    ("firewall", (module Firewall));
-    ("monitor", (module Monitor));
-    ("spanning_tree", (module Spanning_tree));
-    ("arp_responder", (module Arp_responder));
+    ("learning_switch", App_sig.app (module Learning_switch));
+    ("hub", App_sig.app (module Hub));
+    ("flooder", App_sig.app (module Flooder));
+    ("router", App_sig.app (module Router));
+    ("load_balancer", App_sig.app (module Load_balancer));
+    ("firewall", App_sig.app (module Firewall));
+    ("monitor", App_sig.app (module Monitor));
+    ("spanning_tree", App_sig.app (module Spanning_tree));
+    ("arp_responder", App_sig.app (module Arp_responder));
+    ("policy_firewall", App_sig.intent (module Policy_firewall));
+    ("policy_router", App_sig.intent (module Policy_router));
   ]
 
 let names = List.map fst all
@@ -26,4 +30,6 @@ let table2 =
     ("flooder", "bundled", "Flood + rule install (FloodLight port)");
     ("spanning_tree", "bundled", "Flood pruning via OFPPC_NO_FLOOD");
     ("arp_responder", "bundled", "Proxy ARP");
+    ("policy_firewall", "bundled", "Security, declared as intent (PR 9)");
+    ("policy_router", "bundled", "Routing, declared as intent (PR 9)");
   ]

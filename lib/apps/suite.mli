@@ -3,12 +3,12 @@
     One place for tools (CLI, experiments, scenario builders) to resolve
     application names, instead of each keeping its own list. *)
 
-val all : (string * (module Controller.App_sig.APP)) list
+val all : (string * Controller.App_sig.app) list
 (** (name, module) for every bundled application, in a stable order. *)
 
 val names : string list
 
-val find : string -> (module Controller.App_sig.APP) option
+val find : string -> Controller.App_sig.app option
 (** Resolve by registered name. *)
 
 val table2 : (string * string * string) list

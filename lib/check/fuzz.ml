@@ -96,8 +96,13 @@ let shrink ?oracles ?dispatch spec (failure : Runner.failure) =
    finding carries the trace that belongs to the reproducer. Only that
    final run is traced ([trace_buffer]): the scan and the shrink loop stay
    untraced — spans would describe runs the reproducer doesn't contain. *)
-let run_seed ?oracles ?(plant = No_plant) ?trace_buffer ?dispatch seed =
+let run_seed ?oracles ?(plant = No_plant) ?trace_buffer ?dispatch ?apps seed =
   let spec = apply_plant plant (Gen.scenario seed) in
+  (* App-suite override: same seeded topology/faults/traffic, fixed apps —
+     how the CI policy-smoke job points the whole corpus at intent apps. *)
+  let spec =
+    match apps with None -> spec | Some apps -> { spec with Spec.apps }
+  in
   let r = Runner.run ?oracles ?dispatch spec in
   match r.Runner.failure with
   | None -> None
@@ -131,8 +136,8 @@ type campaign_result = {
 
 (* [on_finding] fires as findings surface (the CLI streams them);
    [max_findings] bounds the minimization work, not the scan. *)
-let campaign ?oracles ?(plant = No_plant) ?trace_buffer ?dispatch ?max_findings
-    ?(on_finding = fun (_ : finding) -> ()) seeds =
+let campaign ?oracles ?(plant = No_plant) ?trace_buffer ?dispatch ?apps
+    ?max_findings ?(on_finding = fun (_ : finding) -> ()) seeds =
   let findings = ref [] in
   let ran = ref 0 in
   let budget_left () =
@@ -144,7 +149,7 @@ let campaign ?oracles ?(plant = No_plant) ?trace_buffer ?dispatch ?max_findings
     (fun seed ->
       if budget_left () then begin
         incr ran;
-        match run_seed ?oracles ~plant ?trace_buffer ?dispatch seed with
+        match run_seed ?oracles ~plant ?trace_buffer ?dispatch ?apps seed with
         | None -> ()
         | Some f ->
             findings := f :: !findings;

@@ -5,7 +5,7 @@
    for, so e.g. cyclic topologies (where flooding apps legitimately loop)
    are left to hand-written specs rather than drawn here. *)
 
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 
 (* Distinct stream from every other seeded component in the repo
    (Topo_gen.jellyfish, Traffic.uniform_pairs, Channel) so a fuzz seed
@@ -29,6 +29,8 @@ let app_menus =
     [ "learning_switch"; "monitor" ];
     [ "learning_switch"; "firewall" ];
     [ "learning_switch"; "monitor"; "firewall" ];
+    [ "learning_switch"; "policy_firewall" ];
+    [ "policy_router"; "policy_firewall" ];
   |]
 
 let gen_element rng ~duration =
@@ -92,9 +94,9 @@ let scenario seed =
   let checkpoint_every = pick rng [| 1; 2; 5 |] in
   let policy =
     let r = Random.State.int rng 100 in
-    if r < 60 then Policy.Equivalence
-    else if r < 85 then Policy.Absolute
-    else Policy.No_compromise
+    if r < 60 then Recovery_policy.Equivalence
+    else if r < 85 then Recovery_policy.Absolute
+    else Recovery_policy.No_compromise
   in
   let duration = float_in rng 8.0 16.0 in
   let n_elements = int_in rng 3 10 in

@@ -11,7 +11,7 @@ module Snapshot = Invariants.Snapshot
 module Runtime = Legosdn.Runtime
 module Reliable = Legosdn.Reliable
 module Metrics = Legosdn.Metrics
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Sandbox = Legosdn.Sandbox
 
 type phase = Mid | Final
@@ -189,7 +189,7 @@ let controller_survives =
     name = "controller-survives";
     check =
       (fun ctx ->
-        if ctx.spec.Spec.policy = Policy.No_compromise then Pass
+        if ctx.spec.Spec.policy = Recovery_policy.No_compromise then Pass
         else
           match
             List.filter
@@ -199,7 +199,7 @@ let controller_survives =
           | [] -> Pass
           | dead ->
               failf "sandbox(es) dead under %s policy: %s"
-                (Policy.compromise_name ctx.spec.Spec.policy)
+                (Recovery_policy.compromise_name ctx.spec.Spec.policy)
                 (String.concat "," (List.map Sandbox.name dead)));
   }
 

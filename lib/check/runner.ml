@@ -23,7 +23,7 @@ module Event = Controller.Event
 module Runtime = Legosdn.Runtime
 module Crashpad = Legosdn.Crashpad
 module Reliable = Legosdn.Reliable
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Traffic = Workload.Traffic
 module Bug_corpus = Workload.Bug_corpus
 
@@ -44,6 +44,8 @@ type final_state = {
   f_crashes : int;  (* app crashes observed *)
   f_committed : int;  (* NetLog transactions committed *)
   f_aborted : int;  (* NetLog transactions rolled back *)
+  f_policy_compromises : int;
+      (* Equivalence compromises satisfied by recompiling declared intent *)
 }
 
 type result = {
@@ -213,7 +215,7 @@ let config_of ?(dispatch = Runtime.Sequential) spec =
     crashpad =
       {
         Crashpad.default_config with
-        Crashpad.policy = Policy.uniform spec.Spec.policy;
+        Crashpad.policy = Recovery_policy.uniform spec.Spec.policy;
       };
     engine = Runtime.Netlog_engine;
     reliable =
@@ -469,6 +471,7 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer
           f_crashes = 0;
           f_committed = 0;
           f_aborted = 0;
+          f_policy_compromises = 0;
         }
     | Some rt ->
         let m = Runtime.metrics rt in
@@ -492,6 +495,7 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer
             (match Runtime.netlog rt with
             | Some nl -> Legosdn.Netlog.aborted nl
             | None -> 0);
+          f_policy_compromises = Legosdn.Metrics.policy_compromises m;
         }
   in
   {

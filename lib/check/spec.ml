@@ -7,7 +7,7 @@
    scenario and delta debugging never produces a dangling reference. *)
 
 open Openflow
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 
 type topo =
   | Linear of int
@@ -36,7 +36,7 @@ type t = {
   base_timeout : float;  (* Reliable retransmission timer *)
   max_retries : int;
   checkpoint_every : int;
-  policy : Policy.compromise;
+  policy : Recovery_policy.compromise;
   duration : float;
   replicas : int;  (* 1 = single controller, no cluster layer *)
   election_lo : float;  (* election-timeout draw range, virtual seconds *)
@@ -90,7 +90,7 @@ let summary t =
     (String.concat "," t.apps)
     t.base_loss t.duplicate t.delay t.reliable t.max_retries
     t.checkpoint_every
-    (Policy.compromise_name t.policy)
+    (Recovery_policy.compromise_name t.policy)
     t.duration t.replicas
     (List.length t.elements)
 
@@ -225,14 +225,14 @@ let get_element r =
   | k -> fail "unknown element tag %d" k
 
 let policy_tag = function
-  | Policy.No_compromise -> 0
-  | Policy.Absolute -> 1
-  | Policy.Equivalence -> 2
+  | Recovery_policy.No_compromise -> 0
+  | Recovery_policy.Absolute -> 1
+  | Recovery_policy.Equivalence -> 2
 
 let policy_of_tag = function
-  | 0 -> Policy.No_compromise
-  | 1 -> Policy.Absolute
-  | 2 -> Policy.Equivalence
+  | 0 -> Recovery_policy.No_compromise
+  | 1 -> Recovery_policy.Absolute
+  | 2 -> Recovery_policy.Equivalence
   | k -> fail "unknown policy tag %d" k
 
 let encode_into w t =

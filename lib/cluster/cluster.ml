@@ -48,7 +48,7 @@ type link = { ch : Channel.t; inflight : Raft.msg Event_queue.t }
 
 type t = {
   net : Net.t;
-  modules : (module Controller.App_sig.APP) list;
+  modules : Controller.App_sig.app list;
   config : Runtime.config;
   nodes : node array;
   (* (src, dst) directed links in a fixed iteration order: hashtable

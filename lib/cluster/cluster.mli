@@ -23,7 +23,7 @@ val create :
   ?on_runtime:(Legosdn.Runtime.t -> unit) ->
   seed:int ->
   Netsim.Net.t ->
-  (module Controller.App_sig.APP) list ->
+  Controller.App_sig.app list ->
   t
 (** [config.cluster] fixes the replica count and election-timeout range.
     [sync_every] (default 8) ships a state transfer every that many

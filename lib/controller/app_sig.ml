@@ -8,6 +8,15 @@ type context = {
   host_location : Types.mac -> (Types.switch_id * Types.port_no) option;
 }
 
+let now (c : context) = c.now ()
+let switches (c : context) = c.switches ()
+let switch_ports (c : context) sw = c.switch_ports sw
+let links (c : context) = c.links ()
+let host_location (c : context) mac = c.host_location mac
+
+let flood_ports ctx ~sw ~in_port =
+  List.filter (fun p -> p <> in_port) (switch_ports ctx sw)
+
 module type APP = sig
   type state
 
@@ -17,16 +26,42 @@ module type APP = sig
   val handle : context -> state -> Event.t -> state * Command.t list
 end
 
+module type INTENT_APP = sig
+  include APP
+
+  val policy : context -> state -> Policy.t option
+end
+
+module Of_legacy (A : APP) : INTENT_APP with type state = A.state = struct
+  include A
+
+  let policy _ _ = None
+end
+
+type app = (module INTENT_APP)
+
+let app (module A : APP) : app =
+  let module L = Of_legacy (A) in
+  (module L : INTENT_APP)
+
+let intent (module A : INTENT_APP) : app = (module A)
+let app_name ((module A) : app) = A.name
+
+let to_legacy ((module A) : app) : (module APP) = (module A : APP)
+
 exception Crash_with_partial of Command.t list
 exception App_hang
 
 type instance =
-  | Instance : (module APP with type state = 's) * 's -> instance
+  | Instance : (module INTENT_APP with type state = 's) * 's -> instance
 
-let instantiate (module A : APP) =
-  Instance ((module A : APP with type state = A.state), A.init ())
+let instantiate (module A : INTENT_APP) =
+  Instance ((module A : INTENT_APP with type state = A.state), A.init ())
+
+let instantiate_legacy m = instantiate (app m)
 
 let module_of (Instance ((module A), _)) = (module A : APP)
+let app_of (Instance ((module A), _)) = (module A : INTENT_APP)
 
 let name (Instance ((module A), _)) = A.name
 let subscriptions (Instance ((module A), _)) = A.subscriptions
@@ -35,6 +70,8 @@ let subscribes_to inst kind = List.mem kind (subscriptions inst)
 let handle (Instance ((module A), st)) ctx event =
   let st', commands = A.handle ctx st event in
   (Instance ((module A), st'), commands)
+
+let policy_of (Instance ((module A), st)) ctx = A.policy ctx st
 
 let reboot (Instance ((module A), _)) = Instance ((module A), A.init ())
 

@@ -4,12 +4,25 @@
     one event and returns the new state plus the commands to issue. Keeping
     state explicit and closure-free is what makes the AppVisor checkpoints
     ({!snapshot}/{!restore}) possible — it is the CRIU-checkpoint analogue
-    of this reproduction. *)
+    of this reproduction.
+
+    Since PR 9 an application may also declare forwarding *intent*: an
+    {!INTENT_APP} exports [policy], mapping its current state to a
+    {!Policy.t} the runtime compiles to flow tables and keeps reconciled.
+    Intent is what lets Crash-Pad *derive* Equivalence-Compromise
+    candidates instead of relying only on hand-coded event transforms.
+    Legacy {!APP} modules lift with {!app} (or the {!Of_legacy} functor)
+    and keep compiling unchanged. *)
 
 open Openflow
 
 (** Read-only controller services available to an application while it
-    handles an event (the northbound API the AppVisor stub proxies). *)
+    handles an event (the northbound API the AppVisor stub proxies).
+
+    Use the accessor functions below rather than reading the closure
+    fields directly — the record layout is an implementation detail kept
+    public only for construction (e.g. test harnesses building contexts
+    by hand) and will eventually become private. *)
 type context = {
   now : unit -> float;
   switches : unit -> Types.switch_id list;  (** Connected switches. *)
@@ -18,6 +31,22 @@ type context = {
   host_location : Types.mac -> (Types.switch_id * Types.port_no) option;
       (** Device-manager lookup: last learned attachment of a MAC. *)
 }
+
+(** {1 Context accessors} *)
+
+val now : context -> float
+val switches : context -> Types.switch_id list
+val switch_ports : context -> Types.switch_id -> Types.port_no list
+val links : context -> Event.link list
+
+val host_location :
+  context -> Types.mac -> (Types.switch_id * Types.port_no) option
+
+val flood_ports :
+  context -> sw:Types.switch_id -> in_port:Types.port_no -> Types.port_no list
+(** The ports a FLOOD from [in_port] egresses on — [switch_ports] minus the
+    ingress. Also the [ports] function to hand {!Policy.denotation} and
+    {!Policy.compile} consumers. *)
 
 module type APP = sig
   type state
@@ -32,6 +61,38 @@ module type APP = sig
       and containing it is the whole point of LegoSDN. *)
 end
 
+(** An application that additionally declares forwarding intent. *)
+module type INTENT_APP = sig
+  include APP
+
+  val policy : context -> state -> Policy.t option
+  (** The forwarding relation this state intends, or [None] when the app
+      has nothing declarative to say (imperative commands only). Must be
+      pure: the runtime calls it after every handled event to reconcile
+      the compiled tables, and Crash-Pad calls it during recovery to
+      derive verified-equivalent compromises. May raise; a raise during
+      recovery only disables derivation, it is not a new crash. *)
+end
+
+(** Lift a legacy application: same behavior, no declared intent. *)
+module Of_legacy (A : APP) : INTENT_APP with type state = A.state
+
+type app = (module INTENT_APP)
+(** The packaged form every runtime entry point (sandboxes, runtimes,
+    monolithic controller, cluster replicas, the fuzzer suite) accepts. *)
+
+val app : (module APP) -> app
+(** Package a legacy application ({!Of_legacy} under the hood). *)
+
+val intent : (module INTENT_APP) -> app
+(** Package an intent-declaring application. *)
+
+val app_name : app -> string
+
+val to_legacy : app -> (module APP)
+(** Forget the intent hook — for legacy consumers (STS minimization,
+    quarantine oracles, n-version functors) that only need [APP]. *)
+
 exception Crash_with_partial of Command.t list
 (** A fail-stop crash that happened after some commands were already issued
     to the controller: the carried prefix reached the network before the
@@ -42,14 +103,21 @@ exception App_hang
 (** The handler would never return. Runtimes translate this into heart-beat
     loss (AppVisor) or a wedged controller (monolithic). *)
 
-(** A running application: an APP module paired with its current state. *)
+(** A running application: a packaged module paired with its current
+    state. *)
 type instance
 
-val instantiate : (module APP) -> instance
+val instantiate : app -> instance
+
+val instantiate_legacy : (module APP) -> instance
+(** [instantiate (app m)]. *)
 
 val module_of : instance -> (module APP)
 (** The application module behind an instance (for re-instantiation —
     e.g. replaying a trace against a fresh copy during STS analysis). *)
+
+val app_of : instance -> app
+(** Like {!module_of} but keeps the intent hook. *)
 
 val name : instance -> string
 val subscriptions : instance -> Event.kind list
@@ -59,6 +127,10 @@ val handle : instance -> context -> Event.t -> instance * Command.t list
 (** Functional step: the returned instance carries the new state; the input
     instance is unchanged (so a runtime can keep the old one as a
     snapshot). Exceptions from the app propagate. *)
+
+val policy_of : instance -> context -> Policy.t option
+(** The instance's declared intent for its current state ([None] for
+    legacy apps). Exceptions from the app propagate. *)
 
 val reboot : instance -> instance
 (** A fresh instance of the same module with [init] state — what a

@@ -13,7 +13,7 @@ type status = Running | Crashed of crash_info
 
 type t = {
   network : Net.t;
-  modules : (module App_sig.APP) list;
+  modules : App_sig.app list;
   mutable services_state : Services.t;
   mutable instances : App_sig.instance list;
   mutable state : status;

@@ -16,7 +16,7 @@ type status = Running | Crashed of crash_info
 
 type t
 
-val create : Netsim.Net.t -> (module App_sig.APP) list -> t
+val create : Netsim.Net.t -> App_sig.app list -> t
 (** Build the controller over a live network with the given applications
     (dispatch follows registration order). *)
 

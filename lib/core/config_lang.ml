@@ -51,13 +51,14 @@ type builder = {
   mutable limits : Resources.limits;
   mutable invariants : Checker.invariant list option;
       (* None = never touched, keep defaults *)
-  mutable rules : Policy.rule list;  (* reverse order *)
-  mutable default : Policy.compromise option;
+  mutable rules : Recovery_policy.rule list;  (* reverse order *)
+  mutable default : Recovery_policy.compromise option;
   mutable reliable : Reliable.config;
   mutable cluster : Runtime.cluster_config;
   mutable dispatch : Runtime.dispatch_mode;
   mutable trace_cache_budget : int option;
   mutable workload : Runtime.workload_config option;
+  mutable intent : bool;
 }
 
 let fresh_builder () =
@@ -76,6 +77,7 @@ let fresh_builder () =
     dispatch = Runtime.default_config.Runtime.dispatch;
     trace_cache_budget = Runtime.default_config.Runtime.trace_cache_budget;
     workload = Runtime.default_config.Runtime.workload;
+    intent = Crashpad.default_config.Crashpad.intent;
   }
 
 let add_invariant b inv =
@@ -126,6 +128,15 @@ let directive b lineno toks =
   | [ "trace-cache"; "unbounded" ] ->
       b.trace_cache_budget <- None;
       Ok ()
+  | [ "intent"; v ] -> (
+      match v with
+      | "on" ->
+          b.intent <- true;
+          Ok ()
+      | "off" ->
+          b.intent <- false;
+          Ok ()
+      | _ -> err (Printf.sprintf "bad intent directive %S (on|off)" v))
   | [ "workload"; "trace" ] ->
       b.workload <- Some Runtime.default_workload_config;
       Ok ()
@@ -257,7 +268,7 @@ let directive b lineno toks =
       | None, _ -> err (Printf.sprintf "bad waypoint switch %S" sid)
       | _, Error m -> err m)
   | [ "app"; a; "event"; k; "=>"; c ] -> (
-      match Policy.compromise_of_name c with
+      match Recovery_policy.compromise_of_name c with
       | None -> err (Printf.sprintf "unknown compromise %S" c)
       | Some action -> (
           let app = if a = "*" then None else Some a in
@@ -270,10 +281,10 @@ let directive b lineno toks =
           with
           | Error m -> err m
           | Ok kind ->
-              b.rules <- { Policy.app; kind; action } :: b.rules;
+              b.rules <- { Recovery_policy.app; kind; action } :: b.rules;
               Ok ()))
   | [ "default"; "=>"; c ] -> (
-      match Policy.compromise_of_name c with
+      match Recovery_policy.compromise_of_name c with
       | None -> err (Printf.sprintf "unknown compromise %S" c)
       | Some action ->
           if b.default <> None then err "duplicate default directive"
@@ -312,7 +323,7 @@ let parse text =
           crashpad =
             {
               Crashpad.policy =
-                Policy.make ?default:b.default (List.rev b.rules);
+                Recovery_policy.make ?default:b.default (List.rev b.rules);
               invariants =
                 Option.value b.invariants ~default:Checker.default;
               timing = b.timing;
@@ -321,6 +332,7 @@ let parse text =
                 Option.map
                   (fun threshold -> Quarantine.create ~threshold ())
                   b.quarantine_threshold;
+              intent = b.intent;
               batched_checkpoints = false;
             };
         }
@@ -364,6 +376,7 @@ let print (config : Runtime.config) =
   line "replicas %d" cl.Runtime.replicas;
   line "election timeout %g %g" cl.Runtime.election_lo cl.Runtime.election_hi;
   let cp = config.Runtime.crashpad in
+  if not cp.Crashpad.intent then line "intent off";
   (match cp.Crashpad.quarantine with
   | Some q -> line "quarantine threshold %d" (Quarantine.threshold q)
   | None -> ());
@@ -396,14 +409,14 @@ let print (config : Runtime.config) =
           line "invariant waypoint via %d pairs %s" via (pairs_str pairs))
     cp.Crashpad.invariants;
   List.iter
-    (fun (r : Policy.rule) ->
+    (fun (r : Recovery_policy.rule) ->
       line "app %s event %s => %s"
-        (Option.value r.Policy.app ~default:"*")
-        (match r.Policy.kind with
+        (Option.value r.Recovery_policy.app ~default:"*")
+        (match r.Recovery_policy.kind with
         | None -> "*"
         | Some k -> Event.kind_name k)
-        (Policy.compromise_name r.Policy.action))
-    (Policy.rules cp.Crashpad.policy);
+        (Recovery_policy.compromise_name r.Recovery_policy.action))
+    (Recovery_policy.rules cp.Crashpad.policy);
   line "default => %s"
-    (Policy.compromise_name (Policy.default_action cp.Crashpad.policy));
+    (Recovery_policy.compromise_name (Recovery_policy.default_action cp.Crashpad.policy));
   Buffer.contents b

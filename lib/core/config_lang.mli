@@ -2,7 +2,7 @@
     LegoSDN runtime configuration.
 
     This grows the paper's per-app compromise policy language (§3.3, see
-    {!Policy_lang}) into the full set of operator-tunable knobs the paper
+    {!Recovery_policy_lang}) into the full set of operator-tunable knobs the paper
     discusses: the checkpoint cadence (§5), the quarantine threshold for
     multi-transaction failures (§5), the transaction engine (§4.1),
     detection timing, per-app resource limits (§3.4) and the set of

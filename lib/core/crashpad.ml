@@ -2,11 +2,17 @@ open Openflow
 open Controller
 
 type config = {
-  policy : Policy.t;
+  policy : Recovery_policy.t;
   invariants : Invariants.Checker.invariant list;
   timing : Detector.timing;
   limits : Resources.limits;
   quarantine : Quarantine.t option;
+  intent : bool;
+      (* When on, apps that declare a policy get (a) their compiled tables
+         kept in sync with the network after healthy deliveries and (b) a
+         policy-derived candidate rule-set tried first under an Equivalence
+         compromise — installed only if it provably preserves the declared
+         forwarding relation and the configured invariants. *)
   batched_checkpoints : bool;
       (* The batch engine checkpoints every sandbox at batch entry and
          journals within the batch; the per-event prepare here is then
@@ -17,11 +23,12 @@ type config = {
 
 let default_config =
   {
-    policy = Policy.uniform Policy.Equivalence;
+    policy = Recovery_policy.uniform Recovery_policy.Equivalence;
     invariants = Invariants.Checker.default;
     timing = Detector.default_timing;
     limits = Resources.unlimited;
     quarantine = None;
+    intent = true;
     batched_checkpoints = false;
   }
 
@@ -75,6 +82,82 @@ let switch_of_command = function
   | Command.Stats (sid, _) ->
       Some sid
   | Command.Log _ -> None
+
+(* ---------------- declarative intent ---------------- *)
+
+(* Recompile the app's declared policy against the current network view and
+   diff it against what the network holds. The candidate diff is installed
+   only after two independent checks: the compiled tables must agree with
+   the policy's denotation on a probe set covering every rule (forwarding
+   relation preserved), and the flow-mods must not introduce an invariant
+   violation (incremental engine when available). *)
+let sync_intent config deps sandbox =
+  if not config.intent then `No_intent
+  else
+    let ctx = deps.context () in
+    match Sandbox.declared_policy sandbox ctx with
+    | None -> `No_intent
+    | Some pol -> (
+        let switches = App_sig.switches ctx in
+        match Policy.compile ~switches pol with
+        | exception Policy.Uncompilable _ -> `Rejected
+        | tables -> (
+            let mods =
+              Policy.flow_mods ~prev:(Sandbox.intent_tables sandbox)
+                ~next:tables
+              (* Tables are declarative, idempotent state, so mods aimed at
+                 switches that left the network (or whose channel is given
+                 up on) are simply dropped — typically strict deletes for a
+                 dead switch's rows, moot because its table died with it.
+                 Unlike an app transaction there is no atomicity to lose:
+                 the next reconciliation re-derives whatever remains. *)
+              |> List.filter (fun (sid, _) ->
+                     List.mem sid switches && not (deps.unreachable sid))
+            in
+            if mods = [] then begin
+              (* Network already reflects the intent (or intent is empty). *)
+              Sandbox.set_intent_tables sandbox tables;
+              `Noop
+            end
+            else
+              let ports sid = App_sig.switch_ports ctx sid in
+              let probes = Policy.probes ~ports tables in
+              if not (Policy.agrees ~ports ~switches pol tables ~probes) then
+                `Rejected
+              else
+                let violations =
+                  match deps.incremental with
+                  | Some engine ->
+                      Invariants.Incremental.check_flow_mods
+                        ~invariants:config.invariants engine mods
+                  | None ->
+                      Invariants.Checker.check_flow_mods
+                        ~invariants:config.invariants
+                        (Invariants.Snapshot.of_net deps.net)
+                        mods
+                in
+                match violations with
+                | _ :: _ -> `Rejected
+                | [] ->
+                    let txn =
+                      deps.engine.Txn_engine.begin_txn
+                        ~app:(Sandbox.name sandbox)
+                    in
+                    List.iter
+                      (fun (sid, fm) ->
+                        ignore (txn.Txn_engine.apply (Command.Flow (sid, fm))))
+                      mods;
+                    txn.Txn_engine.commit ();
+                    Sandbox.set_intent_tables sandbox tables;
+                    `Installed (List.length mods)))
+
+(* After a healthy commit: if the delivery moved the app's declared intent,
+   push the (verified) diff out so hardware tracks intent continuously. *)
+let reconcile_intent config deps sandbox =
+  match sync_intent config deps sandbox with
+  | `Installed _ -> Metrics.incr_policy_reconcile deps.metrics
+  | `Rejected -> Metrics.incr_policy_rejected deps.metrics
+  | `Noop | `No_intent -> ()
 
 (* Deliver one event inside a fresh transaction. Returns [Ok ()] on commit,
    [Error (failure, rolled_back)] after an abort. The sandbox state has
@@ -182,6 +265,7 @@ let attempt config deps sandbox event : (unit, Detector.failure * int) result =
                   commands;
                 txn.Txn_engine.commit ());
             Sandbox.confirm sandbox event;
+            reconcile_intent config deps sandbox;
             Ok ())
   | Sandbox.Crashed { partial; detail } ->
       fail_and_recover (Detector.Fail_stop { detail; partial }) ~partial
@@ -205,14 +289,14 @@ let rec try_alternatives config deps sandbox = function
       else try_alternatives config deps sandbox rest
 
 let compromise_name = function
-  | Policy.No_compromise -> "no-compromise"
-  | Policy.Absolute -> "absolute"
-  | Policy.Equivalence -> "equivalence"
+  | Recovery_policy.No_compromise -> "no-compromise"
+  | Recovery_policy.Absolute -> "absolute"
+  | Recovery_policy.Equivalence -> "equivalence"
 
 let apply_policy config deps sandbox event failure ~rolled_back =
   let diagnosis = Detector.describe failure in
   let compromise =
-    Policy.decide config.policy ~app:(Sandbox.name sandbox)
+    Recovery_policy.decide config.policy ~app:(Sandbox.name sandbox)
       (Event.kind_of event)
   in
   let attrs =
@@ -226,30 +310,50 @@ let apply_policy config deps sandbox event failure ~rolled_back =
   in
   Obs.Tracer.with_span deps.tracer ~attrs Obs.Span.Recovery @@ fun () ->
   match compromise with
-  | Policy.No_compromise ->
+  | Recovery_policy.No_compromise ->
       Sandbox.disable sandbox;
       Metrics.incr_disabled deps.metrics;
       Metrics.mark_app_down_from deps.metrics ~app:(Sandbox.name sandbox)
         (deps.now ());
       file_ticket deps sandbox ~event ~diagnosis ~resolution:Ticket.Disabled
         ~rolled_back
-  | Policy.Absolute ->
+  | Recovery_policy.Absolute ->
       Metrics.incr_ignored deps.metrics;
       file_ticket deps sandbox ~event ~diagnosis ~resolution:Ticket.Ignored
         ~rolled_back
-  | Policy.Equivalence -> (
-      let alternatives = Transform.equivalents ~links_of:deps.links_of event in
-      match try_alternatives config deps sandbox alternatives with
-      | Some alternative ->
+  | Recovery_policy.Equivalence -> (
+      (* A declared policy is the strongest equivalence witness we have:
+         recompile the intent from the recovered state and install the
+         verified diff, compensating for the crashed delivery without
+         replaying anything through the faulty code path. *)
+      match sync_intent config deps sandbox with
+      | `Installed n ->
+          Metrics.incr_policy_compromise deps.metrics;
           Metrics.incr_transformed deps.metrics;
           file_ticket deps sandbox ~event ~diagnosis
-            ~resolution:(Ticket.Transformed (Transform.describe alternative))
+            ~resolution:
+              (Ticket.Transformed
+                 (Printf.sprintf "policy-recompile(%s, %d flow-mods)"
+                    (Sandbox.name sandbox) n))
             ~rolled_back
-      | None ->
-          (* No equivalent worked: fall back to ignoring the event. *)
-          Metrics.incr_ignored deps.metrics;
-          file_ticket deps sandbox ~event ~diagnosis ~resolution:Ticket.Ignored
-            ~rolled_back)
+      | (`Rejected | `Noop | `No_intent) as r -> (
+          if r = `Rejected then Metrics.incr_policy_rejected deps.metrics;
+          (* Fall back to hand-coded event transformations. *)
+          let alternatives =
+            Transform.equivalents ~links_of:deps.links_of event
+          in
+          match try_alternatives config deps sandbox alternatives with
+          | Some alternative ->
+              Metrics.incr_transformed deps.metrics;
+              file_ticket deps sandbox ~event ~diagnosis
+                ~resolution:
+                  (Ticket.Transformed (Transform.describe alternative))
+                ~rolled_back
+          | None ->
+              (* No equivalent worked: fall back to ignoring the event. *)
+              Metrics.incr_ignored deps.metrics;
+              file_ticket deps sandbox ~event ~diagnosis
+                ~resolution:Ticket.Ignored ~rolled_back))
 
 let quarantine_blocked config deps sandbox event =
   match config.quarantine with

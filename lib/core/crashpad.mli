@@ -16,7 +16,7 @@ open Openflow
 open Controller
 
 type config = {
-  policy : Policy.t;
+  policy : Recovery_policy.t;
   invariants : Invariants.Checker.invariant list;
       (** Checked on every transaction's proposed flow-mods. *)
   timing : Detector.timing;
@@ -24,6 +24,17 @@ type config = {
   quarantine : Quarantine.t option;
       (** When set, repeatedly-failing event signatures are blacklisted and
           filtered before delivery (§5 multi-transaction failures). *)
+  intent : bool;
+      (** Use declared policies ({!App_sig.INTENT_APP}). When on (the
+          default): after a healthy commit the app's recompiled policy is
+          diffed against the network and the diff installed (intent
+          reconciliation), and an Equivalence compromise first tries a
+          policy-derived candidate rule-set — recompile the intent from the
+          recovered state, verify the compiled tables against the policy's
+          own denotation and the configured invariants, and install the
+          flow-mod diff instead of replaying transformed events. A
+          candidate failing either check is counted as rejected and the
+          hand-coded event transformations are tried next. *)
   batched_checkpoints : bool;
       (** Skip the per-event {!Sandbox.prepare}: the caller checkpoints
           every sandbox at batch entry instead (the sharded dispatch

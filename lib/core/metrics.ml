@@ -198,6 +198,15 @@ let incr_barrier_acks t = incr t.n_barrier_acks
 let incr_resyncs t = incr t.n_resyncs
 let incr_resynced_rules t n = add t.n_resynced_rules n
 let incr_unreachable t = incr t.n_unreachable
+
+(* Intent (declarative policy) counters live in the registry only: they
+   postdate the flat record and nothing needs the extra field. *)
+let incr_policy_compromise t = incr (counter t "policy_compromises")
+let incr_policy_rejected t = incr (counter t "policy_rejected")
+let incr_policy_reconcile t = incr (counter t "policy_reconciles")
+let policy_compromises t = value (counter t "policy_compromises")
+let policy_rejected t = value (counter t "policy_rejected")
+let policy_reconciles t = value (counter t "policy_reconciles")
 let incr_inv_trace_hit t = incr t.n_inv_hits
 let incr_inv_trace_miss t = incr t.n_inv_misses
 let incr_inv_invalidation t = incr t.n_inv_invalidations

@@ -77,6 +77,23 @@ val incr_barrier_acks : t -> unit
 val incr_resyncs : t -> unit
 val incr_resynced_rules : t -> int -> unit
 val incr_unreachable : t -> unit
+
+val incr_policy_compromise : t -> unit
+(** An Equivalence compromise satisfied by recompiling the app's declared
+    policy and installing the verified flow-mod diff. *)
+
+val incr_policy_rejected : t -> unit
+(** A policy-derived candidate rule-set refused: it would have changed the
+    forwarding relation or violated a network invariant. *)
+
+val incr_policy_reconcile : t -> unit
+(** Declared intent re-synchronised to the network after a healthy
+    delivery changed the compiled tables. *)
+
+val policy_compromises : t -> int
+val policy_rejected : t -> int
+val policy_reconciles : t -> int
+
 val incr_inv_trace_hit : t -> unit
 val incr_inv_trace_miss : t -> unit
 val incr_inv_invalidation : t -> unit

@@ -16,7 +16,7 @@ let tokens line =
   |> List.filter (fun s -> s <> "")
 
 let parse_compromise lineno word =
-  match Policy.compromise_of_name word with
+  match Recovery_policy.compromise_of_name word with
   | Some c -> Ok c
   | None ->
       Error { line = lineno; message = Printf.sprintf "unknown compromise %S" word }
@@ -24,7 +24,7 @@ let parse_compromise lineno word =
 let parse text =
   let lines = String.split_on_char '\n' text in
   let rec go lineno rules default = function
-    | [] -> Ok (Policy.make ?default:(Option.map Fun.id default) (List.rev rules))
+    | [] -> Ok (Recovery_policy.make ?default:(Option.map Fun.id default) (List.rev rules))
     | line :: rest -> (
         match tokens line with
         | [] -> go (lineno + 1) rules default rest
@@ -50,7 +50,7 @@ let parse text =
                 | Error e -> Error e
                 | Ok kind ->
                     go (lineno + 1)
-                      ({ Policy.app; kind; action } :: rules)
+                      ({ Recovery_policy.app; kind; action } :: rules)
                       default rest))
         | _ ->
             Error
@@ -72,14 +72,14 @@ let parse_exn text =
 let print policy =
   let b = Buffer.create 128 in
   List.iter
-    (fun (r : Policy.rule) ->
+    (fun (r : Recovery_policy.rule) ->
       Buffer.add_string b
         (Printf.sprintf "app %s event %s => %s\n"
            (Option.value r.app ~default:"*")
            (match r.kind with None -> "*" | Some k -> Event.kind_name k)
-           (Policy.compromise_name r.action)))
-    (Policy.rules policy);
+           (Recovery_policy.compromise_name r.action)))
+    (Recovery_policy.rules policy);
   Buffer.add_string b
     (Printf.sprintf "default => %s\n"
-       (Policy.compromise_name (Policy.default_action policy)));
+       (Recovery_policy.compromise_name (Recovery_policy.default_action policy)));
   Buffer.contents b

@@ -13,12 +13,12 @@
 
 type error = { line : int; message : string }
 
-val parse : string -> (Policy.t, error) result
+val parse : string -> (Recovery_policy.t, error) result
 
-val parse_exn : string -> Policy.t
+val parse_exn : string -> Recovery_policy.t
 (** Raises [Failure] with a located message. *)
 
-val print : Policy.t -> string
+val print : Recovery_policy.t -> string
 (** Render a policy back to the language; [parse (print p)] yields a policy
     equal to [p]. *)
 

@@ -156,11 +156,20 @@ let barrier_probe t sid =
   let replies = Net.send ?from:t.from t.net sid (Message.message ~xid Message.Barrier_request) in
   (xid, acked_synchronously xid replies)
 
+(* Forward declaration closing the ack -> transmit-next-head cycle:
+   bound to the real drain step after [retransmit] is defined. *)
+let ack_drain : (t -> Types.switch_id -> unit) ref = ref (fun _ _ -> ())
+
 let ack t p =
   t.queue <- List.filter (fun q -> q != p) t.queue;
   t.n_acks <- t.n_acks + 1;
   with_metrics t Metrics.incr_barrier_acks;
-  t.notify (Obs.Hub.Acked { sw = p.p_sid; xid = p.p_msg.Message.xid })
+  t.notify (Obs.Hub.Acked { sw = p.p_sid; xid = p.p_msg.Message.xid });
+  (* Ack-clocked drain: the ack that frees this switch's head-of-line
+     slot immediately transmits its next held-back message, so a burst
+     (a resync, an intent install) drains at round-trip rate rather than
+     one message per runtime tick. *)
+  !ack_drain t p.p_sid
 
 let has_pending t sid = List.exists (fun p -> p.p_sid = sid) t.queue
 
@@ -321,6 +330,14 @@ let retransmit t p =
       p.p_next_at <- now t +. backoff_delay t.cfg p.p_attempts
     end
   end
+
+let () =
+  ack_drain :=
+    fun t sid ->
+      if not (is_degraded t sid) then
+        match List.find_opt (fun q -> q.p_sid = sid) t.queue with
+        | Some head when not head.p_sent -> retransmit t head
+        | Some _ | None -> ()
 
 (* A reconnected switch starts from an empty table (reboot semantics).
    Replay the intended rule set so the data plane converges without

@@ -86,7 +86,6 @@ type t = {
   queue : Dispatch.t option;  (* Some iff cfg.dispatch is Sharded *)
   obs_hub : Obs.Hub.t;
   tracer_cell : Obs.Tracer.t ref;
-  mutable tap_sub : Obs.Hub.subscription option;
 }
 
 (* Delivery activity becomes instant marks in the trace, so a Chrome
@@ -247,7 +246,6 @@ let create ?(config = default_config) ?xid_base ?controller_id
     queue;
     obs_hub;
     tracer_cell;
-    tap_sub = None;
   }
 
 let net t = t.network
@@ -281,27 +279,6 @@ let set_tracer t tracer =
         ("span." ^ Obs.Span.kind_name kind)
         hist)
     (Obs.Tracer.histograms tracer)
-
-(* Deprecated observation hook, now a thin wrapper over [Obs.Hub]: the tap
-   is a hub subscriber filtered to [Dispatched] events. It sees every
-   event exactly as the sandboxes do and must not mutate runtime state.
-   New code should call [Obs.Hub.subscribe (hub t)] directly. *)
-let set_event_tap t f =
-  (match t.tap_sub with
-  | Some sub -> Obs.Hub.unsubscribe t.obs_hub sub
-  | None -> ());
-  t.tap_sub <-
-    Some
-      (Obs.Hub.subscribe t.obs_hub (function
-        | Obs.Hub.Dispatched ev -> f ev
-        | Obs.Hub.Inv_cache _ | Obs.Hub.Delivery _ -> ()))
-
-let clear_event_tap t =
-  match t.tap_sub with
-  | Some sub ->
-      Obs.Hub.unsubscribe t.obs_hub sub;
-      t.tap_sub <- None
-  | None -> ()
 
 (* The service state applications see through their context. Normally the
    ingesting services; the cluster layer overrides it with a replica built
@@ -452,12 +429,40 @@ let observe_reliable t notifications =
    reliable layer, and translate to controller events — without
    dispatching them. The cluster layer uses this to interpose log
    replication between "event observed" and "event dispatched". *)
+(* A switch that disconnects takes its flow table with it: prune its
+   entries from every sandbox's installed-intent record so that when it
+   returns, reconciliation re-derives and re-installs its rules from
+   declared policy instead of concluding [`Noop]. (The reliable layer's
+   shadow resync also replays its rules on reconnect; the re-adds are
+   idempotent, and pruning here keeps intent correct even with the
+   reliable layer disabled.) *)
+let forget_switch_intent t events =
+  List.iter
+    (function
+      | Event.Switch_down sid ->
+          List.iter
+            (fun box ->
+              match Sandbox.intent_tables box with
+              | [] -> ()
+              | tables ->
+                  Sandbox.set_intent_tables box
+                    (List.filter
+                       (fun (tbl : Policy.table) -> tbl.Policy.t_sw <> sid)
+                       tables))
+            t.boxes
+      | _ -> ())
+    events
+
 let poll_events t =
   match Net.poll t.network with
   | [] -> []
   | notifications ->
       observe_reliable t notifications;
-      List.concat_map (Services.ingest t.services_state) notifications
+      let events =
+        List.concat_map (Services.ingest t.services_state) notifications
+      in
+      forget_switch_intent t events;
+      events
 
 let step_sequential t =
   let budget = ref storm_guard_events in

@@ -110,7 +110,7 @@ val create :
   ?controller_id:int ->
   ?southbound_gate:(Openflow.Types.switch_id -> Openflow.Message.t -> bool) ->
   Netsim.Net.t ->
-  (module App_sig.APP) list ->
+  App_sig.app list ->
   t
 (** [xid_base] seeds the NetLog xid counter; a failover controller passes
     its predecessor's [Netlog.next_xid] so switch-side duplicate detection
@@ -204,15 +204,5 @@ val events_processed : t -> int
 val events_shed : t -> int
 (** Notifications dropped by the broadcast-storm guard (see
     {!Controller.Monolithic.events_shed}). *)
-
-val set_event_tap : t -> (Event.t -> unit) -> unit
-(** Deprecated — thin wrapper over [Obs.Hub.subscribe (hub t)] filtered to
-    [Dispatched] events; prefer subscribing to {!hub} directly. Observes
-    every event exactly as it is dispatched to the sandboxes; the tap must
-    not mutate runtime state. At most one tap is active; setting
-    replaces. *)
-
-val clear_event_tap : t -> unit
-(** Deprecated — cancels the {!set_event_tap} subscription. *)
 
 val config : t -> config

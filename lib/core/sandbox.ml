@@ -14,6 +14,10 @@ type t = {
   mutable n_crashes : int;
   mutable n_rpc_bytes : int;
   mutable scratch : Wire.scratch option;
+  mutable intent_tables : Policy.table list;
+      (* Compiled form of the app's declared policy as last installed on the
+         network. Tracks network state, not app state: reboots and restores
+         leave it alone because the rules stay in the switches. *)
 }
 
 let create ?ckpt ~checkpoint_every m =
@@ -29,6 +33,7 @@ let create ?ckpt ~checkpoint_every m =
     n_crashes = 0;
     n_rpc_bytes = 0;
     scratch = None;
+    intent_tables = [];
   }
 
 (* Install (or remove) a reusable codec buffer for the RPC boundary. The
@@ -177,6 +182,16 @@ let recover ?(tracer = Obs.Tracer.noop) t ctx =
 let reboot t = t.inst <- App_sig.reboot t.inst
 
 let app_module t = App_sig.module_of t.inst
+
+(* The declared policy is evaluated against the *current* instance state;
+   a raising hook only disables intent-based recovery, never the app. *)
+let declared_policy t ctx =
+  match App_sig.policy_of t.inst ctx with
+  | p -> p
+  | exception _ -> None
+
+let intent_tables t = t.intent_tables
+let set_intent_tables t tables = t.intent_tables <- tables
 
 let snapshot_bytes t = App_sig.snapshot t.inst
 

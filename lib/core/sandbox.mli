@@ -24,7 +24,7 @@ type verdict =
 
 type t
 
-val create : ?ckpt:Checkpoint.t -> checkpoint_every:int -> (module App_sig.APP) -> t
+val create : ?ckpt:Checkpoint.t -> checkpoint_every:int -> App_sig.app -> t
 (** [ckpt] substitutes a custom checkpoint store (delta storage, adaptive
     cadence); by default a full-blob store with cadence [checkpoint_every]
     is created. *)
@@ -101,6 +101,17 @@ val reboot : t -> unit
 
 val app_module : t -> (module App_sig.APP)
 (** The application module inside (for offline analysis on fresh copies). *)
+
+val declared_policy : t -> App_sig.context -> Policy.t option
+(** The app's declared forwarding intent evaluated over its current state,
+    or [None] if the app is legacy or its hook raised. *)
+
+val intent_tables : t -> Policy.table list
+(** Compiled intent as last installed on the network ([[]] initially).
+    Survives reboots/restores: it mirrors switch state, not app state. *)
+
+val set_intent_tables : t -> Policy.table list -> unit
+(** Record that [tables] are now what the network holds for this app. *)
 
 val snapshot_bytes : t -> bytes
 (** A serialized snapshot of the current state (does not touch the

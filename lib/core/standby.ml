@@ -3,7 +3,7 @@ module Clock = Netsim.Clock
 
 type t = {
   network : Net.t;
-  modules : (module Controller.App_sig.APP) list;
+  modules : Controller.App_sig.app list;
   config : Runtime.config;
   sync_interval : float;
   mutable active : Runtime.t;

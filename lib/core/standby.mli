@@ -17,7 +17,7 @@ val create :
   ?config:Runtime.config ->
   ?sync_interval:float ->
   Netsim.Net.t ->
-  (module Controller.App_sig.APP) list ->
+  Controller.App_sig.app list ->
   t
 (** A primary runtime plus standby bookkeeping. [sync_interval] (default
     1 s of virtual time) controls how often {!maybe_sync} actually ships

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 open Openflow
 open Netsim
 module Runtime = Legosdn.Runtime
@@ -23,7 +24,7 @@ let runtime_over topo apps =
   (net, rt)
 
 let test_hub_floods_but_never_installs () =
-  let net, rt = runtime_over (Topo_gen.linear ~hosts_per_switch:1 3) [ (module Apps.Hub) ] in
+  let net, rt = runtime_over (Topo_gen.linear ~hosts_per_switch:1 3) [ (App_sig.app (module Apps.Hub)) ] in
   drive net (fun () -> Runtime.step rt) [ (1, 2); (1, 2); (1, 2) ];
   List.iter
     (fun sid ->
@@ -36,7 +37,7 @@ let test_hub_floods_but_never_installs () =
 
 let test_flooder_installs_flood_rules () =
   let net, rt =
-    runtime_over (Topo_gen.linear ~hosts_per_switch:1 2) [ (module Apps.Flooder) ]
+    runtime_over (Topo_gen.linear ~hosts_per_switch:1 2) [ (App_sig.app (module Apps.Flooder)) ]
   in
   drive net (fun () -> Runtime.step rt) [ (1, 2) ];
   T_util.checkb "flood rule installed at ingress" true
@@ -53,7 +54,7 @@ let test_flooder_installs_flood_rules () =
 let test_learning_switch_converges () =
   let net, rt =
     runtime_over (Topo_gen.linear ~hosts_per_switch:1 3)
-      [ (module Apps.Learning_switch) ]
+      [ (App_sig.app (module Apps.Learning_switch)) ]
   in
   drive net (fun () -> Runtime.step rt) [ (1, 2); (2, 1); (1, 2) ];
   T_util.checkb "forward path pinned" true (Net.reachable net 1 2);
@@ -62,7 +63,7 @@ let test_learning_switch_converges () =
 let test_learning_switch_forgets_on_switch_down () =
   let _, rt =
     runtime_over (Topo_gen.linear ~hosts_per_switch:1 2)
-      [ (module Apps.Learning_switch) ]
+      [ (App_sig.app (module Apps.Learning_switch)) ]
   in
   Runtime.dispatch_event rt (Event.Switch_down 1);
   (* No assertion on internals — just that the handler runs clean. *)
@@ -70,7 +71,7 @@ let test_learning_switch_forgets_on_switch_down () =
 
 let test_router_installs_path_rules () =
   let net, rt =
-    runtime_over (Topo_gen.linear ~hosts_per_switch:1 3) [ (module Apps.Router) ]
+    runtime_over (Topo_gen.linear ~hosts_per_switch:1 3) [ (App_sig.app (module Apps.Router)) ]
   in
   (* First exchange seeds the device manager (flooding), second installs. *)
   drive net (fun () -> Runtime.step rt) [ (1, 3); (3, 1); (1, 3) ];
@@ -81,7 +82,7 @@ let test_router_installs_path_rules () =
 
 let test_router_tears_down_on_link_failure () =
   let net, rt =
-    runtime_over (Topo_gen.linear ~hosts_per_switch:1 3) [ (module Apps.Router) ]
+    runtime_over (Topo_gen.linear ~hosts_per_switch:1 3) [ (App_sig.app (module Apps.Router)) ]
   in
   drive net (fun () -> Runtime.step rt) [ (1, 3); (3, 1); (1, 3) ];
   T_util.checkb "programmed" true (Net.reachable net 1 3);
@@ -97,7 +98,7 @@ let test_router_tears_down_on_link_failure () =
 let test_firewall_blocks_telnet () =
   let net, rt =
     runtime_over (Topo_gen.linear ~hosts_per_switch:1 2)
-      [ (module Apps.Firewall); (module Apps.Learning_switch) ]
+      [ (App_sig.app (module Apps.Firewall)); (App_sig.app (module Apps.Learning_switch)) ]
   in
   (* ACL rules pushed at handshake. *)
   T_util.checkb "ACLs installed" true
@@ -114,7 +115,7 @@ let test_firewall_blocks_telnet () =
 let test_firewall_web_unaffected () =
   let net, rt =
     runtime_over (Topo_gen.linear ~hosts_per_switch:1 2)
-      [ (module Apps.Firewall); (module Apps.Learning_switch) ]
+      [ (App_sig.app (module Apps.Firewall)); (App_sig.app (module Apps.Learning_switch)) ]
   in
   drive net (fun () -> Runtime.step rt) [ (1, 2); (2, 1); (1, 2) ];
   T_util.checkb "web traffic still flows" true (Net.reachable net 1 2)
@@ -123,7 +124,7 @@ let test_load_balancer_spreads_flows () =
   (* Star: leaves s2..s4 each hang off hub s1; hub has 3 uplinks. Traffic
      entering the hub from different flows should spread. *)
   let net, rt =
-    runtime_over (Topo_gen.star ~hosts_per_switch:1 3) [ (module Apps.Load_balancer) ]
+    runtime_over (Topo_gen.star ~hosts_per_switch:1 3) [ (App_sig.app (module Apps.Load_balancer)) ]
   in
   (* Hosts live on leaves; drive distinct flows through the hub. *)
   List.iteri
@@ -144,7 +145,7 @@ let test_load_balancer_spreads_flows () =
 let test_monitor_counts_and_never_regresses () =
   let net, rt =
     runtime_over (Topo_gen.linear ~hosts_per_switch:1 2)
-      [ (module Apps.Learning_switch); (module Apps.Monitor) ]
+      [ (App_sig.app (module Apps.Learning_switch)); (App_sig.app (module Apps.Monitor)) ]
   in
   drive net (fun () -> Runtime.step rt) [ (1, 2); (2, 1); (1, 2) ];
   Runtime.tick rt;
@@ -158,7 +159,7 @@ let test_faulty_wrapper_transparent_until_trigger () =
     let clock = Clock.create () in
     let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 2) in
     let mono =
-      Monolithic.create net [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+      Monolithic.create net [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
     in
     Monolithic.step mono;
     (net, mono)
@@ -170,8 +171,8 @@ let test_faulty_wrapper_transparent_until_trigger () =
 let test_bug_probability_is_seed_deterministic () =
   let trigger p seed =
     let bug = Apps.Bug_model.make (Apps.Bug_model.With_probability (p, seed)) Apps.Bug_model.Crash in
-    let m = Apps.Faulty.wrap ~bug (module Apps.Hub) in
-    let module M = (val m : Controller.App_sig.APP) in
+    let m = Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Hub)) in
+    let module M = (val m : Controller.App_sig.INTENT_APP) in
     let crashes = ref 0 in
     let st = ref (M.init ()) in
     for i = 1 to 50 do

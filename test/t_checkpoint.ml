@@ -3,7 +3,7 @@ module Checkpoint = Legosdn.Checkpoint
 module App_sig = Controller.App_sig
 module Event = Controller.Event
 
-let instance () = App_sig.instantiate (module Apps.Learning_switch)
+let instance () = App_sig.instantiate (App_sig.app (module Apps.Learning_switch))
 
 let tick t = Event.Tick t
 

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* The replicated controller cluster: election convergence, commit-gated
    dispatch, transaction-preserving fail-over, and the core replication
    theorem — replaying a node's committed log through fresh sandboxes
@@ -17,7 +18,7 @@ let config ?(replicas = 3) ?(lo = 0.15) ?(hi = 0.3) () =
     Runtime.cluster = { Runtime.replicas; election_lo = lo; election_hi = hi };
   }
 
-let apps : (module Controller.App_sig.APP) list = [ (module Apps.Learning_switch) ]
+let apps : Controller.App_sig.app list = [ (App_sig.app (module Apps.Learning_switch)) ]
 
 let fresh ?peer_channel ?(seed = 7) ?(replicas = 3) () =
   let clock = Clock.create () in

@@ -1,7 +1,8 @@
+module App_sig = Controller.App_sig
 module Config_lang = Legosdn.Config_lang
 module Runtime = Legosdn.Runtime
 module Crashpad = Legosdn.Crashpad
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Quarantine = Legosdn.Quarantine
 module Detector = Legosdn.Detector
 module Resources = Legosdn.Resources
@@ -61,11 +62,11 @@ let test_parse_full_example () =
        (Checker.Waypoint { pairs = [ (1, 5); (2, 6) ]; via = 3 })
        cp.Crashpad.invariants);
   T_util.checkb "policy wired through" true
-    (Policy.decide cp.Crashpad.policy ~app:"firewall" Event.K_tick
-     = Policy.No_compromise);
+    (Recovery_policy.decide cp.Crashpad.policy ~app:"firewall" Event.K_tick
+     = Recovery_policy.No_compromise);
   T_util.checkb "policy default" true
-    (Policy.decide cp.Crashpad.policy ~app:"x" Event.K_packet_in
-     = Policy.Absolute)
+    (Recovery_policy.decide cp.Crashpad.policy ~app:"x" Event.K_packet_in
+     = Recovery_policy.Absolute)
 
 let test_empty_is_default () =
   let c = Config_lang.parse_exn "" in
@@ -139,11 +140,12 @@ let config_equiv (a : Runtime.config) (b : Runtime.config) =
   a.Runtime.checkpoint_every = b.Runtime.checkpoint_every
   && a.Runtime.checkpoint_mode = b.Runtime.checkpoint_mode
   && a.Runtime.engine = b.Runtime.engine
-  && Policy.equal a.Runtime.crashpad.Crashpad.policy
+  && Recovery_policy.equal a.Runtime.crashpad.Crashpad.policy
        b.Runtime.crashpad.Crashpad.policy
   && a.Runtime.crashpad.Crashpad.invariants
      = b.Runtime.crashpad.Crashpad.invariants
   && a.Runtime.crashpad.Crashpad.timing = b.Runtime.crashpad.Crashpad.timing
+  && a.Runtime.crashpad.Crashpad.intent = b.Runtime.crashpad.Crashpad.intent
   && a.Runtime.crashpad.Crashpad.limits = b.Runtime.crashpad.Crashpad.limits
   && a.Runtime.reliable = b.Runtime.reliable
   && a.Runtime.cluster = b.Runtime.cluster
@@ -161,7 +163,7 @@ let test_print_parse_roundtrip () =
 let config_gen =
   QCheck2.Gen.(
     let compromise =
-      oneofl [ Policy.No_compromise; Policy.Absolute; Policy.Equivalence ]
+      oneofl [ Recovery_policy.No_compromise; Recovery_policy.Absolute; Recovery_policy.Equivalence ]
     in
     let* k = int_range 1 20 in
     let* mode =
@@ -192,7 +194,7 @@ let config_gen =
       let* app = opt (oneofl [ "a"; "router" ]) in
       let* kind = opt (oneofl Event.all_kinds) in
       let* action = compromise in
-      return { Policy.app; kind; action }
+      return { Recovery_policy.app; kind; action }
     in
     let* rules = list_size (int_bound 4) rule in
     let* default = compromise in
@@ -212,6 +214,7 @@ let config_gen =
         ]
     in
     let* trace_cache_budget = opt (int_range 1024 10_000_000) in
+    let* intent = bool in
     (* Exact-decimal workload parameters, for the same %g reason. *)
     let* workload =
       opt
@@ -241,7 +244,7 @@ let config_gen =
           };
         crashpad =
           {
-            Crashpad.policy = Policy.make ~default rules;
+            Crashpad.policy = Recovery_policy.make ~default rules;
             invariants =
               (if invariants = [] then Checker.default else invariants);
             timing = Detector.default_timing;
@@ -252,6 +255,7 @@ let config_gen =
               };
             quarantine =
               Option.map (fun t -> Quarantine.create ~threshold:t ()) quarantine;
+            intent;
             batched_checkpoints = false;
           };
       })
@@ -267,7 +271,7 @@ let test_runtime_accepts_parsed_config () =
     Netsim.Net.create (Netsim.Clock.create ())
       (Netsim.Topo_gen.linear ~hosts_per_switch:1 2)
   in
-  let rt = Runtime.create ~config net [ (module Apps.Learning_switch) ] in
+  let rt = Runtime.create ~config net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.step rt;
   T_util.checkb "runtime runs under parsed config" true
     (Runtime.events_processed rt > 0)

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Cross-layer consistency properties under random fault sequences: the
    controller's discovered view must track the physical truth, and the
    atomic-update screen must work on either transaction engine. *)
@@ -121,7 +122,7 @@ let test_standby_under_live_faults () =
   let net = Net.create clock (Topo_gen.ring ~hosts_per_switch:1 4) in
   let sb =
     Legosdn.Standby.create ~sync_interval:0.2 net
-      [ (module Apps.Spanning_tree); (module Apps.Router) ]
+      [ (App_sig.app (module Apps.Spanning_tree)); (App_sig.app (module Apps.Router)) ]
   in
   Legosdn.Standby.step sb;
   List.iter

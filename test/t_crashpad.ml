@@ -3,7 +3,7 @@ open Netsim
 module Runtime = Legosdn.Runtime
 module Sandbox = Legosdn.Sandbox
 module Crashpad = Legosdn.Crashpad
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Metrics = Legosdn.Metrics
 module Ticket = Legosdn.Ticket
 module Resources = Legosdn.Resources
@@ -58,12 +58,12 @@ end
 let test_failstop_recovered_and_sibling_unaffected () =
   let _, rt =
     fresh
-      ~config:(with_policy (Policy.uniform Policy.Absolute))
+      ~config:(with_policy (Recovery_policy.uniform Recovery_policy.Absolute))
       [
         Apps.Faulty.wrap
           ~bug:(Apps.Bug_model.crash_on Event.K_packet_in)
-          (module Apps.Learning_switch);
-        (module Apps.Firewall);
+          (App_sig.app (module Apps.Learning_switch));
+        (App_sig.app (module Apps.Firewall));
       ]
   in
   Runtime.dispatch_event rt (packet_in_event 1 2);
@@ -85,7 +85,7 @@ let test_partial_crash_rolled_back () =
       (Apps.Bug_model.On_nth_of_kind (Event.K_packet_in, 2))
       (Apps.Bug_model.Crash_partial 0.5)
   in
-  let net, rt = fresh [ Apps.Faulty.wrap ~bug (module Apps.Flooder) ] in
+  let net, rt = fresh [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Flooder)) ] in
   Runtime.dispatch_event rt (packet_in_event ~sid:1 1 2);
   T_util.checki "event 1 installed its rule" 1
     (Flow_table.size (Net.switch net 1).Sw.table);
@@ -105,8 +105,8 @@ let test_byzantine_loop_blocked () =
   in
   let net, rt =
     fresh ~topo:(Topo_gen.ring 3)
-      ~config:(with_policy (Policy.uniform Policy.Absolute))
-      [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+      ~config:(with_policy (Recovery_policy.uniform Recovery_policy.Absolute))
+      [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
   in
   Runtime.dispatch_event rt (packet_in_event ~sid:1 1 2);
   T_util.checki "byzantine output blocked" 1 (Metrics.byzantine_blocked (Runtime.metrics rt));
@@ -124,8 +124,8 @@ let test_byzantine_blackhole_blocked () =
   in
   let net, rt =
     fresh
-      ~config:(with_policy (Policy.uniform Policy.Absolute))
-      [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+      ~config:(with_policy (Recovery_policy.uniform Recovery_policy.Absolute))
+      [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
   in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   T_util.checki "blocked" 1 (Metrics.byzantine_blocked (Runtime.metrics rt));
@@ -138,8 +138,8 @@ let test_hang_recovered () =
   in
   let _, rt =
     fresh
-      ~config:(with_policy (Policy.uniform Policy.Absolute))
-      [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+      ~config:(with_policy (Recovery_policy.uniform Recovery_policy.Absolute))
+      [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
   in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   let m = Runtime.metrics rt in
@@ -152,8 +152,8 @@ let test_no_compromise_disables () =
   let bug = Apps.Bug_model.crash_on Event.K_packet_in in
   let _, rt =
     fresh
-      ~config:(with_policy (Policy.uniform Policy.No_compromise))
-      [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+      ~config:(with_policy (Recovery_policy.uniform Recovery_policy.No_compromise))
+      [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
   in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   let ls = Option.get (Runtime.sandbox rt "learning_switch") in
@@ -167,8 +167,8 @@ let test_absolute_ignores () =
   let bug = Apps.Bug_model.crash_on_nth Event.K_packet_in 1 in
   let _, rt =
     fresh
-      ~config:(with_policy (Policy.uniform Policy.Absolute))
-      [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+      ~config:(with_policy (Recovery_policy.uniform Recovery_policy.Absolute))
+      [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
   in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   let m = Runtime.metrics rt in
@@ -178,7 +178,7 @@ let test_absolute_ignores () =
   T_util.checkb "app continues" true (Sandbox.alive ls)
 
 let test_equivalence_transforms_switch_down () =
-  let net, rt = fresh ((module Transformable : App_sig.APP) :: []) in
+  let net, rt = fresh (App_sig.app (module Transformable : App_sig.APP) :: []) in
   (* Synthetic switch-down for s2 (the controller's view still has its
      links): the app crashes on it, Crash-Pad replays it as link-downs. *)
   Runtime.dispatch_event rt (Event.Switch_down 2);
@@ -209,7 +209,7 @@ let test_equivalence_falls_back_to_ignore () =
     let init () = ()
     let handle _ _ _ : state * Command.t list = failwith "always dies"
   end in
-  let _, rt = fresh [ (module Hopeless : App_sig.APP) ] in
+  let _, rt = fresh [ App_sig.app (module Hopeless : App_sig.APP) ] in
   Runtime.dispatch_event rt (Event.Switch_down 2);
   let m = Runtime.metrics rt in
   T_util.checki "fell back to ignoring" 1 (Metrics.ignored m);
@@ -219,12 +219,12 @@ let test_equivalence_falls_back_to_ignore () =
 let test_checkpoint_every_k_replays () =
   let config =
     {
-      (with_policy (Policy.uniform Policy.Absolute)) with
+      (with_policy (Recovery_policy.uniform Recovery_policy.Absolute)) with
       Runtime.checkpoint_every = 4;
     }
   in
   let bug = Apps.Bug_model.crash_on_nth Event.K_packet_in 4 in
-  let _, rt = fresh ~config [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ] in
+  let _, rt = fresh ~config [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   Runtime.dispatch_event rt (packet_in_event 2 1);
   Runtime.dispatch_event rt (packet_in_event 3 1);
@@ -251,7 +251,7 @@ let test_resource_limit_contains_leak () =
         };
     }
   in
-  let _, rt = fresh ~config [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ] in
+  let _, rt = fresh ~config [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   let m = Runtime.metrics rt in
   T_util.checki "breach detected" 1 (Metrics.resource_breaches m);
@@ -272,14 +272,14 @@ let test_command_limit () =
         };
     }
   in
-  let net, rt = fresh ~config [ (module Apps.Flooder) ] in
+  let net, rt = fresh ~config [ (App_sig.app (module Apps.Flooder)) ] in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   T_util.checki "breach" 1 (Metrics.resource_breaches (Runtime.metrics rt));
   T_util.checki "commands never committed" 0
     (Flow_table.size (Net.switch net 1).Sw.table)
 
 let test_upgrade_preserves_app_state () =
-  let net, rt = fresh [ (module Apps.Learning_switch) ] in
+  let net, rt = fresh [ (App_sig.app (module Apps.Learning_switch)) ] in
   (* Learn something. *)
   Clock.advance_by (Net.clock net) 0.1;
   Net.inject net 1 (T_util.tcp_packet 1 2);
@@ -294,7 +294,7 @@ let test_upgrade_preserves_app_state () =
     (Sandbox.state_size ls_after)
 
 let test_stats_replies_routed_to_requester () =
-  let _, rt = fresh [ (module Apps.Monitor); (module Apps.Learning_switch) ] in
+  let _, rt = fresh [ (App_sig.app (module Apps.Monitor)); (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.tick rt;
   let monitor = Option.get (Runtime.sandbox rt "monitor") in
   (* Tick + 3 stats replies = at least 4 events into the monitor. *)
@@ -305,20 +305,20 @@ let test_stats_replies_routed_to_requester () =
 
 let test_runtime_never_dies () =
   (* Throw every failure mode at the runtime at once. *)
-  let apps : (module App_sig.APP) list =
+  let apps : App_sig.app list =
     [
       Apps.Faulty.wrap
         ~bug:(Apps.Bug_model.crash_on Event.K_packet_in)
-        (module Apps.Learning_switch);
+        (App_sig.app (module Apps.Learning_switch));
       Apps.Faulty.wrap
         ~bug:(Apps.Bug_model.make (Apps.Bug_model.On_kind Event.K_packet_in)
                 Apps.Bug_model.Hang)
-        (module Apps.Hub);
+        (App_sig.app (module Apps.Hub));
       Apps.Faulty.wrap
         ~bug:(Apps.Bug_model.make (Apps.Bug_model.On_kind Event.K_packet_in)
                 Apps.Bug_model.Byzantine_blackhole)
-        (module Apps.Flooder);
-      (module Apps.Firewall);
+        (App_sig.app (module Apps.Flooder));
+      (App_sig.app (module Apps.Firewall));
     ]
   in
   let net, rt = fresh apps in
@@ -341,7 +341,7 @@ let test_delay_buffer_engine_end_to_end () =
      commit at transaction end. *)
   let config =
     {
-      (with_policy (Policy.uniform Policy.Absolute)) with
+      (with_policy (Recovery_policy.uniform Recovery_policy.Absolute)) with
       Runtime.engine = Runtime.Delay_buffer_engine;
     }
   in
@@ -350,7 +350,7 @@ let test_delay_buffer_engine_end_to_end () =
       (Apps.Bug_model.On_nth_of_kind (Event.K_packet_in, 2))
       (Apps.Bug_model.Crash_partial 1.0)
   in
-  let net, rt = fresh ~config [ Apps.Faulty.wrap ~bug (module Apps.Flooder) ] in
+  let net, rt = fresh ~config [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Flooder)) ] in
   T_util.checkb "no netlog instance under the buffer engine" true
     (Runtime.netlog rt = None);
   Runtime.dispatch_event rt (packet_in_event ~sid:1 1 2);
@@ -368,7 +368,7 @@ let test_byzantine_blocked_under_delay_buffer () =
      hypothetical, not read-from-network). *)
   let config =
     {
-      (with_policy (Policy.uniform Policy.Absolute)) with
+      (with_policy (Recovery_policy.uniform Recovery_policy.Absolute)) with
       Runtime.engine = Runtime.Delay_buffer_engine;
     }
   in
@@ -377,7 +377,7 @@ let test_byzantine_blocked_under_delay_buffer () =
       (Apps.Bug_model.On_kind Event.K_packet_in)
       Apps.Bug_model.Byzantine_blackhole
   in
-  let net, rt = fresh ~config [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ] in
+  let net, rt = fresh ~config [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.dispatch_event rt (packet_in_event 1 2);
   T_util.checki "blocked" 1 (Metrics.byzantine_blocked (Runtime.metrics rt));
   T_util.checki "nothing installed" 0 (Flow_table.size (Net.switch net 1).Sw.table)
@@ -431,9 +431,9 @@ let prop_runtime_total =
       let _, rt =
         fresh
           [
-            Apps.Faulty.wrap ~bug (module Apps.Learning_switch);
-            (module Apps.Firewall);
-            (module Apps.Monitor);
+            Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch));
+            (App_sig.app (module Apps.Firewall));
+            (App_sig.app (module Apps.Monitor));
           ]
       in
       List.iter (Runtime.dispatch_event rt) events;

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* The dispatch-engine differential: the sharded, batched engine must be
    observationally equivalent to the sequential engine — which stays
    in-tree precisely to serve as the executable specification. Scenarios
@@ -179,7 +180,7 @@ let twin dispatch =
   let config = { Runtime.default_config with Runtime.dispatch } in
   let rt =
     Runtime.create ~config net
-      [ (module Apps.Learning_switch : Controller.App_sig.APP) ]
+      [ Controller.App_sig.app (module Apps.Learning_switch) ]
   in
   Runtime.step rt;
   let hosts = Netsim.Topology.hosts (Netsim.Net.topology net) in

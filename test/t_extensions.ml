@@ -114,7 +114,7 @@ let test_clone_masks_nondeterministic_crash () =
   in
   let module C =
     (val (module Clone_runner.Make
-                   ((val Apps.Faulty.wrap ~bug (module Apps.Hub))))
+                   ((val Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Hub)))))
        : App_sig.APP)
   in
   let crashes = ref 0 in

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Whole-suite integration on data-center topologies: five applications
    together on a fat-tree, with failures, mirroring examples/full_stack.ml
    as assertions. *)
@@ -8,18 +9,18 @@ module Sandbox = Legosdn.Sandbox
 module Metrics = Legosdn.Metrics
 module Event = Controller.Event
 
-let suite_apps ?bug () : (module Controller.App_sig.APP) list =
-  let router : (module Controller.App_sig.APP) =
+let suite_apps ?bug () : Controller.App_sig.app list =
+  let router : Controller.App_sig.app =
     match bug with
-    | None -> (module Apps.Router)
-    | Some bug -> Apps.Faulty.wrap ~bug (module Apps.Router)
+    | None -> (App_sig.app (module Apps.Router))
+    | Some bug -> Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Router))
   in
   [
-    (module Apps.Spanning_tree);
-    (module Apps.Arp_responder);
+    (App_sig.app (module Apps.Spanning_tree));
+    (App_sig.app (module Apps.Arp_responder));
     router;
-    (module Apps.Firewall);
-    (module Apps.Monitor);
+    (App_sig.app (module Apps.Firewall));
+    (App_sig.app (module Apps.Monitor));
   ]
 
 let active_pairs =

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Hexdump formatting and the sandbox recovery-equivalence property. *)
 
 open Openflow
@@ -37,7 +38,7 @@ let prop_recover_is_identity =
       pair (int_range 1 7)
         (list_size (int_range 1 20) (pair (int_range 1 5) (int_range 1 5))))
     (fun (k, pairs) ->
-      let box = Sandbox.create ~checkpoint_every:k (module Apps.Learning_switch) in
+      let box = Sandbox.create ~checkpoint_every:k (App_sig.app (module Apps.Learning_switch)) in
       List.iter
         (fun (src, dst) ->
           let ev =

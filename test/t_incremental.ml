@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* The incremental invariant checker must be observationally equal to the
    full checker — same violations, same order — no matter what happened to
    the network since its caches were last valid. The property below drives
@@ -320,7 +321,7 @@ let test_hypothetical_mods_do_not_pollute () =
 let test_partition_heal_resync_equivalence () =
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
-  let rt = Runtime.create net [ (module Apps.Learning_switch) ] in
+  let rt = Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ] in
   let eng = Runtime.incremental rt in
   Runtime.step rt;
   List.iter

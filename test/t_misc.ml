@@ -10,7 +10,7 @@ module App_sig = Controller.App_sig
 let test_monolithic_sheds_storms_too () =
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.ring ~hosts_per_switch:1 4) in
-  let mono = Monolithic.create net [ (module Apps.Hub) ] in
+  let mono = Monolithic.create net [ (App_sig.app (module Apps.Hub)) ] in
   Monolithic.step mono;
   Net.inject net 1 (T_util.tcp_packet 1 3);
   Monolithic.step mono;
@@ -41,7 +41,7 @@ let test_learning_switch_idle_variant () =
   Alcotest.(check string) "variant named" "learning_switch(idle=5)" V.name;
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 2) in
-  let rt = Legosdn.Runtime.create net [ m ] in
+  let rt = Legosdn.Runtime.create net [ App_sig.app m ] in
   Legosdn.Runtime.step rt;
   List.iter
     (fun (src, dst) ->
@@ -62,7 +62,7 @@ let test_router_variants_differ_in_tie_breaking () =
   let run variant =
     let clock = Clock.create () in
     let net = Net.create clock (Topo_gen.mesh ~hosts_per_switch:1 4) in
-    let rt = Legosdn.Runtime.create net [ variant ] in
+    let rt = Legosdn.Runtime.create net [ App_sig.app variant ] in
     Legosdn.Runtime.step rt;
     List.iter
       (fun (src, dst) ->
@@ -91,7 +91,7 @@ let test_switch_outage_schedule () =
          ())
       ~make_driver:(fun net ->
         Workload.Scenario.legosdn_driver
-          (Legosdn.Runtime.create net [ (module Apps.Learning_switch) ]))
+          (Legosdn.Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ]))
   in
   Alcotest.(check (float 1e-9)) "controller unaffected by switch outage" 1.0
     report.Workload.Scenario.controller_availability

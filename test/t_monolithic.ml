@@ -18,11 +18,11 @@ let fresh_mono ?(topo = Topo_gen.linear ~hosts_per_switch:1 3) apps =
   Monolithic.step mono;
   (net, mono)
 
-let buggy bug : (module App_sig.APP) =
-  Apps.Faulty.wrap ~bug (module Apps.Learning_switch)
+let buggy bug : App_sig.app =
+  Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch))
 
 let test_healthy_dispatch () =
-  let net, mono = fresh_mono [ (module Apps.Learning_switch) ] in
+  let net, mono = fresh_mono [ (App_sig.app (module Apps.Learning_switch)) ] in
   drive_traffic net mono [ (1, 2); (2, 1); (1, 2) ];
   T_util.checkb "controller running" true (Monolithic.status mono = Monolithic.Running);
   T_util.checkb "events flowed" true (Monolithic.events_processed mono > 0);
@@ -34,7 +34,7 @@ let test_crash_takes_down_everything () =
     fresh_mono
       [
         buggy (Apps.Bug_model.crash_on_nth Event.K_packet_in 2);
-        (module Apps.Firewall);
+        (App_sig.app (module Apps.Firewall));
       ]
   in
   drive_traffic net mono [ (1, 2); (2, 1); (1, 3) ];
@@ -59,7 +59,7 @@ let test_partial_commands_leak_to_network () =
           ~bug:(Apps.Bug_model.make
                   (Apps.Bug_model.On_nth_of_kind (Event.K_packet_in, 2))
                   (Apps.Bug_model.Crash_partial 0.5))
-          (module Apps.Flooder);
+          (App_sig.app (module Apps.Flooder));
       ]
   in
   drive_traffic net mono [ (1, 2); (2, 1) ];
@@ -79,7 +79,7 @@ let test_hang_wedges_controller () =
         Apps.Faulty.wrap
           ~bug:(Apps.Bug_model.make (Apps.Bug_model.On_kind Event.K_packet_in)
                   Apps.Bug_model.Hang)
-          (module Apps.Learning_switch);
+          (App_sig.app (module Apps.Learning_switch));
       ]
   in
   drive_traffic net mono [ (1, 2) ];
@@ -94,7 +94,7 @@ let test_restart_loses_app_state () =
   let net, mono =
     fresh_mono
       [
-        (module Apps.Learning_switch);
+        (App_sig.app (module Apps.Learning_switch));
         buggy (Apps.Bug_model.crash_on_nth Event.K_packet_in 6);
       ]
   in
@@ -113,7 +113,7 @@ let test_restart_loses_app_state () =
     (Monolithic.events_processed mono > 0)
 
 let test_dispatch_respects_subscriptions () =
-  let _, mono = fresh_mono [ (module Apps.Monitor) ] in
+  let _, mono = fresh_mono [ (App_sig.app (module Apps.Monitor)) ] in
   (* Monitor ignores packet_in; dispatching one must not reach it. *)
   Monolithic.dispatch_event mono
     (Event.Packet_in
@@ -128,7 +128,7 @@ let test_dispatch_respects_subscriptions () =
   T_util.checkb "commands only from tick" true (Monolithic.commands_executed mono > 0)
 
 let test_stats_replies_routed_back () =
-  let net, mono = fresh_mono [ (module Apps.Monitor) ] in
+  let net, mono = fresh_mono [ (App_sig.app (module Apps.Monitor)) ] in
   Monolithic.tick mono;
   ignore net;
   let monitor = List.hd (Monolithic.apps mono) in

@@ -1,116 +1,349 @@
-module Policy = Legosdn.Policy
-module Policy_lang = Legosdn.Policy_lang
-module Event = Controller.Event
+(* The network-policy language and its compiler.
 
-let test_default_policy () =
-  let p = Policy.make [] in
-  T_util.checkb "default is equivalence" true
-    (Policy.decide p ~app:"x" Event.K_packet_in = Policy.Equivalence)
+   The core property is the differential: over random policies × random
+   located packets, the compiled prioritized flow table produces exactly
+   the forwarding relation defined by [Policy.denotation]. Policies that
+   have no OF 1.0 action-list serialization raise [Uncompilable] and are
+   skipped (but must stay a small minority of the generated space). *)
 
-let test_first_match_wins () =
-  let p =
-    Policy.make
+open Openflow
+
+(* ---------------- a small deterministic world ---------------- *)
+
+let switches = [ 1; 2 ]
+let ports _sw = [ 1; 2; 3 ]
+let macs = [| Types.mac_of_host 0; Types.mac_of_host 1; Types.mac_of_host 2 |]
+let ips = [| Types.ip_of_host 0; Types.ip_of_host 1 |]
+
+(* ---------------- generators ---------------- *)
+
+let gen_hv =
+  QCheck.Gen.(
+    oneof
       [
-        { Policy.app = Some "fw"; kind = None; action = Policy.No_compromise };
-        { Policy.app = Some "fw"; kind = Some Event.K_tick; action = Policy.Absolute };
-      ]
-  in
-  T_util.checkb "earlier rule shadows later" true
-    (Policy.decide p ~app:"fw" Event.K_tick = Policy.No_compromise)
+        map (fun p -> Policy.In_port (1 + (p mod 3))) small_nat;
+        map (fun i -> Policy.Dl_src macs.(i mod 3)) small_nat;
+        map (fun i -> Policy.Dl_dst macs.(i mod 3)) small_nat;
+        oneofl
+          [
+            Policy.Dl_vlan None;
+            Policy.Dl_vlan (Some 10);
+            Policy.Dl_vlan (Some 20);
+          ];
+        oneofl
+          [
+            Policy.Dl_type Packet.ethertype_ip;
+            Policy.Dl_type Packet.ethertype_arp;
+          ];
+        map (fun i -> Policy.Nw_src ips.(i mod 2)) small_nat;
+        map (fun i -> Policy.Nw_dst ips.(i mod 2)) small_nat;
+        oneofl
+          [ Policy.Nw_proto Packet.proto_tcp; Policy.Nw_proto Packet.proto_udp ];
+        oneofl [ Policy.Nw_tos 0; Policy.Nw_tos 46 ];
+        oneofl [ Policy.Tp_src 1024; Policy.Tp_src 2048 ];
+        oneofl [ Policy.Tp_dst 80; Policy.Tp_dst 23; Policy.Tp_dst 445 ];
+      ])
 
-let test_wildcards () =
-  let p =
-    Policy.make ~default:Policy.Absolute
+let rec gen_pred depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      oneof
+        [
+          return Policy.True;
+          return Policy.False;
+          map (fun h -> Policy.Test h) gen_hv;
+        ]
+    else
+      frequency
+        [
+          (2, map (fun h -> Policy.Test h) gen_hv);
+          (1, return Policy.True);
+          (1, return Policy.False);
+          ( 2,
+            map2
+              (fun a b -> Policy.And (a, b))
+              (gen_pred (depth - 1))
+              (gen_pred (depth - 1)) );
+          ( 2,
+            map2
+              (fun a b -> Policy.Or (a, b))
+              (gen_pred (depth - 1))
+              (gen_pred (depth - 1)) );
+          (1, map (fun a -> Policy.Neg a) (gen_pred (depth - 1)));
+        ])
+
+let gen_update =
+  QCheck.Gen.(
+    oneof
       [
-        { Policy.app = None; kind = Some Event.K_switch_down; action = Policy.No_compromise };
-        { Policy.app = Some "lb"; kind = None; action = Policy.Equivalence };
-      ]
-  in
-  T_util.checkb "kind wildcard matches any app" true
-    (Policy.decide p ~app:"whatever" Event.K_switch_down = Policy.No_compromise);
-  T_util.checkb "app rule" true
-    (Policy.decide p ~app:"lb" Event.K_packet_in = Policy.Equivalence);
-  T_util.checkb "fallthrough to default" true
-    (Policy.decide p ~app:"other" Event.K_packet_in = Policy.Absolute)
+        map (fun i -> Policy.To_dl_src macs.(i mod 3)) small_nat;
+        map (fun i -> Policy.To_dl_dst macs.(i mod 3)) small_nat;
+        oneofl [ Policy.To_vlan 10; Policy.To_vlan 20; Policy.To_no_vlan ];
+        map (fun i -> Policy.To_nw_src ips.(i mod 2)) small_nat;
+        map (fun i -> Policy.To_nw_dst ips.(i mod 2)) small_nat;
+        oneofl [ Policy.To_nw_tos 0; Policy.To_nw_tos 46 ];
+        oneofl [ Policy.To_tp_src 1024; Policy.To_tp_src 2048 ];
+        oneofl [ Policy.To_tp_dst 80; Policy.To_tp_dst 8080 ];
+      ])
 
-let test_uniform () =
-  let p = Policy.uniform Policy.No_compromise in
+let rec gen_policy depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      frequency
+        [
+          (3, map (fun p -> Policy.Filter p) (gen_pred 1));
+          (3, map (fun p -> Policy.Forward (1 + (p mod 3))) small_nat);
+          (1, return Policy.Flood);
+          (1, return Policy.Drop);
+          (2, map (fun u -> Policy.Modify u) gen_update);
+        ]
+    else
+      frequency
+        [
+          (2, map (fun p -> Policy.Filter p) (gen_pred (min depth 2)));
+          (2, map (fun p -> Policy.Forward (1 + (p mod 3))) small_nat);
+          (1, return Policy.Flood);
+          (2, map (fun u -> Policy.Modify u) gen_update);
+          ( 3,
+            map2
+              (fun a b -> Policy.Union (a, b))
+              (gen_policy (depth - 1))
+              (gen_policy (depth - 1)) );
+          ( 3,
+            map2
+              (fun a b -> Policy.Seq (a, b))
+              (gen_policy (depth - 1))
+              (gen_policy (depth - 1)) );
+          ( 1,
+            map2
+              (fun sw p -> Policy.At (1 + (sw mod 2), p))
+              small_nat
+              (gen_policy (depth - 1)) );
+        ])
+
+let gen_packet =
+  QCheck.Gen.(
+    let* src = int_bound 2 in
+    let* dst = int_bound 2 in
+    let* vlan = oneofl [ None; Some 10; Some 20 ] in
+    let* dl_type = oneofl [ Packet.ethertype_ip; Packet.ethertype_arp ] in
+    let* proto = oneofl [ Packet.proto_tcp; Packet.proto_udp ] in
+    let* tos = oneofl [ 0; 46 ] in
+    let* sport = oneofl [ 1024; 2048 ] in
+    let* dport = oneofl [ 80; 23; 445; 8080 ] in
+    return
+      (Packet.make ~dl_vlan:vlan ~dl_type ~nw_proto:proto ~nw_tos:tos
+         ~tp_src:sport ~tp_dst:dport ~dl_src:macs.(src) ~dl_dst:macs.(dst)
+         ~nw_src:ips.(src mod 2) ~nw_dst:ips.(dst mod 2) ()))
+
+let gen_located =
+  QCheck.Gen.(
+    let* sw = oneofl switches in
+    let* in_port = oneofl (ports sw) in
+    let* pkt = gen_packet in
+    return (sw, in_port, pkt))
+
+let gen_case =
+  QCheck.Gen.(
+    let* pol = gen_policy 3 in
+    let* located = list_size (int_range 1 6) gen_located in
+    return (pol, located))
+
+let print_case (pol, located) =
+  Format.asprintf "@[<v>policy: %a@,packets: %d@]" Policy.pp pol
+    (List.length located)
+
+let pp_rel =
+  Fmt.Dump.list (Fmt.Dump.pair Packet.pp (Fmt.fmt "port %d"))
+
+let forwarding tables pol sw in_port pkt =
+  let want = Policy.denotation ~ports pol ~sw ~in_port pkt in
+  let got =
+    match List.find_opt (fun t -> t.Policy.t_sw = sw) tables with
+    | None -> []
+    | Some tbl -> Policy.eval_table ~ports tbl ~in_port pkt
+  in
+  (want, got)
+
+let uncompilable = ref 0
+let compiled = ref 0
+
+let differential_prop (pol, located) =
+  match Policy.compile ~switches pol with
+  | exception Policy.Uncompilable _ ->
+      incr uncompilable;
+      true
+  | tables ->
+      incr compiled;
+      List.for_all
+        (fun (sw, in_port, pkt) ->
+          let want, got = forwarding tables pol sw in_port pkt in
+          if want = got then true
+          else
+            QCheck.Test.fail_reportf
+              "@[<v>policy: %a@,sw=%d in_port=%d@,pkt: %a@,denotation: %a@,table: %a@]"
+              Policy.pp pol sw in_port Packet.pp pkt pp_rel want pp_rel got)
+        located
+
+let test_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:400 ~name:"compiled table == denotation"
+       (QCheck.make ~print:print_case gen_case)
+       differential_prop)
+
+(* Runs after the differential: Uncompilable policies must be a small
+   minority or the property above would be vacuous. *)
+let test_compilable_majority () =
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled %d, uncompilable %d" !compiled !uncompilable)
+    true
+    (!compiled > 3 * !uncompilable)
+
+(* ---------------- units ---------------- *)
+
+let probe_agreement pol =
+  let tables = Policy.compile ~switches pol in
+  let probes = Policy.probes ~ports tables in
+  Policy.agrees ~ports ~switches pol tables ~probes
+
+let blocked_pred =
+  Policy.(
+    conj
+      [
+        Test (Dl_type Packet.ethertype_ip);
+        Test (Nw_proto Packet.proto_tcp);
+        disj [ Test (Tp_dst 23); Test (Tp_dst 445) ];
+      ])
+
+let firewall_policy = Policy.(ite blocked_pred drop flood)
+
+let telnet =
+  Packet.make ~tp_dst:23 ~dl_src:macs.(0) ~dl_dst:macs.(1) ~nw_src:ips.(0)
+    ~nw_dst:ips.(1) ()
+
+let test_firewall_shape () =
+  let tables = Policy.compile ~switches firewall_policy in
+  Alcotest.(check int) "one table per switch" 2 (List.length tables);
+  let tbl = List.hd tables in
+  Alcotest.(check int)
+    "telnet dropped" 0
+    (List.length (Policy.eval_table ~ports tbl ~in_port:1 telnet));
+  Alcotest.(check int)
+    "web flooded to the two other ports" 2
+    (List.length
+       (Policy.eval_table ~ports tbl ~in_port:1 { telnet with tp_dst = 80 }));
+  Alcotest.(check bool) "probe agreement" true (probe_agreement firewall_policy)
+
+let test_priorities_above_default () =
+  let tables = Policy.compile ~switches firewall_policy in
   List.iter
-    (fun kind ->
-      T_util.checkb "uniform answers the same" true
-        (Policy.decide p ~app:"any" kind = Policy.No_compromise))
-    Event.all_kinds
+    (fun t ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            "compiled rows outrank default-priority rules" true
+            (r.Policy.r_priority > Message.default_priority))
+        t.Policy.t_rows)
+    tables
 
-let example_text =
-  {|
-# security apps must never be compromised
-app firewall event * => no-compromise
-app * event switch_down => equivalence
-app learning_switch event packet_in => absolute   # drop poisoned packets
-default => equivalence
-|}
+let test_seq_modify () =
+  (* rewrite then forward: the emitted copy carries the rewritten header *)
+  let pol = Policy.(seq (modify (To_nw_tos 46)) (forward 2)) in
+  let tables = Policy.compile ~switches pol in
+  let tbl = List.find (fun t -> t.Policy.t_sw = 1) tables in
+  match Policy.eval_table ~ports tbl ~in_port:1 telnet with
+  | [ (pkt, 2) ] -> Alcotest.(check int) "tos rewritten" 46 pkt.Packet.nw_tos
+  | other ->
+      Alcotest.failf "unexpected relation: %a" pp_rel other
 
-let test_parse_example () =
-  match Policy_lang.parse example_text with
-  | Error e -> Alcotest.failf "parse error: %a" Policy_lang.pp_error e
-  | Ok p ->
-      T_util.checki "three rules" 3 (List.length (Policy.rules p));
-      T_util.checkb "firewall protected" true
-        (Policy.decide p ~app:"firewall" Event.K_packet_in = Policy.No_compromise);
-      T_util.checkb "switch_down transformed for others" true
-        (Policy.decide p ~app:"router" Event.K_switch_down = Policy.Equivalence);
-      T_util.checkb "ls packet_in dropped" true
-        (Policy.decide p ~app:"learning_switch" Event.K_packet_in = Policy.Absolute)
+let test_at_scopes_to_switch () =
+  let pol = Policy.(at 2 (forward 3)) in
+  let tables = Policy.compile ~switches pol in
+  Alcotest.(check bool)
+    "no table for switch 1" true
+    (not (List.exists (fun t -> t.Policy.t_sw = 1) tables));
+  let t2 = List.find (fun t -> t.Policy.t_sw = 2) tables in
+  Alcotest.(check int)
+    "switch 2 forwards" 1
+    (List.length (Policy.eval_table ~ports t2 ~in_port:1 telnet))
 
-let test_parse_errors () =
-  (match Policy_lang.parse "app x => nope" with
-  | Error e -> T_util.checki "error on line 1" 1 e.Policy_lang.line
-  | Ok _ -> Alcotest.fail "should not parse");
-  (match Policy_lang.parse "app x event packet_in => sorta" with
-  | Error e ->
-      T_util.checkb "names the bad compromise" true
-        (String.length e.Policy_lang.message > 0)
-  | Ok _ -> Alcotest.fail "bad compromise accepted");
-  (match Policy_lang.parse "app x event nonsense_kind => absolute" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "bad kind accepted");
-  match Policy_lang.parse "default => absolute\ndefault => equivalence" with
-  | Error e -> T_util.checki "duplicate default flagged" 2 e.Policy_lang.line
-  | Ok _ -> Alcotest.fail "duplicate default accepted"
+let test_uncompilable_multicast () =
+  (* Two copies that diverge on an unpinned field with no serialization:
+     copy A keeps the original dl_src, copy B rewrites it — and vice versa
+     for nw_tos — so neither order works without a pinned original. *)
+  let pol =
+    Policy.(
+      union
+        (seq (modify (To_nw_tos 46)) (forward 1))
+        (seq (modify (To_dl_src macs.(2))) (forward 2)))
+  in
+  Alcotest.check_raises "no OF 1.0 serialization"
+    (Policy.Uncompilable
+       "no OF 1.0 serialization: 2 copies need divergent rewrites of \
+        unpinned fields")
+    (fun () -> ignore (Policy.compile ~switches pol))
 
-let test_print_parse_roundtrip () =
-  let p = Policy_lang.parse_exn example_text in
-  let p2 = Policy_lang.parse_exn (Policy_lang.print p) in
-  T_util.checkb "roundtrip equality" true (Policy.equal p p2)
+let test_pinned_field_restores () =
+  (* The same divergent multicast compiles once the pattern pins the
+     fields, because the original values can be restored. *)
+  let pol =
+    Policy.(
+      seq
+        (filter (conj [ Test (Nw_tos 0); Test (Dl_src macs.(0)) ]))
+        (union
+           (seq (modify (To_nw_tos 46)) (forward 1))
+           (seq (modify (To_dl_src macs.(2))) (forward 2))))
+  in
+  let tables = Policy.compile ~switches pol in
+  Alcotest.(check bool) "compiles" true (tables <> []);
+  Alcotest.(check bool) "probe agreement" true (probe_agreement pol)
 
-let policy_gen =
-  QCheck2.Gen.(
-    let compromise =
-      oneofl [ Policy.No_compromise; Policy.Absolute; Policy.Equivalence ]
-    in
-    let rule =
-      let* app = opt (oneofl [ "a"; "b"; "router" ]) in
-      let* kind = opt (oneofl Event.all_kinds) in
-      let* action = compromise in
-      return { Policy.app; kind; action }
-    in
-    let* rules = list_size (int_bound 6) rule in
-    let* default = compromise in
-    return (Policy.make ~default rules))
+let test_flow_mods_diff () =
+  let prev = Policy.compile ~switches firewall_policy in
+  (* same policy: no mods *)
+  let next = Policy.compile ~switches firewall_policy in
+  Alcotest.(check int)
+    "identical tables need no mods" 0
+    (List.length (Policy.flow_mods ~prev ~next));
+  (* drop the policy entirely: every row is deleted, strictly *)
+  let mods = Policy.flow_mods ~prev ~next:Policy.empty_tables in
+  Alcotest.(check int)
+    "teardown deletes every row" (Policy.table_rows prev) (List.length mods);
+  List.iter
+    (fun (_, fm) ->
+      match fm.Message.command with
+      | Message.Delete_strict -> ()
+      | _ -> Alcotest.fail "expected strict delete")
+    mods;
+  (* a changed policy replaces changed rows via Add *)
+  let next = Policy.compile ~switches Policy.(ite blocked_pred drop (forward 2)) in
+  let mods = Policy.flow_mods ~prev ~next in
+  Alcotest.(check bool) "transition emits mods" true (mods <> [])
 
-let prop_lang_roundtrip =
-  QCheck2.Test.make ~name:"print/parse roundtrip for any policy" ~count:300
-    policy_gen (fun p ->
-      Policy.equal p (Policy_lang.parse_exn (Policy_lang.print p)))
+let test_patterns_interned () =
+  let tables = Policy.compile ~switches firewall_policy in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            "pattern is the canonical interned block" true
+            (Ofp_match.intern r.Policy.r_pattern == r.Policy.r_pattern))
+        t.Policy.t_rows)
+    tables
 
 let suite =
   [
-    Alcotest.test_case "default policy" `Quick test_default_policy;
-    Alcotest.test_case "first match wins" `Quick test_first_match_wins;
-    Alcotest.test_case "wildcards" `Quick test_wildcards;
-    Alcotest.test_case "uniform policy" `Quick test_uniform;
-    Alcotest.test_case "parse example" `Quick test_parse_example;
-    Alcotest.test_case "parse errors located" `Quick test_parse_errors;
-    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
-    QCheck_alcotest.to_alcotest prop_lang_roundtrip;
+    test_differential;
+    Alcotest.test_case "compilable majority" `Quick test_compilable_majority;
+    Alcotest.test_case "firewall shape" `Quick test_firewall_shape;
+    Alcotest.test_case "priorities above default" `Quick
+      test_priorities_above_default;
+    Alcotest.test_case "seq modify rewrites the copy" `Quick test_seq_modify;
+    Alcotest.test_case "at scopes to one switch" `Quick test_at_scopes_to_switch;
+    Alcotest.test_case "divergent multicast is uncompilable" `Quick
+      test_uncompilable_multicast;
+    Alcotest.test_case "pinned fields restore" `Quick test_pinned_field_restores;
+    Alcotest.test_case "flow-mod diff" `Quick test_flow_mods_diff;
+    Alcotest.test_case "patterns interned" `Quick test_patterns_interned;
   ]

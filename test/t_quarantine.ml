@@ -1,9 +1,10 @@
+module App_sig = Controller.App_sig
 open Openflow
 open Netsim
 module Quarantine = Legosdn.Quarantine
 module Runtime = Legosdn.Runtime
 module Crashpad = Legosdn.Crashpad
-module Policy = Legosdn.Policy
+module Recovery_policy = Legosdn.Recovery_policy
 module Metrics = Legosdn.Metrics
 module Sandbox = Legosdn.Sandbox
 module Event = Controller.Event
@@ -86,7 +87,7 @@ let test_deep_analyze_benign_history () =
   let q = Quarantine.create () in
   let minimal, calls =
     Quarantine.deep_analyze q ~app:"learning_switch"
-      (module Apps.Learning_switch) T_util.null_context
+      (module Apps.Learning_switch : Controller.App_sig.APP) T_util.null_context
       ~history:[ packet_in 1 2 ]
   in
   T_util.checki "nothing found" 0 (List.length minimal);
@@ -102,14 +103,14 @@ let test_runtime_integration () =
       Runtime.crashpad =
         {
           Crashpad.default_config with
-          Crashpad.policy = Policy.uniform Policy.Absolute;
+          Crashpad.policy = Recovery_policy.uniform Recovery_policy.Absolute;
           Crashpad.quarantine = Some q;
         };
     }
   in
   let bug = Apps.Bug_model.make (Apps.Bug_model.On_tp_dst 6666) Apps.Bug_model.Crash in
   let net = Net.create (Clock.create ()) (Topo_gen.linear ~hosts_per_switch:1 2) in
-  let rt = Runtime.create ~config net [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ] in
+  let rt = Runtime.create ~config net [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.step rt;
   let poisoned = packet_in ~dport:6666 1 2 in
   for _ = 1 to 6 do

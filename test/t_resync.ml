@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Reliable delivery and switch resynchronization: retransmission over a
    lossy channel, the unreachable circuit breaker, duplicate suppression,
    and shadow-table replay after a reboot. *)
@@ -93,7 +94,7 @@ let reboot_scenario ~reliable_on =
   (* Learning switch: rules survive topology events in the shadow (unlike
      Router, which proactively tears routes down on Switch_down), so a
      reboot cleanly isolates resynchronization. *)
-  let rt = Runtime.create ~config net [ (module Apps.Learning_switch) ] in
+  let rt = Runtime.create ~config net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Runtime.step rt;
   List.iter
     (fun (src, dst) ->
@@ -139,7 +140,7 @@ let test_unreachable_screen_aborts_transactions () =
   in
   let rt =
     Runtime.create ~config net
-      [ (module Apps.Spanning_tree); (module Apps.Router) ]
+      [ (App_sig.app (module Apps.Spanning_tree)); (App_sig.app (module Apps.Router)) ]
   in
   Runtime.step rt;
   Net.apply_fault net (Net.Channel_partition 2);

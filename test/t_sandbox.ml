@@ -14,7 +14,7 @@ let packet_in ?(sid = 1) ?(in_port = 100) src dst =
       } )
 
 let ls_sandbox ?(bug = None) ?(every = 1) () =
-  let base : (module App_sig.APP) = (module Apps.Learning_switch) in
+  let base : App_sig.app = (App_sig.app (module Apps.Learning_switch)) in
   let m = match bug with None -> base | Some b -> Apps.Faulty.wrap ~bug:b base in
   Sandbox.create ~checkpoint_every:every m
 
@@ -50,7 +50,7 @@ let test_partial_crash_carries_commands () =
       (Apps.Bug_model.Crash_partial 1.0)
   in
   let box =
-    Sandbox.create ~checkpoint_every:1 (Apps.Faulty.wrap ~bug (module Apps.Flooder))
+    Sandbox.create ~checkpoint_every:1 (Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Flooder)))
   in
   Sandbox.prepare box;
   match Sandbox.deliver box ctx (packet_in 1 2) with

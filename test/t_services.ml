@@ -88,8 +88,8 @@ let test_context_snapshot () =
   let _, _, services, _ = T_util.net_with_services (Topo_gen.star 2) in
   let ctx = Services.context services in
   Alcotest.(check (list int)) "context switches" [ 1; 2; 3 ]
-    (ctx.Controller.App_sig.switches ());
-  T_util.checkb "hub has ports" true (ctx.Controller.App_sig.switch_ports 1 <> [])
+    (Controller.App_sig.switches ctx);
+  T_util.checkb "hub has ports" true (Controller.App_sig.switch_ports ctx 1 <> [])
 
 let suite =
   [

@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Whole-system soak tests: seeded random scenarios (topology, traffic,
    faults, bugs) thrown at the LegoSDN runtime, asserting the properties
    that must hold universally:
@@ -51,11 +52,11 @@ let run_seed seed =
   let metrics_box = ref None in
   let report =
     Scenario.run (scenario_of_seed seed) ~make_driver:(fun net ->
-        let apps : (module Controller.App_sig.APP) list =
+        let apps : Controller.App_sig.app list =
           [
-            Apps.Faulty.wrap ~bug:(bug_of_seed seed) (module Apps.Learning_switch);
-            (module Apps.Firewall);
-            (module Apps.Monitor);
+            Apps.Faulty.wrap ~bug:(bug_of_seed seed) (App_sig.app (module Apps.Learning_switch));
+            (App_sig.app (module Apps.Firewall));
+            (App_sig.app (module Apps.Monitor));
           ]
         in
         let rt = Runtime.create net apps in
@@ -117,8 +118,8 @@ let test_firewall_acls_always_hold () =
             (Runtime.create net
                [
                  Apps.Faulty.wrap ~bug:(bug_of_seed seed)
-                   (module Apps.Learning_switch);
-                 (module Apps.Firewall);
+                   (App_sig.app (module Apps.Learning_switch));
+                 (App_sig.app (module Apps.Firewall));
                ]))
     in
     let net = Option.get !net_box in

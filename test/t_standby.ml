@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 open Netsim
 module Standby = Legosdn.Standby
 module Runtime = Legosdn.Runtime
@@ -14,7 +15,7 @@ let drive net step pairs =
 let fresh () =
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 3) in
-  let sb = Standby.create ~sync_interval:0.5 net [ (module Apps.Learning_switch) ] in
+  let sb = Standby.create ~sync_interval:0.5 net [ (App_sig.app (module Apps.Learning_switch)) ] in
   Standby.step sb;
   (net, sb)
 
@@ -64,7 +65,7 @@ let test_failover_without_any_sync_reinits () =
   let clock = Clock.create () in
   let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:1 2) in
   (* Huge interval: the create-time state was never shipped. *)
-  let sb = Standby.create ~sync_interval:1e9 net [ (module Apps.Learning_switch) ] in
+  let sb = Standby.create ~sync_interval:1e9 net [ (App_sig.app (module Apps.Learning_switch)) ] in
   (* Note: first step syncs once (nothing learned yet), which is the
      freshest shipment the standby will ever get. *)
   Standby.step sb;
@@ -72,7 +73,7 @@ let test_failover_without_any_sync_reinits () =
   let sb = Standby.fail_primary sb in
   let fresh_snapshot =
     Sandbox.snapshot_bytes
-      (Legosdn.Sandbox.create ~checkpoint_every:1 (module Apps.Learning_switch))
+      (Legosdn.Sandbox.create ~checkpoint_every:1 (App_sig.app (module Apps.Learning_switch)))
   in
   T_util.checkb "fell back to init state" true
     (Sandbox.snapshot_bytes (ls sb) = fresh_snapshot)

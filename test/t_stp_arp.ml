@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 (* Spanning tree (Port_mod / NO_FLOOD) and ARP responder tests. *)
 
 open Openflow
@@ -79,23 +80,23 @@ let test_flood_honors_no_flood_all_does_not () =
     (List.sort compare (List.map snd all.Sw.transmits))
 
 let test_stp_prunes_ring () =
-  let net, rt = runtime_over (Topo_gen.ring ~hosts_per_switch:1 4) [ (module Apps.Spanning_tree) ] in
+  let net, rt = runtime_over (Topo_gen.ring ~hosts_per_switch:1 4) [ (App_sig.app (module Apps.Spanning_tree)) ] in
   ignore rt;
   (* Ring of 4: 4 links, tree has 3 — one link pruned, i.e. both of its
      endpoints have NO_FLOOD. *)
   T_util.checki "exactly one link pruned (2 ports)" 2 (total_pruned net [ 1; 2; 3; 4 ])
 
 let test_stp_keeps_linear_untouched () =
-  let net, _ = runtime_over (Topo_gen.linear ~hosts_per_switch:1 4) [ (module Apps.Spanning_tree) ] in
+  let net, _ = runtime_over (Topo_gen.linear ~hosts_per_switch:1 4) [ (App_sig.app (module Apps.Spanning_tree)) ] in
   T_util.checki "no redundancy, nothing pruned" 0 (total_pruned net [ 1; 2; 3; 4 ])
 
 let test_stp_stops_broadcast_storm () =
   (* A hub flooding a ring is the storm case the guard sheds; with the
      spanning tree pruning the loop, nothing needs shedding at all. *)
   let storm_shed with_stp =
-    let apps : (module Controller.App_sig.APP) list =
-      if with_stp then [ (module Apps.Spanning_tree); (module Apps.Hub) ]
-      else [ (module Apps.Hub) ]
+    let apps : Controller.App_sig.app list =
+      if with_stp then [ (App_sig.app (module Apps.Spanning_tree)); (App_sig.app (module Apps.Hub)) ]
+      else [ (App_sig.app (module Apps.Hub)) ]
     in
     let net, rt = runtime_over (Topo_gen.ring ~hosts_per_switch:1 4) apps in
     Net.inject net 1 (T_util.tcp_packet 1 3);
@@ -106,7 +107,7 @@ let test_stp_stops_broadcast_storm () =
   T_util.checki "hub + spanning tree: no storm" 0 (storm_shed true)
 
 let test_stp_repairs_after_tree_link_failure () =
-  let net, rt = runtime_over (Topo_gen.ring ~hosts_per_switch:1 4) [ (module Apps.Spanning_tree) ] in
+  let net, rt = runtime_over (Topo_gen.ring ~hosts_per_switch:1 4) [ (App_sig.app (module Apps.Spanning_tree)) ] in
   (* Kill a TREE link: the previously pruned link must be re-opened. *)
   let pruned_before =
     List.concat_map (fun sid -> List.map (fun p -> (sid, p)) (no_flood_ports net sid)) [ 1; 2; 3; 4 ]
@@ -240,7 +241,7 @@ let test_arp_ignores_ip_traffic () =
 let test_arp_end_to_end () =
   let net, rt =
     runtime_over (Topo_gen.linear ~hosts_per_switch:1 2)
-      [ (module Apps.Arp_responder); (module Apps.Learning_switch) ]
+      [ (App_sig.app (module Apps.Arp_responder)); (App_sig.app (module Apps.Learning_switch)) ]
   in
   (* h2 announces itself, then h1 asks: the reply must be delivered to h1
      without ever flooding past s1. *)

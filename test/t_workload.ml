@@ -1,3 +1,4 @@
+module App_sig = Controller.App_sig
 open Netsim
 module Traffic = Workload.Traffic
 module Failure_schedule = Workload.Failure_schedule
@@ -86,7 +87,7 @@ let test_scenario_healthy_run () =
   let report =
     Scenario.run (simple_scenario ()) ~make_driver:(fun net ->
         Scenario.legosdn_driver
-          (Legosdn.Runtime.create net [ (module Apps.Learning_switch) ]))
+          (Legosdn.Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ]))
   in
   Alcotest.(check (float 0.0001)) "legosdn controller fully available" 1.0
     report.Scenario.controller_availability;
@@ -100,7 +101,7 @@ let test_scenario_monolithic_crash_and_restart () =
     Scenario.run (simple_scenario ~duration:10. ()) ~make_driver:(fun net ->
         Scenario.monolithic_driver
           (Controller.Monolithic.create net
-             [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]))
+             [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]))
   in
   T_util.checkb "controller crashed at least once" true
     (report.Scenario.controller_crashes >= 1);
@@ -113,8 +114,8 @@ let test_scenario_comparison_shape () =
   (* The paper's core claim as an executable assertion: same bug, same
      workload — LegoSDN strictly more available than monolithic. *)
   let bug = Apps.Bug_model.crash_on_nth Event.K_packet_in 3 in
-  let apps () : (module Controller.App_sig.APP) list =
-    [ Apps.Faulty.wrap ~bug (module Apps.Learning_switch) ]
+  let apps () : Controller.App_sig.app list =
+    [ Apps.Faulty.wrap ~bug (App_sig.app (module Apps.Learning_switch)) ]
   in
   let scenario = simple_scenario ~duration:10. () in
   let mono =
@@ -137,7 +138,7 @@ let test_scenario_deterministic () =
   let run () =
     Scenario.run (simple_scenario ()) ~make_driver:(fun net ->
         Scenario.legosdn_driver
-          (Legosdn.Runtime.create net [ (module Apps.Learning_switch) ]))
+          (Legosdn.Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ]))
   in
   let a = run () and b = run () in
   T_util.checkb "identical reports" true
@@ -152,7 +153,7 @@ let test_scenario_with_faults () =
   let report =
     Scenario.run (simple_scenario ~duration:6. ~faults ()) ~make_driver:(fun net ->
         Scenario.legosdn_driver
-          (Legosdn.Runtime.create net [ (module Apps.Learning_switch) ]))
+          (Legosdn.Runtime.create net [ (App_sig.app (module Apps.Learning_switch)) ]))
   in
   T_util.checkb "connectivity dipped during the flap" true
     (report.Scenario.min_connectivity <= report.Scenario.mean_connectivity)
