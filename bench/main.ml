@@ -1118,6 +1118,74 @@ let bench_policy () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E28 — N-version voting panels. One punted packet against a hub (every
+   event votes: the hub never installs rules, so steady state is one
+   election per injection) under three shapes: solo sandbox, a full
+   3-variant panel, and an adaptive panel that has shed to its primary.
+   The panel pays 3 deliveries + an election per event; the shed panel
+   must be nearly indistinguishable from solo — that ratio is the MORPH
+   claim, and CI budgets it. *)
+
+let nversion_stats : (string * float) list ref = ref []
+
+let bench_nversion () =
+  let world nversion =
+    let clock = Clock.create () in
+    let net = Net.create clock (Topo_gen.linear ~hosts_per_switch:2 4) in
+    let hosts = Array.of_list (Topology.hosts (Net.topology net)) in
+    let nh = Array.length hosts in
+    let config = { Runtime.default_config with Runtime.nversion } in
+    let rt = Runtime.create ~config net [ (App_sig.app (module Apps.Hub)) ] in
+    Runtime.step rt;
+    let counter = ref 0 in
+    let drive () =
+      incr counter;
+      Clock.advance_by clock 0.05;
+      let src = hosts.(!counter mod nh)
+      and dst = hosts.((!counter + 1) mod nh) in
+      Net.inject net src (Openflow.Packet.tcp ~src_host:src ~dst_host:dst ());
+      Runtime.step rt
+    in
+    (rt, drive)
+  in
+  let _, drive_solo = world None in
+  let _, drive_panel =
+    world
+      (Some
+         {
+           Legosdn.Voter.nv_replicas = 3;
+           nv_adaptive = false;
+           nv_shed_after = 8;
+         })
+  in
+  let shed_rt, drive_shed =
+    world
+      (Some
+         {
+           Legosdn.Voter.nv_replicas = 3;
+           nv_adaptive = true;
+           nv_shed_after = 4;
+         })
+  in
+  (* Warm all three past the adaptive panel's shed point so the "shed"
+     drive measures single-variant dispatch, not elections. *)
+  for _ = 1 to 40 do
+    drive_solo ();
+    drive_panel ();
+    drive_shed ()
+  done;
+  nversion_stats :=
+    [
+      ( "nversion-sheds-before-measure",
+        float_of_int (Legosdn.Metrics.nv_sheds (Runtime.metrics shed_rt)) );
+    ];
+  [
+    Test.make ~name:"event-solo-hub-linear-4" (Staged.stage drive_solo);
+    Test.make ~name:"event-panel3-hub-linear-4" (Staged.stage drive_panel);
+    Test.make ~name:"event-shed3-hub-linear-4" (Staged.stage drive_shed);
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 type row = { group : string; test : string; ns_per_run : float; r2 : float }
 
@@ -1266,6 +1334,12 @@ let write_json path rows =
         ( "policy-compromise-over-transform",
           "verified-compromise-linear-8",
           "transform-baseline-switch-down" );
+        ( "nversion-panel-overhead",
+          "event-panel3-hub-linear-4",
+          "event-solo-hub-linear-4" );
+        ( "nversion-shed-overhead",
+          "event-shed3-hub-linear-4",
+          "event-solo-hub-linear-4" );
       ]
   in
   (* Exact counters from the ckpt cluster's byte-accounting experiment
@@ -1307,7 +1381,7 @@ let write_json path rows =
         (fun (key, v) ->
           Printf.sprintf "    \"%s\": %.2f" (json_escape key) v)
         (!ckpt_stats @ !failover_stats @ !dispatch_stats @ !scale_stats
-       @ !policy_stats)
+       @ !policy_stats @ !nversion_stats)
   in
   output_string oc (String.concat ",\n" derived);
   output_string oc "\n  }\n}\n";
@@ -1342,6 +1416,8 @@ let groups () =
      bench_scale);
     ("policy", "declarative intent: compile + verified compromise (E27)",
      bench_policy);
+    ("nversion", "N-version voting panels: solo vs panel vs shed (E28)",
+     bench_nversion);
   ]
 
 let () =

@@ -90,7 +90,7 @@ let read_file path =
 (* ---------------- the run command ---------------- *)
 
 let run_scenario make_topology arch app_names bug policy_file config_file
-    workload_flag duration trace_out trace_buffer delta_ckpt verbose =
+    workload_flag duration trace_out trace_buffer delta_ckpt nversion verbose =
   let apps =
     List.filter_map
       (fun name ->
@@ -146,6 +146,18 @@ let run_scenario make_topology arch app_names bug policy_file config_file
     if delta_ckpt then
       { config with Runtime.checkpoint_mode = Runtime.Ckpt_delta_adaptive }
     else config
+  in
+  let config =
+    (* --nversion overrides the config file; 1 turns panels off. *)
+    match nversion with
+    | None -> config
+    | Some n when n <= 1 -> { config with Runtime.nversion = None }
+    | Some n ->
+        {
+          config with
+          Runtime.nversion =
+            Some { Legosdn.Voter.default_config with Legosdn.Voter.nv_replicas = n };
+        }
   in
   let probe_topo = make_topology () in
   let hosts = Topology.hosts probe_topo in
@@ -472,6 +484,17 @@ let delta_ckpt_arg =
                  cadence (overrides the checkpoint mode of \
                  $(b,--config-file)).")
 
+let nversion_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "nversion" ] ~docv:"N"
+           ~doc:"Run every app as an N-variant voting panel (paper §3.4): \
+                 each event's command sets are voted on, divergent variants \
+                 are outvoted and re-synced from the majority snapshot, and \
+                 MORPH-style adaptive shedding drops to a single variant \
+                 while the panel stays clean. 1 disables panels; overrides \
+                 $(b,--config-file).")
+
 let trace_out_arg =
   Arg.(value
        & opt (some string) None
@@ -492,7 +515,7 @@ let run_cmd =
             (const run_scenario $ topo_arg $ arch_arg $ apps_arg $ bug_arg
              $ policy_arg $ config_arg $ workload_arg $ duration_arg
              $ trace_out_arg $ trace_buffer_arg $ delta_ckpt_arg
-             $ verbose_arg))
+             $ nversion_arg $ verbose_arg))
 
 let check_policy_cmd =
   let doc = "Parse and echo a Crash-Pad policy file" in

@@ -74,7 +74,10 @@ let plant_arg =
     "Deliberately planted defect for self-validation: 'no-retransmit' \
      disables the reliable layer's retransmission timer, which the \
      convergence/atomicity oracles must catch; 'kill-leader' turns each \
-     scenario into a replicated fail-over trial (see --kill-leader)."
+     scenario into a replicated fail-over trial (see --kill-leader); \
+     'byz-variant' runs each scenario as a 3-variant voting panel with a \
+     seated byzantine variant, checked by the nversion-masking oracle (the \
+     byzantine output must be outvoted before it reaches the network)."
   in
   Arg.(value & opt plant_conv Check.Fuzz.No_plant
        & info [ "plant" ] ~docv:"PLANT" ~doc)

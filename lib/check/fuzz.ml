@@ -12,17 +12,19 @@ module Sts = Legosdn.Sts
    [No_retransmit] pushes the retransmission timer out to never-fires —
    spec-level, so the emitted reproducer is self-contained and replays the
    broken configuration byte-for-byte. *)
-type plant = No_plant | No_retransmit | Kill_leader_plant
+type plant = No_plant | No_retransmit | Kill_leader_plant | Byz_variant_plant
 
 let plant_name = function
   | No_plant -> "none"
   | No_retransmit -> "no-retransmit"
   | Kill_leader_plant -> "kill-leader"
+  | Byz_variant_plant -> "byz-variant"
 
 let plant_of_name = function
   | "none" -> Some No_plant
   | "no-retransmit" -> Some No_retransmit
   | "kill-leader" -> Some Kill_leader_plant
+  | "byz-variant" -> Some Byz_variant_plant
   | _ -> None
 
 (* The kill-leader plant turns a generated scenario into a fail-over
@@ -65,11 +67,50 @@ let kill_leader spec =
     elements = flows @ [ Spec.Kill_leader { at } ];
   }
 
+(* The byz-variant plant turns a generated scenario into a voting trial:
+   a single learning_switch slot becomes a 3-variant panel whose third
+   seat is a byzantine-blackhole variant (seated by the runner), with the
+   scenario's flows kept as the packet-ins that make the panel vote. Loss
+   and duplication are pinned to zero so the masking assertion is sound:
+   with traffic guaranteed to punt, the byzantine seat must cast at least
+   one divergent ballot, and the oracle demands it was outvoted. *)
+let byz_variant spec =
+  let flows =
+    List.filter (function Spec.Flow _ -> true | _ -> false) spec.Spec.elements
+  in
+  let flows =
+    if flows <> [] then flows
+    else
+      [
+        Spec.Flow
+          { src = spec.Spec.seed; dst = spec.Spec.seed + 1; start = 1.0;
+            packets = 4; dport = 80 };
+      ]
+  in
+  let last_start =
+    List.fold_left
+      (fun acc -> function
+        | Spec.Flow { start; _ } -> Float.max acc start
+        | _ -> acc)
+      0. flows
+  in
+  {
+    spec with
+    Spec.apps = [ "learning_switch" ];
+    base_loss = 0.;
+    duplicate = 0.;
+    replicas = 1;
+    nversion = 3;
+    duration = Float.max spec.Spec.duration (last_start +. 2.);
+    elements = flows @ [ Spec.Byz_variant { slot = 0 } ];
+  }
+
 let apply_plant plant spec =
   match plant with
   | No_plant -> spec
   | No_retransmit -> { spec with Spec.base_timeout = 1.0e9 }
   | Kill_leader_plant -> kill_leader spec
+  | Byz_variant_plant -> byz_variant spec
 
 type finding = {
   seed : int;

@@ -114,11 +114,13 @@ let scenario seed =
     checkpoint_every;
     policy;
     duration;
-    (* Single controller by default: no extra RNG draws here, so adding
-       the cluster fields does not shift any existing seed's scenario.
-       Cluster scenarios come from the kill-leader plant. *)
+    (* Single controller and solo sandboxes by default: no extra RNG
+       draws here, so adding the cluster and nversion fields does not
+       shift any existing seed's scenario. Cluster scenarios come from
+       the kill-leader plant; voting panels from the byz-variant plant. *)
     replicas = 1;
     election_lo = 0.15;
     election_hi = 0.3;
+    nversion = 1;
     elements;
   }

@@ -234,9 +234,45 @@ let leader_failover =
                 else Pass));
   }
 
+(* (g) N-version masking. The panel counters must stay self-consistent on
+   every run (a masked event implies at least one outvoted ballot; no
+   counter may move on a solo spec), and on the byz-variant plant — a
+   seated byzantine variant, lossless channels, guaranteed traffic — the
+   run must end with at least one output actually masked: the plant is
+   the proof the voting layer screens byzantine output, not just that it
+   runs. *)
+let nversion_masking =
+  {
+    name = "nversion-masking";
+    check =
+      (fun ctx ->
+        let m = Runtime.metrics ctx.rt in
+        let events = Metrics.nv_events m in
+        let masked = Metrics.nv_masked m in
+        let outvoted = Metrics.nv_outvoted m in
+        if ctx.spec.Spec.nversion <= 1 then
+          if events + masked + outvoted > 0 then
+            failf "panel counters moved on a solo spec (events=%d)" events
+          else Pass
+        else if masked > events then
+          failf "nv_masked=%d exceeds nv_events=%d" masked events
+        else if outvoted < masked then
+          failf "nv_outvoted=%d below nv_masked=%d" outvoted masked
+        else
+          match ctx.phase with
+          | Mid -> Pass
+          | Final ->
+              if
+                Spec.has_byz_variant ctx.spec
+                && ctx.spec.Spec.base_loss = 0.
+                && masked = 0
+              then Fail "byzantine variant seated but nothing was ever masked"
+              else Pass);
+  }
+
 let all =
   [ invariants; convergence; atomicity; metrics; controller_survives;
-    leader_failover ]
+    leader_failover; nversion_masking ]
 
 let names = List.map (fun o -> o.name) all
 

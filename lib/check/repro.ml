@@ -7,14 +7,16 @@
    the replay), and now *explainable*: the span timeline shows what the
    runtime was doing when the oracle tripped. Version 3 adds the spec's
    cluster fields (replicas, election-timeout range) and the Kill_leader
-   element; version-1 (no spans) and version-2 (single-controller spec
-   layout) files still load. *)
+   element; version 4 adds the N-version panel size and the Byz_variant
+   element. Version-1 (no spans), version-2 (single-controller spec
+   layout) and version-3 (solo-sandbox layout) files still load. *)
 
 open Openflow
 module Trace_io = Workload.Trace_io
 module Event = Controller.Event
 
-let magic = "LSDNREP3"
+let magic = "LSDNREP4"
+let magic_v3 = "LSDNREP3"
 let magic_v2 = "LSDNREP2"
 let magic_v1 = "LSDNREP1"
 
@@ -50,7 +52,8 @@ let decode b =
   let r = Buf.reader b in
   let m = Bytes.to_string (Buf.read_raw r (String.length magic)) in
   let version =
-    if m = magic then 3
+    if m = magic then 4
+    else if m = magic_v3 then 3
     else if m = magic_v2 then 2
     else if m = magic_v1 then 1
     else raise (Spec.Decode_error (Printf.sprintf "bad reproducer magic %S" m))

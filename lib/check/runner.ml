@@ -180,7 +180,8 @@ let schedule_of spec topo =
              state-altering send, so it always lands mid-transaction. On a
              single-controller spec the element is inert. *)
           Event_queue.push queue ~time:at Arm_kill
-      | Spec.Inject_bug _ -> () (* consumed by resolve_apps *))
+      | Spec.Inject_bug _ -> () (* consumed by resolve_apps *)
+      | Spec.Byz_variant _ -> () (* consumed at panel-seating time *))
     spec.Spec.elements;
   let rec ticks t =
     if t < spec.Spec.duration then begin
@@ -236,6 +237,18 @@ let config_of ?(dispatch = Runtime.Sequential) spec =
        a spec is ever serialized. *)
     trace_cache_budget = None;
     workload = None;
+    (* Adaptive shedding is pinned off under the fuzzer: a shed panel
+       masks nothing, which would make the masking oracle depend on how
+       many clean events happened to precede the byzantine one. *)
+    nversion =
+      (if spec.Spec.nversion > 1 then
+         Some
+           {
+             Legosdn.Voter.nv_replicas = spec.Spec.nversion;
+             nv_adaptive = false;
+             nv_shed_after = 8;
+           }
+       else None);
   }
 
 let has_kill spec =
@@ -299,6 +312,43 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer
     taps := (Runtime.hub rt, tap) :: !taps
   in
   let apps = resolve_apps spec in
+  (* Byz_variant elements seat one fault-injected variant on the named
+     slot's voting panel: nversion - 1 copies of the (possibly already
+     Inject_bug-wrapped) base app plus one byzantine-blackhole variant,
+     seated last. The byzantine copy is marked non-resyncable: its Faulty
+     wrapper changes the sandbox state type, so a majority snapshot can
+     never be restored into it. Panels exist only on the solo path — the
+     byz-variant plant pins [replicas = 1]. *)
+  let nv_variants =
+    let n_apps = List.length apps in
+    let byz_slots =
+      List.filter_map
+        (function
+          | Spec.Byz_variant { slot } -> Some (slot mod n_apps) | _ -> None)
+        spec.Spec.elements
+      |> List.sort_uniq compare
+    in
+    if spec.Spec.nversion <= 1 || byz_slots = [] then None
+    else begin
+      let arr = Array.of_list apps in
+      let byz_bug =
+        Apps.Bug_model.make
+          (Apps.Bug_model.On_kind Event.K_packet_in)
+          Apps.Bug_model.Byzantine_blackhole
+      in
+      let seats =
+        List.map
+          (fun i ->
+            let base = arr.(i) in
+            let module M = (val base : Controller.App_sig.INTENT_APP) in
+            ( M.name,
+              List.init (spec.Spec.nversion - 1) (fun _ -> (base, true))
+              @ [ (Apps.Faulty.wrap ~bug:byz_bug base, false) ] ))
+          byz_slots
+      in
+      Some (fun name -> List.assoc_opt name seats)
+    end
+  in
   let cluster, solo_rt =
     if spec.Spec.replicas > 1 then begin
       let c =
@@ -309,7 +359,7 @@ let rec run ?(oracles = Oracle.all) ?trace_buffer
       (Some c, None)
     end
     else begin
-      let rt = Runtime.create ~config net apps in
+      let rt = Runtime.create ~config ?nv_variants net apps in
       attach rt;
       (None, Some rt)
     end

@@ -24,6 +24,9 @@ type element =
   | Loss_burst of { sw : int; loss : float; start : float; duration : float }
   | Inject_bug of { slot : int; bug : int }
   | Kill_leader of { at : float }
+  | Byz_variant of { slot : int }
+      (* Seat a byzantine fault-injected variant on app slot [slot]'s
+         N-version panel (meaningful only when [nversion > 1]). *)
 
 type t = {
   seed : int;
@@ -41,6 +44,7 @@ type t = {
   replicas : int;  (* 1 = single controller, no cluster layer *)
   election_lo : float;  (* election-timeout draw range, virtual seconds *)
   election_hi : float;
+  nversion : int;  (* 1 = solo sandboxes; >1 = N-version voting panels *)
   elements : element list;
 }
 
@@ -52,6 +56,9 @@ let is_clean t =
 
 let has_bug t =
   List.exists (function Inject_bug _ -> true | _ -> false) t.elements
+
+let has_byz_variant t =
+  List.exists (function Byz_variant _ -> true | _ -> false) t.elements
 
 (* ---------------- pretty printing ---------------- *)
 
@@ -81,17 +88,20 @@ let element_summary = function
   | Inject_bug { slot; bug } ->
       Printf.sprintf "inject-bug corpus[%d] into app-slot %d" bug slot
   | Kill_leader { at } -> Printf.sprintf "kill-leader at %.2fs" at
+  | Byz_variant { slot } ->
+      Printf.sprintf "byz-variant on app-slot %d" slot
 
 let summary t =
   Printf.sprintf
     "seed=%d topo=%s apps=[%s] loss=%.2f dup=%.2f delay=%.3f reliable=%b \
-     retries=%d ckpt=%d policy=%s duration=%.1fs replicas=%d elements=%d"
+     retries=%d ckpt=%d policy=%s duration=%.1fs replicas=%d nversion=%d \
+     elements=%d"
     t.seed (topo_name t.topo)
     (String.concat "," t.apps)
     t.base_loss t.duplicate t.delay t.reliable t.max_retries
     t.checkpoint_every
     (Recovery_policy.compromise_name t.policy)
-    t.duration t.replicas
+    t.duration t.replicas t.nversion
     (List.length t.elements)
 
 let pp fmt t =
@@ -184,6 +194,9 @@ let put_element w = function
   | Kill_leader { at } ->
       Buf.u8 w 6;
       put_float w at
+  | Byz_variant { slot } ->
+      Buf.u8 w 7;
+      Buf.u16 w slot
 
 let get_element r =
   match Buf.read_u8 r with
@@ -222,6 +235,9 @@ let get_element r =
   | 6 ->
       let at = get_float r in
       Kill_leader { at }
+  | 7 ->
+      let slot = Buf.read_u16 r in
+      Byz_variant { slot }
   | k -> fail "unknown element tag %d" k
 
 let policy_tag = function
@@ -252,13 +268,15 @@ let encode_into w t =
   Buf.u16 w t.replicas;
   put_float w t.election_lo;
   put_float w t.election_hi;
+  Buf.u16 w t.nversion;
   Buf.u16 w (List.length t.elements);
   List.iter (put_element w) t.elements
 
 (* [version] is the spec-layout version implied by the enclosing file's
    magic (reproducers): 1 and 2 predate the cluster fields and decode as
-   single-controller scenarios. *)
-let decode_from ?(version = 3) r =
+   single-controller scenarios; 3 predates the N-version panel size and
+   decodes as solo sandboxes. *)
+let decode_from ?(version = 4) r =
   let seed = Buf.read_u32 r in
   let topo = get_topo r in
   let n_apps = Buf.read_u16 r in
@@ -280,6 +298,7 @@ let decode_from ?(version = 3) r =
       (replicas, lo, hi)
     else (1, 0.15, 0.3)
   in
+  let nversion = if version >= 4 then Buf.read_u16 r else 1 in
   let n_elements = Buf.read_u16 r in
   let elements = List.init n_elements (fun _ -> get_element r) in
   {
@@ -298,6 +317,7 @@ let decode_from ?(version = 3) r =
     replicas;
     election_lo;
     election_hi;
+    nversion;
     elements;
   }
 

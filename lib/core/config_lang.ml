@@ -59,6 +59,7 @@ type builder = {
   mutable trace_cache_budget : int option;
   mutable workload : Runtime.workload_config option;
   mutable intent : bool;
+  mutable nversion : Voter.config option;
 }
 
 let fresh_builder () =
@@ -78,6 +79,7 @@ let fresh_builder () =
     trace_cache_budget = Runtime.default_config.Runtime.trace_cache_budget;
     workload = Runtime.default_config.Runtime.workload;
     intent = Crashpad.default_config.Crashpad.intent;
+    nversion = Runtime.default_config.Runtime.nversion;
   }
 
 let add_invariant b inv =
@@ -203,6 +205,24 @@ let directive b lineno toks =
           b.cluster <- { b.cluster with Runtime.election_lo; election_hi };
           Ok ()
       | _ -> err "bad election timeout range (need 0 < lo < hi)")
+  | [ "nversion"; "off" ] ->
+      b.nversion <- None;
+      Ok ()
+  | [ "nversion"; n ] -> (
+      match int_of_string_opt n with
+      | Some nv_replicas when nv_replicas >= 2 ->
+          b.nversion <-
+            Some { Voter.nv_replicas; nv_adaptive = false; nv_shed_after = 0 };
+          Ok ()
+      | _ -> err (Printf.sprintf "bad nversion panel size %S (need >= 2)" n))
+  | [ "nversion"; n; "adaptive"; "shed-after"; k ] -> (
+      match (int_of_string_opt n, int_of_string_opt k) with
+      | Some nv_replicas, Some nv_shed_after
+        when nv_replicas >= 2 && nv_shed_after >= 1 ->
+          b.nversion <-
+            Some { Voter.nv_replicas; nv_adaptive = true; nv_shed_after };
+          Ok ()
+      | _ -> err "bad nversion directive (need replicas >= 2, shed-after >= 1)")
   | [ "quarantine"; "threshold"; n ] -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
@@ -320,6 +340,7 @@ let parse text =
           dispatch = b.dispatch;
           trace_cache_budget = b.trace_cache_budget;
           workload = b.workload;
+          nversion = b.nversion;
           crashpad =
             {
               Crashpad.policy =
@@ -367,6 +388,12 @@ let print (config : Runtime.config) =
       line "workload trace seed %d rate %g alpha %g diurnal %g period %g churn %g"
         w.Runtime.w_seed w.Runtime.w_rate w.Runtime.w_alpha
         w.Runtime.w_diurnal w.Runtime.w_period w.Runtime.w_churn
+  | None -> ());
+  (match config.Runtime.nversion with
+  | Some v when v.Voter.nv_adaptive ->
+      line "nversion %d adaptive shed-after %d" v.Voter.nv_replicas
+        v.Voter.nv_shed_after
+  | Some v -> line "nversion %d" v.Voter.nv_replicas
   | None -> ());
   let rel = config.Runtime.reliable in
   line "reliable %s timeout %g retries %d"

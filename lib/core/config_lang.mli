@@ -19,6 +19,8 @@
     trace-cache budget 1048576           # bytes; or: trace-cache unbounded
     workload trace seed 7 rate 40 alpha 1.5 diurnal 0.5 period 60 churn 0.1
                                          # or bare: workload trace (defaults)
+    nversion 3                           # N-version voting panels; or:
+    nversion 3 adaptive shed-after 8     # MORPH shed/grow; or: nversion off
     quarantine threshold 2               # absent = quarantine off
     heartbeat interval 0.1 misses 3
     rpc timeout 0.05

@@ -73,3 +73,43 @@ type deps = {
 val dispatch : config -> deps -> Sandbox.t -> Event.t -> unit
 (** Deliver one event to one sandboxed application with full protection.
     Never raises on application failure — that is the contract. *)
+
+(** {1 Pipeline pieces}
+
+    Exposed for the N-version {!Voter}, which runs the same
+    screen/commit/recover discipline over a panel of variant sandboxes
+    and reuses these rather than re-implementing them. *)
+
+val attempt : config -> deps -> Sandbox.t -> Event.t ->
+  (unit, Detector.failure * int) result
+(** Deliver one event inside a fresh transaction: prepare (unless
+    [batched_checkpoints]), begin, deliver, screen, commit, confirm,
+    reconcile intent. [Error (failure, rolled_back)] means the transaction
+    aborted and the sandbox state has already been repaired. *)
+
+val apply_policy :
+  config -> deps -> Sandbox.t -> Event.t -> Detector.failure ->
+  rolled_back:int -> unit
+(** Apply the operator's compromise policy to a failed delivery and file
+    the problem ticket (exactly one per call). *)
+
+val quarantine_blocked : config -> deps -> Sandbox.t -> Event.t -> bool
+(** Is this delivery suppressed by the quarantine store? Counts the
+    suppression when it is. *)
+
+val note_quarantine : config -> deps -> Sandbox.t -> Event.t -> unit
+(** Record a failure against the (app, event) signature. *)
+
+val count_failure : deps -> Detector.failure -> unit
+
+val reconcile_intent : config -> deps -> Sandbox.t -> unit
+(** After a healthy commit: recompile the app's declared policy and install
+    the verified diff so hardware tracks intent continuously. *)
+
+val route_replies :
+  deps -> Sandbox.t -> Types.switch_id -> Openflow.Message.t list -> unit
+(** Convert synchronous replies (statistics, flow-removed) produced while
+    applying commands into events queued back to the issuing app. *)
+
+val switch_of_command : Command.t -> Types.switch_id option
+(** The switch a command touches; [None] for [Log]. *)

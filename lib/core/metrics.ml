@@ -207,6 +207,27 @@ let incr_policy_reconcile t = incr (counter t "policy_reconciles")
 let policy_compromises t = value (counter t "policy_compromises")
 let policy_rejected t = value (counter t "policy_rejected")
 let policy_reconciles t = value (counter t "policy_reconciles")
+(* N-version voter counters: registry-only, like the intent counters —
+   they postdate the flat record, and divergence diagnostics are typed
+   metrics now instead of Command.Log strings in the winning output. *)
+let incr_nv_events t = incr (counter t "nversion_events")
+let incr_nv_masked t = incr (counter t "nversion_masked")
+let incr_nv_outvoted t = incr (counter t "nversion_outvoted")
+let incr_nv_variant_crashes t = incr (counter t "nversion_variant_crashes")
+let incr_nv_no_majority t = incr (counter t "nversion_no_majority")
+let incr_nv_resyncs t = incr (counter t "nversion_resyncs")
+let add_nv_resync_bytes t n = add (counter t "nversion_resync_bytes") n
+let incr_nv_sheds t = incr (counter t "nversion_sheds")
+let incr_nv_grows t = incr (counter t "nversion_grows")
+let nv_events t = value (counter t "nversion_events")
+let nv_masked t = value (counter t "nversion_masked")
+let nv_outvoted t = value (counter t "nversion_outvoted")
+let nv_variant_crashes t = value (counter t "nversion_variant_crashes")
+let nv_no_majority t = value (counter t "nversion_no_majority")
+let nv_resyncs t = value (counter t "nversion_resyncs")
+let nv_resync_bytes t = value (counter t "nversion_resync_bytes")
+let nv_sheds t = value (counter t "nversion_sheds")
+let nv_grows t = value (counter t "nversion_grows")
 let incr_inv_trace_hit t = incr t.n_inv_hits
 let incr_inv_trace_miss t = incr t.n_inv_misses
 let incr_inv_invalidation t = incr t.n_inv_invalidations
@@ -291,7 +312,7 @@ let availability t ~app ~until =
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@,inv-cache hits=%d misses=%d invalidations=%d recaptures=%d memoized=%d evictions=%d@,checkpoints=%d ckpt-restores=%d ckpt-chunk hits=%d misses=%d deduped=%d written=%d cc-evictions=%d@]"
+    "@[<v>events=%d crashes=%d hangs=%d byzantine=%d@,ignored=%d transformed=%d disabled=%d@,replayed=%d dropped-in-replay=%d resource-breaches=%d@,quarantined=%d suppressed=%d@,retransmits=%d barrier-acks=%d resyncs=%d resynced-rules=%d unreachable=%d@,inv-cache hits=%d misses=%d invalidations=%d recaptures=%d memoized=%d evictions=%d@,checkpoints=%d ckpt-restores=%d ckpt-chunk hits=%d misses=%d deduped=%d written=%d cc-evictions=%d@,nversion events=%d masked=%d outvoted=%d variant-crashes=%d no-majority=%d nv-resyncs=%d nv-resync-bytes=%d sheds=%d grows=%d@]"
     (events t) (crashes t) (hangs t) (byzantine_blocked t) (ignored t)
     (transformed t) (disabled t) (replayed t) (dropped_in_replay t)
     (resource_breaches t) (quarantined t) (suppressed t) (retransmits t)
@@ -302,3 +323,6 @@ let pp fmt t =
     (ckpt_restores t) (ckpt_chunk_hits t) (ckpt_chunk_misses t)
     (ckpt_bytes_deduped t) (ckpt_bytes_written t)
     (counter_cache_evictions t)
+    (nv_events t) (nv_masked t) (nv_outvoted t) (nv_variant_crashes t)
+    (nv_no_majority t) (nv_resyncs t) (nv_resync_bytes t) (nv_sheds t)
+    (nv_grows t)

@@ -94,6 +94,51 @@ val policy_compromises : t -> int
 val policy_rejected : t -> int
 val policy_reconciles : t -> int
 
+(** {2 N-version voter counters}
+
+    Registry-backed, like the intent counters. These replace the
+    [Command.Log] string diagnostics the old in-process functors appended
+    to winning outputs: divergence is now observable as typed metrics (and
+    [Vote]/[Outvoted] spans), never as extra commands. *)
+
+val incr_nv_events : t -> unit
+(** An event delivered through a full voting panel. *)
+
+val incr_nv_masked : t -> unit
+(** An election in which at least one live variant's divergent output was
+    discarded — a byzantine output masked before reaching the network. *)
+
+val incr_nv_outvoted : t -> unit
+(** One variant's output lost an election (per variant, per event). *)
+
+val incr_nv_variant_crashes : t -> unit
+(** A variant crashed or hung on an event while the panel stayed live. *)
+
+val incr_nv_no_majority : t -> unit
+(** An election with no strict majority; the first-arrival output won. *)
+
+val incr_nv_resyncs : t -> unit
+(** A replica rebuilt from the majority snapshot (chunk-store shipped). *)
+
+val add_nv_resync_bytes : t -> int -> unit
+(** Logical snapshot bytes shipped across all replica re-syncs. *)
+
+val incr_nv_sheds : t -> unit
+(** Adaptive voter shed the panel down to a single active variant. *)
+
+val incr_nv_grows : t -> unit
+(** Adaptive voter re-spun the full panel after a failure. *)
+
+val nv_events : t -> int
+val nv_masked : t -> int
+val nv_outvoted : t -> int
+val nv_variant_crashes : t -> int
+val nv_no_majority : t -> int
+val nv_resyncs : t -> int
+val nv_resync_bytes : t -> int
+val nv_sheds : t -> int
+val nv_grows : t -> int
+
 val incr_inv_trace_hit : t -> unit
 val incr_inv_trace_miss : t -> unit
 val incr_inv_invalidation : t -> unit

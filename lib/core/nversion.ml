@@ -3,31 +3,51 @@ open Controller
 type 'a outcome =
   | Voted of 'a * Command.t list
   | Abstained of 'a  (* not subscribed to this event *)
-  | Dead of 'a  (* crashed on this event; state unchanged *)
+  | Dead of 'a  (* crashed on this event; state restored to pre-event *)
 
 let run (type s) (module A : App_sig.APP with type state = s) ctx (st : s) ev =
   if not (List.mem (Event.kind_of ev) A.subscriptions) then Abstained st
   else
+    (* Mutable (hashtable-backed) states keep whatever the handler mutated
+       before raising, so "state unchanged" needs an actual snapshot — the
+       same Marshal representation the sandbox checkpoints use. States
+       that cannot be marshalled (none of the shipped apps) fall back to
+       the raw reference. *)
+    let saved = try Some (Marshal.to_bytes st []) with _ -> None in
     match A.handle ctx st ev with
     | st', commands -> Voted (st', commands)
-    | exception _ -> Dead st
+    | exception _ ->
+        Dead
+          (match saved with
+          | Some bytes -> (Marshal.from_bytes bytes 0 : s)
+          | None -> st)
 
-let union_subscriptions lists =
-  List.sort_uniq compare (List.concat lists)
+let union_subscriptions lists = List.sort_uniq compare (List.concat lists)
 
-(* Majority vote over the command lists of live voters. *)
-let elect votes =
-  let grouped =
-    List.fold_left
-      (fun acc cmds ->
-        match List.assoc_opt cmds acc with
-        | Some n -> (cmds, n + 1) :: List.remove_assoc cmds acc
-        | None -> (cmds, 1) :: acc)
-      [] votes
-  in
-  match List.sort (fun (_, a) (_, b) -> compare b a) grouped with
-  | (winner, n) :: _ when n >= 2 -> Some winner
-  | _ -> None
+(* Vote among the live voters with the runtime voter's election rule:
+   ballots keyed by their network-effecting commands (Log stripped), the
+   largest group winning, ties broken by first-arrival order. *)
+let resolve name ~dead ~total ballots =
+  match Voter.elect ballots with
+  | None ->
+      if dead > 0 && dead = total then
+        failwith (name ^ ": every version crashed on this event")
+      else [] (* live variants exist; none of the subscribed ones voted *)
+  | Some e ->
+      let winner = (List.hd e.Voter.winners).Voter.commands in
+      let commands =
+        if e.Voter.losers <> [] then
+          if e.Voter.majority then
+            winner @ [ Command.Log (name ^ ": outvoted a divergent version") ]
+          else winner @ [ Command.Log (name ^ ": versions diverged") ]
+        else winner
+      in
+      if dead > 0 then
+        commands
+        @ [
+            Command.Log (Printf.sprintf "%s: %d version(s) crashed" name dead);
+          ]
+      else commands
 
 module Make3 (A : App_sig.APP) (B : App_sig.APP) (C : App_sig.APP) :
   App_sig.APP = struct
@@ -59,39 +79,16 @@ module Make3 (A : App_sig.APP) (B : App_sig.APP) (C : App_sig.APP) :
       | Dead _ -> true
       | Voted _ | Abstained _ -> false
     in
-    let abstained_of : type s. s outcome -> bool = function
-      | Abstained _ -> true
-      | Voted _ | Dead _ -> false
+    let ballots =
+      List.filter_map
+        (fun (tag, vote) ->
+          Option.map (fun commands -> { Voter.voter = tag; commands }) vote)
+        [ (0, vote_of ra); (1, vote_of rb); (2, vote_of rc) ]
     in
-    let votes =
-      List.filter_map Fun.id [ vote_of ra; vote_of rb; vote_of rc ]
+    let dead =
+      List.length (List.filter Fun.id [ dead_of ra; dead_of rb; dead_of rc ])
     in
-    let count flags = List.length (List.filter Fun.id flags) in
-    let dead = count [ dead_of ra; dead_of rb; dead_of rc ] in
-    let abstained =
-      count [ abstained_of ra; abstained_of rb; abstained_of rc ]
-    in
-    if votes = [] && abstained < 3 then
-      failwith (name ^ ": every version crashed on this event")
-    else
-      let commands =
-        match elect votes with
-        | Some winner ->
-            if List.exists (fun v -> not (v = winner)) votes then
-              winner @ [ Command.Log (name ^ ": outvoted a divergent version") ]
-            else winner
-        | None -> (
-            match votes with
-            | first :: _ ->
-                first @ [ Command.Log (name ^ ": no majority; using first live version") ]
-            | [] -> [])
-      in
-      let commands =
-        if dead > 0 then
-          commands @ [ Command.Log (Printf.sprintf "%s: %d version(s) crashed" name dead) ]
-        else commands
-      in
-      (state', commands)
+    (state', resolve name ~dead ~total:3 ballots)
 end
 
 module Make2 (A : App_sig.APP) (B : App_sig.APP) : App_sig.APP = struct
@@ -112,13 +109,22 @@ module Make2 (A : App_sig.APP) (B : App_sig.APP) : App_sig.APP = struct
         b = (match rb with Voted (s, _) | Abstained s | Dead s -> s);
       }
     in
-    match (ra, rb) with
-    | Voted (_, ca), Voted (_, cb) ->
-        if ca = cb then (state', ca)
-        else (state', ca @ [ Command.Log (name ^ ": versions diverged") ])
-    | Voted (_, ca), (Dead _ | Abstained _) -> (state', ca)
-    | (Dead _ | Abstained _), Voted (_, cb) -> (state', cb)
-    | Abstained _, Abstained _ -> (state', [])
-    | Dead _, (Dead _ | Abstained _) | Abstained _, Dead _ ->
-        failwith (name ^ ": every version crashed on this event")
+    let vote_of : type s. s outcome -> Command.t list option = function
+      | Voted (_, cmds) -> Some cmds
+      | Abstained _ | Dead _ -> None
+    in
+    let dead_of : type s. s outcome -> bool = function
+      | Dead _ -> true
+      | Voted _ | Abstained _ -> false
+    in
+    let ballots =
+      List.filter_map
+        (fun (tag, vote) ->
+          Option.map (fun commands -> { Voter.voter = tag; commands }) vote)
+        [ (0, vote_of ra); (1, vote_of rb) ]
+    in
+    let dead =
+      List.length (List.filter Fun.id [ dead_of ra; dead_of rb ])
+    in
+    (state', resolve name ~dead ~total:2 ballots)
 end

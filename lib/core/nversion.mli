@@ -4,19 +4,33 @@
 
     The combinators produce an ordinary {!Controller.App_sig.APP}, so a
     diversity bundle drops into any runtime — monolithic or LegoSDN —
-    unchanged. A variant that crashes on an event simply loses its vote
-    (its state is untouched); a byzantine variant is out-voted. *)
+    unchanged. A variant that crashes on an event loses its vote and its
+    state really is unchanged (snapshotted before delivery, restored on
+    the raise — mutable hashtable-backed states included); a byzantine
+    variant is out-voted. Votes are keyed by {!Voter.canonical} command
+    sets — variants that differ only in [Log] diagnostics agree — and
+    ties are broken deterministically by first-arrival order
+    ({!Voter.elect}). The bundle crashes only when {e every} variant died
+    on the event; as long as any variant is healthy (voting or merely not
+    subscribed), the bundle stays up and votes among the live subscribed
+    voters.
+
+    These in-process adapters share one sandbox, one checkpoint stream and
+    one address space across the variants; {!Voter} is the runtime-level
+    version of the same idea with per-variant sandboxes, held-until-
+    election transactions and majority-snapshot re-sync. *)
 
 open Controller
 
 module Make2 (A : App_sig.APP) (B : App_sig.APP) : App_sig.APP
-(** Two-version comparison: outputs are used only when both versions agree;
-    disagreement emits version A's output plus a [Log] command flagging the
-    divergence (there is no majority with two voters). *)
+(** Two-version comparison: outputs are used only when both versions agree
+    on their network-effecting commands; disagreement emits version A's
+    output plus a [Log] command flagging the divergence (there is no
+    majority with two voters). *)
 
 module Make3 (A : App_sig.APP) (B : App_sig.APP) (C : App_sig.APP) :
   App_sig.APP
-(** Three-version majority voting: the command list emitted by at least two
+(** Three-version majority voting: the command set emitted by at least two
     live versions wins; with no majority, the first live version's output
     is used and the divergence is logged. If every version crashes, the
     bundle crashes (there is nothing left to vote). *)

@@ -53,6 +53,7 @@ type config = {
   dispatch : dispatch_mode;
   trace_cache_budget : int option;
   workload : workload_config option;
+  nversion : Voter.config option;
 }
 
 let default_config =
@@ -66,13 +67,23 @@ let default_config =
     dispatch = Sequential;
     trace_cache_budget = None;
     workload = None;
+    nversion = None;
   }
+
+(* One dispatch unit: a solo sandboxed app, or an N-version voting panel
+   of variant sandboxes behind one application name. *)
+type unit_ = Solo of Sandbox.t | Panel of Voter.t
+
+let unit_name = function
+  | Solo box -> Sandbox.name box
+  | Panel v -> Voter.name v
 
 type t = {
   network : Net.t;
   mutable services_state : Services.t;
   mutable context_services : Services.t option;
-  boxes : Sandbox.t list;
+  units : unit_ list;
+  boxes : Sandbox.t list;  (* every sandbox, panel variants included *)
   netlog_instance : Netlog.t option;
   reliable_layer : Reliable.t option;
   engine : Txn_engine.t;
@@ -118,7 +129,7 @@ let bridge_delivery_to_tracer tracer_cell = function
   | Obs.Hub.Dispatched _ | Obs.Hub.Inv_cache _ -> ()
 
 let create ?(config = default_config) ?xid_base ?controller_id
-    ?southbound_gate network modules =
+    ?southbound_gate ?nv_variants network modules =
   let metrics_store = Metrics.create () in
   let obs_hub = Obs.Hub.create () in
   let tracer_cell = ref Obs.Tracer.noop in
@@ -207,12 +218,39 @@ let create ?(config = default_config) ?xid_base ?controller_id
                })
           ()
   in
+  let units =
+    match config.nversion with
+    | Some vcfg when vcfg.Voter.nv_replicas > 1 ->
+        List.map
+          (fun m ->
+            let specs =
+              let default () =
+                List.init vcfg.Voter.nv_replicas (fun _ -> (m, true))
+              in
+              match nv_variants with
+              | None -> default ()
+              | Some hook -> (
+                  let module M = (val m : App_sig.INTENT_APP) in
+                  match hook M.name with
+                  | Some specs -> specs
+                  | None -> default ())
+            in
+            Panel
+              (Voter.create ~config:vcfg ~make_ckpt
+                 ~checkpoint_every:config.checkpoint_every specs))
+          modules
+    | Some _ | None ->
+        List.map
+          (fun m ->
+            Solo
+              (Sandbox.create ~ckpt:(make_ckpt ())
+                 ~checkpoint_every:config.checkpoint_every m))
+          modules
+  in
   let boxes =
-    List.map
-      (fun m ->
-        Sandbox.create ~ckpt:(make_ckpt ())
-          ~checkpoint_every:config.checkpoint_every m)
-      modules
+    List.concat_map
+      (function Solo box -> [ box ] | Panel v -> Voter.sandboxes v)
+      units
   in
   let queue =
     match config.dispatch with
@@ -232,6 +270,7 @@ let create ?(config = default_config) ?xid_base ?controller_id
     network;
     services_state = Services.create (Net.clock network) (Net.topology network);
     context_services = None;
+    units;
     boxes;
     netlog_instance;
     reliable_layer;
@@ -252,6 +291,8 @@ let net t = t.network
 let services t = t.services_state
 let sandboxes t = t.boxes
 let sandbox t name = List.find_opt (fun b -> Sandbox.name b = name) t.boxes
+let voters t = List.filter_map (function Panel v -> Some v | Solo _ -> None) t.units
+let unit_for t name = List.find_opt (fun u -> unit_name u = name) t.units
 let metrics t = t.metrics_store
 let tickets t = Ticket.all t.ticket_store
 let ticket_store t = t.ticket_store
@@ -320,8 +361,9 @@ let rec drain_replies ?cfg t =
   | [] -> ()
   | (app, ev) :: rest ->
       t.reply_backlog <- rest;
-      (match sandbox t app with
-      | Some box -> Crashpad.dispatch cfg (deps t) box ev
+      (match unit_for t app with
+      | Some (Solo box) -> Crashpad.dispatch cfg (deps t) box ev
+      | Some (Panel v) -> Voter.dispatch cfg (deps t) v ev
       | None -> ());
       drain_replies ~cfg t
 
@@ -341,7 +383,11 @@ let dispatch_with t cfg deps event =
   Obs.Tracer.with_span tracer ~attrs Obs.Span.Event_root (fun () ->
       Obs.Hub.emit t.obs_hub (Obs.Hub.Dispatched event);
       Metrics.incr_events t.metrics_store;
-      List.iter (fun box -> Crashpad.dispatch cfg deps box event) t.boxes;
+      List.iter
+        (function
+          | Solo box -> Crashpad.dispatch cfg deps box event
+          | Panel v -> Voter.dispatch cfg deps v event)
+        t.units;
       drain_replies ~cfg t)
 
 let dispatch_event t event = dispatch_with t t.cfg.crashpad (deps t) event

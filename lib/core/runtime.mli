@@ -95,6 +95,12 @@ type config = {
   workload : workload_config option;
       (** Trace-driven workload parameters, when the scenario uses the
           generator instead of a fixed traffic list. *)
+  nversion : Voter.config option;
+      (** When set with [nv_replicas > 1], every application runs as an
+          N-version {!Voter} panel of variant sandboxes instead of a solo
+          sandbox: outputs are held in the transaction until the election
+          and only the majority command set is committed. [None] (the
+          default) is ordinary solo dispatch. *)
 }
 
 val default_config : config
@@ -109,10 +115,18 @@ val create :
   ?xid_base:int ->
   ?controller_id:int ->
   ?southbound_gate:(Openflow.Types.switch_id -> Openflow.Message.t -> bool) ->
+  ?nv_variants:(string -> (App_sig.app * bool) list option) ->
   Netsim.Net.t ->
   App_sig.app list ->
   t
-(** [xid_base] seeds the NetLog xid counter; a failover controller passes
+(** [nv_variants] customizes an N-version panel's composition (used only
+    when {!config.nversion} is active): given an application name, return
+    [Some specs] to run those variants — each paired with its
+    {!Voter.create} re-syncability flag — instead of [nv_replicas]
+    identical copies. The fuzzer uses it to seat a fault-injected variant
+    on a panel.
+
+    [xid_base] seeds the NetLog xid counter; a failover controller passes
     its predecessor's [Netlog.next_xid] so switch-side duplicate detection
     never mistakes its fresh commands for retransmissions.
 
@@ -167,7 +181,14 @@ val set_context_services : t -> Services.t option -> unit
     what the dispatching controller happened to have ingested since. *)
 
 val sandboxes : t -> Sandbox.t list
+(** Every sandbox — an N-version panel contributes all its variants. *)
+
 val sandbox : t -> string -> Sandbox.t option
+(** First sandbox with this name: a panel's primary variant. *)
+
+val voters : t -> Voter.t list
+(** The active N-version panels; [[]] under solo dispatch. *)
+
 val metrics : t -> Metrics.t
 val tickets : t -> Ticket.t list
 val ticket_store : t -> Ticket.store

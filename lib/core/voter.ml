@@ -1,0 +1,372 @@
+open Controller
+
+(* ---------------- elections ---------------- *)
+
+(* Log commands are diagnostics, not forwarding behaviour: two variants
+   that differ only in what they log cast the same vote. *)
+let canonical cmds =
+  List.filter (function Command.Log _ -> false | _ -> true) cmds
+
+type 'v ballot = { voter : 'v; commands : Command.t list }
+
+type 'v election = {
+  winners : 'v ballot list;
+  losers : 'v ballot list;
+  majority : bool;
+}
+
+let elect = function
+  | [] -> None
+  | ballots ->
+      (* Group by canonical command set, preserving first-arrival order of
+         both the groups and their members. *)
+      let groups =
+        List.fold_left
+          (fun acc b ->
+            let key = canonical b.commands in
+            let rec add = function
+              | [] -> [ (key, [ b ]) ]
+              | (k, members) :: rest when k = key -> (k, b :: members) :: rest
+              | g :: rest -> g :: add rest
+            in
+            add acc)
+          [] ballots
+        |> List.map (fun (k, members) -> (k, List.rev members))
+      in
+      (* Largest group wins; a tie goes to the earliest-arrived group (the
+         strict [>] below never replaces an equal-sized earlier group). *)
+      let _, winners =
+        List.fold_left
+          (fun ((best_n, _) as best) (k, members) ->
+            let n = List.length members in
+            if n > best_n then (n, (k, members)) else best)
+          (0, ([], []))
+          groups
+        |> snd
+      in
+      let losers =
+        List.filter (fun b -> not (List.memq b winners)) ballots
+      in
+      Some
+        {
+          winners;
+          losers;
+          majority = 2 * List.length winners > List.length ballots;
+        }
+
+(* ---------------- the sandboxed panel ---------------- *)
+
+type config = { nv_replicas : int; nv_adaptive : bool; nv_shed_after : int }
+
+let default_config = { nv_replicas = 3; nv_adaptive = true; nv_shed_after = 8 }
+
+type variant = { box : Sandbox.t; resyncable : bool }
+
+type t = {
+  vname : string;
+  variants : variant list;  (* primary first *)
+  vcfg : config;
+  ship_store : Checkpoint.Chunk_store.t;
+  mutable last_ship : Checkpoint.Chunk_store.manifest option;
+      (* Kept across events so consecutive majority snapshots dedup
+         against each other in the chunk store. *)
+  mutable panel : bool;  (* full panel, or shed to the primary alone *)
+  mutable quiet : int;  (* consecutive clean unanimous elections *)
+}
+
+let create ?(config = default_config) ~make_ckpt ~checkpoint_every specs =
+  if specs = [] then invalid_arg "Voter.create: no variants";
+  let variants =
+    List.map
+      (fun (app, resyncable) ->
+        {
+          box = Sandbox.create ~ckpt:(make_ckpt ()) ~checkpoint_every app;
+          resyncable;
+        })
+      specs
+  in
+  let vname = Sandbox.name (List.hd variants).box in
+  List.iter
+    (fun v ->
+      if Sandbox.name v.box <> vname then
+        invalid_arg
+          (Printf.sprintf "Voter.create: variant %s does not share name %s"
+             (Sandbox.name v.box) vname))
+    variants;
+  {
+    vname;
+    variants;
+    vcfg = config;
+    ship_store = Checkpoint.Chunk_store.create ();
+    last_ship = None;
+    panel = true;
+    quiet = 0;
+  }
+
+let replicate ?(config = default_config) ~make_ckpt ~checkpoint_every app =
+  let n = max 1 config.nv_replicas in
+  create ~config ~make_ckpt ~checkpoint_every
+    (List.init n (fun _ -> (app, true)))
+
+let name t = t.vname
+let config t = t.vcfg
+let sandboxes t = List.map (fun v -> v.box) t.variants
+let primary_variant t = List.hd t.variants
+let primary t = (primary_variant t).box
+let panel_active t = t.panel
+
+(* Ship the donor's snapshot to every re-syncable recipient through the
+   chunk store — the same manifest mechanism a standby's state transfer
+   uses, so repeated re-syncs of a persistently-divergent variant pay only
+   for the chunks that changed. *)
+let ship (deps : Crashpad.deps) t ~donor recipients =
+  let recipients =
+    List.filter (fun r -> r.resyncable && r.box != donor.box) recipients
+  in
+  if donor.resyncable && recipients <> [] then begin
+    let snap = Sandbox.snapshot_bytes donor.box in
+    let manifest, _write = Checkpoint.Chunk_store.store t.ship_store snap in
+    let logical = Checkpoint.Chunk_store.manifest_bytes manifest in
+    List.iter
+      (fun r ->
+        let bytes = Checkpoint.Chunk_store.materialize t.ship_store manifest in
+        Sandbox.restore_bytes r.box bytes;
+        Metrics.incr_nv_resyncs deps.Crashpad.metrics;
+        Metrics.add_nv_resync_bytes deps.Crashpad.metrics logical;
+        Obs.Tracer.instant deps.Crashpad.tracer
+          ~attrs:[ ("app", t.vname); ("bytes", string_of_int logical) ]
+          Obs.Span.State_transfer)
+      recipients;
+    (match t.last_ship with
+    | Some prev -> Checkpoint.Chunk_store.release t.ship_store prev
+    | None -> ());
+    t.last_ship <- Some manifest
+  end
+
+let failure_of_verdict = function
+  | Sandbox.Crashed { partial; detail } -> Detector.Fail_stop { detail; partial }
+  | Sandbox.Hung -> Detector.Hang
+  | Sandbox.Done _ -> invalid_arg "Voter.failure_of_verdict: Done"
+
+(* Every subscribed variant died on the event: the panel could not mask,
+   so the bundle fails exactly once — one counted failure, one downtime
+   charge, one compromise, one ticket — and every variant is repaired. *)
+let bundle_failure (cfg : Crashpad.config) (deps : Crashpad.deps) t event
+    results txn =
+  let failure =
+    match results with
+    | (_, verdict) :: _ -> failure_of_verdict verdict
+    | [] -> Detector.Hang (* unreachable: the gate checked a live primary *)
+  in
+  txn.Txn_engine.abort ();
+  let attrs =
+    if Obs.Tracer.enabled deps.tracer then
+      [ ("phase", "replay"); ("app", t.vname) ]
+    else []
+  in
+  Obs.Tracer.with_span deps.tracer ~attrs Obs.Span.Recovery (fun () ->
+      Crashpad.count_failure deps failure;
+      Metrics.add_app_downtime deps.metrics ~app:t.vname
+        (Detector.detection_delay cfg.timing failure);
+      List.iter
+        (fun (v, _) ->
+          let r = Sandbox.recover ~tracer:deps.tracer v.box (deps.context ()) in
+          Metrics.incr_replayed deps.metrics r.Sandbox.replayed;
+          Metrics.incr_dropped_in_replay deps.metrics r.Sandbox.dropped_in_replay)
+        results);
+  Crashpad.note_quarantine cfg deps (primary t) event;
+  Crashpad.apply_policy cfg deps (primary t) event failure ~rolled_back:0;
+  t.quiet <- 0;
+  (* Re-converge the family on whatever state the compromise left the
+     primary in. *)
+  ship deps t ~donor:(primary_variant t) (List.tl t.variants)
+
+(* The majority output failed Crash-Pad's screening (byzantine or aimed at
+   an unreachable switch): the vote could not mask it, so treat it as a
+   solo failure of the bundle. *)
+let majority_failure (cfg : Crashpad.config) (deps : Crashpad.deps) t event
+    ballots txn failure =
+  txn.Txn_engine.abort ();
+  List.iter (fun b -> Sandbox.revert_last b.voter.box) ballots;
+  Crashpad.count_failure deps failure;
+  Crashpad.note_quarantine cfg deps (primary t) event;
+  Crashpad.apply_policy cfg deps (primary t) event failure ~rolled_back:0;
+  t.quiet <- 0;
+  ship deps t ~donor:(primary_variant t) (List.tl t.variants)
+
+let panel_dispatch (cfg : Crashpad.config) (deps : Crashpad.deps) t event =
+  Metrics.incr_nv_events deps.metrics;
+  let tracer = deps.tracer in
+  let live =
+    List.filter
+      (fun v ->
+        Sandbox.alive v.box
+        && Sandbox.subscribes_to v.box (Event.kind_of event))
+      t.variants
+  in
+  if not cfg.batched_checkpoints then
+    List.iter (fun v -> Sandbox.prepare ~tracer v.box) live;
+  let attrs =
+    if Obs.Tracer.enabled tracer then
+      [ ("app", t.vname); ("live", string_of_int (List.length live)) ]
+    else []
+  in
+  Obs.Tracer.with_span tracer ~attrs Obs.Span.Vote @@ fun () ->
+  (* The transaction is opened before any delivery and commands are held
+     in it only after the election: nothing a variant emits can reach the
+     network before the vote. *)
+  let txn = deps.engine.Txn_engine.begin_txn ~app:t.vname in
+  let results =
+    List.map
+      (fun v ->
+        let attrs =
+          if Obs.Tracer.enabled tracer then [ ("app", t.vname) ] else []
+        in
+        let verdict =
+          Obs.Tracer.with_span tracer ~attrs Obs.Span.App_handle (fun () ->
+              Sandbox.deliver v.box (deps.context ()) event)
+        in
+        (v, verdict))
+      live
+  in
+  let ballots =
+    List.filter_map
+      (function
+        | v, Sandbox.Done cmds -> Some { voter = v; commands = cmds }
+        | _, (Sandbox.Crashed _ | Sandbox.Hung) -> None)
+      results
+  in
+  let casualties =
+    List.filter
+      (fun (_, verdict) ->
+        match verdict with Sandbox.Done _ -> false | _ -> true)
+      results
+  in
+  match elect ballots with
+  | None -> bundle_failure cfg deps t event results txn
+  | Some e -> (
+      if not e.majority then Metrics.incr_nv_no_majority deps.metrics;
+      let winner = List.hd e.winners in
+      let wbox = winner.voter.box in
+      let commands = winner.commands in
+      (* Screen the elected output exactly as Crash-Pad screens a solo
+         app: resource limits, byzantine check, unreachable switches. *)
+      let breaches =
+        Resources.check cfg.limits
+          ~state_bytes:(fun () -> Sandbox.state_size wbox)
+          ~commands_emitted:(List.length commands)
+      in
+      if breaches <> [] then begin
+        txn.Txn_engine.abort ();
+        List.iter (fun b -> Sandbox.revert_last b.voter.box) ballots;
+        Metrics.incr_resource_breach deps.metrics;
+        ignore
+          (Ticket.file deps.tickets ~now:(deps.now ()) ~app:t.vname ~event
+             ~diagnosis:
+               (String.concat "; " (List.map Resources.describe breaches))
+             ~resolution:Ticket.Blocked ~rolled_back_ops:0 ());
+        (* The majority breached together: contain the family. *)
+        List.iter
+          (fun v ->
+            Sandbox.reboot v.box;
+            Sandbox.checkpoint_now v.box)
+          live;
+        t.quiet <- 0
+      end
+      else
+        match
+          Detector.check_byzantine ~tracer ?engine:deps.incremental
+            ~invariants:cfg.invariants deps.net commands
+        with
+        | Some failure -> majority_failure cfg deps t event ballots txn failure
+        | None -> (
+            match
+              List.find_map
+                (fun cmd ->
+                  match Crashpad.switch_of_command cmd with
+                  | Some sid when deps.unreachable sid -> Some sid
+                  | Some _ | None -> None)
+                commands
+            with
+            | Some sid ->
+                majority_failure cfg deps t event ballots txn
+                  (Detector.Unreachable { switch = sid })
+            | None ->
+                let attrs =
+                  if Obs.Tracer.enabled tracer then
+                    [
+                      ("app", t.vname);
+                      ("commands", string_of_int (List.length commands));
+                    ]
+                  else []
+                in
+                Obs.Tracer.with_span tracer ~attrs Obs.Span.Txn_commit
+                  (fun () ->
+                    List.iter
+                      (fun cmd ->
+                        let replies = txn.Txn_engine.apply cmd in
+                        match Crashpad.switch_of_command cmd with
+                        | Some sid -> Crashpad.route_replies deps wbox sid replies
+                        | None -> ())
+                      commands;
+                    txn.Txn_engine.commit ());
+                List.iter (fun b -> Sandbox.confirm b.voter.box event) e.winners;
+                Crashpad.reconcile_intent cfg deps wbox;
+                (* Out-voted variants: output discarded, state reverted,
+                   then rebuilt from the majority snapshot. *)
+                List.iter
+                  (fun b ->
+                    Sandbox.revert_last b.voter.box;
+                    Metrics.incr_nv_outvoted deps.metrics;
+                    Obs.Tracer.instant tracer
+                      ~attrs:[ ("app", t.vname) ]
+                      Obs.Span.Outvoted)
+                  e.losers;
+                if e.losers <> [] then Metrics.incr_nv_masked deps.metrics;
+                List.iter
+                  (fun (v, _) ->
+                    Metrics.incr_nv_variant_crashes deps.metrics;
+                    ignore
+                      (Sandbox.recover ~tracer v.box (deps.context ())))
+                  casualties;
+                ship deps t ~donor:winner.voter
+                  (List.map (fun b -> b.voter) e.losers
+                  @ List.map fst casualties);
+                if e.losers = [] && casualties = [] && e.majority then begin
+                  t.quiet <- t.quiet + 1;
+                  if
+                    t.vcfg.nv_adaptive
+                    && t.quiet >= t.vcfg.nv_shed_after
+                    && List.length t.variants > 1
+                  then begin
+                    t.panel <- false;
+                    Metrics.incr_nv_sheds deps.metrics
+                  end
+                end
+                else t.quiet <- 0))
+
+(* Shed mode: the primary runs alone under ordinary Crash-Pad dispatch.
+   Any failure re-spins the full panel, re-synchronised from whatever
+   state recovery left the primary in. *)
+let shed_dispatch (cfg : Crashpad.config) (deps : Crashpad.deps) t event =
+  match Crashpad.attempt cfg deps (primary t) event with
+  | Ok () -> ()
+  | Error (failure, rolled_back) ->
+      Crashpad.note_quarantine cfg deps (primary t) event;
+      Crashpad.apply_policy cfg deps (primary t) event failure ~rolled_back;
+      if t.vcfg.nv_adaptive && List.length t.variants > 1 then begin
+        t.panel <- true;
+        t.quiet <- 0;
+        Metrics.incr_nv_grows deps.metrics;
+        ship deps t ~donor:(primary_variant t) (List.tl t.variants)
+      end
+
+let dispatch cfg deps t event =
+  let p = primary t in
+  if
+    Sandbox.alive p
+    && Sandbox.subscribes_to p (Event.kind_of event)
+    && not (Crashpad.quarantine_blocked cfg deps p event)
+  then
+    if t.panel then panel_dispatch cfg deps t event
+    else shed_dispatch cfg deps t event

@@ -18,6 +18,8 @@ type kind =
   | Failover
   | Batch_root
   | Shard_dispatch
+  | Vote
+  | Outvoted
 
 let all_kinds =
   [
@@ -40,6 +42,8 @@ let all_kinds =
     Failover;
     Batch_root;
     Shard_dispatch;
+    Vote;
+    Outvoted;
   ]
 
 let kind_name = function
@@ -62,6 +66,8 @@ let kind_name = function
   | Failover -> "failover"
   | Batch_root -> "batch"
   | Shard_dispatch -> "shard"
+  | Vote -> "vote"
+  | Outvoted -> "outvoted"
 
 let kind_of_name name =
   List.find_opt (fun k -> kind_name k = name) all_kinds

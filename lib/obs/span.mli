@@ -29,6 +29,9 @@ type kind =
   | Batch_root  (** One batch through the sharded dispatch engine. *)
   | Shard_dispatch
       (** A contiguous run of same-shard events inside a batch. *)
+  | Vote  (** One N-version panel election over a delivered event. *)
+  | Outvoted
+      (** A variant's output lost an election and was discarded (instant). *)
 
 val all_kinds : kind list
 

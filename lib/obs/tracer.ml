@@ -45,6 +45,8 @@ let kind_index : Span.kind -> int = function
   | Span.Failover -> 16
   | Span.Batch_root -> 17
   | Span.Shard_dispatch -> 18
+  | Span.Vote -> 19
+  | Span.Outvoted -> 20
 
 let create ?(capacity = 65536) ?wall ~now () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity <= 0";

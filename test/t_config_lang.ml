@@ -152,6 +152,7 @@ let config_equiv (a : Runtime.config) (b : Runtime.config) =
   && a.Runtime.dispatch = b.Runtime.dispatch
   && a.Runtime.trace_cache_budget = b.Runtime.trace_cache_budget
   && a.Runtime.workload = b.Runtime.workload
+  && a.Runtime.nversion = b.Runtime.nversion
   && Option.map Quarantine.threshold a.Runtime.crashpad.Crashpad.quarantine
      = Option.map Quarantine.threshold b.Runtime.crashpad.Crashpad.quarantine
 
@@ -214,6 +215,26 @@ let config_gen =
         ]
     in
     let* trace_cache_budget = opt (int_range 1024 10_000_000) in
+    (* Non-adaptive panels print without a shed-after clause, so only a
+       zero shed-after round-trips exactly. *)
+    let* nversion =
+      oneofl
+        [
+          None;
+          Some
+            {
+              Legosdn.Voter.nv_replicas = 3;
+              nv_adaptive = false;
+              nv_shed_after = 0;
+            };
+          Some
+            {
+              Legosdn.Voter.nv_replicas = 5;
+              nv_adaptive = true;
+              nv_shed_after = 8;
+            };
+        ]
+    in
     let* intent = bool in
     (* Exact-decimal workload parameters, for the same %g reason. *)
     let* workload =
@@ -235,6 +256,7 @@ let config_gen =
         engine;
         trace_cache_budget;
         workload;
+        nversion;
         cluster = { Runtime.replicas; election_lo; election_hi };
         reliable =
           {

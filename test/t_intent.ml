@@ -181,6 +181,7 @@ let test_fuzzer_scenario_derives_compromise () =
       replicas = 1;
       election_lo = 0.15;
       election_hi = 0.3;
+      nversion = 1;
       elements =
         [
           (* Learn host 1 end-to-end before the failure. *)
